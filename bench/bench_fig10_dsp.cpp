@@ -1,0 +1,124 @@
+// Experiment FIG10 — reproduces §6.4: the six-core DSP filter application.
+// (b) SUNMAP maps it onto a butterfly and the floorplan is printed (ASCII
+//     rendition of Fig 10(b)).
+// (c) The mapped design on every topology is simulated cycle-accurately
+//     with trace-driven traffic at the core-graph rates; the butterfly has
+//     the minimum average packet latency, "validating the output of
+//     SUNMAP".
+// The DSP flows reach 600 MB/s, so its link budget is 1 GB/s (the 500 MB/s
+// cap of §6.1 belongs to the video experiments).
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "core/sunmap.h"
+#include "fplan/render.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+core::SunmapConfig dsp_config() {
+  core::SunmapConfig config;
+  config.mapper = bench::video_config();
+  config.mapper.link_bandwidth_mbps = 1000.0;
+  return config;
+}
+
+route::RoutingKind sim_routing(const topo::Topology& topology) {
+  return topology.kind() == topo::TopologyKind::kClos
+             ? route::RoutingKind::kSplitMin
+             : route::RoutingKind::kDimensionOrdered;
+}
+
+void print_selection_and_floorplan() {
+  const auto app = apps::dsp_filter();
+  core::Sunmap tool(dsp_config());
+  const auto result = tool.run(app);
+
+  bench::print_heading("Fig 10: DSP filter selection (paper: butterfly)");
+  std::printf("%s", core::Sunmap::report_table(result.report).c_str());
+
+  if (const auto* best = result.best()) {
+    bench::print_heading("Fig 10(b): floorplan of the selected " +
+                         best->topology->name());
+    const auto& fp = best->result.eval.floorplan;
+    const auto& slot_to_core = best->result.slot_to_core;
+    std::printf("%s", fplan::render_ascii(
+                          fp,
+                          [&](const fplan::PlacedBlock& block) {
+                            if (block.kind ==
+                                fplan::PlacedBlock::Kind::kSwitch) {
+                              return "S" + std::to_string(block.index);
+                            }
+                            const int core = slot_to_core[
+                                static_cast<std::size_t>(block.index)];
+                            return core >= 0 ? app.core(core).name
+                                             : std::string("-");
+                          })
+                          .c_str());
+    std::printf("chip: %.2f x %.2f mm (%.2f mm2)\n", fp.width_mm(),
+                fp.height_mm(), fp.area_mm2());
+  }
+}
+
+void print_simulated_latencies() {
+  bench::print_heading(
+      "Fig 10(c): simulated avg packet latency per topology, trace-driven "
+      "DSP traffic (paper: butterfly minimum)");
+  const auto app = apps::dsp_filter();
+  const auto library = topo::standard_library(app.num_cores());
+  auto mapper_config = dsp_config().mapper;
+
+  util::Table table({"topology", "avg latency (cy)", "max (cy)",
+                     "saturated"});
+  for (const auto& topology : library) {
+    mapping::Mapper mapper(mapper_config);
+    const auto mapped = mapper.map(app, *topology);
+
+    // Trace-driven flows at slots chosen by the mapping.
+    std::vector<sim::TrafficFlow> flows;
+    for (const auto& e : app.graph().edges()) {
+      flows.push_back(sim::TrafficFlow{
+          mapped.core_to_slot[static_cast<std::size_t>(e.src)],
+          mapped.core_to_slot[static_cast<std::size_t>(e.dst)], e.weight});
+    }
+    // Moderate load: distance, not contention, should dominate, as in the
+    // paper's functional SystemC runs.
+    sim::TraceTraffic traffic(flows, 4, /*flits_per_cycle_per_gbps=*/0.1);
+
+    const auto routes =
+        sim::RouteTable::all_pairs(*topology, sim_routing(*topology));
+    sim::SimConfig config;
+    config.warmup_cycles = 1500;
+    config.measure_cycles = 8000;
+    config.drain_cycles = 20000;
+    config.seed = 11;
+    config.distance_class_vcs = true;
+    sim::Simulator simulator(*topology, routes, config);
+    const auto stats = simulator.run(traffic);
+    table.add_row({topology->name(),
+                   util::Table::num(stats.avg_latency_cycles, 1),
+                   util::Table::num(stats.max_latency_cycles, 0),
+                   stats.saturated ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void BM_DspEndToEnd(benchmark::State& state) {
+  const auto app = apps::dsp_filter();
+  core::Sunmap tool(dsp_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tool.run(app));
+  }
+}
+BENCHMARK(BM_DspEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_selection_and_floorplan();
+  print_simulated_latencies();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

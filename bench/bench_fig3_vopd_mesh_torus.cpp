@@ -1,0 +1,76 @@
+// Experiment FIG3d — reproduces Fig 3(d): the motivating VOPD example
+// mapped onto a mesh and a torus, comparing average hops, design area and
+// design power, with the torus/mesh ratio row. Paper values: avg hops
+// 2.25 / 2.03 (ratio 0.90), area 54.59 / 57.91 mm^2 (1.06), power
+// 372.1 / 454.9 mW (1.22).
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+struct Row {
+  double hops, area, power;
+};
+
+Row map_onto(const topo::Topology& topology) {
+  mapping::Mapper mapper(bench::video_config());
+  const auto result = mapper.map(apps::vopd(), topology);
+  return Row{result.eval.avg_switch_hops, result.eval.design_area_mm2,
+             result.eval.design_power_mw};
+}
+
+void print_table() {
+  const auto mesh = topo::make_mesh_for(12);
+  const auto torus = topo::make_torus_for(12);
+  const Row mesh_row = map_onto(*mesh);
+  const Row torus_row = map_onto(*torus);
+
+  bench::print_heading(
+      "Fig 3(d): VOPD design parameters, mesh vs torus (paper: hops "
+      "2.25/2.03, area 54.6/57.9 mm2, power 372/455 mW)");
+  util::Table table({"metric", "mesh", "torus", "torus/mesh"});
+  table.add_row({"avg hops", util::Table::num(mesh_row.hops),
+                 util::Table::num(torus_row.hops),
+                 util::Table::num(torus_row.hops / mesh_row.hops)});
+  table.add_row({"design area (mm2)", util::Table::num(mesh_row.area),
+                 util::Table::num(torus_row.area),
+                 util::Table::num(torus_row.area / mesh_row.area)});
+  table.add_row({"design power (mW)", util::Table::num(mesh_row.power, 1),
+                 util::Table::num(torus_row.power, 1),
+                 util::Table::num(torus_row.power / mesh_row.power)});
+  std::printf("%s", table.to_string().c_str());
+}
+
+void BM_MapVopdOntoMesh(benchmark::State& state) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(12);
+  mapping::Mapper mapper(bench::video_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(app, *mesh));
+  }
+}
+BENCHMARK(BM_MapVopdOntoMesh)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateVopdMeshMapping(benchmark::State& state) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(12);
+  mapping::Mapper mapper(bench::video_config());
+  const auto result = mapper.map(app, *mesh);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.evaluate(app, *mesh, result.core_to_slot));
+  }
+}
+BENCHMARK(BM_EvaluateVopdMeshMapping)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,79 @@
+// Experiment FIG6 — reproduces Fig 6(a-d): VOPD mapped onto every library
+// topology under minimum-path routing. Four series: average hop delay
+// (butterfly lowest at 2, clos at 3), switch/link resource counts
+// (butterfly has the fewest switches but more links), design area and
+// design power (butterfly wins both; §6.1 explains why: fewer, smaller
+// switches and fewer hops outweigh its ~1.5x longer links).
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "select/selector.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+void print_table() {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  select::TopologySelector selector(bench::video_config());
+  const auto report = selector.select(app, library);
+
+  bench::print_heading(
+      "Fig 6: VOPD mapping characteristics over the topology library "
+      "(paper: butterfly best on hops/area/power; 8 switches of 4x4)");
+  util::Table table({"topology", "avg hops", "switches", "links",
+                     "core links", "switch area", "area (mm2)", "power (mW)",
+                     "feasible"});
+  for (const auto& candidate : report.candidates) {
+    const auto& eval = candidate.result.eval;
+    const auto* topology = candidate.topology;
+    table.add_row({topology->name(), util::Table::num(eval.avg_switch_hops),
+                   std::to_string(topology->num_switches()),
+                   std::to_string(topology->num_network_links()),
+                   std::to_string(topology->num_core_links()),
+                   util::Table::num(eval.switch_area_mm2),
+                   util::Table::num(eval.design_area_mm2),
+                   util::Table::num(eval.design_power_mw, 1),
+                   eval.feasible() ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (report.best() != nullptr) {
+    std::printf("selected: %s (paper selects the 4-ary 2-fly butterfly)\n",
+                report.best()->topology->name().c_str());
+  }
+}
+
+void BM_SelectVopdTopology(benchmark::State& state) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  select::TopologySelector selector(bench::video_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(app, library));
+  }
+}
+BENCHMARK(BM_SelectVopdTopology)->Unit(benchmark::kMillisecond);
+
+void BM_MapVopdPerTopology(benchmark::State& state) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto& topology =
+      *library[static_cast<std::size_t>(state.range(0))];
+  mapping::Mapper mapper(bench::video_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(app, topology));
+  }
+  state.SetLabel(topology.name());
+}
+BENCHMARK(BM_MapVopdPerTopology)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,85 @@
+// Experiment FIG7b — reproduces Fig 7(b): MPEG4 mapped onto the library.
+// Under any single-path routing every topology violates the 500 MB/s
+// bandwidth constraint (the SDRAM flows reach 910 MB/s), so split-traffic
+// routing is applied; the butterfly has no path diversity and remains
+// infeasible ("No Feasible Mapping" in the paper's table), the torus gets
+// the lowest hop count, and the mesh wins area and power. Paper values:
+// mesh 2.49 hops / 62.51 mm^2 / 445.4 mW; torus 2.47 / 66.03 / 504.1;
+// hypercube 2.48 / 67.05 / 546.7; clos 3.0 / 64.38 / 541.4.
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "select/selector.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+mapping::MapperConfig split_config() {
+  auto config = sunmap::bench::video_config();
+  config.routing = route::RoutingKind::kSplitAll;
+  return config;
+}
+
+void print_table() {
+  const auto app = apps::mpeg4();
+  const auto library = topo::standard_library(app.num_cores());
+
+  bench::print_heading(
+      "Fig 7(b): MPEG4 mappings with split-traffic routing at 500 MB/s "
+      "(paper: butterfly has no feasible mapping; mesh wins area+power)");
+  select::TopologySelector selector(split_config());
+  const auto report = selector.select(app, library);
+  util::Table table({"topology", "avg hops", "area (mm2)", "power (mW)",
+                     "min BW (MB/s)", "feasible"});
+  for (const auto& candidate : report.candidates) {
+    const auto& eval = candidate.result.eval;
+    table.add_row({candidate.topology->name(),
+                   eval.feasible() ? util::Table::num(eval.avg_switch_hops)
+                                   : "-",
+                   eval.feasible() ? util::Table::num(eval.design_area_mm2)
+                                   : "-",
+                   eval.feasible() ? util::Table::num(eval.design_power_mw, 1)
+                                   : "-",
+                   util::Table::num(eval.max_link_load_mbps, 1),
+                   eval.feasible() ? "yes" : "NO FEASIBLE MAPPING"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // The paper's conclusion uses area/power, not delay: verify the mesh wins
+  // when the objective is area.
+  auto area_config = split_config();
+  area_config.objective = mapping::Objective::kMinArea;
+  select::TopologySelector area_selector(area_config);
+  const auto area_report = area_selector.select(app, library);
+  if (area_report.best() != nullptr) {
+    std::printf(
+        "min-area selection: %s (paper: \"a mesh topology is more suitable "
+        "for the MPEG4\")\n",
+        area_report.best()->topology->name().c_str());
+  }
+}
+
+void BM_MapMpeg4SplitAll(benchmark::State& state) {
+  const auto app = apps::mpeg4();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto& topology =
+      *library[static_cast<std::size_t>(state.range(0))];
+  mapping::Mapper mapper(split_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(app, topology));
+  }
+  state.SetLabel(topology.name());
+}
+BENCHMARK(BM_MapMpeg4SplitAll)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,84 @@
+// Experiment FIG9 — reproduces §6.3's design-space exploration of a chosen
+// topology (MPEG4 on a mesh).
+// (a) Minimum link bandwidth required by each routing function DO / MP /
+//     SM / SA: the single-path functions are pinned at >= 910 MB/s by the
+//     largest SDRAM flow, so "when maximum available link bandwidth is
+//     500 MB/s, only split-traffic routing can be used".
+// (b) The area-power Pareto points of the mapping space explored by the
+//     pairwise-swap search.
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "select/selector.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+void print_routing_bandwidth() {
+  bench::print_heading(
+      "Fig 9(a): minimum link bandwidth per routing function, MPEG4 on mesh "
+      "(paper: only split-traffic routing fits under the 500 MB/s line)");
+  const auto app = apps::mpeg4();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  util::Table table({"routing", "min BW (MB/s)", "feasible @ 500",
+                     "avg hops"});
+  for (route::RoutingKind kind : route::kAllRoutingKinds) {
+    auto config = bench::video_config();
+    config.routing = kind;
+    mapping::Mapper mapper(config);
+    const auto result = mapper.map(app, *mesh);
+    table.add_row({route::to_string(kind),
+                   util::Table::num(result.eval.max_link_load_mbps, 1),
+                   result.eval.max_link_load_mbps <= 500.0 ? "yes" : "no",
+                   util::Table::num(result.eval.avg_switch_hops)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void print_pareto() {
+  bench::print_heading(
+      "Fig 9(b): area-power Pareto points of the MPEG4 mesh mapping space");
+  const auto app = apps::mpeg4();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  auto config = bench::video_config();
+  config.routing = route::RoutingKind::kSplitAll;
+  config.collect_explored = true;
+  config.swap_passes = 3;
+  mapping::Mapper mapper(config);
+  const auto result = mapper.map(app, *mesh);
+  const auto frontier = select::pareto_frontier(result.explored_area_power);
+  std::printf("explored %d mappings, %zu Pareto points:\n",
+              result.evaluated_mappings, frontier.size());
+  util::Table table({"area (mm2)", "power (mW)"});
+  for (const auto& point : frontier) {
+    table.add_row({util::Table::num(point.area_mm2),
+                   util::Table::num(point.power_mw, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void BM_MapMpeg4PerRouting(benchmark::State& state) {
+  const auto app = apps::mpeg4();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  auto config = bench::video_config();
+  config.routing = route::kAllRoutingKinds[state.range(0)];
+  mapping::Mapper mapper(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(app, *mesh));
+  }
+  state.SetLabel(route::to_string(config.routing));
+}
+BENCHMARK(BM_MapMpeg4PerRouting)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_routing_bandwidth();
+  print_pareto();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,113 @@
+// Experiment ABL-FP — floorplanner ablations called out in DESIGN.md:
+//  * the simplex LP engine vs the longest-path constraint-graph engine
+//    (identical chip extents, very different runtime — why the swap loop
+//    uses the longest-path engine);
+//  * soft-block aspect-ratio sizing on vs off.
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "fplan/floorplanner.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+struct Inputs {
+  std::vector<std::optional<fplan::BlockShape>> cores;
+  std::vector<fplan::BlockShape> switches;
+};
+
+Inputs vopd_inputs(const topo::Topology& topology) {
+  const auto app = apps::vopd();
+  Inputs inputs;
+  inputs.cores.resize(static_cast<std::size_t>(topology.num_slots()));
+  for (int c = 0; c < app.num_cores() && c < topology.num_slots(); ++c) {
+    inputs.cores[static_cast<std::size_t>(c)] = app.core(c).shape;
+  }
+  inputs.switches.assign(static_cast<std::size_t>(topology.num_switches()),
+                         fplan::BlockShape::soft_block(0.25));
+  return inputs;
+}
+
+void print_engine_comparison() {
+  bench::print_heading(
+      "Floorplan engines: simplex LP vs constraint-graph longest path "
+      "(identical extents by construction)");
+  util::Table table({"topology", "LP W+H (mm)", "longest-path W+H (mm)",
+                     "LP area (mm2)"});
+  const auto library = topo::standard_library(12);
+  for (const auto& topology : library) {
+    const auto inputs = vopd_inputs(*topology);
+    fplan::Floorplanner::Options lp_options;
+    lp_options.engine = fplan::Floorplanner::Engine::kSimplexLp;
+    const auto lp = fplan::Floorplanner(lp_options).place(
+        topology->relative_placement(), inputs.cores, inputs.switches);
+    const auto band = fplan::Floorplanner().place(
+        topology->relative_placement(), inputs.cores, inputs.switches);
+    table.add_row({topology->name(),
+                   util::Table::num(lp.width_mm() + lp.height_mm()),
+                   util::Table::num(band.width_mm() + band.height_mm()),
+                   util::Table::num(lp.area_mm2())});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void print_sizing_ablation() {
+  bench::print_heading("Soft-block aspect-ratio sizing ablation");
+  util::Table table({"topology", "area rigid (mm2)", "area sized (mm2)",
+                     "saving"});
+  const auto library = topo::standard_library(12);
+  for (const auto& topology : library) {
+    const auto inputs = vopd_inputs(*topology);
+    fplan::Floorplanner::Options rigid_options;
+    rigid_options.sizing_passes = 0;
+    fplan::Floorplanner::Options sized_options;
+    sized_options.sizing_passes = 2;
+    const auto rigid = fplan::Floorplanner(rigid_options).place(
+        topology->relative_placement(), inputs.cores, inputs.switches);
+    const auto sized = fplan::Floorplanner(sized_options).place(
+        topology->relative_placement(), inputs.cores, inputs.switches);
+    table.add_row(
+        {topology->name(), util::Table::num(rigid.area_mm2()),
+         util::Table::num(sized.area_mm2()),
+         util::Table::num(100.0 * (1.0 - sized.area_mm2() /
+                                             rigid.area_mm2()),
+                          1) +
+             "%"});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void BM_FloorplanLongestPath(benchmark::State& state) {
+  const auto mesh = topo::make_mesh_for(12);
+  const auto inputs = vopd_inputs(*mesh);
+  fplan::Floorplanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.place(mesh->relative_placement(),
+                                           inputs.cores, inputs.switches));
+  }
+}
+BENCHMARK(BM_FloorplanLongestPath)->Unit(benchmark::kMicrosecond);
+
+void BM_FloorplanSimplexLp(benchmark::State& state) {
+  const auto mesh = topo::make_mesh_for(12);
+  const auto inputs = vopd_inputs(*mesh);
+  fplan::Floorplanner::Options options;
+  options.engine = fplan::Floorplanner::Engine::kSimplexLp;
+  fplan::Floorplanner planner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.place(mesh->relative_placement(),
+                                           inputs.cores, inputs.switches));
+  }
+}
+BENCHMARK(BM_FloorplanSimplexLp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_engine_comparison();
+  print_sizing_ablation();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,90 @@
+// Experiment ABL-SIM — simulator validation and performance:
+//  * zero-load latency table (must match the analytic pipeline model
+//    F + (S-1)*L, the same check the unit tests pin down);
+//  * simulated flits/second per topology — the throughput of the
+//    cycle-accurate model that stands in for the paper's SystemC runs.
+
+#include "bench/bench_util.h"
+#include "sim/simulator.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+void print_zero_load_table() {
+  bench::print_heading(
+      "Zero-load latency vs analytic model (4-flit packets, 1-cycle links)");
+  util::Table table({"topology", "pair", "switches", "analytic (cy)",
+                     "simulated (cy)"});
+  const auto library = topo::standard_library(16);
+  for (const auto& topology : library) {
+    const auto routes = sim::RouteTable::all_pairs(
+        *topology, route::RoutingKind::kDimensionOrdered);
+    const int src = 0;
+    const int dst = topology->num_slots() - 1;
+    const int switches = topology->min_switch_hops(src, dst);
+    sim::SimConfig config;
+    config.warmup_cycles = 200;
+    config.measure_cycles = 4000;
+    config.drain_cycles = 4000;
+    sim::TraceTraffic traffic({{src, dst, 20.0}}, 4, 0.1);
+    sim::Simulator simulator(*topology, routes, config);
+    const auto stats = simulator.run(traffic);
+    table.add_row({topology->name(),
+                   std::to_string(src) + "->" + std::to_string(dst),
+                   std::to_string(switches),
+                   util::Table::num(4.0 + (switches - 1), 0),
+                   util::Table::num(stats.avg_latency_cycles, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void BM_SimulatorFlitThroughput(benchmark::State& state) {
+  auto library = topo::standard_library(16);
+  const auto& topology = *library[static_cast<std::size_t>(state.range(0))];
+  const auto routes = sim::RouteTable::all_pairs(
+      topology, route::RoutingKind::kDimensionOrdered);
+  sim::SimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 5000;
+  config.drain_cycles = 10000;
+  std::uint64_t flits = 0;
+  for (auto _ : state) {
+    const auto stats = sim::simulate_pattern(topology, routes,
+                                             sim::Pattern::kUniform, 0.15,
+                                             config);
+    benchmark::DoNotOptimize(stats);
+    flits += static_cast<std::uint64_t>(
+        stats.throughput_flits_per_cycle_per_slot * 16.0 *
+        static_cast<double>(stats.cycles));
+  }
+  state.counters["flits/s"] = benchmark::Counter(
+      static_cast<double>(flits), benchmark::Counter::kIsRate);
+  state.SetLabel(topology.name());
+}
+BENCHMARK(BM_SimulatorFlitThroughput)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RouteTableAllPairs(benchmark::State& state) {
+  const auto mesh = topo::make_mesh_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::RouteTable::all_pairs(*mesh, route::RoutingKind::kSplitMin));
+  }
+  state.SetLabel(mesh->name());
+}
+BENCHMARK(BM_RouteTableAllPairs)
+    ->Arg(16)
+    ->Arg(36)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_zero_load_table();
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,55 @@
+// Analytic topology characterisation backing the paper's structural
+// arguments: hop counts (Fig 6(a)), resource counts (Fig 6(b)), and the
+// path-diversity story ("butterfly ... trades-off path diversity", "clos
+// networks have maximum path diversity", §6.1/§6.2). No application or
+// traffic involved — these numbers depend on the topology alone.
+
+#include "bench/bench_util.h"
+#include "topo/library.h"
+#include "topo/metrics.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sunmap;
+
+void print_metrics(int cores) {
+  bench::print_heading("Topology metrics for " + std::to_string(cores) +
+                       " cores");
+  util::Table table({"topology", "switches", "links", "slots", "diameter",
+                     "avg hops", "diversity min/avg/max", "total radix",
+                     "capacity (flits/slot)"});
+  const auto library = topo::standard_library(cores,
+                                              /*include_extensions=*/true);
+  for (const auto& topology : library) {
+    const auto m = topo::compute_metrics(*topology);
+    table.add_row(
+        {topology->name(), std::to_string(m.num_switches),
+         std::to_string(m.num_network_links), std::to_string(m.num_slots),
+         std::to_string(m.diameter_switch_hops),
+         util::Table::num(m.avg_switch_hops),
+         std::to_string(m.min_path_diversity) + "/" +
+             util::Table::num(m.avg_path_diversity, 1) + "/" +
+             std::to_string(m.max_path_diversity),
+         std::to_string(m.total_switch_radix),
+         util::Table::num(m.uniform_capacity_flits_per_slot)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void BM_ComputeMetrics(benchmark::State& state) {
+  const auto mesh = topo::make_mesh_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::compute_metrics(*mesh));
+  }
+  state.SetLabel(mesh->name());
+}
+BENCHMARK(BM_ComputeMetrics)->Arg(16)->Arg(36)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_metrics(8);
+  print_metrics(16);
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,62 @@
+// Design-space exploration (paper §6.3): maps the MPEG4 decoder onto the
+// topology library under each routing function, prints the minimum link
+// bandwidth each routing function needs on a mesh (Fig 9(a)), and the
+// area-power Pareto points of the mesh mapping space (Fig 9(b)).
+
+#include <iostream>
+
+#include "apps/apps.h"
+#include "core/sunmap.h"
+#include "select/selector.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sunmap;
+
+  const auto app = apps::mpeg4();
+  std::cout << "Application: " << app.name() << " (" << app.num_cores()
+            << " cores, " << app.total_bandwidth_mbps() << " MB/s)\n\n";
+
+  // --- Fig 7(b): the topology table under split-traffic routing. ---
+  core::SunmapConfig config;
+  config.mapper.routing = route::RoutingKind::kSplitAll;
+  config.mapper.objective = mapping::Objective::kMinDelay;
+  config.mapper.link_bandwidth_mbps = 500.0;
+  core::Sunmap tool(config);
+  const auto result = tool.run(app);
+  std::cout << "MPEG4 with split-traffic routing (500 MB/s links):\n"
+            << core::Sunmap::report_table(result.report) << "\n";
+
+  // --- Fig 9(a): minimum required bandwidth per routing function. ---
+  std::cout << "Minimum link bandwidth on a mesh per routing function:\n";
+  util::Table bw_table({"routing", "min BW (MB/s)", "feasible @500"});
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  for (route::RoutingKind kind : route::kAllRoutingKinds) {
+    mapping::MapperConfig mapper_config = config.mapper;
+    mapper_config.routing = kind;
+    // Minimise the peak link load rather than delay so the mapper reports
+    // the smallest bandwidth this routing function can get away with.
+    mapping::Mapper mapper(mapper_config);
+    const auto mapped = mapper.map(app, *mesh);
+    bw_table.add_row({route::to_string(kind),
+                      util::Table::num(mapped.eval.max_link_load_mbps, 1),
+                      mapped.eval.max_link_load_mbps <= 500.0 ? "yes" : "no"});
+  }
+  std::cout << bw_table.to_string() << "\n";
+
+  // --- Fig 9(b): Pareto points of the mesh mapping space. ---
+  mapping::MapperConfig pareto_config = config.mapper;
+  pareto_config.collect_explored = true;
+  mapping::Mapper mapper(pareto_config);
+  const auto mapped = mapper.map(app, *mesh);
+  const auto frontier = select::pareto_frontier(mapped.explored_area_power);
+  std::cout << "Area-power Pareto frontier over "
+            << mapped.evaluated_mappings << " evaluated mesh mappings:\n";
+  util::Table pareto_table({"area (mm2)", "power (mW)"});
+  for (const auto& point : frontier) {
+    pareto_table.add_row({util::Table::num(point.area_mm2),
+                          util::Table::num(point.power_mw, 1)});
+  }
+  std::cout << pareto_table.to_string();
+  return 0;
+}

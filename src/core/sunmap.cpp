@@ -1,0 +1,56 @@
+#include "core/sunmap.h"
+
+#include "util/table.h"
+
+namespace sunmap::core {
+
+Sunmap::Sunmap(SunmapConfig config)
+    : config_(std::move(config)), selector_(config_.mapper) {}
+
+SunmapResult Sunmap::run(const mapping::CoreGraph& app) const {
+  auto library = topo::standard_library(app.num_cores(),
+                                        config_.include_extension_topologies);
+  auto result = run(app, library);
+  result.owned_library = std::move(library);
+  return result;
+}
+
+SunmapResult Sunmap::run(
+    const mapping::CoreGraph& app,
+    const std::vector<std::unique_ptr<topo::Topology>>& library) const {
+  SunmapResult result;
+  result.report = selector_.select(app, library);
+
+  if (const auto* best = result.report.best()) {
+    result.netlist = gen::Netlist::build(*best->topology, app,
+                                         best->result.core_to_slot,
+                                         &best->result.eval.floorplan);
+    gen::SystemCWriter writer;
+    result.generated = writer.emit(*result.netlist);
+    if (!config_.output_directory.empty()) {
+      result.written_files =
+          writer.write_to(*result.netlist, config_.output_directory);
+    }
+  }
+  return result;
+}
+
+std::string Sunmap::report_table(const select::SelectionReport& report) {
+  util::Table table({"topology", "feasible", "avg hops", "area (mm2)",
+                     "power (mW)", "min BW (MB/s)", "cost"});
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    const auto& candidate = report.candidates[i];
+    const auto& eval = candidate.result.eval;
+    std::string name = candidate.topology->name();
+    if (static_cast<int>(i) == report.best_index) name += " *";
+    table.add_row({name, eval.feasible() ? "yes" : "no",
+                   util::Table::num(eval.avg_switch_hops),
+                   util::Table::num(eval.design_area_mm2),
+                   util::Table::num(eval.design_power_mw, 1),
+                   util::Table::num(eval.max_link_load_mbps, 1),
+                   util::Table::num(eval.cost)});
+  }
+  return table.to_string();
+}
+
+}  // namespace sunmap::core

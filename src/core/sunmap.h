@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/netlist.h"
+#include "mapping/mapper.h"
+#include "select/selector.h"
+#include "topo/library.h"
+
+namespace sunmap::core {
+
+/// Configuration of a full SUNMAP run (all three phases of Fig 4).
+struct SunmapConfig {
+  mapping::MapperConfig mapper;
+  /// Also try the octagon (when it fits) and star extension topologies.
+  bool include_extension_topologies = false;
+  /// When set, generated SystemC-style sources are written here (the
+  /// directory must exist); otherwise generation stays in memory.
+  std::string output_directory;
+};
+
+/// Result of a full run: the phase-2 selection report plus the phase-3
+/// network generation for the winning topology (absent when no feasible
+/// mapping exists, as for MPEG4 on a butterfly).
+struct SunmapResult {
+  select::SelectionReport report;
+  std::optional<gen::Netlist> netlist;
+  std::optional<gen::SystemCWriter::Output> generated;
+  std::vector<std::string> written_files;
+  /// Keeps the topologies the report points into alive when SUNMAP built
+  /// the library itself; empty when the caller supplied the library.
+  std::vector<std::unique_ptr<topo::Topology>> owned_library;
+
+  [[nodiscard]] const select::TopologyCandidate* best() const {
+    return report.best();
+  }
+};
+
+/// The SUNMAP tool: phase 1 maps the application onto every topology in the
+/// library under the configured routing function and objective; phase 2
+/// picks the best feasible topology; phase 3 generates the network
+/// description for it.
+class Sunmap {
+ public:
+  explicit Sunmap(SunmapConfig config = {});
+
+  /// Runs all three phases against the standard library sized for the
+  /// application.
+  [[nodiscard]] SunmapResult run(const mapping::CoreGraph& app) const;
+
+  /// Runs against a caller-supplied topology library (the extension hook the
+  /// paper describes: "other topologies can be easily added").
+  [[nodiscard]] SunmapResult run(
+      const mapping::CoreGraph& app,
+      const std::vector<std::unique_ptr<topo::Topology>>& library) const;
+
+  [[nodiscard]] const SunmapConfig& config() const { return config_; }
+
+  /// Formats a selection report as the paper-style comparison table
+  /// (topology, feasibility, avg hops, design area, design power, cost).
+  static std::string report_table(const select::SelectionReport& report);
+
+ private:
+  SunmapConfig config_;
+  select::TopologySelector selector_;
+};
+
+}  // namespace sunmap::core

@@ -1,0 +1,78 @@
+#include "fplan/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::fplan {
+
+BlockShape BlockShape::soft_block(double area_mm2) {
+  BlockShape shape;
+  shape.area_mm2 = area_mm2;
+  shape.soft = true;
+  return shape;
+}
+
+BlockShape BlockShape::hard_block(double width_mm, double height_mm) {
+  BlockShape shape;
+  shape.area_mm2 = width_mm * height_mm;
+  shape.soft = false;
+  shape.width_mm = width_mm;
+  shape.height_mm = height_mm;
+  return shape;
+}
+
+Floorplan::Floorplan(std::vector<PlacedBlock> blocks, double width_mm,
+                     double height_mm)
+    : blocks_(std::move(blocks)), width_(width_mm), height_(height_mm) {}
+
+double Floorplan::aspect() const {
+  if (width_ <= 0.0 || height_ <= 0.0) return 1.0;
+  return std::max(width_ / height_, height_ / width_);
+}
+
+std::optional<PlacedBlock> Floorplan::find(PlacedBlock::Kind kind,
+                                           int index) const {
+  for (const auto& b : blocks_) {
+    if (b.kind == kind && b.index == index) return b;
+  }
+  return std::nullopt;
+}
+
+double Floorplan::center_distance_mm(PlacedBlock::Kind kind_a, int index_a,
+                                     PlacedBlock::Kind kind_b,
+                                     int index_b) const {
+  const auto a = find(kind_a, index_a);
+  const auto b = find(kind_b, index_b);
+  if (!a || !b) {
+    throw std::out_of_range("Floorplan: item not placed");
+  }
+  return std::abs(a->cx() - b->cx()) + std::abs(a->cy() - b->cy());
+}
+
+bool Floorplan::overlap_free(double tolerance) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const auto& a = blocks_[i];
+      const auto& b = blocks_[j];
+      const bool x_sep =
+          a.x + a.w <= b.x + tolerance || b.x + b.w <= a.x + tolerance;
+      const bool y_sep =
+          a.y + a.h <= b.y + tolerance || b.y + b.h <= a.y + tolerance;
+      if (!x_sep && !y_sep) return false;
+    }
+  }
+  return true;
+}
+
+bool Floorplan::within_bounds(double tolerance) const {
+  for (const auto& b : blocks_) {
+    if (b.x < -tolerance || b.y < -tolerance ||
+        b.x + b.w > width_ + tolerance || b.y + b.h > height_ + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sunmap::fplan

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace sunmap::fplan {
+
+/// Physical shape of a block to place. Hard blocks (fixed silicon, e.g.
+/// memories) have fixed width x height; soft blocks have a fixed area but a
+/// flexible aspect ratio within [min_aspect, max_aspect] (aspect = w/h),
+/// matching §5's "blocks that have flexible sizes".
+struct BlockShape {
+  double area_mm2 = 1.0;
+  bool soft = true;
+  double min_aspect = 1.0 / 3.0;
+  double max_aspect = 3.0;
+  /// For hard blocks: fixed dimensions (width * height should equal area).
+  double width_mm = 0.0;
+  double height_mm = 0.0;
+
+  /// A soft block with the given area and default aspect flexibility.
+  static BlockShape soft_block(double area_mm2);
+  /// A hard block with fixed dimensions.
+  static BlockShape hard_block(double width_mm, double height_mm);
+};
+
+/// A placed rectangle. (x, y) is the lower-left corner.
+struct PlacedBlock {
+  enum class Kind { kCore, kSwitch };
+  Kind kind = Kind::kSwitch;
+  int index = 0;  ///< SlotId for cores, switch NodeId for switches.
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  [[nodiscard]] double cx() const { return x + w / 2.0; }
+  [[nodiscard]] double cy() const { return y + h / 2.0; }
+};
+
+/// The result of floorplanning one mapping: exact block positions and the
+/// chip bounding box. Link lengths for the power model are Manhattan
+/// distances between block centres.
+class Floorplan {
+ public:
+  Floorplan() = default;
+  Floorplan(std::vector<PlacedBlock> blocks, double width_mm,
+            double height_mm);
+
+  [[nodiscard]] const std::vector<PlacedBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] double width_mm() const { return width_; }
+  [[nodiscard]] double height_mm() const { return height_; }
+  /// Chip (bounding-box) area — the paper's "design area".
+  [[nodiscard]] double area_mm2() const { return width_ * height_; }
+  /// Aspect ratio >= 1 (max of W/H and H/W).
+  [[nodiscard]] double aspect() const;
+
+  /// Placed block for the given item, if it exists in this floorplan.
+  [[nodiscard]] std::optional<PlacedBlock> find(PlacedBlock::Kind kind,
+                                                int index) const;
+
+  /// Manhattan distance between the centres of two placed items; throws
+  /// std::out_of_range if either is missing.
+  [[nodiscard]] double center_distance_mm(PlacedBlock::Kind kind_a,
+                                          int index_a,
+                                          PlacedBlock::Kind kind_b,
+                                          int index_b) const;
+
+  /// True if no two blocks overlap (beyond `tolerance`).
+  [[nodiscard]] bool overlap_free(double tolerance = 1e-9) const;
+  /// True if every block lies inside the chip bounding box.
+  [[nodiscard]] bool within_bounds(double tolerance = 1e-9) const;
+
+ private:
+  std::vector<PlacedBlock> blocks_;
+  double width_ = 0.0;
+  double height_ = 0.0;
+};
+
+}  // namespace sunmap::fplan

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fplan/floorplan.h"
+#include "topo/topology.h"
+
+namespace sunmap::fplan {
+
+/// LP-based floorplanner of §5: given the relative block positions implied
+/// by a topology and a mapping, it finds exact positions and sizes. The
+/// general floorplanning problem's first step (finding relative positions)
+/// is already solved — "for a particular mapping ... the relative positions
+/// of the cores and switches are known" — so only the second step remains.
+///
+/// Two exact-position engines are provided:
+///  * kLongestPath — column/row constraint-graph longest path; optimal for
+///    the separable relative-position structure and fast enough to run on
+///    every candidate mapping inside the pairwise-swap loop.
+///  * kSimplexLp — the literal LP formulation (minimise W + H subject to
+///    ordering and boundary constraints over non-negative positions),
+///    solved with the from-scratch two-phase simplex in lp.h. Produces the
+///    same chip dimensions as kLongestPath (asserted by tests); used for
+///    final floorplans to mirror the paper's method.
+///
+/// Soft blocks are sized by discrete aspect-ratio coordinate descent before
+/// positions are computed.
+class Floorplanner {
+ public:
+  enum class Engine { kLongestPath, kSimplexLp };
+
+  struct Options {
+    Engine engine = Engine::kLongestPath;
+    /// Coordinate-descent passes over all soft blocks.
+    int sizing_passes = 2;
+    /// Candidate aspect ratios (w/h) tried for each soft block, clipped to
+    /// the block's own [min_aspect, max_aspect] range.
+    std::vector<double> aspect_candidates = {1.0 / 3.0, 0.5,  2.0 / 3.0, 1.0,
+                                             1.5,       2.0,  3.0};
+    /// Clearance inserted between neighbouring blocks (routing channels).
+    double spacing_mm = 0.1;
+  };
+
+  Floorplanner();
+  explicit Floorplanner(Options options);
+
+  /// Floorplans one mapped design.
+  ///
+  /// `core_shapes` is indexed by SlotId; a nullopt entry means the slot is
+  /// unused (no core mapped there) and contributes no block. `switch_shapes`
+  /// is indexed by switch NodeId and must cover every switch in the
+  /// placement.
+  [[nodiscard]] Floorplan place(
+      const topo::RelativePlacement& placement,
+      const std::vector<std::optional<BlockShape>>& core_shapes,
+      const std::vector<BlockShape>& switch_shapes) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Implementation detail exposed for the layout helpers; a block with its
+  /// relative grid coordinates and resolved dimensions.
+  struct Item {
+    PlacedBlock::Kind kind;
+    int index;
+    int row, col, sub;
+    const BlockShape* shape;
+    double w, h;  // resolved dimensions
+  };
+
+ private:
+  [[nodiscard]] std::vector<Item> resolve_items(
+      const topo::RelativePlacement& placement,
+      const std::vector<std::optional<BlockShape>>& core_shapes,
+      const std::vector<BlockShape>& switch_shapes) const;
+
+  /// Chip W/H for the current item dimensions (no positions).
+  [[nodiscard]] std::pair<double, double> extents(
+      const topo::RelativePlacement& placement,
+      const std::vector<Item>& items) const;
+
+  void size_soft_blocks(const topo::RelativePlacement& placement,
+                        std::vector<Item>& items) const;
+
+  [[nodiscard]] Floorplan place_longest_path(
+      const topo::RelativePlacement& placement,
+      const std::vector<Item>& items) const;
+
+  [[nodiscard]] Floorplan place_simplex(
+      const topo::RelativePlacement& placement,
+      const std::vector<Item>& items) const;
+
+  Options options_;
+};
+
+}  // namespace sunmap::fplan

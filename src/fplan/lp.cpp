@@ -1,0 +1,277 @@
+#include "fplan/lp.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sunmap::fplan {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "?";
+}
+
+LinearProgram::LinearProgram(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 1) {
+    throw std::invalid_argument("LinearProgram: need at least one variable");
+  }
+  objective_.assign(static_cast<std::size_t>(num_vars), 0.0);
+}
+
+void LinearProgram::set_objective(int var, double coefficient) {
+  objective_.at(static_cast<std::size_t>(var)) = coefficient;
+}
+
+void LinearProgram::add_constraint(std::vector<std::pair<int, double>> terms,
+                                   Relation relation, double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    if (var < 0 || var >= num_vars_) {
+      throw std::out_of_range("LinearProgram: constraint variable index");
+    }
+    (void)coeff;
+  }
+  constraints_.push_back(Constraint{std::move(terms), relation, rhs});
+}
+
+namespace {
+
+/// Dense simplex tableau. Columns: structural vars, then slack/surplus vars,
+/// then artificial vars, then RHS. One row per constraint plus the objective
+/// row kept implicitly via reduced costs.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, double eps) : eps_(eps) {
+    const int m = lp.num_constraints();
+    const int n = lp.num_vars();
+
+    // Count slack/surplus and artificial columns.
+    int num_slack = 0;
+    for (const auto& c : lp.constraints()) {
+      if (c.relation != LinearProgram::Relation::kEq) ++num_slack;
+    }
+    num_structural_ = n;
+    slack_begin_ = n;
+    art_begin_ = n + num_slack;
+    cols_ = art_begin_ + m;  // at most one artificial per row
+    rows_ = m;
+
+    a_.assign(static_cast<std::size_t>(rows_),
+              std::vector<double>(static_cast<std::size_t>(cols_ + 1), 0.0));
+    basis_.assign(static_cast<std::size_t>(rows_), -1);
+
+    int slack_idx = slack_begin_;
+    num_artificials_ = 0;
+    for (int i = 0; i < m; ++i) {
+      const auto& c = lp.constraints()[static_cast<std::size_t>(i)];
+      auto& row = a_[static_cast<std::size_t>(i)];
+      for (const auto& [var, coeff] : c.terms) {
+        row[static_cast<std::size_t>(var)] += coeff;
+      }
+      row[static_cast<std::size_t>(cols_)] = c.rhs;
+
+      // Normalise to rhs >= 0 (flips the relation).
+      auto rel = c.relation;
+      if (row[static_cast<std::size_t>(cols_)] < 0.0) {
+        for (int j = 0; j <= cols_; ++j) {
+          row[static_cast<std::size_t>(j)] = -row[static_cast<std::size_t>(j)];
+        }
+        if (rel == LinearProgram::Relation::kLe) {
+          rel = LinearProgram::Relation::kGe;
+        } else if (rel == LinearProgram::Relation::kGe) {
+          rel = LinearProgram::Relation::kLe;
+        }
+      }
+
+      switch (rel) {
+        case LinearProgram::Relation::kLe:
+          row[static_cast<std::size_t>(slack_idx)] = 1.0;
+          basis_[static_cast<std::size_t>(i)] = slack_idx;
+          ++slack_idx;
+          break;
+        case LinearProgram::Relation::kGe:
+          row[static_cast<std::size_t>(slack_idx)] = -1.0;
+          ++slack_idx;
+          [[fallthrough]];
+        case LinearProgram::Relation::kEq: {
+          const int art = art_begin_ + i;
+          row[static_cast<std::size_t>(art)] = 1.0;
+          basis_[static_cast<std::size_t>(i)] = art;
+          ++num_artificials_;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Minimises the given full-length cost vector (size cols_) from the
+  /// current basis. Returns false if unbounded.
+  bool optimize(const std::vector<double>& cost, bool forbid_artificials) {
+    for (;;) {
+      // Reduced costs: c_j - c_B * B^-1 A_j, computed directly from the
+      // tableau (which is already B^-1 A).
+      int entering = -1;
+      for (int j = 0; j < cols_; ++j) {
+        if (forbid_artificials && j >= art_begin_) continue;
+        if (is_basic(j)) continue;
+        double rc = cost[static_cast<std::size_t>(j)];
+        for (int i = 0; i < rows_; ++i) {
+          rc -= cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] *
+                a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        }
+        if (rc < -eps_) {
+          entering = j;  // Bland: first improving column.
+          break;
+        }
+      }
+      if (entering < 0) return true;  // optimal
+
+      // Ratio test, Bland's rule on ties (smallest basis variable index).
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < rows_; ++i) {
+        const double aij =
+            a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(entering)];
+        if (aij > eps_) {
+          const double ratio =
+              a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols_)] /
+              aij;
+          if (ratio < best_ratio - eps_ ||
+              (std::abs(ratio - best_ratio) <= eps_ &&
+               (leaving < 0 ||
+                basis_[static_cast<std::size_t>(i)] <
+                    basis_[static_cast<std::size_t>(leaving)]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving < 0) return false;  // unbounded
+      pivot(leaving, entering);
+    }
+  }
+
+  void pivot(int row, int col) {
+    auto& prow = a_[static_cast<std::size_t>(row)];
+    const double p = prow[static_cast<std::size_t>(col)];
+    for (int j = 0; j <= cols_; ++j) {
+      prow[static_cast<std::size_t>(j)] /= p;
+    }
+    for (int i = 0; i < rows_; ++i) {
+      if (i == row) continue;
+      auto& r = a_[static_cast<std::size_t>(i)];
+      const double f = r[static_cast<std::size_t>(col)];
+      if (std::abs(f) <= 0.0) continue;
+      for (int j = 0; j <= cols_; ++j) {
+        r[static_cast<std::size_t>(j)] -= f * prow[static_cast<std::size_t>(j)];
+      }
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  [[nodiscard]] bool is_basic(int col) const {
+    for (int b : basis_) {
+      if (b == col) return true;
+    }
+    return false;
+  }
+
+  /// Drives artificial variables out of the basis after phase 1 where
+  /// possible (degenerate rows); rows that cannot pivot are redundant.
+  void expel_artificials() {
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] < art_begin_) continue;
+      for (int j = 0; j < art_begin_; ++j) {
+        if (std::abs(a_[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(j)]) > eps_) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double value_of(int col) const {
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] == col) {
+        return a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols_)];
+      }
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int art_begin() const { return art_begin_; }
+  [[nodiscard]] int num_structural() const { return num_structural_; }
+  [[nodiscard]] int num_artificials() const { return num_artificials_; }
+
+ private:
+  double eps_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int num_structural_ = 0;
+  int slack_begin_ = 0;
+  int art_begin_ = 0;
+  int num_artificials_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve(const LinearProgram& lp, double eps) {
+  LpSolution solution;
+
+  Tableau tableau(lp, eps);
+
+  // Phase 1: minimise the sum of artificial variables.
+  if (tableau.num_artificials() > 0) {
+    std::vector<double> phase1(static_cast<std::size_t>(tableau.cols()), 0.0);
+    for (int j = tableau.art_begin(); j < tableau.cols(); ++j) {
+      phase1[static_cast<std::size_t>(j)] = 1.0;
+    }
+    if (!tableau.optimize(phase1, /*forbid_artificials=*/false)) {
+      // Phase-1 objective is bounded below by 0; unbounded cannot happen.
+      throw std::logic_error("simplex: phase 1 reported unbounded");
+    }
+    double infeas = 0.0;
+    for (int j = tableau.art_begin(); j < tableau.cols(); ++j) {
+      infeas += tableau.value_of(j);
+    }
+    if (infeas > 1e-6) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    tableau.expel_artificials();
+  }
+
+  // Phase 2: original objective, artificials locked out.
+  std::vector<double> cost(static_cast<std::size_t>(tableau.cols()), 0.0);
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    cost[static_cast<std::size_t>(j)] = lp.objective()[static_cast<std::size_t>(j)];
+  }
+  if (!tableau.optimize(cost, /*forbid_artificials=*/true)) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.values.resize(static_cast<std::size_t>(lp.num_vars()));
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    solution.values[static_cast<std::size_t>(j)] = tableau.value_of(j);
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    solution.objective += lp.objective()[static_cast<std::size_t>(j)] *
+                          solution.values[static_cast<std::size_t>(j)];
+  }
+  return solution;
+}
+
+}  // namespace sunmap::fplan

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace sunmap::fplan {
+
+/// Status of a linear-program solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+const char* to_string(LpStatus status);
+
+/// Result of solving a LinearProgram: variable values and objective are only
+/// meaningful when status == kOptimal.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+};
+
+/// A linear program over non-negative variables:
+///
+///   minimize    c^T x
+///   subject to  a_i^T x (<= | >= | ==) b_i   for each constraint i
+///               x >= 0
+///
+/// This is the solver behind the LP-based floorplanner of §5 (paper ref
+/// [21]); block positions and chip width/height are naturally non-negative,
+/// so the x >= 0 restriction costs nothing there.
+class LinearProgram {
+ public:
+  enum class Relation { kLe, kGe, kEq };
+
+  /// Sparse constraint row: (variable index, coefficient) terms.
+  struct Constraint {
+    std::vector<std::pair<int, double>> terms;
+    Relation relation = Relation::kLe;
+    double rhs = 0.0;
+  };
+
+  explicit LinearProgram(int num_vars);
+
+  /// Sets the objective coefficient of one variable (default 0).
+  void set_objective(int var, double coefficient);
+
+  /// Adds a constraint; variable indices must be in range.
+  void add_constraint(std::vector<std::pair<int, double>> terms,
+                      Relation relation, double rhs);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const std::vector<double>& objective() const {
+    return objective_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+ private:
+  int num_vars_;
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+/// Solves the program with the two-phase (primal) simplex method using
+/// Bland's rule, so it terminates on degenerate programs. Suitable for the
+/// small dense programs floorplanning produces (tens of variables, hundreds
+/// of constraints).
+LpSolution solve(const LinearProgram& lp, double eps = 1e-9);
+
+}  // namespace sunmap::fplan

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fplan/floorplan.h"
+
+namespace sunmap::fplan {
+
+/// Renders a floorplan as ASCII art (cf. the butterfly floorplan sketch of
+/// Fig 10(b)): each block is drawn as a box containing its label, scaled to
+/// `width_chars` characters across the chip width.
+///
+/// `label` maps a placed block to a short name (e.g. the core name or
+/// "sw3"); labels are clipped to the box width.
+std::string render_ascii(
+    const Floorplan& floorplan,
+    const std::function<std::string(const PlacedBlock&)>& label,
+    int width_chars = 72);
+
+/// Convenience renderer labelling cores "c<index>" and switches "S<index>".
+std::string render_ascii(const Floorplan& floorplan, int width_chars = 72);
+
+}  // namespace sunmap::fplan

@@ -1,0 +1,53 @@
+#include "graph/graph.h"
+
+namespace sunmap::graph {
+
+DirectedGraph::DirectedGraph(int num_nodes) {
+  if (num_nodes < 0) {
+    throw std::invalid_argument("DirectedGraph: negative node count");
+  }
+  out_.resize(static_cast<std::size_t>(num_nodes));
+  in_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeId DirectedGraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+EdgeId DirectedGraph::add_edge(NodeId u, NodeId v, double weight) {
+  check_node(u);
+  check_node(v);
+  if (u == v) {
+    throw std::invalid_argument("DirectedGraph: self-loops are not allowed");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight});
+  out_[static_cast<std::size_t>(u)].push_back(id);
+  in_[static_cast<std::size_t>(v)].push_back(id);
+  return id;
+}
+
+std::optional<EdgeId> DirectedGraph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (EdgeId e : out_[static_cast<std::size_t>(u)]) {
+    if (edges_[static_cast<std::size_t>(e)].dst == v) return e;
+  }
+  return std::nullopt;
+}
+
+double DirectedGraph::total_weight() const {
+  double sum = 0.0;
+  for (const Edge& e : edges_) sum += e.weight;
+  return sum;
+}
+
+void DirectedGraph::check_node(NodeId u) const {
+  if (u < 0 || u >= num_nodes()) {
+    throw std::out_of_range("DirectedGraph: node id out of range");
+  }
+}
+
+}  // namespace sunmap::graph

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sunmap::graph {
+
+/// Index of a vertex within a DirectedGraph.
+using NodeId = std::int32_t;
+/// Index of an edge within a DirectedGraph.
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// A directed edge with a mutable double weight.
+///
+/// In a core graph (paper Definition 1) the weight is the communication
+/// bandwidth in MB/s; in a NoC topology graph (Definition 2) it is the link
+/// capacity. The mapping algorithm additionally uses per-edge *load*
+/// accumulators kept outside the graph (see route::LoadMap).
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double weight = 1.0;
+};
+
+/// Compact adjacency-list directed graph.
+///
+/// Node and edge ids are dense integers assigned in insertion order, which
+/// lets clients keep parallel arrays (loads, labels, positions) indexed by
+/// id. Parallel edges are allowed; self-loops are rejected because neither
+/// core graphs nor topology graphs contain them.
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+  explicit DirectedGraph(int num_nodes);
+
+  /// Appends a node and returns its id.
+  NodeId add_node();
+
+  /// Appends a directed edge u->v. Throws std::invalid_argument on a
+  /// self-loop or out-of-range endpoint.
+  EdgeId add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(out_.size());
+  }
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] Edge& edge(EdgeId e) { return edges_.at(e); }
+
+  /// Outgoing edge ids of node u, in insertion order.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId u) const {
+    return out_.at(u);
+  }
+  /// Incoming edge ids of node u, in insertion order.
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId u) const {
+    return in_.at(u);
+  }
+
+  [[nodiscard]] int out_degree(NodeId u) const {
+    return static_cast<int>(out_.at(u).size());
+  }
+  [[nodiscard]] int in_degree(NodeId u) const {
+    return static_cast<int>(in_.at(u).size());
+  }
+  /// Number of incident edges in either direction.
+  [[nodiscard]] int degree(NodeId u) const {
+    return out_degree(u) + in_degree(u);
+  }
+
+  /// First edge u->v if one exists.
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+
+  /// True if there is an edge u->v.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v).has_value();
+  }
+
+  /// All edges, indexable by EdgeId.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Sum of all edge weights (e.g. total application bandwidth).
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace sunmap::graph

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sunmap::graph {
+
+/// A concrete path through a graph: node sequence plus the edges that join
+/// consecutive nodes, and the total cost under the weight function used to
+/// find it. nodes.size() == edges.size() + 1 and nodes.front()/back() are the
+/// endpoints. A single-node path (source == target) has no edges.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  double cost = 0.0;
+
+  [[nodiscard]] int hops() const { return static_cast<int>(edges.size()); }
+};
+
+/// Per-edge cost callback for Dijkstra. Must return a non-negative cost.
+using EdgeCostFn = std::function<double(EdgeId)>;
+
+/// Node admission callback; nodes for which this returns false are never
+/// relaxed (used to restrict searches to a quadrant graph).
+using NodeFilterFn = std::function<bool(NodeId)>;
+
+/// Dijkstra shortest path from src to dst under `cost`, optionally restricted
+/// to nodes admitted by `filter` (src and dst must themselves be admitted).
+/// Returns std::nullopt if dst is unreachable.
+std::optional<Path> shortest_path(const DirectedGraph& g, NodeId src,
+                                  NodeId dst, const EdgeCostFn& cost,
+                                  const NodeFilterFn& filter = nullptr);
+
+/// Unweighted (hop-count) BFS distances from src to every node; unreachable
+/// nodes get -1. Optionally restricted by `filter`.
+std::vector<int> bfs_distances(const DirectedGraph& g, NodeId src,
+                               const NodeFilterFn& filter = nullptr);
+
+/// Unweighted BFS distances *to* dst (i.e. along reversed edges).
+std::vector<int> bfs_distances_to(const DirectedGraph& g, NodeId dst,
+                                  const NodeFilterFn& filter = nullptr);
+
+/// Hop distance src->dst, or -1 if unreachable.
+int hop_distance(const DirectedGraph& g, NodeId src, NodeId dst);
+
+/// All-pairs hop-distance matrix (BFS from every node); dist[u][v] == -1 for
+/// unreachable pairs.
+std::vector<std::vector<int>> all_pairs_hops(const DirectedGraph& g);
+
+/// True if every node can reach every other node (strong connectivity).
+bool strongly_connected(const DirectedGraph& g);
+
+/// The minimum-path DAG between src and dst: the set of edges (u,v) with
+/// d(src,u) + 1 + d(v,dst) == d(src,dst), optionally restricted by `filter`.
+/// This is the structure over which split-traffic-across-minimum-paths (SM)
+/// routing distributes flow. Returns an empty vector when dst is unreachable.
+std::vector<EdgeId> min_path_dag(const DirectedGraph& g, NodeId src,
+                                 NodeId dst,
+                                 const NodeFilterFn& filter = nullptr);
+
+/// Nodes u lying on at least one minimum-hop path src->dst, i.e. satisfying
+/// d(src,u) + d(u,dst) == d(src,dst). This is the generic quadrant-graph
+/// construction; the structural per-topology constructions in src/topo must
+/// agree with it (asserted by property tests).
+std::vector<NodeId> min_path_nodes(const DirectedGraph& g, NodeId src,
+                                   NodeId dst);
+
+/// Counts distinct minimum-hop paths src->dst (capped at `cap` to avoid
+/// overflow on very diverse graphs). Used to characterise path diversity,
+/// e.g. butterfly == 1 for all pairs.
+std::int64_t count_min_paths(const DirectedGraph& g, NodeId src, NodeId dst,
+                             std::int64_t cap = 1'000'000'000);
+
+}  // namespace sunmap::graph

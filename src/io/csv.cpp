@@ -1,0 +1,82 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sunmap::io {
+
+namespace {
+
+/// Quotes a field when needed (commas or quotes inside).
+std::string field(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string selection_report_csv(const select::SelectionReport& report) {
+  std::ostringstream out;
+  out << "topology,feasible,avg_hops,avg_latency_ns,design_area_mm2,"
+         "design_power_mw,dynamic_power_mw,static_power_mw,"
+         "min_bandwidth_mbps,cost\n";
+  for (const auto& candidate : report.candidates) {
+    const auto& eval = candidate.result.eval;
+    out << field(candidate.topology->name()) << ","
+        << (eval.feasible() ? 1 : 0) << "," << eval.avg_switch_hops << ","
+        << eval.avg_path_latency_ns << "," << eval.design_area_mm2 << ","
+        << eval.design_power_mw << "," << eval.dynamic_power_mw << ","
+        << eval.static_power_mw << "," << eval.max_link_load_mbps << ","
+        << eval.cost << "\n";
+  }
+  return out.str();
+}
+
+std::string pareto_csv(const std::vector<select::ParetoPoint>& frontier) {
+  std::ostringstream out;
+  out << "area_mm2,power_mw\n";
+  for (const auto& point : frontier) {
+    out << point.area_mm2 << "," << point.power_mw << "\n";
+  }
+  return out.str();
+}
+
+std::string series_csv(const std::string& x_name,
+                       const std::vector<double>& xs,
+                       const std::vector<CsvSeries>& series) {
+  for (const auto& s : series) {
+    if (s.values.size() != xs.size()) {
+      throw std::invalid_argument("series_csv: length mismatch in " + s.name);
+    }
+  }
+  std::ostringstream out;
+  out << field(x_name);
+  for (const auto& s : series) out << "," << field(s.name);
+  out << "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out << xs[i];
+    for (const auto& s : series) out << "," << s.values[i];
+    out << "\n";
+  }
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("csv: cannot open " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("csv: write failed for " + path);
+  }
+}
+
+}  // namespace sunmap::io

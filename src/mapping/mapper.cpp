@@ -1,0 +1,468 @@
+#include "mapping/mapper.h"
+
+#include "util/prng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::mapping {
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kMinDelay:
+      return "min-delay";
+    case Objective::kMinArea:
+      return "min-area";
+    case Objective::kMinPower:
+      return "min-power";
+    case Objective::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+const char* to_string(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kGreedySwaps:
+      return "greedy-swaps";
+    case SearchStrategy::kAnnealing:
+      return "annealing";
+  }
+  return "?";
+}
+
+bool better_than(const Evaluation& a, const Evaluation& b) {
+  if (a.feasible() != b.feasible()) return a.feasible();
+  if (a.feasible()) return a.cost < b.cost;
+  // Both infeasible: prefer the one closer to satisfying bandwidth, then
+  // the cheaper one.
+  if (a.max_link_load_mbps != b.max_link_load_mbps) {
+    return a.max_link_load_mbps < b.max_link_load_mbps;
+  }
+  return a.cost < b.cost;
+}
+
+Mapper::Mapper(MapperConfig config)
+    : config_(std::move(config)), library_(config_.tech) {
+  if (config_.link_bandwidth_mbps <= 0.0) {
+    throw std::invalid_argument("Mapper: link bandwidth must be positive");
+  }
+  if (config_.swap_passes < 0) {
+    throw std::invalid_argument("Mapper: swap_passes must be >= 0");
+  }
+}
+
+Evaluation Mapper::evaluate(const CoreGraph& app,
+                            const topo::Topology& topology,
+                            const std::vector<int>& core_to_slot) const {
+  if (static_cast<int>(core_to_slot.size()) != app.num_cores()) {
+    throw std::invalid_argument("Mapper::evaluate: mapping size mismatch");
+  }
+  std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
+                                -1);
+  for (int core = 0; core < app.num_cores(); ++core) {
+    const int slot = core_to_slot[static_cast<std::size_t>(core)];
+    if (slot < 0 || slot >= topology.num_slots()) {
+      throw std::invalid_argument("Mapper::evaluate: slot out of range");
+    }
+    if (slot_to_core[static_cast<std::size_t>(slot)] != -1) {
+      throw std::invalid_argument("Mapper::evaluate: mapping not injective");
+    }
+    slot_to_core[static_cast<std::size_t>(slot)] = core;
+  }
+
+  Evaluation eval;
+
+  // ---- Fig 5 steps 2-6: route commodities in decreasing value order. ----
+  const auto commodities = commodities_by_value(app);
+  route::RoutingEngine engine(topology, config_.routing, config_.split_chunks,
+                              config_.link_bandwidth_mbps);
+  route::LoadMap loads(topology.switch_graph().num_edges());
+  eval.routes.reserve(commodities.size());
+
+  for (const auto& commodity : commodities) {
+    const int src_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+    const int dst_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+    auto routes = engine.route(src_slot, dst_slot, commodity.value_mbps,
+                               loads);
+    loads.add_route(routes, commodity.value_mbps);
+    eval.routes.push_back(std::move(routes));
+  }
+
+  // Rip-up-and-reroute refinement for the load-adaptive routing functions:
+  // re-routing against the traffic that stays spreads the heavy flows far
+  // better than one greedy sequential pass.
+  const bool adaptive = config_.routing == route::RoutingKind::kMinPath ||
+                        config_.routing == route::RoutingKind::kSplitAll;
+  if (adaptive) {
+    for (int pass = 0; pass < config_.reroute_passes; ++pass) {
+      for (std::size_t k = 0; k < commodities.size(); ++k) {
+        const auto& commodity = commodities[k];
+        const int src_slot =
+            core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+        const int dst_slot =
+            core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+        loads.add_route(eval.routes[k], -commodity.value_mbps);
+        eval.routes[k] = engine.route(src_slot, dst_slot,
+                                      commodity.value_mbps, loads);
+        loads.add_route(eval.routes[k], commodity.value_mbps);
+      }
+    }
+  }
+
+  double weighted_hops = 0.0;
+  double total_value = 0.0;
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    weighted_hops +=
+        commodities[k].value_mbps * eval.routes[k].weighted_switch_hops();
+    total_value += commodities[k].value_mbps;
+  }
+  eval.avg_switch_hops = total_value > 0.0 ? weighted_hops / total_value : 0.0;
+  eval.max_link_load_mbps = loads.max_load();
+  eval.link_loads = loads.values();
+  eval.bandwidth_feasible =
+      eval.max_link_load_mbps <= config_.link_bandwidth_mbps + 1e-9;
+
+  // ---- Fig 5 step 7: floorplan and area/power estimation. ----
+  std::vector<std::optional<fplan::BlockShape>> core_shapes(
+      static_cast<std::size_t>(topology.num_slots()));
+  for (int slot = 0; slot < topology.num_slots(); ++slot) {
+    const int core = slot_to_core[static_cast<std::size_t>(slot)];
+    if (core >= 0) core_shapes[static_cast<std::size_t>(slot)] =
+        app.core(core).shape;
+  }
+  std::vector<fplan::BlockShape> switch_shapes;
+  switch_shapes.reserve(static_cast<std::size_t>(topology.num_switches()));
+  eval.switch_area_mm2 = 0.0;
+  eval.static_power_mw = 0.0;
+  for (graph::NodeId sw = 0; sw < topology.num_switches(); ++sw) {
+    const auto& entry = library_.lookup(topology.switch_in_ports(sw),
+                                        topology.switch_out_ports(sw));
+    eval.switch_area_mm2 += entry.area_mm2;
+    eval.static_power_mw += entry.static_power_mw;
+    auto shape = fplan::BlockShape::soft_block(entry.area_mm2);
+    shape.min_aspect = 0.5;
+    shape.max_aspect = 2.0;
+    switch_shapes.push_back(shape);
+  }
+
+  fplan::Floorplanner planner(config_.floorplan);
+  eval.floorplan = planner.place(topology.relative_placement(), core_shapes,
+                                 switch_shapes);
+  eval.design_area_mm2 = eval.floorplan.area_mm2();
+  eval.area_feasible =
+      eval.design_area_mm2 <= config_.max_area_mm2 + 1e-9 &&
+      eval.floorplan.aspect() <= config_.max_design_aspect + 1e-9;
+
+  // Power: every commodity contributes rate x (switch energies + link wire
+  // energies) along each of its weighted paths, including the core-to-switch
+  // attachment links whose lengths come from the floorplan.
+  const auto& g = topology.switch_graph();
+  const double link_e = library_.link_energy_pj_per_bit_mm();
+  const double wire_ps_per_mm = config_.tech.link_delay_ps_per_mm;
+  const double cycle_ps = config_.tech.clock_period_ps;
+  using Kind = fplan::PlacedBlock::Kind;
+  double power_mw = 0.0;
+  double weighted_latency_ps = 0.0;
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    const auto& commodity = commodities[k];
+    const int src_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+    const int dst_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+    double energy_pj = 0.0;   // fraction-weighted energy per bit
+    double latency_ps = 0.0;  // fraction-weighted head latency
+    for (const auto& wp : eval.routes[k].paths) {
+      double path_pj = 0.0;
+      double wire_mm = 0.0;
+      for (graph::NodeId sw : wp.path.nodes) {
+        path_pj += library_
+                       .lookup(topology.switch_in_ports(sw),
+                               topology.switch_out_ports(sw))
+                       .energy_pj_per_bit;
+      }
+      for (graph::EdgeId e : wp.path.edges) {
+        wire_mm += eval.floorplan.center_distance_mm(
+            Kind::kSwitch, g.edge(e).src, Kind::kSwitch, g.edge(e).dst);
+      }
+      wire_mm += eval.floorplan.center_distance_mm(
+          Kind::kCore, src_slot, Kind::kSwitch,
+          topology.ingress_switch(src_slot));
+      wire_mm += eval.floorplan.center_distance_mm(
+          Kind::kCore, dst_slot, Kind::kSwitch,
+          topology.egress_switch(dst_slot));
+      path_pj += link_e * wire_mm;
+      energy_pj += wp.fraction * path_pj;
+      // One pipeline cycle per switch plus repeated-wire delay.
+      latency_ps += wp.fraction *
+                    (static_cast<double>(wp.path.nodes.size()) * cycle_ps +
+                     wire_mm * wire_ps_per_mm);
+    }
+    // MB/s * pJ/bit -> mW (1e6 * 8 * 1e-12 * 1e3).
+    power_mw += commodity.value_mbps * 8e-3 * energy_pj;
+    weighted_latency_ps += commodity.value_mbps * latency_ps;
+  }
+  eval.dynamic_power_mw = power_mw;
+  eval.design_power_mw = eval.dynamic_power_mw + eval.static_power_mw;
+  eval.avg_path_latency_ns =
+      total_value > 0.0 ? weighted_latency_ps / total_value / 1000.0 : 0.0;
+
+  // ---- Fig 5 step 8: objective cost. ----
+  switch (config_.objective) {
+    case Objective::kMinDelay:
+      eval.cost = eval.avg_switch_hops;
+      break;
+    case Objective::kMinArea:
+      eval.cost = eval.design_area_mm2;
+      break;
+    case Objective::kMinPower:
+      eval.cost = eval.design_power_mw;
+      break;
+    case Objective::kWeighted: {
+      const auto& w = config_.weights;
+      eval.cost = w.delay * eval.avg_switch_hops / w.ref_hops +
+                  w.area * eval.design_area_mm2 / w.ref_area_mm2 +
+                  w.power * eval.design_power_mw / w.ref_power_mw;
+      break;
+    }
+  }
+  return eval;
+}
+
+std::vector<int> Mapper::greedy_initial_mapping(
+    const CoreGraph& app, const topo::Topology& topology) const {
+  const int num_cores = app.num_cores();
+  const int num_slots = topology.num_slots();
+  std::vector<int> core_to_slot(static_cast<std::size_t>(num_cores), -1);
+  std::vector<bool> slot_used(static_cast<std::size_t>(num_slots), false);
+  std::vector<bool> placed(static_cast<std::size_t>(num_cores), false);
+
+  // Core with the maximum communication goes first...
+  int first_core = 0;
+  for (int c = 1; c < num_cores; ++c) {
+    if (app.core_traffic_mbps(c) > app.core_traffic_mbps(first_core)) {
+      first_core = c;
+    }
+  }
+  // ...onto the slot whose ingress switch has the most neighbours.
+  int first_slot = 0;
+  for (int s = 1; s < num_slots; ++s) {
+    if (topology.switch_graph().degree(topology.ingress_switch(s)) >
+        topology.switch_graph().degree(topology.ingress_switch(first_slot))) {
+      first_slot = s;
+    }
+  }
+  core_to_slot[static_cast<std::size_t>(first_core)] = first_slot;
+  slot_used[static_cast<std::size_t>(first_slot)] = true;
+  placed[static_cast<std::size_t>(first_core)] = true;
+
+  const auto& cg = app.graph();
+  for (int step = 1; step < num_cores; ++step) {
+    // Unplaced core communicating the most with the placed set.
+    int best_core = -1;
+    double best_comm = -1.0;
+    for (int c = 0; c < num_cores; ++c) {
+      if (placed[static_cast<std::size_t>(c)]) continue;
+      double comm = 0.0;
+      for (graph::EdgeId e : cg.out_edges(c)) {
+        if (placed[static_cast<std::size_t>(cg.edge(e).dst)]) {
+          comm += cg.edge(e).weight;
+        }
+      }
+      for (graph::EdgeId e : cg.in_edges(c)) {
+        if (placed[static_cast<std::size_t>(cg.edge(e).src)]) {
+          comm += cg.edge(e).weight;
+        }
+      }
+      if (comm > best_comm) {
+        best_comm = comm;
+        best_core = c;
+      }
+    }
+
+    // Slot minimising communication-weighted hop distance to placed cores.
+    int best_slot = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int s = 0; s < num_slots; ++s) {
+      if (slot_used[static_cast<std::size_t>(s)]) continue;
+      double cost = 0.0;
+      for (graph::EdgeId e : cg.out_edges(best_core)) {
+        const int other = cg.edge(e).dst;
+        if (!placed[static_cast<std::size_t>(other)]) continue;
+        cost += cg.edge(e).weight *
+                topology.min_switch_hops(
+                    s, core_to_slot[static_cast<std::size_t>(other)]);
+      }
+      for (graph::EdgeId e : cg.in_edges(best_core)) {
+        const int other = cg.edge(e).src;
+        if (!placed[static_cast<std::size_t>(other)]) continue;
+        cost += cg.edge(e).weight *
+                topology.min_switch_hops(
+                    core_to_slot[static_cast<std::size_t>(other)], s);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_slot = s;
+      }
+    }
+
+    core_to_slot[static_cast<std::size_t>(best_core)] = best_slot;
+    slot_used[static_cast<std::size_t>(best_slot)] = true;
+    placed[static_cast<std::size_t>(best_core)] = true;
+  }
+  return core_to_slot;
+}
+
+MappingResult Mapper::map(const CoreGraph& app,
+                          const topo::Topology& topology) const {
+  if (app.num_cores() > topology.num_slots()) {
+    throw std::invalid_argument(
+        "Mapper: application has more cores than the topology has slots");
+  }
+  if (app.num_cores() < 2) {
+    throw std::invalid_argument("Mapper: need at least two cores");
+  }
+
+  MappingResult result;
+  result.core_to_slot = greedy_initial_mapping(app, topology);
+  result.eval = evaluate(app, topology, result.core_to_slot);
+  result.evaluated_mappings = 1;
+  if (config_.collect_explored) {
+    result.explored_area_power.emplace_back(result.eval.design_area_mm2,
+                                            result.eval.design_power_mw);
+  }
+
+  switch (config_.search) {
+    case SearchStrategy::kGreedySwaps:
+      improve_by_swaps(app, topology, result);
+      break;
+    case SearchStrategy::kAnnealing:
+      improve_by_annealing(app, topology, result);
+      break;
+  }
+
+  result.slot_to_core.assign(static_cast<std::size_t>(topology.num_slots()),
+                             -1);
+  for (int c = 0; c < app.num_cores(); ++c) {
+    result.slot_to_core[static_cast<std::size_t>(
+        result.core_to_slot[static_cast<std::size_t>(c)])] = c;
+  }
+  return result;
+}
+
+void Mapper::improve_by_swaps(const CoreGraph& app,
+                              const topo::Topology& topology,
+                              MappingResult& result) const {
+  // Fig 5 steps 9-10: pairwise swaps of topology vertices. Swapping two
+  // slots exchanges whatever occupies them (two cores, or a core and an
+  // empty slot, which moves the core).
+  std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
+                                -1);
+  auto rebuild_inverse = [&]() {
+    std::fill(slot_to_core.begin(), slot_to_core.end(), -1);
+    for (int c = 0; c < app.num_cores(); ++c) {
+      slot_to_core[static_cast<std::size_t>(
+          result.core_to_slot[static_cast<std::size_t>(c)])] = c;
+    }
+  };
+  rebuild_inverse();
+
+  for (int pass = 0; pass < config_.swap_passes; ++pass) {
+    bool improved = false;
+    for (int a = 0; a < topology.num_slots(); ++a) {
+      for (int b = a + 1; b < topology.num_slots(); ++b) {
+        const int core_a = slot_to_core[static_cast<std::size_t>(a)];
+        const int core_b = slot_to_core[static_cast<std::size_t>(b)];
+        if (core_a < 0 && core_b < 0) continue;  // both empty: no-op
+
+        auto candidate = result.core_to_slot;
+        if (core_a >= 0) candidate[static_cast<std::size_t>(core_a)] = b;
+        if (core_b >= 0) candidate[static_cast<std::size_t>(core_b)] = a;
+
+        auto eval = evaluate(app, topology, candidate);
+        ++result.evaluated_mappings;
+        if (config_.collect_explored) {
+          result.explored_area_power.emplace_back(eval.design_area_mm2,
+                                                  eval.design_power_mw);
+        }
+        if (better_than(eval, result.eval)) {
+          result.eval = std::move(eval);
+          result.core_to_slot = std::move(candidate);
+          rebuild_inverse();
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+void Mapper::improve_by_annealing(const CoreGraph& app,
+                                  const topo::Topology& topology,
+                                  MappingResult& result) const {
+  // Metropolis acceptance over random pairwise swaps with geometric
+  // cooling. Infeasibility enters the annealing energy as a smooth penalty
+  // so the walk can cross infeasible regions; the best *feasible-ranked*
+  // mapping seen (under better_than) is what gets returned.
+  auto energy = [&](const Evaluation& eval) {
+    double value = eval.cost;
+    if (!eval.bandwidth_feasible) {
+      value += 2.0 * (eval.max_link_load_mbps - config_.link_bandwidth_mbps) /
+               config_.link_bandwidth_mbps * eval.cost;
+    }
+    if (!eval.area_feasible) value *= 2.0;
+    return value;
+  };
+
+  util::Prng prng(config_.annealing_seed);
+  auto current = result.core_to_slot;
+  auto current_eval = result.eval;
+  double temperature = config_.annealing_t0 * energy(current_eval);
+  std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
+                                -1);
+  for (int c = 0; c < app.num_cores(); ++c) {
+    slot_to_core[static_cast<std::size_t>(
+        current[static_cast<std::size_t>(c)])] = c;
+  }
+
+  for (int iter = 0; iter < config_.annealing_iterations; ++iter) {
+    const int a = prng.next_int(0, topology.num_slots() - 1);
+    int b = prng.next_int(0, topology.num_slots() - 2);
+    if (b >= a) ++b;
+    const int core_a = slot_to_core[static_cast<std::size_t>(a)];
+    const int core_b = slot_to_core[static_cast<std::size_t>(b)];
+    if (core_a < 0 && core_b < 0) continue;
+
+    auto candidate = current;
+    if (core_a >= 0) candidate[static_cast<std::size_t>(core_a)] = b;
+    if (core_b >= 0) candidate[static_cast<std::size_t>(core_b)] = a;
+
+    auto eval = evaluate(app, topology, candidate);
+    ++result.evaluated_mappings;
+    if (config_.collect_explored) {
+      result.explored_area_power.emplace_back(eval.design_area_mm2,
+                                              eval.design_power_mw);
+    }
+
+    const double delta = energy(eval) - energy(current_eval);
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 1e-12 && prng.chance(std::exp(-delta / temperature)));
+    if (accept) {
+      current = candidate;
+      current_eval = eval;
+      slot_to_core[static_cast<std::size_t>(a)] = core_b;
+      slot_to_core[static_cast<std::size_t>(b)] = core_a;
+    }
+    if (better_than(eval, result.eval)) {
+      result.eval = std::move(eval);
+      result.core_to_slot = std::move(candidate);
+    }
+    temperature *= config_.annealing_cooling;
+  }
+}
+
+}  // namespace sunmap::mapping

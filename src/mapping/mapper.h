@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fplan/floorplanner.h"
+#include "mapping/core_graph.h"
+#include "model/library.h"
+#include "route/routing.h"
+#include "topo/topology.h"
+
+namespace sunmap::mapping {
+
+/// Design objectives SUNMAP explores (§1: "minimizing average communication
+/// delay, power consumption, area"). kWeighted combines all three with the
+/// weights in MapperConfig::weights — an extension for trading objectives
+/// off inside a single search rather than re-running per objective.
+enum class Objective { kMinDelay, kMinArea, kMinPower, kWeighted };
+
+const char* to_string(Objective objective);
+
+/// Weights of the combined objective. Each term is normalised by a
+/// reference scale so the weights are dimensionless: cost =
+/// delay*hops/ref_hops + area*mm2/ref_area + power*mW/ref_power.
+struct ObjectiveWeights {
+  double delay = 1.0;
+  double area = 1.0;
+  double power = 1.0;
+  double ref_hops = 3.0;
+  double ref_area_mm2 = 60.0;
+  double ref_power_mw = 400.0;
+};
+
+/// Mapping search strategies: the paper's pairwise-swap pass (hill
+/// climbing) and a simulated-annealing alternative for the ablation bench.
+enum class SearchStrategy { kGreedySwaps, kAnnealing };
+
+const char* to_string(SearchStrategy strategy);
+
+/// Configuration of one mapping run (phase 1 of the design flow).
+struct MapperConfig {
+  route::RoutingKind routing = route::RoutingKind::kMinPath;
+  Objective objective = Objective::kMinDelay;
+
+  /// Maximum traffic any NoC link may carry, MB/s ("Capacity of a link in a
+  /// NoC is technology and implementation dependent and is assumed as an
+  /// input"; the experiments use 500 MB/s).
+  double link_bandwidth_mbps = 500.0;
+
+  /// Area constraint: maximum floorplanned design area (mm^2).
+  double max_area_mm2 = std::numeric_limits<double>::infinity();
+  /// Maximum allowed design aspect ratio (max(W/H, H/W)).
+  double max_design_aspect = 2.5;
+
+  /// Weights used when objective == Objective::kWeighted.
+  ObjectiveWeights weights;
+
+  /// How the mapping space is searched after the greedy initial placement.
+  SearchStrategy search = SearchStrategy::kGreedySwaps;
+
+  /// Hill-climbing passes over all pairwise slot swaps (Fig 5 steps 9-10;
+  /// one pass reproduces the paper, more passes strictly dominate).
+  int swap_passes = 2;
+
+  /// Simulated-annealing parameters (search == kAnnealing): random pairwise
+  /// swaps accepted with the Metropolis criterion under geometric cooling.
+  int annealing_iterations = 2000;
+  double annealing_t0 = 0.3;       ///< Initial temperature (relative cost).
+  double annealing_cooling = 0.995;
+  std::uint64_t annealing_seed = 1;
+
+  /// Sub-flows for split-across-all-paths routing.
+  int split_chunks = 16;
+
+  /// Rip-up-and-reroute refinement rounds for the load-adaptive routing
+  /// functions (MP and SA): after the initial decreasing-order pass each
+  /// commodity is removed and re-routed against the traffic that stays,
+  /// which approximates the balanced multi-commodity solution much better
+  /// than a single sequential pass. 0 reproduces the paper's Fig 5 exactly.
+  int reroute_passes = 2;
+
+  /// Record the (area, power) of every evaluated mapping, enabling the
+  /// Pareto exploration of Fig 9(b).
+  bool collect_explored = false;
+
+  fplan::Floorplanner::Options floorplan;
+  model::TechParams tech = model::TechParams::um100();
+};
+
+/// Everything phase 2 needs to compare a mapped topology against the rest —
+/// the per-mapping outputs of Fig 5 steps 7-8.
+struct Evaluation {
+  bool bandwidth_feasible = false;
+  bool area_feasible = false;
+  [[nodiscard]] bool feasible() const {
+    return bandwidth_feasible && area_feasible;
+  }
+
+  /// Maximum traffic across any link: the minimum link bandwidth the design
+  /// requires (the metric of Fig 9(a)).
+  double max_link_load_mbps = 0.0;
+  /// Communication-weighted average number of switches traversed (the "avg
+  /// hops" of Figs 3(d), 6(a), 7(b)).
+  double avg_switch_hops = 0.0;
+  /// Communication-weighted average end-to-end path latency in ns, combining
+  /// one pipeline cycle per switch with floorplan-extracted wire delays —
+  /// the floorplan-aware refinement of the hop metric.
+  double avg_path_latency_ns = 0.0;
+  /// Floorplanned chip area ("design area").
+  double design_area_mm2 = 0.0;
+  /// Network power: switches + links, from the bit-energy models ("design
+  /// power"); the sum of the dynamic and static components below.
+  double design_power_mw = 0.0;
+  /// Traffic-dependent switch + link power.
+  double dynamic_power_mw = 0.0;
+  /// Always-on (leakage + clock) power of all instantiated switches.
+  double static_power_mw = 0.0;
+  /// Silicon area of the network switches alone.
+  double switch_area_mm2 = 0.0;
+  /// Objective-function value (lower is better); infeasible mappings rank
+  /// by max link overload.
+  double cost = std::numeric_limits<double>::infinity();
+
+  fplan::Floorplan floorplan;
+  /// Routes per commodity, aligned with commodities_by_value(app).
+  std::vector<route::RouteSet> routes;
+  /// Final link loads, indexed by switch-graph EdgeId.
+  std::vector<double> link_loads;
+};
+
+/// Ranks two evaluations under the mapper's search: feasible before
+/// infeasible, then lower cost; among infeasible, lower max load.
+bool better_than(const Evaluation& a, const Evaluation& b);
+
+/// Result of mapping one application onto one topology.
+struct MappingResult {
+  /// map: V -> U of the paper; core_to_slot[i] is the slot of core i.
+  std::vector<int> core_to_slot;
+  /// Inverse mapping; -1 marks an unused slot.
+  std::vector<int> slot_to_core;
+  Evaluation eval;
+  /// (area mm^2, power mW) of every evaluated mapping when
+  /// MapperConfig::collect_explored is set.
+  std::vector<std::pair<double, double>> explored_area_power;
+  int evaluated_mappings = 0;
+};
+
+/// The minimum-path mapping algorithm of Fig 5, generalised over topologies
+/// and routing functions: greedy initial placement, commodities routed in
+/// decreasing order over quadrant graphs, floorplan-based area/power
+/// estimation, bandwidth/area feasibility, and pairwise-swap improvement.
+class Mapper {
+ public:
+  explicit Mapper(MapperConfig config = {});
+
+  /// Runs the full algorithm. Throws std::invalid_argument if the
+  /// application has more cores than the topology has slots (the mapping
+  /// function requires |V| <= |U|).
+  [[nodiscard]] MappingResult map(const CoreGraph& app,
+                                  const topo::Topology& topology) const;
+
+  /// Evaluates a fixed mapping (Fig 5 steps 2-8 only). Exposed for tests,
+  /// Pareto sweeps, and user-supplied placements.
+  [[nodiscard]] Evaluation evaluate(const CoreGraph& app,
+                                    const topo::Topology& topology,
+                                    const std::vector<int>& core_to_slot) const;
+
+  [[nodiscard]] const MapperConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::vector<int> greedy_initial_mapping(
+      const CoreGraph& app, const topo::Topology& topology) const;
+
+  void improve_by_swaps(const CoreGraph& app, const topo::Topology& topology,
+                        MappingResult& result) const;
+  void improve_by_annealing(const CoreGraph& app,
+                            const topo::Topology& topology,
+                            MappingResult& result) const;
+
+  MapperConfig config_;
+  model::AreaPowerLibrary library_;
+};
+
+}  // namespace sunmap::mapping

@@ -1,0 +1,39 @@
+#include "model/library.h"
+
+#include <stdexcept>
+
+namespace sunmap::model {
+
+AreaPowerLibrary::AreaPowerLibrary(const TechParams& tech, int max_radix)
+    : tech_(tech), switches_(tech), links_(tech), max_radix_(max_radix) {
+  if (max_radix < 1) {
+    throw std::invalid_argument("AreaPowerLibrary: max_radix < 1");
+  }
+  entries_.reserve(static_cast<std::size_t>(max_radix) *
+                   static_cast<std::size_t>(max_radix));
+  for (int in = 1; in <= max_radix; ++in) {
+    for (int out = 1; out <= max_radix; ++out) {
+      entries_.push_back(SwitchConfigEntry{
+          in, out, switches_.area_mm2(in, out),
+          switches_.energy_pj_per_bit(in, out),
+          switches_.static_power_mw(in, out)});
+    }
+  }
+}
+
+const SwitchConfigEntry& AreaPowerLibrary::lookup(int in_ports,
+                                                  int out_ports) const {
+  if (in_ports < 1 || out_ports < 1 || in_ports > max_radix_ ||
+      out_ports > max_radix_) {
+    throw std::out_of_range("AreaPowerLibrary: configuration not in library");
+  }
+  return entries_[static_cast<std::size_t>(in_ports - 1) *
+                      static_cast<std::size_t>(max_radix_) +
+                  static_cast<std::size_t>(out_ports - 1)];
+}
+
+std::vector<SwitchConfigEntry> AreaPowerLibrary::all_entries() const {
+  return entries_;
+}
+
+}  // namespace sunmap::model

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "model/switch_model.h"
+#include "model/tech.h"
+
+namespace sunmap::model {
+
+/// One row of the generated area-power library: a switch configuration with
+/// its area and per-bit energy.
+struct SwitchConfigEntry {
+  int in_ports = 0;
+  int out_ports = 0;
+  double area_mm2 = 0.0;
+  double energy_pj_per_bit = 0.0;
+  double static_power_mw = 0.0;
+};
+
+/// Precomputed area-power library over switch configurations for one
+/// technology point (§5: "The area-power models are used to generate
+/// area-power libraries for various switch configurations for different
+/// technology parameters"). The mapper and selector look configurations up
+/// here instead of re-evaluating the analytical models in their inner loops.
+class AreaPowerLibrary {
+ public:
+  explicit AreaPowerLibrary(const TechParams& tech = TechParams::um100(),
+                            int max_radix = 33);
+
+  /// Entry for an in_ports x out_ports switch; throws std::out_of_range for
+  /// configurations beyond max_radix.
+  [[nodiscard]] const SwitchConfigEntry& lookup(int in_ports,
+                                                int out_ports) const;
+
+  [[nodiscard]] double link_energy_pj_per_bit_mm() const {
+    return tech_.link_energy_pj_per_bit_mm;
+  }
+
+  [[nodiscard]] const TechParams& tech() const { return tech_; }
+  [[nodiscard]] const SwitchModel& switch_model() const { return switches_; }
+  [[nodiscard]] const LinkModel& link_model() const { return links_; }
+  [[nodiscard]] int max_radix() const { return max_radix_; }
+
+  /// All entries, e.g. for dumping the library.
+  [[nodiscard]] std::vector<SwitchConfigEntry> all_entries() const;
+
+ private:
+  TechParams tech_;
+  SwitchModel switches_;
+  LinkModel links_;
+  int max_radix_;
+  std::vector<SwitchConfigEntry> entries_;  // (in-1) * max_radix + (out-1)
+};
+
+}  // namespace sunmap::model

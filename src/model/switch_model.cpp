@@ -1,0 +1,73 @@
+#include "model/switch_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::model {
+
+namespace {
+
+void check_ports(int in_ports, int out_ports) {
+  if (in_ports < 1 || out_ports < 1 || in_ports > 1024 || out_ports > 1024) {
+    throw std::invalid_argument("SwitchModel: port count out of range");
+  }
+}
+
+}  // namespace
+
+double SwitchModel::crossbar_area_mm2(int in_ports, int out_ports) const {
+  check_ports(in_ports, out_ports);
+  const double w = static_cast<double>(tech_.flit_width_bits);
+  return tech_.area_crossbar_per_bit2 * in_ports * out_ports * w * w;
+}
+
+double SwitchModel::buffer_area_mm2(int in_ports) const {
+  check_ports(in_ports, 1);
+  return tech_.area_buffer_per_bit * in_ports * tech_.buffer_depth_flits *
+         tech_.flit_width_bits;
+}
+
+double SwitchModel::logic_area_mm2(int in_ports, int out_ports) const {
+  check_ports(in_ports, out_ports);
+  return tech_.area_logic_per_port * (in_ports + out_ports) +
+         tech_.area_fixed;
+}
+
+double SwitchModel::area_mm2(int in_ports, int out_ports) const {
+  return crossbar_area_mm2(in_ports, out_ports) + buffer_area_mm2(in_ports) +
+         logic_area_mm2(in_ports, out_ports);
+}
+
+double SwitchModel::energy_pj_per_bit(int in_ports, int out_ports) const {
+  check_ports(in_ports, out_ports);
+  const double radix =
+      0.5 * (static_cast<double>(in_ports) + static_cast<double>(out_ports));
+  return tech_.energy_fixed_pj + tech_.energy_per_port_pj * radix +
+         tech_.energy_port2_pj * radix * radix;
+}
+
+double SwitchModel::static_power_mw(int in_ports, int out_ports) const {
+  check_ports(in_ports, out_ports);
+  const double radix =
+      0.5 * (static_cast<double>(in_ports) + static_cast<double>(out_ports));
+  return tech_.static_fixed_mw + tech_.static_per_port2_mw * radix * radix;
+}
+
+double LinkModel::power_mw(double load_mbps, double length_mm) const {
+  if (load_mbps < 0.0 || length_mm < 0.0) {
+    throw std::invalid_argument("LinkModel: negative load or length");
+  }
+  // MB/s -> bits/s, pJ -> mW: 1e6 * 8 * 1e-12 * 1e3 = 8e-3.
+  return load_mbps * 8e-3 * energy_pj_per_bit(length_mm);
+}
+
+int LinkModel::latency_cycles(double length_mm) const {
+  if (length_mm < 0.0) {
+    throw std::invalid_argument("LinkModel: negative length");
+  }
+  const double delay_ps = tech_.link_delay_ps_per_mm * length_mm;
+  return std::max(1, static_cast<int>(std::ceil(delay_ps /
+                                                tech_.clock_period_ps)));
+}
+
+}  // namespace sunmap::model

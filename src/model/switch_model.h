@@ -1,0 +1,65 @@
+#pragma once
+
+#include "model/tech.h"
+
+namespace sunmap::model {
+
+/// Analytical area and bit-energy model of a ×pipes-style switch (§5: "The
+/// area calculations include the crossbar area, buffer area, logic
+/// (including control) area ... fine granularity of details"). All methods
+/// are pure functions of the port configuration and the technology point.
+class SwitchModel {
+ public:
+  explicit SwitchModel(const TechParams& tech) : tech_(tech) {}
+
+  /// Matrix crossbar: in x out crosspoints, each flit_width^2 bits wide.
+  [[nodiscard]] double crossbar_area_mm2(int in_ports, int out_ports) const;
+
+  /// Input FIFO buffers: one per input port, buffer_depth flits deep.
+  [[nodiscard]] double buffer_area_mm2(int in_ports) const;
+
+  /// Allocator, routing and flow-control logic plus pipeline registers.
+  [[nodiscard]] double logic_area_mm2(int in_ports, int out_ports) const;
+
+  /// Total switch area for the given configuration.
+  [[nodiscard]] double area_mm2(int in_ports, int out_ports) const;
+
+  /// ORION-style average energy for one bit traversing the switch
+  /// (buffer write + read, crossbar, allocator). Grows superlinearly with
+  /// the radix, which is why the butterfly's 4x4 switches beat the direct
+  /// topologies' 5x5 switches on power (§6.1).
+  [[nodiscard]] double energy_pj_per_bit(int in_ports, int out_ports) const;
+
+  /// Always-on power of one instantiated switch (leakage + clock tree, mW);
+  /// grows quadratically with the radix like the crossbar and allocator.
+  [[nodiscard]] double static_power_mw(int in_ports, int out_ports) const;
+
+  [[nodiscard]] const TechParams& tech() const { return tech_; }
+
+ private:
+  TechParams tech_;
+};
+
+/// Repeated-global-wire link model (paper ref [23]).
+class LinkModel {
+ public:
+  explicit LinkModel(const TechParams& tech) : tech_(tech) {}
+
+  /// Energy to move one bit across a link of the given length.
+  [[nodiscard]] double energy_pj_per_bit(double length_mm) const {
+    return tech_.link_energy_pj_per_bit_mm * length_mm;
+  }
+
+  /// Power in mW for a sustained load (MB/s) over the given length.
+  [[nodiscard]] double power_mw(double load_mbps, double length_mm) const;
+
+  /// Pipeline cycles a flit needs to traverse the link (>= 1).
+  [[nodiscard]] int latency_cycles(double length_mm) const;
+
+  [[nodiscard]] const TechParams& tech() const { return tech_; }
+
+ private:
+  TechParams tech_;
+};
+
+}  // namespace sunmap::model

@@ -1,0 +1,57 @@
+#pragma once
+
+namespace sunmap::model {
+
+/// Technology and microarchitecture parameters for the area/power libraries
+/// (§5). The paper generates its libraries for a 0.1 µm process from the
+/// ×pipes switch architecture [17], ORION bit-energy models [22] and the
+/// wiring parameters of "The Future of Wires" [23]; since none of those are
+/// available offline, the constants below are calibrated so the resulting
+/// design areas and powers land in the ranges the paper reports (VOPD mesh
+/// ~55 mm^2 / ~370 mW; switches a few tenths of a mm^2). The *structure* of
+/// the models (crossbar quadratic in ports, buffers linear in ports x depth,
+/// energy superlinear in radix, link energy linear in length) follows the
+/// cited sources.
+struct TechParams {
+  // Process.
+  double feature_um = 0.1;  ///< Drawn feature size (0.1 µm in the paper).
+  double vdd = 1.2;         ///< Supply voltage at 0.1 µm.
+
+  // Switch microarchitecture (×pipes-style: input FIFOs, matrix crossbar,
+  // round-robin allocator, pipeline registers).
+  int flit_width_bits = 32;    ///< Flit/phit width.
+  int buffer_depth_flits = 8;  ///< FIFO depth per input port.
+
+  // Area coefficients (mm^2), fitted at 0.1 µm.
+  double area_crossbar_per_bit2 = 2.2e-6;  ///< x in*out*flit^2 (crosspoints).
+  double area_buffer_per_bit = 28.0e-6;    ///< x ports*depth*flit (FIFO bit).
+  double area_logic_per_port = 6.5e-3;     ///< allocator/control per port.
+  double area_fixed = 8.0e-3;              ///< clocking, pipeline registers.
+
+  // Switch dynamic energy coefficients (pJ per bit traversing the switch).
+  double energy_fixed_pj = 0.3;      ///< buffer read+write baseline.
+  double energy_per_port_pj = 0.10;  ///< arbiter/control, linear in radix.
+  double energy_port2_pj = 0.22;     ///< crossbar+allocator, quadratic term.
+
+  // Switch static power (leakage + clock tree, mW per instantiated switch).
+  // ORION models both; this is what makes topologies with fewer, smaller
+  // switches (the butterfly) win on power in §6.1 even at similar hop
+  // counts.
+  double static_fixed_mw = 2.0;
+  double static_per_port2_mw = 0.5;
+
+  // Link energy (pJ per bit per mm), from repeated global wires at 0.1 µm.
+  // Kept well below the switch energies: "the link power dissipation is
+  // much lower than the switch power dissipation" (§6.1).
+  double link_energy_pj_per_bit_mm = 0.15;
+
+  // Link delay (ps per mm) for repeated wires; used by the simulator to
+  // derive multi-cycle links for very long floorplanned channels.
+  double link_delay_ps_per_mm = 70.0;
+  double clock_period_ps = 1000.0;  ///< 1 GHz network clock.
+
+  /// The paper's 0.1 µm technology point (also the default constructor).
+  static TechParams um100() { return TechParams{}; }
+};
+
+}  // namespace sunmap::model

@@ -1,0 +1,267 @@
+#include "route/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::route {
+
+namespace {
+
+/// Hop-cost base that dominates any realistic accumulated load (MB/s), so
+/// minimum-path Dijkstra is lexicographic: fewest hops first, then least
+/// congested (Fig 5 steps 3-6 route commodities over edge weights that grow
+/// with already-routed traffic).
+constexpr double kHopCost = 1e9;
+
+}  // namespace
+
+const char* to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kDimensionOrdered:
+      return "DO";
+    case RoutingKind::kMinPath:
+      return "MP";
+    case RoutingKind::kSplitMin:
+      return "SM";
+    case RoutingKind::kSplitAll:
+      return "SA";
+  }
+  return "?";
+}
+
+double RouteSet::weighted_switch_hops() const {
+  double hops = 0.0;
+  for (const auto& wp : paths) {
+    hops += wp.fraction * static_cast<double>(wp.path.nodes.size());
+  }
+  return hops;
+}
+
+double RouteSet::weighted_link_hops() const {
+  double hops = 0.0;
+  for (const auto& wp : paths) {
+    hops += wp.fraction * static_cast<double>(wp.path.edges.size());
+  }
+  return hops;
+}
+
+void LoadMap::add_route(const RouteSet& routes, double demand) {
+  for (const auto& wp : routes.paths) {
+    for (graph::EdgeId e : wp.path.edges) add(e, demand * wp.fraction);
+  }
+}
+
+double LoadMap::max_load() const {
+  double mx = 0.0;
+  for (double v : loads_) mx = std::max(mx, v);
+  return mx;
+}
+
+RoutingEngine::RoutingEngine(const topo::Topology& topology, RoutingKind kind,
+                             int split_chunks, double capacity_hint_mbps)
+    : topology_(topology),
+      kind_(kind),
+      split_chunks_(split_chunks),
+      capacity_hint_mbps_(capacity_hint_mbps) {
+  if (split_chunks < 1) {
+    throw std::invalid_argument("RoutingEngine: split_chunks must be >= 1");
+  }
+  if (capacity_hint_mbps <= 0.0) {
+    throw std::invalid_argument("RoutingEngine: capacity hint must be > 0");
+  }
+}
+
+RouteSet RoutingEngine::route(topo::SlotId src, topo::SlotId dst,
+                              double demand, const LoadMap& loads) const {
+  if (src == dst) {
+    throw std::invalid_argument("RoutingEngine: src and dst slots coincide");
+  }
+  switch (kind_) {
+    case RoutingKind::kDimensionOrdered:
+      return route_dimension_ordered(src, dst);
+    case RoutingKind::kMinPath:
+      return route_min_path(src, dst, loads);
+    case RoutingKind::kSplitMin:
+      return route_split_min(src, dst);
+    case RoutingKind::kSplitAll:
+      return route_split_all(src, dst, demand, loads);
+  }
+  throw std::logic_error("RoutingEngine: unknown routing kind");
+}
+
+RouteSet RoutingEngine::route_dimension_ordered(topo::SlotId src,
+                                                topo::SlotId dst) const {
+  RouteSet result;
+  result.paths.push_back(WeightedPath{
+      topology_.make_path(topology_.dimension_ordered_path(src, dst)), 1.0});
+  return result;
+}
+
+RouteSet RoutingEngine::route_min_path(topo::SlotId src, topo::SlotId dst,
+                                       const LoadMap& loads) const {
+  // Quadrant graph of §4.3: restrict the Dijkstra search to the switches
+  // that can lie on a minimum path, which both guarantees minimality and
+  // gives the computational savings the paper reports.
+  const auto quadrant = topology_.quadrant_nodes(src, dst);
+  std::vector<char> admitted(
+      static_cast<std::size_t>(topology_.num_switches()), 0);
+  for (graph::NodeId u : quadrant) admitted[static_cast<std::size_t>(u)] = 1;
+
+  const auto path = graph::shortest_path(
+      topology_.switch_graph(), topology_.ingress_switch(src),
+      topology_.egress_switch(dst),
+      [&](graph::EdgeId e) { return kHopCost + loads.load(e); },
+      [&](graph::NodeId u) { return admitted[static_cast<std::size_t>(u)] != 0; });
+  if (!path) {
+    throw std::logic_error(
+        "RoutingEngine: quadrant graph disconnected (topology bug)");
+  }
+  RouteSet result;
+  result.paths.push_back(WeightedPath{*path, 1.0});
+  return result;
+}
+
+RouteSet RoutingEngine::route_split_min(topo::SlotId src,
+                                        topo::SlotId dst) const {
+  const auto& g = topology_.switch_graph();
+  const graph::NodeId from = topology_.ingress_switch(src);
+  const graph::NodeId to = topology_.egress_switch(dst);
+
+  RouteSet result;
+  if (from == to) {
+    graph::Path path;
+    path.nodes = {from};
+    result.paths.push_back(WeightedPath{path, 1.0});
+    return result;
+  }
+
+  // Even flow split over the minimum-path DAG: each node forwards its
+  // incoming fraction equally over its DAG out-edges, then the fractional
+  // edge flow is decomposed into at most |DAG edges| weighted paths (needed
+  // by the cycle-accurate simulator, which is source-routed).
+  const auto dag_edges = graph::min_path_dag(g, from, to);
+  std::vector<double> edge_flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  std::vector<std::vector<graph::EdgeId>> dag_out(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (graph::EdgeId e : dag_edges) {
+    dag_out[static_cast<std::size_t>(g.edge(e).src)].push_back(e);
+  }
+
+  const auto dist = graph::bfs_distances(g, from);
+  std::vector<graph::NodeId> order;
+  order.push_back(from);
+  for (graph::EdgeId e : dag_edges) order.push_back(g.edge(e).dst);
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    return dist[static_cast<std::size_t>(a)] < dist[static_cast<std::size_t>(b)];
+  });
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+
+  std::vector<double> node_flow(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  node_flow[static_cast<std::size_t>(from)] = 1.0;
+  for (graph::NodeId u : order) {
+    const double flow = node_flow[static_cast<std::size_t>(u)];
+    const auto& outs = dag_out[static_cast<std::size_t>(u)];
+    if (flow <= 0.0 || outs.empty()) continue;
+    const double share = flow / static_cast<double>(outs.size());
+    for (graph::EdgeId e : outs) {
+      edge_flow[static_cast<std::size_t>(e)] += share;
+      node_flow[static_cast<std::size_t>(g.edge(e).dst)] += share;
+    }
+  }
+
+  // Path decomposition: repeatedly follow the remaining positive-flow edges
+  // from source to destination, peel off the bottleneck fraction.
+  constexpr double kEps = 1e-12;
+  double remaining = 1.0;
+  while (remaining > kEps) {
+    graph::Path path;
+    path.nodes.push_back(from);
+    double bottleneck = remaining;
+    graph::NodeId cur = from;
+    while (cur != to) {
+      graph::EdgeId best = graph::kInvalidEdge;
+      double best_flow = kEps;
+      for (graph::EdgeId e : dag_out[static_cast<std::size_t>(cur)]) {
+        if (edge_flow[static_cast<std::size_t>(e)] > best_flow) {
+          best_flow = edge_flow[static_cast<std::size_t>(e)];
+          best = e;
+        }
+      }
+      if (best == graph::kInvalidEdge) {
+        throw std::logic_error("RoutingEngine: flow decomposition stuck");
+      }
+      bottleneck = std::min(bottleneck, best_flow);
+      path.edges.push_back(best);
+      cur = g.edge(best).dst;
+      path.nodes.push_back(cur);
+    }
+    for (graph::EdgeId e : path.edges) {
+      edge_flow[static_cast<std::size_t>(e)] -= bottleneck;
+    }
+    path.cost = static_cast<double>(path.edges.size());
+    result.paths.push_back(WeightedPath{std::move(path), bottleneck});
+    remaining -= bottleneck;
+  }
+
+  // Normalise tiny floating-point residue so fractions sum to exactly 1.
+  double total = 0.0;
+  for (const auto& wp : result.paths) total += wp.fraction;
+  for (auto& wp : result.paths) wp.fraction /= total;
+  return result;
+}
+
+RouteSet RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
+                                        double demand,
+                                        const LoadMap& loads) const {
+  // Split-across-all-paths: divide the commodity into equal chunks and route
+  // each chunk with congestion-aware Dijkstra over the full switch graph
+  // (non-minimal paths allowed), accounting for the chunks already placed.
+  // A small per-hop bias keeps zero-load routes minimal.
+  const auto& g = topology_.switch_graph();
+  const graph::NodeId from = topology_.ingress_switch(src);
+  const graph::NodeId to = topology_.egress_switch(dst);
+  const double chunk =
+      demand > 0.0 ? demand / static_cast<double>(split_chunks_) : 0.0;
+  const double hop_bias = std::max(1.0, demand * 0.01);
+
+  // Soft capacity: a sub-flow strongly avoids links it would push past the
+  // capacity hint, which is what lets the heavy MPEG4 SDRAM flows spread
+  // around already-loaded links instead of stacking onto them.
+  constexpr double kOverloadPenalty = 1e7;
+  std::vector<double> extra(static_cast<std::size_t>(g.num_edges()), 0.0);
+  RouteSet result;
+  for (int c = 0; c < split_chunks_; ++c) {
+    auto path = graph::shortest_path(g, from, to, [&](graph::EdgeId e) {
+      const double current =
+          loads.load(e) + extra[static_cast<std::size_t>(e)];
+      double cost = hop_bias + current + chunk * 0.5;
+      if (current + chunk > capacity_hint_mbps_ + 1e-9) {
+        cost += kOverloadPenalty;
+      }
+      return cost;
+    });
+    if (!path) {
+      throw std::logic_error("RoutingEngine: topology disconnected");
+    }
+    for (graph::EdgeId e : path->edges) {
+      extra[static_cast<std::size_t>(e)] += chunk;
+    }
+    // Merge identical consecutive chunk paths to keep the set small.
+    bool merged = false;
+    for (auto& wp : result.paths) {
+      if (wp.path.nodes == path->nodes) {
+        wp.fraction += 1.0 / static_cast<double>(split_chunks_);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      result.paths.push_back(
+          WeightedPath{*path, 1.0 / static_cast<double>(split_chunks_)});
+    }
+  }
+  return result;
+}
+
+}  // namespace sunmap::route

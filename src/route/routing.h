@@ -1,0 +1,119 @@
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/paths.h"
+#include "topo/topology.h"
+
+namespace sunmap::route {
+
+/// The routing functions SUNMAP supports (§1, §6.3).
+enum class RoutingKind {
+  kDimensionOrdered,  ///< DO — deterministic, oblivious single path.
+  kMinPath,           ///< MP — congestion-aware Dijkstra on the quadrant.
+  kSplitMin,          ///< SM — traffic split across all minimum paths.
+  kSplitAll,          ///< SA — traffic split across all paths.
+};
+
+/// Short label as used in Fig 9(a): "DO", "MP", "SM", "SA".
+const char* to_string(RoutingKind kind);
+
+/// All four routing functions, in paper order.
+inline constexpr RoutingKind kAllRoutingKinds[] = {
+    RoutingKind::kDimensionOrdered,
+    RoutingKind::kMinPath,
+    RoutingKind::kSplitMin,
+    RoutingKind::kSplitAll,
+};
+
+/// A path carrying a fraction of one commodity's bandwidth.
+struct WeightedPath {
+  graph::Path path;
+  double fraction = 1.0;
+};
+
+/// The set of weighted paths one commodity is routed over. Fractions sum to
+/// 1 (single-path functions produce exactly one path with fraction 1).
+struct RouteSet {
+  std::vector<WeightedPath> paths;
+
+  /// Fraction-weighted number of switches traversed (link hops + 1) — the
+  /// per-commodity contribution to the paper's average-hop-delay metric.
+  [[nodiscard]] double weighted_switch_hops() const;
+
+  /// Fraction-weighted number of link traversals.
+  [[nodiscard]] double weighted_link_hops() const;
+};
+
+/// Per-link traffic accumulator, indexed by switch-graph EdgeId, in the same
+/// MB/s units as core-graph edge weights. The mapping algorithm routes
+/// commodities in decreasing order and accumulates their bandwidth here
+/// (Fig 5 step 6); bandwidth constraints compare max_load() against the
+/// link capacity.
+class LoadMap {
+ public:
+  explicit LoadMap(int num_edges)
+      : loads_(static_cast<std::size_t>(num_edges), 0.0) {}
+
+  void add(graph::EdgeId e, double amount) {
+    loads_.at(static_cast<std::size_t>(e)) += amount;
+  }
+
+  /// Adds `demand` scaled by each path fraction along every routed path.
+  void add_route(const RouteSet& routes, double demand);
+
+  [[nodiscard]] double load(graph::EdgeId e) const {
+    return loads_.at(static_cast<std::size_t>(e));
+  }
+  [[nodiscard]] double max_load() const;
+  [[nodiscard]] const std::vector<double>& values() const { return loads_; }
+
+  void clear() { loads_.assign(loads_.size(), 0.0); }
+
+ private:
+  std::vector<double> loads_;
+};
+
+/// Computes routes for commodities over one topology under one routing
+/// function. Stateless with respect to traffic: current link loads are
+/// passed in, so the mapper owns ordering and accumulation.
+class RoutingEngine {
+ public:
+  /// `split_chunks` controls the granularity of split-across-all-paths
+  /// routing (the commodity is divided into that many equal sub-flows).
+  /// `capacity_hint_mbps` is the link capacity the engine tries not to
+  /// exceed when spreading sub-flows (it is a soft bound — the bandwidth
+  /// *constraint* is checked by the mapper).
+  RoutingEngine(const topo::Topology& topology, RoutingKind kind,
+                int split_chunks = 16,
+                double capacity_hint_mbps =
+                    std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] RoutingKind kind() const { return kind_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+
+  /// Routes `demand` MB/s from slot src to slot dst given the traffic
+  /// already routed (`loads`). Does not modify `loads`; the caller
+  /// accumulates via LoadMap::add_route, matching Fig 5 steps 4-6.
+  [[nodiscard]] RouteSet route(topo::SlotId src, topo::SlotId dst,
+                               double demand, const LoadMap& loads) const;
+
+ private:
+  [[nodiscard]] RouteSet route_dimension_ordered(topo::SlotId src,
+                                                 topo::SlotId dst) const;
+  [[nodiscard]] RouteSet route_min_path(topo::SlotId src, topo::SlotId dst,
+                                        const LoadMap& loads) const;
+  [[nodiscard]] RouteSet route_split_min(topo::SlotId src,
+                                         topo::SlotId dst) const;
+  [[nodiscard]] RouteSet route_split_all(topo::SlotId src, topo::SlotId dst,
+                                         double demand,
+                                         const LoadMap& loads) const;
+
+  const topo::Topology& topology_;
+  RoutingKind kind_;
+  int split_chunks_;
+  double capacity_hint_mbps_;
+};
+
+}  // namespace sunmap::route

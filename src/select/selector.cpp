@@ -1,0 +1,54 @@
+#include "select/selector.h"
+
+#include <algorithm>
+
+namespace sunmap::select {
+
+SelectionReport TopologySelector::select(
+    const mapping::CoreGraph& app,
+    const std::vector<std::unique_ptr<topo::Topology>>& library) const {
+  SelectionReport report;
+  report.candidates.reserve(library.size());
+  for (const auto& topology : library) {
+    TopologyCandidate candidate;
+    candidate.topology = topology.get();
+    candidate.result = mapper_.map(app, *topology);
+    report.candidates.push_back(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    const auto& candidate = report.candidates[i];
+    if (!candidate.feasible()) continue;
+    if (report.best_index < 0 ||
+        candidate.result.eval.cost <
+            report.candidates[static_cast<std::size_t>(report.best_index)]
+                .result.eval.cost) {
+      report.best_index = static_cast<int>(i);
+    }
+  }
+  return report;
+}
+
+std::vector<ParetoPoint> pareto_frontier(
+    const std::vector<std::pair<double, double>>& area_power) {
+  std::vector<ParetoPoint> points;
+  points.reserve(area_power.size());
+  for (const auto& [area, power] : area_power) {
+    points.push_back(ParetoPoint{area, power});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.area_mm2 != b.area_mm2) return a.area_mm2 < b.area_mm2;
+              return a.power_mw < b.power_mw;
+            });
+  std::vector<ParetoPoint> frontier;
+  double best_power = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (p.power_mw < best_power - 1e-12) {
+      frontier.push_back(p);
+      best_power = p.power_mw;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace sunmap::select

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.h"
+#include "topo/library.h"
+
+namespace sunmap::select {
+
+/// One topology's outcome in a selection run: the mapping produced by phase
+/// 1 and its evaluation — one row of the tables in Figs 3(d), 6, 7(b).
+struct TopologyCandidate {
+  const topo::Topology* topology = nullptr;
+  mapping::MappingResult result;
+
+  [[nodiscard]] bool feasible() const { return result.eval.feasible(); }
+};
+
+/// Outcome of phase 2: all candidates plus the index of the chosen one
+/// (-1 when no topology yields a feasible mapping).
+struct SelectionReport {
+  std::vector<TopologyCandidate> candidates;
+  int best_index = -1;
+
+  [[nodiscard]] const TopologyCandidate* best() const {
+    return best_index >= 0
+               ? &candidates[static_cast<std::size_t>(best_index)]
+               : nullptr;
+  }
+};
+
+/// Phase 1 + 2 of the SUNMAP flow: maps the application onto every topology
+/// in the library under the configured routing function and objective, then
+/// selects the best feasible mapping by objective cost.
+class TopologySelector {
+ public:
+  explicit TopologySelector(mapping::MapperConfig config = {})
+      : mapper_(std::move(config)) {}
+
+  /// Maps onto every provided topology and picks the best feasible one.
+  [[nodiscard]] SelectionReport select(
+      const mapping::CoreGraph& app,
+      const std::vector<std::unique_ptr<topo::Topology>>& library) const;
+
+  [[nodiscard]] const mapping::Mapper& mapper() const { return mapper_; }
+
+ private:
+  mapping::Mapper mapper_;
+};
+
+/// A point in the area/power plane (Fig 9(b)).
+struct ParetoPoint {
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+};
+
+/// Extracts the Pareto frontier (minimising both coordinates) from a set of
+/// explored mappings, sorted by increasing area. Dominated and duplicate
+/// points are dropped.
+std::vector<ParetoPoint> pareto_frontier(
+    const std::vector<std::pair<double, double>>& area_power);
+
+}  // namespace sunmap::select

@@ -1,0 +1,76 @@
+#include "sim/route_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sunmap::sim {
+
+RouteTable::RouteTable(int num_slots) : num_slots_(num_slots) {
+  if (num_slots < 2) {
+    throw std::invalid_argument("RouteTable: need at least two slots");
+  }
+  const auto n = static_cast<std::size_t>(num_slots) *
+                 static_cast<std::size_t>(num_slots);
+  table_.resize(n);
+  present_.assign(n, false);
+}
+
+std::size_t RouteTable::index(int src_slot, int dst_slot) const {
+  if (src_slot < 0 || dst_slot < 0 || src_slot >= num_slots_ ||
+      dst_slot >= num_slots_) {
+    throw std::out_of_range("RouteTable: slot out of range");
+  }
+  return static_cast<std::size_t>(src_slot) *
+             static_cast<std::size_t>(num_slots_) +
+         static_cast<std::size_t>(dst_slot);
+}
+
+void RouteTable::set(int src_slot, int dst_slot, route::RouteSet routes) {
+  if (routes.paths.empty()) {
+    throw std::invalid_argument("RouteTable: empty route set");
+  }
+  const auto i = index(src_slot, dst_slot);
+  table_[i] = std::move(routes);
+  present_[i] = true;
+}
+
+bool RouteTable::has(int src_slot, int dst_slot) const {
+  return present_[index(src_slot, dst_slot)];
+}
+
+const route::RouteSet& RouteTable::at(int src_slot, int dst_slot) const {
+  const auto i = index(src_slot, dst_slot);
+  if (!present_[i]) {
+    throw std::out_of_range("RouteTable: no route installed for pair");
+  }
+  return table_[i];
+}
+
+int RouteTable::max_path_switches() const {
+  int longest = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (!present_[i]) continue;
+    for (const auto& wp : table_[i].paths) {
+      longest = std::max(longest, static_cast<int>(wp.path.nodes.size()));
+    }
+  }
+  return longest;
+}
+
+RouteTable RouteTable::all_pairs(const topo::Topology& topology,
+                                 route::RoutingKind kind, int split_chunks) {
+  RouteTable table(topology.num_slots());
+  route::RoutingEngine engine(topology, kind, split_chunks);
+  route::LoadMap loads(topology.switch_graph().num_edges());
+  for (int src = 0; src < topology.num_slots(); ++src) {
+    for (int dst = 0; dst < topology.num_slots(); ++dst) {
+      if (src == dst) continue;
+      auto routes = engine.route(src, dst, 1.0, loads);
+      loads.add_route(routes, 1.0);
+      table.set(src, dst, std::move(routes));
+    }
+  }
+  return table;
+}
+
+}  // namespace sunmap::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "route/routing.h"
+#include "topo/topology.h"
+
+namespace sunmap::sim {
+
+/// Per-source/destination routing table consumed by the cycle-accurate
+/// simulator. The simulator is source-routed: each packet samples one of the
+/// weighted paths computed offline by the routing engine (split-traffic
+/// routing becomes a per-packet weighted path choice), so all four routing
+/// functions run on the same router model.
+class RouteTable {
+ public:
+  explicit RouteTable(int num_slots);
+
+  /// Installs the routes for an ordered slot pair.
+  void set(int src_slot, int dst_slot, route::RouteSet routes);
+
+  [[nodiscard]] bool has(int src_slot, int dst_slot) const;
+  /// Routes for the pair; throws std::out_of_range if none are installed.
+  [[nodiscard]] const route::RouteSet& at(int src_slot, int dst_slot) const;
+
+  [[nodiscard]] int num_slots() const { return num_slots_; }
+
+  /// Longest installed route in switches; sizes the simulator's
+  /// distance-class virtual channels. 0 when nothing is installed.
+  [[nodiscard]] int max_path_switches() const;
+
+  /// Builds routes for every ordered slot pair under the given routing
+  /// function. Pairs are routed in slot order with loads accumulated (unit
+  /// demand), so congestion-aware functions still spread traffic.
+  static RouteTable all_pairs(const topo::Topology& topology,
+                              route::RoutingKind kind, int split_chunks = 8);
+
+ private:
+  [[nodiscard]] std::size_t index(int src_slot, int dst_slot) const;
+
+  int num_slots_;
+  std::vector<route::RouteSet> table_;
+  std::vector<bool> present_;
+};
+
+}  // namespace sunmap::sim

@@ -1,0 +1,434 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace sunmap::sim {
+
+namespace {
+
+struct Packet {
+  int src = 0;
+  int dst = 0;
+  const graph::Path* path = nullptr;  // owned by the route table
+  std::uint64_t gen_cycle = 0;
+  bool measured = false;
+};
+
+struct Flit {
+  Packet* packet = nullptr;
+  bool head = false;
+  bool tail = false;
+  int hop = 0;  ///< Index of the router currently holding the flit.
+};
+
+struct InFlight {
+  std::uint64_t arrival = 0;
+  Flit flit;
+};
+
+struct InputPort {
+  /// One FIFO per virtual channel. A flit at hop h sits in VC h
+  /// (distance-class assignment); with a single VC everything is queues[0].
+  std::vector<std::deque<Flit>> queues;
+  std::vector<int> pending;        ///< In-flight flits headed to each VC.
+  std::deque<InFlight> in_flight;  ///< On the upstream link, FIFO.
+  int capacity = 4;                ///< Per VC; INT_MAX for source queues.
+  bool popped_this_cycle = false;  ///< Input speedup is 1 flit/cycle.
+
+  [[nodiscard]] bool has_space(int vc) const {
+    return static_cast<int>(queues[static_cast<std::size_t>(vc)].size()) +
+               pending[static_cast<std::size_t>(vc)] <
+           capacity;
+  }
+};
+
+struct OutputPort {
+  // Destination: either a network link to (router, input port) or a sink.
+  bool is_sink = false;
+  int dst_router = -1;
+  int dst_in_port = -1;
+  int sink_slot = -1;
+
+  // Per-VC wormhole state: the packet owning this output VC and the input
+  // it is draining from.
+  std::vector<Packet*> locked;
+  std::vector<int> locked_in;
+  std::vector<int> rr_next;  ///< Per-VC round-robin over inputs.
+  int vc_rr = 0;             ///< Round-robin over VCs for the physical link.
+};
+
+struct Router {
+  std::vector<InputPort> inputs;
+  std::vector<OutputPort> outputs;
+};
+
+}  // namespace
+
+struct Simulator::Impl {
+  const topo::Topology& topology;
+  const RouteTable& routes;
+  SimConfig config;
+  util::Prng prng;
+
+  std::vector<Router> routers;
+  std::vector<int> out_port_of_edge;    // EdgeId -> output port at edge.src
+  std::vector<int> in_port_of_edge;     // EdgeId -> input port at edge.dst
+  std::vector<int> inject_port_of_slot; // SlotId -> input port at ingress
+  std::deque<Packet> packets;
+
+  std::uint64_t now = 0;
+  std::uint64_t flits_in_network = 0;
+  std::uint64_t delivered_flits_since_warmup = 0;
+  std::uint64_t injected_flits_since_warmup = 0;
+
+  // Measurement accumulators.
+  std::uint64_t measured_generated = 0;
+  std::uint64_t measured_delivered = 0;
+  double latency_sum = 0.0;
+  double latency_max = 0.0;
+  std::vector<double> latencies;  // per measured packet, for percentiles
+
+  int num_vcs = 1;
+
+  Impl(const topo::Topology& topo, const RouteTable& table, SimConfig cfg)
+      : topology(topo), routes(table), config(cfg), prng(cfg.seed) {
+    if (cfg.flits_per_packet < 1 || cfg.buffer_depth_flits < 1 ||
+        cfg.link_latency_cycles < 1) {
+      throw std::invalid_argument("SimConfig: invalid parameters");
+    }
+    if (cfg.distance_class_vcs) {
+      num_vcs = std::max(1, routes.max_path_switches());
+    }
+    build_network();
+  }
+
+  /// VC a queued flit occupies: its hop index under distance-class VCs.
+  [[nodiscard]] int vc_of(const Flit& flit) const {
+    return num_vcs == 1 ? 0 : std::min(flit.hop, num_vcs - 1);
+  }
+
+  void build_network() {
+    const auto& g = topology.switch_graph();
+    routers.resize(static_cast<std::size_t>(g.num_nodes()));
+    out_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()), -1);
+    in_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()), -1);
+    inject_port_of_slot.assign(static_cast<std::size_t>(topology.num_slots()),
+                               -1);
+
+    auto make_input = [&](int capacity) {
+      InputPort port;
+      port.capacity = capacity;
+      port.queues.resize(static_cast<std::size_t>(num_vcs));
+      port.pending.assign(static_cast<std::size_t>(num_vcs), 0);
+      return port;
+    };
+    auto make_output = [&]() {
+      OutputPort port;
+      port.locked.assign(static_cast<std::size_t>(num_vcs), nullptr);
+      port.locked_in.assign(static_cast<std::size_t>(num_vcs), -1);
+      port.rr_next.assign(static_cast<std::size_t>(num_vcs), 0);
+      return port;
+    };
+
+    // Network input/output ports follow edge order, then core attachments.
+    for (graph::NodeId r = 0; r < g.num_nodes(); ++r) {
+      auto& router = routers[static_cast<std::size_t>(r)];
+      for (graph::EdgeId e : g.in_edges(r)) {
+        in_port_of_edge[static_cast<std::size_t>(e)] =
+            static_cast<int>(router.inputs.size());
+        router.inputs.push_back(make_input(config.buffer_depth_flits));
+      }
+      for (graph::EdgeId e : g.out_edges(r)) {
+        out_port_of_edge[static_cast<std::size_t>(e)] =
+            static_cast<int>(router.outputs.size());
+        router.outputs.push_back(make_output());
+      }
+    }
+    for (int s = 0; s < topology.num_slots(); ++s) {
+      auto& in_router =
+          routers[static_cast<std::size_t>(topology.ingress_switch(s))];
+      inject_port_of_slot[static_cast<std::size_t>(s)] =
+          static_cast<int>(in_router.inputs.size());
+      in_router.inputs.push_back(
+          make_input(std::numeric_limits<int>::max()));
+
+      auto& out_router =
+          routers[static_cast<std::size_t>(topology.egress_switch(s))];
+      auto sink = make_output();
+      sink.is_sink = true;
+      sink.sink_slot = s;
+      out_router.outputs.push_back(std::move(sink));
+    }
+    // Wire up link destinations.
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      auto& out =
+          routers[static_cast<std::size_t>(edge.src)]
+              .outputs[static_cast<std::size_t>(
+                  out_port_of_edge[static_cast<std::size_t>(e)])];
+      out.dst_router = edge.dst;
+      out.dst_in_port = in_port_of_edge[static_cast<std::size_t>(e)];
+    }
+  }
+
+  /// Samples one weighted path for a new packet.
+  const graph::Path* sample_path(int src, int dst) {
+    const auto& set = routes.at(src, dst);
+    double r = prng.next_double();
+    for (const auto& wp : set.paths) {
+      r -= wp.fraction;
+      if (r <= 0.0) return &wp.path;
+    }
+    return &set.paths.back().path;
+  }
+
+  void inject(int src, int dst, bool measured) {
+    packets.push_back(Packet{src, dst, sample_path(src, dst), now, measured});
+    Packet* pkt = &packets.back();
+    if (measured) ++measured_generated;
+    auto& port =
+        routers[static_cast<std::size_t>(topology.ingress_switch(src))]
+            .inputs[static_cast<std::size_t>(
+                inject_port_of_slot[static_cast<std::size_t>(src)])];
+    for (int f = 0; f < config.flits_per_packet; ++f) {
+      port.queues[0].push_back(Flit{pkt, f == 0,
+                                    f == config.flits_per_packet - 1, 0});
+      ++flits_in_network;
+      if (now >= config.warmup_cycles) ++injected_flits_since_warmup;
+    }
+  }
+
+  /// Output port a flit at router `r` wants next (head flits only).
+  int output_for(const Flit& flit, graph::NodeId r) const {
+    const auto& path = *flit.packet->path;
+    if (flit.hop + 1 < static_cast<int>(path.nodes.size())) {
+      const graph::EdgeId e =
+          path.edges[static_cast<std::size_t>(flit.hop)];
+      return out_port_of_edge[static_cast<std::size_t>(e)];
+    }
+    // Last switch: eject to the destination slot's sink port.
+    const int dst = flit.packet->dst;
+    const auto& router = routers[static_cast<std::size_t>(r)];
+    for (std::size_t p = 0; p < router.outputs.size(); ++p) {
+      if (router.outputs[p].is_sink && router.outputs[p].sink_slot == dst) {
+        return static_cast<int>(p);
+      }
+    }
+    throw std::logic_error("Simulator: no ejection port for destination");
+  }
+
+  void deliver(const Flit& flit) {
+    --flits_in_network;
+    if (now >= config.warmup_cycles) ++delivered_flits_since_warmup;
+    if (!flit.tail) return;
+    Packet* pkt = flit.packet;
+    if (!pkt->measured) return;
+    const double latency =
+        static_cast<double>(now + 1 - pkt->gen_cycle);
+    ++measured_delivered;
+    latency_sum += latency;
+    latency_max = std::max(latency_max, latency);
+    latencies.push_back(latency);
+  }
+
+  /// One simulation cycle; returns the number of flits that moved.
+  int step(TrafficModel& traffic, bool measure_window) {
+    // 1. Link arrivals become visible; reset per-cycle state.
+    for (auto& router : routers) {
+      for (auto& in : router.inputs) {
+        in.popped_this_cycle = false;
+        while (!in.in_flight.empty() && in.in_flight.front().arrival <= now) {
+          const Flit& flit = in.in_flight.front().flit;
+          const int vc = vc_of(flit);
+          in.queues[static_cast<std::size_t>(vc)].push_back(flit);
+          --in.pending[static_cast<std::size_t>(vc)];
+          in.in_flight.pop_front();
+        }
+      }
+    }
+
+    // 2. New packets.
+    static thread_local std::vector<std::pair<int, int>> injections;
+    injections.clear();
+    traffic.injections(now, prng, injections);
+    for (const auto& [src, dst] : injections) {
+      if (src == dst) continue;
+      inject(src, dst, measure_window);
+    }
+
+    // 3. Switch allocation and traversal: each output port (physical link)
+    // moves at most one flit per cycle, round-robining over its virtual
+    // channels, each of which holds its own wormhole lock.
+    int moved = 0;
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      auto& router = routers[r];
+      for (auto& out : router.outputs) {
+        bool granted = false;
+        for (int kv = 0; kv < num_vcs && !granted; ++kv) {
+          const int vc = (out.vc_rr + kv) % num_vcs;
+          const auto vcz = static_cast<std::size_t>(vc);
+
+          int grant_in = -1;
+          if (out.locked[vcz] != nullptr) {
+            // Wormhole: the owning packet keeps this output VC until tail.
+            auto& in = router.inputs[static_cast<std::size_t>(
+                out.locked_in[vcz])];
+            if (!in.popped_this_cycle && !in.queues[vcz].empty() &&
+                in.queues[vcz].front().packet == out.locked[vcz]) {
+              grant_in = out.locked_in[vcz];
+            }
+          } else {
+            // Round-robin over head flits in this VC requesting this output.
+            const int n = static_cast<int>(router.inputs.size());
+            for (int k = 0; k < n; ++k) {
+              const int i = (out.rr_next[vcz] + k) % n;
+              auto& in = router.inputs[static_cast<std::size_t>(i)];
+              if (in.popped_this_cycle || in.queues[vcz].empty()) continue;
+              const Flit& flit = in.queues[vcz].front();
+              if (!flit.head) continue;
+              if (output_for(flit, static_cast<graph::NodeId>(r)) !=
+                  static_cast<int>(&out - router.outputs.data())) {
+                continue;
+              }
+              grant_in = i;
+              out.rr_next[vcz] = (i + 1) % n;
+              break;
+            }
+          }
+          if (grant_in < 0) continue;
+
+          auto& in = router.inputs[static_cast<std::size_t>(grant_in)];
+          const Flit& head = in.queues[vcz].front();
+
+          // Flow control: space in the downstream VC this flit will occupy
+          // (its hop increments across the link); sinks always accept.
+          if (!out.is_sink) {
+            Flit next = head;
+            ++next.hop;
+            const auto& dst_port =
+                routers[static_cast<std::size_t>(out.dst_router)]
+                    .inputs[static_cast<std::size_t>(out.dst_in_port)];
+            if (!dst_port.has_space(vc_of(next))) continue;
+          }
+
+          Flit flit = head;
+          in.queues[vcz].pop_front();
+          in.popped_this_cycle = true;
+          ++moved;
+          granted = true;
+          out.vc_rr = (vc + 1) % num_vcs;
+
+          if (flit.head && !flit.tail) {
+            out.locked[vcz] = flit.packet;
+            out.locked_in[vcz] = grant_in;
+          }
+          if (flit.tail) {
+            out.locked[vcz] = nullptr;
+            out.locked_in[vcz] = -1;
+          }
+
+          if (out.is_sink) {
+            deliver(flit);
+          } else {
+            Flit next = flit;
+            ++next.hop;
+            auto& dst_port =
+                routers[static_cast<std::size_t>(out.dst_router)]
+                    .inputs[static_cast<std::size_t>(out.dst_in_port)];
+            ++dst_port.pending[static_cast<std::size_t>(vc_of(next))];
+            dst_port.in_flight.push_back(InFlight{
+                now + static_cast<std::uint64_t>(config.link_latency_cycles),
+                next});
+          }
+        }
+      }
+    }
+    return moved;
+  }
+
+  SimStats run(TrafficModel& traffic) {
+    SimStats stats;
+    const std::uint64_t measure_end =
+        config.warmup_cycles + config.measure_cycles;
+    const std::uint64_t hard_end = measure_end + config.drain_cycles;
+    std::uint64_t stall = 0;
+
+    while (now < hard_end) {
+      const bool measure_window =
+          now >= config.warmup_cycles && now < measure_end;
+      const int moved = step(traffic, measure_window);
+      if (moved == 0 && flits_in_network > 0) {
+        if (++stall >= config.stall_limit_cycles) {
+          stats.saturated = true;
+          break;
+        }
+      } else {
+        stall = 0;
+      }
+      ++now;
+      if (now >= measure_end && measured_delivered == measured_generated) {
+        break;  // fully drained
+      }
+    }
+
+    stats.cycles = now;
+    stats.packets_generated = measured_generated;
+    stats.packets_delivered = measured_delivered;
+    if (measured_delivered > 0) {
+      stats.avg_latency_cycles =
+          latency_sum / static_cast<double>(measured_delivered);
+      stats.max_latency_cycles = latency_max;
+      std::sort(latencies.begin(), latencies.end());
+      auto percentile = [&](double p) {
+        const auto rank = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[rank];
+      };
+      stats.p50_latency_cycles = percentile(0.50);
+      stats.p95_latency_cycles = percentile(0.95);
+      stats.p99_latency_cycles = percentile(0.99);
+    }
+    if (measured_delivered < measured_generated) stats.saturated = true;
+    const std::uint64_t span = now > config.warmup_cycles
+                                   ? now - config.warmup_cycles
+                                   : 1;
+    stats.throughput_flits_per_cycle_per_slot =
+        static_cast<double>(delivered_flits_since_warmup) /
+        static_cast<double>(span) /
+        static_cast<double>(topology.num_slots());
+    stats.offered_flits_per_cycle_per_slot =
+        static_cast<double>(injected_flits_since_warmup) /
+        static_cast<double>(span) /
+        static_cast<double>(topology.num_slots());
+    // Acceptance meaningfully below the offered rate means the network is
+    // past its saturation throughput even if the measured packets drained.
+    if (stats.offered_flits_per_cycle_per_slot > 0.0 &&
+        stats.throughput_flits_per_cycle_per_slot <
+            0.9 * stats.offered_flits_per_cycle_per_slot) {
+      stats.saturated = true;
+    }
+    return stats;
+  }
+};
+
+Simulator::Simulator(const topo::Topology& topology, const RouteTable& routes,
+                     SimConfig config)
+    : impl_(std::make_unique<Impl>(topology, routes, config)) {}
+
+Simulator::~Simulator() = default;
+
+SimStats Simulator::run(TrafficModel& traffic) { return impl_->run(traffic); }
+
+SimStats simulate_pattern(const topo::Topology& topology,
+                          const RouteTable& routes, Pattern pattern,
+                          double injection_rate, const SimConfig& config) {
+  PatternTraffic traffic(topology.num_slots(), pattern, injection_rate,
+                         config.flits_per_packet);
+  Simulator simulator(topology, routes, config);
+  return simulator.run(traffic);
+}
+
+}  // namespace sunmap::sim

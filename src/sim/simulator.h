@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/route_table.h"
+#include "sim/traffic.h"
+#include "topo/topology.h"
+#include "util/prng.h"
+
+namespace sunmap::sim {
+
+/// Simulator configuration. The router model is the cycle-accurate stand-in
+/// for the generated ×pipes SystemC macros (see DESIGN.md §2): wormhole
+/// switching, a single virtual channel, credit-based flow control over
+/// point-to-point links, input FIFO buffers, round-robin output allocation
+/// and source routing.
+struct SimConfig {
+  int flits_per_packet = 4;
+  int buffer_depth_flits = 4;  ///< Input FIFO capacity per port (per VC).
+  int link_latency_cycles = 1;
+
+  /// Distance-class virtual channels: a flit at hop h travels in VC h, so
+  /// VC indices strictly increase along any path and the channel dependency
+  /// graph is acyclic — wormhole deadlock freedom for *any* source-routed
+  /// path set (including split-traffic routes on meshes and wraparound
+  /// torus routes, which deadlock under a single VC). The number of VCs is
+  /// sized automatically to the longest route in the table. Costs buffer
+  /// area in a real design, which is why it is an option and not the
+  /// default.
+  bool distance_class_vcs = false;
+
+  std::uint64_t warmup_cycles = 2000;   ///< Not measured.
+  std::uint64_t measure_cycles = 10000; ///< Packets generated here count.
+  std::uint64_t drain_cycles = 30000;   ///< Extra budget to deliver them.
+
+  /// Declare saturation when no flit moves for this many cycles (also the
+  /// guard against single-VC wormhole deadlock on wraparound channels).
+  std::uint64_t stall_limit_cycles = 2000;
+
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate results of one simulation run.
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t packets_generated = 0;  ///< During the measurement window.
+  std::uint64_t packets_delivered = 0;  ///< Measured packets delivered.
+  double avg_latency_cycles = 0.0;      ///< Generation to tail ejection.
+  double max_latency_cycles = 0.0;
+  double p50_latency_cycles = 0.0;      ///< Median measured latency.
+  double p95_latency_cycles = 0.0;
+  double p99_latency_cycles = 0.0;
+  /// Delivered flits per cycle per slot over the measurement+drain window.
+  double throughput_flits_per_cycle_per_slot = 0.0;
+  /// Injected flits per cycle per slot over the same window.
+  double offered_flits_per_cycle_per_slot = 0.0;
+  /// True when the network could not keep up with the offered load: the run
+  /// hit the stall limit, failed to drain the measured packets, or accepted
+  /// meaningfully less traffic than was offered. Latencies reported for a
+  /// saturated run are lower bounds.
+  bool saturated = false;
+};
+
+/// Cycle-accurate NoC simulator over one topology and routing table.
+///
+/// Packets are source-routed: at injection each packet samples one weighted
+/// path from the route table. A flit granted an output port at cycle t
+/// arrives at the downstream input at t + link_latency; with everything
+/// idle, a packet of F flits over a path of S switches is delivered in
+/// S + link_latency*(S-1) + F - 1 + 1 cycles from generation (asserted by
+/// the zero-load latency tests).
+class Simulator {
+ public:
+  Simulator(const topo::Topology& topology, const RouteTable& routes,
+            SimConfig config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs warmup + measurement + drain and returns the statistics.
+  [[nodiscard]] SimStats run(TrafficModel& traffic);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: average measured packet latency for a synthetic pattern at
+/// one injection rate (one point of Fig 8(b)).
+SimStats simulate_pattern(const topo::Topology& topology,
+                          const RouteTable& routes, Pattern pattern,
+                          double injection_rate, const SimConfig& config);
+
+}  // namespace sunmap::sim

@@ -1,0 +1,154 @@
+#include "sim/traffic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::sim {
+
+const char* to_string(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kUniform:
+      return "uniform";
+    case Pattern::kTranspose:
+      return "transpose";
+    case Pattern::kBitComplement:
+      return "bit-complement";
+    case Pattern::kBitReverse:
+      return "bit-reverse";
+    case Pattern::kTornado:
+      return "tornado";
+    case Pattern::kShuffle:
+      return "shuffle";
+    case Pattern::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+namespace {
+
+int bits_for(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+PatternTraffic::PatternTraffic(int num_slots, Pattern pattern,
+                               double injection_rate, int flits_per_packet)
+    : num_slots_(num_slots),
+      pattern_(pattern),
+      packet_rate_(injection_rate / static_cast<double>(flits_per_packet)) {
+  if (num_slots < 2) {
+    throw std::invalid_argument("PatternTraffic: need at least two slots");
+  }
+  if (injection_rate < 0.0 || flits_per_packet < 1) {
+    throw std::invalid_argument("PatternTraffic: invalid rate or size");
+  }
+}
+
+void PatternTraffic::set_hotspot(int slot, double fraction) {
+  if (slot < 0 || slot >= num_slots_ || fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("PatternTraffic: invalid hotspot");
+  }
+  hotspot_slot_ = slot;
+  hotspot_fraction_ = fraction;
+}
+
+int PatternTraffic::destination(int src, util::Prng& prng) const {
+  const int n = num_slots_;
+  switch (pattern_) {
+    case Pattern::kUniform: {
+      const int dst = static_cast<int>(
+          prng.next_below(static_cast<std::uint64_t>(n - 1)));
+      return dst >= src ? dst + 1 : dst;
+    }
+    case Pattern::kTranspose: {
+      const int side = static_cast<int>(std::lround(std::sqrt(n)));
+      if (side * side == n) {
+        return (src % side) * side + src / side;
+      }
+      return (n - src) % n;  // degenerate grids fall back to reversal
+    }
+    case Pattern::kBitComplement: {
+      const int bits = bits_for(n);
+      return (~src) & ((1 << bits) - 1) & (n - 1);
+    }
+    case Pattern::kBitReverse: {
+      const int bits = bits_for(n);
+      int rev = 0;
+      for (int b = 0; b < bits; ++b) {
+        if ((src >> b) & 1) rev |= 1 << (bits - 1 - b);
+      }
+      return rev % n;
+    }
+    case Pattern::kTornado:
+      return (src + (n + 1) / 2 - 1) % n;
+    case Pattern::kShuffle: {
+      const int bits = bits_for(n);
+      return ((src << 1) | (src >> (bits - 1))) & ((1 << bits) - 1) & (n - 1);
+    }
+    case Pattern::kHotspot: {
+      if (prng.chance(hotspot_fraction_) && src != hotspot_slot_) {
+        return hotspot_slot_;
+      }
+      const int dst = static_cast<int>(
+          prng.next_below(static_cast<std::uint64_t>(n - 1)));
+      return dst >= src ? dst + 1 : dst;
+    }
+  }
+  throw std::logic_error("PatternTraffic: unknown pattern");
+}
+
+void PatternTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
+                                std::vector<std::pair<int, int>>& out) {
+  for (int src = 0; src < num_slots_; ++src) {
+    if (!prng.chance(packet_rate_)) continue;
+    const int dst = destination(src, prng);
+    if (dst == src || dst < 0 || dst >= num_slots_) continue;
+    out.emplace_back(src, dst);
+  }
+}
+
+TraceTraffic::TraceTraffic(std::vector<TrafficFlow> flows,
+                           int flits_per_packet,
+                           double flits_per_cycle_per_gbps)
+    : flows_(std::move(flows)), flits_per_packet_(flits_per_packet) {
+  if (flits_per_packet < 1 || flits_per_cycle_per_gbps <= 0.0) {
+    throw std::invalid_argument("TraceTraffic: invalid scaling");
+  }
+  packet_prob_.reserve(flows_.size());
+  for (const auto& flow : flows_) {
+    if (flow.rate_mbps <= 0.0) {
+      throw std::invalid_argument("TraceTraffic: flow rate must be positive");
+    }
+    const double flits_per_cycle =
+        flow.rate_mbps / 1000.0 * flits_per_cycle_per_gbps;
+    const double prob = flits_per_cycle / flits_per_packet;
+    if (prob > 1.0) {
+      throw std::invalid_argument(
+          "TraceTraffic: flow rate exceeds one packet per cycle");
+    }
+    packet_prob_.push_back(prob);
+  }
+}
+
+double TraceTraffic::offered_flits_per_cycle() const {
+  double total = 0.0;
+  for (double prob : packet_prob_) {
+    total += prob * flits_per_packet_;
+  }
+  return total;
+}
+
+void TraceTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
+                              std::vector<std::pair<int, int>>& out) {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (prng.chance(packet_prob_[i])) {
+      out.emplace_back(flows_[i].src_slot, flows_[i].dst_slot);
+    }
+  }
+}
+
+}  // namespace sunmap::sim

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace sunmap::sim {
+
+/// Source of packet injections for the simulator. Each cycle the simulator
+/// asks the model which (source slot, destination slot) packets to create.
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  /// Appends this cycle's injections as (src_slot, dst_slot) pairs.
+  virtual void injections(std::uint64_t cycle, util::Prng& prng,
+                          std::vector<std::pair<int, int>>& out) = 0;
+};
+
+/// Classic synthetic patterns (Dally & Towles) used for the network-
+/// processor study (§6.2): the paper's "adversarial traffic pattern for each
+/// topology" is realised with permutations that concentrate load on the
+/// weakest links of each topology.
+enum class Pattern {
+  kUniform,        ///< Uniform random destination.
+  kTranspose,      ///< (r, c) -> (c, r) on the square slot grid.
+  kBitComplement,  ///< dst = ~src (mod slots).
+  kBitReverse,     ///< dst = bit-reversed src.
+  kTornado,        ///< dst = src + ceil(n/2) - 1 (mod n).
+  kShuffle,        ///< dst = rotate-left(src).
+  kHotspot,        ///< A fraction of traffic targets one hot slot.
+};
+
+const char* to_string(Pattern pattern);
+
+/// Open-loop Bernoulli injection of a synthetic pattern: every slot starts a
+/// new packet with probability injection_rate / flits_per_packet per cycle,
+/// so `injection_rate` is the offered load in flits/cycle/node as plotted in
+/// Fig 8(b).
+class PatternTraffic : public TrafficModel {
+ public:
+  PatternTraffic(int num_slots, Pattern pattern, double injection_rate,
+                 int flits_per_packet);
+
+  /// Hotspot configuration (only used by Pattern::kHotspot).
+  void set_hotspot(int slot, double fraction);
+
+  void injections(std::uint64_t cycle, util::Prng& prng,
+                  std::vector<std::pair<int, int>>& out) override;
+
+  /// The pattern's destination for a source slot (self-addressed results are
+  /// redrawn for random patterns and skipped for permutations). Exposed for
+  /// tests.
+  [[nodiscard]] int destination(int src, util::Prng& prng) const;
+
+ private:
+  int num_slots_;
+  Pattern pattern_;
+  double packet_rate_;
+  int hotspot_slot_ = 0;
+  double hotspot_fraction_ = 0.5;
+};
+
+/// One application flow for trace-driven simulation.
+struct TrafficFlow {
+  int src_slot = 0;
+  int dst_slot = 0;
+  double rate_mbps = 0.0;
+};
+
+/// Trace-driven injection reproducing a mapped application's core-graph
+/// rates (the DSP SystemC study of §6.4): each flow independently starts a
+/// packet with probability proportional to its bandwidth. `mbps_per_flit`
+/// converts MB/s into expected flits/cycle (it folds together flit width and
+/// clock frequency, and doubles as the knob for stressing the network).
+class TraceTraffic : public TrafficModel {
+ public:
+  TraceTraffic(std::vector<TrafficFlow> flows, int flits_per_packet,
+               double flits_per_cycle_per_gbps);
+
+  void injections(std::uint64_t cycle, util::Prng& prng,
+                  std::vector<std::pair<int, int>>& out) override;
+
+  [[nodiscard]] const std::vector<TrafficFlow>& flows() const {
+    return flows_;
+  }
+  /// Total offered load in flits/cycle summed over all flows.
+  [[nodiscard]] double offered_flits_per_cycle() const;
+
+ private:
+  std::vector<TrafficFlow> flows_;
+  std::vector<double> packet_prob_;
+  int flits_per_packet_ = 1;
+};
+
+}  // namespace sunmap::sim

@@ -1,0 +1,106 @@
+#include "topo/butterfly.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::topo {
+
+Butterfly::Butterfly(int k, int n)
+    : Topology(TopologyKind::kButterfly,
+               std::to_string(k) + "-ary " + std::to_string(n) + "-fly",
+               /*direct=*/false),
+      k_(k),
+      n_(n) {
+  if (k < 2 || n < 1 || n > 16) {
+    throw std::invalid_argument("Butterfly: need k >= 2 and 1 <= n <= 16");
+  }
+  pow_.resize(static_cast<std::size_t>(n + 1));
+  pow_[0] = 1;
+  for (int i = 1; i <= n; ++i) {
+    if (pow_[static_cast<std::size_t>(i - 1)] > (1 << 24) / k) {
+      throw std::invalid_argument("Butterfly: network too large");
+    }
+    pow_[static_cast<std::size_t>(i)] =
+        pow_[static_cast<std::size_t>(i - 1)] * k;
+  }
+  per_stage_ = pow_[static_cast<std::size_t>(n - 1)];
+
+  graph_ = graph::DirectedGraph(n * per_stage_);
+  for (int s = 0; s + 1 < n; ++s) {
+    const int pos = n - 2 - s;
+    for (int j = 0; j < per_stage_; ++j) {
+      for (int v = 0; v < k; ++v) {
+        graph_.add_edge(switch_at(s, j), switch_at(s + 1, with_digit(j, pos, v)));
+      }
+    }
+  }
+
+  const int terminals = pow_[static_cast<std::size_t>(n)];
+  ingress_.resize(static_cast<std::size_t>(terminals));
+  egress_.resize(static_cast<std::size_t>(terminals));
+  for (SlotId t = 0; t < terminals; ++t) {
+    ingress_[static_cast<std::size_t>(t)] = switch_at(0, t / k);
+    egress_[static_cast<std::size_t>(t)] = switch_at(n - 1, t / k);
+  }
+  finalize();
+}
+
+int Butterfly::digit(int index, int pos) const {
+  return (index / pow_[static_cast<std::size_t>(pos)]) % k_;
+}
+
+int Butterfly::with_digit(int index, int pos, int value) const {
+  const int base = pow_[static_cast<std::size_t>(pos)];
+  return index - digit(index, pos) * base + value * base;
+}
+
+std::vector<NodeId> Butterfly::dimension_ordered_path(SlotId src,
+                                                      SlotId dst) const {
+  int cur = src / k_;
+  const int target = dst / k_;
+  std::vector<NodeId> path{switch_at(0, cur)};
+  for (int s = 0; s + 1 < n_; ++s) {
+    const int pos = n_ - 2 - s;
+    cur = with_digit(cur, pos, digit(target, pos));
+    path.push_back(switch_at(s + 1, cur));
+  }
+  return path;
+}
+
+RelativePlacement Butterfly::relative_placement() const {
+  // Cores flank the switch stages (cf. the butterfly floorplan of
+  // Fig 10(b)); each side is wrapped into columns of at most `rows` blocks
+  // so the chip stays roughly square instead of one tall strip.
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kColumns;
+  const int slots = num_slots();
+  const int left = (slots + 1) / 2;
+  const int right = slots - left;
+  const int rows = std::max(
+      per_stage_,
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(slots) / 2.0))));
+  const int left_cols = (left + rows - 1) / rows;
+  const int right_cols = (right + rows - 1) / rows;
+
+  using Item = RelativePlacement::Item;
+  for (SlotId t = 0; t < left; ++t) {
+    placement.items.push_back(
+        Item{Item::Kind::kCore, t, t % rows, t / rows, 0});
+  }
+  for (int s = 0; s < n_; ++s) {
+    for (int j = 0; j < per_stage_; ++j) {
+      placement.items.push_back(
+          Item{Item::Kind::kSwitch, switch_at(s, j), j, left_cols + s, 0});
+    }
+  }
+  for (SlotId t = left; t < slots; ++t) {
+    const int i = t - left;
+    placement.items.push_back(Item{Item::Kind::kCore, t, i % rows,
+                                   left_cols + n_ + i / rows, 0});
+  }
+  placement.num_rows = rows;
+  placement.num_cols = left_cols + n_ + right_cols;
+  return placement;
+}
+
+}  // namespace sunmap::topo

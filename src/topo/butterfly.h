@@ -1,0 +1,48 @@
+#pragma once
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// Butterfly / k-ary n-fly network (Fig 2(b)): k^n terminals served by n
+/// stages of k^(n-1) switches with radix k. Switch (s, j) at stage s
+/// connects to the k switches of stage s+1 whose index agrees with j in
+/// every k-ary digit except position n-2-s (so stage 1 spans the largest
+/// index distance and each later stage halves it, as in the paper's
+/// description of the 2-ary 3-fly). There is exactly one path between any
+/// source and destination terminal — the butterfly trades path diversity for
+/// switch count and hop delay (§6.1).
+class Butterfly : public Topology {
+ public:
+  /// radix k >= 2, stages n >= 1.
+  Butterfly(int k, int n);
+
+  [[nodiscard]] int radix() const { return k_; }
+  [[nodiscard]] int stages() const { return n_; }
+  [[nodiscard]] int switches_per_stage() const { return per_stage_; }
+
+  [[nodiscard]] NodeId switch_at(int stage, int index) const {
+    return stage * per_stage_ + index;
+  }
+  [[nodiscard]] int stage_of(NodeId sw) const { return sw / per_stage_; }
+  [[nodiscard]] int index_of(NodeId sw) const { return sw % per_stage_; }
+
+  /// The unique destination-tag route (also the dimension-ordered route).
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+
+ private:
+  /// Replaces the k-ary digit of `index` at `pos` with `value`.
+  [[nodiscard]] int with_digit(int index, int pos, int value) const;
+  /// Extracts the k-ary digit of `index` at `pos`.
+  [[nodiscard]] int digit(int index, int pos) const;
+
+  int k_;
+  int n_;
+  int per_stage_;  // k^(n-1)
+  std::vector<int> pow_;
+};
+
+}  // namespace sunmap::topo

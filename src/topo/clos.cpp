@@ -1,0 +1,89 @@
+#include "topo/clos.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::topo {
+
+Clos::Clos(int m, int n, int r)
+    : Topology(TopologyKind::kClos,
+               "clos" + std::to_string(m) + "." + std::to_string(n) + "." +
+                   std::to_string(r),
+               /*direct=*/false),
+      m_(m),
+      n_(n),
+      r_(r) {
+  if (m < 1 || n < 1 || r < 1) {
+    throw std::invalid_argument("Clos: m, n, r must be positive");
+  }
+  graph_ = graph::DirectedGraph(r + m + r);
+  for (int i = 0; i < r_; ++i) {
+    for (int j = 0; j < m_; ++j) {
+      graph_.add_edge(ingress_node(i), middle_node(j));
+    }
+  }
+  for (int j = 0; j < m_; ++j) {
+    for (int k = 0; k < r_; ++k) {
+      graph_.add_edge(middle_node(j), egress_node(k));
+    }
+  }
+  const int slots = n_ * r_;
+  ingress_.resize(static_cast<std::size_t>(slots));
+  egress_.resize(static_cast<std::size_t>(slots));
+  for (SlotId s = 0; s < slots; ++s) {
+    ingress_[static_cast<std::size_t>(s)] = ingress_node(s / n_);
+    egress_[static_cast<std::size_t>(s)] = egress_node(s / n_);
+  }
+  finalize();
+}
+
+std::vector<NodeId> Clos::dimension_ordered_path(SlotId src,
+                                                 SlotId dst) const {
+  const int i = src / n_;
+  const int k = dst / n_;
+  const int j = (i + k) % m_;
+  return {ingress_node(i), middle_node(j), egress_node(k)};
+}
+
+RelativePlacement Clos::relative_placement() const {
+  // Cores flank the three switch stages; each side is wrapped into columns
+  // of at most `rows` blocks so the chip stays roughly square.
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kColumns;
+  const int slots = num_slots();
+  const int left = (slots + 1) / 2;
+  const int right = slots - left;
+  const int rows = std::max(
+      std::max(r_, m_),
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(slots) / 2.0))));
+  const int left_cols = (left + rows - 1) / rows;
+  const int right_cols = (right + rows - 1) / rows;
+
+  using Item = RelativePlacement::Item;
+  for (SlotId s = 0; s < left; ++s) {
+    placement.items.push_back(
+        Item{Item::Kind::kCore, s, s % rows, s / rows, 0});
+  }
+  for (int i = 0; i < r_; ++i) {
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, ingress_node(i), i, left_cols, 0});
+  }
+  for (int j = 0; j < m_; ++j) {
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, middle_node(j), j, left_cols + 1, 0});
+  }
+  for (int k = 0; k < r_; ++k) {
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, egress_node(k), k, left_cols + 2, 0});
+  }
+  for (SlotId s = left; s < slots; ++s) {
+    const int i = s - left;
+    placement.items.push_back(Item{Item::Kind::kCore, s, i % rows,
+                                   left_cols + 3 + i / rows, 0});
+  }
+  placement.num_rows = rows;
+  placement.num_cols = left_cols + 3 + right_cols;
+  return placement;
+}
+
+}  // namespace sunmap::topo

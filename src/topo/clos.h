@@ -1,0 +1,41 @@
+#pragma once
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// 3-stage Clos network (Fig 2(a)): r ingress switches of n x m, m middle
+/// switches of r x r, r egress switches of m x n, with a full interconnection
+/// pattern between adjacent stages. Each of the n*r slots attaches its core
+/// to ingress switch slot/n and egress switch slot/n; every route traverses
+/// exactly three switches, and the m middle switches provide the maximum
+/// path diversity the paper exploits for network-processing traffic (§6.2).
+class Clos : public Topology {
+ public:
+  /// m = number of middle switches, n = cores per ingress/egress switch,
+  /// r = number of ingress (and egress) switches.
+  Clos(int m, int n, int r);
+
+  [[nodiscard]] int middle_switches() const { return m_; }
+  [[nodiscard]] int cores_per_edge_switch() const { return n_; }
+  [[nodiscard]] int edge_switches() const { return r_; }
+
+  [[nodiscard]] NodeId ingress_node(int i) const { return i; }
+  [[nodiscard]] NodeId middle_node(int j) const { return r_ + j; }
+  [[nodiscard]] NodeId egress_node(int k) const { return r_ + m_ + k; }
+
+  /// Deterministic single-path route through middle switch
+  /// (ingress_index + egress_index) mod m — the "dimension-ordered"
+  /// equivalent for a Clos.
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+
+ private:
+  int m_;
+  int n_;
+  int r_;
+};
+
+}  // namespace sunmap::topo

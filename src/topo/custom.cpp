@@ -1,0 +1,94 @@
+#include "topo/custom.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/paths.h"
+
+namespace sunmap::topo {
+
+std::vector<NodeId> CustomTopology::dimension_ordered_path(
+    SlotId src, SlotId dst) const {
+  // Deterministic oblivious route: unit-cost Dijkstra (stable given the
+  // construction order of the graph).
+  const auto path = graph::shortest_path(
+      switch_graph(), ingress_switch(src), egress_switch(dst),
+      [](graph::EdgeId) { return 1.0; });
+  if (!path) {
+    throw std::logic_error("CustomTopology: unroutable pair");
+  }
+  return path->nodes;
+}
+
+RelativePlacement CustomTopology::relative_placement() const {
+  // Near-square grid of switches in id order; each slot's core block is
+  // stacked in its ingress switch's cell.
+  const int switches = num_switches();
+  const int cols = static_cast<int>(std::ceil(std::sqrt(switches)));
+  const int rows = (switches + cols - 1) / cols;
+
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kGrid;
+  placement.num_rows = rows;
+  placement.num_cols = cols;
+  using Item = RelativePlacement::Item;
+  std::vector<int> stack_depth(static_cast<std::size_t>(switches), 0);
+  for (NodeId sw = 0; sw < switches; ++sw) {
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, sw, sw / cols, sw % cols, 0});
+  }
+  for (SlotId s = 0; s < num_slots(); ++s) {
+    const NodeId sw = ingress_switch(s);
+    const int sub = ++stack_depth[static_cast<std::size_t>(sw)];
+    placement.items.push_back(
+        Item{Item::Kind::kCore, s, sw / cols, sw % cols, sub});
+  }
+  return placement;
+}
+
+CustomTopology::Builder::Builder(std::string name) : name_(std::move(name)) {}
+
+NodeId CustomTopology::Builder::add_switch() { return graph_.add_node(); }
+
+CustomTopology::Builder& CustomTopology::Builder::add_link(NodeId from,
+                                                           NodeId to) {
+  graph_.add_edge(from, to);
+  return *this;
+}
+
+CustomTopology::Builder& CustomTopology::Builder::add_bidirectional_link(
+    NodeId a, NodeId b) {
+  graph_.add_edge(a, b);
+  graph_.add_edge(b, a);
+  return *this;
+}
+
+SlotId CustomTopology::Builder::attach_core(NodeId sw) {
+  return attach_core(sw, sw);
+}
+
+SlotId CustomTopology::Builder::attach_core(NodeId ingress, NodeId egress) {
+  if (ingress < 0 || ingress >= graph_.num_nodes() || egress < 0 ||
+      egress >= graph_.num_nodes()) {
+    throw std::out_of_range("CustomTopology: attach to unknown switch");
+  }
+  if (ingress != egress) direct_ = false;
+  ingress_.push_back(ingress);
+  egress_.push_back(egress);
+  return static_cast<SlotId>(ingress_.size() - 1);
+}
+
+std::unique_ptr<CustomTopology> CustomTopology::Builder::build() {
+  auto topology = std::unique_ptr<CustomTopology>(
+      new CustomTopology(std::move(name_), direct_));
+  topology->graph_ = std::move(graph_);
+  topology->ingress_ = std::move(ingress_);
+  topology->egress_ = std::move(egress_);
+  topology->finalize();  // validates routability
+  graph_ = graph::DirectedGraph();
+  ingress_.clear();
+  egress_.clear();
+  return topology;
+}
+
+}  // namespace sunmap::topo

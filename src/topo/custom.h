@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// User-defined (heterogeneous) topology — the paper's stated future work:
+/// "we plan to enhance the tool with automatic heterogeneous topology
+/// modeling". A CustomTopology is built from an arbitrary switch graph and
+/// arbitrary core attachment points through the Builder; quadrant graphs
+/// fall back to the generic minimum-path closure, the deterministic route
+/// is a lowest-cost shortest path, and the floorplan placement is a
+/// near-square grid of switches with their attached cores.
+class CustomTopology : public Topology {
+ public:
+  class Builder;
+
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+
+ private:
+  friend class Builder;
+  CustomTopology(std::string name, bool direct)
+      : Topology(TopologyKind::kCustom, std::move(name), direct) {}
+};
+
+/// Incremental construction of a CustomTopology. Usage:
+///
+///   CustomTopology::Builder builder("ring4");
+///   auto s0 = builder.add_switch();  ... add_switch() x3 ...
+///   builder.add_bidirectional_link(s0, s1); ...
+///   builder.attach_core(s0); ...  // one slot per call
+///   auto topology = builder.build();
+///
+/// build() validates that every slot pair is routable and throws
+/// std::logic_error otherwise.
+class CustomTopology::Builder {
+ public:
+  explicit Builder(std::string name);
+
+  /// Adds a switch; returns its NodeId.
+  NodeId add_switch();
+
+  /// Adds a directed channel between existing switches.
+  Builder& add_link(NodeId from, NodeId to);
+
+  /// Adds a channel pair in both directions.
+  Builder& add_bidirectional_link(NodeId a, NodeId b);
+
+  /// Attaches a core slot whose ingress and egress are the same switch
+  /// (direct style). Returns the SlotId.
+  SlotId attach_core(NodeId sw);
+
+  /// Attaches a core slot with distinct ingress/egress switches (indirect
+  /// style). Returns the SlotId.
+  SlotId attach_core(NodeId ingress, NodeId egress);
+
+  /// Finalises and validates the topology. The builder is left empty.
+  std::unique_ptr<CustomTopology> build();
+
+ private:
+  std::string name_;
+  graph::DirectedGraph graph_;
+  std::vector<NodeId> ingress_;
+  std::vector<NodeId> egress_;
+  bool direct_ = true;
+};
+
+}  // namespace sunmap::topo

@@ -1,0 +1,97 @@
+#include "topo/hypercube.h"
+
+#include <stdexcept>
+
+namespace sunmap::topo {
+
+namespace {
+
+/// Rank of a Gray codeword within the Gray sequence (the inverse of
+/// i -> i ^ (i >> 1)); adjacent ranks differ in exactly one address bit.
+int gray_rank(int gray) {
+  int rank = 0;
+  for (int g = gray; g != 0; g >>= 1) rank ^= g;
+  return rank;
+}
+
+}  // namespace
+
+Hypercube::Hypercube(int dimensions)
+    : Topology(TopologyKind::kHypercube,
+               "hypercube" + std::to_string(dimensions) + "d",
+               /*direct=*/true),
+      dims_(dimensions) {
+  if (dimensions < 1 || dimensions > 20) {
+    throw std::invalid_argument("Hypercube: dimensions must be in [1, 20]");
+  }
+  const int n = 1 << dimensions;
+  graph_ = graph::DirectedGraph(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int d = 0; d < dimensions; ++d) {
+      const NodeId v = u ^ (1 << d);
+      if (u < v) {
+        graph_.add_edge(u, v);
+        graph_.add_edge(v, u);
+      }
+    }
+  }
+  ingress_.resize(static_cast<std::size_t>(n));
+  egress_.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    ingress_[static_cast<std::size_t>(u)] = u;
+    egress_[static_cast<std::size_t>(u)] = u;
+  }
+  finalize();
+}
+
+std::vector<NodeId> Hypercube::quadrant_nodes(SlotId src, SlotId dst) const {
+  const NodeId s = ingress_switch(src);
+  const NodeId t = egress_switch(dst);
+  const int differing = s ^ t;
+  std::vector<NodeId> nodes;
+  // Enumerate the subcube: every combination of the differing bits, with the
+  // agreeing bits fixed to their shared value.
+  const int fixed = s & ~differing;
+  // Iterate over subsets of `differing` via the standard subset-walk trick.
+  int subset = 0;
+  do {
+    nodes.push_back(fixed | subset);
+    subset = (subset - differing) & differing;
+  } while (subset != 0);
+  return nodes;
+}
+
+std::vector<NodeId> Hypercube::dimension_ordered_path(SlotId src,
+                                                      SlotId dst) const {
+  NodeId cur = ingress_switch(src);
+  const NodeId to = egress_switch(dst);
+  std::vector<NodeId> path{cur};
+  for (int d = 0; d < dims_; ++d) {
+    if (((cur ^ to) >> d) & 1) {
+      cur ^= (1 << d);
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+RelativePlacement Hypercube::relative_placement() const {
+  const int row_bits = dims_ / 2;
+  const int col_bits = dims_ - row_bits;
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kGrid;
+  placement.num_rows = 1 << row_bits;
+  placement.num_cols = 1 << col_bits;
+  for (NodeId u = 0; u < (1 << dims_); ++u) {
+    const int high = u >> col_bits;
+    const int low = u & ((1 << col_bits) - 1);
+    const int row = gray_rank(high);
+    const int col = gray_rank(low);
+    using Item = RelativePlacement::Item;
+    placement.items.push_back(Item{Item::Kind::kCore, u, row, col, 0});
+    placement.items.push_back(Item{Item::Kind::kSwitch, u, row, col, 1});
+  }
+  return placement;
+}
+
+}  // namespace sunmap::topo

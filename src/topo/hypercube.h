@@ -1,0 +1,35 @@
+#pragma once
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// Hypercube / 2-ary n-cube (Fig 1(c)): 2^n switches, one core each; node i
+/// is identified with the n-tuple of its binary digits and is adjacent to
+/// every node whose tuple is Hamming distance 1 away.
+class Hypercube : public Topology {
+ public:
+  explicit Hypercube(int dimensions);
+
+  [[nodiscard]] int dimensions() const { return dims_; }
+
+  /// Structural quadrant graph (§4.3): all nodes whose tuple matches source
+  /// and destination in every dimension where those two agree (the subcube
+  /// spanned by the differing dimensions).
+  [[nodiscard]] std::vector<NodeId> quadrant_nodes(SlotId src,
+                                                   SlotId dst) const override;
+
+  /// E-cube dimension-ordered routing: correct differing bits from least to
+  /// most significant dimension.
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  /// Grid embedding via Gray-code ordering of the row/column halves of the
+  /// address bits, which keeps most hypercube neighbours physically adjacent.
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+
+ private:
+  int dims_;
+};
+
+}  // namespace sunmap::topo

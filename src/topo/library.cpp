@@ -1,0 +1,78 @@
+#include "topo/library.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::topo {
+
+namespace {
+
+std::pair<int, int> grid_shape(int cores) {
+  if (cores < 2) {
+    throw std::invalid_argument("topology factory: need at least two cores");
+  }
+  int rows = static_cast<int>(std::floor(std::sqrt(cores)));
+  rows = std::max(rows, 1);
+  int cols = (cores + rows - 1) / rows;
+  // A 1xN strip is a degenerate mesh; prefer at least two rows when possible.
+  if (rows == 1 && cols > 2) {
+    rows = 2;
+    cols = (cores + 1) / 2;
+  }
+  return {rows, cols};
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_mesh_for(int cores) {
+  const auto [rows, cols] = grid_shape(cores);
+  return std::make_unique<Mesh>(rows, cols);
+}
+
+std::unique_ptr<Topology> make_torus_for(int cores) {
+  const auto [rows, cols] = grid_shape(cores);
+  return std::make_unique<Torus>(rows, cols);
+}
+
+std::unique_ptr<Topology> make_hypercube_for(int cores) {
+  int dims = 1;
+  while ((1 << dims) < cores) ++dims;
+  return std::make_unique<Hypercube>(dims);
+}
+
+std::unique_ptr<Topology> make_clos_for(int cores) {
+  const int n = static_cast<int>(std::ceil(std::sqrt(cores)));
+  const int r = (cores + n - 1) / n;
+  const int m = std::max(n, r);
+  return std::make_unique<Clos>(m, n, r);
+}
+
+std::unique_ptr<Topology> make_butterfly_for(int cores, int max_radix) {
+  if (max_radix < 2) {
+    throw std::invalid_argument("make_butterfly_for: max_radix < 2");
+  }
+  for (int n = 2; n <= 16; ++n) {
+    for (int k = 2; k <= max_radix; ++k) {
+      double terminals = std::pow(k, n);
+      if (terminals >= cores) return std::make_unique<Butterfly>(k, n);
+    }
+  }
+  throw std::invalid_argument("make_butterfly_for: core count too large");
+}
+
+std::vector<std::unique_ptr<Topology>> standard_library(
+    int cores, bool include_extensions) {
+  std::vector<std::unique_ptr<Topology>> library;
+  library.push_back(make_mesh_for(cores));
+  library.push_back(make_torus_for(cores));
+  library.push_back(make_hypercube_for(cores));
+  library.push_back(make_clos_for(cores));
+  library.push_back(make_butterfly_for(cores));
+  if (include_extensions) {
+    if (cores <= 8) library.push_back(std::make_unique<Octagon>());
+    library.push_back(std::make_unique<Star>(cores));
+  }
+  return library;
+}
+
+}  // namespace sunmap::topo

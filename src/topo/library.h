@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "topo/butterfly.h"
+#include "topo/clos.h"
+#include "topo/hypercube.h"
+#include "topo/mesh.h"
+#include "topo/octagon.h"
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// Factory helpers that size each standard topology for a given core count
+/// (|V| <= |U| per the mapping definition) plus the library container SUNMAP
+/// iterates over in phase 1.
+
+/// Near-square mesh with rows*cols >= cores (12 cores -> 3x4, 16 -> 4x4).
+std::unique_ptr<Topology> make_mesh_for(int cores);
+
+/// Near-square torus with rows*cols >= cores.
+std::unique_ptr<Topology> make_torus_for(int cores);
+
+/// Smallest hypercube with 2^n >= cores.
+std::unique_ptr<Topology> make_hypercube_for(int cores);
+
+/// Balanced 3-stage Clos: n = ceil(sqrt(cores)) cores per edge switch,
+/// r = ceil(cores/n) edge switches, m = max(n, r) middle switches (m >= n
+/// keeps the network rearrangeably non-blocking).
+std::unique_ptr<Topology> make_clos_for(int cores);
+
+/// k-ary n-fly with k^n >= cores: smallest stage count n >= 2 reachable with
+/// radix <= max_radix, then the smallest such radix (12 cores -> the paper's
+/// 4-ary 2-fly).
+std::unique_ptr<Topology> make_butterfly_for(int cores, int max_radix = 8);
+
+/// The standard SUNMAP library (mesh, torus, hypercube, clos, butterfly),
+/// each sized for `cores`. When `include_extensions` is set and the octagon/
+/// star fit the core count they are appended, mirroring the paper's remark
+/// that further topologies are easily added.
+std::vector<std::unique_ptr<Topology>> standard_library(
+    int cores, bool include_extensions = false);
+
+}  // namespace sunmap::topo

@@ -1,0 +1,192 @@
+#include "topo/mesh.h"
+
+#include <stdexcept>
+
+namespace sunmap::topo {
+
+Mesh::Mesh(int rows, int cols)
+    : Mesh(TopologyKind::kMesh,
+           "mesh" + std::to_string(rows) + "x" + std::to_string(cols), rows,
+           cols) {
+  finalize();
+}
+
+Mesh::Mesh(TopologyKind kind, std::string name, int rows, int cols)
+    : Topology(kind, std::move(name), /*direct=*/true),
+      rows_(rows),
+      cols_(cols) {
+  if (rows < 1 || cols < 1 || rows * cols < 2) {
+    throw std::invalid_argument("Mesh: need at least two nodes");
+  }
+  graph_ = graph::DirectedGraph(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const NodeId u = at(r, c);
+      if (c + 1 < cols) {
+        graph_.add_edge(u, at(r, c + 1));
+        graph_.add_edge(at(r, c + 1), u);
+      }
+      if (r + 1 < rows) {
+        graph_.add_edge(u, at(r + 1, c));
+        graph_.add_edge(at(r + 1, c), u);
+      }
+    }
+  }
+  ingress_.resize(static_cast<std::size_t>(rows * cols));
+  egress_.resize(static_cast<std::size_t>(rows * cols));
+  for (NodeId u = 0; u < rows * cols; ++u) {
+    ingress_[static_cast<std::size_t>(u)] = u;
+    egress_[static_cast<std::size_t>(u)] = u;
+  }
+}
+
+std::vector<NodeId> Mesh::quadrant_nodes(SlotId src, SlotId dst) const {
+  const NodeId s = ingress_switch(src);
+  const NodeId t = egress_switch(dst);
+  const int r0 = std::min(row_of(s), row_of(t));
+  const int r1 = std::max(row_of(s), row_of(t));
+  const int c0 = std::min(col_of(s), col_of(t));
+  const int c1 = std::max(col_of(s), col_of(t));
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>((r1 - r0 + 1) * (c1 - c0 + 1)));
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) nodes.push_back(at(r, c));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> Mesh::dimension_ordered_path(SlotId src,
+                                                 SlotId dst) const {
+  NodeId cur = ingress_switch(src);
+  const NodeId to = egress_switch(dst);
+  std::vector<NodeId> path{cur};
+  while (col_of(cur) != col_of(to)) {
+    cur = at(row_of(cur), col_of(cur) + (col_of(to) > col_of(cur) ? 1 : -1));
+    path.push_back(cur);
+  }
+  while (row_of(cur) != row_of(to)) {
+    cur = at(row_of(cur) + (row_of(to) > row_of(cur) ? 1 : -1), col_of(cur));
+    path.push_back(cur);
+  }
+  return path;
+}
+
+RelativePlacement Mesh::relative_placement() const {
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kGrid;
+  placement.num_rows = rows_;
+  placement.num_cols = cols_;
+  for (NodeId u = 0; u < rows_ * cols_; ++u) {
+    using Item = RelativePlacement::Item;
+    placement.items.push_back(
+        Item{Item::Kind::kCore, u, row_of(u), col_of(u), 0});
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, u, row_of(u), col_of(u), 1});
+  }
+  return placement;
+}
+
+Torus::Torus(int rows, int cols)
+    : Mesh(TopologyKind::kTorus,
+           "torus" + std::to_string(rows) + "x" + std::to_string(cols), rows,
+           cols) {
+  // Wraparound channels (only meaningful for dimension size > 2).
+  if (cols > 2) {
+    for (int r = 0; r < rows; ++r) {
+      graph_.add_edge(at(r, cols - 1), at(r, 0));
+      graph_.add_edge(at(r, 0), at(r, cols - 1));
+    }
+  }
+  if (rows > 2) {
+    for (int c = 0; c < cols; ++c) {
+      graph_.add_edge(at(rows - 1, c), at(0, c));
+      graph_.add_edge(at(0, c), at(rows - 1, c));
+    }
+  }
+  finalize();
+}
+
+std::pair<int, int> Torus::wrap_step(int from, int to, int size) {
+  if (from == to) return {0, 0};
+  const int fwd = ((to - from) % size + size) % size;
+  const int bwd = size - fwd;
+  if (fwd <= bwd) return {+1, fwd};
+  return {-1, bwd};
+}
+
+std::vector<NodeId> Torus::quadrant_nodes(SlotId src, SlotId dst) const {
+  const NodeId s = ingress_switch(src);
+  const NodeId t = egress_switch(dst);
+
+  // Walk each dimension in its shorter wrap direction and collect the
+  // coordinates passed through: the smallest bounding box between source and
+  // destination considering wraparound channels. On ties both directions are
+  // equally short; include both so the quadrant keeps every minimum path.
+  auto axis_coords = [](int from, int to, int size, bool wrap_allowed) {
+    std::vector<int> coords;
+    if (from == to) {
+      coords.push_back(from);
+      return coords;
+    }
+    if (!wrap_allowed) {
+      const int lo = std::min(from, to);
+      const int hi = std::max(from, to);
+      for (int x = lo; x <= hi; ++x) coords.push_back(x);
+      return coords;
+    }
+    const auto [step, dist] = wrap_step(from, to, size);
+    const int other = size - dist;
+    for (int i = 0, x = from; i <= dist; ++i, x = (x + step + size) % size) {
+      coords.push_back(x);
+    }
+    if (dist == other) {  // tie: both directions are minimal
+      for (int i = 1, x = from; i < other; ++i) {
+        x = (x - step + size) % size;
+        coords.push_back(x);
+      }
+    }
+    return coords;
+  };
+
+  const auto rows = axis_coords(row_of(s), row_of(t), rows_, rows_ > 2);
+  const auto cols = axis_coords(col_of(s), col_of(t), cols_, cols_ > 2);
+  std::vector<NodeId> nodes;
+  nodes.reserve(rows.size() * cols.size());
+  for (int r : rows) {
+    for (int c : cols) nodes.push_back(at(r, c));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> Torus::dimension_ordered_path(SlotId src,
+                                                  SlotId dst) const {
+  NodeId cur = ingress_switch(src);
+  const NodeId to = egress_switch(dst);
+  std::vector<NodeId> path{cur};
+
+  auto advance = [&](bool along_cols) {
+    const int size = along_cols ? cols_ : rows_;
+    const int from = along_cols ? col_of(cur) : row_of(cur);
+    const int target = along_cols ? col_of(to) : row_of(to);
+    const bool wrap = size > 2;
+    int step;
+    int dist;
+    if (wrap) {
+      std::tie(step, dist) = wrap_step(from, target, size);
+    } else {
+      step = target > from ? 1 : -1;
+      dist = std::abs(target - from);
+    }
+    for (int i = 0, x = from; i < dist; ++i) {
+      x = wrap ? (x + step + size) % size : x + step;
+      cur = along_cols ? at(row_of(cur), x) : at(x, col_of(cur));
+      path.push_back(cur);
+    }
+  };
+
+  advance(/*along_cols=*/true);
+  advance(/*along_cols=*/false);
+  return path;
+}
+
+}  // namespace sunmap::topo

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// 2-D mesh (Fig 1(a)): rows x cols switches, one core per switch,
+/// bidirectional channels between grid neighbours. Slot / switch id of the
+/// node at (row r, col c) is r * cols + c.
+class Mesh : public Topology {
+ public:
+  Mesh(int rows, int cols);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int row_of(NodeId sw) const { return sw / cols_; }
+  [[nodiscard]] int col_of(NodeId sw) const { return sw % cols_; }
+  [[nodiscard]] NodeId at(int row, int col) const {
+    return row * cols_ + col;
+  }
+
+  /// Structural quadrant graph (§4.3): the nodes within the bounding box
+  /// formed by the row and column boundaries of source and destination.
+  [[nodiscard]] std::vector<NodeId> quadrant_nodes(SlotId src,
+                                                   SlotId dst) const override;
+
+  /// XY dimension-ordered routing: route along the row (X/columns) first,
+  /// then along the column (Y/rows).
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+
+ protected:
+  /// Shared constructor for Torus, which adds wraparound channels.
+  Mesh(TopologyKind kind, std::string name, int rows, int cols);
+
+  int rows_;
+  int cols_;
+};
+
+/// 2-D torus (Fig 1(b)): a mesh plus wraparound channels between opposite
+/// edge nodes of every row and column (omitted for dimensions of size <= 2,
+/// where the wrap would duplicate an existing channel).
+class Torus : public Mesh {
+ public:
+  Torus(int rows, int cols);
+
+  /// Structural quadrant graph: the smallest bounding box between source and
+  /// destination considering the wraparound channels (§4.3).
+  [[nodiscard]] std::vector<NodeId> quadrant_nodes(SlotId src,
+                                                   SlotId dst) const override;
+
+  /// XY dimension-ordered routing taking the shorter wrap direction in each
+  /// dimension (positive direction on ties).
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+ private:
+  /// Signed step (+1/-1) and distance along one dimension of size `size`
+  /// from `from` to `to`, taking the shorter way around.
+  static std::pair<int, int> wrap_step(int from, int to, int size);
+};
+
+}  // namespace sunmap::topo

@@ -1,0 +1,62 @@
+#include "topo/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/paths.h"
+
+namespace sunmap::topo {
+
+TopologyMetrics compute_metrics(const Topology& topology) {
+  TopologyMetrics metrics;
+  metrics.num_switches = topology.num_switches();
+  metrics.num_slots = topology.num_slots();
+  metrics.num_network_links = topology.num_network_links();
+  metrics.num_core_links = topology.num_core_links();
+
+  const auto& g = topology.switch_graph();
+  double hop_sum = 0.0;
+  double link_hop_sum = 0.0;
+  double diversity_sum = 0.0;
+  std::int64_t pairs = 0;
+  metrics.min_path_diversity = std::numeric_limits<std::int64_t>::max();
+  for (SlotId a = 0; a < topology.num_slots(); ++a) {
+    for (SlotId b = 0; b < topology.num_slots(); ++b) {
+      if (a == b) continue;
+      const int hops = topology.min_switch_hops(a, b);
+      metrics.diameter_switch_hops =
+          std::max(metrics.diameter_switch_hops, hops);
+      hop_sum += hops;
+      link_hop_sum += hops - 1;
+      const auto diversity = graph::count_min_paths(
+          g, topology.ingress_switch(a), topology.egress_switch(b));
+      metrics.min_path_diversity =
+          std::min(metrics.min_path_diversity, diversity);
+      metrics.max_path_diversity =
+          std::max(metrics.max_path_diversity, diversity);
+      diversity_sum += static_cast<double>(diversity);
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    metrics.avg_switch_hops = hop_sum / static_cast<double>(pairs);
+    metrics.avg_path_diversity = diversity_sum / static_cast<double>(pairs);
+    const double avg_link_hops = link_hop_sum / static_cast<double>(pairs);
+    if (avg_link_hops > 0.0) {
+      metrics.uniform_capacity_flits_per_slot =
+          static_cast<double>(g.num_edges()) /
+          (avg_link_hops * static_cast<double>(topology.num_slots()));
+    }
+  } else {
+    metrics.min_path_diversity = 0;
+  }
+
+  for (graph::NodeId sw = 0; sw < topology.num_switches(); ++sw) {
+    const int radix = topology.switch_radix(sw);
+    metrics.total_switch_radix += radix;
+    metrics.max_switch_radix = std::max(metrics.max_switch_radix, radix);
+  }
+  return metrics;
+}
+
+}  // namespace sunmap::topo

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// Graph-theoretic characterisation of a topology, independent of any
+/// application. These are the structural quantities behind the paper's
+/// arguments: hop counts (Fig 6(a)), switch/link resources (Fig 6(b)),
+/// path diversity ("butterfly network trades-off path diversity for network
+/// switches", "clos networks have maximum path diversity").
+struct TopologyMetrics {
+  int num_switches = 0;
+  int num_slots = 0;
+  int num_network_links = 0;
+  int num_core_links = 0;
+
+  /// Maximum over slot pairs of the minimum switch-hop count.
+  int diameter_switch_hops = 0;
+  /// Average over ordered slot pairs of the minimum switch-hop count.
+  double avg_switch_hops = 0.0;
+
+  /// Minimum/average/maximum number of distinct minimum paths over ordered
+  /// slot pairs (butterfly: all 1; Clos(m,n,r): all m).
+  std::int64_t min_path_diversity = 0;
+  double avg_path_diversity = 0.0;
+  std::int64_t max_path_diversity = 0;
+
+  /// Total switch radix (sum of max(in, out) ports) — a proxy for network
+  /// silicon cost before the area library is applied.
+  int total_switch_radix = 0;
+  int max_switch_radix = 0;
+
+  /// Channel-count lower bound on uniform-traffic capacity: directed
+  /// switch-to-switch channels divided by (slots x average link hops).
+  /// An ideal-routing estimate; the simulator measures the real thing.
+  double uniform_capacity_flits_per_slot = 0.0;
+};
+
+/// Computes the metrics (exhaustive over slot pairs; fine for library-sized
+/// networks).
+TopologyMetrics compute_metrics(const Topology& topology);
+
+}  // namespace sunmap::topo

@@ -1,0 +1,115 @@
+#include "topo/octagon.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::topo {
+
+Octagon::Octagon()
+    : Topology(TopologyKind::kOctagon, "octagon", /*direct=*/true) {
+  graph_ = graph::DirectedGraph(8);
+  for (NodeId u = 0; u < 8; ++u) {
+    const NodeId next = (u + 1) % 8;
+    graph_.add_edge(u, next);
+    graph_.add_edge(next, u);
+  }
+  for (NodeId u = 0; u < 4; ++u) {
+    graph_.add_edge(u, u + 4);
+    graph_.add_edge(u + 4, u);
+  }
+  ingress_.resize(8);
+  egress_.resize(8);
+  for (NodeId u = 0; u < 8; ++u) {
+    ingress_[static_cast<std::size_t>(u)] = u;
+    egress_[static_cast<std::size_t>(u)] = u;
+  }
+  finalize();
+}
+
+std::vector<NodeId> Octagon::dimension_ordered_path(SlotId src,
+                                                    SlotId dst) const {
+  NodeId cur = ingress_switch(src);
+  const NodeId to = egress_switch(dst);
+  std::vector<NodeId> path{cur};
+  while (cur != to) {
+    const int rel = ((to - cur) % 8 + 8) % 8;
+    if (rel == 1 || rel == 2) {
+      cur = (cur + 1) % 8;
+    } else if (rel == 6 || rel == 7) {
+      cur = (cur + 7) % 8;
+    } else {
+      cur = (cur + 4) % 8;
+    }
+    path.push_back(cur);
+  }
+  return path;
+}
+
+RelativePlacement Octagon::relative_placement() const {
+  // Ring laid out on the perimeter of a 3x3 grid.
+  static constexpr int kRow[8] = {0, 0, 0, 1, 2, 2, 2, 1};
+  static constexpr int kCol[8] = {0, 1, 2, 2, 2, 1, 0, 0};
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kGrid;
+  placement.num_rows = 3;
+  placement.num_cols = 3;
+  using Item = RelativePlacement::Item;
+  for (NodeId u = 0; u < 8; ++u) {
+    placement.items.push_back(Item{Item::Kind::kCore, u, kRow[u], kCol[u], 0});
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, u, kRow[u], kCol[u], 1});
+  }
+  return placement;
+}
+
+Star::Star(int leaves)
+    : Topology(TopologyKind::kStar, "star" + std::to_string(leaves),
+               /*direct=*/true),
+      leaves_(leaves) {
+  if (leaves < 2) {
+    throw std::invalid_argument("Star: need at least two leaves");
+  }
+  graph_ = graph::DirectedGraph(leaves + 1);
+  for (int i = 0; i < leaves; ++i) {
+    graph_.add_edge(hub(), leaf_node(i));
+    graph_.add_edge(leaf_node(i), hub());
+  }
+  ingress_.resize(static_cast<std::size_t>(leaves));
+  egress_.resize(static_cast<std::size_t>(leaves));
+  for (int i = 0; i < leaves; ++i) {
+    ingress_[static_cast<std::size_t>(i)] = leaf_node(i);
+    egress_[static_cast<std::size_t>(i)] = leaf_node(i);
+  }
+  finalize();
+}
+
+std::vector<NodeId> Star::dimension_ordered_path(SlotId src,
+                                                 SlotId dst) const {
+  return {leaf_node(src), hub(), leaf_node(dst)};
+}
+
+RelativePlacement Star::relative_placement() const {
+  const int total = leaves_ + 1;
+  const int cols = static_cast<int>(std::ceil(std::sqrt(total)));
+  const int rows = (total + cols - 1) / cols;
+  const int hub_cell = (rows / 2) * cols + cols / 2;
+
+  RelativePlacement placement;
+  placement.mode = RelativePlacement::Mode::kGrid;
+  placement.num_rows = rows;
+  placement.num_cols = cols;
+  using Item = RelativePlacement::Item;
+  placement.items.push_back(Item{Item::Kind::kSwitch, hub(),
+                                 hub_cell / cols, hub_cell % cols, 0});
+  int cell = 0;
+  for (int i = 0; i < leaves_; ++i, ++cell) {
+    if (cell == hub_cell) ++cell;
+    placement.items.push_back(
+        Item{Item::Kind::kCore, i, cell / cols, cell % cols, 0});
+    placement.items.push_back(
+        Item{Item::Kind::kSwitch, leaf_node(i), cell / cols, cell % cols, 1});
+  }
+  return placement;
+}
+
+}  // namespace sunmap::topo

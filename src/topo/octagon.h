@@ -1,0 +1,46 @@
+#pragma once
+
+#include "topo/topology.h"
+
+namespace sunmap::topo {
+
+/// Octagon topology (Karim et al., paper ref [6]): 8 switches on a ring with
+/// bidirectional channels to both ring neighbours plus a cross channel to the
+/// diametrically opposite switch, giving a diameter of two link hops. One of
+/// the extension topologies the paper notes "can be easily added" to the
+/// library.
+class Octagon : public Topology {
+ public:
+  Octagon();
+
+  /// Standard octagon routing on the relative address rel = (dst - src) mod
+  /// 8: rel in {1,2} go clockwise, rel in {6,7} go counter-clockwise,
+  /// otherwise take the cross link, repeating until arrival (at most two
+  /// link hops).
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+};
+
+/// Star topology (paper ref [10]): a central hub switch with a dedicated
+/// bidirectional channel to each of the N leaf switches, one core per leaf.
+/// Every route is core -> leaf -> hub -> leaf -> core (3 switch hops).
+class Star : public Topology {
+ public:
+  explicit Star(int leaves);
+
+  [[nodiscard]] int leaves() const { return leaves_; }
+  [[nodiscard]] NodeId hub() const { return 0; }
+  [[nodiscard]] NodeId leaf_node(int i) const { return i + 1; }
+
+  [[nodiscard]] std::vector<NodeId> dimension_ordered_path(
+      SlotId src, SlotId dst) const override;
+
+  [[nodiscard]] RelativePlacement relative_placement() const override;
+
+ private:
+  int leaves_;
+};
+
+}  // namespace sunmap::topo

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "graph/paths.h"
+
+namespace sunmap::apps {
+namespace {
+
+TEST(Vopd, MatchesPaperFigure3a) {
+  const auto app = vopd();
+  EXPECT_EQ(app.num_cores(), 12);
+  EXPECT_EQ(app.num_flows(), 14);
+  EXPECT_NEAR(app.total_bandwidth_mbps(), 3478.0, 1e-9);
+  // The dominant pipeline edges.
+  const auto& g = app.graph();
+  EXPECT_TRUE(g.has_edge(app.core_index("vld"), app.core_index("run_le_dec")));
+  EXPECT_TRUE(
+      g.has_edge(app.core_index("vop_mem"), app.core_index("up_samp")));
+}
+
+TEST(Vopd, NoFlowExceedsPaperLinkCapacity) {
+  // Every single VOPD flow fits a 500 MB/s link, which is why minimum-path
+  // routing suffices in §6.1.
+  const auto app = vopd();
+  for (const auto& e : app.graph().edges()) {
+    EXPECT_LE(e.weight, 500.0);
+  }
+}
+
+TEST(Mpeg4, MatchesPaperFigure7a) {
+  const auto app = mpeg4();
+  EXPECT_EQ(app.num_cores(), 12);
+  EXPECT_EQ(app.num_flows(), 12);
+  // The SDRAM hotspot carries flows beyond a single 500 MB/s link: this is
+  // what makes every single-path routing infeasible (§6.1, Fig 9(a)).
+  int oversized = 0;
+  for (const auto& e : app.graph().edges()) {
+    if (e.weight > 500.0) ++oversized;
+  }
+  EXPECT_GE(oversized, 3);  // 910, 670, 600, 600
+}
+
+TEST(Mpeg4, SdramIsTheTrafficHotspot) {
+  const auto app = mpeg4();
+  const int sdram = app.core_index("sdram");
+  double max_other = 0.0;
+  for (int c = 0; c < app.num_cores(); ++c) {
+    if (c == sdram) continue;
+    max_other = std::max(max_other, app.core_traffic_mbps(c));
+  }
+  EXPECT_GT(app.core_traffic_mbps(sdram), max_other);
+}
+
+TEST(DspFilter, MatchesPaperFigure10a) {
+  const auto app = dsp_filter();
+  EXPECT_EQ(app.num_cores(), 6);
+  EXPECT_EQ(app.num_flows(), 8);
+  // Six 200 MB/s control flows and two 600 MB/s data flows.
+  EXPECT_NEAR(app.total_bandwidth_mbps(), 6 * 200.0 + 2 * 600.0, 1e-9);
+  EXPECT_TRUE(
+      app.graph().has_edge(app.core_index("fft"), app.core_index("filter")));
+  EXPECT_TRUE(
+      app.graph().has_edge(app.core_index("filter"), app.core_index("ifft")));
+}
+
+TEST(Netproc16, UniformSixteenNodes) {
+  const auto app = netproc16();
+  EXPECT_EQ(app.num_cores(), 16);
+  EXPECT_EQ(app.num_flows(), 48);
+  // Symmetric by construction: all cores see identical traffic.
+  const double t0 = app.core_traffic_mbps(0);
+  for (int c = 1; c < 16; ++c) {
+    EXPECT_NEAR(app.core_traffic_mbps(c), t0, 1e-9);
+  }
+}
+
+TEST(Pip, EightCorePipelines) {
+  const auto app = pip();
+  EXPECT_EQ(app.num_cores(), 8);
+  EXPECT_EQ(app.num_flows(), 8);
+  // Both scaler pipelines drain into the shared memory.
+  const auto& g = app.graph();
+  EXPECT_TRUE(g.has_edge(app.core_index("jug1"), app.core_index("mem")));
+  EXPECT_TRUE(g.has_edge(app.core_index("jug2"), app.core_index("mem")));
+  // Fits an octagon: at most 8 cores and modest bandwidths.
+  for (const auto& e : g.edges()) EXPECT_LE(e.weight, 128.0);
+}
+
+TEST(Mwd, TwelveCoreDisplayPipeline) {
+  const auto app = mwd();
+  EXPECT_EQ(app.num_cores(), 12);
+  EXPECT_EQ(app.num_flows(), 13);
+  EXPECT_TRUE(app.graph().has_edge(app.core_index("se"),
+                                   app.core_index("blend")));
+  // Three hard memory blocks.
+  int hard = 0;
+  for (int c = 0; c < app.num_cores(); ++c) {
+    if (!app.core(c).shape.soft) ++hard;
+  }
+  EXPECT_EQ(hard, 3);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.num_cores = 10;
+  spec.seed = 7;
+  const auto a = synthetic(spec);
+  const auto b = synthetic(spec);
+  ASSERT_EQ(a.num_flows(), b.num_flows());
+  for (int e = 0; e < a.num_flows(); ++e) {
+    EXPECT_EQ(a.graph().edge(e).src, b.graph().edge(e).src);
+    EXPECT_EQ(a.graph().edge(e).dst, b.graph().edge(e).dst);
+    EXPECT_DOUBLE_EQ(a.graph().edge(e).weight, b.graph().edge(e).weight);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.num_cores = 10;
+  spec.seed = 1;
+  const auto a = synthetic(spec);
+  spec.seed = 2;
+  const auto b = synthetic(spec);
+  bool differs = a.num_flows() != b.num_flows();
+  if (!differs) {
+    for (int e = 0; e < a.num_flows(); ++e) {
+      if (a.graph().edge(e).src != b.graph().edge(e).src ||
+          a.graph().edge(e).weight != b.graph().edge(e).weight) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, IsWeaklyConnected) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    SyntheticSpec spec;
+    spec.num_cores = 12;
+    spec.edge_density = 0.0;  // only the spanning chain
+    spec.seed = seed;
+    const auto app = synthetic(spec);
+    EXPECT_EQ(app.num_flows(), 11);
+    // Treat edges as undirected: every core must be reachable from core 0.
+    graph::DirectedGraph undirected(app.num_cores());
+    for (const auto& e : app.graph().edges()) {
+      undirected.add_edge(e.src, e.dst);
+      undirected.add_edge(e.dst, e.src);
+    }
+    const auto dist = graph::bfs_distances(undirected, 0);
+    for (int c = 0; c < app.num_cores(); ++c) {
+      EXPECT_GE(dist[static_cast<std::size_t>(c)], 0);
+    }
+  }
+}
+
+TEST(Synthetic, RespectsBandwidthRange) {
+  SyntheticSpec spec;
+  spec.num_cores = 8;
+  spec.edge_density = 0.5;
+  spec.min_bandwidth_mbps = 50.0;
+  spec.max_bandwidth_mbps = 60.0;
+  const auto app = synthetic(spec);
+  for (const auto& e : app.graph().edges()) {
+    EXPECT_GE(e.weight, 50.0);
+    EXPECT_LE(e.weight, 60.0);
+  }
+}
+
+TEST(Synthetic, ValidatesSpec) {
+  SyntheticSpec spec;
+  spec.num_cores = 1;
+  EXPECT_THROW(synthetic(spec), std::invalid_argument);
+  spec.num_cores = 8;
+  spec.edge_density = 1.5;
+  EXPECT_THROW(synthetic(spec), std::invalid_argument);
+  spec.edge_density = 0.2;
+  spec.max_bandwidth_mbps = 1.0;
+  spec.min_bandwidth_mbps = 2.0;
+  EXPECT_THROW(synthetic(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sunmap::apps

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "apps/apps.h"
+#include "io/csv.h"
+#include "topo/library.h"
+
+namespace sunmap::io {
+namespace {
+
+TEST(Csv, SelectionReportHasHeaderAndRows) {
+  const auto app = apps::dsp_filter();
+  const auto library = topo::standard_library(app.num_cores());
+  mapping::MapperConfig config;
+  config.link_bandwidth_mbps = 1000.0;
+  select::TopologySelector selector(config);
+  const auto report = selector.select(app, library);
+
+  const auto csv = selection_report_csv(report);
+  // Header + one line per candidate.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(report.candidates.size()) + 1);
+  EXPECT_EQ(csv.rfind("topology,feasible,", 0), 0u);
+  for (const auto& candidate : report.candidates) {
+    EXPECT_NE(csv.find(candidate.topology->name()), std::string::npos);
+  }
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  // Topology names like "4-ary 2-fly" have no commas, but the quoting path
+  // must still be correct for custom names.
+  const std::vector<select::ParetoPoint> frontier{{1.5, 2.5}, {3.0, 1.0}};
+  const auto csv = pareto_csv(frontier);
+  EXPECT_EQ(csv, "area_mm2,power_mw\n1.5,2.5\n3,1\n");
+}
+
+TEST(Csv, SeriesLayout) {
+  const auto csv = series_csv("rate", {0.1, 0.2},
+                              {{"mesh", {5.0, 6.0}}, {"clos", {4.0, 4.5}}});
+  EXPECT_EQ(csv, "rate,mesh,clos\n0.1,5,4\n0.2,6,4.5\n");
+}
+
+TEST(Csv, SeriesLengthMismatchThrows) {
+  EXPECT_THROW(series_csv("x", {1.0}, {{"bad", {1.0, 2.0}}}),
+               std::invalid_argument);
+}
+
+TEST(Csv, WriteFileRoundTrips) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sunmap_csv_test.csv")
+          .string();
+  write_file(path, "a,b\n1,2\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  EXPECT_THROW(write_file("/nonexistent_dir/x.csv", "data"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sunmap::io

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "graph/paths.h"
+#include "mapping/mapper.h"
+#include "topo/custom.h"
+
+namespace sunmap::topo {
+namespace {
+
+/// 4-switch bidirectional ring, one core per switch.
+std::unique_ptr<CustomTopology> ring4() {
+  CustomTopology::Builder builder("ring4");
+  NodeId sw[4];
+  for (auto& s : sw) s = builder.add_switch();
+  for (int i = 0; i < 4; ++i) {
+    builder.add_bidirectional_link(sw[i], sw[(i + 1) % 4]);
+  }
+  for (int i = 0; i < 4; ++i) builder.attach_core(sw[i]);
+  return builder.build();
+}
+
+TEST(CustomTopology, RingStructure) {
+  const auto ring = ring4();
+  EXPECT_EQ(ring->kind(), TopologyKind::kCustom);
+  EXPECT_EQ(ring->name(), "ring4");
+  EXPECT_EQ(ring->num_switches(), 4);
+  EXPECT_EQ(ring->num_slots(), 4);
+  EXPECT_TRUE(ring->is_direct());
+  EXPECT_EQ(ring->num_network_links(), 4);
+  EXPECT_EQ(ring->min_switch_hops(0, 2), 3);
+  EXPECT_EQ(ring->min_switch_hops(0, 1), 2);
+}
+
+TEST(CustomTopology, RouteIsShortest) {
+  const auto ring = ring4();
+  for (SlotId a = 0; a < 4; ++a) {
+    for (SlotId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      const auto path = ring->dimension_ordered_path(a, b);
+      EXPECT_EQ(static_cast<int>(path.size()), ring->min_switch_hops(a, b));
+      EXPECT_NO_THROW(ring->make_path(path));
+    }
+  }
+}
+
+TEST(CustomTopology, QuadrantUsesGenericClosure) {
+  const auto ring = ring4();
+  // Opposite nodes on a 4-ring: both arcs are minimal -> all 4 switches.
+  auto quadrant = ring->quadrant_nodes(0, 2);
+  std::sort(quadrant.begin(), quadrant.end());
+  EXPECT_EQ(quadrant, (std::vector<graph::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(CustomTopology, HeterogeneousExpressRing) {
+  // A ring with one express link 0 -> 4 (the kind of irregular structure
+  // the paper leaves to future work).
+  CustomTopology::Builder builder("express_ring");
+  NodeId sw[6];
+  for (auto& s : sw) s = builder.add_switch();
+  for (int i = 0; i < 6; ++i) {
+    builder.add_bidirectional_link(sw[i], sw[(i + 1) % 6]);
+  }
+  builder.add_bidirectional_link(sw[0], sw[3]);
+  for (int i = 0; i < 6; ++i) builder.attach_core(sw[i]);
+  const auto ring = builder.build();
+  // Express link shortens 0 -> 3 from 4 switches to 2.
+  EXPECT_EQ(ring->min_switch_hops(0, 3), 2);
+  // The express switch has a larger radix.
+  EXPECT_EQ(ring->switch_radix(0), 4);
+  EXPECT_EQ(ring->switch_radix(1), 3);
+}
+
+TEST(CustomTopology, IndirectAttachments) {
+  // A tiny 2-stage fabric: cores inject at stage 0 and eject at stage 1.
+  CustomTopology::Builder builder("fabric");
+  const NodeId in0 = builder.add_switch();
+  const NodeId in1 = builder.add_switch();
+  const NodeId out0 = builder.add_switch();
+  const NodeId out1 = builder.add_switch();
+  builder.add_link(in0, out0).add_link(in0, out1);
+  builder.add_link(in1, out0).add_link(in1, out1);
+  builder.attach_core(in0, out0);
+  builder.attach_core(in0, out1);
+  builder.attach_core(in1, out0);
+  builder.attach_core(in1, out1);
+  const auto fabric = builder.build();
+  EXPECT_FALSE(fabric->is_direct());
+  EXPECT_EQ(fabric->min_switch_hops(0, 3), 2);
+  EXPECT_EQ(fabric->num_core_links(), 8);
+}
+
+TEST(CustomTopology, BuildRejectsUnroutable) {
+  CustomTopology::Builder builder("broken");
+  const NodeId a = builder.add_switch();
+  const NodeId b = builder.add_switch();
+  builder.add_link(a, b);  // no way back
+  builder.attach_core(a);
+  builder.attach_core(b);
+  EXPECT_THROW(builder.build(), std::logic_error);
+}
+
+TEST(CustomTopology, AttachValidatesSwitch) {
+  CustomTopology::Builder builder("bad_attach");
+  builder.add_switch();
+  EXPECT_THROW(builder.attach_core(5), std::out_of_range);
+}
+
+TEST(CustomTopology, PlacementCoversEverything) {
+  const auto ring = ring4();
+  const auto placement = ring->relative_placement();
+  int cores = 0;
+  int switches = 0;
+  for (const auto& item : placement.items) {
+    if (item.kind == RelativePlacement::Item::Kind::kCore) ++cores;
+    if (item.kind == RelativePlacement::Item::Kind::kSwitch) ++switches;
+  }
+  EXPECT_EQ(cores, 4);
+  EXPECT_EQ(switches, 4);
+}
+
+TEST(CustomTopology, MapperRunsOnCustomTopology) {
+  const auto app = apps::dsp_filter();
+  CustomTopology::Builder builder("ring6");
+  NodeId sw[6];
+  for (auto& s : sw) s = builder.add_switch();
+  for (int i = 0; i < 6; ++i) {
+    builder.add_bidirectional_link(sw[i], sw[(i + 1) % 6]);
+  }
+  for (int i = 0; i < 6; ++i) builder.attach_core(sw[i]);
+  const auto ring = builder.build();
+
+  mapping::MapperConfig config;
+  config.link_bandwidth_mbps = 1000.0;
+  mapping::Mapper mapper(config);
+  const auto result = mapper.map(app, *ring);
+  EXPECT_TRUE(result.eval.feasible());
+  EXPECT_GE(result.eval.avg_switch_hops, 2.0);
+}
+
+}  // namespace
+}  // namespace sunmap::topo

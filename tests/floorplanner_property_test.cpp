@@ -1,0 +1,102 @@
+// Randomised property sweep of the floorplanner: for random block shapes
+// (mixed hard/soft, varied areas, partially used slots) over every library
+// topology, the layout must be legal and the LP engine must agree with the
+// longest-path engine on chip extents.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fplan/floorplanner.h"
+#include "topo/library.h"
+#include "util/prng.h"
+
+namespace sunmap::fplan {
+namespace {
+
+struct Case {
+  int topo_index;
+  std::uint64_t seed;
+};
+
+class RandomBlocks : public ::testing::TestWithParam<Case> {
+ protected:
+  void build() {
+    auto library = topo::standard_library(8, /*include_extensions=*/true);
+    topology_ = std::move(
+        library[static_cast<std::size_t>(GetParam().topo_index)]);
+    util::Prng prng(GetParam().seed);
+
+    cores_.resize(static_cast<std::size_t>(topology_->num_slots()));
+    for (int s = 0; s < topology_->num_slots(); ++s) {
+      if (prng.chance(0.2)) continue;  // leave some slots empty
+      if (prng.chance(0.3)) {
+        const double w = 1.0 + prng.next_double() * 2.0;
+        const double h = 1.0 + prng.next_double() * 2.0;
+        cores_[static_cast<std::size_t>(s)] = BlockShape::hard_block(w, h);
+      } else {
+        cores_[static_cast<std::size_t>(s)] =
+            BlockShape::soft_block(1.0 + prng.next_double() * 7.0);
+      }
+    }
+    switches_.clear();
+    for (int sw = 0; sw < topology_->num_switches(); ++sw) {
+      switches_.push_back(
+          BlockShape::soft_block(0.1 + prng.next_double() * 0.4));
+    }
+  }
+
+  std::unique_ptr<topo::Topology> topology_;
+  std::vector<std::optional<BlockShape>> cores_;
+  std::vector<BlockShape> switches_;
+};
+
+TEST_P(RandomBlocks, BandLayoutLegal) {
+  build();
+  const auto fp = Floorplanner().place(topology_->relative_placement(),
+                                       cores_, switches_);
+  EXPECT_TRUE(fp.overlap_free(1e-6)) << topology_->name();
+  EXPECT_TRUE(fp.within_bounds(1e-6)) << topology_->name();
+  // Block areas are preserved.
+  for (const auto& block : fp.blocks()) {
+    if (block.kind != PlacedBlock::Kind::kCore) continue;
+    const auto& shape = cores_[static_cast<std::size_t>(block.index)];
+    ASSERT_TRUE(shape.has_value());
+    EXPECT_NEAR(block.w * block.h, shape->area_mm2, 1e-6);
+  }
+}
+
+TEST_P(RandomBlocks, LpMatchesBandExtents) {
+  build();
+  Floorplanner::Options lp_options;
+  lp_options.engine = Floorplanner::Engine::kSimplexLp;
+  const auto lp = Floorplanner(lp_options).place(
+      topology_->relative_placement(), cores_, switches_);
+  const auto band = Floorplanner().place(topology_->relative_placement(),
+                                         cores_, switches_);
+  EXPECT_NEAR(lp.width_mm() + lp.height_mm(),
+              band.width_mm() + band.height_mm(), 1e-4)
+      << topology_->name();
+  EXPECT_TRUE(lp.overlap_free(1e-6));
+}
+
+std::vector<Case> sweep() {
+  std::vector<Case> cases;
+  for (int t = 0; t < 7; ++t) {
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      cases.push_back(Case{t, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomBlocks, ::testing::ValuesIn(sweep()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return "topo" +
+                                  std::to_string(info.param.topo_index) +
+                                  "_seed" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace sunmap::fplan

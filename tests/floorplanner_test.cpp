@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fplan/floorplanner.h"
+#include "topo/library.h"
+
+namespace sunmap::fplan {
+namespace {
+
+/// Uniform shape inputs for a topology: soft 4 mm^2 cores in every slot and
+/// soft 0.2 mm^2 switches.
+struct Inputs {
+  std::vector<std::optional<BlockShape>> cores;
+  std::vector<BlockShape> switches;
+};
+
+Inputs uniform_inputs(const topo::Topology& topology, int used_slots = -1) {
+  Inputs inputs;
+  const int used = used_slots < 0 ? topology.num_slots() : used_slots;
+  inputs.cores.resize(static_cast<std::size_t>(topology.num_slots()));
+  for (int s = 0; s < used; ++s) {
+    inputs.cores[static_cast<std::size_t>(s)] = BlockShape::soft_block(4.0);
+  }
+  inputs.switches.assign(static_cast<std::size_t>(topology.num_switches()),
+                         BlockShape::soft_block(0.2));
+  return inputs;
+}
+
+class FloorplannerTopologies : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<topo::Topology> topology_for(int index) {
+  // 8 cores keeps the octagon in the library, giving all 7 topologies.
+  auto library = topo::standard_library(8, /*include_extensions=*/true);
+  return std::move(library[static_cast<std::size_t>(index)]);
+}
+
+TEST_P(FloorplannerTopologies, LayoutIsLegal) {
+  const auto topology = topology_for(GetParam());
+  const auto inputs = uniform_inputs(*topology);
+  Floorplanner planner;
+  const auto fp = planner.place(topology->relative_placement(), inputs.cores,
+                                inputs.switches);
+  EXPECT_TRUE(fp.overlap_free(1e-6)) << topology->name();
+  EXPECT_TRUE(fp.within_bounds(1e-6)) << topology->name();
+  EXPECT_GT(fp.area_mm2(), 0.0);
+  // Every switch and every used slot is placed.
+  for (graph::NodeId sw = 0; sw < topology->num_switches(); ++sw) {
+    EXPECT_TRUE(fp.find(PlacedBlock::Kind::kSwitch, sw).has_value());
+  }
+  for (int s = 0; s < topology->num_slots(); ++s) {
+    EXPECT_TRUE(fp.find(PlacedBlock::Kind::kCore, s).has_value());
+  }
+}
+
+TEST_P(FloorplannerTopologies, SimplexMatchesLongestPathExtents) {
+  const auto topology = topology_for(GetParam());
+  const auto inputs = uniform_inputs(*topology);
+
+  Floorplanner::Options lp_options;
+  lp_options.engine = Floorplanner::Engine::kSimplexLp;
+  Floorplanner::Options band_options;
+  band_options.engine = Floorplanner::Engine::kLongestPath;
+
+  const auto lp_fp =
+      Floorplanner(lp_options).place(topology->relative_placement(),
+                                     inputs.cores, inputs.switches);
+  const auto band_fp =
+      Floorplanner(band_options).place(topology->relative_placement(),
+                                       inputs.cores, inputs.switches);
+  EXPECT_NEAR(lp_fp.width_mm() + lp_fp.height_mm(),
+              band_fp.width_mm() + band_fp.height_mm(), 1e-5)
+      << topology->name();
+  EXPECT_TRUE(lp_fp.overlap_free(1e-6));
+  EXPECT_TRUE(lp_fp.within_bounds(1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, FloorplannerTopologies,
+                         ::testing::Range(0, 7));
+
+TEST(Floorplanner, UnusedSlotsProduceNoBlocks) {
+  const auto mesh = topo::make_mesh_for(12);
+  const auto inputs = uniform_inputs(*mesh, /*used_slots=*/7);
+  Floorplanner planner;
+  const auto fp = planner.place(mesh->relative_placement(), inputs.cores,
+                                inputs.switches);
+  int cores = 0;
+  for (const auto& b : fp.blocks()) {
+    if (b.kind == PlacedBlock::Kind::kCore) ++cores;
+  }
+  EXPECT_EQ(cores, 7);
+}
+
+TEST(Floorplanner, HardBlockDimensionsPreserved) {
+  const auto mesh = topo::make_mesh_for(4);
+  auto inputs = uniform_inputs(*mesh);
+  inputs.cores[0] = BlockShape::hard_block(1.5, 3.0);
+  Floorplanner planner;
+  const auto fp = planner.place(mesh->relative_placement(), inputs.cores,
+                                inputs.switches);
+  const auto block = fp.find(PlacedBlock::Kind::kCore, 0);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_DOUBLE_EQ(block->w, 1.5);
+  EXPECT_DOUBLE_EQ(block->h, 3.0);
+}
+
+TEST(Floorplanner, SoftBlockAspectStaysInRange) {
+  const auto mesh = topo::make_mesh_for(9);
+  auto inputs = uniform_inputs(*mesh);
+  for (auto& core : inputs.cores) {
+    core->min_aspect = 0.5;
+    core->max_aspect = 2.0;
+  }
+  Floorplanner planner;
+  const auto fp = planner.place(mesh->relative_placement(), inputs.cores,
+                                inputs.switches);
+  for (const auto& b : fp.blocks()) {
+    if (b.kind != PlacedBlock::Kind::kCore) continue;
+    const double aspect = b.w / b.h;
+    EXPECT_GE(aspect, 0.5 - 1e-9);
+    EXPECT_LE(aspect, 2.0 + 1e-9);
+    EXPECT_NEAR(b.w * b.h, 4.0, 1e-9);
+  }
+}
+
+TEST(Floorplanner, SizingImprovesOrMatchesSquareBlocks) {
+  // Mixed block areas: aspect-ratio freedom should not hurt.
+  const auto mesh = topo::make_mesh_for(6);
+  auto inputs = uniform_inputs(*mesh);
+  inputs.cores[1] = BlockShape::soft_block(9.0);
+  inputs.cores[3] = BlockShape::soft_block(1.0);
+
+  Floorplanner::Options no_sizing;
+  no_sizing.sizing_passes = 0;
+  Floorplanner::Options with_sizing;
+  with_sizing.sizing_passes = 2;
+
+  const auto rigid = Floorplanner(no_sizing).place(
+      mesh->relative_placement(), inputs.cores, inputs.switches);
+  const auto sized = Floorplanner(with_sizing).place(
+      mesh->relative_placement(), inputs.cores, inputs.switches);
+  EXPECT_LE(sized.area_mm2(), rigid.area_mm2() + 1e-9);
+}
+
+TEST(Floorplanner, SpacingIncreasesChip) {
+  const auto mesh = topo::make_mesh_for(4);
+  const auto inputs = uniform_inputs(*mesh);
+  Floorplanner::Options tight;
+  tight.spacing_mm = 0.0;
+  Floorplanner::Options loose;
+  loose.spacing_mm = 0.5;
+  const auto tight_fp = Floorplanner(tight).place(
+      mesh->relative_placement(), inputs.cores, inputs.switches);
+  const auto loose_fp = Floorplanner(loose).place(
+      mesh->relative_placement(), inputs.cores, inputs.switches);
+  EXPECT_LT(tight_fp.area_mm2(), loose_fp.area_mm2());
+}
+
+}  // namespace
+}  // namespace sunmap::fplan

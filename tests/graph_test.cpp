@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace sunmap::graph {
+namespace {
+
+TEST(DirectedGraph, StartsEmpty) {
+  DirectedGraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DirectedGraph, ConstructWithNodes) {
+  DirectedGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DirectedGraph, NegativeNodeCountThrows) {
+  EXPECT_THROW(DirectedGraph(-1), std::invalid_argument);
+}
+
+TEST(DirectedGraph, AddNodeReturnsSequentialIds) {
+  DirectedGraph g;
+  EXPECT_EQ(g.add_node(), 0);
+  EXPECT_EQ(g.add_node(), 1);
+  EXPECT_EQ(g.add_node(), 2);
+}
+
+TEST(DirectedGraph, AddEdgeUpdatesAdjacency) {
+  DirectedGraph g(3);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).src, 0);
+  EXPECT_EQ(g.edge(e).dst, 1);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 2.5);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.out_degree(1), 0);
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(DirectedGraph, EdgesAreDirected) {
+  DirectedGraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(DirectedGraph, SelfLoopThrows) {
+  DirectedGraph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(DirectedGraph, OutOfRangeEndpointThrows) {
+  DirectedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+}
+
+TEST(DirectedGraph, ParallelEdgesAllowed) {
+  DirectedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(DirectedGraph, FindEdgeReturnsFirstMatch) {
+  DirectedGraph g(3);
+  g.add_edge(0, 2);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.find_edge(0, 1), e);
+  EXPECT_EQ(g.find_edge(1, 0), std::nullopt);
+}
+
+TEST(DirectedGraph, TotalWeightSumsEdges) {
+  DirectedGraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(2, 0, 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7.0);
+}
+
+TEST(DirectedGraph, EdgeWeightIsMutable) {
+  DirectedGraph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.edge(e).weight = 9.0;
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 9.0);
+}
+
+TEST(DirectedGraph, OutEdgesInInsertionOrder) {
+  DirectedGraph g(4);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(0, 2);
+  const EdgeId c = g.add_edge(0, 3);
+  const auto out = g.out_edges(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+  EXPECT_EQ(out[2], c);
+}
+
+}  // namespace
+}  // namespace sunmap::graph

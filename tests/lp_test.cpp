@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "fplan/lp.h"
+
+namespace sunmap::fplan {
+namespace {
+
+using Relation = LinearProgram::Relation;
+
+TEST(Simplex, SolvesTextbookMaximisation) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  x=2, y=6, obj 36
+  // (as a minimisation of -3x - 5y).
+  LinearProgram lp(2);
+  lp.set_objective(0, -3.0);
+  lp.set_objective(1, -5.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{1, 2.0}}, Relation::kLe, 12.0);
+  lp.add_constraint({{0, 3.0}, {1, 2.0}}, Relation::kLe, 18.0);
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(solution.values[1], 6.0, 1e-6);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-6);
+}
+
+TEST(Simplex, HandlesGreaterEqual) {
+  // min x + y s.t. x + y >= 3, x >= 1 -> obj 3.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGe, 3.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 1.0);
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-6);
+  EXPECT_GE(solution.values[0], 1.0 - 1e-6);
+}
+
+TEST(Simplex, HandlesEquality) {
+  // min 2x + y s.t. x + y == 5, x <= 3 -> x=0? obj: minimise 2x + y with
+  // x + y = 5 -> y = 5 - x, obj = x + 5, so x=0, obj 5.
+  LinearProgram lp(2);
+  lp.set_objective(0, 2.0);
+  lp.set_objective(1, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 5.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 3.0);
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 5.0, 1e-6);
+  EXPECT_NEAR(solution.values[0], 0.0, 1e-6);
+  EXPECT_NEAR(solution.values[1], 5.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(solve(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x with only x >= 0 -> unbounded below.
+  LinearProgram lp(1);
+  lp.set_objective(0, -1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 0.0);
+  EXPECT_EQ(solve(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalised) {
+  // x - y <= -2  (i.e. y >= x + 2); min y -> x=0, y=2.
+  LinearProgram lp(2);
+  lp.set_objective(1, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, -1.0}}, Relation::kLe, -2.0);
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProgramTerminates) {
+  // Multiple constraints active at the optimum (classic degeneracy).
+  LinearProgram lp(2);
+  lp.set_objective(0, -1.0);
+  lp.set_objective(1, -1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{1, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLe, 2.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLe, 2.0);
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -2.0, 1e-6);
+}
+
+TEST(Simplex, ZeroObjectiveFindsFeasiblePoint) {
+  LinearProgram lp(2);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 4.0);
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0] + solution.values[1], 4.0, 1e-6);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 3.0);
+  lp.add_constraint({{0, 2.0}, {1, 2.0}}, Relation::kEq, 6.0);  // redundant
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, 1e-6);
+}
+
+TEST(LinearProgram, ValidatesInput) {
+  EXPECT_THROW(LinearProgram(0), std::invalid_argument);
+  LinearProgram lp(2);
+  EXPECT_THROW(lp.add_constraint({{5, 1.0}}, Relation::kLe, 1.0),
+               std::out_of_range);
+}
+
+TEST(Simplex, LargerChainProgram) {
+  // Chain of ordering constraints mimicking floorplan x-positions:
+  // x_{i+1} >= x_i + 1, minimise x_n -> x_i = i.
+  constexpr int kN = 20;
+  LinearProgram lp(kN);
+  lp.set_objective(kN - 1, 1.0);
+  for (int i = 0; i + 1 < kN; ++i) {
+    lp.add_constraint({{i + 1, 1.0}, {i, -1.0}}, Relation::kGe, 1.0);
+  }
+  const auto solution = solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, kN - 1, 1e-6);
+}
+
+TEST(LpStatus, ToStringNames) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+}
+
+}  // namespace
+}  // namespace sunmap::fplan

@@ -1,0 +1,137 @@
+// Randomised property sweep of the mapping engine over synthetic
+// applications and the full topology library.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "apps/apps.h"
+#include "mapping/mapper.h"
+#include "topo/library.h"
+
+namespace sunmap::mapping {
+namespace {
+
+class SyntheticSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  CoreGraph make_app() const {
+    apps::SyntheticSpec spec;
+    spec.num_cores = std::get<0>(GetParam());
+    spec.seed = std::get<1>(GetParam());
+    spec.edge_density = 0.15;
+    spec.max_bandwidth_mbps = 300.0;
+    return apps::synthetic(spec);
+  }
+};
+
+TEST_P(SyntheticSweep, MappingValidOnEveryTopology) {
+  const auto app = make_app();
+  const auto library = topo::standard_library(app.num_cores());
+  MapperConfig config;
+  config.swap_passes = 1;
+  Mapper mapper(config);
+  for (const auto& topology : library) {
+    const auto result = mapper.map(app, *topology);
+    // Injective onto valid slots.
+    std::set<int> used;
+    for (int slot : result.core_to_slot) {
+      EXPECT_GE(slot, 0);
+      EXPECT_LT(slot, topology->num_slots());
+      EXPECT_TRUE(used.insert(slot).second);
+    }
+    // Every commodity's weighted hops at least the topology minimum.
+    const auto commodities = commodities_by_value(app);
+    for (std::size_t k = 0; k < commodities.size(); ++k) {
+      const int src =
+          result.core_to_slot[static_cast<std::size_t>(
+              commodities[k].src_core)];
+      const int dst =
+          result.core_to_slot[static_cast<std::size_t>(
+              commodities[k].dst_core)];
+      EXPECT_GE(result.eval.routes[k].weighted_switch_hops(),
+                topology->min_switch_hops(src, dst) - 1e-9)
+          << topology->name();
+    }
+    // Aggregates are internally consistent.
+    EXPECT_GT(result.eval.avg_switch_hops, 1.0);
+    EXPECT_GT(result.eval.design_area_mm2, app.total_core_area_mm2());
+    EXPECT_NEAR(result.eval.design_power_mw,
+                result.eval.dynamic_power_mw + result.eval.static_power_mw,
+                1e-9);
+  }
+}
+
+TEST_P(SyntheticSweep, FeasibilityMonotoneInLinkBandwidth) {
+  // If a mapping meets a bandwidth budget, the same mapping must meet any
+  // larger budget (evaluated on the identical placement).
+  const auto app = make_app();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig tight;
+  tight.link_bandwidth_mbps = 250.0;
+  tight.swap_passes = 1;
+  Mapper tight_mapper(tight);
+  const auto result = tight_mapper.map(app, *mesh);
+
+  MapperConfig loose = tight;
+  loose.link_bandwidth_mbps = 1000.0;
+  Mapper loose_mapper(loose);
+  const auto loose_eval =
+      loose_mapper.evaluate(app, *mesh, result.core_to_slot);
+  if (result.eval.bandwidth_feasible) {
+    EXPECT_TRUE(loose_eval.bandwidth_feasible);
+  }
+  EXPECT_LE(loose_eval.max_link_load_mbps,
+            result.eval.max_link_load_mbps + 1e-6);
+}
+
+TEST_P(SyntheticSweep, SplitRoutingNeverNeedsMoreBandwidthThanSinglePath) {
+  // On a fixed placement, splitting a commodity can only reduce the peak
+  // link load relative to the same engine's single-path choice.
+  const auto app = make_app();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig single;
+  single.routing = route::RoutingKind::kMinPath;
+  single.swap_passes = 0;
+  Mapper single_mapper(single);
+  const auto mapped = single_mapper.map(app, *mesh);
+
+  MapperConfig split = single;
+  split.routing = route::RoutingKind::kSplitAll;
+  Mapper split_mapper(split);
+  const auto split_eval =
+      split_mapper.evaluate(app, *mesh, mapped.core_to_slot);
+  EXPECT_LE(split_eval.max_link_load_mbps,
+            mapped.eval.max_link_load_mbps + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SyntheticSweep,
+    ::testing::Combine(::testing::Values(6, 9, 12),
+                       ::testing::Values(1ull, 7ull, 13ull)),
+    [](const auto& info) {
+      return "cores" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MapperRegression, Mpeg4RoutingBandwidthOrdering) {
+  // The Fig 9(a) ordering DO >= MP >= SM >= SA must hold for the mapped
+  // results (each routing function mapped with its own search).
+  const auto app = apps::mpeg4();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  double previous = std::numeric_limits<double>::infinity();
+  for (route::RoutingKind kind : route::kAllRoutingKinds) {
+    MapperConfig config;
+    config.routing = kind;
+    Mapper mapper(config);
+    const auto result = mapper.map(app, *mesh);
+    EXPECT_LE(result.eval.max_link_load_mbps, previous + 1e-6)
+        << route::to_string(kind);
+    previous = result.eval.max_link_load_mbps;
+  }
+}
+
+}  // namespace
+}  // namespace sunmap::mapping

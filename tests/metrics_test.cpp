@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "topo/library.h"
+#include "topo/metrics.h"
+
+namespace sunmap::topo {
+namespace {
+
+TEST(Metrics, MeshValues) {
+  const auto mesh = make_mesh_for(9);  // 3x3
+  const auto m = compute_metrics(*mesh);
+  EXPECT_EQ(m.num_switches, 9);
+  EXPECT_EQ(m.num_slots, 9);
+  EXPECT_EQ(m.num_network_links, 12);
+  EXPECT_EQ(m.diameter_switch_hops, 5);  // corner to corner
+  EXPECT_EQ(m.max_switch_radix, 5);      // centre switch
+  EXPECT_EQ(m.min_path_diversity, 1);    // aligned pairs
+  EXPECT_GT(m.max_path_diversity, 1);    // diagonal pairs
+}
+
+TEST(Metrics, ButterflyHasNoDiversity) {
+  const auto fly = make_butterfly_for(16);  // 4-ary 2-fly
+  const auto m = compute_metrics(*fly);
+  EXPECT_EQ(m.min_path_diversity, 1);
+  EXPECT_EQ(m.max_path_diversity, 1);
+  EXPECT_DOUBLE_EQ(m.avg_path_diversity, 1.0);
+  EXPECT_EQ(m.diameter_switch_hops, 2);
+  EXPECT_DOUBLE_EQ(m.avg_switch_hops, 2.0);
+}
+
+TEST(Metrics, ClosDiversityEqualsMiddles) {
+  const auto clos = std::make_unique<Clos>(4, 2, 4);
+  const auto m = compute_metrics(*clos);
+  EXPECT_EQ(m.min_path_diversity, 4);
+  EXPECT_EQ(m.max_path_diversity, 4);
+  EXPECT_EQ(m.diameter_switch_hops, 3);
+}
+
+TEST(Metrics, ClosHasMaximumWorstCaseDiversityOfLibrary) {
+  // §6.2: "clos networks have maximum path diversity" — every slot pair has
+  // m distinct minimum paths, whereas every other library topology has
+  // pairs with a single minimum path (aligned mesh/torus pairs, all
+  // butterfly pairs).
+  const auto library = standard_library(16);
+  std::int64_t clos_min = 0;
+  std::int64_t best_other_min = 0;
+  for (const auto& topology : library) {
+    const auto m = compute_metrics(*topology);
+    if (topology->kind() == TopologyKind::kClos) {
+      clos_min = m.min_path_diversity;
+    } else {
+      best_other_min = std::max(best_other_min, m.min_path_diversity);
+    }
+  }
+  EXPECT_GT(clos_min, best_other_min);
+  EXPECT_EQ(best_other_min, 1);
+}
+
+TEST(Metrics, StarDiameter) {
+  const auto star = Star(8);
+  const auto m = compute_metrics(star);
+  EXPECT_EQ(m.diameter_switch_hops, 3);
+  EXPECT_DOUBLE_EQ(m.avg_switch_hops, 3.0);
+  EXPECT_EQ(m.max_switch_radix, 8);  // the hub
+}
+
+TEST(Metrics, TorusBeatsMeshOnDistanceAndCapacity) {
+  const auto mesh = make_mesh_for(16);
+  const auto torus = make_torus_for(16);
+  const auto mesh_metrics = compute_metrics(*mesh);
+  const auto torus_metrics = compute_metrics(*torus);
+  EXPECT_LT(torus_metrics.avg_switch_hops, mesh_metrics.avg_switch_hops);
+  EXPECT_GT(torus_metrics.uniform_capacity_flits_per_slot,
+            mesh_metrics.uniform_capacity_flits_per_slot);
+}
+
+TEST(Metrics, RadixTotalsMatchPortSums) {
+  const auto fly = make_butterfly_for(16);
+  const auto m = compute_metrics(*fly);
+  EXPECT_EQ(m.total_switch_radix, 8 * 4);
+  EXPECT_EQ(m.max_switch_radix, 4);
+}
+
+}  // namespace
+}  // namespace sunmap::topo

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "fplan/render.h"
+#include "mapping/mapper.h"
+#include "topo/library.h"
+
+namespace sunmap::fplan {
+namespace {
+
+Floorplan simple_plan() {
+  std::vector<PlacedBlock> blocks;
+  blocks.push_back(PlacedBlock{PlacedBlock::Kind::kCore, 0, 0, 0, 4, 4});
+  blocks.push_back(PlacedBlock{PlacedBlock::Kind::kSwitch, 3, 5, 0, 2, 2});
+  return Floorplan(std::move(blocks), 8.0, 4.0);
+}
+
+TEST(Render, EmptyFloorplan) {
+  EXPECT_EQ(render_ascii(Floorplan{}), "(empty floorplan)\n");
+}
+
+TEST(Render, ContainsDefaultLabels) {
+  const auto art = render_ascii(simple_plan(), 60);
+  EXPECT_NE(art.find("c0"), std::string::npos);
+  EXPECT_NE(art.find("S3"), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Render, CustomLabels) {
+  const auto art = render_ascii(
+      simple_plan(),
+      [](const PlacedBlock& block) {
+        return block.kind == PlacedBlock::Kind::kCore ? "CPU" : "XBAR";
+      },
+      60);
+  EXPECT_NE(art.find("CPU"), std::string::npos);
+  EXPECT_NE(art.find("XBAR"), std::string::npos);
+}
+
+TEST(Render, WidthScalesOutput) {
+  const auto narrow = render_ascii(simple_plan(), 30);
+  const auto wide = render_ascii(simple_plan(), 90);
+  EXPECT_LT(narrow.size(), wide.size());
+}
+
+TEST(Render, TooNarrowFallsBack) {
+  EXPECT_EQ(render_ascii(simple_plan(), 4), "(empty floorplan)\n");
+}
+
+TEST(Render, RealMappedFloorplanRenders) {
+  const auto app = apps::dsp_filter();
+  const auto fly = topo::make_butterfly_for(app.num_cores());
+  mapping::MapperConfig config;
+  config.link_bandwidth_mbps = 1000.0;
+  mapping::Mapper mapper(config);
+  const auto result = mapper.map(app, *fly);
+  const auto art = render_ascii(result.eval.floorplan);
+  // One box per placed block at least (labels may clip on tiny switches).
+  EXPECT_GT(art.size(), 100u);
+  EXPECT_NE(art.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sunmap::fplan

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "route/routing.h"
+#include "topo/library.h"
+
+namespace sunmap::route {
+namespace {
+
+using topo::SlotId;
+
+double fraction_sum(const RouteSet& routes) {
+  double sum = 0.0;
+  for (const auto& wp : routes.paths) sum += wp.fraction;
+  return sum;
+}
+
+TEST(RoutingKind, Labels) {
+  EXPECT_STREQ(to_string(RoutingKind::kDimensionOrdered), "DO");
+  EXPECT_STREQ(to_string(RoutingKind::kMinPath), "MP");
+  EXPECT_STREQ(to_string(RoutingKind::kSplitMin), "SM");
+  EXPECT_STREQ(to_string(RoutingKind::kSplitAll), "SA");
+}
+
+TEST(LoadMap, AccumulatesAndClears) {
+  LoadMap loads(4);
+  loads.add(2, 100.0);
+  loads.add(2, 50.0);
+  EXPECT_DOUBLE_EQ(loads.load(2), 150.0);
+  EXPECT_DOUBLE_EQ(loads.max_load(), 150.0);
+  loads.clear();
+  EXPECT_DOUBLE_EQ(loads.max_load(), 0.0);
+}
+
+TEST(RoutingEngine, RejectsSelfRoute) {
+  const auto mesh = topo::make_mesh_for(9);
+  RoutingEngine engine(*mesh, RoutingKind::kMinPath);
+  LoadMap loads(mesh->switch_graph().num_edges());
+  EXPECT_THROW(engine.route(1, 1, 100.0, loads), std::invalid_argument);
+}
+
+TEST(RoutingEngine, RejectsBadConfig) {
+  const auto mesh = topo::make_mesh_for(9);
+  EXPECT_THROW(RoutingEngine(*mesh, RoutingKind::kSplitAll, 0),
+               std::invalid_argument);
+  EXPECT_THROW(RoutingEngine(*mesh, RoutingKind::kSplitAll, 8, -1.0),
+               std::invalid_argument);
+}
+
+TEST(RoutingEngine, MinPathStaysInsideQuadrant) {
+  const auto mesh = topo::make_mesh_for(16);
+  RoutingEngine engine(*mesh, RoutingKind::kMinPath);
+  LoadMap loads(mesh->switch_graph().num_edges());
+  for (SlotId a : {0, 3, 12, 5}) {
+    for (SlotId b : {15, 10, 2, 7}) {
+      if (a == b) continue;
+      const auto routes = engine.route(a, b, 10.0, loads);
+      ASSERT_EQ(routes.paths.size(), 1u);
+      const auto quadrant = mesh->quadrant_nodes(a, b);
+      for (graph::NodeId u : routes.paths[0].path.nodes) {
+        EXPECT_NE(std::find(quadrant.begin(), quadrant.end(), u),
+                  quadrant.end());
+      }
+    }
+  }
+}
+
+TEST(RoutingEngine, MinPathAvoidsLoadedLink) {
+  const auto mesh = topo::make_mesh_for(9);  // 3x3
+  RoutingEngine engine(*mesh, RoutingKind::kMinPath);
+  LoadMap loads(mesh->switch_graph().num_edges());
+  // Route 0 -> 4 twice: the second route must avoid the first's links
+  // (both L-paths have equal hops; load breaks the tie).
+  const auto first = engine.route(0, 4, 100.0, loads);
+  loads.add_route(first, 100.0);
+  const auto second = engine.route(0, 4, 100.0, loads);
+  EXPECT_NE(first.paths[0].path.nodes, second.paths[0].path.nodes);
+}
+
+TEST(RoutingEngine, MinPathHopsMatchTopologyMinimum) {
+  for (int cores : {9, 12, 16}) {
+    const auto mesh = topo::make_mesh_for(cores);
+    RoutingEngine engine(*mesh, RoutingKind::kMinPath);
+    LoadMap loads(mesh->switch_graph().num_edges());
+    for (SlotId a = 0; a < mesh->num_slots(); ++a) {
+      for (SlotId b = 0; b < mesh->num_slots(); ++b) {
+        if (a == b) continue;
+        const auto routes = engine.route(a, b, 1.0, loads);
+        EXPECT_DOUBLE_EQ(routes.weighted_switch_hops(),
+                         mesh->min_switch_hops(a, b));
+      }
+    }
+  }
+}
+
+TEST(RoutingEngine, SplitMinUsesAllClosMiddles) {
+  const auto clos = std::make_unique<topo::Clos>(4, 2, 4);
+  RoutingEngine engine(*clos, RoutingKind::kSplitMin);
+  LoadMap loads(clos->switch_graph().num_edges());
+  const auto routes = engine.route(0, 7, 400.0, loads);
+  // All four middle switches carry 1/4 of the flow each.
+  EXPECT_EQ(routes.paths.size(), 4u);
+  for (const auto& wp : routes.paths) {
+    EXPECT_NEAR(wp.fraction, 0.25, 1e-9);
+    EXPECT_EQ(wp.path.nodes.size(), 3u);
+  }
+}
+
+TEST(RoutingEngine, SplitMinHalvesDiagonalMeshFlow) {
+  const auto mesh = topo::make_mesh_for(9);
+  RoutingEngine engine(*mesh, RoutingKind::kSplitMin);
+  LoadMap loads(mesh->switch_graph().num_edges());
+  // 0 -> 4 (one-step diagonal): two minimum paths, half the flow on each
+  // first link.
+  const auto routes = engine.route(0, 4, 100.0, loads);
+  loads.add_route(routes, 100.0);
+  EXPECT_NEAR(loads.max_load(), 50.0, 1e-9);
+}
+
+TEST(RoutingEngine, SplitMinOnButterflyIsSinglePath) {
+  const auto fly = topo::make_butterfly_for(12);
+  RoutingEngine engine(*fly, RoutingKind::kSplitMin);
+  LoadMap loads(fly->switch_graph().num_edges());
+  // No path diversity (§6.1): splitting cannot help the butterfly.
+  const auto routes = engine.route(0, 9, 910.0, loads);
+  ASSERT_EQ(routes.paths.size(), 1u);
+  EXPECT_NEAR(routes.paths[0].fraction, 1.0, 1e-9);
+}
+
+TEST(RoutingEngine, SplitAllSpreadsBelowCapacity) {
+  const auto mesh = topo::make_mesh_for(9);
+  RoutingEngine engine(*mesh, RoutingKind::kSplitAll, 16, 500.0);
+  LoadMap loads(mesh->switch_graph().num_edges());
+  // 900 MB/s from the centre: must spread over several links to stay under
+  // the 500 MB/s capacity hint.
+  const auto routes = engine.route(4, 0, 900.0, loads);
+  loads.add_route(routes, 900.0);
+  EXPECT_GT(routes.paths.size(), 1u);
+  EXPECT_LE(loads.max_load(), 500.0 + 1e-6);
+}
+
+TEST(RoutingEngine, SplitAllZeroLoadPrefersMinimalPath) {
+  const auto mesh = topo::make_mesh_for(16);
+  RoutingEngine engine(*mesh, RoutingKind::kSplitAll, 4);
+  LoadMap loads(mesh->switch_graph().num_edges());
+  const auto routes = engine.route(0, 1, 1.0, loads);
+  // Tiny demand on an idle network: all chunks take the 2-switch path.
+  EXPECT_DOUBLE_EQ(routes.weighted_switch_hops(), 2.0);
+}
+
+class AllKindsAllTopologies
+    : public ::testing::TestWithParam<std::tuple<RoutingKind, int>> {};
+
+TEST_P(AllKindsAllTopologies, FractionsSumToOneAndLoadsConserve) {
+  const auto [kind, topo_index] = GetParam();
+  auto library = topo::standard_library(12, /*include_extensions=*/true);
+  const auto& topology = *library[static_cast<std::size_t>(topo_index)];
+  RoutingEngine engine(topology, kind, 8, 500.0);
+  LoadMap loads(topology.switch_graph().num_edges());
+  for (SlotId a = 0; a < std::min(6, topology.num_slots()); ++a) {
+    for (SlotId b = 0; b < std::min(6, topology.num_slots()); ++b) {
+      if (a == b) continue;
+      const double demand = 100.0;
+      const auto routes = engine.route(a, b, demand, loads);
+      EXPECT_NEAR(fraction_sum(routes), 1.0, 1e-9);
+
+      // Total added load equals demand x weighted link hops.
+      LoadMap delta(topology.switch_graph().num_edges());
+      delta.add_route(routes, demand);
+      double total = 0.0;
+      for (double v : delta.values()) total += v;
+      EXPECT_NEAR(total, demand * routes.weighted_link_hops(), 1e-6);
+
+      // Every path starts and ends at the right switches.
+      for (const auto& wp : routes.paths) {
+        EXPECT_EQ(wp.path.nodes.front(), topology.ingress_switch(a));
+        EXPECT_EQ(wp.path.nodes.back(), topology.egress_switch(b));
+      }
+      loads.add_route(routes, demand);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllKindsAllTopologies,
+    ::testing::Combine(::testing::Values(RoutingKind::kDimensionOrdered,
+                                         RoutingKind::kMinPath,
+                                         RoutingKind::kSplitMin,
+                                         RoutingKind::kSplitAll),
+                       ::testing::Range(0, 6)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_topo" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace sunmap::route

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "select/selector.h"
+
+namespace sunmap::select {
+namespace {
+
+TEST(Pareto, ExtractsFrontier) {
+  const std::vector<std::pair<double, double>> points{
+      {10.0, 5.0}, {8.0, 7.0}, {12.0, 4.0}, {8.0, 9.0}, {9.0, 6.0},
+  };
+  const auto frontier = pareto_frontier(points);
+  ASSERT_EQ(frontier.size(), 4u);
+  EXPECT_DOUBLE_EQ(frontier[0].area_mm2, 8.0);
+  EXPECT_DOUBLE_EQ(frontier[0].power_mw, 7.0);
+  EXPECT_DOUBLE_EQ(frontier[1].area_mm2, 9.0);
+  EXPECT_DOUBLE_EQ(frontier[2].area_mm2, 10.0);
+  EXPECT_DOUBLE_EQ(frontier[3].area_mm2, 12.0);
+  EXPECT_DOUBLE_EQ(frontier[3].power_mw, 4.0);
+}
+
+TEST(Pareto, DropsDuplicates) {
+  const std::vector<std::pair<double, double>> points{
+      {5.0, 5.0}, {5.0, 5.0}, {5.0, 5.0}};
+  EXPECT_EQ(pareto_frontier(points).size(), 1u);
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+}
+
+TEST(Pareto, SingleDominatingPoint) {
+  const std::vector<std::pair<double, double>> points{
+      {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  const auto frontier = pareto_frontier(points);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_DOUBLE_EQ(frontier[0].area_mm2, 1.0);
+}
+
+TEST(Selector, EvaluatesEveryTopology) {
+  const auto app = apps::dsp_filter();
+  const auto library = topo::standard_library(app.num_cores());
+  TopologySelector selector;
+  const auto report = selector.select(app, library);
+  ASSERT_EQ(report.candidates.size(), library.size());
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    EXPECT_EQ(report.candidates[i].topology, library[i].get());
+  }
+}
+
+TEST(Selector, BestIsFeasibleWithMinimumCost) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  TopologySelector selector;
+  const auto report = selector.select(app, library);
+  ASSERT_NE(report.best(), nullptr);
+  EXPECT_TRUE(report.best()->feasible());
+  for (const auto& candidate : report.candidates) {
+    if (candidate.feasible()) {
+      EXPECT_LE(report.best()->result.eval.cost,
+                candidate.result.eval.cost + 1e-12);
+    }
+  }
+}
+
+TEST(Selector, VopdSelectsButterfly) {
+  // §6.1: "butterfly is the best topology for VOPD" — least delay, area and
+  // power of the whole library at 500 MB/s links.
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  mapping::MapperConfig config;
+  config.routing = route::RoutingKind::kMinPath;
+  config.objective = mapping::Objective::kMinDelay;
+  TopologySelector selector(config);
+  const auto report = selector.select(app, library);
+  ASSERT_NE(report.best(), nullptr);
+  EXPECT_EQ(report.best()->topology->kind(), topo::TopologyKind::kButterfly);
+}
+
+TEST(Selector, NoFeasibleMappingYieldsNoBest) {
+  mapping::MapperConfig config;
+  config.link_bandwidth_mbps = 1.0;  // nothing fits
+  TopologySelector selector(config);
+  const auto app = apps::dsp_filter();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto report = selector.select(app, library);
+  EXPECT_EQ(report.best_index, -1);
+  EXPECT_EQ(report.best(), nullptr);
+}
+
+TEST(Selector, Mpeg4ButterflyInfeasibleOthersFeasibleUnderSplit) {
+  // §6.1: "the butterfly network ... doesn't produce any feasible mapping
+  // for MPEG4. All other topologies produce feasible mappings with
+  // split-traffic routing."
+  const auto app = apps::mpeg4();
+  const auto library = topo::standard_library(app.num_cores());
+  mapping::MapperConfig config;
+  config.routing = route::RoutingKind::kSplitAll;
+  TopologySelector selector(config);
+  const auto report = selector.select(app, library);
+  for (const auto& candidate : report.candidates) {
+    if (candidate.topology->kind() == topo::TopologyKind::kButterfly) {
+      EXPECT_FALSE(candidate.feasible());
+      // The 910 MB/s flow cannot be split on a single-path network.
+      EXPECT_NEAR(candidate.result.eval.max_link_load_mbps, 910.0, 1e-6);
+    } else {
+      EXPECT_TRUE(candidate.feasible()) << candidate.topology->name();
+    }
+  }
+}
+
+TEST(Selector, Mpeg4SinglePathRoutingAllInfeasible) {
+  // Fig 9(a): at 500 MB/s only the split-traffic routing functions fit.
+  const auto app = apps::mpeg4();
+  const auto library = topo::standard_library(app.num_cores());
+  mapping::MapperConfig config;
+  config.routing = route::RoutingKind::kMinPath;
+  TopologySelector selector(config);
+  const auto report = selector.select(app, library);
+  EXPECT_EQ(report.best(), nullptr);
+}
+
+}  // namespace
+}  // namespace sunmap::select

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.h"
+#include "topo/library.h"
+
+namespace sunmap::sim {
+namespace {
+
+SimConfig quick_config() {
+  SimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 3000;
+  config.drain_cycles = 20000;
+  config.seed = 1;
+  return config;
+}
+
+TEST(Simulator, ZeroLoadLatencyMatchesPipelineModel) {
+  // One low-rate flow between adjacent mesh nodes under XY routing: every
+  // packet takes exactly F + (S-1)*L cycles (4 flits, 2 switches, 1-cycle
+  // links -> 5 cycles).
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig config = quick_config();
+  config.flits_per_packet = 4;
+  TraceTraffic traffic({{0, 1, 50.0}}, 4, 0.1);  // 0.005 flits/cycle
+  Simulator simulator(*mesh, routes, config);
+  const auto stats = simulator.run(traffic);
+  ASSERT_GT(stats.packets_delivered, 0u);
+  EXPECT_FALSE(stats.saturated);
+  EXPECT_DOUBLE_EQ(stats.avg_latency_cycles, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_cycles, 5.0);
+}
+
+TEST(Simulator, ZeroLoadLatencyAcrossTheMesh) {
+  // Corner to corner on a 3x3 mesh: 5 switches -> 4 + 4 = 8 cycles.
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig config = quick_config();
+  TraceTraffic traffic({{0, 8, 50.0}}, 4, 0.1);
+  Simulator simulator(*mesh, routes, config);
+  const auto stats = simulator.run(traffic);
+  ASSERT_GT(stats.packets_delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_latency_cycles, 8.0);
+}
+
+TEST(Simulator, LinkLatencyAddsPerHopCycles) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig config = quick_config();
+  config.link_latency_cycles = 3;
+  TraceTraffic traffic({{0, 1, 50.0}}, 4, 0.1);
+  Simulator simulator(*mesh, routes, config);
+  const auto stats = simulator.run(traffic);
+  ASSERT_GT(stats.packets_delivered, 0u);
+  // F + (S-1)*L = 4 + 1*3 = 7.
+  EXPECT_DOUBLE_EQ(stats.avg_latency_cycles, 7.0);
+}
+
+class DeadlockFreeTopologies : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeadlockFreeTopologies, DeliversEveryPacketAtLowLoad) {
+  // DO routing is deadlock-free on these topologies (XY / e-cube /
+  // feed-forward stages / hub), so at low load every measured packet must
+  // arrive.
+  auto library = topo::standard_library(16);
+  const auto topology =
+      std::move(library[static_cast<std::size_t>(GetParam())]);
+  const auto routes = RouteTable::all_pairs(
+      *topology, route::RoutingKind::kDimensionOrdered);
+  const auto stats = simulate_pattern(*topology, routes, Pattern::kUniform,
+                                      0.05, quick_config());
+  EXPECT_FALSE(stats.saturated) << topology->name();
+  EXPECT_GT(stats.packets_generated, 0u);
+  EXPECT_EQ(stats.packets_delivered, stats.packets_generated)
+      << topology->name();
+  EXPECT_GT(stats.avg_latency_cycles, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, DeadlockFreeTopologies,
+                         ::testing::Values(0, 2, 3, 4));  // mesh, hyp, clos, fly
+
+TEST(Simulator, LatencyIncreasesWithInjectionRate) {
+  const auto mesh = topo::make_mesh_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  const auto low = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.05,
+                                    quick_config());
+  const auto high = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.3,
+                                     quick_config());
+  EXPECT_FALSE(low.saturated);
+  EXPECT_GT(high.avg_latency_cycles, low.avg_latency_cycles);
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  const auto a = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.1,
+                                  quick_config());
+  const auto b = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.1,
+                                  quick_config());
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+TEST(Simulator, SeedsChangeTheRun) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig other = quick_config();
+  other.seed = 99;
+  const auto a = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.1,
+                                  quick_config());
+  const auto b =
+      simulate_pattern(*mesh, routes, Pattern::kUniform, 0.1, other);
+  EXPECT_NE(a.packets_generated, b.packets_generated);
+}
+
+TEST(Simulator, SaturatesBeyondCapacity) {
+  // Bit-complement at 0.8 flits/cycle/node drives the 4x4 mesh's bisection
+  // channels to 1.6x their capacity: the run must flag saturation.
+  const auto mesh = topo::make_mesh_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig config = quick_config();
+  config.drain_cycles = 3000;
+  const auto stats =
+      simulate_pattern(*mesh, routes, Pattern::kBitComplement, 0.8, config);
+  EXPECT_TRUE(stats.saturated);
+}
+
+TEST(Simulator, ClosOutlastsButterflyUnderAdversarialTraffic) {
+  // The §6.2 claim behind Fig 8(b): at a load where the butterfly's single
+  // paths have long since saturated, the clos still delivers with low
+  // latency thanks to its middle-stage path diversity.
+  auto library = topo::standard_library(16);
+  const auto& clos = *library[3];
+  const auto& fly = *library[4];
+  const auto clos_routes =
+      RouteTable::all_pairs(clos, route::RoutingKind::kSplitMin);
+  const auto fly_routes =
+      RouteTable::all_pairs(fly, route::RoutingKind::kSplitMin);
+  const auto clos_stats = simulate_pattern(clos, clos_routes,
+                                           Pattern::kBitComplement, 0.35,
+                                           quick_config());
+  const auto fly_stats = simulate_pattern(fly, fly_routes,
+                                          Pattern::kBitComplement, 0.35,
+                                          quick_config());
+  EXPECT_FALSE(clos_stats.saturated);
+  const bool fly_worse =
+      fly_stats.saturated ||
+      fly_stats.avg_latency_cycles > 2.0 * clos_stats.avg_latency_cycles;
+  EXPECT_TRUE(fly_worse);
+}
+
+TEST(Simulator, WormholeDeadlockIsDetectedNotHung) {
+  // Split-over-minimum-paths on a mesh mixes XY and YX turns, which is not
+  // deadlock-free under single-VC wormhole switching — a known property the
+  // simulator must surface as saturation rather than hang on.
+  const auto mesh = topo::make_mesh_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kSplitMin);
+  SimConfig config = quick_config();
+  config.drain_cycles = 8000;
+  config.stall_limit_cycles = 500;
+  const auto stats =
+      simulate_pattern(*mesh, routes, Pattern::kBitComplement, 0.4, config);
+  EXPECT_TRUE(stats.saturated);
+}
+
+TEST(Simulator, ThroughputTracksOfferedLoadBelowSaturation) {
+  const auto mesh = topo::make_mesh_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  const auto stats = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.1,
+                                      quick_config());
+  EXPECT_FALSE(stats.saturated);
+  EXPECT_NEAR(stats.throughput_flits_per_cycle_per_slot, 0.1, 0.02);
+}
+
+TEST(Simulator, DistanceClassVcsRemoveSplitRoutingDeadlock) {
+  // The same configuration that deadlocks under a single VC (see
+  // WormholeDeadlockIsDetectedNotHung) runs cleanly with distance-class
+  // virtual channels: VC indices strictly increase along every path, so the
+  // channel dependency graph is acyclic.
+  const auto mesh = topo::make_mesh_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kSplitMin);
+  SimConfig config = quick_config();
+  config.distance_class_vcs = true;
+  const auto stats =
+      simulate_pattern(*mesh, routes, Pattern::kBitComplement, 0.2, config);
+  EXPECT_FALSE(stats.saturated);
+  EXPECT_EQ(stats.packets_delivered, stats.packets_generated);
+}
+
+TEST(Simulator, DistanceClassVcsKeepZeroLoadLatency) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig config = quick_config();
+  config.distance_class_vcs = true;
+  TraceTraffic traffic({{0, 8, 50.0}}, 4, 0.1);
+  Simulator simulator(*mesh, routes, config);
+  const auto stats = simulator.run(traffic);
+  ASSERT_GT(stats.packets_delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_latency_cycles, 8.0);
+}
+
+TEST(Simulator, DistanceClassVcsHelpTorusWraps) {
+  // DO routing on torus wraparounds can deadlock with one VC; with
+  // distance-class VCs every measured packet at moderate load arrives.
+  const auto torus = topo::make_torus_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*torus, route::RoutingKind::kDimensionOrdered);
+  SimConfig config = quick_config();
+  config.distance_class_vcs = true;
+  const auto stats =
+      simulate_pattern(*torus, routes, Pattern::kTornado, 0.15, config);
+  EXPECT_FALSE(stats.saturated);
+  EXPECT_EQ(stats.packets_delivered, stats.packets_generated);
+}
+
+TEST(RouteTableVc, MaxPathSwitches) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  EXPECT_EQ(routes.max_path_switches(), 5);  // corner to corner on 3x3
+}
+
+TEST(Simulator, PercentilesOrderedAndBracketed) {
+  const auto mesh = topo::make_mesh_for(16);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  const auto stats = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.2,
+                                      quick_config());
+  ASSERT_GT(stats.packets_delivered, 0u);
+  EXPECT_LE(stats.p50_latency_cycles, stats.p95_latency_cycles);
+  EXPECT_LE(stats.p95_latency_cycles, stats.p99_latency_cycles);
+  EXPECT_LE(stats.p99_latency_cycles, stats.max_latency_cycles);
+  EXPECT_GE(stats.p50_latency_cycles, 1.0);
+  // The mean sits between the median and the max under queueing skew.
+  EXPECT_GE(stats.avg_latency_cycles, stats.p50_latency_cycles * 0.8);
+}
+
+TEST(Simulator, ZeroLoadPercentilesDegenerate) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  TraceTraffic traffic({{0, 1, 50.0}}, 4, 0.1);
+  Simulator simulator(*mesh, routes, quick_config());
+  const auto stats = simulator.run(traffic);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_cycles, 5.0);
+  EXPECT_DOUBLE_EQ(stats.p99_latency_cycles, 5.0);
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  const auto mesh = topo::make_mesh_for(9);
+  const auto routes =
+      RouteTable::all_pairs(*mesh, route::RoutingKind::kDimensionOrdered);
+  SimConfig config;
+  config.flits_per_packet = 0;
+  EXPECT_THROW(Simulator(*mesh, routes, config), std::invalid_argument);
+  config = SimConfig{};
+  config.buffer_depth_flits = 0;
+  EXPECT_THROW(Simulator(*mesh, routes, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sunmap::sim

@@ -1,0 +1,182 @@
+// End-to-end tests of the three-phase SUNMAP flow against the paper's
+// headline experimental claims.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/apps.h"
+#include "core/sunmap.h"
+
+namespace sunmap::core {
+namespace {
+
+TEST(SunmapFlow, VopdEndToEndSelectsButterflyAndGenerates) {
+  SunmapConfig config;
+  config.mapper.routing = route::RoutingKind::kMinPath;
+  config.mapper.objective = mapping::Objective::kMinDelay;
+  Sunmap tool(config);
+  const auto result = tool.run(apps::vopd());
+
+  ASSERT_NE(result.best(), nullptr);
+  EXPECT_EQ(result.best()->topology->kind(), topo::TopologyKind::kButterfly);
+  ASSERT_TRUE(result.netlist.has_value());
+  EXPECT_EQ(result.netlist->switches().size(), 8u);  // 4-ary 2-fly
+  ASSERT_TRUE(result.generated.has_value());
+  EXPECT_FALSE(result.generated->header.empty());
+  EXPECT_FALSE(result.generated->top.empty());
+}
+
+TEST(SunmapFlow, VopdButterflyBeatsMeshOnAllThreeAxes) {
+  // Fig 6: the butterfly has the least hop delay, design area is among the
+  // smallest, and power is the lowest of the library.
+  Sunmap tool;
+  const auto result = tool.run(apps::vopd());
+  const select::TopologyCandidate* mesh = nullptr;
+  const select::TopologyCandidate* fly = nullptr;
+  const select::TopologyCandidate* torus = nullptr;
+  for (const auto& candidate : result.report.candidates) {
+    if (candidate.topology->kind() == topo::TopologyKind::kMesh) {
+      mesh = &candidate;
+    }
+    if (candidate.topology->kind() == topo::TopologyKind::kButterfly) {
+      fly = &candidate;
+    }
+    if (candidate.topology->kind() == topo::TopologyKind::kTorus) {
+      torus = &candidate;
+    }
+  }
+  ASSERT_NE(mesh, nullptr);
+  ASSERT_NE(fly, nullptr);
+  ASSERT_NE(torus, nullptr);
+  EXPECT_LT(fly->result.eval.avg_switch_hops,
+            mesh->result.eval.avg_switch_hops);
+  EXPECT_LT(fly->result.eval.design_power_mw,
+            mesh->result.eval.design_power_mw);
+  // Fig 3(d): the torus buys ~10% lower delay with >20% more power.
+  EXPECT_LE(torus->result.eval.avg_switch_hops,
+            mesh->result.eval.avg_switch_hops);
+  EXPECT_GT(torus->result.eval.design_power_mw,
+            mesh->result.eval.design_power_mw);
+}
+
+TEST(SunmapFlow, Mpeg4RequiresSplitTrafficRouting) {
+  // §6.1: minimum-path routing violates the 500 MB/s constraint everywhere;
+  // split-traffic routing makes everything but the butterfly feasible.
+  SunmapConfig single_path;
+  single_path.mapper.routing = route::RoutingKind::kMinPath;
+  const auto without_split = Sunmap(single_path).run(apps::mpeg4());
+  EXPECT_EQ(without_split.best(), nullptr);
+  EXPECT_FALSE(without_split.netlist.has_value());
+
+  SunmapConfig split;
+  split.mapper.routing = route::RoutingKind::kSplitAll;
+  const auto with_split = Sunmap(split).run(apps::mpeg4());
+  ASSERT_NE(with_split.best(), nullptr);
+  EXPECT_NE(with_split.best()->topology->kind(),
+            topo::TopologyKind::kButterfly);
+}
+
+TEST(SunmapFlow, Mpeg4MeshWinsAreaUnderSplitRouting) {
+  // Fig 7(b): "the mesh network has large savings in area and power which
+  // overshadow the slightly higher communication delay".
+  SunmapConfig config;
+  config.mapper.routing = route::RoutingKind::kSplitAll;
+  config.mapper.objective = mapping::Objective::kMinArea;
+  const auto result = Sunmap(config).run(apps::mpeg4());
+  ASSERT_NE(result.best(), nullptr);
+  EXPECT_EQ(result.best()->topology->kind(), topo::TopologyKind::kMesh);
+}
+
+/// The DSP filter's FFT/IFFT flows are 600 MB/s, so its experiments need
+/// 1 GB/s links (the 500 MB/s budget of §6.1 applies to the video apps).
+SunmapConfig dsp_config() {
+  SunmapConfig config;
+  config.mapper.link_bandwidth_mbps = 1000.0;
+  return config;
+}
+
+TEST(SunmapFlow, DspSelectsButterflyLikeFig10) {
+  SunmapConfig config = dsp_config();
+  config.mapper.routing = route::RoutingKind::kMinPath;
+  config.mapper.objective = mapping::Objective::kMinDelay;
+  const auto result = Sunmap(config).run(apps::dsp_filter());
+  ASSERT_NE(result.best(), nullptr);
+  EXPECT_EQ(result.best()->topology->kind(), topo::TopologyKind::kButterfly);
+  EXPECT_DOUBLE_EQ(result.best()->result.eval.avg_switch_hops, 2.0);
+}
+
+TEST(SunmapFlow, ReportTableListsEveryTopology) {
+  Sunmap tool(dsp_config());
+  const auto result = tool.run(apps::dsp_filter());
+  const auto table = Sunmap::report_table(result.report);
+  for (const auto& candidate : result.report.candidates) {
+    EXPECT_NE(table.find(candidate.topology->name()), std::string::npos);
+  }
+  EXPECT_NE(table.find("*"), std::string::npos);  // winner marked
+}
+
+TEST(SunmapFlow, OwnedLibraryKeepsReportValid) {
+  // The report holds raw topology pointers; the result must own them when
+  // SUNMAP built the library itself.
+  Sunmap tool;
+  const auto result = tool.run(apps::dsp_filter());
+  EXPECT_EQ(result.owned_library.size(), result.report.candidates.size());
+  for (const auto& candidate : result.report.candidates) {
+    EXPECT_FALSE(candidate.topology->name().empty());
+  }
+}
+
+TEST(SunmapFlow, CallerSuppliedLibraryIsRespected) {
+  std::vector<std::unique_ptr<topo::Topology>> library;
+  library.push_back(topo::make_mesh_for(6));
+  library.push_back(std::make_unique<topo::Star>(6));
+  Sunmap tool(dsp_config());
+  const auto result = tool.run(apps::dsp_filter(), library);
+  EXPECT_EQ(result.report.candidates.size(), 2u);
+  EXPECT_TRUE(result.owned_library.empty());
+  ASSERT_NE(result.best(), nullptr);
+}
+
+TEST(SunmapFlow, WritesGeneratedFilesWhenConfigured) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "sunmap_integration_out";
+  std::filesystem::create_directories(dir);
+  SunmapConfig config = dsp_config();
+  config.output_directory = dir.string();
+  const auto result = Sunmap(config).run(apps::dsp_filter());
+  ASSERT_EQ(result.written_files.size(), 2u);
+  for (const auto& file : result.written_files) {
+    EXPECT_TRUE(std::filesystem::exists(file)) << file;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SunmapFlow, ExtensionTopologiesParticipate) {
+  SunmapConfig config;
+  config.include_extension_topologies = true;
+  const auto result = Sunmap(config).run(apps::dsp_filter());
+  bool saw_star = false;
+  for (const auto& candidate : result.report.candidates) {
+    if (candidate.topology->kind() == topo::TopologyKind::kStar) {
+      saw_star = true;
+    }
+  }
+  EXPECT_TRUE(saw_star);
+}
+
+TEST(SunmapFlow, PowerObjectiveChangesCosts) {
+  SunmapConfig delay;
+  delay.mapper.objective = mapping::Objective::kMinDelay;
+  SunmapConfig power;
+  power.mapper.objective = mapping::Objective::kMinPower;
+  const auto by_delay = Sunmap(delay).run(apps::vopd());
+  const auto by_power = Sunmap(power).run(apps::vopd());
+  ASSERT_NE(by_delay.best(), nullptr);
+  ASSERT_NE(by_power.best(), nullptr);
+  EXPECT_DOUBLE_EQ(by_power.best()->result.eval.cost,
+                   by_power.best()->result.eval.design_power_mw);
+}
+
+}  // namespace
+}  // namespace sunmap::core

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/paths.h"
+#include "topo/hypercube.h"
+#include "topo/mesh.h"
+
+namespace sunmap::topo {
+namespace {
+
+bool contains(const std::vector<graph::NodeId>& nodes, graph::NodeId u) {
+  return std::find(nodes.begin(), nodes.end(), u) != nodes.end();
+}
+
+TEST(Mesh, StructureOf3x4) {
+  Mesh mesh(3, 4);
+  EXPECT_EQ(mesh.num_switches(), 12);
+  EXPECT_EQ(mesh.num_slots(), 12);
+  EXPECT_TRUE(mesh.is_direct());
+  // 3*(4-1) + 4*(3-1) = 17 bidirectional channels.
+  EXPECT_EQ(mesh.num_network_links(), 17);
+  EXPECT_EQ(mesh.num_core_links(), 12);
+  EXPECT_TRUE(graph::strongly_connected(mesh.switch_graph()));
+}
+
+TEST(Mesh, PortCountsMatchFigure1) {
+  Mesh mesh(3, 3);
+  // Corner node 0: two neighbours + core = 3x3 switch.
+  EXPECT_EQ(mesh.switch_radix(0), 3);
+  // Edge node 1: three neighbours + core = 4x4.
+  EXPECT_EQ(mesh.switch_radix(1), 4);
+  // Centre node 4: four neighbours + core = 5x5 (the paper's 5x5 claim).
+  EXPECT_EQ(mesh.switch_radix(4), 5);
+}
+
+TEST(Mesh, MinSwitchHopsCountsSwitches) {
+  Mesh mesh(3, 3);
+  EXPECT_EQ(mesh.min_switch_hops(0, 1), 2);  // adjacent: 2 switches
+  EXPECT_EQ(mesh.min_switch_hops(0, 8), 5);  // corner to corner
+}
+
+TEST(Mesh, DimensionOrderedPathIsXThenY) {
+  Mesh mesh(3, 4);
+  const auto path = mesh.dimension_ordered_path(0, 10);  // (0,0) -> (2,2)
+  const std::vector<graph::NodeId> expected{0, 1, 2, 6, 10};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(Mesh, DimensionOrderedPathIsMinimal) {
+  Mesh mesh(4, 4);
+  for (SlotId a = 0; a < 16; ++a) {
+    for (SlotId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      const auto path = mesh.dimension_ordered_path(a, b);
+      EXPECT_EQ(static_cast<int>(path.size()), mesh.min_switch_hops(a, b));
+      EXPECT_NO_THROW(mesh.make_path(path));
+    }
+  }
+}
+
+TEST(Mesh, QuadrantIsBoundingBox) {
+  Mesh mesh(3, 4);
+  // From (0,0) to (1,2): 2x3 bounding box.
+  const auto quadrant = mesh.quadrant_nodes(0, 6);
+  EXPECT_EQ(quadrant.size(), 6u);
+  for (graph::NodeId u : {0, 1, 2, 4, 5, 6}) {
+    EXPECT_TRUE(contains(quadrant, u)) << u;
+  }
+}
+
+TEST(Mesh, QuadrantOfAlignedPairIsALine) {
+  Mesh mesh(3, 4);
+  const auto quadrant = mesh.quadrant_nodes(0, 3);  // same row
+  EXPECT_EQ(quadrant.size(), 4u);
+}
+
+TEST(Mesh, RejectsDegenerate) {
+  EXPECT_THROW(Mesh(1, 1), std::invalid_argument);
+  EXPECT_THROW(Mesh(0, 5), std::invalid_argument);
+}
+
+TEST(Mesh, RelativePlacementCoversEverything) {
+  Mesh mesh(3, 4);
+  const auto placement = mesh.relative_placement();
+  EXPECT_EQ(placement.mode, RelativePlacement::Mode::kGrid);
+  int cores = 0;
+  int switches = 0;
+  for (const auto& item : placement.items) {
+    if (item.kind == RelativePlacement::Item::Kind::kCore) ++cores;
+    if (item.kind == RelativePlacement::Item::Kind::kSwitch) ++switches;
+    EXPECT_GE(item.row, 0);
+    EXPECT_LT(item.row, placement.num_rows);
+    EXPECT_GE(item.col, 0);
+    EXPECT_LT(item.col, placement.num_cols);
+  }
+  EXPECT_EQ(cores, 12);
+  EXPECT_EQ(switches, 12);
+}
+
+TEST(Torus, WraparoundAddsChannels) {
+  Torus torus(3, 4);
+  // Mesh has 17; wraps add 3 row wraps (cols=4>2) + 4 col wraps (rows=3>2).
+  EXPECT_EQ(torus.num_network_links(), 17 + 3 + 4);
+  EXPECT_TRUE(graph::strongly_connected(torus.switch_graph()));
+}
+
+TEST(Torus, NoDuplicateChannelsForSize2) {
+  Torus torus(2, 3);
+  // rows == 2: no row-direction wrap; cols == 3: wrap per row.
+  EXPECT_EQ(torus.num_network_links(), 2 * 2 + 3 * 1 + 2);
+}
+
+TEST(Torus, AllSwitchesAre5x5On3x4) {
+  Torus torus(3, 4);
+  for (graph::NodeId sw = 0; sw < torus.num_switches(); ++sw) {
+    EXPECT_EQ(torus.switch_radix(sw), 5) << sw;
+  }
+}
+
+TEST(Torus, WrapReducesHops) {
+  Mesh mesh(3, 4);
+  Torus torus(3, 4);
+  // Corner to corner: mesh needs 5 switches, torus wraps both dimensions.
+  EXPECT_EQ(mesh.min_switch_hops(0, 11), 6);
+  EXPECT_EQ(torus.min_switch_hops(0, 11), 3);
+}
+
+TEST(Torus, DimensionOrderedUsesShorterWay) {
+  Torus torus(3, 4);
+  // (0,0) -> (0,3): wrap is 1 hop instead of 3.
+  const auto path = torus.dimension_ordered_path(0, 3);
+  EXPECT_EQ(path.size(), 2u);
+  EXPECT_NO_THROW(torus.make_path(path));
+}
+
+TEST(Torus, DimensionOrderedPathIsMinimal) {
+  Torus torus(4, 4);
+  for (SlotId a = 0; a < 16; ++a) {
+    for (SlotId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      const auto path = torus.dimension_ordered_path(a, b);
+      EXPECT_EQ(static_cast<int>(path.size()), torus.min_switch_hops(a, b));
+      EXPECT_NO_THROW(torus.make_path(path));
+    }
+  }
+}
+
+TEST(Hypercube, StructureOf3Cube) {
+  Hypercube cube(3);
+  EXPECT_EQ(cube.num_switches(), 8);
+  EXPECT_EQ(cube.num_slots(), 8);
+  // Each node has 3 neighbours: 8*3/2 = 12 channels.
+  EXPECT_EQ(cube.num_network_links(), 12);
+  for (graph::NodeId sw = 0; sw < 8; ++sw) {
+    EXPECT_EQ(cube.switch_radix(sw), 4);  // 3 links + core
+  }
+}
+
+TEST(Hypercube, HopsAreHammingDistancePlusOne) {
+  Hypercube cube(3);
+  EXPECT_EQ(cube.min_switch_hops(0, 7), 4);  // 3 differing bits
+  EXPECT_EQ(cube.min_switch_hops(2, 6), 2);  // paper's example: adjacent
+  EXPECT_EQ(cube.min_switch_hops(0, 3), 3);
+}
+
+TEST(Hypercube, QuadrantIsMatchedSubcube) {
+  Hypercube cube(3);
+  // Paper's example: source 0 (0,0,0), destination 3 (0,1,1) -> nodes with
+  // tuples (0,*,*) = {0, 1, 2, 3}.
+  auto quadrant = cube.quadrant_nodes(0, 3);
+  std::sort(quadrant.begin(), quadrant.end());
+  EXPECT_EQ(quadrant, (std::vector<graph::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Hypercube, DimensionOrderedFixesBitsLsbFirst) {
+  Hypercube cube(3);
+  const auto path = cube.dimension_ordered_path(0, 6);  // flip bits 1 then 2
+  EXPECT_EQ(path, (std::vector<graph::NodeId>{0, 2, 6}));
+}
+
+TEST(Hypercube, DimensionOrderedIsMinimal) {
+  Hypercube cube(4);
+  for (SlotId a = 0; a < 16; ++a) {
+    for (SlotId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      const auto path = cube.dimension_ordered_path(a, b);
+      EXPECT_EQ(static_cast<int>(path.size()), cube.min_switch_hops(a, b));
+      EXPECT_NO_THROW(cube.make_path(path));
+    }
+  }
+}
+
+TEST(Hypercube, RejectsBadDimensions) {
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(21), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sunmap::topo

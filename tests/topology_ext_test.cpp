@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "graph/paths.h"
+#include "topo/octagon.h"
+
+namespace sunmap::topo {
+namespace {
+
+TEST(Octagon, Structure) {
+  Octagon octagon;
+  EXPECT_EQ(octagon.num_switches(), 8);
+  EXPECT_EQ(octagon.num_slots(), 8);
+  // 8 ring channels + 4 cross channels.
+  EXPECT_EQ(octagon.num_network_links(), 12);
+  for (graph::NodeId sw = 0; sw < 8; ++sw) {
+    EXPECT_EQ(octagon.switch_radix(sw), 4);  // 3 links + core
+  }
+}
+
+TEST(Octagon, DiameterIsTwoLinks) {
+  Octagon octagon;
+  for (SlotId a = 0; a < 8; ++a) {
+    for (SlotId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      EXPECT_LE(octagon.min_switch_hops(a, b), 3);
+    }
+  }
+}
+
+TEST(Octagon, RoutingReachesInAtMostTwoLinks) {
+  Octagon octagon;
+  for (SlotId a = 0; a < 8; ++a) {
+    for (SlotId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      const auto path = octagon.dimension_ordered_path(a, b);
+      EXPECT_LE(path.size(), 3u);
+      EXPECT_EQ(static_cast<int>(path.size()),
+                octagon.min_switch_hops(a, b));
+      EXPECT_NO_THROW(octagon.make_path(path));
+      EXPECT_EQ(path.front(), octagon.ingress_switch(a));
+      EXPECT_EQ(path.back(), octagon.egress_switch(b));
+    }
+  }
+}
+
+TEST(Octagon, CrossLinkUsedForOppositeNode) {
+  Octagon octagon;
+  const auto path = octagon.dimension_ordered_path(1, 5);
+  EXPECT_EQ(path, (std::vector<graph::NodeId>{1, 5}));
+}
+
+TEST(Star, Structure) {
+  Star star(6);
+  EXPECT_EQ(star.num_switches(), 7);  // hub + 6 leaves
+  EXPECT_EQ(star.num_slots(), 6);
+  EXPECT_EQ(star.num_network_links(), 6);
+  // Hub has no core: 6 in / 6 out.
+  EXPECT_EQ(star.switch_radix(star.hub()), 6);
+  // Leaves: hub link + core.
+  EXPECT_EQ(star.switch_radix(star.leaf_node(0)), 2);
+}
+
+TEST(Star, AllRoutesViaHub) {
+  Star star(5);
+  for (SlotId a = 0; a < 5; ++a) {
+    for (SlotId b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(star.min_switch_hops(a, b), 3);
+      const auto path = star.dimension_ordered_path(a, b);
+      EXPECT_EQ(path.size(), 3u);
+      EXPECT_EQ(path[1], star.hub());
+      EXPECT_NO_THROW(star.make_path(path));
+    }
+  }
+}
+
+TEST(Star, RejectsTooFewLeaves) {
+  EXPECT_THROW(Star(1), std::invalid_argument);
+}
+
+TEST(Star, PlacementKeepsHubSeparate) {
+  Star star(8);
+  const auto placement = star.relative_placement();
+  int switches = 0;
+  int cores = 0;
+  for (const auto& item : placement.items) {
+    if (item.kind == RelativePlacement::Item::Kind::kSwitch) ++switches;
+    if (item.kind == RelativePlacement::Item::Kind::kCore) ++cores;
+  }
+  EXPECT_EQ(switches, 9);
+  EXPECT_EQ(cores, 8);
+}
+
+}  // namespace
+}  // namespace sunmap::topo

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/paths.h"
+#include "topo/butterfly.h"
+#include "topo/clos.h"
+
+namespace sunmap::topo {
+namespace {
+
+TEST(Clos, StructureMatchesParameters) {
+  Clos clos(4, 2, 4);  // the paper's Fig 2(a): 8 cores, 4 switches per stage
+  EXPECT_EQ(clos.num_switches(), 12);
+  EXPECT_EQ(clos.num_slots(), 8);
+  EXPECT_FALSE(clos.is_direct());
+  // Full bipartite interconnection between adjacent stages.
+  EXPECT_EQ(clos.switch_graph().num_edges(), 4 * 4 + 4 * 4);
+  EXPECT_EQ(clos.num_network_links(), 32);
+  // Indirect cores attach twice (ingress + egress).
+  EXPECT_EQ(clos.num_core_links(), 16);
+}
+
+TEST(Clos, EveryRouteHasThreeSwitches) {
+  Clos clos(4, 4, 4);
+  for (SlotId a = 0; a < clos.num_slots(); ++a) {
+    for (SlotId b = 0; b < clos.num_slots(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(clos.min_switch_hops(a, b), 3);
+    }
+  }
+}
+
+TEST(Clos, PathDiversityEqualsMiddleSwitches) {
+  Clos clos(4, 2, 4);
+  // Any slot pair has exactly m = 4 minimum paths (one per middle switch).
+  EXPECT_EQ(graph::count_min_paths(clos.switch_graph(),
+                                   clos.ingress_switch(0),
+                                   clos.egress_switch(7)),
+            4);
+}
+
+TEST(Clos, QuadrantIsIngressMiddlesEgress) {
+  Clos clos(3, 2, 2);
+  auto quadrant = clos.quadrant_nodes(0, 3);
+  std::sort(quadrant.begin(), quadrant.end());
+  // ingress 0, middles {2,3,4}, egress of slot 3 = node 5+1 = 6.
+  EXPECT_EQ(quadrant, (std::vector<graph::NodeId>{0, 2, 3, 4, 6}));
+}
+
+TEST(Clos, SwitchPortsMatchStageRole) {
+  Clos clos(4, 2, 4);
+  // Ingress: 2 cores in, 4 middle links out.
+  EXPECT_EQ(clos.switch_in_ports(clos.ingress_node(0)), 2);
+  EXPECT_EQ(clos.switch_out_ports(clos.ingress_node(0)), 4);
+  // Middle: r in, r out.
+  EXPECT_EQ(clos.switch_in_ports(clos.middle_node(0)), 4);
+  EXPECT_EQ(clos.switch_out_ports(clos.middle_node(0)), 4);
+  // Egress: 4 middle links in, 2 cores out.
+  EXPECT_EQ(clos.switch_in_ports(clos.egress_node(0)), 4);
+  EXPECT_EQ(clos.switch_out_ports(clos.egress_node(0)), 2);
+}
+
+TEST(Clos, DimensionOrderedPathIsValid) {
+  Clos clos(4, 2, 4);
+  for (SlotId a = 0; a < clos.num_slots(); ++a) {
+    for (SlotId b = 0; b < clos.num_slots(); ++b) {
+      if (a == b) continue;
+      const auto path = clos.dimension_ordered_path(a, b);
+      EXPECT_EQ(path.size(), 3u);
+      EXPECT_NO_THROW(clos.make_path(path));
+    }
+  }
+}
+
+TEST(Clos, RejectsBadParameters) {
+  EXPECT_THROW(Clos(0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(Clos(2, 0, 2), std::invalid_argument);
+  EXPECT_THROW(Clos(2, 2, 0), std::invalid_argument);
+}
+
+TEST(Butterfly, StructureOf2Ary3Fly) {
+  Butterfly fly(2, 3);  // the paper's Fig 2(b)
+  EXPECT_EQ(fly.num_slots(), 8);
+  EXPECT_EQ(fly.switches_per_stage(), 4);
+  EXPECT_EQ(fly.num_switches(), 12);
+  // Every switch is 2x2.
+  for (graph::NodeId sw = 0; sw < fly.num_switches(); ++sw) {
+    EXPECT_EQ(fly.switch_radix(sw), 2) << sw;
+  }
+}
+
+TEST(Butterfly, Figure2bWiring) {
+  Butterfly fly(2, 3);
+  const auto& g = fly.switch_graph();
+  // "Switch 0 of stage 1 is connected to switches 0 and 2 of stage 2."
+  EXPECT_TRUE(g.has_edge(fly.switch_at(0, 0), fly.switch_at(1, 0)));
+  EXPECT_TRUE(g.has_edge(fly.switch_at(0, 0), fly.switch_at(1, 2)));
+  EXPECT_FALSE(g.has_edge(fly.switch_at(0, 0), fly.switch_at(1, 1)));
+  // "Switch 0 of second stage is connected to switches 0 and 1 of third."
+  EXPECT_TRUE(g.has_edge(fly.switch_at(1, 0), fly.switch_at(2, 0)));
+  EXPECT_TRUE(g.has_edge(fly.switch_at(1, 0), fly.switch_at(2, 1)));
+  EXPECT_FALSE(g.has_edge(fly.switch_at(1, 0), fly.switch_at(2, 2)));
+}
+
+TEST(Butterfly, NoPathDiversity) {
+  Butterfly fly(4, 2);  // the paper's VOPD topology
+  for (SlotId a = 0; a < fly.num_slots(); ++a) {
+    for (SlotId b = 0; b < fly.num_slots(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(graph::count_min_paths(fly.switch_graph(),
+                                       fly.ingress_switch(a),
+                                       fly.egress_switch(b)),
+                1);
+    }
+  }
+}
+
+TEST(Butterfly, EveryRouteTraversesAllStages) {
+  Butterfly fly(4, 2);
+  for (SlotId a = 0; a < fly.num_slots(); ++a) {
+    for (SlotId b = 0; b < fly.num_slots(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(fly.min_switch_hops(a, b), 2);
+      const auto path = fly.dimension_ordered_path(a, b);
+      EXPECT_EQ(path.size(), 2u);
+      EXPECT_NO_THROW(fly.make_path(path));
+      EXPECT_EQ(path.front(), fly.ingress_switch(a));
+      EXPECT_EQ(path.back(), fly.egress_switch(b));
+    }
+  }
+}
+
+TEST(Butterfly, FourAry2FlyHas8FourByFourSwitches) {
+  Butterfly fly(4, 2);  // what SUNMAP picks for VOPD: "all switches are 4x4"
+  EXPECT_EQ(fly.num_switches(), 8);
+  EXPECT_EQ(fly.num_slots(), 16);
+  for (graph::NodeId sw = 0; sw < fly.num_switches(); ++sw) {
+    EXPECT_EQ(fly.switch_in_ports(sw), 4);
+    EXPECT_EQ(fly.switch_out_ports(sw), 4);
+  }
+}
+
+TEST(Butterfly, TerminalAttachment) {
+  Butterfly fly(2, 3);
+  EXPECT_EQ(fly.ingress_switch(5), fly.switch_at(0, 2));  // 5/2 = 2
+  EXPECT_EQ(fly.egress_switch(5), fly.switch_at(2, 2));
+}
+
+TEST(Butterfly, RejectsBadParameters) {
+  EXPECT_THROW(Butterfly(1, 3), std::invalid_argument);
+  EXPECT_THROW(Butterfly(2, 0), std::invalid_argument);
+  EXPECT_THROW(Butterfly(2, 17), std::invalid_argument);
+}
+
+TEST(Butterfly, SingleStageDegenerateWorks) {
+  Butterfly fly(4, 1);  // one 4x4 switch connecting 4 terminals
+  EXPECT_EQ(fly.num_switches(), 1);
+  EXPECT_EQ(fly.num_slots(), 4);
+  EXPECT_EQ(fly.min_switch_hops(0, 3), 1);
+}
+
+}  // namespace
+}  // namespace sunmap::topo

@@ -1,0 +1,149 @@
+// Property tests that every topology in the library must satisfy, run over
+// a sweep of sizes (TEST_P). These pin down the §4.2/§4.3 invariants:
+// structural quadrant graphs must equal the generic minimum-path closure,
+// dimension-ordered routes must be valid, and every slot pair routable.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/paths.h"
+#include "topo/library.h"
+
+namespace sunmap::topo {
+namespace {
+
+struct Case {
+  const char* kind;
+  int cores;
+};
+
+std::unique_ptr<Topology> build(const Case& c) {
+  const std::string kind = c.kind;
+  if (kind == "mesh") return make_mesh_for(c.cores);
+  if (kind == "torus") return make_torus_for(c.cores);
+  if (kind == "hypercube") return make_hypercube_for(c.cores);
+  if (kind == "clos") return make_clos_for(c.cores);
+  if (kind == "butterfly") return make_butterfly_for(c.cores);
+  if (kind == "octagon") return std::make_unique<Octagon>();
+  if (kind == "star") return std::make_unique<Star>(c.cores);
+  throw std::logic_error("unknown kind");
+}
+
+class TopologyProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TopologyProperty, SlotsAttachToValidSwitches) {
+  const auto topology = build(GetParam());
+  EXPECT_GE(topology->num_slots(), GetParam().cores);
+  for (SlotId s = 0; s < topology->num_slots(); ++s) {
+    EXPECT_GE(topology->ingress_switch(s), 0);
+    EXPECT_LT(topology->ingress_switch(s), topology->num_switches());
+    EXPECT_GE(topology->egress_switch(s), 0);
+    EXPECT_LT(topology->egress_switch(s), topology->num_switches());
+    if (topology->is_direct()) {
+      EXPECT_EQ(topology->ingress_switch(s), topology->egress_switch(s));
+    }
+  }
+}
+
+TEST_P(TopologyProperty, EverySlotPairRoutable) {
+  const auto topology = build(GetParam());
+  for (SlotId a = 0; a < topology->num_slots(); ++a) {
+    for (SlotId b = 0; b < topology->num_slots(); ++b) {
+      if (a == b) continue;
+      EXPECT_GE(topology->min_switch_hops(a, b), 1);
+    }
+  }
+}
+
+TEST_P(TopologyProperty, QuadrantEqualsMinPathClosure) {
+  const auto topology = build(GetParam());
+  const auto& g = topology->switch_graph();
+  for (SlotId a = 0; a < topology->num_slots(); ++a) {
+    for (SlotId b = 0; b < topology->num_slots(); ++b) {
+      if (a == b) continue;
+      auto structural = topology->quadrant_nodes(a, b);
+      auto closure = graph::min_path_nodes(g, topology->ingress_switch(a),
+                                           topology->egress_switch(b));
+      std::sort(structural.begin(), structural.end());
+      std::sort(closure.begin(), closure.end());
+      EXPECT_EQ(structural, closure)
+          << topology->name() << " slots " << a << " -> " << b;
+    }
+  }
+}
+
+TEST_P(TopologyProperty, QuadrantContainsEndpoints) {
+  const auto topology = build(GetParam());
+  for (SlotId a = 0; a < topology->num_slots(); ++a) {
+    for (SlotId b = 0; b < topology->num_slots(); ++b) {
+      if (a == b) continue;
+      const auto quadrant = topology->quadrant_nodes(a, b);
+      EXPECT_NE(std::find(quadrant.begin(), quadrant.end(),
+                          topology->ingress_switch(a)),
+                quadrant.end());
+      EXPECT_NE(std::find(quadrant.begin(), quadrant.end(),
+                          topology->egress_switch(b)),
+                quadrant.end());
+    }
+  }
+}
+
+TEST_P(TopologyProperty, DimensionOrderedRouteIsValidAndEndsRight) {
+  const auto topology = build(GetParam());
+  for (SlotId a = 0; a < topology->num_slots(); ++a) {
+    for (SlotId b = 0; b < topology->num_slots(); ++b) {
+      if (a == b) continue;
+      const auto path = topology->dimension_ordered_path(a, b);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), topology->ingress_switch(a));
+      EXPECT_EQ(path.back(), topology->egress_switch(b));
+      EXPECT_NO_THROW(topology->make_path(path));
+    }
+  }
+}
+
+TEST_P(TopologyProperty, SwitchPortsArePositive) {
+  const auto topology = build(GetParam());
+  for (graph::NodeId sw = 0; sw < topology->num_switches(); ++sw) {
+    EXPECT_GE(topology->switch_radix(sw), 1);
+  }
+}
+
+TEST_P(TopologyProperty, PlacementReferencesEverySwitchAndSlotOnce) {
+  const auto topology = build(GetParam());
+  const auto placement = topology->relative_placement();
+  std::vector<int> switch_seen(
+      static_cast<std::size_t>(topology->num_switches()), 0);
+  std::vector<int> slot_seen(static_cast<std::size_t>(topology->num_slots()),
+                             0);
+  for (const auto& item : placement.items) {
+    if (item.kind == RelativePlacement::Item::Kind::kSwitch) {
+      ++switch_seen.at(static_cast<std::size_t>(item.index));
+    } else {
+      ++slot_seen.at(static_cast<std::size_t>(item.index));
+    }
+  }
+  for (int n : switch_seen) EXPECT_EQ(n, 1);
+  for (int n : slot_seen) EXPECT_EQ(n, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, TopologyProperty,
+    ::testing::Values(Case{"mesh", 6}, Case{"mesh", 12}, Case{"mesh", 16},
+                      Case{"mesh", 24}, Case{"torus", 6}, Case{"torus", 12},
+                      Case{"torus", 16}, Case{"torus", 25},
+                      Case{"hypercube", 4}, Case{"hypercube", 8},
+                      Case{"hypercube", 16}, Case{"clos", 6},
+                      Case{"clos", 12}, Case{"clos", 16}, Case{"clos", 24},
+                      Case{"butterfly", 6}, Case{"butterfly", 12},
+                      Case{"butterfly", 16}, Case{"butterfly", 32},
+                      Case{"octagon", 8}, Case{"star", 6}, Case{"star", 16}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.kind) + "_" +
+             std::to_string(info.param.cores);
+    });
+
+}  // namespace
+}  // namespace sunmap::topo

@@ -1,0 +1,185 @@
+// Command-line front end to the SUNMAP flow: read a core graph (from a file
+// in the src/io text format or one of the built-in benchmarks), run
+// topology selection under the requested routing function / objective /
+// constraints, print the comparison table, and optionally generate the
+// SystemC-style network sources.
+//
+// Usage:
+//   sunmap_cli --app vopd
+//   sunmap_cli --file my_app.cg --routing SA --objective power \
+//              --bandwidth 500 --extensions --out generated/
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "apps/apps.h"
+#include "core/sunmap.h"
+#include "fplan/render.h"
+#include "io/core_graph_io.h"
+#include "io/csv.h"
+
+namespace {
+
+using namespace sunmap;
+
+void usage() {
+  std::cout <<
+      R"(sunmap_cli — automatic NoC topology selection and generation
+
+  --app <name>        built-in benchmark: vopd | mpeg4 | dsp | netproc16 |
+                      pip | mwd
+  --file <path>       core graph file (see src/io/core_graph_io.h grammar)
+  --routing <fn>      DO | MP | SM | SA           (default MP)
+  --objective <obj>   delay | area | power        (default delay)
+  --bandwidth <MBps>  link capacity               (default 500)
+  --max-area <mm2>    area constraint             (default unlimited)
+  --extensions        include octagon/star topologies
+  --floorplan         print the winning floorplan as ASCII
+  --csv <path>        write the comparison table as CSV
+  --out <dir>         write generated SystemC sources here
+  --help              this text
+)";
+}
+
+std::optional<route::RoutingKind> parse_routing(const std::string& text) {
+  for (route::RoutingKind kind : route::kAllRoutingKinds) {
+    if (text == route::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<mapping::Objective> parse_objective(const std::string& text) {
+  if (text == "delay") return mapping::Objective::kMinDelay;
+  if (text == "area") return mapping::Objective::kMinArea;
+  if (text == "power") return mapping::Objective::kMinPower;
+  return std::nullopt;
+}
+
+std::optional<mapping::CoreGraph> builtin_app(const std::string& name) {
+  if (name == "vopd") return apps::vopd();
+  if (name == "mpeg4") return apps::mpeg4();
+  if (name == "dsp") return apps::dsp_filter();
+  if (name == "netproc16") return apps::netproc16();
+  if (name == "pip") return apps::pip();
+  if (name == "mwd") return apps::mwd();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<mapping::CoreGraph> app;
+  core::SunmapConfig config;
+  bool show_floorplan = false;
+  std::string csv_path;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--app") {
+        app = builtin_app(need_value(i));
+        if (!app) {
+          std::cerr << "unknown built-in app\n";
+          return 2;
+        }
+      } else if (arg == "--file") {
+        app = io::read_core_graph_file(need_value(i));
+      } else if (arg == "--routing") {
+        const auto kind = parse_routing(need_value(i));
+        if (!kind) {
+          std::cerr << "unknown routing function\n";
+          return 2;
+        }
+        config.mapper.routing = *kind;
+      } else if (arg == "--objective") {
+        const auto objective = parse_objective(need_value(i));
+        if (!objective) {
+          std::cerr << "unknown objective\n";
+          return 2;
+        }
+        config.mapper.objective = *objective;
+      } else if (arg == "--bandwidth") {
+        config.mapper.link_bandwidth_mbps = std::stod(need_value(i));
+      } else if (arg == "--max-area") {
+        config.mapper.max_area_mm2 = std::stod(need_value(i));
+      } else if (arg == "--extensions") {
+        config.include_extension_topologies = true;
+      } else if (arg == "--floorplan") {
+        show_floorplan = true;
+      } else if (arg == "--csv") {
+        csv_path = need_value(i);
+      } else if (arg == "--out") {
+        config.output_directory = need_value(i);
+        std::filesystem::create_directories(config.output_directory);
+      } else {
+        std::cerr << "unknown argument " << arg << " (try --help)\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!app) {
+    usage();
+    return 2;
+  }
+
+  std::cout << "SUNMAP: " << app->name() << " (" << app->num_cores()
+            << " cores, " << app->total_bandwidth_mbps()
+            << " MB/s) routing=" << route::to_string(config.mapper.routing)
+            << " objective=" << mapping::to_string(config.mapper.objective)
+            << " link=" << config.mapper.link_bandwidth_mbps << " MB/s\n\n";
+
+  core::Sunmap tool(config);
+  const auto result = tool.run(*app);
+  std::cout << core::Sunmap::report_table(result.report) << "\n";
+
+  if (!csv_path.empty()) {
+    io::write_file(csv_path, io::selection_report_csv(result.report));
+    std::cout << "wrote " << csv_path << "\n";
+  }
+
+  const auto* best = result.best();
+  if (best == nullptr) {
+    std::cout << "No feasible mapping for any topology in the library.\n";
+    return 1;
+  }
+  std::cout << "Selected: " << best->topology->name() << "\n\n"
+            << result.netlist->summary();
+
+  if (show_floorplan) {
+    const auto& slot_to_core = best->result.slot_to_core;
+    std::cout << "\n"
+              << fplan::render_ascii(
+                     best->result.eval.floorplan,
+                     [&](const fplan::PlacedBlock& block) {
+                       if (block.kind == fplan::PlacedBlock::Kind::kSwitch) {
+                         return "S" + std::to_string(block.index);
+                       }
+                       const int core = slot_to_core[
+                           static_cast<std::size_t>(block.index)];
+                       return core >= 0 ? app->core(core).name
+                                        : std::string("-");
+                     });
+  }
+  for (const auto& file : result.written_files) {
+    std::cout << "wrote " << file << "\n";
+  }
+  return 0;
+}
