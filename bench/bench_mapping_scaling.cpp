@@ -5,6 +5,12 @@
 //    graph instead of the entire NoC graph, large computational time
 //    savings is achieved" — Dijkstra restricted to the quadrant vs the full
 //    switch graph.
+//
+// It also hosts the cross-PR perf probe for the incremental
+// mapping-evaluation engine: a one-shot wall-clock measurement of
+// Mapper::map with greedy swaps on the 64-core synthetic mesh. Run with
+// `--json[=path]` to dump the probe as JSON (default BENCH_mapping.json) so
+// the perf trajectory is tracked across PRs.
 
 #include "apps/apps.h"
 #include "bench/bench_util.h"
@@ -12,6 +18,10 @@
 #include "select/selector.h"
 #include "topo/library.h"
 #include "util/table.h"
+
+#include <chrono>
+#include <cstring>
+#include <string>
 
 namespace {
 
@@ -24,6 +34,66 @@ apps::SyntheticSpec spec_for(int cores) {
   spec.max_bandwidth_mbps = 400.0;
   spec.seed = 42;
   return spec;
+}
+
+/// One-shot probe of the mapping search on the 64-core synthetic mesh — the
+/// reference workload for the evaluation-engine speedup. A single run (not a
+/// google-benchmark loop) because one search already evaluates thousands of
+/// candidate mappings, and because the probe's mapping/cost are part of the
+/// contract: they must stay identical as the engine gets faster.
+void run_mapping_probe(const std::string& json_path) {
+  constexpr int kCores = 64;
+  const auto app = apps::synthetic(spec_for(kCores));
+  const auto mesh = topo::make_mesh_for(kCores);
+  auto config = sunmap::bench::video_config();
+  // Feasible from the initial greedy mapping onwards (the peak link load of
+  // the 64-core workload is ~3.4 GB/s), so the bound-based pruning of the
+  // two-phase evaluation is exercised, as in production-sized searches.
+  config.link_bandwidth_mbps = 4000.0;
+  mapping::Mapper mapper(config);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = mapper.map(app, *mesh);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  bench::print_heading(
+      "Mapping-search probe: Mapper::map, greedy swaps, 64-core synthetic "
+      "mesh (the cross-PR perf trajectory)");
+  util::Table table({"wall ms", "evaluated", "pruned", "cost", "feasible"});
+  table.add_row({util::Table::num(wall_ms, 1),
+                 std::to_string(result.evaluated_mappings),
+                 std::to_string(result.pruned_mappings),
+                 util::Table::num(result.eval.cost, 4),
+                 result.eval.feasible() ? "yes" : "no"});
+  std::printf("%s", table.to_string().c_str());
+
+  if (json_path.empty()) return;
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"mapping_scaling_64core_mesh\",\n"
+               "  \"workload\": {\"cores\": %d, \"topology\": \"%s\", "
+               "\"routing\": \"%s\", \"objective\": \"%s\", "
+               "\"link_bandwidth_mbps\": %.1f, \"swap_passes\": %d},\n"
+               "  \"wall_ms\": %.3f,\n"
+               "  \"evaluated_mappings\": %d,\n"
+               "  \"pruned_mappings\": %d,\n"
+               "  \"cost\": %.17g,\n"
+               "  \"feasible\": %s\n"
+               "}\n",
+               kCores, mesh->name().c_str(), route::to_string(config.routing),
+               mapping::to_string(config.objective),
+               config.link_bandwidth_mbps, config.swap_passes, wall_ms,
+               result.evaluated_mappings, result.pruned_mappings,
+               result.eval.cost, result.eval.feasible() ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
 }
 
 void print_quadrant_sizes() {
@@ -120,6 +190,23 @@ BENCHMARK(BM_SwapSearchCost)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off our own --json[=path] flag before google-benchmark sees the
+  // arguments.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_mapping.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argv[kept] = nullptr;
+  argc = kept;
+
   print_quadrant_sizes();
+  run_mapping_probe(json_path);
   return sunmap::bench::run_benchmarks(argc, argv);
 }

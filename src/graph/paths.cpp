@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
-#include <queue>
+#include <utility>
 
 namespace sunmap::graph {
 
@@ -48,24 +48,46 @@ std::optional<Path> shortest_path(const DirectedGraph& g, NodeId src,
   if (!admitted(filter, src) || !admitted(filter, dst)) return std::nullopt;
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(n, kInf);
-  std::vector<EdgeId> via(n, kInvalidEdge);
-  std::vector<bool> done(n, false);
 
+  // Reusable per-thread workspace: the mapping search calls this function
+  // hundreds of thousands of times over small graphs, where the per-call
+  // vector allocations would dominate the relaxations themselves. The heap
+  // is driven with push_heap/pop_heap under the same comparator that
+  // std::priority_queue uses, so the settle order — and therefore the
+  // tie-breaking among equal-cost paths — is unchanged.
   using Item = std::pair<double, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  struct Workspace {
+    std::vector<double> dist;
+    std::vector<EdgeId> via;
+    std::vector<char> done;
+    std::vector<Item> heap;
+  };
+  static thread_local Workspace ws;
+  ws.dist.assign(n, kInf);
+  ws.via.assign(n, kInvalidEdge);
+  ws.done.assign(n, 0);
+  ws.heap.clear();
+
+  auto& dist = ws.dist;
+  auto& via = ws.via;
+  auto& done = ws.done;
+  auto& heap = ws.heap;
+
   dist[static_cast<std::size_t>(src)] = 0.0;
-  heap.emplace(0.0, src);
+  heap.emplace_back(0.0, src);
 
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (done[static_cast<std::size_t>(u)]) continue;
-    done[static_cast<std::size_t>(u)] = true;
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (done[static_cast<std::size_t>(u)] != 0) continue;
+    done[static_cast<std::size_t>(u)] = 1;
     if (u == dst) break;
     for (EdgeId e : g.out_edges(u)) {
       const NodeId v = g.edge(e).dst;
-      if (!admitted(filter, v) || done[static_cast<std::size_t>(v)]) continue;
+      if (!admitted(filter, v) || done[static_cast<std::size_t>(v)] != 0) {
+        continue;
+      }
       const double w = cost(e);
       if (w < 0.0) {
         throw std::invalid_argument("shortest_path: negative edge cost");
@@ -74,7 +96,8 @@ std::optional<Path> shortest_path(const DirectedGraph& g, NodeId src,
       if (nd < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = nd;
         via[static_cast<std::size_t>(v)] = e;
-        heap.emplace(nd, v);
+        heap.emplace_back(nd, v);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
     }
   }

@@ -1,0 +1,334 @@
+#include "mapping/eval_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sunmap::mapping {
+
+EvalContext::EvalContext(const CoreGraph& app, const topo::Topology& topology,
+                         const MapperConfig& config,
+                         const model::AreaPowerLibrary& library)
+    : app_(app),
+      topology_(topology),
+      config_(config),
+      commodities_(commodities_by_value(app)),
+      placement_(topology.relative_placement()),
+      planner_(config.floorplan),
+      engine_(topology, config.routing, config.split_chunks,
+              config.link_bandwidth_mbps) {
+  // Accumulated in commodity order, matching the summation order of the
+  // from-scratch evaluator.
+  for (const auto& commodity : commodities_) {
+    total_value_ += commodity.value_mbps;
+  }
+
+  // Resolve the area/power library once per switch instead of per lookup in
+  // the evaluator's inner loops, and pre-sum the mapping-invariant totals.
+  std::vector<std::pair<int, int>> switch_ports;
+  switch_ports.reserve(static_cast<std::size_t>(topology.num_switches()));
+  for (graph::NodeId sw = 0; sw < topology.num_switches(); ++sw) {
+    switch_ports.emplace_back(topology.switch_in_ports(sw),
+                              topology.switch_out_ports(sw));
+  }
+  switch_table_ = model::ResolvedSwitchTable(library, switch_ports);
+
+  switch_shapes_.reserve(static_cast<std::size_t>(topology.num_switches()));
+  for (graph::NodeId sw = 0; sw < topology.num_switches(); ++sw) {
+    auto shape = fplan::BlockShape::soft_block(switch_table_.entry(sw).area_mm2);
+    shape.min_aspect = 0.5;
+    shape.max_aspect = 2.0;
+    switch_shapes_.push_back(shape);
+  }
+
+  static_routing_ = config_.routing == route::RoutingKind::kDimensionOrdered ||
+                    config_.routing == route::RoutingKind::kSplitMin;
+  adaptive_routing_ = config_.routing == route::RoutingKind::kMinPath ||
+                      config_.routing == route::RoutingKind::kSplitAll;
+
+  if (config_.routing == route::RoutingKind::kMinPath) {
+    quadrant_table_.emplace(topology_);
+    engine_.attach_quadrant_table(&*quadrant_table_);
+  }
+  if (static_routing_) build_static_routes();
+}
+
+void EvalContext::build_static_routes() {
+  // Dimension-ordered and split-across-minimum-paths routes depend only on
+  // the slot pair, never on link loads, so every candidate mapping draws its
+  // routes from this table. This is what makes re-routing after a pairwise
+  // swap a delta operation: only the commodities touching the two swapped
+  // slots change which table entry they reference.
+  const int num_slots = topology_.num_slots();
+  static_routes_.resize(static_cast<std::size_t>(num_slots) *
+                        static_cast<std::size_t>(num_slots));
+  const route::LoadMap no_loads(topology_.switch_graph().num_edges());
+  for (int src = 0; src < num_slots; ++src) {
+    for (int dst = 0; dst < num_slots; ++dst) {
+      if (src == dst) continue;
+      static_routes_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(num_slots) +
+                     static_cast<std::size_t>(dst)] =
+          engine_.route(src, dst, /*demand=*/0.0, no_loads);
+    }
+  }
+}
+
+Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
+                                 EvalScratch& scratch,
+                                 bool materialize) const {
+  const int num_cores = app_.num_cores();
+  const int num_slots = topology_.num_slots();
+  const int num_switches = topology_.num_switches();
+  if (static_cast<int>(core_to_slot.size()) != num_cores) {
+    throw std::invalid_argument("EvalContext::evaluate: mapping size mismatch");
+  }
+  scratch.slot_to_core.assign(static_cast<std::size_t>(num_slots), -1);
+  for (int core = 0; core < num_cores; ++core) {
+    const int slot = core_to_slot[static_cast<std::size_t>(core)];
+    if (slot < 0 || slot >= num_slots) {
+      throw std::invalid_argument("EvalContext::evaluate: slot out of range");
+    }
+    if (scratch.slot_to_core[static_cast<std::size_t>(slot)] != -1) {
+      throw std::invalid_argument("EvalContext::evaluate: mapping not injective");
+    }
+    scratch.slot_to_core[static_cast<std::size_t>(slot)] = core;
+  }
+
+  Evaluation eval;
+  const std::size_t num_commodities = commodities_.size();
+
+  // ---- Fig 5 steps 2-6: route commodities in decreasing value order. ----
+  const int num_edges = topology_.switch_graph().num_edges();
+  if (scratch.loads.num_edges() != num_edges) {
+    scratch.loads = route::LoadMap(num_edges);
+  } else {
+    scratch.loads.clear();
+  }
+  scratch.route_refs.resize(num_commodities);
+
+  if (static_routing_) {
+    for (std::size_t k = 0; k < num_commodities; ++k) {
+      const auto& commodity = commodities_[k];
+      const int src_slot =
+          core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+      const int dst_slot =
+          core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+      const route::RouteSet& routes = static_route(src_slot, dst_slot);
+      scratch.loads.add_route(routes, commodity.value_mbps);
+      scratch.route_refs[k] = &routes;
+    }
+  } else {
+    scratch.routes.resize(num_commodities);
+    for (std::size_t k = 0; k < num_commodities; ++k) {
+      const auto& commodity = commodities_[k];
+      const int src_slot =
+          core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+      const int dst_slot =
+          core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+      scratch.routes[k] = engine_.route(src_slot, dst_slot,
+                                        commodity.value_mbps, scratch.loads);
+      scratch.loads.add_route(scratch.routes[k], commodity.value_mbps);
+      scratch.route_refs[k] = &scratch.routes[k];
+    }
+    if (adaptive_routing_) {
+      for (int pass = 0; pass < config_.reroute_passes; ++pass) {
+        for (std::size_t k = 0; k < num_commodities; ++k) {
+          const auto& commodity = commodities_[k];
+          const int src_slot =
+              core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+          const int dst_slot =
+              core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+          scratch.loads.add_route(scratch.routes[k], -commodity.value_mbps);
+          scratch.routes[k] = engine_.route(src_slot, dst_slot,
+                                            commodity.value_mbps,
+                                            scratch.loads);
+          scratch.loads.add_route(scratch.routes[k], commodity.value_mbps);
+        }
+      }
+    }
+  }
+
+  double weighted_hops = 0.0;
+  for (std::size_t k = 0; k < num_commodities; ++k) {
+    weighted_hops += commodities_[k].value_mbps *
+                     scratch.route_refs[k]->weighted_switch_hops();
+  }
+  eval.avg_switch_hops =
+      total_value_ > 0.0 ? weighted_hops / total_value_ : 0.0;
+  eval.max_link_load_mbps = scratch.loads.max_load();
+  eval.bandwidth_feasible =
+      eval.max_link_load_mbps <= config_.link_bandwidth_mbps + 1e-9;
+
+  // ---- Fig 5 step 7: floorplan and area/power estimation. ----
+  scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
+                             std::nullopt);
+  for (int slot = 0; slot < num_slots; ++slot) {
+    const int core = scratch.slot_to_core[static_cast<std::size_t>(slot)];
+    if (core >= 0) {
+      scratch.core_shapes[static_cast<std::size_t>(slot)] =
+          app_.core(core).shape;
+    }
+  }
+  eval.switch_area_mm2 = switch_table_.total_area_mm2();
+  eval.static_power_mw = switch_table_.total_static_power_mw();
+
+  eval.floorplan = planner_.place(placement_, scratch.core_shapes,
+                                  switch_shapes_);
+  eval.design_area_mm2 = eval.floorplan.area_mm2();
+  eval.area_feasible =
+      eval.design_area_mm2 <= config_.max_area_mm2 + 1e-9 &&
+      eval.floorplan.aspect() <= config_.max_design_aspect + 1e-9;
+
+  // Index the placed block centres so every wire length in the power loop is
+  // an O(1) lookup (Floorplan::center_distance_mm scans all blocks).
+  scratch.core_cx.assign(static_cast<std::size_t>(num_slots), 0.0);
+  scratch.core_cy.assign(static_cast<std::size_t>(num_slots), 0.0);
+  scratch.switch_cx.assign(static_cast<std::size_t>(num_switches), 0.0);
+  scratch.switch_cy.assign(static_cast<std::size_t>(num_switches), 0.0);
+  for (const auto& block : eval.floorplan.blocks()) {
+    if (block.kind == fplan::PlacedBlock::Kind::kCore) {
+      scratch.core_cx[static_cast<std::size_t>(block.index)] = block.cx();
+      scratch.core_cy[static_cast<std::size_t>(block.index)] = block.cy();
+    } else {
+      scratch.switch_cx[static_cast<std::size_t>(block.index)] = block.cx();
+      scratch.switch_cy[static_cast<std::size_t>(block.index)] = block.cy();
+    }
+  }
+  const auto manhattan = [](double ax, double ay, double bx, double by) {
+    return std::abs(ax - bx) + std::abs(ay - by);
+  };
+
+  // Power and latency: identical arithmetic to the from-scratch evaluator,
+  // with the library lookups and block scans replaced by the resolved
+  // tables above.
+  const auto& g = topology_.switch_graph();
+  const double link_e = config_.tech.link_energy_pj_per_bit_mm;
+  const double wire_ps_per_mm = config_.tech.link_delay_ps_per_mm;
+  const double cycle_ps = config_.tech.clock_period_ps;
+  double power_mw = 0.0;
+  double weighted_latency_ps = 0.0;
+  for (std::size_t k = 0; k < num_commodities; ++k) {
+    const auto& commodity = commodities_[k];
+    const int src_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+    const int dst_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+    const graph::NodeId ingress = topology_.ingress_switch(src_slot);
+    const graph::NodeId egress = topology_.egress_switch(dst_slot);
+    double energy_pj = 0.0;   // fraction-weighted energy per bit
+    double latency_ps = 0.0;  // fraction-weighted head latency
+    for (const auto& wp : scratch.route_refs[k]->paths) {
+      double path_pj = 0.0;
+      double wire_mm = 0.0;
+      for (graph::NodeId sw : wp.path.nodes) {
+        path_pj += switch_table_.energy_pj_per_bit(sw);
+      }
+      for (graph::EdgeId e : wp.path.edges) {
+        const auto& edge = g.edge(e);
+        wire_mm += manhattan(
+            scratch.switch_cx[static_cast<std::size_t>(edge.src)],
+            scratch.switch_cy[static_cast<std::size_t>(edge.src)],
+            scratch.switch_cx[static_cast<std::size_t>(edge.dst)],
+            scratch.switch_cy[static_cast<std::size_t>(edge.dst)]);
+      }
+      wire_mm += manhattan(
+          scratch.core_cx[static_cast<std::size_t>(src_slot)],
+          scratch.core_cy[static_cast<std::size_t>(src_slot)],
+          scratch.switch_cx[static_cast<std::size_t>(ingress)],
+          scratch.switch_cy[static_cast<std::size_t>(ingress)]);
+      wire_mm += manhattan(
+          scratch.core_cx[static_cast<std::size_t>(dst_slot)],
+          scratch.core_cy[static_cast<std::size_t>(dst_slot)],
+          scratch.switch_cx[static_cast<std::size_t>(egress)],
+          scratch.switch_cy[static_cast<std::size_t>(egress)]);
+      path_pj += link_e * wire_mm;
+      energy_pj += wp.fraction * path_pj;
+      // One pipeline cycle per switch plus repeated-wire delay.
+      latency_ps += wp.fraction *
+                    (static_cast<double>(wp.path.nodes.size()) * cycle_ps +
+                     wire_mm * wire_ps_per_mm);
+    }
+    // MB/s * pJ/bit -> mW (1e6 * 8 * 1e-12 * 1e3).
+    power_mw += commodity.value_mbps * 8e-3 * energy_pj;
+    weighted_latency_ps += commodity.value_mbps * latency_ps;
+  }
+  eval.dynamic_power_mw = power_mw;
+  eval.design_power_mw = eval.dynamic_power_mw + eval.static_power_mw;
+  eval.avg_path_latency_ns =
+      total_value_ > 0.0 ? weighted_latency_ps / total_value_ / 1000.0 : 0.0;
+
+  // ---- Fig 5 step 8: objective cost. ----
+  switch (config_.objective) {
+    case Objective::kMinDelay:
+      eval.cost = eval.avg_switch_hops;
+      break;
+    case Objective::kMinArea:
+      eval.cost = eval.design_area_mm2;
+      break;
+    case Objective::kMinPower:
+      eval.cost = eval.design_power_mw;
+      break;
+    case Objective::kWeighted: {
+      const auto& w = config_.weights;
+      eval.cost = w.delay * eval.avg_switch_hops / w.ref_hops +
+                  w.area * eval.design_area_mm2 / w.ref_area_mm2 +
+                  w.power * eval.design_power_mw / w.ref_power_mw;
+      break;
+    }
+  }
+
+  if (materialize) {
+    eval.link_loads = scratch.loads.values();
+    eval.routes.reserve(num_commodities);
+    for (std::size_t k = 0; k < num_commodities; ++k) {
+      eval.routes.push_back(*scratch.route_refs[k]);
+    }
+  }
+  return eval;
+}
+
+bool EvalContext::supports_pruning() const {
+  // Only the pure delay objective is dominated by the hop bound; collecting
+  // explored mappings requires the full area/power of every candidate.
+  return config_.objective == Objective::kMinDelay &&
+         !config_.collect_explored;
+}
+
+double EvalContext::hop_cost_lower_bound(
+    const std::vector<int>& core_to_slot) const {
+  double weighted = 0.0;
+  for (const auto& commodity : commodities_) {
+    const int src_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+    const int dst_slot =
+        core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+    weighted += commodity.value_mbps *
+                static_cast<double>(
+                    topology_.min_switch_hops(src_slot, dst_slot));
+  }
+  return total_value_ > 0.0 ? weighted / total_value_ : 0.0;
+}
+
+bool EvalContext::prunable(const std::vector<int>& core_to_slot,
+                           const Evaluation& incumbent) const {
+  // Sound only against a feasible incumbent: better_than() ranks any
+  // feasible candidate above an infeasible incumbent regardless of cost, and
+  // the hop bound says nothing about feasibility.
+  if (!supports_pruning() || !incumbent.feasible()) return false;
+  const double bound = hop_cost_lower_bound(core_to_slot);
+  // For the single-minimal-path routing functions (DO, MP) an evaluated
+  // candidate whose routes are all minimal reproduces the bound's arithmetic
+  // exactly, so `bound >= cost` can never prune a candidate that would have
+  // ranked strictly better — ties included. The split functions accumulate
+  // path fractions whose sum can differ from 1 by an ulp, so they keep a
+  // safety margin and only prune strictly dominated candidates.
+  const bool exact_bound =
+      config_.routing == route::RoutingKind::kDimensionOrdered ||
+      config_.routing == route::RoutingKind::kMinPath;
+  const double margin =
+      exact_bound ? 0.0 : 1e-9 * std::max(1.0, std::abs(incumbent.cost));
+  return bound >= incumbent.cost + margin;
+}
+
+}  // namespace sunmap::mapping

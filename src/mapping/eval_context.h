@@ -1,0 +1,138 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fplan/floorplanner.h"
+#include "mapping/mapper.h"
+#include "model/library.h"
+#include "route/routing.h"
+#include "topo/topology.h"
+
+namespace sunmap::mapping {
+
+/// Reusable per-thread buffers for EvalContext::evaluate(), so the mapping
+/// search stops allocating in its inner loop. One scratch must not be shared
+/// between concurrent evaluations; the parallel neighborhood search gives
+/// each worker its own.
+struct EvalScratch {
+  std::vector<int> slot_to_core;
+  route::LoadMap loads{0};
+  /// Per-commodity routes computed by the adaptive routing functions; the
+  /// deterministic functions point into the context's static route cache
+  /// instead.
+  std::vector<route::RouteSet> routes;
+  /// Per-commodity route reference, aligned with EvalContext::commodities().
+  std::vector<const route::RouteSet*> route_refs;
+  std::vector<std::optional<fplan::BlockShape>> core_shapes;
+  /// Block centres extracted from the candidate floorplan, indexed by SlotId
+  /// (cores) and switch NodeId, so the power loop's wire lengths are O(1)
+  /// lookups instead of linear scans over the placed blocks.
+  std::vector<double> core_cx, core_cy, switch_cx, switch_cy;
+};
+
+/// The incremental mapping-evaluation engine: everything about one
+/// (application, topology, mapper configuration) triple that is invariant
+/// across candidate mappings, precomputed once so that Mapper's search loops
+/// evaluate thousands of candidates without redoing it.
+///
+/// Cached here:
+///  * the commodity list sorted by decreasing value (Fig 5 step 2);
+///  * the switch area/power library rows resolved per switch, with the
+///    mapping-invariant totals (silicon area, static power) pre-summed;
+///  * the quadrant-graph admission masks of §4.3 for every slot pair
+///    (minimum-path routing only), shared lock-free by search workers;
+///  * complete route sets per slot pair for the deterministic routing
+///    functions (dimension-ordered, split-across-minimum-paths), whose
+///    routes do not depend on link loads — re-routing a commodity after a
+///    swap is then a table lookup, which is what makes the swap search's
+///    delta-routing cheap;
+///  * the topology's relative placement and the floorplanner instance;
+///  * a reusable routing engine.
+///
+/// evaluate() is a drop-in replacement for Mapper::evaluate() and produces
+/// bit-identical Evaluations (asserted by the equivalence regression tests);
+/// it is const and thread-safe once constructed, given per-thread scratch.
+///
+/// The context borrows the application and topology; both must outlive it.
+class EvalContext {
+ public:
+  EvalContext(const CoreGraph& app, const topo::Topology& topology,
+              const MapperConfig& config,
+              const model::AreaPowerLibrary& library);
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  [[nodiscard]] const CoreGraph& app() const { return app_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] const MapperConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<Commodity>& commodities() const {
+    return commodities_;
+  }
+
+  /// Evaluates one mapping (Fig 5 steps 2-8) using the cached data. With
+  /// `materialize` false the returned Evaluation carries every metric and
+  /// the floorplan but leaves `routes`/`link_loads` empty — the search
+  /// loops compare candidates by metrics only, and skipping the per-copy of
+  /// the route sets keeps rejected candidates cheap.
+  ///
+  /// Throws std::invalid_argument on a malformed mapping, mirroring
+  /// Mapper::evaluate().
+  [[nodiscard]] Evaluation evaluate(const std::vector<int>& core_to_slot,
+                                    EvalScratch& scratch,
+                                    bool materialize = true) const;
+
+  /// True when candidate mappings can be pruned by the hop-distance cost
+  /// bound: the objective must be pure delay (for any other objective the
+  /// bound does not dominate the cost) and the caller must not be collecting
+  /// every explored mapping's area/power.
+  [[nodiscard]] bool supports_pruning() const;
+
+  /// Lower bound on the mapping's communication-weighted average switch
+  /// hops: every commodity needs at least min_switch_hops between its
+  /// mapped slots, whatever the routing function does. For minimal routing
+  /// functions the bound is exact when every route is minimal, and it is
+  /// computed with the same summation order as evaluate(), so comparing it
+  /// against an evaluated cost is floating-point safe.
+  [[nodiscard]] double hop_cost_lower_bound(
+      const std::vector<int>& core_to_slot) const;
+
+  /// Phase 1 of the two-phase evaluation: true when the bound proves the
+  /// candidate cannot rank strictly better than the incumbent, so the full
+  /// routing + floorplanning evaluation can be skipped without changing the
+  /// search result.
+  [[nodiscard]] bool prunable(const std::vector<int>& core_to_slot,
+                              const Evaluation& incumbent) const;
+
+ private:
+  void build_static_routes();
+  [[nodiscard]] const route::RouteSet& static_route(int src_slot,
+                                                    int dst_slot) const {
+    return static_routes_[static_cast<std::size_t>(src_slot) *
+                              static_cast<std::size_t>(topology_.num_slots()) +
+                          static_cast<std::size_t>(dst_slot)];
+  }
+
+  const CoreGraph& app_;
+  const topo::Topology& topology_;
+  MapperConfig config_;  // by value: the context must not dangle on the mapper
+
+  std::vector<Commodity> commodities_;
+  double total_value_ = 0.0;
+
+  model::ResolvedSwitchTable switch_table_;
+  std::vector<fplan::BlockShape> switch_shapes_;
+  topo::RelativePlacement placement_;
+  fplan::Floorplanner planner_;
+
+  route::RoutingEngine engine_;
+  std::optional<route::QuadrantTable> quadrant_table_;
+  /// Route sets per (src, dst) slot pair for load-independent routing
+  /// functions; empty for the adaptive ones.
+  std::vector<route::RouteSet> static_routes_;
+  bool static_routing_ = false;
+  bool adaptive_routing_ = false;
+};
+
+}  // namespace sunmap::mapping

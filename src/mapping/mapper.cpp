@@ -1,10 +1,14 @@
 #include "mapping/mapper.h"
 
+#include "mapping/eval_context.h"
 #include "util/prng.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace sunmap::mapping {
 
@@ -51,6 +55,14 @@ Mapper::Mapper(MapperConfig config)
   if (config_.swap_passes < 0) {
     throw std::invalid_argument("Mapper: swap_passes must be >= 0");
   }
+  if (config_.num_threads < 1) {
+    throw std::invalid_argument("Mapper: num_threads must be >= 1");
+  }
+}
+
+EvalContext Mapper::make_context(const CoreGraph& app,
+                                 const topo::Topology& topology) const {
+  return EvalContext(app, topology, config_, library_);
 }
 
 Evaluation Mapper::evaluate(const CoreGraph& app,
@@ -318,6 +330,18 @@ std::vector<int> Mapper::greedy_initial_mapping(
 
 MappingResult Mapper::map(const CoreGraph& app,
                           const topo::Topology& topology) const {
+  const EvalContext ctx = make_context(app, topology);
+  return map(ctx);
+}
+
+MappingResult Mapper::map(const EvalContext& ctx) const {
+  const CoreGraph& app = ctx.app();
+  const topo::Topology& topology = ctx.topology();
+  // The context's config copy governs the whole run — evaluation *and*
+  // search — so a context built from a differently-configured mapper cannot
+  // end up half-evaluated under one config and half-searched under another
+  // (pruning and explored-mapping collection must agree, for one).
+  const MapperConfig& cfg = ctx.config();
   if (app.num_cores() > topology.num_slots()) {
     throw std::invalid_argument(
         "Mapper: application has more cores than the topology has slots");
@@ -328,20 +352,31 @@ MappingResult Mapper::map(const CoreGraph& app,
 
   MappingResult result;
   result.core_to_slot = greedy_initial_mapping(app, topology);
-  result.eval = evaluate(app, topology, result.core_to_slot);
+  EvalScratch scratch;
+  result.eval = ctx.evaluate(result.core_to_slot, scratch);
   result.evaluated_mappings = 1;
-  if (config_.collect_explored) {
+  if (cfg.collect_explored) {
     result.explored_area_power.emplace_back(result.eval.design_area_mm2,
                                             result.eval.design_power_mw);
   }
 
-  switch (config_.search) {
+  switch (cfg.search) {
     case SearchStrategy::kGreedySwaps:
-      improve_by_swaps(app, topology, result);
+      improve_by_swaps(ctx, result);
       break;
     case SearchStrategy::kAnnealing:
-      improve_by_annealing(app, topology, result);
+      improve_by_annealing(ctx, result);
       break;
+  }
+
+  // The search loops keep incumbent evaluations light (no per-commodity
+  // routes or link loads); materialize the winning mapping's full
+  // Evaluation once at the end. Both sizes are checked so an application
+  // with no flows still gets its per-edge (all-zero) link loads.
+  if (result.eval.routes.size() != ctx.commodities().size() ||
+      result.eval.link_loads.size() !=
+          static_cast<std::size_t>(topology.switch_graph().num_edges())) {
+    result.eval = ctx.evaluate(result.core_to_slot, scratch);
   }
 
   result.slot_to_core.assign(static_cast<std::size_t>(topology.num_slots()),
@@ -353,82 +388,214 @@ MappingResult Mapper::map(const CoreGraph& app,
   return result;
 }
 
-void Mapper::improve_by_swaps(const CoreGraph& app,
-                              const topo::Topology& topology,
+namespace {
+
+/// Applies the pairwise swap of slots (a, b) to a mapping and its inverse in
+/// place. Self-inverse: applying it twice restores both arrays, which is
+/// what lets the swap search try candidates without copying the mapping.
+void apply_swap(int a, int b, std::vector<int>& core_to_slot,
+                std::vector<int>& slot_to_core) {
+  const int core_a = slot_to_core[static_cast<std::size_t>(a)];
+  const int core_b = slot_to_core[static_cast<std::size_t>(b)];
+  if (core_a >= 0) core_to_slot[static_cast<std::size_t>(core_a)] = b;
+  if (core_b >= 0) core_to_slot[static_cast<std::size_t>(core_b)] = a;
+  std::swap(slot_to_core[static_cast<std::size_t>(a)],
+            slot_to_core[static_cast<std::size_t>(b)]);
+}
+
+/// Outcome of one speculatively evaluated swap candidate.
+struct SwapOutcome {
+  enum class State : std::uint8_t { kSkipped, kPruned, kEvaluated };
+  State state = State::kSkipped;
+  Evaluation eval;
+};
+
+}  // namespace
+
+void Mapper::improve_by_swaps(const EvalContext& ctx,
                               MappingResult& result) const {
   // Fig 5 steps 9-10: pairwise swaps of topology vertices. Swapping two
   // slots exchanges whatever occupies them (two cores, or a core and an
-  // empty slot, which moves the core).
-  std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
-                                -1);
-  auto rebuild_inverse = [&]() {
-    std::fill(slot_to_core.begin(), slot_to_core.end(), -1);
-    for (int c = 0; c < app.num_cores(); ++c) {
-      slot_to_core[static_cast<std::size_t>(
-          result.core_to_slot[static_cast<std::size_t>(c)])] = c;
+  // empty slot, which moves the core). Candidates are two-phase evaluated:
+  // the hop-distance bound first, the full routing + floorplanning
+  // evaluation only for candidates the bound cannot reject.
+  const topo::Topology& topology = ctx.topology();
+  const MapperConfig& cfg = ctx.config();
+  const int num_slots = topology.num_slots();
+  std::vector<int>& mapping = result.core_to_slot;
+  std::vector<int> slot_to_core(static_cast<std::size_t>(num_slots), -1);
+  for (int c = 0; c < ctx.app().num_cores(); ++c) {
+    slot_to_core[static_cast<std::size_t>(
+        mapping[static_cast<std::size_t>(c)])] = c;
+  }
+
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(num_slots) *
+                static_cast<std::size_t>(num_slots - 1) / 2);
+  for (int a = 0; a < num_slots; ++a) {
+    for (int b = a + 1; b < num_slots; ++b) pairs.emplace_back(a, b);
+  }
+
+  const auto record_explored = [&](const Evaluation& eval) {
+    if (cfg.collect_explored) {
+      result.explored_area_power.emplace_back(eval.design_area_mm2,
+                                              eval.design_power_mw);
     }
   };
-  rebuild_inverse();
 
-  for (int pass = 0; pass < config_.swap_passes; ++pass) {
-    bool improved = false;
-    for (int a = 0; a < topology.num_slots(); ++a) {
-      for (int b = a + 1; b < topology.num_slots(); ++b) {
+  const int num_threads =
+      std::min(cfg.num_threads, static_cast<int>(pairs.size()));
+
+  if (num_threads <= 1) {
+    EvalScratch scratch;
+    for (int pass = 0; pass < cfg.swap_passes; ++pass) {
+      bool improved = false;
+      for (const auto& [a, b] : pairs) {
         const int core_a = slot_to_core[static_cast<std::size_t>(a)];
         const int core_b = slot_to_core[static_cast<std::size_t>(b)];
         if (core_a < 0 && core_b < 0) continue;  // both empty: no-op
 
-        auto candidate = result.core_to_slot;
-        if (core_a >= 0) candidate[static_cast<std::size_t>(core_a)] = b;
-        if (core_b >= 0) candidate[static_cast<std::size_t>(core_b)] = a;
-
-        auto eval = evaluate(app, topology, candidate);
+        apply_swap(a, b, mapping, slot_to_core);
         ++result.evaluated_mappings;
-        if (config_.collect_explored) {
-          result.explored_area_power.emplace_back(eval.design_area_mm2,
-                                                  eval.design_power_mw);
+        if (ctx.prunable(mapping, result.eval)) {
+          ++result.pruned_mappings;
+          apply_swap(a, b, mapping, slot_to_core);  // undo
+          continue;
         }
+        auto eval = ctx.evaluate(mapping, scratch, /*materialize=*/false);
+        record_explored(eval);
         if (better_than(eval, result.eval)) {
           result.eval = std::move(eval);
-          result.core_to_slot = std::move(candidate);
-          rebuild_inverse();
-          improved = true;
+          improved = true;  // keep the swap
+        } else {
+          apply_swap(a, b, mapping, slot_to_core);  // undo
         }
       }
+      if (!improved) break;
+    }
+    return;
+  }
+
+  // Parallel neighborhood search: workers speculatively evaluate a chunk of
+  // candidates against the incumbent, then outcomes are committed in
+  // canonical pair order. When a candidate is accepted, the later outcomes
+  // of the chunk are discarded (they were evaluated against a stale
+  // incumbent and mapping) and the next chunk resumes right after the
+  // accepted pair — exactly the sequential trajectory, so any thread count
+  // yields the sequential result, deterministically.
+  std::vector<EvalScratch> scratches(static_cast<std::size_t>(num_threads));
+  std::vector<std::vector<int>> worker_mapping(
+      static_cast<std::size_t>(num_threads));
+  std::vector<std::vector<int>> worker_inverse(
+      static_cast<std::size_t>(num_threads));
+  const std::size_t chunk_size = std::max<std::size_t>(
+      128, 32 * static_cast<std::size_t>(num_threads));
+  std::vector<SwapOutcome> outcomes(chunk_size);
+
+  for (int pass = 0; pass < cfg.swap_passes; ++pass) {
+    bool improved = false;
+    std::size_t begin = 0;
+    while (begin < pairs.size()) {
+      const std::size_t count = std::min(chunk_size, pairs.size() - begin);
+      std::atomic<std::size_t> next{0};
+
+      auto worker = [&](int t) {
+        auto& m = worker_mapping[static_cast<std::size_t>(t)];
+        auto& inv = worker_inverse[static_cast<std::size_t>(t)];
+        m = mapping;
+        inv = slot_to_core;
+        auto& scratch = scratches[static_cast<std::size_t>(t)];
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= count) break;
+          const auto [a, b] = pairs[begin + i];
+          auto& out = outcomes[i];
+          const int core_a = inv[static_cast<std::size_t>(a)];
+          const int core_b = inv[static_cast<std::size_t>(b)];
+          if (core_a < 0 && core_b < 0) {
+            out.state = SwapOutcome::State::kSkipped;
+            continue;
+          }
+          apply_swap(a, b, m, inv);
+          if (ctx.prunable(m, result.eval)) {
+            out.state = SwapOutcome::State::kPruned;
+          } else {
+            out.eval = ctx.evaluate(m, scratch, /*materialize=*/false);
+            out.state = SwapOutcome::State::kEvaluated;
+          }
+          apply_swap(a, b, m, inv);  // undo for the next candidate
+        }
+      };
+
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(num_threads - 1));
+      for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
+      worker(0);
+      for (auto& thread : pool) thread.join();
+
+      // Commit outcomes in canonical order.
+      std::size_t committed = count;
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& out = outcomes[i];
+        if (out.state == SwapOutcome::State::kSkipped) continue;
+        ++result.evaluated_mappings;
+        if (out.state == SwapOutcome::State::kPruned) {
+          ++result.pruned_mappings;
+          continue;
+        }
+        record_explored(out.eval);
+        if (better_than(out.eval, result.eval)) {
+          const auto [a, b] = pairs[begin + i];
+          apply_swap(a, b, mapping, slot_to_core);
+          result.eval = std::move(out.eval);
+          improved = true;
+          committed = i + 1;  // discard stale outcomes past the acceptance
+          break;
+        }
+      }
+      begin += committed;
     }
     if (!improved) break;
   }
 }
 
-void Mapper::improve_by_annealing(const CoreGraph& app,
-                                  const topo::Topology& topology,
+void Mapper::improve_by_annealing(const EvalContext& ctx,
                                   MappingResult& result) const {
   // Metropolis acceptance over random pairwise swaps with geometric
   // cooling. Infeasibility enters the annealing energy as a smooth penalty
   // so the walk can cross infeasible regions; the best *feasible-ranked*
   // mapping seen (under better_than) is what gets returned.
+  //
+  // The chain itself cannot be bound-pruned (even a worse candidate may be
+  // accepted, and its exact cost feeds the Metropolis criterion), so the
+  // speedup here comes purely from the cached evaluation path. Swaps are
+  // applied in place and undone on rejection; the random draws, acceptance
+  // tests, and best-seen tracking replicate the from-scratch walk exactly.
+  const topo::Topology& topology = ctx.topology();
+  const MapperConfig& cfg = ctx.config();
   auto energy = [&](const Evaluation& eval) {
     double value = eval.cost;
     if (!eval.bandwidth_feasible) {
-      value += 2.0 * (eval.max_link_load_mbps - config_.link_bandwidth_mbps) /
-               config_.link_bandwidth_mbps * eval.cost;
+      value += 2.0 * (eval.max_link_load_mbps - cfg.link_bandwidth_mbps) /
+               cfg.link_bandwidth_mbps * eval.cost;
     }
     if (!eval.area_feasible) value *= 2.0;
     return value;
   };
 
-  util::Prng prng(config_.annealing_seed);
+  util::Prng prng(cfg.annealing_seed);
   auto current = result.core_to_slot;
   auto current_eval = result.eval;
-  double temperature = config_.annealing_t0 * energy(current_eval);
+  double temperature = cfg.annealing_t0 * energy(current_eval);
   std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
                                 -1);
-  for (int c = 0; c < app.num_cores(); ++c) {
+  for (int c = 0; c < ctx.app().num_cores(); ++c) {
     slot_to_core[static_cast<std::size_t>(
         current[static_cast<std::size_t>(c)])] = c;
   }
+  EvalScratch scratch;
 
-  for (int iter = 0; iter < config_.annealing_iterations; ++iter) {
+  for (int iter = 0; iter < cfg.annealing_iterations; ++iter) {
     const int a = prng.next_int(0, topology.num_slots() - 1);
     int b = prng.next_int(0, topology.num_slots() - 2);
     if (b >= a) ++b;
@@ -436,13 +603,11 @@ void Mapper::improve_by_annealing(const CoreGraph& app,
     const int core_b = slot_to_core[static_cast<std::size_t>(b)];
     if (core_a < 0 && core_b < 0) continue;
 
-    auto candidate = current;
-    if (core_a >= 0) candidate[static_cast<std::size_t>(core_a)] = b;
-    if (core_b >= 0) candidate[static_cast<std::size_t>(core_b)] = a;
+    apply_swap(a, b, current, slot_to_core);
 
-    auto eval = evaluate(app, topology, candidate);
+    auto eval = ctx.evaluate(current, scratch, /*materialize=*/false);
     ++result.evaluated_mappings;
-    if (config_.collect_explored) {
+    if (cfg.collect_explored) {
       result.explored_area_power.emplace_back(eval.design_area_mm2,
                                               eval.design_power_mw);
     }
@@ -451,17 +616,16 @@ void Mapper::improve_by_annealing(const CoreGraph& app,
     const bool accept =
         delta <= 0.0 ||
         (temperature > 1e-12 && prng.chance(std::exp(-delta / temperature)));
-    if (accept) {
-      current = candidate;
-      current_eval = eval;
-      slot_to_core[static_cast<std::size_t>(a)] = core_b;
-      slot_to_core[static_cast<std::size_t>(b)] = core_a;
-    }
     if (better_than(eval, result.eval)) {
-      result.eval = std::move(eval);
-      result.core_to_slot = std::move(candidate);
+      result.eval = eval;
+      result.core_to_slot = current;
     }
-    temperature *= config_.annealing_cooling;
+    if (accept) {
+      current_eval = std::move(eval);
+    } else {
+      apply_swap(a, b, current, slot_to_core);  // undo
+    }
+    temperature *= cfg.annealing_cooling;
   }
 }
 

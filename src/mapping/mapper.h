@@ -81,8 +81,15 @@ struct MapperConfig {
   int reroute_passes = 2;
 
   /// Record the (area, power) of every evaluated mapping, enabling the
-  /// Pareto exploration of Fig 9(b).
+  /// Pareto exploration of Fig 9(b). Collecting disables bound-based swap
+  /// pruning (a pruned candidate has no area/power to record).
   bool collect_explored = false;
+
+  /// Worker threads for the greedy-swap neighborhood search. Candidate
+  /// swaps are evaluated concurrently in chunks and committed in canonical
+  /// order, so any thread count produces results identical to the
+  /// sequential search. 1 (the default) runs fully sequential.
+  int num_threads = 1;
 
   fplan::Floorplanner::Options floorplan;
   model::TechParams tech = model::TechParams::um100();
@@ -143,8 +150,14 @@ struct MappingResult {
   /// (area mm^2, power mW) of every evaluated mapping when
   /// MapperConfig::collect_explored is set.
   std::vector<std::pair<double, double>> explored_area_power;
+  /// Candidate mappings the search considered (pruned + fully evaluated).
   int evaluated_mappings = 0;
+  /// Of those, the candidates rejected by the hop-distance cost bound alone,
+  /// without paying for routing and floorplanning.
+  int pruned_mappings = 0;
 };
+
+class EvalContext;
 
 /// The minimum-path mapping algorithm of Fig 5, generalised over topologies
 /// and routing functions: greedy initial placement, commodities routed in
@@ -156,12 +169,26 @@ class Mapper {
 
   /// Runs the full algorithm. Throws std::invalid_argument if the
   /// application has more cores than the topology has slots (the mapping
-  /// function requires |V| <= |U|).
+  /// function requires |V| <= |U|). Builds an EvalContext internally and
+  /// reuses it across every candidate evaluation of the search.
   [[nodiscard]] MappingResult map(const CoreGraph& app,
                                   const topo::Topology& topology) const;
 
-  /// Evaluates a fixed mapping (Fig 5 steps 2-8 only). Exposed for tests,
-  /// Pareto sweeps, and user-supplied placements.
+  /// Same, over a caller-built context (make_context), so callers mapping
+  /// repeatedly onto one topology — or keeping the context for later
+  /// re-evaluations — pay the per-topology precomputation once.
+  [[nodiscard]] MappingResult map(const EvalContext& ctx) const;
+
+  /// Builds the incremental evaluation engine for one (application,
+  /// topology) pair under this mapper's configuration. The returned context
+  /// borrows `app` and `topology`; both must outlive it.
+  [[nodiscard]] EvalContext make_context(const CoreGraph& app,
+                                         const topo::Topology& topology) const;
+
+  /// Evaluates a fixed mapping (Fig 5 steps 2-8 only), from scratch with no
+  /// caching. Exposed for tests, Pareto sweeps, and user-supplied
+  /// placements; also the reference implementation the cached
+  /// EvalContext::evaluate() path is regression-tested against.
   [[nodiscard]] Evaluation evaluate(const CoreGraph& app,
                                     const topo::Topology& topology,
                                     const std::vector<int>& core_to_slot) const;
@@ -172,10 +199,8 @@ class Mapper {
   [[nodiscard]] std::vector<int> greedy_initial_mapping(
       const CoreGraph& app, const topo::Topology& topology) const;
 
-  void improve_by_swaps(const CoreGraph& app, const topo::Topology& topology,
-                        MappingResult& result) const;
-  void improve_by_annealing(const CoreGraph& app,
-                            const topo::Topology& topology,
+  void improve_by_swaps(const EvalContext& ctx, MappingResult& result) const;
+  void improve_by_annealing(const EvalContext& ctx,
                             MappingResult& result) const;
 
   MapperConfig config_;

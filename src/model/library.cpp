@@ -36,4 +36,17 @@ std::vector<SwitchConfigEntry> AreaPowerLibrary::all_entries() const {
   return entries_;
 }
 
+ResolvedSwitchTable::ResolvedSwitchTable(
+    const AreaPowerLibrary& library,
+    const std::vector<std::pair<int, int>>& switch_ports) {
+  entries_.reserve(switch_ports.size());
+  // Accumulate in switch-index order so the totals are bit-identical to a
+  // caller summing lookup() results over switches 0..n-1.
+  for (const auto& [in_ports, out_ports] : switch_ports) {
+    entries_.push_back(library.lookup(in_ports, out_ports));
+    total_area_mm2_ += entries_.back().area_mm2;
+    total_static_power_mw_ += entries_.back().static_power_mw;
+  }
+}
+
 }  // namespace sunmap::model

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "model/switch_model.h"
@@ -50,6 +51,45 @@ class AreaPowerLibrary {
   LinkModel links_;
   int max_radix_;
   std::vector<SwitchConfigEntry> entries_;  // (in-1) * max_radix + (out-1)
+};
+
+/// Library rows resolved once for the concrete switches of one topology:
+/// entry(sw) is the area/power/energy row for switch sw's port
+/// configuration, fetched by plain array index instead of the per-call
+/// bounds checks and index arithmetic of AreaPowerLibrary::lookup(). The
+/// mapping-invariant aggregates (total silicon area, total static power) are
+/// precomputed so the mapping evaluator never re-sums them per candidate.
+///
+/// Entries are copied by value, so the table stays valid independently of
+/// the AreaPowerLibrary it was resolved from.
+class ResolvedSwitchTable {
+ public:
+  ResolvedSwitchTable() = default;
+
+  /// `switch_ports[sw]` is the (in_ports, out_ports) pair of switch sw.
+  /// Throws std::out_of_range if any configuration is beyond the library's
+  /// max radix.
+  ResolvedSwitchTable(const AreaPowerLibrary& library,
+                      const std::vector<std::pair<int, int>>& switch_ports);
+
+  [[nodiscard]] const SwitchConfigEntry& entry(int sw) const {
+    return entries_[static_cast<std::size_t>(sw)];
+  }
+  [[nodiscard]] double energy_pj_per_bit(int sw) const {
+    return entries_[static_cast<std::size_t>(sw)].energy_pj_per_bit;
+  }
+  [[nodiscard]] int num_switches() const {
+    return static_cast<int>(entries_.size());
+  }
+  [[nodiscard]] double total_area_mm2() const { return total_area_mm2_; }
+  [[nodiscard]] double total_static_power_mw() const {
+    return total_static_power_mw_;
+  }
+
+ private:
+  std::vector<SwitchConfigEntry> entries_;
+  double total_area_mm2_ = 0.0;
+  double total_static_power_mw_ = 0.0;
 };
 
 }  // namespace sunmap::model

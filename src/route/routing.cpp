@@ -58,6 +58,32 @@ double LoadMap::max_load() const {
   return mx;
 }
 
+QuadrantTable::QuadrantTable(const topo::Topology& topology)
+    : num_slots_(topology.num_slots()),
+      num_switches_(topology.num_switches()) {
+  masks_.assign(static_cast<std::size_t>(num_slots_) *
+                    static_cast<std::size_t>(num_slots_) *
+                    static_cast<std::size_t>(num_switches_),
+                0);
+  // Build directly from quadrant_nodes() rather than the topology's
+  // memoized quadrant_mask(): the engine prefers this table once attached,
+  // so filling the per-topology memo here would just duplicate every mask
+  // for the topology's lifetime.
+  for (topo::SlotId src = 0; src < num_slots_; ++src) {
+    for (topo::SlotId dst = 0; dst < num_slots_; ++dst) {
+      if (src == dst) continue;
+      char* mask = masks_.data() +
+                   (static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(num_slots_) +
+                    static_cast<std::size_t>(dst)) *
+                       static_cast<std::size_t>(num_switches_);
+      for (const graph::NodeId u : topology.quadrant_nodes(src, dst)) {
+        mask[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+  }
+}
+
 RoutingEngine::RoutingEngine(const topo::Topology& topology, RoutingKind kind,
                              int split_chunks, double capacity_hint_mbps)
     : topology_(topology),
@@ -102,11 +128,13 @@ RouteSet RoutingEngine::route_min_path(topo::SlotId src, topo::SlotId dst,
                                        const LoadMap& loads) const {
   // Quadrant graph of §4.3: restrict the Dijkstra search to the switches
   // that can lie on a minimum path, which both guarantees minimality and
-  // gives the computational savings the paper reports.
-  const auto quadrant = topology_.quadrant_nodes(src, dst);
-  std::vector<char> admitted(
-      static_cast<std::size_t>(topology_.num_switches()), 0);
-  for (graph::NodeId u : quadrant) admitted[static_cast<std::size_t>(u)] = 1;
+  // gives the computational savings the paper reports. The admission mask
+  // comes from the attached per-topology table (lock-free, shared by
+  // concurrent search workers) or the topology's memoized cache.
+  const char* admitted =
+      quadrant_table_ != nullptr
+          ? quadrant_table_->mask(src, dst)
+          : topology_.quadrant_mask(src, dst).data();
 
   const auto path = graph::shortest_path(
       topology_.switch_graph(), topology_.ingress_switch(src),

@@ -57,7 +57,15 @@ class LoadMap {
       : loads_(static_cast<std::size_t>(num_edges), 0.0) {}
 
   void add(graph::EdgeId e, double amount) {
-    loads_.at(static_cast<std::size_t>(e)) += amount;
+    double& value = loads_.at(static_cast<std::size_t>(e));
+    value += amount;
+    // Rip-up-and-reroute removes a commodity by adding its routes with
+    // negative demand; floating-point cancellation can leave a tiny negative
+    // residue that would perturb max_load() and feasibility checks. Link
+    // loads are physically non-negative, so snap near-zero negatives back to
+    // exactly zero (a residue beyond the tolerance indicates a real
+    // accounting bug and is left visible).
+    if (value < 0.0 && value > -kNegativeResidueTolerance) value = 0.0;
   }
 
   /// Adds `demand` scaled by each path fraction along every routed path.
@@ -68,11 +76,43 @@ class LoadMap {
   }
   [[nodiscard]] double max_load() const;
   [[nodiscard]] const std::vector<double>& values() const { return loads_; }
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(loads_.size());
+  }
 
   void clear() { loads_.assign(loads_.size(), 0.0); }
 
+  /// Largest negative residue magnitude silently clamped to zero by add().
+  static constexpr double kNegativeResidueTolerance = 1e-6;
+
  private:
   std::vector<double> loads_;
+};
+
+/// Precomputed quadrant-graph admission masks for every ordered slot pair of
+/// one topology. Building the table once per topology lets the routing
+/// engine's inner Dijkstra loop read a plain byte array instead of
+/// recomputing (or even lock-protecting) the quadrant sets — and, unlike the
+/// memoized Topology::quadrant_mask(), the table is immutable after
+/// construction, so concurrent mapping-search workers share it without
+/// synchronisation.
+class QuadrantTable {
+ public:
+  explicit QuadrantTable(const topo::Topology& topology);
+
+  /// Byte mask over switch NodeIds for the (src, dst) slot pair: non-zero
+  /// entries are the switches on at least one minimum path.
+  [[nodiscard]] const char* mask(topo::SlotId src, topo::SlotId dst) const {
+    return masks_.data() +
+           (static_cast<std::size_t>(src) * static_cast<std::size_t>(num_slots_) +
+            static_cast<std::size_t>(dst)) *
+               static_cast<std::size_t>(num_switches_);
+  }
+
+ private:
+  int num_slots_ = 0;
+  int num_switches_ = 0;
+  std::vector<char> masks_;
 };
 
 /// Computes routes for commodities over one topology under one routing
@@ -92,6 +132,14 @@ class RoutingEngine {
 
   [[nodiscard]] RoutingKind kind() const { return kind_; }
   [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+
+  /// Attaches a precomputed quadrant table (not owned; must outlive the
+  /// engine). With a table attached, minimum-path routing reads admission
+  /// masks lock-free; without one it falls back to the topology's memoized
+  /// quadrant cache.
+  void attach_quadrant_table(const QuadrantTable* table) {
+    quadrant_table_ = table;
+  }
 
   /// Routes `demand` MB/s from slot src to slot dst given the traffic
   /// already routed (`loads`). Does not modify `loads`; the caller
@@ -114,6 +162,7 @@ class RoutingEngine {
   RoutingKind kind_;
   int split_chunks_;
   double capacity_hint_mbps_;
+  const QuadrantTable* quadrant_table_ = nullptr;
 };
 
 }  // namespace sunmap::route

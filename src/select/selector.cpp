@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mapping/eval_context.h"
+
 namespace sunmap::select {
 
 SelectionReport TopologySelector::select(
@@ -12,7 +14,11 @@ SelectionReport TopologySelector::select(
   for (const auto& topology : library) {
     TopologyCandidate candidate;
     candidate.topology = topology.get();
-    candidate.result = mapper_.map(app, *topology);
+    // One evaluation context per library topology: the per-topology caches
+    // (quadrant masks, resolved switch rows, static routes) are built once
+    // here and shared by every candidate mapping the search evaluates.
+    const auto ctx = mapper_.make_context(app, *topology);
+    candidate.result = mapper_.map(ctx);
     report.candidates.push_back(std::move(candidate));
   }
   for (std::size_t i = 0; i < report.candidates.size(); ++i) {

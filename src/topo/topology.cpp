@@ -60,6 +60,8 @@ void Topology::finalize() {
     ++slots_in_at_[static_cast<std::size_t>(ingress_[s])];
     ++slots_out_at_[static_cast<std::size_t>(egress_[s])];
   }
+
+  quadrant_mask_cache_.assign(ingress_.size() * ingress_.size(), {});
 }
 
 int Topology::switch_in_ports(NodeId sw) const {
@@ -108,6 +110,22 @@ int Topology::min_switch_hops(SlotId a, SlotId b) const {
 std::vector<NodeId> Topology::quadrant_nodes(SlotId src, SlotId dst) const {
   return graph::min_path_nodes(graph_, ingress_switch(src),
                                egress_switch(dst));
+}
+
+const std::vector<char>& Topology::quadrant_mask(SlotId src,
+                                                 SlotId dst) const {
+  const std::size_t key =
+      static_cast<std::size_t>(src) * ingress_.size() +
+      static_cast<std::size_t>(dst);
+  const std::lock_guard<std::mutex> lock(quadrant_mutex_);
+  auto& entry = quadrant_mask_cache_.at(key);
+  if (entry.empty()) {
+    entry.assign(static_cast<std::size_t>(graph_.num_nodes()), 0);
+    for (const NodeId u : quadrant_nodes(src, dst)) {
+      entry[static_cast<std::size_t>(u)] = 1;
+    }
+  }
+  return entry;
 }
 
 graph::Path Topology::make_path(const std::vector<NodeId>& nodes) const {

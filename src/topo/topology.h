@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,15 @@ class Topology {
   [[nodiscard]] virtual std::vector<NodeId> quadrant_nodes(SlotId src,
                                                            SlotId dst) const;
 
+  /// Memoized byte-mask form of quadrant_nodes(): mask[u] != 0 iff switch u
+  /// lies on a minimum path for the (src, dst) slot pair (src != dst).
+  /// Computed on first use and cached for the lifetime of the topology, so
+  /// repeated routing over the same topology — the mapper's inner loop —
+  /// stops recomputing quadrant sets. Thread-safe; the returned reference
+  /// stays valid and immutable once filled.
+  [[nodiscard]] const std::vector<char>& quadrant_mask(SlotId src,
+                                                       SlotId dst) const;
+
   /// Dimension-ordered (deterministic, oblivious) route as a switch
   /// sequence from ingress_switch(src) to egress_switch(dst).
   [[nodiscard]] virtual std::vector<NodeId> dimension_ordered_path(
@@ -163,6 +173,12 @@ class Topology {
   std::vector<std::vector<int>> hops_;  // all-pairs switch-graph distances
   std::vector<int> slots_in_at_;        // #slots whose ingress is this switch
   std::vector<int> slots_out_at_;       // #slots whose egress is this switch
+
+  // Lazily-filled quadrant_mask() cache, indexed src * num_slots + dst. The
+  // outer vector is sized once in finalize() and never resized, so a filled
+  // entry can be handed out by reference without holding the mutex.
+  mutable std::mutex quadrant_mutex_;
+  mutable std::vector<std::vector<char>> quadrant_mask_cache_;
 };
 
 }  // namespace sunmap::topo

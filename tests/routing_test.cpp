@@ -36,6 +36,24 @@ TEST(LoadMap, AccumulatesAndClears) {
   EXPECT_DOUBLE_EQ(loads.max_load(), 0.0);
 }
 
+TEST(LoadMap, ClampsNearZeroNegativeResidue) {
+  // Rip-up-and-reroute removes a commodity by adding its route with negative
+  // demand; cancellation noise must not leave tiny negative link loads that
+  // would perturb max_load() and feasibility checks.
+  LoadMap loads(2);
+  const double demand = 0.1;
+  loads.add(0, demand);
+  loads.add(0, demand);
+  loads.add(0, demand);
+  loads.add(0, -3 * demand);  // 3*0.1 != 0.1+0.1+0.1 in binary floating point
+  EXPECT_EQ(loads.load(0), 0.0);
+  EXPECT_EQ(loads.max_load(), 0.0);
+
+  // A genuinely negative balance (an accounting bug) stays visible.
+  loads.add(1, -1.0);
+  EXPECT_LT(loads.load(1), 0.0);
+}
+
 TEST(RoutingEngine, RejectsSelfRoute) {
   const auto mesh = topo::make_mesh_for(9);
   RoutingEngine engine(*mesh, RoutingKind::kMinPath);

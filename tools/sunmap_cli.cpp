@@ -35,6 +35,8 @@ void usage() {
   --routing <fn>      DO | MP | SM | SA           (default MP)
   --objective <obj>   delay | area | power        (default delay)
   --bandwidth <MBps>  link capacity               (default 500)
+  --threads <n>       swap-search worker threads  (default 1; any n is
+                      deterministic and matches the sequential result)
   --max-area <mm2>    area constraint             (default unlimited)
   --extensions        include octagon/star topologies
   --floorplan         print the winning floorplan as ASCII
@@ -114,6 +116,8 @@ int main(int argc, char** argv) {
         config.mapper.objective = *objective;
       } else if (arg == "--bandwidth") {
         config.mapper.link_bandwidth_mbps = std::stod(need_value(i));
+      } else if (arg == "--threads") {
+        config.mapper.num_threads = std::stoi(need_value(i));
       } else if (arg == "--max-area") {
         config.mapper.max_area_mm2 = std::stod(need_value(i));
       } else if (arg == "--extensions") {
@@ -146,8 +150,18 @@ int main(int argc, char** argv) {
             << " objective=" << mapping::to_string(config.mapper.objective)
             << " link=" << config.mapper.link_bandwidth_mbps << " MB/s\n\n";
 
-  core::Sunmap tool(config);
-  const auto result = tool.run(*app);
+  // Invalid configurations (zero bandwidth, zero threads, ...) surface as
+  // std::invalid_argument from the tool chain; report them as a clean CLI
+  // error instead of an abort.
+  std::optional<core::SunmapResult> run_result;
+  try {
+    const core::Sunmap tool(config);
+    run_result = tool.run(*app);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const auto& result = *run_result;
   std::cout << core::Sunmap::report_table(result.report) << "\n";
 
   if (!csv_path.empty()) {
