@@ -1,0 +1,265 @@
+// Experiment EXPLORE — the cross-PR perf probe for the batched
+// design-space exploration API. Two grids over the VOPD decoder and the
+// full standard topology library, each run two ways:
+//
+//  * sweep — 3 objectives x 4 routing functions (the grid behind Figs 6/7);
+//  * grid  — the same plus a 2-value link-bandwidth axis (the paper's
+//            §6.3 bandwidth exploration, Fig 9(a)): 24 design points.
+//
+//  * naive   — TopologySelector::select once per configuration, re-paying
+//              the per-topology context construction and every evaluation
+//              from scratch for each design point;
+//  * batched — one DesignSpaceExplorer::explore call, which builds one
+//              evaluation context per topology, re-binds it across the
+//              grid, and shares the context's floorplan/metrics caches
+//              between design points.
+//
+// The probe asserts the two are bit-identical (mappings, evaluations,
+// winners) and reports the wall-clock ratio; `--json[=path]` dumps the
+// result as BENCH_exploration.json so CI tracks the trajectory across PRs.
+// Both sides run single-threaded so the ratio isolates the structural
+// reuse; the explorer's cross-topology parallelism multiplies on top.
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "mapping/eval_context.h"
+#include "select/explorer.h"
+#include "topo/library.h"
+#include "util/table.h"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace sunmap;
+
+constexpr mapping::Objective kObjectives[] = {mapping::Objective::kMinDelay,
+                                              mapping::Objective::kMinArea,
+                                              mapping::Objective::kMinPower};
+
+select::ExplorationRequest sweep_request(
+    const mapping::CoreGraph& app,
+    const std::vector<std::unique_ptr<topo::Topology>>& library,
+    bool bandwidth_axis) {
+  select::ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.base = sunmap::bench::video_config();
+  request.objectives.assign(std::begin(kObjectives), std::end(kObjectives));
+  request.routings.assign(std::begin(route::kAllRoutingKinds),
+                          std::end(route::kAllRoutingKinds));
+  if (bandwidth_axis) request.link_bandwidths_mbps = {500.0, 1000.0};
+  return request;
+}
+
+/// The per-config loop the explorer replaces: select() per design point.
+std::vector<select::SelectionReport> run_naive(
+    const mapping::CoreGraph& app,
+    const std::vector<std::unique_ptr<topo::Topology>>& library,
+    const std::vector<select::DesignPoint>& points) {
+  std::vector<select::SelectionReport> reports;
+  reports.reserve(points.size());
+  for (const auto& point : points) {
+    select::TopologySelector selector(point.config);
+    reports.push_back(selector.select(app, library));
+  }
+  return reports;
+}
+
+bool same_eval(const mapping::Evaluation& a, const mapping::Evaluation& b) {
+  return a.feasible() == b.feasible() && a.cost == b.cost &&
+         a.avg_switch_hops == b.avg_switch_hops &&
+         a.avg_path_latency_ns == b.avg_path_latency_ns &&
+         a.design_area_mm2 == b.design_area_mm2 &&
+         a.design_power_mw == b.design_power_mw &&
+         a.max_link_load_mbps == b.max_link_load_mbps;
+}
+
+/// Bit-identical comparison of the batched report against the naive loop:
+/// identical mappings, identical evaluations, identical per-point winners.
+bool identical(const select::ExplorationReport& batched,
+               const std::vector<select::SelectionReport>& naive) {
+  if (batched.results.size() != naive.size()) return false;
+  for (std::size_t p = 0; p < naive.size(); ++p) {
+    const auto& b = batched.results[p].selection;
+    const auto& n = naive[p];
+    if (b.best_index != n.best_index) return false;
+    if (b.candidates.size() != n.candidates.size()) return false;
+    for (std::size_t t = 0; t < n.candidates.size(); ++t) {
+      if (b.candidates[t].result.core_to_slot !=
+          n.candidates[t].result.core_to_slot) {
+        return false;
+      }
+      if (!same_eval(b.candidates[t].result.eval,
+                     n.candidates[t].result.eval)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct ProbeResult {
+  std::size_t points = 0;
+  double naive_ms = 0.0;
+  double batched_ms = 0.0;
+  std::uint64_t contexts_built = 0;
+  bool bit_identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return batched_ms > 0.0 ? naive_ms / batched_ms : 0.0;
+  }
+};
+
+ProbeResult run_one(const mapping::CoreGraph& app,
+                    const std::vector<std::unique_ptr<topo::Topology>>& library,
+                    bool bandwidth_axis) {
+  const auto request = sweep_request(app, library, bandwidth_axis);
+  const auto points = select::DesignSpaceExplorer::expand(request);
+
+  ProbeResult probe;
+  probe.points = points.size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto naive = run_naive(app, library, points);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const auto contexts_before = mapping::EvalContext::contexts_built();
+  select::DesignSpaceExplorer explorer;
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto batched = explorer.explore(request);
+  const auto t3 = std::chrono::steady_clock::now();
+  probe.contexts_built =
+      mapping::EvalContext::contexts_built() - contexts_before;
+
+  probe.naive_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  probe.batched_ms =
+      std::chrono::duration<double, std::milli>(t3 - t2).count();
+  probe.bit_identical = identical(batched, naive);
+  return probe;
+}
+
+int run_probe(const std::string& json_path) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+
+  bench::print_heading(
+      "Batched exploration probe: DesignSpaceExplorer vs per-config "
+      "TopologySelector loop (VOPD, full library, single-threaded)");
+
+  const auto sweep = run_one(app, library, /*bandwidth_axis=*/false);
+  const auto grid = run_one(app, library, /*bandwidth_axis=*/true);
+
+  util::Table table({"workload", "points", "naive ms", "batched ms",
+                     "speedup", "contexts built", "bit-identical"});
+  const auto row = [&](const char* name, const ProbeResult& probe) {
+    table.add_row({name, std::to_string(probe.points),
+                   util::Table::num(probe.naive_ms, 1),
+                   util::Table::num(probe.batched_ms, 1),
+                   util::Table::num(probe.speedup(), 2) + "x",
+                   std::to_string(probe.contexts_built) + "/" +
+                       std::to_string(library.size()),
+                   probe.bit_identical ? "yes" : "NO"});
+  };
+  row("3 obj x 4 routing", sweep);
+  row("3 obj x 4 routing x 2 BW", grid);
+  std::printf("%s", table.to_string().c_str());
+
+  const auto stats = mapping::EvalContext::cache_stats();
+  std::printf(
+      "context caches since process start: floorplan %llu/%llu hits, "
+      "metrics %llu/%llu hits\n",
+      static_cast<unsigned long long>(stats.floorplan_hits),
+      static_cast<unsigned long long>(stats.floorplan_hits +
+                                      stats.floorplan_misses),
+      static_cast<unsigned long long>(stats.metrics_hits),
+      static_cast<unsigned long long>(stats.metrics_hits +
+                                      stats.metrics_misses));
+
+  for (const auto* probe : {&sweep, &grid}) {
+    if (!probe->bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: batched exploration diverged from the per-config "
+                   "loop\n");
+      return 1;
+    }
+    if (probe->contexts_built != library.size()) {
+      std::fprintf(
+          stderr, "FAIL: expected one context per topology (%zu), built %llu\n",
+          library.size(),
+          static_cast<unsigned long long>(probe->contexts_built));
+      return 1;
+    }
+  }
+
+  if (json_path.empty()) return 0;
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"exploration_vopd_full_library\",\n"
+               "  \"sweep_3obj_4routing\": {\"design_points\": %zu, "
+               "\"naive_ms\": %.3f, \"batched_ms\": %.3f, "
+               "\"speedup\": %.3f},\n"
+               "  \"grid_3obj_4routing_2bw\": {\"design_points\": %zu, "
+               "\"naive_ms\": %.3f, \"batched_ms\": %.3f, "
+               "\"speedup\": %.3f},\n"
+               "  \"wall_ms\": %.3f,\n"
+               "  \"contexts_built_per_run\": %llu,\n"
+               "  \"topologies\": %zu,\n"
+               "  \"explorer_threads\": 1,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               sweep.points, sweep.naive_ms, sweep.batched_ms,
+               sweep.speedup(), grid.points, grid.naive_ms, grid.batched_ms,
+               grid.speedup(), grid.batched_ms,
+               static_cast<unsigned long long>(grid.contexts_built),
+               library.size(),
+               sweep.bit_identical && grid.bit_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+void BM_ExplorerSweep(benchmark::State& state) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto request =
+      sweep_request(app, library, /*bandwidth_axis=*/false);
+  select::DesignSpaceExplorer explorer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.explore(request));
+  }
+  state.SetLabel("12-point sweep, shared contexts");
+}
+BENCHMARK(BM_ExplorerSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off our own --json[=path] flag before google-benchmark sees the
+  // arguments.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_exploration.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argv[kept] = nullptr;
+  argc = kept;
+
+  const int status = run_probe(json_path);
+  if (status != 0) return status;
+  return sunmap::bench::run_benchmarks(argc, argv);
+}

@@ -1,13 +1,14 @@
-// Design-space exploration (paper §6.3): maps the MPEG4 decoder onto the
-// topology library under each routing function, prints the minimum link
-// bandwidth each routing function needs on a mesh (Fig 9(a)), and the
-// area-power Pareto points of the mesh mapping space (Fig 9(b)).
+// Design-space exploration (paper §6.3): sweeps the MPEG4 decoder across
+// routing functions and objectives in one batched DesignSpaceExplorer run —
+// one evaluation context per topology, re-bound across every configuration
+// — then prints the per-routing minimum link bandwidth on a mesh (Fig 9(a))
+// and the area-power Pareto points of the mapping space (Fig 9(b)).
 
 #include <iostream>
 
 #include "apps/apps.h"
 #include "core/sunmap.h"
-#include "select/selector.h"
+#include "select/explorer.h"
 #include "util/table.h"
 
 int main() {
@@ -17,41 +18,88 @@ int main() {
   std::cout << "Application: " << app.name() << " (" << app.num_cores()
             << " cores, " << app.total_bandwidth_mbps() << " MB/s)\n\n";
 
-  // --- Fig 7(b): the topology table under split-traffic routing. ---
-  core::SunmapConfig config;
-  config.mapper.routing = route::RoutingKind::kSplitAll;
-  config.mapper.objective = mapping::Objective::kMinDelay;
-  config.mapper.link_bandwidth_mbps = 500.0;
-  core::Sunmap tool(config);
-  const auto result = tool.run(app);
-  std::cout << "MPEG4 with split-traffic routing (500 MB/s links):\n"
-            << core::Sunmap::report_table(result.report) << "\n";
+  // --- One batched sweep: 3 objectives x 4 routing functions over the
+  // --- standard topology library (Figs 7(b) and 9 come from slices of it).
+  const auto library = topo::standard_library(app.num_cores());
+  select::ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.base.link_bandwidth_mbps = 500.0;
+  request.objectives = {mapping::Objective::kMinDelay,
+                        mapping::Objective::kMinArea,
+                        mapping::Objective::kMinPower};
+  request.routings = {route::RoutingKind::kDimensionOrdered,
+                      route::RoutingKind::kMinPath,
+                      route::RoutingKind::kSplitMin,
+                      route::RoutingKind::kSplitAll};
+  select::DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
 
-  // --- Fig 9(a): minimum required bandwidth per routing function. ---
+  std::cout << "Design points (" << report.results.size()
+            << " configurations x " << library.size() << " topologies):\n";
+  util::Table matrix({"configuration", "best topology", "cost"});
+  for (const auto& result : report.results) {
+    const auto* best = result.selection.best();
+    matrix.add_row({result.point.label(),
+                    best != nullptr ? best->topology->name() : "infeasible",
+                    best != nullptr ? util::Table::num(best->result.eval.cost)
+                                    : "-"});
+  }
+  std::cout << matrix.to_string() << "\n";
+
+  std::cout << "Per-objective winners across the whole grid:\n";
+  util::Table winners({"objective", "topology", "cost"});
+  for (const auto& best : report.winners) {
+    const auto* candidate = report.winner(best.objective);
+    winners.add_row({mapping::to_string(best.objective),
+                     candidate != nullptr ? candidate->topology->name()
+                                          : "infeasible",
+                     candidate != nullptr
+                         ? util::Table::num(candidate->result.eval.cost)
+                         : "-"});
+  }
+  std::cout << winners.to_string() << "\n";
+
+  // --- Fig 9(a): minimum required bandwidth per routing function, read off
+  // --- the mesh rows of the sweep's min-delay points.
   std::cout << "Minimum link bandwidth on a mesh per routing function:\n";
   util::Table bw_table({"routing", "min BW (MB/s)", "feasible @500"});
-  const auto mesh = topo::make_mesh_for(app.num_cores());
-  for (route::RoutingKind kind : route::kAllRoutingKinds) {
-    mapping::MapperConfig mapper_config = config.mapper;
-    mapper_config.routing = kind;
-    // Minimise the peak link load rather than delay so the mapper reports
-    // the smallest bandwidth this routing function can get away with.
-    mapping::Mapper mapper(mapper_config);
-    const auto mapped = mapper.map(app, *mesh);
-    bw_table.add_row({route::to_string(kind),
-                      util::Table::num(mapped.eval.max_link_load_mbps, 1),
-                      mapped.eval.max_link_load_mbps <= 500.0 ? "yes" : "no"});
+  for (const auto& result : report.results) {
+    if (result.point.config.objective != mapping::Objective::kMinDelay) {
+      continue;
+    }
+    for (const auto& candidate : result.selection.candidates) {
+      if (candidate.topology->kind() != topo::TopologyKind::kMesh) continue;
+      const double load = candidate.result.eval.max_link_load_mbps;
+      bw_table.add_row({route::to_string(result.point.config.routing),
+                        util::Table::num(load, 1),
+                        load <= 500.0 ? "yes" : "no"});
+    }
   }
   std::cout << bw_table.to_string() << "\n";
 
-  // --- Fig 9(b): Pareto points of the mesh mapping space. ---
-  mapping::MapperConfig pareto_config = config.mapper;
+  // --- The sweep's own area-power frontier: the non-dominated winners
+  // --- among every feasible (design point, topology) cell of the grid.
+  std::cout << "Area-power frontier over the sweep's feasible mappings:\n";
+  util::Table sweep_pareto({"area (mm2)", "power (mW)"});
+  for (const auto& point : report.pareto) {
+    sweep_pareto.add_row({util::Table::num(point.area_mm2),
+                          util::Table::num(point.power_mw, 1)});
+  }
+  std::cout << sweep_pareto.to_string() << "\n";
+
+  // --- Fig 9(b): Pareto points of the mesh *mapping space* — every mapping
+  // --- the search explored, not just the final winners.
+  mapping::MapperConfig pareto_config;
+  pareto_config.routing = route::RoutingKind::kSplitAll;
+  pareto_config.link_bandwidth_mbps = 500.0;
   pareto_config.collect_explored = true;
   mapping::Mapper mapper(pareto_config);
+  const auto mesh = topo::make_mesh_for(app.num_cores());
   const auto mapped = mapper.map(app, *mesh);
   const auto frontier = select::pareto_frontier(mapped.explored_area_power);
   std::cout << "Area-power Pareto frontier over "
-            << mapped.evaluated_mappings << " evaluated mesh mappings:\n";
+            << mapped.evaluated_mappings << " explored mesh mappings:\n";
   util::Table pareto_table({"area (mm2)", "power (mW)"});
   for (const auto& point : frontier) {
     pareto_table.add_row({util::Table::num(point.area_mm2),

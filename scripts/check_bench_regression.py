@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Cross-PR perf regression gate for the benchmark probes.
+
+Compares the `wall_ms` of a freshly measured probe JSON against the
+committed baseline and fails (exit 1) when the measurement is more than
+--max-slowdown times the baseline. The committed baselines are recorded on
+the development container; CI runners differ in absolute speed, which is
+why the gate is a generous ratio rather than a tight budget — it exists to
+catch order-of-magnitude regressions (a disabled cache, an accidentally
+quadratic loop), not scheduling noise.
+
+Usage:
+  check_bench_regression.py --current BENCH_mapping.json \
+      --baseline bench/baselines/BENCH_mapping.json [--max-slowdown 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="probe JSON produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--max-slowdown", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this ratio")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    current_ms = float(current["wall_ms"])
+    baseline_ms = float(baseline["wall_ms"])
+    if baseline_ms <= 0:
+        print(f"baseline wall_ms is {baseline_ms}; nothing to compare")
+        return 1
+    ratio = current_ms / baseline_ms
+    print(f"{current.get('benchmark', args.current)}: "
+          f"current {current_ms:.1f} ms vs baseline {baseline_ms:.1f} ms "
+          f"(ratio {ratio:.2f}, limit {args.max_slowdown:.2f})")
+
+    # Correctness invariants recorded alongside the timing, when present:
+    # the probe's mapping cost and candidate counts are part of the
+    # contract and must not drift as the engine gets faster.
+    for key in ("cost", "evaluated_mappings", "pruned_mappings",
+                "bit_identical"):
+        if key in baseline and key in current and current[key] != baseline[key]:
+            print(f"FAIL: {key} drifted: baseline {baseline[key]} "
+                  f"vs current {current[key]}")
+            return 1
+
+    if ratio > args.max_slowdown:
+        print("FAIL: benchmark slowed beyond the regression limit")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,10 @@ struct BlockShape {
   static BlockShape soft_block(double area_mm2);
   /// A hard block with fixed dimensions.
   static BlockShape hard_block(double width_mm, double height_mm);
+
+  /// Memberwise equality — what the evaluation engine's shape-class grouping
+  /// and cache invalidation compare, so it cannot drift from the fields.
+  bool operator==(const BlockShape&) const = default;
 };
 
 /// A placed rectangle. (x, y) is the lower-left corner.

@@ -40,6 +40,11 @@ class Floorplanner {
                                              1.5,       2.0,  3.0};
     /// Clearance inserted between neighbouring blocks (routing channels).
     double spacing_mm = 0.1;
+
+    /// Memberwise equality — what EvalContext::rebind uses to decide
+    /// whether the floorplan cache survives a config change, so it cannot
+    /// drift from the fields.
+    bool operator==(const Options&) const = default;
   };
 
   Floorplanner();

@@ -6,10 +6,7 @@
 
 namespace sunmap::io {
 
-namespace {
-
-/// Quotes a field when needed (commas or quotes inside).
-std::string field(const std::string& text) {
+std::string csv_field(const std::string& text) {
   if (text.find_first_of(",\"\n") == std::string::npos) return text;
   std::string quoted = "\"";
   for (char c : text) {
@@ -20,8 +17,6 @@ std::string field(const std::string& text) {
   return quoted;
 }
 
-}  // namespace
-
 std::string selection_report_csv(const select::SelectionReport& report) {
   std::ostringstream out;
   out << "topology,feasible,avg_hops,avg_latency_ns,design_area_mm2,"
@@ -29,7 +24,7 @@ std::string selection_report_csv(const select::SelectionReport& report) {
          "min_bandwidth_mbps,cost\n";
   for (const auto& candidate : report.candidates) {
     const auto& eval = candidate.result.eval;
-    out << field(candidate.topology->name()) << ","
+    out << csv_field(candidate.topology->name()) << ","
         << (eval.feasible() ? 1 : 0) << "," << eval.avg_switch_hops << ","
         << eval.avg_path_latency_ns << "," << eval.design_area_mm2 << ","
         << eval.design_power_mw << "," << eval.dynamic_power_mw << ","
@@ -57,8 +52,8 @@ std::string series_csv(const std::string& x_name,
     }
   }
   std::ostringstream out;
-  out << field(x_name);
-  for (const auto& s : series) out << "," << field(s.name);
+  out << csv_field(x_name);
+  for (const auto& s : series) out << "," << csv_field(s.name);
   out << "\n";
   for (std::size_t i = 0; i < xs.size(); ++i) {
     out << xs[i];

@@ -28,6 +28,11 @@ std::string series_csv(const std::string& x_name,
                        const std::vector<double>& xs,
                        const std::vector<CsvSeries>& series);
 
+/// Quotes a CSV field when needed (commas, quotes, or newlines inside),
+/// per RFC 4180. Shared by every CSV writer so user-supplied names (custom
+/// topologies, core names) cannot shift columns.
+std::string csv_field(const std::string& text);
+
 /// Writes content to path, throwing std::runtime_error on failure.
 void write_file(const std::string& path, const std::string& content);
 

@@ -1,0 +1,168 @@
+#include "io/exploration_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "io/csv.h"
+
+namespace sunmap::io {
+
+namespace {
+
+/// Shortest round-trippable decimal rendering of a double.
+std::string number(double value) {
+  char buffer[40];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buffer, "%lf", &parsed);
+  if (parsed == value) {
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[40];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == value) return shorter;
+    }
+  }
+  return buffer;
+}
+
+/// JSON number, or null for non-finite values (RFC 8259 has no infinity).
+std::string json_number(double value) {
+  return std::isfinite(value) ? number(value) : "null";
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escaped[8];
+          std::snprintf(escaped, sizeof(escaped), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += escaped;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string exploration_report_csv(const select::ExplorationReport& report) {
+  std::ostringstream out;
+  out << "point,routing,objective,link_bandwidth_mbps,max_area_mm2,topology,"
+         "feasible,best,avg_hops,avg_latency_ns,design_area_mm2,"
+         "design_power_mw,dynamic_power_mw,static_power_mw,"
+         "min_bandwidth_mbps,cost\n";
+  for (std::size_t p = 0; p < report.results.size(); ++p) {
+    const auto& result = report.results[p];
+    const auto& config = result.point.config;
+    for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+      const auto& candidate = result.selection.candidates[t];
+      const auto& eval = candidate.result.eval;
+      out << p << "," << route::to_string(config.routing) << ","
+          << mapping::to_string(config.objective) << ","
+          << number(config.link_bandwidth_mbps) << ",";
+      if (std::isfinite(config.max_area_mm2)) {
+        out << number(config.max_area_mm2);
+      }
+      out << "," << csv_field(candidate.topology->name()) << ","
+          << (eval.feasible() ? 1 : 0) << ","
+          << (static_cast<int>(t) == result.selection.best_index ? 1 : 0)
+          << "," << number(eval.avg_switch_hops) << ","
+          << number(eval.avg_path_latency_ns) << ","
+          << number(eval.design_area_mm2) << ","
+          << number(eval.design_power_mw) << ","
+          << number(eval.dynamic_power_mw) << ","
+          << number(eval.static_power_mw) << ","
+          << number(eval.max_link_load_mbps) << "," << number(eval.cost)
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string exploration_report_json(const select::ExplorationReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"points\": [\n";
+  for (std::size_t p = 0; p < report.results.size(); ++p) {
+    const auto& result = report.results[p];
+    const auto& config = result.point.config;
+    out << "    {\"label\": " << json_string(result.point.label())
+        << ", \"routing\": " << json_string(route::to_string(config.routing))
+        << ", \"objective\": "
+        << json_string(mapping::to_string(config.objective))
+        << ", \"link_bandwidth_mbps\": "
+        << json_number(config.link_bandwidth_mbps)
+        << ", \"max_area_mm2\": " << json_number(config.max_area_mm2)
+        << ",\n     \"best\": ";
+    const auto* best = result.selection.best();
+    out << (best != nullptr ? json_string(best->topology->name()) : "null");
+    out << ", \"candidates\": [\n";
+    for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+      const auto& candidate = result.selection.candidates[t];
+      const auto& eval = candidate.result.eval;
+      out << "      {\"topology\": " << json_string(candidate.topology->name())
+          << ", \"feasible\": " << (eval.feasible() ? "true" : "false")
+          << ", \"avg_hops\": " << json_number(eval.avg_switch_hops)
+          << ", \"avg_latency_ns\": " << json_number(eval.avg_path_latency_ns)
+          << ", \"design_area_mm2\": " << json_number(eval.design_area_mm2)
+          << ", \"design_power_mw\": " << json_number(eval.design_power_mw)
+          << ", \"min_bandwidth_mbps\": "
+          << json_number(eval.max_link_load_mbps)
+          << ", \"cost\": " << json_number(eval.cost) << "}"
+          << (t + 1 < result.selection.candidates.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (p + 1 < report.results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"winners\": [\n";
+  for (std::size_t w = 0; w < report.winners.size(); ++w) {
+    const auto& best = report.winners[w];
+    out << "    {\"objective\": "
+        << json_string(mapping::to_string(best.objective));
+    if (best.found()) {
+      const auto& result =
+          report.results[static_cast<std::size_t>(best.point_index)];
+      const auto& candidate =
+          result.selection
+              .candidates[static_cast<std::size_t>(best.topology_index)];
+      out << ", \"point\": " << best.point_index
+          << ", \"label\": " << json_string(result.point.label())
+          << ", \"topology\": " << json_string(candidate.topology->name())
+          << ", \"cost\": " << json_number(candidate.result.eval.cost);
+    } else {
+      out << ", \"point\": null, \"topology\": null, \"cost\": null";
+    }
+    out << "}" << (w + 1 < report.winners.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"pareto\": [\n";
+  for (std::size_t i = 0; i < report.pareto.size(); ++i) {
+    out << "    {\"area_mm2\": " << json_number(report.pareto[i].area_mm2)
+        << ", \"power_mw\": " << json_number(report.pareto[i].power_mw) << "}"
+        << (i + 1 < report.pareto.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace sunmap::io

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "select/explorer.h"
+
+namespace sunmap::io {
+
+/// Flat CSV of a batched exploration, one row per (design point, topology)
+/// cell. Columns are stable and documented here rather than inferred, so
+/// the files are safe to consume programmatically:
+///
+/// point,routing,objective,link_bandwidth_mbps,max_area_mm2,topology,
+/// feasible,best,avg_hops,avg_latency_ns,design_area_mm2,design_power_mw,
+/// dynamic_power_mw,static_power_mw,min_bandwidth_mbps,cost
+///
+/// `best` marks the point's selected topology; an unconstrained area cap is
+/// written as the empty field.
+std::string exploration_report_csv(const select::ExplorationReport& report);
+
+/// Structured JSON of the same report: the design-point grid with per-
+/// topology results, the per-objective winners, and the area/power Pareto
+/// frontier. Non-finite numbers (an unconstrained area cap, the infinite
+/// cost of an unevaluated mapping) are emitted as null per RFC 8259.
+std::string exploration_report_json(const select::ExplorationReport& report);
+
+}  // namespace sunmap::io

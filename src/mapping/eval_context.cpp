@@ -1,45 +1,135 @@
 #include "mapping/eval_context.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
 namespace sunmap::mapping {
+
+namespace {
+
+std::atomic<std::uint64_t> g_contexts_built{0};
+std::atomic<std::uint64_t> g_metrics_hits{0};
+std::atomic<std::uint64_t> g_metrics_misses{0};
+std::atomic<std::uint64_t> g_floorplan_hits{0};
+std::atomic<std::uint64_t> g_floorplan_misses{0};
+
+/// True when two configs produce identical route sets (and hence identical
+/// evaluation metrics) for every mapping, i.e. the metrics cache carries
+/// over. Objective, weights, area cap, and the bandwidth *threshold* are
+/// deliberately absent: they only enter the cost/feasibility fields, which
+/// are re-derived per config. The bandwidth matters for routing only under
+/// split-across-all-paths, where it caps per-chunk spreading.
+bool same_evaluation_class(const MapperConfig& a, const MapperConfig& b) {
+  if (a.routing != b.routing) return false;
+  if (a.split_chunks != b.split_chunks) return false;
+  if (a.reroute_passes != b.reroute_passes) return false;
+  if (a.routing == route::RoutingKind::kSplitAll &&
+      a.link_bandwidth_mbps != b.link_bandwidth_mbps) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t EvalContext::contexts_built() {
+  return g_contexts_built.load(std::memory_order_relaxed);
+}
+
+EvalContext::CacheStats EvalContext::cache_stats() {
+  CacheStats stats;
+  stats.metrics_hits = g_metrics_hits.load(std::memory_order_relaxed);
+  stats.metrics_misses = g_metrics_misses.load(std::memory_order_relaxed);
+  stats.floorplan_hits = g_floorplan_hits.load(std::memory_order_relaxed);
+  stats.floorplan_misses = g_floorplan_misses.load(std::memory_order_relaxed);
+  return stats;
+}
 
 EvalContext::EvalContext(const CoreGraph& app, const topo::Topology& topology,
                          const MapperConfig& config,
                          const model::AreaPowerLibrary& library)
     : app_(app),
       topology_(topology),
-      config_(config),
       commodities_(commodities_by_value(app)),
-      placement_(topology.relative_placement()),
-      planner_(config.floorplan),
-      engine_(topology, config.routing, config.split_chunks,
-              config.link_bandwidth_mbps) {
+      placement_(topology.relative_placement()) {
   // Accumulated in commodity order, matching the summation order of the
   // from-scratch evaluator.
   for (const auto& commodity : commodities_) {
     total_value_ += commodity.value_mbps;
   }
 
-  // Resolve the area/power library once per switch instead of per lookup in
-  // the evaluator's inner loops, and pre-sum the mapping-invariant totals.
-  std::vector<std::pair<int, int>> switch_ports;
-  switch_ports.reserve(static_cast<std::size_t>(topology.num_switches()));
-  for (graph::NodeId sw = 0; sw < topology.num_switches(); ++sw) {
-    switch_ports.emplace_back(topology.switch_in_ports(sw),
-                              topology.switch_out_ports(sw));
+  // Group cores by bit-identical floorplan shapes: mappings that only
+  // permute same-shaped cores yield the same floorplan, so the floorplan
+  // cache keys on the per-slot shape class rather than the core identity.
+  core_shape_class_.reserve(static_cast<std::size_t>(app.num_cores()));
+  std::vector<const fplan::BlockShape*> class_shapes;
+  for (int core = 0; core < app.num_cores(); ++core) {
+    const auto& shape = app.core(core).shape;
+    std::uint16_t cls = 0;
+    for (; cls < class_shapes.size(); ++cls) {
+      if (*class_shapes[cls] == shape) break;
+    }
+    if (cls == class_shapes.size()) class_shapes.push_back(&shape);
+    core_shape_class_.push_back(cls);
   }
-  switch_table_ = model::ResolvedSwitchTable(library, switch_ports);
 
-  switch_shapes_.reserve(static_cast<std::size_t>(topology.num_switches()));
-  for (graph::NodeId sw = 0; sw < topology.num_switches(); ++sw) {
-    auto shape = fplan::BlockShape::soft_block(switch_table_.entry(sw).area_mm2);
-    shape.min_aspect = 0.5;
-    shape.max_aspect = 2.0;
-    switch_shapes_.push_back(shape);
+  g_contexts_built.fetch_add(1, std::memory_order_relaxed);
+  bind(config, library, /*first_bind=*/true);
+}
+
+void EvalContext::rebind(const MapperConfig& config,
+                         const model::AreaPowerLibrary& library) {
+  bind(config, library, /*first_bind=*/false);
+}
+
+void EvalContext::bind(const MapperConfig& config,
+                       const model::AreaPowerLibrary& library,
+                       bool first_bind) {
+  const bool tech_changed = first_bind || !(config_.tech == config.tech);
+  const bool floorplan_changed =
+      tech_changed || !(config_.floorplan == config.floorplan);
+  const bool evaluation_class_changed =
+      floorplan_changed || !same_evaluation_class(config_, config);
+
+  if (tech_changed) {
+    // Resolve the area/power library once per switch instead of per lookup
+    // in the evaluator's inner loops, and pre-sum the mapping-invariant
+    // totals.
+    std::vector<std::pair<int, int>> switch_ports;
+    switch_ports.reserve(static_cast<std::size_t>(topology_.num_switches()));
+    for (graph::NodeId sw = 0; sw < topology_.num_switches(); ++sw) {
+      switch_ports.emplace_back(topology_.switch_in_ports(sw),
+                                topology_.switch_out_ports(sw));
+    }
+    switch_table_ = model::ResolvedSwitchTable(library, switch_ports);
+
+    switch_shapes_.clear();
+    switch_shapes_.reserve(static_cast<std::size_t>(topology_.num_switches()));
+    for (graph::NodeId sw = 0; sw < topology_.num_switches(); ++sw) {
+      auto shape =
+          fplan::BlockShape::soft_block(switch_table_.entry(sw).area_mm2);
+      shape.min_aspect = 0.5;
+      shape.max_aspect = 2.0;
+      switch_shapes_.push_back(shape);
+    }
   }
+  if (floorplan_changed) {
+    planner_ = fplan::Floorplanner(config.floorplan);
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    floorplan_cache_.clear();
+  }
+  if (evaluation_class_changed) {
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    metrics_cache_.clear();
+  }
+
+  config_ = config;
+  engine_.emplace(topology_, config_.routing, config_.split_chunks,
+                  config_.link_bandwidth_mbps);
 
   static_routing_ = config_.routing == route::RoutingKind::kDimensionOrdered ||
                     config_.routing == route::RoutingKind::kSplitMin;
@@ -47,29 +137,74 @@ EvalContext::EvalContext(const CoreGraph& app, const topo::Topology& topology,
                       config_.routing == route::RoutingKind::kSplitAll;
 
   if (config_.routing == route::RoutingKind::kMinPath) {
-    quadrant_table_.emplace(topology_);
-    engine_.attach_quadrant_table(&*quadrant_table_);
+    // Topology-only: built on the first minimum-path bind, reused forever.
+    if (!quadrant_table_) quadrant_table_.emplace(topology_);
+    engine_->attach_quadrant_table(&*quadrant_table_);
   }
-  if (static_routing_) build_static_routes();
+
+  static_routes_ = nullptr;
+  if (config_.routing == route::RoutingKind::kDimensionOrdered) {
+    if (!static_routes_do_) {
+      static_routes_do_.emplace();
+      build_static_routes(*static_routes_do_);
+    }
+    static_routes_ = &*static_routes_do_;
+  } else if (config_.routing == route::RoutingKind::kSplitMin) {
+    if (!static_routes_sm_) {
+      static_routes_sm_.emplace();
+      build_static_routes(*static_routes_sm_);
+    }
+    static_routes_ = &*static_routes_sm_;
+  }
 }
 
-void EvalContext::build_static_routes() {
+void EvalContext::build_static_routes(
+    std::vector<route::RouteSet>& table) const {
   // Dimension-ordered and split-across-minimum-paths routes depend only on
   // the slot pair, never on link loads, so every candidate mapping draws its
   // routes from this table. This is what makes re-routing after a pairwise
   // swap a delta operation: only the commodities touching the two swapped
   // slots change which table entry they reference.
   const int num_slots = topology_.num_slots();
-  static_routes_.resize(static_cast<std::size_t>(num_slots) *
-                        static_cast<std::size_t>(num_slots));
+  table.resize(static_cast<std::size_t>(num_slots) *
+               static_cast<std::size_t>(num_slots));
   const route::LoadMap no_loads(topology_.switch_graph().num_edges());
   for (int src = 0; src < num_slots; ++src) {
     for (int dst = 0; dst < num_slots; ++dst) {
       if (src == dst) continue;
-      static_routes_[static_cast<std::size_t>(src) *
-                         static_cast<std::size_t>(num_slots) +
-                     static_cast<std::size_t>(dst)] =
-          engine_.route(src, dst, /*demand=*/0.0, no_loads);
+      table[static_cast<std::size_t>(src) *
+                static_cast<std::size_t>(num_slots) +
+            static_cast<std::size_t>(dst)] =
+          engine_->route(src, dst, /*demand=*/0.0, no_loads);
+    }
+  }
+}
+
+void EvalContext::apply_config_dependent(Evaluation& eval,
+                                         double floorplan_aspect) const {
+  eval.bandwidth_feasible =
+      eval.max_link_load_mbps <= config_.link_bandwidth_mbps + 1e-9;
+  eval.area_feasible =
+      eval.design_area_mm2 <= config_.max_area_mm2 + 1e-9 &&
+      floorplan_aspect <= config_.max_design_aspect + 1e-9;
+
+  // ---- Fig 5 step 8: objective cost. ----
+  switch (config_.objective) {
+    case Objective::kMinDelay:
+      eval.cost = eval.avg_switch_hops;
+      break;
+    case Objective::kMinArea:
+      eval.cost = eval.design_area_mm2;
+      break;
+    case Objective::kMinPower:
+      eval.cost = eval.design_power_mw;
+      break;
+    case Objective::kWeighted: {
+      const auto& w = config_.weights;
+      eval.cost = w.delay * eval.avg_switch_hops / w.ref_hops +
+                  w.area * eval.design_area_mm2 / w.ref_area_mm2 +
+                  w.power * eval.design_power_mw / w.ref_power_mw;
+      break;
     }
   }
 }
@@ -93,6 +228,23 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
       throw std::invalid_argument("EvalContext::evaluate: mapping not injective");
     }
     scratch.slot_to_core[static_cast<std::size_t>(slot)] = core;
+  }
+
+  // Metrics-cache fast path: the search loops re-visit mappings (across
+  // passes, and across the design points of a sweep that share the
+  // evaluation class). The cached metrics are config-independent; only the
+  // feasibility flags and cost are re-derived below, with the same
+  // arithmetic as a fresh evaluation — so hits are bit-identical to misses.
+  if (!materialize) {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto it = metrics_cache_.find(core_to_slot);
+    if (it != metrics_cache_.end()) {
+      g_metrics_hits.fetch_add(1, std::memory_order_relaxed);
+      Evaluation eval = it->second.metrics;
+      apply_config_dependent(eval, it->second.floorplan_aspect);
+      return eval;
+    }
+    g_metrics_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   Evaluation eval;
@@ -126,8 +278,8 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
           core_to_slot[static_cast<std::size_t>(commodity.src_core)];
       const int dst_slot =
           core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
-      scratch.routes[k] = engine_.route(src_slot, dst_slot,
-                                        commodity.value_mbps, scratch.loads);
+      scratch.routes[k] = engine_->route(src_slot, dst_slot,
+                                         commodity.value_mbps, scratch.loads);
       scratch.loads.add_route(scratch.routes[k], commodity.value_mbps);
       scratch.route_refs[k] = &scratch.routes[k];
     }
@@ -140,9 +292,9 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
           const int dst_slot =
               core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
           scratch.loads.add_route(scratch.routes[k], -commodity.value_mbps);
-          scratch.routes[k] = engine_.route(src_slot, dst_slot,
-                                            commodity.value_mbps,
-                                            scratch.loads);
+          scratch.routes[k] = engine_->route(src_slot, dst_slot,
+                                             commodity.value_mbps,
+                                             scratch.loads);
           scratch.loads.add_route(scratch.routes[k], commodity.value_mbps);
         }
       }
@@ -157,28 +309,57 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   eval.avg_switch_hops =
       total_value_ > 0.0 ? weighted_hops / total_value_ : 0.0;
   eval.max_link_load_mbps = scratch.loads.max_load();
-  eval.bandwidth_feasible =
-      eval.max_link_load_mbps <= config_.link_bandwidth_mbps + 1e-9;
 
   // ---- Fig 5 step 7: floorplan and area/power estimation. ----
-  scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
-                             std::nullopt);
-  for (int slot = 0; slot < num_slots; ++slot) {
-    const int core = scratch.slot_to_core[static_cast<std::size_t>(slot)];
-    if (core >= 0) {
-      scratch.core_shapes[static_cast<std::size_t>(slot)] =
-          app_.core(core).shape;
-    }
-  }
   eval.switch_area_mm2 = switch_table_.total_area_mm2();
   eval.static_power_mw = switch_table_.total_static_power_mw();
 
-  eval.floorplan = planner_.place(placement_, scratch.core_shapes,
-                                  switch_shapes_);
-  eval.design_area_mm2 = eval.floorplan.area_mm2();
-  eval.area_feasible =
-      eval.design_area_mm2 <= config_.max_area_mm2 + 1e-9 &&
-      eval.floorplan.aspect() <= config_.max_design_aspect + 1e-9;
+  // Floorplan cache: the placement depends only on which shapes occupy
+  // which slots. place() is deterministic, so a hit reproduces the computed
+  // floorplan bit-for-bit; and because the key ignores routing, objective,
+  // and constraints, the cache carries floorplans across every design point
+  // of a sweep that shares floorplan options and technology.
+  scratch.floor_key.assign(static_cast<std::size_t>(num_slots), 0);
+  for (int slot = 0; slot < num_slots; ++slot) {
+    const int core = scratch.slot_to_core[static_cast<std::size_t>(slot)];
+    if (core >= 0) {
+      scratch.floor_key[static_cast<std::size_t>(slot)] =
+          static_cast<std::uint16_t>(
+              core_shape_class_[static_cast<std::size_t>(core)] + 1);
+    }
+  }
+  fplan::Floorplan floorplan;
+  bool floorplan_cached = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto it = floorplan_cache_.find(scratch.floor_key);
+    if (it != floorplan_cache_.end()) {
+      g_floorplan_hits.fetch_add(1, std::memory_order_relaxed);
+      floorplan = it->second;
+      floorplan_cached = true;
+    } else {
+      g_floorplan_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!floorplan_cached) {
+    scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
+                               std::nullopt);
+    for (int slot = 0; slot < num_slots; ++slot) {
+      const int core = scratch.slot_to_core[static_cast<std::size_t>(slot)];
+      if (core >= 0) {
+        scratch.core_shapes[static_cast<std::size_t>(slot)] =
+            app_.core(core).shape;
+      }
+    }
+    floorplan = planner_.place(placement_, scratch.core_shapes,
+                               switch_shapes_);
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    if (floorplan_cache_.size() < kFloorplanCacheCap) {
+      floorplan_cache_.emplace(scratch.floor_key, floorplan);
+    }
+  }
+  eval.design_area_mm2 = floorplan.area_mm2();
+  const double floorplan_aspect = floorplan.aspect();
 
   // Index the placed block centres so every wire length in the power loop is
   // an O(1) lookup (Floorplan::center_distance_mm scans all blocks).
@@ -186,7 +367,7 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   scratch.core_cy.assign(static_cast<std::size_t>(num_slots), 0.0);
   scratch.switch_cx.assign(static_cast<std::size_t>(num_switches), 0.0);
   scratch.switch_cy.assign(static_cast<std::size_t>(num_switches), 0.0);
-  for (const auto& block : eval.floorplan.blocks()) {
+  for (const auto& block : floorplan.blocks()) {
     if (block.kind == fplan::PlacedBlock::Kind::kCore) {
       scratch.core_cx[static_cast<std::size_t>(block.index)] = block.cx();
       scratch.core_cy[static_cast<std::size_t>(block.index)] = block.cy();
@@ -258,26 +439,20 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   eval.avg_path_latency_ns =
       total_value_ > 0.0 ? weighted_latency_ps / total_value_ / 1000.0 : 0.0;
 
-  // ---- Fig 5 step 8: objective cost. ----
-  switch (config_.objective) {
-    case Objective::kMinDelay:
-      eval.cost = eval.avg_switch_hops;
-      break;
-    case Objective::kMinArea:
-      eval.cost = eval.design_area_mm2;
-      break;
-    case Objective::kMinPower:
-      eval.cost = eval.design_power_mw;
-      break;
-    case Objective::kWeighted: {
-      const auto& w = config_.weights;
-      eval.cost = w.delay * eval.avg_switch_hops / w.ref_hops +
-                  w.area * eval.design_area_mm2 / w.ref_area_mm2 +
-                  w.power * eval.design_power_mw / w.ref_power_mw;
-      break;
+  apply_config_dependent(eval, floorplan_aspect);
+
+  // Cache the metrics while `eval` still carries no floorplan or routes:
+  // entries stay scalar-sized, and hits re-derive the flags/cost from the
+  // stored aspect with the same arithmetic as above.
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    if (metrics_cache_.size() < kMetricsCacheCap) {
+      metrics_cache_.emplace(core_to_slot,
+                             CachedMetrics{eval, floorplan_aspect});
     }
   }
 
+  eval.floorplan = std::move(floorplan);
   if (materialize) {
     eval.link_loads = scratch.loads.values();
     eval.routes.reserve(num_commodities);

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "fplan/floorplanner.h"
@@ -29,30 +32,58 @@ struct EvalScratch {
   /// (cores) and switch NodeId, so the power loop's wire lengths are O(1)
   /// lookups instead of linear scans over the placed blocks.
   std::vector<double> core_cx, core_cy, switch_cx, switch_cy;
+  /// Per-slot shape-class ids (0 = empty slot) — the floorplan cache key.
+  std::vector<std::uint16_t> floor_key;
 };
 
 /// The incremental mapping-evaluation engine: everything about one
-/// (application, topology, mapper configuration) triple that is invariant
-/// across candidate mappings, precomputed once so that Mapper's search loops
-/// evaluate thousands of candidates without redoing it.
+/// (application, topology) pair that is invariant across candidate mappings,
+/// precomputed once so that Mapper's search loops evaluate thousands of
+/// candidates without redoing it.
 ///
-/// Cached here:
-///  * the commodity list sorted by decreasing value (Fig 5 step 2);
-///  * the switch area/power library rows resolved per switch, with the
-///    mapping-invariant totals (silicon area, static power) pre-summed;
-///  * the quadrant-graph admission masks of §4.3 for every slot pair
-///    (minimum-path routing only), shared lock-free by search workers;
-///  * complete route sets per slot pair for the deterministic routing
-///    functions (dimension-ordered, split-across-minimum-paths), whose
-///    routes do not depend on link loads — re-routing a commodity after a
-///    swap is then a table lookup, which is what makes the swap search's
-///    delta-routing cheap;
-///  * the topology's relative placement and the floorplanner instance;
-///  * a reusable routing engine.
+/// The context's state is split in two layers:
+///
+///  *Mapping-invariant, configuration-independent* — owned by the (app,
+///  topology) pair and never rebuilt: the commodity list sorted by
+///  decreasing value (Fig 5 step 2), the topology's relative placement, the
+///  quadrant-graph admission masks of §4.3 (built once on first use by a
+///  minimum-path configuration, then shared lock-free by search workers),
+///  and the complete route tables per slot pair for the load-independent
+///  routing functions (dimension-ordered, split-across-minimum-paths) —
+///  one table per routing kind, built on first use and kept.
+///
+///  *Configuration-bound* — derived from one MapperConfig and replaced by
+///  rebind(): the routing engine, the active objective/constraints, the
+///  floorplanner, and the switch area/power rows resolved for the config's
+///  technology point.
+///
+/// rebind() is what makes batched design-space exploration cheap: a
+/// DesignSpaceExplorer builds one context per (app, topology) pair and
+/// re-binds it across every configuration of a sweep, so the per-topology
+/// precomputation above is paid once per topology instead of once per
+/// design point.
+///
+/// Two bounded memoisation caches accelerate repeated evaluations and are
+/// entirely transparent (hits return bit-identical results to a fresh
+/// computation, because the cached functions are deterministic):
+///
+///  * a floorplan cache keyed by the per-slot shape assignment. Floorplans
+///    depend only on which block shapes occupy which slots — not on the
+///    routing function, objective, or bandwidth — so the cache survives
+///    every rebind() that keeps the floorplan options and technology point,
+///    and it also merges candidate mappings that permute identically-shaped
+///    cores. Floorplanning dominates evaluation cost, which makes this the
+///    main source of the explorer's cross-configuration speedup.
+///  * an evaluation-metrics cache keyed by the mapping, valid for one
+///    "evaluation class" (routing function plus the config fields that
+///    influence routes). Objective, area cap, and bandwidth threshold only
+///    affect the cost and feasibility flags, which are re-derived from the
+///    cached metrics per configuration.
 ///
 /// evaluate() is a drop-in replacement for Mapper::evaluate() and produces
 /// bit-identical Evaluations (asserted by the equivalence regression tests);
-/// it is const and thread-safe once constructed, given per-thread scratch.
+/// it is thread-safe given per-thread scratch (the caches are internally
+/// synchronised). rebind() must not run concurrently with evaluations.
 ///
 /// The context borrows the application and topology; both must outlive it.
 class EvalContext {
@@ -64,6 +95,19 @@ class EvalContext {
   EvalContext(const EvalContext&) = delete;
   EvalContext& operator=(const EvalContext&) = delete;
 
+  /// Re-binds the context to a new mapper configuration without rebuilding
+  /// the per-topology state: quadrant masks and static route tables are
+  /// kept (and lazily extended when the new routing kind needs a table that
+  /// was not built yet), the switch table is re-resolved only when the
+  /// technology point changed, and the floorplan cache survives whenever
+  /// the floorplan options and technology are unchanged. `library` must be
+  /// resolved for `config.tech` (Mapper::library() provides this).
+  ///
+  /// After rebind(), evaluate()/map() behave exactly as if the context had
+  /// been freshly constructed with `config`.
+  void rebind(const MapperConfig& config,
+              const model::AreaPowerLibrary& library);
+
   [[nodiscard]] const CoreGraph& app() const { return app_; }
   [[nodiscard]] const topo::Topology& topology() const { return topology_; }
   [[nodiscard]] const MapperConfig& config() const { return config_; }
@@ -72,10 +116,12 @@ class EvalContext {
   }
 
   /// Evaluates one mapping (Fig 5 steps 2-8) using the cached data. With
-  /// `materialize` false the returned Evaluation carries every metric and
-  /// the floorplan but leaves `routes`/`link_loads` empty — the search
-  /// loops compare candidates by metrics only, and skipping the per-copy of
-  /// the route sets keeps rejected candidates cheap.
+  /// `materialize` false the returned Evaluation carries every metric but
+  /// leaves `routes`/`link_loads` empty — the search loops compare
+  /// candidates by metrics only, and skipping the per-copy of the route
+  /// sets keeps rejected candidates cheap. A metrics-cache hit additionally
+  /// leaves `floorplan` empty (the cache stores scalars, not geometry);
+  /// materialized evaluations always carry the full floorplan and routes.
   ///
   /// Throws std::invalid_argument on a malformed mapping, mirroring
   /// Mapper::evaluate().
@@ -105,34 +151,87 @@ class EvalContext {
   [[nodiscard]] bool prunable(const std::vector<int>& core_to_slot,
                               const Evaluation& incumbent) const;
 
+  /// Total EvalContext constructions since process start. The batched
+  /// exploration tests assert on deltas of this counter to prove the
+  /// explorer builds exactly one context per (app, topology) pair.
+  [[nodiscard]] static std::uint64_t contexts_built();
+
+  /// Process-wide memoisation-cache counters (relaxed atomics), for the
+  /// benches' cache-effectiveness reporting.
+  struct CacheStats {
+    std::uint64_t metrics_hits = 0;
+    std::uint64_t metrics_misses = 0;
+    std::uint64_t floorplan_hits = 0;
+    std::uint64_t floorplan_misses = 0;
+  };
+  [[nodiscard]] static CacheStats cache_stats();
+
  private:
-  void build_static_routes();
+  void bind(const MapperConfig& config,
+            const model::AreaPowerLibrary& library, bool first_bind);
+  void build_static_routes(std::vector<route::RouteSet>& table) const;
   [[nodiscard]] const route::RouteSet& static_route(int src_slot,
                                                     int dst_slot) const {
-    return static_routes_[static_cast<std::size_t>(src_slot) *
-                              static_cast<std::size_t>(topology_.num_slots()) +
-                          static_cast<std::size_t>(dst_slot)];
+    return (*static_routes_)[static_cast<std::size_t>(src_slot) *
+                                 static_cast<std::size_t>(
+                                     topology_.num_slots()) +
+                             static_cast<std::size_t>(dst_slot)];
   }
+  /// Sets the config-dependent fields of an evaluation (feasibility flags
+  /// and objective cost) from its config-independent metrics and the
+  /// floorplan's aspect ratio. Shared by the fresh-computation and
+  /// cache-hit paths so their arithmetic is literally the same code.
+  void apply_config_dependent(Evaluation& eval,
+                              double floorplan_aspect) const;
 
+  // ---- Mapping-invariant state (per app + topology, never rebuilt). ----
   const CoreGraph& app_;
   const topo::Topology& topology_;
-  MapperConfig config_;  // by value: the context must not dangle on the mapper
-
   std::vector<Commodity> commodities_;
   double total_value_ = 0.0;
+  topo::RelativePlacement placement_;
+  /// Core index -> shape-equivalence class (cores with bit-identical
+  /// BlockShapes share a class); basis of the floorplan cache key.
+  std::vector<std::uint16_t> core_shape_class_;
+  std::optional<route::QuadrantTable> quadrant_table_;
+  /// Per-routing-kind complete route tables for the load-independent
+  /// functions, built on first use by a config of that kind and kept across
+  /// rebinds (their routes depend only on the topology).
+  std::optional<std::vector<route::RouteSet>> static_routes_do_;
+  std::optional<std::vector<route::RouteSet>> static_routes_sm_;
 
+  // ---- Configuration-bound state (replaced by rebind()). ----
+  MapperConfig config_;  // by value: the context must not dangle on the mapper
   model::ResolvedSwitchTable switch_table_;
   std::vector<fplan::BlockShape> switch_shapes_;
-  topo::RelativePlacement placement_;
   fplan::Floorplanner planner_;
-
-  route::RoutingEngine engine_;
-  std::optional<route::QuadrantTable> quadrant_table_;
-  /// Route sets per (src, dst) slot pair for load-independent routing
-  /// functions; empty for the adaptive ones.
-  std::vector<route::RouteSet> static_routes_;
+  std::optional<route::RoutingEngine> engine_;
+  const std::vector<route::RouteSet>* static_routes_ = nullptr;
   bool static_routing_ = false;
   bool adaptive_routing_ = false;
+
+  // ---- Memoisation caches (guarded by cache_mutex_, bounded). ----
+  // Reader-writer lock: concurrent search workers mostly hit, and hits only
+  // take the shared side, so the parallel neighborhood search does not
+  // serialize on the caches once they are warm.
+  static constexpr std::size_t kFloorplanCacheCap = 8192;
+  static constexpr std::size_t kMetricsCacheCap = 8192;
+  mutable std::shared_mutex cache_mutex_;
+  /// Per-slot shape assignment -> floorplan. Survives rebind() while the
+  /// floorplan options and technology point are unchanged.
+  mutable std::map<std::vector<std::uint16_t>, fplan::Floorplan>
+      floorplan_cache_;
+  /// Mapping -> config-independent evaluation metrics. The stored
+  /// Evaluation carries no routes, loads, or floorplan (the aspect ratio —
+  /// all the flag re-derivation needs — is kept as a scalar, so entries
+  /// stay a few hundred bytes and the locked copy on a hit is cheap).
+  /// Valid for one evaluation class; cleared by rebind() when the new
+  /// config routes differently.
+  struct CachedMetrics {
+    Evaluation metrics;
+    double floorplan_aspect = 0.0;
+  };
+  mutable std::map<std::vector<int>, CachedMetrics> metrics_cache_;
 };
 
 }  // namespace sunmap::mapping

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -47,17 +48,36 @@ bool better_than(const Evaluation& a, const Evaluation& b) {
   return a.cost < b.cost;
 }
 
+void MapperConfig::validate() const {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("MapperConfig: ") + what);
+  };
+  if (!(link_bandwidth_mbps > 0.0)) {
+    fail("link bandwidth must be positive");
+  }
+  if (!(max_area_mm2 > 0.0)) fail("max_area_mm2 must be positive");
+  if (!(max_design_aspect >= 1.0)) fail("max_design_aspect must be >= 1");
+  if (swap_passes < 0) fail("swap_passes must be >= 0");
+  if (reroute_passes < 0) fail("reroute_passes must be >= 0");
+  if (split_chunks < 1) fail("split_chunks must be >= 1");
+  if (annealing_iterations < 0) fail("annealing_iterations must be >= 0");
+  if (!(annealing_t0 >= 0.0)) fail("annealing_t0 must be >= 0");
+  if (!(annealing_cooling > 0.0 && annealing_cooling <= 1.0)) {
+    fail("annealing_cooling must be in (0, 1]");
+  }
+  if (num_threads < 1) fail("num_threads must be >= 1");
+  if (!(weights.delay >= 0.0 && weights.area >= 0.0 && weights.power >= 0.0)) {
+    fail("objective weights must be >= 0");
+  }
+  if (!(weights.ref_hops > 0.0 && weights.ref_area_mm2 > 0.0 &&
+        weights.ref_power_mw > 0.0)) {
+    fail("objective weight reference scales must be positive");
+  }
+}
+
 Mapper::Mapper(MapperConfig config)
     : config_(std::move(config)), library_(config_.tech) {
-  if (config_.link_bandwidth_mbps <= 0.0) {
-    throw std::invalid_argument("Mapper: link bandwidth must be positive");
-  }
-  if (config_.swap_passes < 0) {
-    throw std::invalid_argument("Mapper: swap_passes must be >= 0");
-  }
-  if (config_.num_threads < 1) {
-    throw std::invalid_argument("Mapper: num_threads must be >= 1");
-  }
+  config_.validate();
 }
 
 EvalContext Mapper::make_context(const CoreGraph& app,

@@ -93,6 +93,12 @@ struct MapperConfig {
 
   fplan::Floorplanner::Options floorplan;
   model::TechParams tech = model::TechParams::um100();
+
+  /// Validates the configuration, throwing std::invalid_argument naming the
+  /// offending field. The single source of truth for configuration sanity:
+  /// Mapper's constructor, the DesignSpaceExplorer, and the CLI all call
+  /// this instead of keeping their own ad-hoc checks.
+  void validate() const;
 };
 
 /// Everything phase 2 needs to compare a mapped topology against the rest —
@@ -194,6 +200,13 @@ class Mapper {
                                     const std::vector<int>& core_to_slot) const;
 
   [[nodiscard]] const MapperConfig& config() const { return config_; }
+
+  /// The area/power library resolved for config().tech — what make_context
+  /// seeds contexts with, and what EvalContext::rebind() needs when
+  /// re-binding a context to this mapper's configuration.
+  [[nodiscard]] const model::AreaPowerLibrary& library() const {
+    return library_;
+  }
 
  private:
   [[nodiscard]] std::vector<int> greedy_initial_mapping(

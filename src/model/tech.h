@@ -52,6 +52,11 @@ struct TechParams {
 
   /// The paper's 0.1 µm technology point (also the default constructor).
   static TechParams um100() { return TechParams{}; }
+
+  /// Memberwise equality — what EvalContext::rebind uses to decide whether
+  /// the resolved switch tables and floorplan cache survive a config change,
+  /// so it cannot drift from the fields.
+  bool operator==(const TechParams&) const = default;
 };
 
 }  // namespace sunmap::model

@@ -1,0 +1,281 @@
+#include "select/explorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "mapping/eval_context.h"
+
+namespace sunmap::select {
+
+namespace {
+
+std::string format_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+/// Best feasible candidate by strict cost comparison, in candidate order —
+/// the exact rule TopologySelector::select() applies, so per-point best
+/// indices are bit-identical to single-point runs.
+int best_candidate_index(const std::vector<TopologyCandidate>& candidates) {
+  int best = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& candidate = candidates[i];
+    if (!candidate.feasible()) continue;
+    if (best < 0 ||
+        candidate.result.eval.cost <
+            candidates[static_cast<std::size_t>(best)].result.eval.cost) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t ExplorationRequest::num_points() const {
+  const auto axis = [](std::size_t n) { return n == 0 ? 1 : n; };
+  return axis(routings.size()) * axis(link_bandwidths_mbps.size()) *
+         axis(max_areas_mm2.size()) * axis(weight_sets.size()) *
+         axis(objectives.size());
+}
+
+std::string DesignPoint::label() const {
+  std::string label = route::to_string(config.routing);
+  label += "/";
+  label += mapping::to_string(config.objective);
+  label += "/bw";
+  label += format_number(config.link_bandwidth_mbps);
+  if (std::isfinite(config.max_area_mm2)) {
+    label += "/area<=";
+    label += format_number(config.max_area_mm2);
+  }
+  if (weights_index > 0) {
+    label += "/w";
+    label += std::to_string(weights_index);
+  }
+  return label;
+}
+
+const TopologyCandidate* ExplorationReport::winner(
+    mapping::Objective objective) const {
+  for (const auto& best : winners) {
+    if (best.objective != objective) continue;
+    if (!best.found()) return nullptr;
+    return &results[static_cast<std::size_t>(best.point_index)]
+                .selection
+                .candidates[static_cast<std::size_t>(best.topology_index)];
+  }
+  return nullptr;
+}
+
+std::vector<DesignPoint> DesignSpaceExplorer::expand(
+    const ExplorationRequest& request) {
+  // Objective varies fastest: consecutive points then differ only in the
+  // cost function, which keeps the per-topology context's evaluation class
+  // stable and its metrics cache warm across the inner loop.
+  std::vector<DesignPoint> points;
+  points.reserve(request.num_points());
+  const std::size_t nr = std::max<std::size_t>(1, request.routings.size());
+  const std::size_t nb =
+      std::max<std::size_t>(1, request.link_bandwidths_mbps.size());
+  const std::size_t na = std::max<std::size_t>(1, request.max_areas_mm2.size());
+  const std::size_t nw = std::max<std::size_t>(1, request.weight_sets.size());
+  const std::size_t no = std::max<std::size_t>(1, request.objectives.size());
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t a = 0; a < na; ++a) {
+        for (std::size_t w = 0; w < nw; ++w) {
+          for (std::size_t o = 0; o < no; ++o) {
+            DesignPoint point;
+            point.config = request.base;
+            if (!request.routings.empty()) {
+              point.config.routing = request.routings[r];
+            }
+            if (!request.link_bandwidths_mbps.empty()) {
+              point.config.link_bandwidth_mbps =
+                  request.link_bandwidths_mbps[b];
+            }
+            if (!request.max_areas_mm2.empty()) {
+              point.config.max_area_mm2 = request.max_areas_mm2[a];
+            }
+            if (!request.weight_sets.empty()) {
+              point.config.weights = request.weight_sets[w];
+            }
+            if (!request.objectives.empty()) {
+              point.config.objective = request.objectives[o];
+            }
+            point.routing_index = static_cast<int>(r);
+            point.bandwidth_index = static_cast<int>(b);
+            point.area_index = static_cast<int>(a);
+            point.weights_index = static_cast<int>(w);
+            point.objective_index = static_cast<int>(o);
+            points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+ExplorationReport DesignSpaceExplorer::explore(
+    const ExplorationRequest& request) const {
+  if (request.app == nullptr) {
+    throw std::invalid_argument("DesignSpaceExplorer: request has no app");
+  }
+  if (request.library == nullptr) {
+    throw std::invalid_argument("DesignSpaceExplorer: request has no library");
+  }
+  if (request.num_threads < 1) {
+    throw std::invalid_argument(
+        "DesignSpaceExplorer: num_threads must be >= 1");
+  }
+
+  const mapping::CoreGraph& app = *request.app;
+  const auto& library = *request.library;
+  auto points = expand(request);
+
+  // Centralised validation of every expanded configuration before any work
+  // runs, so a bad axis value fails the whole request up front.
+  for (const auto& point : points) point.config.validate();
+
+  // One shared mapper for the whole grid: Mapper::map(ctx) takes every
+  // setting from the context's bound config, and the technology point is
+  // not a sweep axis, so all points share one resolved area/power library.
+  mapping::Mapper mapper(points.front().config);
+
+  ExplorationReport report;
+  report.results.resize(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    report.results[p].point = points[p];
+    report.results[p].selection.candidates.resize(library.size());
+    for (std::size_t t = 0; t < library.size(); ++t) {
+      report.results[p].selection.candidates[t].topology = library[t].get();
+    }
+  }
+
+  if (!points.empty() && !library.empty()) {
+    // Work unit = one topology: its context is built once and re-bound
+    // across every design point, so rebinding (not rebuilding) is what a
+    // sweep pays per configuration. Cells are written to fixed (point,
+    // topology) slots, making the report order independent of scheduling.
+    std::atomic<std::size_t> next_topology{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto worker = [&]() {
+      for (;;) {
+        const std::size_t t = next_topology.fetch_add(1);
+        if (t >= library.size()) break;
+        try {
+          mapping::EvalContext ctx = mapper.make_context(app, *library[t]);
+          for (std::size_t p = 0; p < points.size(); ++p) {
+            if (p > 0) ctx.rebind(points[p].config, mapper.library());
+            report.results[p].selection.candidates[t].result = mapper.map(ctx);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          break;
+        }
+      }
+    };
+
+    const int num_workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(request.num_threads), library.size()));
+    if (num_workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(num_workers - 1));
+      for (int i = 1; i < num_workers; ++i) pool.emplace_back(worker);
+      worker();
+      for (auto& thread : pool) thread.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  for (auto& result : report.results) {
+    result.selection.best_index =
+        best_candidate_index(result.selection.candidates);
+  }
+
+  // Per-objective winners: the best feasible cell over every point that
+  // swept the objective, scanned in report order so ties resolve to the
+  // earliest grid coordinate. Weighted costs are only comparable under one
+  // weight vector, so kWeighted gets one winner per swept weight set; the
+  // plain objectives pool across weight sets.
+  std::vector<std::pair<mapping::Objective, int>> distinct;
+  const auto objectives_axis =
+      request.objectives.empty()
+          ? std::vector<mapping::Objective>{request.base.objective}
+          : request.objectives;
+  const int num_weight_sets =
+      static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
+  for (const auto objective : objectives_axis) {
+    const int groups =
+        objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
+    for (int w = 0; w < groups; ++w) {
+      const int weights_index =
+          objective == mapping::Objective::kWeighted && num_weight_sets > 1
+              ? w
+              : -1;
+      bool seen = false;
+      for (const auto& known : distinct) {
+        seen = seen || (known.first == objective &&
+                        known.second == weights_index);
+      }
+      if (!seen) distinct.emplace_back(objective, weights_index);
+    }
+  }
+  for (const auto& [objective, weights_index] : distinct) {
+    ObjectiveBest best;
+    best.objective = objective;
+    best.weights_index = weights_index;
+    for (std::size_t p = 0; p < report.results.size(); ++p) {
+      const auto& result = report.results[p];
+      if (result.point.config.objective != objective) continue;
+      if (weights_index >= 0 &&
+          result.point.weights_index != weights_index) {
+        continue;
+      }
+      for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+        const auto& candidate = result.selection.candidates[t];
+        if (!candidate.feasible()) continue;
+        if (!best.found() ||
+            candidate.result.eval.cost <
+                report.results[static_cast<std::size_t>(best.point_index)]
+                    .selection
+                    .candidates[static_cast<std::size_t>(best.topology_index)]
+                    .result.eval.cost) {
+          best.point_index = static_cast<int>(p);
+          best.topology_index = static_cast<int>(t);
+        }
+      }
+    }
+    report.winners.push_back(best);
+  }
+
+  // Area/power Pareto frontier over every feasible cell of the grid.
+  std::vector<std::pair<double, double>> area_power;
+  for (const auto& result : report.results) {
+    for (const auto& candidate : result.selection.candidates) {
+      if (!candidate.feasible()) continue;
+      area_power.emplace_back(candidate.result.eval.design_area_mm2,
+                              candidate.result.eval.design_power_mw);
+    }
+  }
+  report.pareto = pareto_frontier(area_power);
+  return report;
+}
+
+}  // namespace sunmap::select

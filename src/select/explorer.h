@@ -1,0 +1,126 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.h"
+#include "select/selector.h"
+#include "topo/library.h"
+
+namespace sunmap::select {
+
+/// A batched design-space exploration: one application, one topology
+/// library, and a grid of mapper-configuration variations. Every non-empty
+/// axis below replaces the corresponding field of `base`; empty axes fall
+/// back to the single value already in `base`. The cross product of all
+/// axes is the set of design points explored.
+///
+/// The request borrows `app` and `library`; both must outlive the explore()
+/// call and the report it returns (the report points into the library).
+struct ExplorationRequest {
+  const mapping::CoreGraph* app = nullptr;
+  const std::vector<std::unique_ptr<topo::Topology>>* library = nullptr;
+
+  /// Defaults for every field the axes do not sweep (search strategy,
+  /// swap passes, technology point, ...).
+  mapping::MapperConfig base;
+
+  std::vector<mapping::Objective> objectives;
+  std::vector<route::RoutingKind> routings;
+  std::vector<double> link_bandwidths_mbps;
+  std::vector<double> max_areas_mm2;
+  std::vector<mapping::ObjectiveWeights> weight_sets;
+
+  /// Worker threads the explorer spreads topologies over. Each worker owns
+  /// one topology's evaluation context at a time, so any thread count
+  /// returns bit-identical reports in identical order. Independent of
+  /// base.num_threads (the per-search swap workers).
+  int num_threads = 1;
+
+  /// Number of design points the grid expands to.
+  [[nodiscard]] std::size_t num_points() const;
+};
+
+/// One fully-resolved configuration of the grid, with its coordinates along
+/// each request axis (indices into the request's vectors, 0 for an axis
+/// left empty).
+struct DesignPoint {
+  mapping::MapperConfig config;
+  int routing_index = 0;
+  int bandwidth_index = 0;
+  int area_index = 0;
+  int weights_index = 0;
+  int objective_index = 0;
+
+  /// Compact human-readable tag, e.g. "MP/delay/bw500".
+  [[nodiscard]] std::string label() const;
+};
+
+/// One design point's outcome over the whole library: the same shape
+/// TopologySelector::select() returns, so per-point results are drop-in
+/// comparable with single-point runs.
+struct PointResult {
+  DesignPoint point;
+  SelectionReport selection;
+};
+
+/// The best feasible (point, topology) cell for one swept objective;
+/// point_index < 0 when no cell under that objective was feasible. Costs
+/// computed under different weight vectors are not on a common scale, so a
+/// swept kWeighted objective yields one entry per weight set
+/// (weights_index >= 0); the plain objectives pool across weight sets
+/// (weights_index == -1, their costs ignore the weights).
+struct ObjectiveBest {
+  mapping::Objective objective = mapping::Objective::kMinDelay;
+  int weights_index = -1;
+  int point_index = -1;
+  int topology_index = -1;
+
+  [[nodiscard]] bool found() const { return point_index >= 0; }
+};
+
+/// Outcome of a batched exploration. `results` is ordered deterministically
+/// by grid coordinates — routing outermost, then bandwidth, area cap,
+/// weight set, and objective innermost — regardless of how many worker
+/// threads ran the sweep. (Objective varies fastest so that consecutive
+/// points share the evaluation-metrics cache of the per-topology context.)
+struct ExplorationReport {
+  std::vector<PointResult> results;
+  /// One entry per distinct objective swept, in axis order.
+  std::vector<ObjectiveBest> winners;
+  /// Area/power Pareto frontier over every feasible (point, topology) cell
+  /// of the sweep (Fig 9(b) generalised across the grid).
+  std::vector<ParetoPoint> pareto;
+
+  /// The winning candidate for `objective`, or nullptr when no feasible
+  /// cell exists (or the objective was not swept). For a kWeighted sweep
+  /// over several weight sets this is the first weight set's winner; use
+  /// `winners` directly for the per-weight-set breakdown.
+  [[nodiscard]] const TopologyCandidate* winner(
+      mapping::Objective objective) const;
+};
+
+/// Phase 1 + 2 of the SUNMAP flow generalised to a configuration grid: maps
+/// the application onto every topology under every design point, building
+/// one evaluation context per topology and re-binding it across the grid so
+/// the per-topology precomputation (quadrant masks, static route tables,
+/// resolved switch rows, floorplan cache) is paid once per topology instead
+/// of once per design point. Results are bit-identical to running
+/// TopologySelector::select() once per configuration.
+class DesignSpaceExplorer {
+ public:
+  /// Runs the sweep. Throws std::invalid_argument when the request lacks an
+  /// app or library or any expanded configuration fails validation, and
+  /// propagates mapping errors (e.g. an application with more cores than a
+  /// topology has slots) exactly as the per-config loop would.
+  [[nodiscard]] ExplorationReport explore(
+      const ExplorationRequest& request) const;
+
+  /// The expanded design-point grid, in report order, without running
+  /// anything — what the CLI prints headers from and the tests enumerate.
+  [[nodiscard]] static std::vector<DesignPoint> expand(
+      const ExplorationRequest& request);
+};
+
+}  // namespace sunmap::select

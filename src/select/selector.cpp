@@ -1,37 +1,26 @@
 #include "select/selector.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
-#include "mapping/eval_context.h"
+#include "select/explorer.h"
 
 namespace sunmap::select {
 
 SelectionReport TopologySelector::select(
     const mapping::CoreGraph& app,
     const std::vector<std::unique_ptr<topo::Topology>>& library) const {
-  SelectionReport report;
-  report.candidates.reserve(library.size());
-  for (const auto& topology : library) {
-    TopologyCandidate candidate;
-    candidate.topology = topology.get();
-    // One evaluation context per library topology: the per-topology caches
-    // (quadrant masks, resolved switch rows, static routes) are built once
-    // here and shared by every candidate mapping the search evaluates.
-    const auto ctx = mapper_.make_context(app, *topology);
-    candidate.result = mapper_.map(ctx);
-    report.candidates.push_back(std::move(candidate));
-  }
-  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
-    const auto& candidate = report.candidates[i];
-    if (!candidate.feasible()) continue;
-    if (report.best_index < 0 ||
-        candidate.result.eval.cost <
-            report.candidates[static_cast<std::size_t>(report.best_index)]
-                .result.eval.cost) {
-      report.best_index = static_cast<int>(i);
-    }
-  }
-  return report;
+  // A selection run is the single-design-point case of a batched
+  // exploration: delegate to the explorer (empty axes — the grid collapses
+  // to the mapper's own configuration) and unwrap the one point's report.
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.base = mapper_.config();
+  DesignSpaceExplorer explorer;
+  auto report = explorer.explore(request);
+  return std::move(report.results.front().selection);
 }
 
 std::vector<ParetoPoint> pareto_frontier(

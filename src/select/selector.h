@@ -34,6 +34,11 @@ struct SelectionReport {
 /// Phase 1 + 2 of the SUNMAP flow: maps the application onto every topology
 /// in the library under the configured routing function and objective, then
 /// selects the best feasible mapping by objective cost.
+///
+/// A thin single-point wrapper over select::DesignSpaceExplorer — sweeps
+/// across objectives/routings/constraints go through the explorer directly
+/// (see select/explorer.h), which reuses one evaluation context per
+/// topology across the whole grid.
 class TopologySelector {
  public:
   explicit TopologySelector(mapping::MapperConfig config = {})

@@ -217,6 +217,105 @@ TEST(ParallelSearch, RepeatedRunsAreIdentical) {
   EXPECT_EQ(first.eval.cost, second.eval.cost);
 }
 
+TEST(Rebind, MatchesFreshContextAcrossAllRoutingKinds) {
+  // One context re-bound through every routing kind (and back) must map
+  // bit-identically to a context freshly built for each configuration —
+  // the contract the batched design-space explorer rests on.
+  const auto app = apps::vopd();
+  for (const auto& topology : test_topologies(app.num_cores())) {
+    MapperConfig initial;
+    initial.routing = route::RoutingKind::kMinPath;
+    Mapper first(initial);
+    auto ctx = first.make_context(app, *topology);
+
+    std::vector<MapperConfig> chain;
+    for (route::RoutingKind kind : route::kAllRoutingKinds) {
+      MapperConfig config;
+      config.routing = kind;
+      chain.push_back(config);
+    }
+    // Revisit the first two kinds so the kept static-route tables and the
+    // quadrant table are reused after other kinds were bound in between.
+    chain.push_back(chain[0]);
+    chain.push_back(chain[1]);
+
+    for (const auto& config : chain) {
+      Mapper mapper(config);
+      ctx.rebind(config, mapper.library());
+      const auto rebound = mapper.map(ctx);
+      const auto fresh = mapper.map(app, *topology);
+      SCOPED_TRACE(std::string(topology->name()) + " / " +
+                   route::to_string(config.routing));
+      EXPECT_EQ(rebound.core_to_slot, fresh.core_to_slot);
+      EXPECT_EQ(rebound.evaluated_mappings, fresh.evaluated_mappings);
+      EXPECT_EQ(rebound.pruned_mappings, fresh.pruned_mappings);
+      expect_identical(fresh.eval, rebound.eval);
+    }
+  }
+}
+
+TEST(Rebind, ObjectiveBandwidthAndConstraintChangesMatchFreshContexts) {
+  const auto app = apps::mpeg4();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig base;
+  base.routing = route::RoutingKind::kSplitAll;
+  Mapper first(base);
+  auto ctx = first.make_context(app, *mesh);
+
+  std::vector<MapperConfig> chain;
+  for (Objective objective : {Objective::kMinArea, Objective::kWeighted,
+                              Objective::kMinDelay}) {
+    MapperConfig config = base;
+    config.objective = objective;
+    chain.push_back(config);
+  }
+  {
+    MapperConfig config = base;
+    config.link_bandwidth_mbps = 1000.0;  // affects split-all routing
+    chain.push_back(config);
+    config.max_area_mm2 = 60.0;
+    chain.push_back(config);
+  }
+
+  for (const auto& config : chain) {
+    Mapper mapper(config);
+    ctx.rebind(config, mapper.library());
+    const auto rebound = mapper.map(ctx);
+    const auto fresh = mapper.map(app, *mesh);
+    SCOPED_TRACE(std::string(to_string(config.objective)) + " / bw=" +
+                 std::to_string(config.link_bandwidth_mbps));
+    EXPECT_EQ(rebound.core_to_slot, fresh.core_to_slot);
+    expect_identical(fresh.eval, rebound.eval);
+  }
+}
+
+TEST(Rebind, TechnologyChangeReresolvesSwitchTables) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  Mapper first;
+  auto ctx = first.make_context(app, *mesh);
+
+  MapperConfig scaled;
+  scaled.tech.energy_fixed_pj *= 2.0;
+  scaled.tech.static_fixed_mw *= 1.5;
+  scaled.tech.area_fixed *= 1.2;
+  Mapper mapper(scaled);
+  ctx.rebind(scaled, mapper.library());
+  const auto rebound = mapper.map(ctx);
+  const auto fresh = mapper.map(app, *mesh);
+  EXPECT_EQ(rebound.core_to_slot, fresh.core_to_slot);
+  expect_identical(fresh.eval, rebound.eval);
+
+  // And back: the original technology point must be restored exactly.
+  MapperConfig original;
+  Mapper back(original);
+  ctx.rebind(original, back.library());
+  const auto restored = back.map(ctx);
+  const auto reference = back.map(app, *mesh);
+  EXPECT_EQ(restored.core_to_slot, reference.core_to_slot);
+  expect_identical(reference.eval, restored.eval);
+}
+
 TEST(MapResult, SearchOutcomeMatchesFromScratchReEvaluation) {
   // Whatever mapping the cached search returns, evaluating it from scratch
   // must reproduce the reported Evaluation — the search can never report a

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "apps/apps.h"
+#include "io/exploration_io.h"
+#include "mapping/eval_context.h"
+#include "select/explorer.h"
+#include "topo/library.h"
+
+namespace sunmap::select {
+namespace {
+
+constexpr mapping::Objective kSweepObjectives[] = {
+    mapping::Objective::kMinDelay, mapping::Objective::kMinArea,
+    mapping::Objective::kMinPower};
+
+ExplorationRequest full_sweep(
+    const mapping::CoreGraph& app,
+    const std::vector<std::unique_ptr<topo::Topology>>& library) {
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.base.link_bandwidth_mbps = 500.0;
+  request.objectives.assign(std::begin(kSweepObjectives),
+                            std::end(kSweepObjectives));
+  request.routings.assign(std::begin(route::kAllRoutingKinds),
+                          std::end(route::kAllRoutingKinds));
+  return request;
+}
+
+void expect_identical(const SelectionReport& batched,
+                      const SelectionReport& naive, const std::string& label) {
+  ASSERT_EQ(batched.candidates.size(), naive.candidates.size()) << label;
+  EXPECT_EQ(batched.best_index, naive.best_index) << label;
+  for (std::size_t t = 0; t < naive.candidates.size(); ++t) {
+    const auto& b = batched.candidates[t].result;
+    const auto& n = naive.candidates[t].result;
+    EXPECT_EQ(b.core_to_slot, n.core_to_slot) << label;
+    EXPECT_EQ(b.slot_to_core, n.slot_to_core) << label;
+    EXPECT_EQ(b.evaluated_mappings, n.evaluated_mappings) << label;
+    EXPECT_EQ(b.pruned_mappings, n.pruned_mappings) << label;
+    // Bit-identical evaluations: exact double equality, no tolerance.
+    EXPECT_EQ(b.eval.cost, n.eval.cost) << label;
+    EXPECT_EQ(b.eval.avg_switch_hops, n.eval.avg_switch_hops) << label;
+    EXPECT_EQ(b.eval.avg_path_latency_ns, n.eval.avg_path_latency_ns)
+        << label;
+    EXPECT_EQ(b.eval.design_area_mm2, n.eval.design_area_mm2) << label;
+    EXPECT_EQ(b.eval.design_power_mw, n.eval.design_power_mw) << label;
+    EXPECT_EQ(b.eval.max_link_load_mbps, n.eval.max_link_load_mbps) << label;
+    EXPECT_EQ(b.eval.feasible(), n.eval.feasible()) << label;
+  }
+}
+
+TEST(Explorer, ExpandsGridObjectiveInnermostRoutingOutermost) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  auto request = full_sweep(app, library);
+  request.link_bandwidths_mbps = {400.0, 500.0};
+  EXPECT_EQ(request.num_points(), 24u);
+
+  const auto points = DesignSpaceExplorer::expand(request);
+  ASSERT_EQ(points.size(), 24u);
+  // Objective varies fastest, then bandwidth, routing outermost.
+  EXPECT_EQ(points[0].config.objective, mapping::Objective::kMinDelay);
+  EXPECT_EQ(points[1].config.objective, mapping::Objective::kMinArea);
+  EXPECT_EQ(points[2].config.objective, mapping::Objective::kMinPower);
+  EXPECT_EQ(points[0].config.link_bandwidth_mbps, 400.0);
+  EXPECT_EQ(points[3].config.link_bandwidth_mbps, 500.0);
+  EXPECT_EQ(points[0].config.routing, route::RoutingKind::kDimensionOrdered);
+  EXPECT_EQ(points[6].config.routing, route::RoutingKind::kMinPath);
+  EXPECT_EQ(points[23].config.routing, route::RoutingKind::kSplitAll);
+  EXPECT_EQ(points[23].config.objective, mapping::Objective::kMinPower);
+  // Empty axes fall back to the base config.
+  ExplorationRequest single;
+  single.app = &app;
+  single.library = &library;
+  single.base.objective = mapping::Objective::kMinPower;
+  const auto one = DesignSpaceExplorer::expand(single);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].config.objective, mapping::Objective::kMinPower);
+}
+
+// The acceptance bar of the batch API: a 3-objective x 4-routing sweep over
+// the full topology library returns results bit-identical to running
+// TopologySelector::select once per configuration, while building each
+// topology's evaluation context exactly once.
+TEST(Explorer, FullSweepBitIdenticalToPerConfigSelectBuildsContextsOnce) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto request = full_sweep(app, library);
+  const auto points = DesignSpaceExplorer::expand(request);
+  ASSERT_EQ(points.size(), 12u);
+
+  const auto contexts_before = mapping::EvalContext::contexts_built();
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+  const auto contexts_built =
+      mapping::EvalContext::contexts_built() - contexts_before;
+  // One context per (app, topology) pair for the entire 12-point sweep.
+  EXPECT_EQ(contexts_built, library.size());
+
+  ASSERT_EQ(report.results.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    TopologySelector selector(points[p].config);
+    const auto naive = selector.select(app, library);
+    expect_identical(report.results[p].selection, naive,
+                     report.results[p].point.label());
+  }
+}
+
+TEST(Explorer, ParallelSweepMatchesSequential) {
+  const auto app = apps::mwd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.objectives = {mapping::Objective::kMinDelay,
+                        mapping::Objective::kMinArea};
+  request.routings = {route::RoutingKind::kDimensionOrdered,
+                      route::RoutingKind::kMinPath};
+
+  DesignSpaceExplorer explorer;
+  const auto sequential = explorer.explore(request);
+  request.num_threads = 4;
+  const auto parallel = explorer.explore(request);
+
+  ASSERT_EQ(parallel.results.size(), sequential.results.size());
+  for (std::size_t p = 0; p < sequential.results.size(); ++p) {
+    expect_identical(parallel.results[p].selection,
+                     sequential.results[p].selection,
+                     sequential.results[p].point.label());
+  }
+  ASSERT_EQ(parallel.winners.size(), sequential.winners.size());
+  for (std::size_t w = 0; w < sequential.winners.size(); ++w) {
+    EXPECT_EQ(parallel.winners[w].point_index,
+              sequential.winners[w].point_index);
+    EXPECT_EQ(parallel.winners[w].topology_index,
+              sequential.winners[w].topology_index);
+  }
+}
+
+TEST(Explorer, WinnersAreGridMinimaPerObjective) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  auto request = full_sweep(app, library);
+  request.routings = {route::RoutingKind::kMinPath,
+                      route::RoutingKind::kSplitMin};
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+
+  ASSERT_EQ(report.winners.size(), 3u);
+  for (const auto& best : report.winners) {
+    ASSERT_TRUE(best.found());
+    const auto* candidate = report.winner(best.objective);
+    ASSERT_NE(candidate, nullptr);
+    ASSERT_TRUE(candidate->feasible());
+    for (const auto& result : report.results) {
+      if (result.point.config.objective != best.objective) continue;
+      for (const auto& other : result.selection.candidates) {
+        if (!other.feasible()) continue;
+        EXPECT_LE(candidate->result.eval.cost, other.result.eval.cost);
+      }
+    }
+  }
+  // An objective that was not swept has no winner.
+  EXPECT_EQ(report.winner(mapping::Objective::kWeighted), nullptr);
+}
+
+TEST(Explorer, WeightedObjectiveGetsOneWinnerPerWeightSet) {
+  // Costs computed under different weight vectors are not on a common
+  // scale, so a weighted sweep must not pool them into one winner.
+  const auto app = apps::mwd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.objectives = {mapping::Objective::kWeighted};
+  mapping::ObjectiveWeights delay_heavy;
+  delay_heavy.delay = 10.0;
+  mapping::ObjectiveWeights power_heavy;
+  power_heavy.power = 1000.0;  // costs ~100x the delay-heavy scale
+  request.weight_sets = {delay_heavy, power_heavy};
+
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+  ASSERT_EQ(report.results.size(), 2u);
+  ASSERT_EQ(report.winners.size(), 2u);
+  for (std::size_t w = 0; w < report.winners.size(); ++w) {
+    const auto& best = report.winners[w];
+    EXPECT_EQ(best.objective, mapping::Objective::kWeighted);
+    EXPECT_EQ(best.weights_index, static_cast<int>(w));
+    ASSERT_TRUE(best.found());
+    // The winner must come from its own weight set's design point.
+    EXPECT_EQ(report.results[static_cast<std::size_t>(best.point_index)]
+                  .point.weights_index,
+              static_cast<int>(w));
+  }
+}
+
+TEST(Explorer, AllInfeasibleLibraryYieldsNullWinnersAndEmptyPareto) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  auto request = full_sweep(app, library);
+  request.base.link_bandwidth_mbps = 1.0;  // nothing fits
+  request.link_bandwidths_mbps = {1.0};
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+
+  for (const auto& result : report.results) {
+    EXPECT_EQ(result.selection.best_index, -1);
+    EXPECT_EQ(result.selection.best(), nullptr);
+  }
+  ASSERT_EQ(report.winners.size(), 3u);
+  for (const auto& best : report.winners) {
+    EXPECT_FALSE(best.found());
+    EXPECT_EQ(report.winner(best.objective), nullptr);
+  }
+  EXPECT_TRUE(report.pareto.empty());
+}
+
+TEST(Explorer, ParetoFrontierCoversFeasibleCells) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.objectives = {mapping::Objective::kMinArea,
+                        mapping::Objective::kMinPower};
+  request.routings = {route::RoutingKind::kMinPath};
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+
+  ASSERT_FALSE(report.pareto.empty());
+  // Frontier is sorted by area and strictly decreasing in power, and no
+  // feasible cell dominates a frontier point.
+  for (std::size_t i = 1; i < report.pareto.size(); ++i) {
+    EXPECT_GT(report.pareto[i].area_mm2, report.pareto[i - 1].area_mm2);
+    EXPECT_LT(report.pareto[i].power_mw, report.pareto[i - 1].power_mw);
+  }
+  for (const auto& point : report.pareto) {
+    for (const auto& result : report.results) {
+      for (const auto& candidate : result.selection.candidates) {
+        if (!candidate.feasible()) continue;
+        const auto& eval = candidate.result.eval;
+        EXPECT_FALSE(eval.design_area_mm2 < point.area_mm2 - 1e-12 &&
+                     eval.design_power_mw < point.power_mw - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Explorer, ValidatesRequest) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  DesignSpaceExplorer explorer;
+
+  ExplorationRequest no_app;
+  no_app.library = &library;
+  EXPECT_THROW(explorer.explore(no_app), std::invalid_argument);
+
+  ExplorationRequest no_library;
+  no_library.app = &app;
+  EXPECT_THROW(explorer.explore(no_library), std::invalid_argument);
+
+  ExplorationRequest bad_threads;
+  bad_threads.app = &app;
+  bad_threads.library = &library;
+  bad_threads.num_threads = 0;
+  EXPECT_THROW(explorer.explore(bad_threads), std::invalid_argument);
+
+  // Invalid axis values surface through MapperConfig::validate.
+  ExplorationRequest bad_bandwidth;
+  bad_bandwidth.app = &app;
+  bad_bandwidth.library = &library;
+  bad_bandwidth.link_bandwidths_mbps = {500.0, -1.0};
+  EXPECT_THROW(explorer.explore(bad_bandwidth), std::invalid_argument);
+}
+
+TEST(Explorer, SelectorIsSinglePointWrapper) {
+  const auto app = apps::mwd();
+  const auto library = topo::standard_library(app.num_cores());
+  mapping::MapperConfig config;
+  config.routing = route::RoutingKind::kDimensionOrdered;
+
+  TopologySelector selector(config);
+  const auto via_selector = selector.select(app, library);
+
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.base = config;
+  DesignSpaceExplorer explorer;
+  const auto via_explorer = explorer.explore(request);
+  ASSERT_EQ(via_explorer.results.size(), 1u);
+  expect_identical(via_explorer.results.front().selection, via_selector,
+                   "single-point");
+}
+
+TEST(ExplorationIo, CsvHasOneRowPerCell) {
+  const auto app = apps::mwd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.objectives = {mapping::Objective::kMinDelay,
+                        mapping::Objective::kMinArea};
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+
+  const auto csv = io::exploration_report_csv(report);
+  std::size_t rows = 0;
+  for (char c : csv) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, 1 + report.results.size() * library.size());
+  EXPECT_NE(csv.find("point,routing,objective"), std::string::npos);
+  EXPECT_NE(csv.find("min-delay"), std::string::npos);
+  EXPECT_NE(csv.find("mesh"), std::string::npos);
+}
+
+TEST(ExplorationIo, JsonContainsPointsWinnersPareto) {
+  const auto app = apps::mwd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.objectives = {mapping::Objective::kMinDelay};
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+
+  const auto json = io::exploration_report_json(report);
+  EXPECT_NE(json.find("\"points\""), std::string::npos);
+  EXPECT_NE(json.find("\"winners\""), std::string::npos);
+  EXPECT_NE(json.find("\"pareto\""), std::string::npos);
+  EXPECT_NE(json.find("\"objective\": \"min-delay\""), std::string::npos);
+  // An unconstrained area cap must be emitted as null, not infinity.
+  EXPECT_NE(json.find("\"max_area_mm2\": null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sunmap::select

@@ -36,6 +36,31 @@ TEST(Mapper, RejectsInvalidConfig) {
   EXPECT_THROW(Mapper{config}, std::invalid_argument);
 }
 
+TEST(MapperConfig, ValidateRejectsEachBadField) {
+  // The centralised validation behind Mapper, the explorer, and the CLI.
+  EXPECT_NO_THROW(MapperConfig{}.validate());
+
+  const auto rejects = [](auto&& mutate) {
+    MapperConfig config;
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    EXPECT_THROW(Mapper{config}, std::invalid_argument);
+  };
+  rejects([](MapperConfig& c) { c.link_bandwidth_mbps = -10.0; });
+  rejects([](MapperConfig& c) { c.link_bandwidth_mbps = 0.0; });
+  rejects([](MapperConfig& c) { c.max_area_mm2 = -1.0; });
+  rejects([](MapperConfig& c) { c.max_design_aspect = 0.5; });
+  rejects([](MapperConfig& c) { c.swap_passes = -1; });
+  rejects([](MapperConfig& c) { c.reroute_passes = -2; });
+  rejects([](MapperConfig& c) { c.split_chunks = 0; });
+  rejects([](MapperConfig& c) { c.annealing_iterations = -1; });
+  rejects([](MapperConfig& c) { c.annealing_cooling = 0.0; });
+  rejects([](MapperConfig& c) { c.annealing_cooling = 1.5; });
+  rejects([](MapperConfig& c) { c.num_threads = 0; });
+  rejects([](MapperConfig& c) { c.weights.delay = -1.0; });
+  rejects([](MapperConfig& c) { c.weights.ref_power_mw = 0.0; });
+}
+
 TEST(Mapper, MappingIsInjective) {
   const auto app = pipeline4();
   const auto mesh = topo::make_mesh_for(4);

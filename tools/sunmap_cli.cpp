@@ -4,22 +4,35 @@
 // constraints, print the comparison table, and optionally generate the
 // SystemC-style network sources.
 //
+// With --sweep the tool runs a batched design-space exploration instead:
+// the --routing/--objective/--bandwidth/--max-area flags then accept
+// comma-separated lists, the cross product of which is swept through
+// select::DesignSpaceExplorer with one reusable evaluation context per
+// topology.
+//
 // Usage:
 //   sunmap_cli --app vopd
 //   sunmap_cli --file my_app.cg --routing SA --objective power \
 //              --bandwidth 500 --extensions --out generated/
+//   sunmap_cli --app vopd --sweep --objective delay,area,power \
+//              --routing DO,MP,SM,SA --csv sweep.csv --json sweep.json
 
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/apps.h"
 #include "core/sunmap.h"
 #include "fplan/render.h"
 #include "io/core_graph_io.h"
 #include "io/csv.h"
+#include "io/exploration_io.h"
+#include "select/explorer.h"
+#include "util/table.h"
 
 namespace {
 
@@ -33,7 +46,10 @@ void usage() {
                       pip | mwd
   --file <path>       core graph file (see src/io/core_graph_io.h grammar)
   --routing <fn>      DO | MP | SM | SA           (default MP)
-  --objective <obj>   delay | area | power        (default delay)
+  --objective <obj>   delay | area | power | weighted   (default delay)
+  --w-delay <x>       weight of the delay term    (objective weighted)
+  --w-area <x>        weight of the area term     (objective weighted)
+  --w-power <x>       weight of the power term    (objective weighted)
   --bandwidth <MBps>  link capacity               (default 500)
   --threads <n>       swap-search worker threads  (default 1; any n is
                       deterministic and matches the sequential result)
@@ -42,6 +58,16 @@ void usage() {
   --floorplan         print the winning floorplan as ASCII
   --csv <path>        write the comparison table as CSV
   --out <dir>         write generated SystemC sources here
+  --sweep             batched design-space exploration: --routing,
+                      --objective, --bandwidth, and --max-area accept
+                      comma-separated lists and the whole cross product is
+                      explored with one evaluation context per topology;
+                      prints the comparison matrix, per-objective winners,
+                      and the area/power Pareto frontier. In sweep mode
+                      --threads means explorer workers spread across
+                      topologies (each swap search stays sequential);
+                      any thread count returns the identical report
+  --json <path>       write the exploration report as JSON (sweep only)
   --help              this text
 )";
 }
@@ -57,6 +83,7 @@ std::optional<mapping::Objective> parse_objective(const std::string& text) {
   if (text == "delay") return mapping::Objective::kMinDelay;
   if (text == "area") return mapping::Objective::kMinArea;
   if (text == "power") return mapping::Objective::kMinPower;
+  if (text == "weighted") return mapping::Objective::kWeighted;
   return std::nullopt;
 }
 
@@ -70,13 +97,153 @@ std::optional<mapping::CoreGraph> builtin_app(const std::string& name) {
   return std::nullopt;
 }
 
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
+              const std::vector<std::string>& objectives,
+              const std::vector<std::string>& routings,
+              const std::vector<std::string>& bandwidths,
+              const std::vector<std::string>& max_areas, int threads,
+              const std::string& csv_path, const std::string& json_path) {
+  select::ExplorationRequest request;
+  request.app = &app;
+  request.base = config.mapper;
+  request.num_threads = threads;
+  for (const auto& text : objectives) {
+    const auto objective = parse_objective(text);
+    if (!objective) {
+      std::cerr << "unknown objective " << text << "\n";
+      return 2;
+    }
+    request.objectives.push_back(*objective);
+  }
+  for (const auto& text : routings) {
+    const auto kind = parse_routing(text);
+    if (!kind) {
+      std::cerr << "unknown routing function " << text << "\n";
+      return 2;
+    }
+    request.routings.push_back(*kind);
+  }
+  try {
+    for (const auto& text : bandwidths) {
+      request.link_bandwidths_mbps.push_back(std::stod(text));
+    }
+    for (const auto& text : max_areas) {
+      request.max_areas_mm2.push_back(std::stod(text));
+    }
+  } catch (const std::exception&) {
+    std::cerr << "bad numeric list value\n";
+    return 2;
+  }
+
+  const auto library = topo::standard_library(
+      app.num_cores(), config.include_extension_topologies);
+  request.library = &library;
+
+  std::optional<select::ExplorationReport> report;
+  try {
+    select::DesignSpaceExplorer explorer;
+    report = explorer.explore(request);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "Sweep: " << report->results.size() << " design points x "
+            << library.size() << " topologies\n\n";
+  util::Table matrix({"point", "routing", "objective", "BW (MB/s)",
+                      "feasible", "best topology", "cost", "area (mm2)",
+                      "power (mW)"});
+  for (std::size_t p = 0; p < report->results.size(); ++p) {
+    const auto& result = report->results[p];
+    const auto& cfg = result.point.config;
+    int feasible = 0;
+    for (const auto& candidate : result.selection.candidates) {
+      if (candidate.feasible()) ++feasible;
+    }
+    const auto* best = result.selection.best();
+    matrix.add_row(
+        {std::to_string(p), route::to_string(cfg.routing),
+         mapping::to_string(cfg.objective),
+         util::Table::num(cfg.link_bandwidth_mbps, 0),
+         std::to_string(feasible) + "/" +
+             std::to_string(result.selection.candidates.size()),
+         best != nullptr ? best->topology->name() : "-",
+         best != nullptr ? util::Table::num(best->result.eval.cost) : "-",
+         best != nullptr
+             ? util::Table::num(best->result.eval.design_area_mm2)
+             : "-",
+         best != nullptr
+             ? util::Table::num(best->result.eval.design_power_mw, 1)
+             : "-"});
+  }
+  std::cout << matrix.to_string() << "\n";
+
+  std::cout << "Per-objective winners:\n";
+  util::Table winners({"objective", "design point", "topology", "cost"});
+  for (const auto& best : report->winners) {
+    if (best.found()) {
+      const auto& result =
+          report->results[static_cast<std::size_t>(best.point_index)];
+      const auto& candidate =
+          result.selection
+              .candidates[static_cast<std::size_t>(best.topology_index)];
+      winners.add_row({mapping::to_string(best.objective),
+                       result.point.label(), candidate.topology->name(),
+                       util::Table::num(candidate.result.eval.cost)});
+    } else {
+      winners.add_row(
+          {mapping::to_string(best.objective), "-", "infeasible", "-"});
+    }
+  }
+  std::cout << winners.to_string() << "\n";
+
+  if (!report->pareto.empty()) {
+    std::cout << "Area/power Pareto frontier over all feasible mappings:\n";
+    util::Table pareto({"area (mm2)", "power (mW)"});
+    for (const auto& point : report->pareto) {
+      pareto.add_row({util::Table::num(point.area_mm2),
+                      util::Table::num(point.power_mw, 1)});
+    }
+    std::cout << pareto.to_string() << "\n";
+  }
+
+  if (!csv_path.empty()) {
+    io::write_file(csv_path, io::exploration_report_csv(*report));
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  if (!json_path.empty()) {
+    io::write_file(json_path, io::exploration_report_json(*report));
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  for (const auto& best : report->winners) {
+    if (best.found()) return 0;
+  }
+  std::cout << "No feasible mapping for any design point.\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::optional<mapping::CoreGraph> app;
   core::SunmapConfig config;
   bool show_floorplan = false;
+  bool sweep = false;
+  int threads = 1;
   std::string csv_path;
+  std::string json_path;
+  std::vector<std::string> objectives, routings, bandwidths, max_areas;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -101,31 +268,31 @@ int main(int argc, char** argv) {
       } else if (arg == "--file") {
         app = io::read_core_graph_file(need_value(i));
       } else if (arg == "--routing") {
-        const auto kind = parse_routing(need_value(i));
-        if (!kind) {
-          std::cerr << "unknown routing function\n";
-          return 2;
-        }
-        config.mapper.routing = *kind;
+        routings = split_list(need_value(i));
       } else if (arg == "--objective") {
-        const auto objective = parse_objective(need_value(i));
-        if (!objective) {
-          std::cerr << "unknown objective\n";
-          return 2;
-        }
-        config.mapper.objective = *objective;
+        objectives = split_list(need_value(i));
       } else if (arg == "--bandwidth") {
-        config.mapper.link_bandwidth_mbps = std::stod(need_value(i));
+        bandwidths = split_list(need_value(i));
+      } else if (arg == "--w-delay") {
+        config.mapper.weights.delay = std::stod(need_value(i));
+      } else if (arg == "--w-area") {
+        config.mapper.weights.area = std::stod(need_value(i));
+      } else if (arg == "--w-power") {
+        config.mapper.weights.power = std::stod(need_value(i));
       } else if (arg == "--threads") {
-        config.mapper.num_threads = std::stoi(need_value(i));
+        threads = std::stoi(need_value(i));
       } else if (arg == "--max-area") {
-        config.mapper.max_area_mm2 = std::stod(need_value(i));
+        max_areas = split_list(need_value(i));
+      } else if (arg == "--sweep") {
+        sweep = true;
       } else if (arg == "--extensions") {
         config.include_extension_topologies = true;
       } else if (arg == "--floorplan") {
         show_floorplan = true;
       } else if (arg == "--csv") {
         csv_path = need_value(i);
+      } else if (arg == "--json") {
+        json_path = need_value(i);
       } else if (arg == "--out") {
         config.output_directory = need_value(i);
         std::filesystem::create_directories(config.output_directory);
@@ -144,13 +311,77 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (sweep) {
+    // Sweep mode explores, it does not generate: flags tied to the single
+    // winning design are rejected rather than silently dropped.
+    if (show_floorplan || !config.output_directory.empty()) {
+      std::cerr << "--floorplan and --out require a single-point run "
+                   "(drop --sweep)\n";
+      return 2;
+    }
+  } else {
+    // Single-point mode: every axis flag must name exactly one value.
+    if (objectives.size() > 1 || routings.size() > 1 ||
+        bandwidths.size() > 1 || max_areas.size() > 1) {
+      std::cerr << "value lists require --sweep\n";
+      return 2;
+    }
+    if (!json_path.empty()) {
+      std::cerr << "--json requires --sweep\n";
+      return 2;
+    }
+    if (!objectives.empty()) {
+      const auto objective = parse_objective(objectives.front());
+      if (!objective) {
+        std::cerr << "unknown objective " << objectives.front() << "\n";
+        return 2;
+      }
+      config.mapper.objective = *objective;
+    }
+    if (!routings.empty()) {
+      const auto kind = parse_routing(routings.front());
+      if (!kind) {
+        std::cerr << "unknown routing function " << routings.front() << "\n";
+        return 2;
+      }
+      config.mapper.routing = *kind;
+    }
+    try {
+      if (!bandwidths.empty()) {
+        config.mapper.link_bandwidth_mbps = std::stod(bandwidths.front());
+      }
+      if (!max_areas.empty()) {
+        config.mapper.max_area_mm2 = std::stod(max_areas.front());
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad numeric value\n";
+      return 2;
+    }
+    config.mapper.num_threads = threads;
+  }
+
+  // Centralised configuration validation (MapperConfig::validate) replaces
+  // per-flag checks: a bad combination surfaces as one clean CLI error.
+  try {
+    config.mapper.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (sweep) {
+    return run_sweep(*app, config, objectives, routings, bandwidths,
+                     max_areas, threads, csv_path, json_path);
+  }
+
   std::cout << "SUNMAP: " << app->name() << " (" << app->num_cores()
             << " cores, " << app->total_bandwidth_mbps()
             << " MB/s) routing=" << route::to_string(config.mapper.routing)
             << " objective=" << mapping::to_string(config.mapper.objective)
             << " link=" << config.mapper.link_bandwidth_mbps << " MB/s\n\n";
 
-  // Invalid configurations (zero bandwidth, zero threads, ...) surface as
+  // Invalid configurations that slip past validate() (e.g. an application
+  // with more cores than any topology has slots) surface as
   // std::invalid_argument from the tool chain; report them as a clean CLI
   // error instead of an abort.
   std::optional<core::SunmapResult> run_result;
