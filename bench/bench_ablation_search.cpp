@@ -32,8 +32,8 @@ void print_search_comparison() {
 
   for (const auto& workload : workloads) {
     const auto mesh = topo::make_mesh_for(workload.app.num_cores());
-    for (auto strategy : {mapping::SearchStrategy::kGreedySwaps,
-                          mapping::SearchStrategy::kAnnealing}) {
+    for (auto strategy : {mapping::SearchKind::kGreedySwaps,
+                          mapping::SearchKind::kAnnealing}) {
       auto config = bench::video_config();
       config.routing = workload.routing;
       config.search = strategy;
@@ -90,7 +90,7 @@ void BM_AnnealingVopd(benchmark::State& state) {
   const auto app = apps::vopd();
   const auto mesh = topo::make_mesh_for(app.num_cores());
   auto config = bench::video_config();
-  config.search = mapping::SearchStrategy::kAnnealing;
+  config.search = mapping::SearchKind::kAnnealing;
   config.annealing_iterations = static_cast<int>(state.range(0));
   mapping::Mapper mapper(config);
   for (auto _ : state) {

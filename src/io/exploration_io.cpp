@@ -70,7 +70,8 @@ std::string json_string(const std::string& text) {
 
 std::string exploration_report_csv(const select::ExplorationReport& report) {
   std::ostringstream out;
-  out << "point,routing,objective,link_bandwidth_mbps,max_area_mm2,topology,"
+  out << "point,routing,objective,search,restarts,link_bandwidth_mbps,"
+         "max_area_mm2,topology,"
          "feasible,best,avg_hops,avg_latency_ns,design_area_mm2,"
          "design_power_mw,dynamic_power_mw,static_power_mw,"
          "min_bandwidth_mbps,cost\n";
@@ -82,7 +83,11 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
       const auto& eval = candidate.result.eval;
       out << p << "," << route::to_string(config.routing) << ","
           << mapping::to_string(config.objective) << ","
-          << number(config.link_bandwidth_mbps) << ",";
+          << mapping::to_string(config.search) << ","
+          << (config.search == mapping::SearchKind::kRestartAnnealing
+                  ? std::to_string(config.annealing_restarts)
+                  : std::string())
+          << "," << number(config.link_bandwidth_mbps) << ",";
       if (std::isfinite(config.max_area_mm2)) {
         out << number(config.max_area_mm2);
       }
@@ -112,6 +117,11 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
         << ", \"routing\": " << json_string(route::to_string(config.routing))
         << ", \"objective\": "
         << json_string(mapping::to_string(config.objective))
+        << ", \"search\": " << json_string(mapping::to_string(config.search))
+        << ", \"restarts\": "
+        << (config.search == mapping::SearchKind::kRestartAnnealing
+                ? std::to_string(config.annealing_restarts)
+                : std::string("null"))
         << ", \"link_bandwidth_mbps\": "
         << json_number(config.link_bandwidth_mbps)
         << ", \"max_area_mm2\": " << json_number(config.max_area_mm2)

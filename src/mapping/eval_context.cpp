@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <mutex>
+#include <queue>
 #include <shared_mutex>
 #include <stdexcept>
 
@@ -66,14 +69,13 @@ EvalContext::EvalContext(const CoreGraph& app, const topo::Topology& topology,
   // permute same-shaped cores yield the same floorplan, so the floorplan
   // cache keys on the per-slot shape class rather than the core identity.
   core_shape_class_.reserve(static_cast<std::size_t>(app.num_cores()));
-  std::vector<const fplan::BlockShape*> class_shapes;
   for (int core = 0; core < app.num_cores(); ++core) {
     const auto& shape = app.core(core).shape;
     std::uint16_t cls = 0;
-    for (; cls < class_shapes.size(); ++cls) {
-      if (*class_shapes[cls] == shape) break;
+    for (; cls < class_shapes_.size(); ++cls) {
+      if (class_shapes_[cls] == shape) break;
     }
-    if (cls == class_shapes.size()) class_shapes.push_back(&shape);
+    if (cls == class_shapes_.size()) class_shapes_.push_back(shape);
     core_shape_class_.push_back(cls);
   }
 
@@ -156,6 +158,20 @@ void EvalContext::bind(const MapperConfig& config,
     }
     static_routes_ = &*static_routes_sm_;
   }
+
+  // The bound envelope is pure geometry over the placement, shape classes,
+  // and resolved switch shapes: it only moves when the technology point or
+  // the floorplan options do. The per-slot-pair power-bound table also
+  // folds in per-link wire bounds, so it shares the same validity; it is
+  // only (re)built when the bound objective can actually use it.
+  if (tech_changed || floorplan_changed) {
+    build_bound_envelope();
+    power_bound_valid_ = false;
+  }
+  const bool needs_power_bound =
+      supports_pruning() && (config_.objective == Objective::kMinPower ||
+                             config_.objective == Objective::kWeighted);
+  if (needs_power_bound && !power_bound_valid_) build_power_bound_table();
 }
 
 void EvalContext::build_static_routes(
@@ -318,46 +334,10 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   // which slots. place() is deterministic, so a hit reproduces the computed
   // floorplan bit-for-bit; and because the key ignores routing, objective,
   // and constraints, the cache carries floorplans across every design point
-  // of a sweep that shares floorplan options and technology.
-  scratch.floor_key.assign(static_cast<std::size_t>(num_slots), 0);
-  for (int slot = 0; slot < num_slots; ++slot) {
-    const int core = scratch.slot_to_core[static_cast<std::size_t>(slot)];
-    if (core >= 0) {
-      scratch.floor_key[static_cast<std::size_t>(slot)] =
-          static_cast<std::uint16_t>(
-              core_shape_class_[static_cast<std::size_t>(core)] + 1);
-    }
-  }
-  fplan::Floorplan floorplan;
-  bool floorplan_cached = false;
-  {
-    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
-    const auto it = floorplan_cache_.find(scratch.floor_key);
-    if (it != floorplan_cache_.end()) {
-      g_floorplan_hits.fetch_add(1, std::memory_order_relaxed);
-      floorplan = it->second;
-      floorplan_cached = true;
-    } else {
-      g_floorplan_misses.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-  if (!floorplan_cached) {
-    scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
-                               std::nullopt);
-    for (int slot = 0; slot < num_slots; ++slot) {
-      const int core = scratch.slot_to_core[static_cast<std::size_t>(slot)];
-      if (core >= 0) {
-        scratch.core_shapes[static_cast<std::size_t>(slot)] =
-            app_.core(core).shape;
-      }
-    }
-    floorplan = planner_.place(placement_, scratch.core_shapes,
-                               switch_shapes_);
-    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-    if (floorplan_cache_.size() < kFloorplanCacheCap) {
-      floorplan_cache_.emplace(scratch.floor_key, floorplan);
-    }
-  }
+  // of a sweep that shares floorplan options and technology. The same
+  // helper is the min-area bound's exact phase, so pruned candidates warm
+  // the cache for the evaluations that follow.
+  fplan::Floorplan floorplan = floorplan_for_mapping(core_to_slot, scratch);
   eval.design_area_mm2 = floorplan.area_mm2();
   const double floorplan_aspect = floorplan.aspect();
 
@@ -463,11 +443,49 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   return eval;
 }
 
+fplan::Floorplan EvalContext::floorplan_for_mapping(
+    const std::vector<int>& core_to_slot, EvalScratch& scratch) const {
+  const int num_slots = topology_.num_slots();
+  scratch.floor_key.assign(static_cast<std::size_t>(num_slots), 0);
+  for (int core = 0; core < app_.num_cores(); ++core) {
+    scratch.floor_key[static_cast<std::size_t>(
+        core_to_slot[static_cast<std::size_t>(core)])] =
+        static_cast<std::uint16_t>(
+            core_shape_class_[static_cast<std::size_t>(core)] + 1);
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto it = floorplan_cache_.find(scratch.floor_key);
+    if (it != floorplan_cache_.end()) {
+      g_floorplan_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    g_floorplan_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
+                             std::nullopt);
+  for (int core = 0; core < app_.num_cores(); ++core) {
+    scratch.core_shapes[static_cast<std::size_t>(
+        core_to_slot[static_cast<std::size_t>(core)])] =
+        app_.core(core).shape;
+  }
+  fplan::Floorplan floorplan =
+      planner_.place(placement_, scratch.core_shapes, switch_shapes_);
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    if (floorplan_cache_.size() < kFloorplanCacheCap) {
+      floorplan_cache_.emplace(scratch.floor_key, floorplan);
+    }
+  }
+  return floorplan;
+}
+
 bool EvalContext::supports_pruning() const {
-  // Only the pure delay objective is dominated by the hop bound; collecting
-  // explored mappings requires the full area/power of every candidate.
-  return config_.objective == Objective::kMinDelay &&
-         !config_.collect_explored;
+  // Collecting explored mappings requires the full area/power of every
+  // candidate, so it disables pruning regardless of the objective; the
+  // bound_pruning switch is how the admissibility tests obtain the
+  // prune-free reference search.
+  return config_.bound_pruning && !config_.collect_explored;
 }
 
 double EvalContext::hop_cost_lower_bound(
@@ -485,25 +503,561 @@ double EvalContext::hop_cost_lower_bound(
   return total_value_ > 0.0 ? weighted / total_value_ : 0.0;
 }
 
+void EvalContext::build_bound_envelope() {
+  BoundEnvelope env;
+  env.grid = placement_.mode == topo::RelativePlacement::Mode::kGrid;
+  env.spacing = config_.floorplan.spacing_mm;
+  env.ncols = std::max(placement_.num_cols, 1);
+  env.nrows = std::max(placement_.num_rows, 1);
+  const int num_slots = topology_.num_slots();
+  const int num_switches = topology_.num_switches();
+
+  // Minimal dimensions a block can resolve to: hard blocks are fixed, soft
+  // blocks are clamped to [min_aspect, max_aspect] by the sizing pass, so
+  // w >= sqrt(area * min_aspect) and h >= sqrt(area / max_aspect) whatever
+  // aspect the floorplanner actually picks.
+  const auto min_dims = [](const fplan::BlockShape& shape) {
+    if (!shape.soft) return std::pair<double, double>{shape.width_mm,
+                                                      shape.height_mm};
+    return std::pair<double, double>{
+        std::sqrt(shape.area_mm2 * shape.min_aspect),
+        std::sqrt(shape.area_mm2 / shape.max_aspect)};
+  };
+
+  env.class_min_w.reserve(class_shapes_.size());
+  env.class_min_h.reserve(class_shapes_.size());
+  for (const auto& shape : class_shapes_) {
+    const auto [w, h] = min_dims(shape);
+    env.class_min_w.push_back(w);
+    env.class_min_h.push_back(h);
+  }
+  env.min_any_class_w =
+      env.class_min_w.empty()
+          ? 0.0
+          : *std::min_element(env.class_min_w.begin(), env.class_min_w.end());
+  env.min_any_class_h =
+      env.class_min_h.empty()
+          ? 0.0
+          : *std::min_element(env.class_min_h.begin(), env.class_min_h.end());
+
+  env.slot_col.assign(static_cast<std::size_t>(num_slots), -1);
+  env.slot_row.assign(static_cast<std::size_t>(num_slots), -1);
+  env.slot_sub.assign(static_cast<std::size_t>(num_slots), 0);
+  env.col_slot_count.assign(static_cast<std::size_t>(env.ncols), 0);
+  env.row_slot_count.assign(static_cast<std::size_t>(env.nrows), 0);
+  env.switch_min_w.assign(static_cast<std::size_t>(num_switches), 0.0);
+  env.switch_min_h.assign(static_cast<std::size_t>(num_switches), 0.0);
+  env.switch_col.assign(static_cast<std::size_t>(num_switches), -1);
+  env.switch_row.assign(static_cast<std::size_t>(num_switches), -1);
+  env.switch_sub.assign(static_cast<std::size_t>(num_switches), 0);
+  env.col_base_w.assign(static_cast<std::size_t>(env.ncols), 0.0);
+  env.col_has_items.assign(static_cast<std::size_t>(env.ncols), 0);
+  env.row_has_items.assign(static_cast<std::size_t>(env.nrows), 0);
+  env.row_base_h.assign(static_cast<std::size_t>(env.nrows), 0.0);
+  if (env.grid) {
+    env.cell_base_h.assign(
+        static_cast<std::size_t>(env.nrows) *
+            static_cast<std::size_t>(env.ncols),
+        0.0);
+    env.cell_base_n.assign(env.cell_base_h.size(), 0);
+  } else {
+    env.col_base_h.assign(static_cast<std::size_t>(env.ncols), 0.0);
+    env.col_base_n.assign(static_cast<std::size_t>(env.ncols), 0);
+  }
+
+  bool ok = true;
+  for (const auto& item : placement_.items) {
+    if (item.col < 0 || item.col >= env.ncols || item.row < 0 ||
+        item.row >= env.nrows) {
+      ok = false;
+      break;
+    }
+    const auto col = static_cast<std::size_t>(item.col);
+    if (item.kind == topo::RelativePlacement::Item::Kind::kCore) {
+      if (item.index < 0 || item.index >= num_slots) {
+        ok = false;
+        break;
+      }
+      // Core items contribute per candidate (they depend on the mapping);
+      // only their coordinates are recorded here.
+      env.slot_col[static_cast<std::size_t>(item.index)] = item.col;
+      env.slot_row[static_cast<std::size_t>(item.index)] = item.row;
+      env.slot_sub[static_cast<std::size_t>(item.index)] = item.sub;
+      ++env.col_slot_count[col];
+      ++env.row_slot_count[static_cast<std::size_t>(item.row)];
+    } else {
+      if (item.index < 0 || item.index >= num_switches) {
+        ok = false;
+        break;
+      }
+      const auto sw = static_cast<std::size_t>(item.index);
+      const auto [w, h] = min_dims(switch_shapes_[sw]);
+      env.switch_min_w[sw] = w;
+      env.switch_min_h[sw] = h;
+      env.switch_col[sw] = item.col;
+      env.switch_row[sw] = item.row;
+      env.switch_sub[sw] = item.sub;
+      env.col_base_w[col] = std::max(env.col_base_w[col], w);
+      env.col_has_items[col] = 1;
+      env.row_has_items[static_cast<std::size_t>(item.row)] = 1;
+      if (env.grid) {
+        const std::size_t cell =
+            static_cast<std::size_t>(item.row) *
+                static_cast<std::size_t>(env.ncols) +
+            col;
+        env.cell_base_h[cell] += h;
+        ++env.cell_base_n[cell];
+      } else {
+        env.col_base_h[col] += h;
+        ++env.col_base_n[col];
+      }
+    }
+  }
+  // Every slot and switch must be placed for the bounds to speak about any
+  // candidate mapping; a placement that omits one disables the envelope
+  // (bounds of 0 never prune).
+  for (int s = 0; ok && s < num_slots; ++s) {
+    if (env.slot_col[static_cast<std::size_t>(s)] < 0) ok = false;
+  }
+  for (int sw = 0; ok && sw < num_switches; ++sw) {
+    if (env.switch_col[static_cast<std::size_t>(sw)] < 0) ok = false;
+  }
+
+  if (ok && env.grid) {
+    // Switch-only band floor per row: the row is at least as tall as its
+    // tallest core-less cell stack. Also index which core slot shares each
+    // cell (the per-link wire bounds use it).
+    for (int r = 0; r < env.nrows; ++r) {
+      for (int c = 0; c < env.ncols; ++c) {
+        const std::size_t cell = static_cast<std::size_t>(r) *
+                                     static_cast<std::size_t>(env.ncols) +
+                                 static_cast<std::size_t>(c);
+        const int n = env.cell_base_n[cell];
+        if (n > 0) {
+          const double h = env.cell_base_h[cell] + env.spacing * (n - 1);
+          auto& row = env.row_base_h[static_cast<std::size_t>(r)];
+          row = std::max(row, h);
+        }
+      }
+    }
+    env.cell_slot.assign(static_cast<std::size_t>(env.nrows) *
+                             static_cast<std::size_t>(env.ncols),
+                         -1);
+    for (int s = 0; s < num_slots; ++s) {
+      const auto slot = static_cast<std::size_t>(s);
+      env.cell_slot[static_cast<std::size_t>(env.slot_row[slot]) *
+                        static_cast<std::size_t>(env.ncols) +
+                    static_cast<std::size_t>(env.slot_col[slot])] = s;
+    }
+  }
+
+  if (ok) {
+    // Minimum core-attachment wire per slot: in the band layout two blocks
+    // in different columns are centred in bands at least `spacing` apart,
+    // so their centres are >= spacing + (w_a + w_b) / 2 apart along x;
+    // blocks sharing a column are stacked, giving the same bound along y
+    // with heights. Half the switch extent is precomputed here; the core's
+    // half extent joins per candidate, since it depends on the mapping.
+    env.attach_in_base.assign(static_cast<std::size_t>(num_slots), 0.0);
+    env.attach_out_base.assign(static_cast<std::size_t>(num_slots), 0.0);
+    env.attach_in_vertical.assign(static_cast<std::size_t>(num_slots), 0);
+    env.attach_out_vertical.assign(static_cast<std::size_t>(num_slots), 0);
+    for (int s = 0; s < num_slots; ++s) {
+      const auto slot = static_cast<std::size_t>(s);
+      const auto in_sw =
+          static_cast<std::size_t>(topology_.ingress_switch(s));
+      const auto out_sw =
+          static_cast<std::size_t>(topology_.egress_switch(s));
+      const bool in_vertical =
+          env.slot_col[slot] == env.switch_col[in_sw];
+      const bool out_vertical =
+          env.slot_col[slot] == env.switch_col[out_sw];
+      env.attach_in_vertical[slot] = in_vertical ? 1 : 0;
+      env.attach_out_vertical[slot] = out_vertical ? 1 : 0;
+      env.attach_in_base[slot] =
+          env.spacing +
+          (in_vertical ? env.switch_min_h[in_sw] : env.switch_min_w[in_sw]) /
+              2.0;
+      env.attach_out_base[slot] =
+          env.spacing +
+          (out_vertical ? env.switch_min_h[out_sw]
+                        : env.switch_min_w[out_sw]) /
+              2.0;
+    }
+  }
+
+  env.valid = ok;
+  envelope_ = std::move(env);
+}
+
+void EvalContext::build_power_bound_table() {
+  // Cheapest possible energy per bit between every (ingress, egress) switch
+  // pair: Dijkstra over per-switch energies from the resolved table plus a
+  // per-link minimum wire energy from the placement envelope. Any actual
+  // route of any routing function traverses some switch path, whose energy
+  // is the sum of its node energies plus the wire energy of its (at least
+  // minimally long) links — never below this table's entry.
+  const auto& g = topology_.switch_graph();
+  const int num_slots = topology_.num_slots();
+  const double link_e = config_.tech.link_energy_pj_per_bit_mm;
+
+  // Per-link minimum wire lengths. Blocks sit centred in their column band
+  // and stacked inside their row band, so the centre distance between two
+  // switches is at least the spacing-separated sum of everything provably
+  // between them: other columns'/rows' width/height floors, and — the
+  // pigeonhole floors — the minimal core extent wherever the application
+  // has more cores than fit outside a region, which guarantees that region
+  // hosts a core whatever the mapping.
+  const BoundEnvelope& env = envelope_;
+  const int num_cores = app_.num_cores();
+  const auto guaranteed_core = [&](int slots_in_region) {
+    return slots_in_region > 0 &&
+           num_cores > topology_.num_slots() - slots_in_region;
+  };
+  std::vector<double> col_w_floor, row_h_floor;
+  std::vector<char> col_used, row_used;
+  if (env.valid) {
+    col_w_floor.assign(static_cast<std::size_t>(env.ncols), 0.0);
+    col_used.assign(static_cast<std::size_t>(env.ncols), 0);
+    for (int c = 0; c < env.ncols; ++c) {
+      const auto col = static_cast<std::size_t>(c);
+      const bool core = guaranteed_core(env.col_slot_count[col]);
+      col_used[col] = env.col_has_items[col] || core;
+      col_w_floor[col] = env.col_base_w[col];
+      if (core) {
+        col_w_floor[col] = std::max(col_w_floor[col], env.min_any_class_w);
+      }
+    }
+    row_h_floor.assign(static_cast<std::size_t>(env.nrows), 0.0);
+    row_used.assign(static_cast<std::size_t>(env.nrows), 0);
+    for (int r = 0; r < env.nrows; ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      const bool core = guaranteed_core(env.row_slot_count[row]);
+      row_used[row] = env.row_has_items[row] || core;
+      row_h_floor[row] = env.row_base_h[row];
+      if (core) {
+        row_h_floor[row] = std::max(row_h_floor[row], env.min_any_class_h);
+      }
+    }
+  }
+
+  // The band engine (the default) centres every block inside its full
+  // column band and packs row bands back to back, which is what the
+  // column/row floor terms below lean on. The simplex-LP engine only
+  // guarantees the pairwise ordering constraints themselves (a narrow
+  // switch may sit at the edge of a column another block widened), so
+  // under it the bounds fall back to what the LP constraints provably
+  // give: half of each endpoint's own extent, one spacing, and the
+  // intra-cell stack of the upper cell — still admissible, just looser.
+  const bool band_geometry =
+      config_.floorplan.engine == fplan::Floorplanner::Engine::kLongestPath;
+
+  std::vector<double> edge_wire(static_cast<std::size_t>(g.num_edges()), 0.0);
+  if (env.valid) {
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      const auto u = static_cast<std::size_t>(edge.src);
+      const auto v = static_cast<std::size_t>(edge.dst);
+      double wire = 0.0;
+      if (env.switch_col[u] != env.switch_col[v]) {
+        // Different column bands: the x distance spans half of each end
+        // column (each at least as wide as its own switch and, under the
+        // band engine, its column floor) plus — band engine only — every
+        // provably occupied column between, with a spacing gap per band
+        // crossing.
+        wire = env.switch_min_w[u] / 2.0 + env.switch_min_w[v] / 2.0 +
+               env.spacing;
+        if (band_geometry) {
+          const int lo = std::min(env.switch_col[u], env.switch_col[v]);
+          const int hi = std::max(env.switch_col[u], env.switch_col[v]);
+          wire = std::max(col_w_floor[static_cast<std::size_t>(
+                              env.switch_col[u])],
+                          env.switch_min_w[u]) /
+                     2.0 +
+                 std::max(col_w_floor[static_cast<std::size_t>(
+                              env.switch_col[v])],
+                          env.switch_min_w[v]) /
+                     2.0;
+          int gaps = 1;
+          for (int c = lo + 1; c < hi; ++c) {
+            if (!col_used[static_cast<std::size_t>(c)]) continue;
+            wire += col_w_floor[static_cast<std::size_t>(c)];
+            ++gaps;
+          }
+          wire += env.spacing * gaps;
+        }
+      } else if (env.grid && env.switch_row[u] != env.switch_row[v]) {
+        // Same column, different row bands: half of each switch's height,
+        // a spacing per crossing (band engine: plus every provably used
+        // row band between) — and, when the upper switch's cell is
+        // guaranteed to host a core stacked below it, that core's minimal
+        // height too (an intra-cell constraint both engines enforce).
+        const bool v_upper = env.switch_row[v] > env.switch_row[u];
+        const auto upper = v_upper ? v : u;
+        wire = (env.switch_min_h[u] + env.switch_min_h[v]) / 2.0;
+        int gaps = 1;
+        if (band_geometry) {
+          const int lo = std::min(env.switch_row[u], env.switch_row[v]);
+          const int hi = std::max(env.switch_row[u], env.switch_row[v]);
+          for (int r = lo + 1; r < hi; ++r) {
+            if (!row_used[static_cast<std::size_t>(r)]) continue;
+            wire += row_h_floor[static_cast<std::size_t>(r)];
+            ++gaps;
+          }
+        }
+        const int cell_slot =
+            env.cell_slot[static_cast<std::size_t>(env.switch_row[upper]) *
+                              static_cast<std::size_t>(env.ncols) +
+                          static_cast<std::size_t>(env.switch_col[upper])];
+        if (cell_slot >= 0 && guaranteed_core(1) &&
+            env.slot_sub[static_cast<std::size_t>(cell_slot)] <
+                env.switch_sub[upper]) {
+          wire += env.min_any_class_h + env.spacing;
+        }
+        wire += env.spacing * gaps;
+      } else {
+        // Same band (stacked in one cell or one column): at least a
+        // spacing plus half of each height apart.
+        wire = env.spacing + (env.switch_min_h[u] + env.switch_min_h[v]) / 2.0;
+      }
+      edge_wire[static_cast<std::size_t>(e)] = wire;
+    }
+  }
+  const auto edge_cost = [&](graph::EdgeId e) {
+    return switch_table_.energy_pj_per_bit(g.edge(e).dst) +
+           link_e * edge_wire[static_cast<std::size_t>(e)];
+  };
+
+  // One single-source Dijkstra per distinct ingress switch reaches every
+  // egress at once — O(S) passes instead of a point-to-point search per
+  // slot pair.
+  pair_energy_lb_.assign(static_cast<std::size_t>(num_slots) *
+                             static_cast<std::size_t>(num_slots),
+                         0.0);
+  constexpr double kUnreached = std::numeric_limits<double>::infinity();
+  std::map<graph::NodeId, std::vector<double>> by_ingress;
+  std::vector<char> settled;
+  for (int src = 0; src < num_slots; ++src) {
+    const graph::NodeId u = topology_.ingress_switch(src);
+    auto [it, inserted] =
+        by_ingress.try_emplace(u, std::vector<double>());
+    if (inserted) {
+      auto& dist = it->second;
+      dist.assign(static_cast<std::size_t>(g.num_nodes()), kUnreached);
+      settled.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+      using Entry = std::pair<double, graph::NodeId>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+      dist[static_cast<std::size_t>(u)] = 0.0;
+      queue.emplace(0.0, u);
+      while (!queue.empty()) {
+        const auto [d, node] = queue.top();
+        queue.pop();
+        if (settled[static_cast<std::size_t>(node)]) continue;
+        settled[static_cast<std::size_t>(node)] = 1;
+        for (const graph::EdgeId e : g.out_edges(node)) {
+          const graph::NodeId next = g.edge(e).dst;
+          const double candidate = d + edge_cost(e);
+          if (candidate < dist[static_cast<std::size_t>(next)]) {
+            dist[static_cast<std::size_t>(next)] = candidate;
+            queue.emplace(candidate, next);
+          }
+        }
+      }
+    }
+    const auto& dist = it->second;
+    for (int dst = 0; dst < num_slots; ++dst) {
+      const auto v =
+          static_cast<std::size_t>(topology_.egress_switch(dst));
+      // An unreachable pair cannot be routed at all; leave its bound at
+      // zero so it can never prune a candidate evaluate() would reject
+      // its own way.
+      pair_energy_lb_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(num_slots) +
+                      static_cast<std::size_t>(dst)] =
+          dist[v] == kUnreached
+              ? 0.0
+              : switch_table_.energy_pj_per_bit(static_cast<int>(u)) +
+                    dist[v];
+    }
+  }
+  power_bound_valid_ = true;
+}
+
+double EvalContext::area_lower_bound(const std::vector<int>& core_to_slot,
+                                     EvalScratch& scratch) const {
+  const BoundEnvelope& env = envelope_;
+  if (!env.valid) return 0.0;
+
+  // Start from the mapping-invariant switch floors, then fold in each
+  // mapped core's minimal dimensions at its slot's grid position — exactly
+  // the band layout the floorplanner computes, with every resolved
+  // dimension replaced by its minimum.
+  scratch.bound_col_w = env.col_base_w;
+  scratch.bound_col_used.assign(env.col_has_items.begin(),
+                                env.col_has_items.end());
+  if (env.grid) {
+    scratch.bound_row_h = env.row_base_h;
+    scratch.bound_row_used.assign(env.row_has_items.begin(),
+                                  env.row_has_items.end());
+  } else {
+    scratch.bound_row_h = env.col_base_h;
+    scratch.bound_row_used.assign(env.col_base_n.size(), 0);
+  }
+
+  for (int core = 0; core < app_.num_cores(); ++core) {
+    const auto slot = static_cast<std::size_t>(
+        core_to_slot[static_cast<std::size_t>(core)]);
+    const auto cls =
+        static_cast<std::size_t>(core_shape_class_[static_cast<std::size_t>(
+            core)]);
+    const auto col = static_cast<std::size_t>(env.slot_col[slot]);
+    auto& col_w = scratch.bound_col_w[col];
+    col_w = std::max(col_w, env.class_min_w[cls]);
+    scratch.bound_col_used[col] = 1;
+    if (env.grid) {
+      const auto row = static_cast<std::size_t>(env.slot_row[slot]);
+      const std::size_t cell =
+          row * static_cast<std::size_t>(env.ncols) + col;
+      const double stack = env.cell_base_h[cell] + env.class_min_h[cls] +
+                           env.spacing * env.cell_base_n[cell];
+      auto& row_h = scratch.bound_row_h[row];
+      row_h = std::max(row_h, stack);
+      scratch.bound_row_used[row] = 1;
+    } else {
+      scratch.bound_row_h[col] += env.class_min_h[cls];
+      ++scratch.bound_row_used[col];
+    }
+  }
+
+  double width = 0.0;
+  int used_cols = 0;
+  for (std::size_t c = 0; c < scratch.bound_col_w.size(); ++c) {
+    if (!scratch.bound_col_used[c]) continue;
+    width += scratch.bound_col_w[c];
+    ++used_cols;
+  }
+  if (used_cols > 1) width += env.spacing * (used_cols - 1);
+
+  double height = 0.0;
+  if (env.grid) {
+    int used_rows = 0;
+    for (std::size_t r = 0; r < scratch.bound_row_h.size(); ++r) {
+      if (!scratch.bound_row_used[r]) continue;
+      height += scratch.bound_row_h[r];
+      ++used_rows;
+    }
+    if (used_rows > 1) height += env.spacing * (used_rows - 1);
+  } else {
+    // Columns mode: chip height is the tallest column stack.
+    for (std::size_t c = 0; c < scratch.bound_row_h.size(); ++c) {
+      const int items = env.col_base_n[c] + scratch.bound_row_used[c];
+      if (items <= 0) continue;
+      height = std::max(height,
+                        scratch.bound_row_h[c] + env.spacing * (items - 1));
+    }
+  }
+  return width * height;
+}
+
+double EvalContext::power_lower_bound(
+    const std::vector<int>& core_to_slot) const {
+  if (!power_bound_valid_) return 0.0;
+  const auto num_slots = static_cast<std::size_t>(topology_.num_slots());
+  const double link_e = config_.tech.link_energy_pj_per_bit_mm;
+  double power_mw = 0.0;
+  for (const auto& commodity : commodities_) {
+    const auto src_slot = static_cast<std::size_t>(
+        core_to_slot[static_cast<std::size_t>(commodity.src_core)]);
+    const auto dst_slot = static_cast<std::size_t>(
+        core_to_slot[static_cast<std::size_t>(commodity.dst_core)]);
+    double energy_pj = pair_energy_lb_[src_slot * num_slots + dst_slot];
+    if (envelope_.valid) {
+      const auto src_cls = static_cast<std::size_t>(
+          core_shape_class_[static_cast<std::size_t>(commodity.src_core)]);
+      const auto dst_cls = static_cast<std::size_t>(
+          core_shape_class_[static_cast<std::size_t>(commodity.dst_core)]);
+      const double in_core = envelope_.attach_in_vertical[src_slot]
+                                 ? envelope_.class_min_h[src_cls]
+                                 : envelope_.class_min_w[src_cls];
+      const double out_core = envelope_.attach_out_vertical[dst_slot]
+                                  ? envelope_.class_min_h[dst_cls]
+                                  : envelope_.class_min_w[dst_cls];
+      energy_pj += link_e * (envelope_.attach_in_base[src_slot] +
+                             in_core / 2.0 +
+                             envelope_.attach_out_base[dst_slot] +
+                             out_core / 2.0);
+    }
+    power_mw += commodity.value_mbps * 8e-3 * energy_pj;
+  }
+  return switch_table_.total_static_power_mw() + power_mw;
+}
+
 bool EvalContext::prunable(const std::vector<int>& core_to_slot,
-                           const Evaluation& incumbent) const {
+                           const Evaluation& incumbent,
+                           EvalScratch& scratch) const {
   // Sound only against a feasible incumbent: better_than() ranks any
   // feasible candidate above an infeasible incumbent regardless of cost, and
-  // the hop bound says nothing about feasibility.
+  // the cost bounds say nothing about bandwidth feasibility.
   if (!supports_pruning() || !incumbent.feasible()) return false;
-  const double bound = hop_cost_lower_bound(core_to_slot);
-  // For the single-minimal-path routing functions (DO, MP) an evaluated
-  // candidate whose routes are all minimal reproduces the bound's arithmetic
-  // exactly, so `bound >= cost` can never prune a candidate that would have
-  // ranked strictly better — ties included. The split functions accumulate
-  // path fractions whose sum can differ from 1 by an ulp, so they keep a
-  // safety margin and only prune strictly dominated candidates.
-  const bool exact_bound =
-      config_.routing == route::RoutingKind::kDimensionOrdered ||
-      config_.routing == route::RoutingKind::kMinPath;
-  const double margin =
-      exact_bound ? 0.0 : 1e-9 * std::max(1.0, std::abs(incumbent.cost));
-  return bound >= incumbent.cost + margin;
+  // Strict-dominance margin for bounds whose arithmetic is not an exact
+  // reproduction of evaluate()'s: they only prune candidates beating the
+  // incumbent by more than a relative 1e-9, which dwarfs any floating-point
+  // divergence between the bound and the exact value.
+  const double strict = 1e-9 * std::max(1.0, std::abs(incumbent.cost));
+
+  const bool wants_area_bound =
+      config_.objective == Objective::kMinArea ||
+      config_.objective == Objective::kWeighted ||
+      std::isfinite(config_.max_area_mm2);
+  double area_lb = 0.0;
+  if (envelope_.valid && wants_area_bound) {
+    area_lb = area_lower_bound(core_to_slot, scratch);
+    if (area_lb > (config_.max_area_mm2 + 1e-9) * (1.0 + 1e-9)) {
+      // Provably violates the area cap: an infeasible candidate can never
+      // rank above a feasible incumbent, whatever the objective.
+      return true;
+    }
+  }
+
+  switch (config_.objective) {
+    case Objective::kMinDelay: {
+      const double bound = hop_cost_lower_bound(core_to_slot);
+      // For the single-minimal-path routing functions (DO, MP) an evaluated
+      // candidate whose routes are all minimal reproduces the bound's
+      // arithmetic exactly, so `bound >= cost` can never prune a candidate
+      // that would have ranked strictly better — ties included. The split
+      // functions accumulate path fractions whose sum can differ from 1 by
+      // an ulp, so they keep the safety margin and only prune strictly
+      // dominated candidates.
+      const bool exact_bound =
+          config_.routing == route::RoutingKind::kDimensionOrdered ||
+          config_.routing == route::RoutingKind::kMinPath;
+      return bound >= incumbent.cost + (exact_bound ? 0.0 : strict);
+    }
+    case Objective::kMinArea: {
+      if (envelope_.valid && area_lb >= incumbent.cost + strict) return true;
+      // The envelope could not decide, but under min-area the cost IS the
+      // floorplan area, which depends only on the per-slot shape classes:
+      // the exact (cache-accelerated) floorplan settles it, skipping the
+      // routing the full evaluation would pay. Ties prune — an equal-cost
+      // candidate never replaces the incumbent.
+      return floorplan_for_mapping(core_to_slot, scratch).area_mm2() >=
+             incumbent.cost;
+    }
+    case Objective::kMinPower:
+      return power_bound_valid_ &&
+             power_lower_bound(core_to_slot) >= incumbent.cost + strict;
+    case Objective::kWeighted: {
+      if (!power_bound_valid_ || !envelope_.valid) return false;
+      const auto& w = config_.weights;
+      const double bound =
+          w.delay * hop_cost_lower_bound(core_to_slot) / w.ref_hops +
+          w.area * area_lb / w.ref_area_mm2 +
+          w.power * power_lower_bound(core_to_slot) / w.ref_power_mw;
+      return bound >= incumbent.cost + strict;
+    }
+  }
+  return false;
 }
 
 }  // namespace sunmap::mapping

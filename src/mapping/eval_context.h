@@ -34,6 +34,12 @@ struct EvalScratch {
   std::vector<double> core_cx, core_cy, switch_cx, switch_cy;
   /// Per-slot shape-class ids (0 = empty slot) — the floorplan cache key.
   std::vector<std::uint16_t> floor_key;
+  /// Column/row accumulators of the area lower bound (phase-1 pruning).
+  /// bound_row_used doubles as a per-column item count in columns-mode
+  /// placements, hence int rather than a flag.
+  std::vector<double> bound_col_w, bound_row_h;
+  std::vector<char> bound_col_used;
+  std::vector<int> bound_row_used;
 };
 
 /// The incremental mapping-evaluation engine: everything about one
@@ -129,10 +135,10 @@ class EvalContext {
                                     EvalScratch& scratch,
                                     bool materialize = true) const;
 
-  /// True when candidate mappings can be pruned by the hop-distance cost
-  /// bound: the objective must be pure delay (for any other objective the
-  /// bound does not dominate the cost) and the caller must not be collecting
-  /// every explored mapping's area/power.
+  /// True when candidate mappings may be bound-pruned at all: pruning is
+  /// enabled in the config and the caller is not collecting every explored
+  /// mapping's area/power (a pruned candidate has nothing to record). Which
+  /// bound applies is per-objective — see prunable().
   [[nodiscard]] bool supports_pruning() const;
 
   /// Lower bound on the mapping's communication-weighted average switch
@@ -144,12 +150,45 @@ class EvalContext {
   [[nodiscard]] double hop_cost_lower_bound(
       const std::vector<int>& core_to_slot) const;
 
-  /// Phase 1 of the two-phase evaluation: true when the bound proves the
-  /// candidate cannot rank strictly better than the incumbent, so the full
-  /// routing + floorplanning evaluation can be skipped without changing the
-  /// search result.
+  /// Lower bound on the mapping's floorplanned design area, from the
+  /// shape-class envelope of the relative placement: the chip width is at
+  /// least the spacing-separated sum over non-empty columns of each
+  /// column's widest minimal block width, the height likewise over row
+  /// bands (grid mode) or column stacks (columns mode), and every block's
+  /// minimal dimensions follow from its shape (exact for hard blocks,
+  /// sqrt(area*min_aspect) x sqrt(area/max_aspect) for soft ones). Mirrors
+  /// the band layout the floorplanner itself computes, with every resolved
+  /// dimension replaced by its minimum, so it can never exceed the true
+  /// area. Returns 0 when the topology's placement could not be enveloped.
+  [[nodiscard]] double area_lower_bound(const std::vector<int>& core_to_slot,
+                                        EvalScratch& scratch) const;
+
+  /// Lower bound on the mapping's design power (mW): the exact
+  /// mapping-invariant static power from the resolved switch table, plus,
+  /// per commodity, the minimum achievable energy per bit — the cheapest
+  /// switch-energy path between the mapped slots' ingress/egress switches
+  /// (Dijkstra over the resolved per-switch energies plus per-link minimum
+  /// wire lengths from the placement envelope) and the minimum
+  /// core-attachment wire energy. Every actual route of any routing
+  /// function costs at least this much. Returns 0 when the power-bound
+  /// table is not bound (see prunable() for when it is built).
+  [[nodiscard]] double power_lower_bound(
+      const std::vector<int>& core_to_slot) const;
+
+  /// Phase 1 of the two-phase evaluation: true when an admissible bound
+  /// proves the candidate cannot rank strictly better than the incumbent
+  /// (or proves it violates the area cap), so the full routing +
+  /// floorplanning evaluation can be skipped without changing the search
+  /// result. Objective-generic: min-delay uses the hop bound, min-area the
+  /// shape-class envelope refined by the exact (cache-accelerated)
+  /// floorplan, min-power the switch-table energy bound, and the weighted
+  /// objective their weighted combination. Bounds that are not exact
+  /// reproductions of evaluate()'s arithmetic only prune strictly
+  /// dominated candidates (a relative 1e-9 safety margin), so pruned
+  /// searches return bit-identical results to prune-disabled ones.
   [[nodiscard]] bool prunable(const std::vector<int>& core_to_slot,
-                              const Evaluation& incumbent) const;
+                              const Evaluation& incumbent,
+                              EvalScratch& scratch) const;
 
   /// Total EvalContext constructions since process start. The batched
   /// exploration tests assert on deltas of this counter to prove the
@@ -184,6 +223,15 @@ class EvalContext {
   void apply_config_dependent(Evaluation& eval,
                               double floorplan_aspect) const;
 
+  /// The mapping's floorplan, via the shape-class cache (computed and
+  /// inserted on a miss). Exactly what evaluate() uses; also the min-area
+  /// bound's exact phase. Fills scratch.floor_key as a side effect.
+  [[nodiscard]] fplan::Floorplan floorplan_for_mapping(
+      const std::vector<int>& core_to_slot, EvalScratch& scratch) const;
+
+  void build_bound_envelope();
+  void build_power_bound_table();
+
   // ---- Mapping-invariant state (per app + topology, never rebuilt). ----
   const CoreGraph& app_;
   const topo::Topology& topology_;
@@ -193,6 +241,8 @@ class EvalContext {
   /// Core index -> shape-equivalence class (cores with bit-identical
   /// BlockShapes share a class); basis of the floorplan cache key.
   std::vector<std::uint16_t> core_shape_class_;
+  /// One representative BlockShape per shape class, for the bound envelope.
+  std::vector<fplan::BlockShape> class_shapes_;
   std::optional<route::QuadrantTable> quadrant_table_;
   /// Per-routing-kind complete route tables for the load-independent
   /// functions, built on first use by a config of that kind and kept across
@@ -209,6 +259,57 @@ class EvalContext {
   const std::vector<route::RouteSet>* static_routes_ = nullptr;
   bool static_routing_ = false;
   bool adaptive_routing_ = false;
+
+  /// Precomputed geometry of the area/power lower bounds, derived from the
+  /// relative placement, the shape classes, and the resolved switch shapes
+  /// (so it is rebuilt whenever the technology point or floorplan options
+  /// change). All "min_w"/"min_h" entries are minimal block dimensions:
+  /// exact for hard blocks, the extreme admissible aspects for soft ones.
+  struct BoundEnvelope {
+    bool valid = false;
+    bool grid = true;
+    double spacing = 0.0;
+    int ncols = 0, nrows = 0;
+    /// Minimal dimensions per core shape class (class_shapes_ order), and
+    /// their minimum over all classes (what a slot that must host *some*
+    /// core contributes before the mapping says which).
+    std::vector<double> class_min_w, class_min_h;
+    double min_any_class_w = 0.0, min_any_class_h = 0.0;
+    /// Placement coordinates of each slot's core item.
+    std::vector<int> slot_col, slot_row, slot_sub;
+    /// Core-slot counts per column/row — the pigeonhole floors: a region
+    /// holding k slots is guaranteed a core whenever the application has
+    /// more cores than fit outside it.
+    std::vector<int> col_slot_count, row_slot_count;
+    /// Grid mode: the core slot sharing each cell (-1 when none).
+    std::vector<int> cell_slot;
+    /// Per-column width floor from switch items; whether switches occupy it.
+    std::vector<double> col_base_w;
+    std::vector<char> col_has_items;
+    /// Grid mode: per-cell (row * ncols + col) switch-stack minimal height
+    /// and item count, and the per-row switch-only band floor.
+    std::vector<double> cell_base_h;
+    std::vector<int> cell_base_n;
+    std::vector<double> row_base_h;
+    std::vector<char> row_has_items;
+    /// Columns mode: per-column switch-stack totals.
+    std::vector<double> col_base_h;
+    std::vector<int> col_base_n;
+    /// Minimal switch dimensions and placement coordinates, by NodeId.
+    std::vector<double> switch_min_w, switch_min_h;
+    std::vector<int> switch_col, switch_row, switch_sub;
+    /// Per-slot minimum core-attachment wire parts: spacing plus half the
+    /// ingress/egress switch's minimal extent along the separating axis;
+    /// the core's own half-extent is added per candidate from its class.
+    std::vector<double> attach_in_base, attach_out_base;
+    std::vector<char> attach_in_vertical, attach_out_vertical;
+  };
+  BoundEnvelope envelope_;
+  /// Minimum switch-energy + wire-energy (pJ/bit) between the ingress
+  /// switch of slot src and the egress switch of slot dst, indexed
+  /// [src * num_slots + dst]. Valid only while power_bound_valid_.
+  std::vector<double> pair_energy_lb_;
+  bool power_bound_valid_ = false;
 
   // ---- Memoisation caches (guarded by cache_mutex_, bounded). ----
   // Reader-writer lock: concurrent search workers mostly hit, and hits only

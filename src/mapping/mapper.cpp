@@ -1,14 +1,11 @@
 #include "mapping/mapper.h"
 
 #include "mapping/eval_context.h"
-#include "util/prng.h"
+#include "mapping/search_strategy.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cmath>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <utility>
 
 namespace sunmap::mapping {
@@ -27,12 +24,14 @@ const char* to_string(Objective objective) {
   return "?";
 }
 
-const char* to_string(SearchStrategy strategy) {
-  switch (strategy) {
-    case SearchStrategy::kGreedySwaps:
+const char* to_string(SearchKind kind) {
+  switch (kind) {
+    case SearchKind::kGreedySwaps:
       return "greedy-swaps";
-    case SearchStrategy::kAnnealing:
+    case SearchKind::kAnnealing:
       return "annealing";
+    case SearchKind::kRestartAnnealing:
+      return "restart-annealing";
   }
   return "?";
 }
@@ -65,6 +64,8 @@ void MapperConfig::validate() const {
   if (!(annealing_cooling > 0.0 && annealing_cooling <= 1.0)) {
     fail("annealing_cooling must be in (0, 1]");
   }
+  if (annealing_restarts < 1) fail("annealing_restarts must be >= 1");
+  if (annealing_reheats < 0) fail("annealing_reheats must be >= 0");
   if (num_threads < 1) fail("num_threads must be >= 1");
   if (!(weights.delay >= 0.0 && weights.area >= 0.0 && weights.power >= 0.0)) {
     fail("objective weights must be >= 0");
@@ -380,14 +381,7 @@ MappingResult Mapper::map(const EvalContext& ctx) const {
                                             result.eval.design_power_mw);
   }
 
-  switch (cfg.search) {
-    case SearchStrategy::kGreedySwaps:
-      improve_by_swaps(ctx, result);
-      break;
-    case SearchStrategy::kAnnealing:
-      improve_by_annealing(ctx, result);
-      break;
-  }
+  make_search_strategy(cfg.search)->improve(ctx, result);
 
   // The search loops keep incumbent evaluations light (no per-commodity
   // routes or link loads); materialize the winning mapping's full
@@ -406,247 +400,6 @@ MappingResult Mapper::map(const EvalContext& ctx) const {
         result.core_to_slot[static_cast<std::size_t>(c)])] = c;
   }
   return result;
-}
-
-namespace {
-
-/// Applies the pairwise swap of slots (a, b) to a mapping and its inverse in
-/// place. Self-inverse: applying it twice restores both arrays, which is
-/// what lets the swap search try candidates without copying the mapping.
-void apply_swap(int a, int b, std::vector<int>& core_to_slot,
-                std::vector<int>& slot_to_core) {
-  const int core_a = slot_to_core[static_cast<std::size_t>(a)];
-  const int core_b = slot_to_core[static_cast<std::size_t>(b)];
-  if (core_a >= 0) core_to_slot[static_cast<std::size_t>(core_a)] = b;
-  if (core_b >= 0) core_to_slot[static_cast<std::size_t>(core_b)] = a;
-  std::swap(slot_to_core[static_cast<std::size_t>(a)],
-            slot_to_core[static_cast<std::size_t>(b)]);
-}
-
-/// Outcome of one speculatively evaluated swap candidate.
-struct SwapOutcome {
-  enum class State : std::uint8_t { kSkipped, kPruned, kEvaluated };
-  State state = State::kSkipped;
-  Evaluation eval;
-};
-
-}  // namespace
-
-void Mapper::improve_by_swaps(const EvalContext& ctx,
-                              MappingResult& result) const {
-  // Fig 5 steps 9-10: pairwise swaps of topology vertices. Swapping two
-  // slots exchanges whatever occupies them (two cores, or a core and an
-  // empty slot, which moves the core). Candidates are two-phase evaluated:
-  // the hop-distance bound first, the full routing + floorplanning
-  // evaluation only for candidates the bound cannot reject.
-  const topo::Topology& topology = ctx.topology();
-  const MapperConfig& cfg = ctx.config();
-  const int num_slots = topology.num_slots();
-  std::vector<int>& mapping = result.core_to_slot;
-  std::vector<int> slot_to_core(static_cast<std::size_t>(num_slots), -1);
-  for (int c = 0; c < ctx.app().num_cores(); ++c) {
-    slot_to_core[static_cast<std::size_t>(
-        mapping[static_cast<std::size_t>(c)])] = c;
-  }
-
-  std::vector<std::pair<int, int>> pairs;
-  pairs.reserve(static_cast<std::size_t>(num_slots) *
-                static_cast<std::size_t>(num_slots - 1) / 2);
-  for (int a = 0; a < num_slots; ++a) {
-    for (int b = a + 1; b < num_slots; ++b) pairs.emplace_back(a, b);
-  }
-
-  const auto record_explored = [&](const Evaluation& eval) {
-    if (cfg.collect_explored) {
-      result.explored_area_power.emplace_back(eval.design_area_mm2,
-                                              eval.design_power_mw);
-    }
-  };
-
-  const int num_threads =
-      std::min(cfg.num_threads, static_cast<int>(pairs.size()));
-
-  if (num_threads <= 1) {
-    EvalScratch scratch;
-    for (int pass = 0; pass < cfg.swap_passes; ++pass) {
-      bool improved = false;
-      for (const auto& [a, b] : pairs) {
-        const int core_a = slot_to_core[static_cast<std::size_t>(a)];
-        const int core_b = slot_to_core[static_cast<std::size_t>(b)];
-        if (core_a < 0 && core_b < 0) continue;  // both empty: no-op
-
-        apply_swap(a, b, mapping, slot_to_core);
-        ++result.evaluated_mappings;
-        if (ctx.prunable(mapping, result.eval)) {
-          ++result.pruned_mappings;
-          apply_swap(a, b, mapping, slot_to_core);  // undo
-          continue;
-        }
-        auto eval = ctx.evaluate(mapping, scratch, /*materialize=*/false);
-        record_explored(eval);
-        if (better_than(eval, result.eval)) {
-          result.eval = std::move(eval);
-          improved = true;  // keep the swap
-        } else {
-          apply_swap(a, b, mapping, slot_to_core);  // undo
-        }
-      }
-      if (!improved) break;
-    }
-    return;
-  }
-
-  // Parallel neighborhood search: workers speculatively evaluate a chunk of
-  // candidates against the incumbent, then outcomes are committed in
-  // canonical pair order. When a candidate is accepted, the later outcomes
-  // of the chunk are discarded (they were evaluated against a stale
-  // incumbent and mapping) and the next chunk resumes right after the
-  // accepted pair — exactly the sequential trajectory, so any thread count
-  // yields the sequential result, deterministically.
-  std::vector<EvalScratch> scratches(static_cast<std::size_t>(num_threads));
-  std::vector<std::vector<int>> worker_mapping(
-      static_cast<std::size_t>(num_threads));
-  std::vector<std::vector<int>> worker_inverse(
-      static_cast<std::size_t>(num_threads));
-  const std::size_t chunk_size = std::max<std::size_t>(
-      128, 32 * static_cast<std::size_t>(num_threads));
-  std::vector<SwapOutcome> outcomes(chunk_size);
-
-  for (int pass = 0; pass < cfg.swap_passes; ++pass) {
-    bool improved = false;
-    std::size_t begin = 0;
-    while (begin < pairs.size()) {
-      const std::size_t count = std::min(chunk_size, pairs.size() - begin);
-      std::atomic<std::size_t> next{0};
-
-      auto worker = [&](int t) {
-        auto& m = worker_mapping[static_cast<std::size_t>(t)];
-        auto& inv = worker_inverse[static_cast<std::size_t>(t)];
-        m = mapping;
-        inv = slot_to_core;
-        auto& scratch = scratches[static_cast<std::size_t>(t)];
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= count) break;
-          const auto [a, b] = pairs[begin + i];
-          auto& out = outcomes[i];
-          const int core_a = inv[static_cast<std::size_t>(a)];
-          const int core_b = inv[static_cast<std::size_t>(b)];
-          if (core_a < 0 && core_b < 0) {
-            out.state = SwapOutcome::State::kSkipped;
-            continue;
-          }
-          apply_swap(a, b, m, inv);
-          if (ctx.prunable(m, result.eval)) {
-            out.state = SwapOutcome::State::kPruned;
-          } else {
-            out.eval = ctx.evaluate(m, scratch, /*materialize=*/false);
-            out.state = SwapOutcome::State::kEvaluated;
-          }
-          apply_swap(a, b, m, inv);  // undo for the next candidate
-        }
-      };
-
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(num_threads - 1));
-      for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
-      worker(0);
-      for (auto& thread : pool) thread.join();
-
-      // Commit outcomes in canonical order.
-      std::size_t committed = count;
-      for (std::size_t i = 0; i < count; ++i) {
-        auto& out = outcomes[i];
-        if (out.state == SwapOutcome::State::kSkipped) continue;
-        ++result.evaluated_mappings;
-        if (out.state == SwapOutcome::State::kPruned) {
-          ++result.pruned_mappings;
-          continue;
-        }
-        record_explored(out.eval);
-        if (better_than(out.eval, result.eval)) {
-          const auto [a, b] = pairs[begin + i];
-          apply_swap(a, b, mapping, slot_to_core);
-          result.eval = std::move(out.eval);
-          improved = true;
-          committed = i + 1;  // discard stale outcomes past the acceptance
-          break;
-        }
-      }
-      begin += committed;
-    }
-    if (!improved) break;
-  }
-}
-
-void Mapper::improve_by_annealing(const EvalContext& ctx,
-                                  MappingResult& result) const {
-  // Metropolis acceptance over random pairwise swaps with geometric
-  // cooling. Infeasibility enters the annealing energy as a smooth penalty
-  // so the walk can cross infeasible regions; the best *feasible-ranked*
-  // mapping seen (under better_than) is what gets returned.
-  //
-  // The chain itself cannot be bound-pruned (even a worse candidate may be
-  // accepted, and its exact cost feeds the Metropolis criterion), so the
-  // speedup here comes purely from the cached evaluation path. Swaps are
-  // applied in place and undone on rejection; the random draws, acceptance
-  // tests, and best-seen tracking replicate the from-scratch walk exactly.
-  const topo::Topology& topology = ctx.topology();
-  const MapperConfig& cfg = ctx.config();
-  auto energy = [&](const Evaluation& eval) {
-    double value = eval.cost;
-    if (!eval.bandwidth_feasible) {
-      value += 2.0 * (eval.max_link_load_mbps - cfg.link_bandwidth_mbps) /
-               cfg.link_bandwidth_mbps * eval.cost;
-    }
-    if (!eval.area_feasible) value *= 2.0;
-    return value;
-  };
-
-  util::Prng prng(cfg.annealing_seed);
-  auto current = result.core_to_slot;
-  auto current_eval = result.eval;
-  double temperature = cfg.annealing_t0 * energy(current_eval);
-  std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
-                                -1);
-  for (int c = 0; c < ctx.app().num_cores(); ++c) {
-    slot_to_core[static_cast<std::size_t>(
-        current[static_cast<std::size_t>(c)])] = c;
-  }
-  EvalScratch scratch;
-
-  for (int iter = 0; iter < cfg.annealing_iterations; ++iter) {
-    const int a = prng.next_int(0, topology.num_slots() - 1);
-    int b = prng.next_int(0, topology.num_slots() - 2);
-    if (b >= a) ++b;
-    const int core_a = slot_to_core[static_cast<std::size_t>(a)];
-    const int core_b = slot_to_core[static_cast<std::size_t>(b)];
-    if (core_a < 0 && core_b < 0) continue;
-
-    apply_swap(a, b, current, slot_to_core);
-
-    auto eval = ctx.evaluate(current, scratch, /*materialize=*/false);
-    ++result.evaluated_mappings;
-    if (cfg.collect_explored) {
-      result.explored_area_power.emplace_back(eval.design_area_mm2,
-                                              eval.design_power_mw);
-    }
-
-    const double delta = energy(eval) - energy(current_eval);
-    const bool accept =
-        delta <= 0.0 ||
-        (temperature > 1e-12 && prng.chance(std::exp(-delta / temperature)));
-    if (better_than(eval, result.eval)) {
-      result.eval = eval;
-      result.core_to_slot = current;
-    }
-    if (accept) {
-      current_eval = std::move(eval);
-    } else {
-      apply_swap(a, b, current, slot_to_core);  // undo
-    }
-    temperature *= cfg.annealing_cooling;
-  }
 }
 
 }  // namespace sunmap::mapping

@@ -32,11 +32,15 @@ struct ObjectiveWeights {
   double ref_power_mw = 400.0;
 };
 
-/// Mapping search strategies: the paper's pairwise-swap pass (hill
-/// climbing) and a simulated-annealing alternative for the ablation bench.
-enum class SearchStrategy { kGreedySwaps, kAnnealing };
+/// Which mapping-search strategy Mapper runs after the greedy initial
+/// placement: the paper's pairwise-swap pass (hill climbing), a
+/// simulated-annealing walk, or the multi-restart annealer (N independent
+/// seeded chains, best-of-restarts kept). Each kind is implemented by a
+/// mapping::SearchStrategy (search_strategy.h); this enum is the
+/// configuration-level selector the CLI and sweep axes expose.
+enum class SearchKind { kGreedySwaps, kAnnealing, kRestartAnnealing };
 
-const char* to_string(SearchStrategy strategy);
+const char* to_string(SearchKind kind);
 
 /// Configuration of one mapping run (phase 1 of the design flow).
 struct MapperConfig {
@@ -57,18 +61,42 @@ struct MapperConfig {
   ObjectiveWeights weights;
 
   /// How the mapping space is searched after the greedy initial placement.
-  SearchStrategy search = SearchStrategy::kGreedySwaps;
+  SearchKind search = SearchKind::kGreedySwaps;
 
   /// Hill-climbing passes over all pairwise slot swaps (Fig 5 steps 9-10;
   /// one pass reproduces the paper, more passes strictly dominate).
   int swap_passes = 2;
 
-  /// Simulated-annealing parameters (search == kAnnealing): random pairwise
-  /// swaps accepted with the Metropolis criterion under geometric cooling.
+  /// Simulated-annealing parameters (search == kAnnealing or
+  /// kRestartAnnealing): random pairwise swaps accepted with the Metropolis
+  /// criterion under geometric cooling. `annealing_iterations` is the TOTAL
+  /// iteration budget of the search; the restart annealer divides it across
+  /// its restarts so restart counts are comparable at equal cost.
   int annealing_iterations = 2000;
   double annealing_t0 = 0.3;       ///< Initial temperature (relative cost).
   double annealing_cooling = 0.995;
   std::uint64_t annealing_seed = 1;
+
+  /// Independent annealing chains of the restart annealer (search ==
+  /// kRestartAnnealing). Chain r is seeded with annealing_seed + r and all
+  /// chains start from the greedy initial mapping; the best-of-restarts
+  /// result (ties to the lowest restart index) is kept. Chains run on
+  /// num_threads workers and are committed in seed order, so any thread
+  /// count returns the identical result.
+  int annealing_restarts = 4;
+
+  /// Temperature re-heats per annealing chain: the chain is split into
+  /// (annealing_reheats + 1) equal segments and the temperature is reset to
+  /// annealing_t0 x the current energy at each segment start, letting a
+  /// cold chain escape the local minimum it converged into. 0 (the default)
+  /// reproduces the plain geometric schedule.
+  int annealing_reheats = 0;
+
+  /// Master switch for bound-based candidate pruning (the two-phase swap
+  /// evaluation). On by default; the pruning admissibility tests flip it
+  /// off to obtain the prune-free reference search, which must be
+  /// bit-identical.
+  bool bound_pruning = true;
 
   /// Sub-flows for split-across-all-paths routing.
   int split_chunks = 16;
@@ -211,10 +239,6 @@ class Mapper {
  private:
   [[nodiscard]] std::vector<int> greedy_initial_mapping(
       const CoreGraph& app, const topo::Topology& topology) const;
-
-  void improve_by_swaps(const EvalContext& ctx, MappingResult& result) const;
-  void improve_by_annealing(const EvalContext& ctx,
-                            MappingResult& result) const;
 
   MapperConfig config_;
   model::AreaPowerLibrary library_;

@@ -1,0 +1,389 @@
+#include "mapping/search_strategy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mapping/eval_context.h"
+#include "util/prng.h"
+
+namespace sunmap::mapping {
+
+namespace {
+
+/// Applies the pairwise swap of slots (a, b) to a mapping and its inverse in
+/// place. Self-inverse: applying it twice restores both arrays, which is
+/// what lets the swap search try candidates without copying the mapping.
+void apply_swap(int a, int b, std::vector<int>& core_to_slot,
+                std::vector<int>& slot_to_core) {
+  const int core_a = slot_to_core[static_cast<std::size_t>(a)];
+  const int core_b = slot_to_core[static_cast<std::size_t>(b)];
+  if (core_a >= 0) core_to_slot[static_cast<std::size_t>(core_a)] = b;
+  if (core_b >= 0) core_to_slot[static_cast<std::size_t>(core_b)] = a;
+  std::swap(slot_to_core[static_cast<std::size_t>(a)],
+            slot_to_core[static_cast<std::size_t>(b)]);
+}
+
+/// Outcome of one speculatively evaluated swap candidate.
+struct SwapOutcome {
+  enum class State : std::uint8_t { kSkipped, kPruned, kEvaluated };
+  State state = State::kSkipped;
+  Evaluation eval;
+};
+
+/// The annealing energy: objective cost with smooth infeasibility penalties
+/// so the walk can cross infeasible regions.
+double annealing_energy(const Evaluation& eval, const MapperConfig& cfg) {
+  double value = eval.cost;
+  if (!eval.bandwidth_feasible) {
+    value += 2.0 * (eval.max_link_load_mbps - cfg.link_bandwidth_mbps) /
+             cfg.link_bandwidth_mbps * eval.cost;
+  }
+  if (!eval.area_feasible) value *= 2.0;
+  return value;
+}
+
+/// One independent annealing chain, from the initial mapping under one seed.
+struct ChainOutcome {
+  std::vector<int> best_mapping;
+  Evaluation best_eval;
+  int evaluated = 0;
+  /// (area, power) trace, in iteration order, when the config collects it.
+  std::vector<std::pair<double, double>> explored;
+};
+
+/// Metropolis acceptance over random pairwise swaps with geometric cooling.
+/// The chain itself cannot be bound-pruned (even a worse candidate may be
+/// accepted, and its exact cost feeds the Metropolis criterion), so the
+/// speedup comes purely from the cached evaluation path. Swaps are applied
+/// in place and undone on rejection; the best *feasible-ranked* mapping seen
+/// (under better_than) is what the chain returns.
+///
+/// With config.annealing_reheats > 0 the chain is split into equal segments
+/// and the temperature is reset to t0 x the current energy at each segment
+/// start; reheats = 0 reproduces the plain geometric schedule bit-for-bit.
+ChainOutcome run_annealing_chain(const EvalContext& ctx,
+                                 const std::vector<int>& initial_mapping,
+                                 const Evaluation& initial_eval,
+                                 std::uint64_t seed, int iterations,
+                                 double cooling) {
+  const topo::Topology& topology = ctx.topology();
+  const MapperConfig& cfg = ctx.config();
+
+  ChainOutcome out;
+  out.best_mapping = initial_mapping;
+  out.best_eval = initial_eval;
+
+  util::Prng prng(seed);
+  auto current = initial_mapping;
+  auto current_eval = initial_eval;
+  double temperature = cfg.annealing_t0 * annealing_energy(current_eval, cfg);
+  std::vector<int> slot_to_core(static_cast<std::size_t>(topology.num_slots()),
+                                -1);
+  for (int c = 0; c < ctx.app().num_cores(); ++c) {
+    slot_to_core[static_cast<std::size_t>(
+        current[static_cast<std::size_t>(c)])] = c;
+  }
+  EvalScratch scratch;
+
+  // Exactly annealing_reheats resets, at the k/(reheats+1) fractions of the
+  // budget (duplicates from tiny budgets collapse; a reset can never land
+  // on iteration 0 or past the end).
+  std::vector<int> reheat_points;
+  for (int k = 1; k <= cfg.annealing_reheats; ++k) {
+    const int point = static_cast<int>(
+        static_cast<long long>(iterations) * k / (cfg.annealing_reheats + 1));
+    if (point > 0 && (reheat_points.empty() || reheat_points.back() != point)) {
+      reheat_points.push_back(point);
+    }
+  }
+  std::size_t next_reheat = 0;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (next_reheat < reheat_points.size() &&
+        iter == reheat_points[next_reheat]) {
+      temperature = cfg.annealing_t0 * annealing_energy(current_eval, cfg);
+      ++next_reheat;
+    }
+    const int a = prng.next_int(0, topology.num_slots() - 1);
+    int b = prng.next_int(0, topology.num_slots() - 2);
+    if (b >= a) ++b;
+    const int core_a = slot_to_core[static_cast<std::size_t>(a)];
+    const int core_b = slot_to_core[static_cast<std::size_t>(b)];
+    if (core_a < 0 && core_b < 0) continue;
+
+    apply_swap(a, b, current, slot_to_core);
+
+    auto eval = ctx.evaluate(current, scratch, /*materialize=*/false);
+    ++out.evaluated;
+    if (cfg.collect_explored) {
+      out.explored.emplace_back(eval.design_area_mm2, eval.design_power_mw);
+    }
+
+    const double delta = annealing_energy(eval, cfg) -
+                         annealing_energy(current_eval, cfg);
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 1e-12 && prng.chance(std::exp(-delta / temperature)));
+    if (better_than(eval, out.best_eval)) {
+      out.best_eval = eval;
+      out.best_mapping = current;
+    }
+    if (accept) {
+      current_eval = std::move(eval);
+    } else {
+      apply_swap(a, b, current, slot_to_core);  // undo
+    }
+    temperature *= cooling;
+  }
+  return out;
+}
+
+/// Folds one chain's outcome into the search result: counters and explored
+/// trace always, the mapping only when it strictly improves (ties keep the
+/// earlier result, which is what makes best-of-restarts deterministic in
+/// seed order).
+void commit_chain(ChainOutcome&& chain, MappingResult& result) {
+  result.evaluated_mappings += chain.evaluated;
+  result.explored_area_power.insert(
+      result.explored_area_power.end(),
+      std::make_move_iterator(chain.explored.begin()),
+      std::make_move_iterator(chain.explored.end()));
+  if (better_than(chain.best_eval, result.eval)) {
+    result.eval = std::move(chain.best_eval);
+    result.core_to_slot = std::move(chain.best_mapping);
+  }
+}
+
+}  // namespace
+
+void GreedySwapSearch::improve(const EvalContext& ctx,
+                               MappingResult& result) const {
+  // Fig 5 steps 9-10: pairwise swaps of topology vertices. Swapping two
+  // slots exchanges whatever occupies them (two cores, or a core and an
+  // empty slot, which moves the core). Candidates are two-phase evaluated:
+  // the objective's cost lower bound first, the full routing + floorplanning
+  // evaluation only for candidates the bound cannot reject.
+  const topo::Topology& topology = ctx.topology();
+  const MapperConfig& cfg = ctx.config();
+  const int num_slots = topology.num_slots();
+  std::vector<int>& mapping = result.core_to_slot;
+  std::vector<int> slot_to_core(static_cast<std::size_t>(num_slots), -1);
+  for (int c = 0; c < ctx.app().num_cores(); ++c) {
+    slot_to_core[static_cast<std::size_t>(
+        mapping[static_cast<std::size_t>(c)])] = c;
+  }
+
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(num_slots) *
+                static_cast<std::size_t>(num_slots - 1) / 2);
+  for (int a = 0; a < num_slots; ++a) {
+    for (int b = a + 1; b < num_slots; ++b) pairs.emplace_back(a, b);
+  }
+
+  const auto record_explored = [&](const Evaluation& eval) {
+    if (cfg.collect_explored) {
+      result.explored_area_power.emplace_back(eval.design_area_mm2,
+                                              eval.design_power_mw);
+    }
+  };
+
+  const int num_threads =
+      std::min(cfg.num_threads, static_cast<int>(pairs.size()));
+
+  if (num_threads <= 1) {
+    EvalScratch scratch;
+    for (int pass = 0; pass < cfg.swap_passes; ++pass) {
+      bool improved = false;
+      for (const auto& [a, b] : pairs) {
+        const int core_a = slot_to_core[static_cast<std::size_t>(a)];
+        const int core_b = slot_to_core[static_cast<std::size_t>(b)];
+        if (core_a < 0 && core_b < 0) continue;  // both empty: no-op
+
+        apply_swap(a, b, mapping, slot_to_core);
+        ++result.evaluated_mappings;
+        if (ctx.prunable(mapping, result.eval, scratch)) {
+          ++result.pruned_mappings;
+          apply_swap(a, b, mapping, slot_to_core);  // undo
+          continue;
+        }
+        auto eval = ctx.evaluate(mapping, scratch, /*materialize=*/false);
+        record_explored(eval);
+        if (better_than(eval, result.eval)) {
+          result.eval = std::move(eval);
+          improved = true;  // keep the swap
+        } else {
+          apply_swap(a, b, mapping, slot_to_core);  // undo
+        }
+      }
+      if (!improved) break;
+    }
+    return;
+  }
+
+  // Parallel neighborhood search: workers speculatively evaluate a chunk of
+  // candidates against the incumbent, then outcomes are committed in
+  // canonical pair order. When a candidate is accepted, the later outcomes
+  // of the chunk are discarded (they were evaluated against a stale
+  // incumbent and mapping) and the next chunk resumes right after the
+  // accepted pair — exactly the sequential trajectory, so any thread count
+  // yields the sequential result, deterministically.
+  std::vector<EvalScratch> scratches(static_cast<std::size_t>(num_threads));
+  std::vector<std::vector<int>> worker_mapping(
+      static_cast<std::size_t>(num_threads));
+  std::vector<std::vector<int>> worker_inverse(
+      static_cast<std::size_t>(num_threads));
+  const std::size_t chunk_size = std::max<std::size_t>(
+      128, 32 * static_cast<std::size_t>(num_threads));
+  std::vector<SwapOutcome> outcomes(chunk_size);
+
+  for (int pass = 0; pass < cfg.swap_passes; ++pass) {
+    bool improved = false;
+    std::size_t begin = 0;
+    while (begin < pairs.size()) {
+      const std::size_t count = std::min(chunk_size, pairs.size() - begin);
+      std::atomic<std::size_t> next{0};
+
+      auto worker = [&](int t) {
+        auto& m = worker_mapping[static_cast<std::size_t>(t)];
+        auto& inv = worker_inverse[static_cast<std::size_t>(t)];
+        m = mapping;
+        inv = slot_to_core;
+        auto& scratch = scratches[static_cast<std::size_t>(t)];
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= count) break;
+          const auto [a, b] = pairs[begin + i];
+          auto& out = outcomes[i];
+          const int core_a = inv[static_cast<std::size_t>(a)];
+          const int core_b = inv[static_cast<std::size_t>(b)];
+          if (core_a < 0 && core_b < 0) {
+            out.state = SwapOutcome::State::kSkipped;
+            continue;
+          }
+          apply_swap(a, b, m, inv);
+          if (ctx.prunable(m, result.eval, scratch)) {
+            out.state = SwapOutcome::State::kPruned;
+          } else {
+            out.eval = ctx.evaluate(m, scratch, /*materialize=*/false);
+            out.state = SwapOutcome::State::kEvaluated;
+          }
+          apply_swap(a, b, m, inv);  // undo for the next candidate
+        }
+      };
+
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(num_threads - 1));
+      for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
+      worker(0);
+      for (auto& thread : pool) thread.join();
+
+      // Commit outcomes in canonical order.
+      std::size_t committed = count;
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& out = outcomes[i];
+        if (out.state == SwapOutcome::State::kSkipped) continue;
+        ++result.evaluated_mappings;
+        if (out.state == SwapOutcome::State::kPruned) {
+          ++result.pruned_mappings;
+          continue;
+        }
+        record_explored(out.eval);
+        if (better_than(out.eval, result.eval)) {
+          const auto [a, b] = pairs[begin + i];
+          apply_swap(a, b, mapping, slot_to_core);
+          result.eval = std::move(out.eval);
+          improved = true;
+          committed = i + 1;  // discard stale outcomes past the acceptance
+          break;
+        }
+      }
+      begin += committed;
+    }
+    if (!improved) break;
+  }
+}
+
+void AnnealingSearch::improve(const EvalContext& ctx,
+                              MappingResult& result) const {
+  const MapperConfig& cfg = ctx.config();
+  commit_chain(run_annealing_chain(ctx, result.core_to_slot, result.eval,
+                                   cfg.annealing_seed,
+                                   cfg.annealing_iterations,
+                                   cfg.annealing_cooling),
+               result);
+}
+
+void RestartAnnealingSearch::improve(const EvalContext& ctx,
+                                     MappingResult& result) const {
+  const MapperConfig& cfg = ctx.config();
+  const int restarts = cfg.annealing_restarts;
+  const int total = cfg.annealing_iterations;
+
+  // The total iteration budget is divided evenly across the restarts (the
+  // first total % restarts chains get one extra), so a restart sweep stays
+  // cost-comparable with the single-seed annealer at the same
+  // annealing_iterations. Each chain's cooling is compressed so its shorter
+  // schedule spans the same temperature range as the single full-length
+  // chain would (cooling^(total/budget) per step); chains that get the full
+  // budget keep the configured factor untouched.
+  std::vector<int> budgets(static_cast<std::size_t>(restarts),
+                           restarts > 0 ? total / restarts : 0);
+  for (int r = 0; r < total % restarts; ++r) {
+    ++budgets[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<ChainOutcome> outcomes(static_cast<std::size_t>(restarts));
+  const auto run_chain = [&](int r) {
+    const int budget = budgets[static_cast<std::size_t>(r)];
+    double cooling = cfg.annealing_cooling;
+    if (budget > 0 && budget < total) {
+      cooling = std::pow(cfg.annealing_cooling,
+                         static_cast<double>(total) / budget);
+    }
+    outcomes[static_cast<std::size_t>(r)] = run_annealing_chain(
+        ctx, result.core_to_slot, result.eval,
+        cfg.annealing_seed + static_cast<std::uint64_t>(r), budget, cooling);
+  };
+
+  const int num_threads = std::min(cfg.num_threads, restarts);
+  if (num_threads <= 1) {
+    for (int r = 0; r < restarts; ++r) run_chain(r);
+  } else {
+    // Chains are fully independent (each owns its Prng, scratch, and
+    // mapping copies), so workers just pull restart indices; determinism
+    // comes from committing the outcomes in seed order below.
+    std::atomic<int> next{0};
+    const auto worker = [&]() {
+      for (;;) {
+        const int r = next.fetch_add(1);
+        if (r >= restarts) break;
+        run_chain(r);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(num_threads - 1));
+    for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& thread : pool) thread.join();
+  }
+
+  for (auto& chain : outcomes) commit_chain(std::move(chain), result);
+}
+
+std::unique_ptr<SearchStrategy> make_search_strategy(SearchKind kind) {
+  switch (kind) {
+    case SearchKind::kGreedySwaps:
+      return std::make_unique<GreedySwapSearch>();
+    case SearchKind::kAnnealing:
+      return std::make_unique<AnnealingSearch>();
+    case SearchKind::kRestartAnnealing:
+      return std::make_unique<RestartAnnealingSearch>();
+  }
+  return std::make_unique<GreedySwapSearch>();
+}
+
+}  // namespace sunmap::mapping

@@ -45,6 +45,7 @@ std::size_t ExplorationRequest::num_points() const {
   const auto axis = [](std::size_t n) { return n == 0 ? 1 : n; };
   return axis(routings.size()) * axis(link_bandwidths_mbps.size()) *
          axis(max_areas_mm2.size()) * axis(weight_sets.size()) *
+         axis(searches.size()) * axis(restart_counts.size()) *
          axis(objectives.size());
 }
 
@@ -61,6 +62,14 @@ std::string DesignPoint::label() const {
   if (weights_index > 0) {
     label += "/w";
     label += std::to_string(weights_index);
+  }
+  if (config.search != mapping::SearchKind::kGreedySwaps) {
+    label += "/";
+    label += mapping::to_string(config.search);
+    if (config.search == mapping::SearchKind::kRestartAnnealing) {
+      label += "-x";
+      label += std::to_string(config.annealing_restarts);
+    }
   }
   return label;
 }
@@ -89,36 +98,51 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
       std::max<std::size_t>(1, request.link_bandwidths_mbps.size());
   const std::size_t na = std::max<std::size_t>(1, request.max_areas_mm2.size());
   const std::size_t nw = std::max<std::size_t>(1, request.weight_sets.size());
+  const std::size_t ns = std::max<std::size_t>(1, request.searches.size());
+  const std::size_t nc =
+      std::max<std::size_t>(1, request.restart_counts.size());
   const std::size_t no = std::max<std::size_t>(1, request.objectives.size());
   for (std::size_t r = 0; r < nr; ++r) {
     for (std::size_t b = 0; b < nb; ++b) {
       for (std::size_t a = 0; a < na; ++a) {
         for (std::size_t w = 0; w < nw; ++w) {
-          for (std::size_t o = 0; o < no; ++o) {
-            DesignPoint point;
-            point.config = request.base;
-            if (!request.routings.empty()) {
-              point.config.routing = request.routings[r];
+          for (std::size_t s = 0; s < ns; ++s) {
+            for (std::size_t c = 0; c < nc; ++c) {
+              for (std::size_t o = 0; o < no; ++o) {
+                DesignPoint point;
+                point.config = request.base;
+                if (!request.routings.empty()) {
+                  point.config.routing = request.routings[r];
+                }
+                if (!request.link_bandwidths_mbps.empty()) {
+                  point.config.link_bandwidth_mbps =
+                      request.link_bandwidths_mbps[b];
+                }
+                if (!request.max_areas_mm2.empty()) {
+                  point.config.max_area_mm2 = request.max_areas_mm2[a];
+                }
+                if (!request.weight_sets.empty()) {
+                  point.config.weights = request.weight_sets[w];
+                }
+                if (!request.searches.empty()) {
+                  point.config.search = request.searches[s];
+                }
+                if (!request.restart_counts.empty()) {
+                  point.config.annealing_restarts = request.restart_counts[c];
+                }
+                if (!request.objectives.empty()) {
+                  point.config.objective = request.objectives[o];
+                }
+                point.routing_index = static_cast<int>(r);
+                point.bandwidth_index = static_cast<int>(b);
+                point.area_index = static_cast<int>(a);
+                point.weights_index = static_cast<int>(w);
+                point.search_index = static_cast<int>(s);
+                point.restarts_index = static_cast<int>(c);
+                point.objective_index = static_cast<int>(o);
+                points.push_back(std::move(point));
+              }
             }
-            if (!request.link_bandwidths_mbps.empty()) {
-              point.config.link_bandwidth_mbps =
-                  request.link_bandwidths_mbps[b];
-            }
-            if (!request.max_areas_mm2.empty()) {
-              point.config.max_area_mm2 = request.max_areas_mm2[a];
-            }
-            if (!request.weight_sets.empty()) {
-              point.config.weights = request.weight_sets[w];
-            }
-            if (!request.objectives.empty()) {
-              point.config.objective = request.objectives[o];
-            }
-            point.routing_index = static_cast<int>(r);
-            point.bandwidth_index = static_cast<int>(b);
-            point.area_index = static_cast<int>(a);
-            point.weights_index = static_cast<int>(w);
-            point.objective_index = static_cast<int>(o);
-            points.push_back(std::move(point));
           }
         }
       }

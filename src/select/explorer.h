@@ -31,6 +31,15 @@ struct ExplorationRequest {
   std::vector<double> link_bandwidths_mbps;
   std::vector<double> max_areas_mm2;
   std::vector<mapping::ObjectiveWeights> weight_sets;
+  /// Search-schedule axes (ROADMAP follow-on): which strategy runs each
+  /// point's mapping search, and — for the restart annealer — how many
+  /// restarts split the annealing budget. Like every other axis, empty
+  /// means "whatever `base` says". The grid stays a plain cross product:
+  /// points whose search kind ignores annealing_restarts repeat per
+  /// restart count (keeping num_points() and report coordinates regular);
+  /// the per-topology metrics cache makes such repeats near-free.
+  std::vector<mapping::SearchKind> searches;
+  std::vector<int> restart_counts;
 
   /// Worker threads the explorer spreads topologies over. Each worker owns
   /// one topology's evaluation context at a time, so any thread count
@@ -51,9 +60,12 @@ struct DesignPoint {
   int bandwidth_index = 0;
   int area_index = 0;
   int weights_index = 0;
+  int search_index = 0;
+  int restarts_index = 0;
   int objective_index = 0;
 
-  /// Compact human-readable tag, e.g. "MP/delay/bw500".
+  /// Compact human-readable tag, e.g. "MP/delay/bw500" (non-default search
+  /// strategies append themselves, e.g. ".../restart-annealing-x8").
   [[nodiscard]] std::string label() const;
 };
 
@@ -82,9 +94,10 @@ struct ObjectiveBest {
 
 /// Outcome of a batched exploration. `results` is ordered deterministically
 /// by grid coordinates — routing outermost, then bandwidth, area cap,
-/// weight set, and objective innermost — regardless of how many worker
-/// threads ran the sweep. (Objective varies fastest so that consecutive
-/// points share the evaluation-metrics cache of the per-topology context.)
+/// weight set, search strategy, restart count, and objective innermost —
+/// regardless of how many worker threads ran the sweep. (Objective varies
+/// fastest so that consecutive points share the evaluation-metrics cache of
+/// the per-topology context.)
 struct ExplorationReport {
   std::vector<PointResult> results;
   /// One entry per distinct objective swept, in axis order.

@@ -52,6 +52,47 @@ void expect_identical(const SelectionReport& batched,
   }
 }
 
+TEST(Explorer, SearchStrategyAndRestartAxesSweepBitIdentically) {
+  // The ROADMAP follow-on axes: search strategy and restart count expand
+  // the grid like any other axis and every point matches the per-config
+  // selector run, sharing one context per topology.
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.base.annealing_iterations = 300;
+  request.searches = {mapping::SearchKind::kGreedySwaps,
+                      mapping::SearchKind::kRestartAnnealing};
+  request.restart_counts = {2, 4};
+  EXPECT_EQ(request.num_points(), 4u);
+
+  const auto points = DesignSpaceExplorer::expand(request);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].config.search, mapping::SearchKind::kGreedySwaps);
+  EXPECT_EQ(points[0].config.annealing_restarts, 2);
+  EXPECT_EQ(points[1].config.annealing_restarts, 4);
+  EXPECT_EQ(points[2].config.search,
+            mapping::SearchKind::kRestartAnnealing);
+  EXPECT_EQ(points[3].search_index, 1);
+  EXPECT_EQ(points[3].restarts_index, 1);
+  EXPECT_NE(points[3].label().find("restart-annealing-x4"),
+            std::string::npos);
+
+  const auto contexts_before = mapping::EvalContext::contexts_built();
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+  EXPECT_EQ(mapping::EvalContext::contexts_built() - contexts_before,
+            library.size());
+  ASSERT_EQ(report.results.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    TopologySelector selector(points[p].config);
+    expect_identical(report.results[p].selection,
+                     selector.select(app, library),
+                     report.results[p].point.label());
+  }
+}
+
 TEST(Explorer, ExpandsGridObjectiveInnermostRoutingOutermost) {
   const auto app = apps::vopd();
   const auto library = topo::standard_library(app.num_cores());

@@ -1,0 +1,234 @@
+// Admissibility tests for the objective-generic lower-bound pruning: the
+// area/power bounds must never exceed the exactly evaluated values (over
+// random mappings, all topologies shapes, and all routing functions), and a
+// bound-pruned greedy-swap search must return the bit-identical mapping and
+// cost of the prune-disabled reference search.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "apps/apps.h"
+#include "mapping/eval_context.h"
+#include "mapping/mapper.h"
+#include "topo/library.h"
+#include "util/prng.h"
+
+namespace sunmap::mapping {
+namespace {
+
+std::vector<int> random_mapping(int num_cores, int num_slots,
+                                util::Prng& prng) {
+  std::vector<int> slots(static_cast<std::size_t>(num_slots));
+  std::iota(slots.begin(), slots.end(), 0);
+  for (std::size_t i = slots.size() - 1; i > 0; --i) {
+    std::swap(slots[i], slots[prng.next_below(i + 1)]);
+  }
+  slots.resize(static_cast<std::size_t>(num_cores));
+  return slots;
+}
+
+std::vector<std::unique_ptr<topo::Topology>> bound_topologies(int cores) {
+  // The whole standard library: mesh/torus/hypercube exercise the grid
+  // placement mode, clos and the butterfly the columns mode (and distinct
+  // ingress/egress switches).
+  return topo::standard_library(cores);
+}
+
+TEST(BoundAdmissibility, AreaBoundNeverExceedsEvaluatedArea) {
+  const auto app = apps::mpeg4();
+  util::Prng prng(7);
+  for (const auto& topology : bound_topologies(app.num_cores())) {
+    for (const route::RoutingKind kind :
+         {route::RoutingKind::kDimensionOrdered,
+          route::RoutingKind::kMinPath}) {
+      MapperConfig config;
+      config.routing = kind;
+      config.objective = Objective::kMinArea;
+      Mapper mapper(config);
+      const auto ctx = mapper.make_context(app, *topology);
+      EvalScratch scratch;
+      for (int trial = 0; trial < 12; ++trial) {
+        const auto mapping =
+            random_mapping(app.num_cores(), topology->num_slots(), prng);
+        const auto eval = ctx.evaluate(mapping, scratch);
+        const double bound = ctx.area_lower_bound(mapping, scratch);
+        SCOPED_TRACE(topology->name() + " trial " + std::to_string(trial));
+        EXPECT_GT(bound, 0.0);
+        EXPECT_LE(bound, eval.design_area_mm2 * (1.0 + 1e-12));
+      }
+    }
+  }
+}
+
+TEST(BoundAdmissibility, PowerBoundNeverExceedsEvaluatedPower) {
+  const auto app = apps::mpeg4();
+  util::Prng prng(11);
+  for (const auto& topology : bound_topologies(app.num_cores())) {
+    for (const route::RoutingKind kind : route::kAllRoutingKinds) {
+      MapperConfig config;
+      config.routing = kind;
+      config.objective = Objective::kMinPower;
+      Mapper mapper(config);
+      const auto ctx = mapper.make_context(app, *topology);
+      EvalScratch scratch;
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto mapping =
+            random_mapping(app.num_cores(), topology->num_slots(), prng);
+        const auto eval = ctx.evaluate(mapping, scratch);
+        const double bound = ctx.power_lower_bound(mapping);
+        SCOPED_TRACE(topology->name() + std::string(" / ") +
+                     route::to_string(kind) + " trial " +
+                     std::to_string(trial));
+        // At the very least the exact static power is in the bound.
+        EXPECT_GE(bound, eval.static_power_mw);
+        EXPECT_LE(bound, eval.design_power_mw * (1.0 + 1e-12));
+      }
+    }
+  }
+}
+
+/// The pruned and prune-disabled searches must walk to the identical
+/// mapping at the bit-identical cost: pruning may only skip candidates that
+/// provably cannot beat the incumbent.
+void expect_pruned_search_identical(const CoreGraph& app,
+                                    const topo::Topology& topology,
+                                    MapperConfig config) {
+  config.bound_pruning = true;
+  const auto pruned = Mapper(config).map(app, topology);
+  config.bound_pruning = false;
+  const auto reference = Mapper(config).map(app, topology);
+
+  EXPECT_EQ(pruned.core_to_slot, reference.core_to_slot);
+  EXPECT_EQ(pruned.eval.cost, reference.eval.cost);
+  EXPECT_EQ(pruned.eval.design_area_mm2, reference.eval.design_area_mm2);
+  EXPECT_EQ(pruned.eval.design_power_mw, reference.eval.design_power_mw);
+  EXPECT_EQ(pruned.eval.avg_switch_hops, reference.eval.avg_switch_hops);
+  EXPECT_EQ(pruned.evaluated_mappings, reference.evaluated_mappings);
+  EXPECT_EQ(reference.pruned_mappings, 0);
+}
+
+TEST(PrunedSearch, BitIdenticalOnRandomizedWorkloadsMinArea) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    apps::SyntheticSpec spec;
+    spec.num_cores = 12;
+    spec.edge_density = 0.2;
+    spec.max_bandwidth_mbps = 300.0;
+    spec.seed = seed;
+    const auto app = apps::synthetic(spec);
+    const auto mesh = topo::make_mesh_for(spec.num_cores);
+    MapperConfig config;
+    config.objective = Objective::kMinArea;
+    config.link_bandwidth_mbps = 2000.0;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_pruned_search_identical(app, *mesh, config);
+  }
+}
+
+TEST(PrunedSearch, BitIdenticalOnRandomizedWorkloadsMinPower) {
+  for (const std::uint64_t seed : {4u, 5u, 6u}) {
+    apps::SyntheticSpec spec;
+    spec.num_cores = 12;
+    spec.edge_density = 0.2;
+    spec.max_bandwidth_mbps = 300.0;
+    spec.seed = seed;
+    const auto app = apps::synthetic(spec);
+    const auto mesh = topo::make_mesh_for(spec.num_cores);
+    MapperConfig config;
+    config.objective = Objective::kMinPower;
+    config.link_bandwidth_mbps = 2000.0;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_pruned_search_identical(app, *mesh, config);
+  }
+}
+
+TEST(PrunedSearch, BitIdenticalAcrossObjectivesRoutingsAndTopologies) {
+  const auto app = apps::vopd();
+  for (const auto& topology : bound_topologies(app.num_cores())) {
+    for (const auto objective :
+         {Objective::kMinArea, Objective::kMinPower, Objective::kWeighted}) {
+      MapperConfig config;
+      config.objective = objective;
+      config.link_bandwidth_mbps = 1000.0;
+      SCOPED_TRACE(topology->name() + std::string(" / ") +
+                   to_string(objective));
+      expect_pruned_search_identical(app, *topology, config);
+    }
+  }
+}
+
+TEST(BoundAdmissibility, HoldsUnderSimplexLpFloorplanEngine) {
+  // The LP engine places blocks at raw simplex-vertex coordinates, where
+  // only the pairwise ordering constraints are guaranteed — the bounds
+  // must fall back to their LP-safe form and stay admissible.
+  const auto app = apps::vopd();
+  util::Prng prng(13);
+  for (const auto& topology : bound_topologies(app.num_cores())) {
+    MapperConfig config;
+    config.objective = Objective::kMinPower;
+    config.floorplan.engine = fplan::Floorplanner::Engine::kSimplexLp;
+    Mapper mapper(config);
+    const auto ctx = mapper.make_context(app, *topology);
+    EvalScratch scratch;
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto mapping =
+          random_mapping(app.num_cores(), topology->num_slots(), prng);
+      const auto eval = ctx.evaluate(mapping, scratch);
+      SCOPED_TRACE(topology->name() + " trial " + std::to_string(trial));
+      EXPECT_LE(ctx.area_lower_bound(mapping, scratch),
+                eval.design_area_mm2 * (1.0 + 1e-12));
+      EXPECT_LE(ctx.power_lower_bound(mapping),
+                eval.design_power_mw * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(PrunedSearch, BitIdenticalUnderSimplexLpFloorplanEngine) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  for (const auto objective : {Objective::kMinArea, Objective::kMinPower}) {
+    MapperConfig config;
+    config.objective = objective;
+    config.floorplan.engine = fplan::Floorplanner::Engine::kSimplexLp;
+    SCOPED_TRACE(to_string(objective));
+    expect_pruned_search_identical(app, *mesh, config);
+  }
+}
+
+TEST(PrunedSearch, PrunesMostCandidatesOnFeasibleMinAreaRun) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig config;
+  config.objective = Objective::kMinArea;
+  const auto result = Mapper(config).map(app, *mesh);
+  EXPECT_GT(result.pruned_mappings, result.evaluated_mappings / 2);
+}
+
+TEST(PrunedSearch, AreaCapInfeasibilityPrunesUnderAnyObjective) {
+  // A provably cap-violating candidate can be pruned even under min-delay.
+  // The cap sits above the incumbent's area but below what the envelope
+  // proves for the worst candidates; results must still be identical.
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig config;
+  config.objective = Objective::kMinDelay;
+  const auto unconstrained = Mapper(config).map(app, *mesh);
+  config.max_area_mm2 = unconstrained.eval.design_area_mm2 * 1.05;
+  expect_pruned_search_identical(app, *mesh, config);
+}
+
+TEST(PrunedSearch, DisabledPruningStillSearchesFully) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig config;
+  config.bound_pruning = false;
+  const auto result = Mapper(config).map(app, *mesh);
+  EXPECT_EQ(result.pruned_mappings, 0);
+  EXPECT_GT(result.evaluated_mappings, 1);
+  EXPECT_TRUE(result.eval.feasible());
+}
+
+}  // namespace
+}  // namespace sunmap::mapping

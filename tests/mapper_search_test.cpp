@@ -76,7 +76,7 @@ TEST(Annealing, ProducesValidMapping) {
   const auto app = apps::vopd();
   const auto mesh = topo::make_mesh_for(app.num_cores());
   MapperConfig config;
-  config.search = SearchStrategy::kAnnealing;
+  config.search = SearchKind::kAnnealing;
   config.annealing_iterations = 400;
   Mapper mapper(config);
   const auto result = mapper.map(app, *mesh);
@@ -94,7 +94,7 @@ TEST(Annealing, DeterministicForSameSeed) {
   const auto app = apps::dsp_filter();
   const auto mesh = topo::make_mesh_for(app.num_cores());
   MapperConfig config;
-  config.search = SearchStrategy::kAnnealing;
+  config.search = SearchKind::kAnnealing;
   config.annealing_iterations = 300;
   config.annealing_seed = 5;
   config.link_bandwidth_mbps = 1000.0;
@@ -110,7 +110,7 @@ TEST(Annealing, NeverWorseThanGreedyInitial) {
   MapperConfig initial_only;
   initial_only.swap_passes = 0;
   MapperConfig annealing;
-  annealing.search = SearchStrategy::kAnnealing;
+  annealing.search = SearchKind::kAnnealing;
   annealing.annealing_iterations = 600;
   const auto base = Mapper(initial_only).map(app, *mesh);
   const auto annealed = Mapper(annealing).map(app, *mesh);
@@ -122,7 +122,7 @@ TEST(Annealing, TracksExploredMappings) {
   const auto app = apps::pip();
   const auto mesh = topo::make_mesh_for(app.num_cores());
   MapperConfig config;
-  config.search = SearchStrategy::kAnnealing;
+  config.search = SearchKind::kAnnealing;
   config.annealing_iterations = 200;
   config.collect_explored = true;
   const auto result = Mapper(config).map(app, *mesh);
@@ -132,8 +132,8 @@ TEST(Annealing, TracksExploredMappings) {
 }
 
 TEST(SearchStrategy, ToStringNames) {
-  EXPECT_STREQ(to_string(SearchStrategy::kGreedySwaps), "greedy-swaps");
-  EXPECT_STREQ(to_string(SearchStrategy::kAnnealing), "annealing");
+  EXPECT_STREQ(to_string(SearchKind::kGreedySwaps), "greedy-swaps");
+  EXPECT_STREQ(to_string(SearchKind::kAnnealing), "annealing");
   EXPECT_STREQ(to_string(Objective::kWeighted), "weighted");
 }
 

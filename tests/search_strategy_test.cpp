@@ -1,0 +1,167 @@
+// Tests for the pluggable search-strategy subsystem: the factory, the
+// multi-restart annealer (best-of-restarts, equal-budget dominance,
+// thread-count determinism), and temperature re-heating.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/apps.h"
+#include "mapping/eval_context.h"
+#include "mapping/search_strategy.h"
+#include "topo/library.h"
+
+namespace sunmap::mapping {
+namespace {
+
+MapperConfig restart_config(int restarts, int total_iterations) {
+  MapperConfig config;
+  config.search = SearchKind::kRestartAnnealing;
+  config.annealing_restarts = restarts;
+  config.annealing_iterations = total_iterations;
+  return config;
+}
+
+TEST(SearchStrategyFactory, ImplementsEveryKind) {
+  for (const auto kind :
+       {SearchKind::kGreedySwaps, SearchKind::kAnnealing,
+        SearchKind::kRestartAnnealing}) {
+    const auto strategy = make_search_strategy(kind);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_STREQ(strategy->name(), to_string(kind));
+  }
+}
+
+TEST(RestartAnnealing, ProducesValidMapping) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  const auto result =
+      Mapper(restart_config(4, 800)).map(app, *mesh);
+  std::vector<bool> used(static_cast<std::size_t>(mesh->num_slots()), false);
+  for (int slot : result.core_to_slot) {
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, mesh->num_slots());
+    EXPECT_FALSE(used[static_cast<std::size_t>(slot)]);
+    used[static_cast<std::size_t>(slot)] = true;
+  }
+  EXPECT_TRUE(result.eval.feasible());
+}
+
+// The acceptance bar: at the same total iteration budget, the restart
+// annealer (restarts >= 4) never returns a worse cost than the single-seed
+// chain on the VOPD mesh. Both searches are deterministic, so this is a
+// fixed comparison, not a statistical one.
+TEST(RestartAnnealing, NeverWorseThanSingleSeedAtEqualBudgetOnVopd) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  for (const int total : {1000, 2000}) {
+    for (const int restarts : {4, 8}) {
+      MapperConfig single;
+      single.search = SearchKind::kAnnealing;
+      single.annealing_iterations = total;
+      const auto single_result = Mapper(single).map(app, *mesh);
+
+      const auto restart_result =
+          Mapper(restart_config(restarts, total)).map(app, *mesh);
+
+      SCOPED_TRACE("total=" + std::to_string(total) +
+                   " restarts=" + std::to_string(restarts));
+      ASSERT_TRUE(single_result.eval.feasible());
+      ASSERT_TRUE(restart_result.eval.feasible());
+      EXPECT_LE(restart_result.eval.cost, single_result.eval.cost);
+    }
+  }
+}
+
+TEST(RestartAnnealing, DeterministicAcrossThreadCounts) {
+  const auto app = apps::dsp_filter();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  auto config = restart_config(5, 600);
+  config.link_bandwidth_mbps = 1000.0;
+  const auto sequential = Mapper(config).map(app, *mesh);
+  config.num_threads = 3;
+  const auto parallel = Mapper(config).map(app, *mesh);
+  EXPECT_EQ(sequential.core_to_slot, parallel.core_to_slot);
+  EXPECT_EQ(sequential.eval.cost, parallel.eval.cost);
+  EXPECT_EQ(sequential.evaluated_mappings, parallel.evaluated_mappings);
+}
+
+TEST(RestartAnnealing, SingleRestartMatchesPlainAnnealing) {
+  // One restart with the full budget runs the identical chain (same seed,
+  // same uncompressed cooling) as the plain annealer.
+  const auto app = apps::mwd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig single;
+  single.search = SearchKind::kAnnealing;
+  single.annealing_iterations = 500;
+  auto restart = single;
+  restart.search = SearchKind::kRestartAnnealing;
+  restart.annealing_restarts = 1;
+  const auto a = Mapper(single).map(app, *mesh);
+  const auto b = Mapper(restart).map(app, *mesh);
+  EXPECT_EQ(a.core_to_slot, b.core_to_slot);
+  EXPECT_EQ(a.eval.cost, b.eval.cost);
+  EXPECT_EQ(a.evaluated_mappings, b.evaluated_mappings);
+}
+
+TEST(RestartAnnealing, CollectsExploredTraceAcrossRestarts) {
+  const auto app = apps::pip();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  auto config = restart_config(4, 400);
+  config.collect_explored = true;
+  const auto result = Mapper(config).map(app, *mesh);
+  // The initial evaluation plus every chain iteration that evaluated.
+  EXPECT_EQ(static_cast<int>(result.explored_area_power.size()),
+            result.evaluated_mappings);
+  EXPECT_GT(result.evaluated_mappings, 200);
+}
+
+TEST(Reheating, KeepsDeterminismAndValidity) {
+  const auto app = apps::vopd();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  auto config = restart_config(4, 800);
+  config.annealing_reheats = 2;
+  const auto a = Mapper(config).map(app, *mesh);
+  const auto b = Mapper(config).map(app, *mesh);
+  EXPECT_EQ(a.core_to_slot, b.core_to_slot);
+  EXPECT_EQ(a.eval.cost, b.eval.cost);
+  EXPECT_TRUE(a.eval.feasible());
+}
+
+TEST(Reheating, ZeroReheatsReproducesPlainSchedule) {
+  const auto app = apps::dsp_filter();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig plain;
+  plain.search = SearchKind::kAnnealing;
+  plain.annealing_iterations = 300;
+  plain.link_bandwidth_mbps = 1000.0;
+  auto zero = plain;
+  zero.annealing_reheats = 0;
+  const auto a = Mapper(plain).map(app, *mesh);
+  const auto b = Mapper(zero).map(app, *mesh);
+  EXPECT_EQ(a.core_to_slot, b.core_to_slot);
+  EXPECT_EQ(a.eval.cost, b.eval.cost);
+}
+
+TEST(SearchConfigValidation, RejectsBadRestartAndReheatCounts) {
+  MapperConfig config;
+  config.annealing_restarts = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = MapperConfig{};
+  config.annealing_reheats = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = MapperConfig{};
+  config.annealing_restarts = 16;
+  config.annealing_reheats = 3;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SearchKindNames, RoundTrip) {
+  EXPECT_STREQ(to_string(SearchKind::kGreedySwaps), "greedy-swaps");
+  EXPECT_STREQ(to_string(SearchKind::kAnnealing), "annealing");
+  EXPECT_STREQ(to_string(SearchKind::kRestartAnnealing), "restart-annealing");
+}
+
+}  // namespace
+}  // namespace sunmap::mapping

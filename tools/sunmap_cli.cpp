@@ -47,6 +47,13 @@ void usage() {
   --file <path>       core graph file (see src/io/core_graph_io.h grammar)
   --routing <fn>      DO | MP | SM | SA           (default MP)
   --objective <obj>   delay | area | power | weighted   (default delay)
+  --search <kind>     greedy | sa | rsa: greedy pairwise swaps, single-seed
+                      simulated annealing, or the multi-restart annealer
+                      (default greedy)
+  --restarts <n>      independent annealing chains of --search rsa; the
+                      total annealing budget is split across them and the
+                      best-of-restarts mapping kept (default 4)
+  --reheat <n>        temperature re-heats per annealing chain (default 0)
   --w-delay <x>       weight of the delay term    (objective weighted)
   --w-area <x>        weight of the area term     (objective weighted)
   --w-power <x>       weight of the power term    (objective weighted)
@@ -59,9 +66,10 @@ void usage() {
   --csv <path>        write the comparison table as CSV
   --out <dir>         write generated SystemC sources here
   --sweep             batched design-space exploration: --routing,
-                      --objective, --bandwidth, and --max-area accept
-                      comma-separated lists and the whole cross product is
-                      explored with one evaluation context per topology;
+                      --objective, --bandwidth, --max-area, --search, and
+                      --restarts accept comma-separated lists and the whole
+                      cross product is explored with one evaluation context
+                      per topology;
                       prints the comparison matrix, per-objective winners,
                       and the area/power Pareto frontier. In sweep mode
                       --threads means explorer workers spread across
@@ -84,6 +92,19 @@ std::optional<mapping::Objective> parse_objective(const std::string& text) {
   if (text == "area") return mapping::Objective::kMinArea;
   if (text == "power") return mapping::Objective::kMinPower;
   if (text == "weighted") return mapping::Objective::kWeighted;
+  return std::nullopt;
+}
+
+std::optional<mapping::SearchKind> parse_search(const std::string& text) {
+  if (text == "greedy" || text == "greedy-swaps") {
+    return mapping::SearchKind::kGreedySwaps;
+  }
+  if (text == "sa" || text == "annealing") {
+    return mapping::SearchKind::kAnnealing;
+  }
+  if (text == "rsa" || text == "restart" || text == "restart-annealing") {
+    return mapping::SearchKind::kRestartAnnealing;
+  }
   return std::nullopt;
 }
 
@@ -111,7 +132,9 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
               const std::vector<std::string>& objectives,
               const std::vector<std::string>& routings,
               const std::vector<std::string>& bandwidths,
-              const std::vector<std::string>& max_areas, int threads,
+              const std::vector<std::string>& max_areas,
+              const std::vector<std::string>& searches,
+              const std::vector<std::string>& restarts, int threads,
               const std::string& csv_path, const std::string& json_path) {
   select::ExplorationRequest request;
   request.app = &app;
@@ -133,12 +156,23 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
     }
     request.routings.push_back(*kind);
   }
+  for (const auto& text : searches) {
+    const auto kind = parse_search(text);
+    if (!kind) {
+      std::cerr << "unknown search strategy " << text << "\n";
+      return 2;
+    }
+    request.searches.push_back(*kind);
+  }
   try {
     for (const auto& text : bandwidths) {
       request.link_bandwidths_mbps.push_back(std::stod(text));
     }
     for (const auto& text : max_areas) {
       request.max_areas_mm2.push_back(std::stod(text));
+    }
+    for (const auto& text : restarts) {
+      request.restart_counts.push_back(std::stoi(text));
     }
   } catch (const std::exception&) {
     std::cerr << "bad numeric list value\n";
@@ -160,7 +194,7 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
 
   std::cout << "Sweep: " << report->results.size() << " design points x "
             << library.size() << " topologies\n\n";
-  util::Table matrix({"point", "routing", "objective", "BW (MB/s)",
+  util::Table matrix({"point", "routing", "objective", "search", "BW (MB/s)",
                       "feasible", "best topology", "cost", "area (mm2)",
                       "power (mW)"});
   for (std::size_t p = 0; p < report->results.size(); ++p) {
@@ -174,6 +208,10 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
     matrix.add_row(
         {std::to_string(p), route::to_string(cfg.routing),
          mapping::to_string(cfg.objective),
+         cfg.search == mapping::SearchKind::kRestartAnnealing
+             ? std::string(mapping::to_string(cfg.search)) + "-x" +
+                   std::to_string(cfg.annealing_restarts)
+             : mapping::to_string(cfg.search),
          util::Table::num(cfg.link_bandwidth_mbps, 0),
          std::to_string(feasible) + "/" +
              std::to_string(result.selection.candidates.size()),
@@ -243,7 +281,8 @@ int main(int argc, char** argv) {
   int threads = 1;
   std::string csv_path;
   std::string json_path;
-  std::vector<std::string> objectives, routings, bandwidths, max_areas;
+  std::vector<std::string> objectives, routings, bandwidths, max_areas,
+      searches, restarts;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -271,6 +310,12 @@ int main(int argc, char** argv) {
         routings = split_list(need_value(i));
       } else if (arg == "--objective") {
         objectives = split_list(need_value(i));
+      } else if (arg == "--search") {
+        searches = split_list(need_value(i));
+      } else if (arg == "--restarts") {
+        restarts = split_list(need_value(i));
+      } else if (arg == "--reheat") {
+        config.mapper.annealing_reheats = std::stoi(need_value(i));
       } else if (arg == "--bandwidth") {
         bandwidths = split_list(need_value(i));
       } else if (arg == "--w-delay") {
@@ -322,7 +367,8 @@ int main(int argc, char** argv) {
   } else {
     // Single-point mode: every axis flag must name exactly one value.
     if (objectives.size() > 1 || routings.size() > 1 ||
-        bandwidths.size() > 1 || max_areas.size() > 1) {
+        bandwidths.size() > 1 || max_areas.size() > 1 ||
+        searches.size() > 1 || restarts.size() > 1) {
       std::cerr << "value lists require --sweep\n";
       return 2;
     }
@@ -346,12 +392,23 @@ int main(int argc, char** argv) {
       }
       config.mapper.routing = *kind;
     }
+    if (!searches.empty()) {
+      const auto kind = parse_search(searches.front());
+      if (!kind) {
+        std::cerr << "unknown search strategy " << searches.front() << "\n";
+        return 2;
+      }
+      config.mapper.search = *kind;
+    }
     try {
       if (!bandwidths.empty()) {
         config.mapper.link_bandwidth_mbps = std::stod(bandwidths.front());
       }
       if (!max_areas.empty()) {
         config.mapper.max_area_mm2 = std::stod(max_areas.front());
+      }
+      if (!restarts.empty()) {
+        config.mapper.annealing_restarts = std::stoi(restarts.front());
       }
     } catch (const std::exception&) {
       std::cerr << "bad numeric value\n";
@@ -371,7 +428,8 @@ int main(int argc, char** argv) {
 
   if (sweep) {
     return run_sweep(*app, config, objectives, routings, bandwidths,
-                     max_areas, threads, csv_path, json_path);
+                     max_areas, searches, restarts, threads, csv_path,
+                     json_path);
   }
 
   std::cout << "SUNMAP: " << app->name() << " (" << app->num_cores()
