@@ -3,12 +3,29 @@
 //    (identical chip extents, very different runtime — why the swap loop
 //    uses the longest-path engine);
 //  * soft-block aspect-ratio sizing on vs off.
+//
+// Plus the cross-PR floorplan perf probe: a randomized pairwise-swap
+// sequence driven once through stateless from-scratch Floorplanner::place
+// calls and once through an incremental fplan::FloorplanSession. The two
+// must agree bit-for-bit on every step (chip W/H, area, every block), and
+// the session must be at least 2x faster — `--json[=path]` dumps
+// BENCH_floorplan.json with both invariants so CI tracks them across PRs,
+// and the binary exits nonzero when either fails.
 
 #include "apps/apps.h"
 #include "bench/bench_util.h"
 #include "fplan/floorplanner.h"
+#include "fplan/session.h"
 #include "topo/library.h"
+#include "util/prng.h"
 #include "util/table.h"
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -19,8 +36,8 @@ struct Inputs {
   std::vector<fplan::BlockShape> switches;
 };
 
-Inputs vopd_inputs(const topo::Topology& topology) {
-  const auto app = apps::vopd();
+Inputs app_inputs(const mapping::CoreGraph& app,
+                  const topo::Topology& topology) {
   Inputs inputs;
   inputs.cores.resize(static_cast<std::size_t>(topology.num_slots()));
   for (int c = 0; c < app.num_cores() && c < topology.num_slots(); ++c) {
@@ -29,6 +46,10 @@ Inputs vopd_inputs(const topo::Topology& topology) {
   inputs.switches.assign(static_cast<std::size_t>(topology.num_switches()),
                          fplan::BlockShape::soft_block(0.25));
   return inputs;
+}
+
+Inputs vopd_inputs(const topo::Topology& topology) {
+  return app_inputs(apps::vopd(), topology);
 }
 
 void print_engine_comparison() {
@@ -80,6 +101,148 @@ void print_sizing_ablation() {
   std::printf("%s", table.to_string().c_str());
 }
 
+// ---- Swap-sequence probe: from-scratch place vs incremental session. ----
+
+constexpr int kSwapSteps = 400;
+constexpr int kTimingRounds = 3;
+
+struct SwapWorkload {
+  std::string name;
+  mapping::CoreGraph app;
+  std::unique_ptr<topo::Topology> topology;
+};
+
+struct SwapRow {
+  std::string key;
+  double from_scratch_ms = 0.0;
+  double incremental_ms = 0.0;
+  bool bit_identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return incremental_ms > 0.0 ? from_scratch_ms / incremental_ms : 0.0;
+  }
+};
+
+bool floorplans_equal(const fplan::Floorplan& a, const fplan::Floorplan& b) {
+  if (a.width_mm() != b.width_mm() || a.height_mm() != b.height_mm()) {
+    return false;
+  }
+  if (a.blocks().size() != b.blocks().size()) return false;
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    const auto& x = a.blocks()[i];
+    const auto& y = b.blocks()[i];
+    if (x.kind != y.kind || x.index != y.index || x.x != y.x || x.y != y.y ||
+        x.w != y.w || x.h != y.h) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One (slot a, slot b) swap per step, identical across the correctness and
+/// timing passes because the Prng is reseeded identically.
+struct SwapSequence {
+  explicit SwapSequence(int num_slots, std::uint64_t seed = 1234)
+      : prng(seed), slots(num_slots) {}
+  util::Prng prng;
+  int slots;
+
+  std::pair<int, int> next() {
+    const int a = prng.next_int(0, slots - 1);
+    int b = prng.next_int(0, slots - 2);
+    if (b >= a) ++b;
+    return {a, b};
+  }
+};
+
+SwapRow run_swap_probe(const SwapWorkload& workload) {
+  const auto placement = workload.topology->relative_placement();
+  const fplan::Floorplanner::Options options;
+  const fplan::Floorplanner planner(options);
+  const int num_slots = workload.topology->num_slots();
+
+  SwapRow row;
+  row.key = workload.name;
+
+  // Correctness pass (untimed): every step's incremental solve must equal
+  // the from-scratch place bit-for-bit.
+  {
+    auto inputs = app_inputs(workload.app, *workload.topology);
+    fplan::FloorplanSession session(options, placement, inputs.cores,
+                                    inputs.switches);
+    SwapSequence sequence(num_slots);
+    row.bit_identical = floorplans_equal(
+        session.solve(),
+        planner.place(placement, inputs.cores, inputs.switches));
+    std::vector<fplan::SlotShapeUpdate> updates(2);
+    for (int step = 0; step < kSwapSteps && row.bit_identical; ++step) {
+      const auto [a, b] = sequence.next();
+      std::swap(inputs.cores[static_cast<std::size_t>(a)],
+                inputs.cores[static_cast<std::size_t>(b)]);
+      updates[0] = {a, inputs.cores[static_cast<std::size_t>(a)]};
+      updates[1] = {b, inputs.cores[static_cast<std::size_t>(b)]};
+      session.update_shapes(updates);
+      row.bit_identical = floorplans_equal(
+          session.solve(),
+          planner.place(placement, inputs.cores, inputs.switches));
+    }
+  }
+
+  // Timing passes: best of kTimingRounds identical rounds per path, so a
+  // one-off scheduler stall on a noisy CI runner cannot fake a slowdown of
+  // either side.
+  row.from_scratch_ms = std::numeric_limits<double>::infinity();
+  row.incremental_ms = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kTimingRounds; ++round) {
+    // From-scratch: a fresh Floorplanner::place per step.
+    {
+      auto inputs = app_inputs(workload.app, *workload.topology);
+      SwapSequence sequence(num_slots);
+      double blackhole = 0.0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int step = 0; step < kSwapSteps; ++step) {
+        const auto [a, b] = sequence.next();
+        std::swap(inputs.cores[static_cast<std::size_t>(a)],
+                  inputs.cores[static_cast<std::size_t>(b)]);
+        blackhole +=
+            planner.place(placement, inputs.cores, inputs.switches).area_mm2();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(blackhole);
+      row.from_scratch_ms = std::min(
+          row.from_scratch_ms,
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+
+    // Incremental: one session, two-slot deltas.
+    {
+      auto inputs = app_inputs(workload.app, *workload.topology);
+      fplan::FloorplanSession session(options, placement, inputs.cores,
+                                      inputs.switches);
+      (void)session.solve();
+      SwapSequence sequence(num_slots);
+      std::vector<fplan::SlotShapeUpdate> updates(2);
+      double blackhole = 0.0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int step = 0; step < kSwapSteps; ++step) {
+        const auto [a, b] = sequence.next();
+        std::swap(inputs.cores[static_cast<std::size_t>(a)],
+                  inputs.cores[static_cast<std::size_t>(b)]);
+        updates[0] = {a, inputs.cores[static_cast<std::size_t>(a)]};
+        updates[1] = {b, inputs.cores[static_cast<std::size_t>(b)]};
+        session.update_shapes(updates);
+        blackhole += session.solve().area_mm2();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(blackhole);
+      row.incremental_ms = std::min(
+          row.incremental_ms,
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  }
+  return row;
+}
+
 void BM_FloorplanLongestPath(benchmark::State& state) {
   const auto mesh = topo::make_mesh_for(12);
   const auto inputs = vopd_inputs(*mesh);
@@ -104,10 +267,151 @@ void BM_FloorplanSimplexLp(benchmark::State& state) {
 }
 BENCHMARK(BM_FloorplanSimplexLp)->Unit(benchmark::kMillisecond);
 
+void BM_FloorplanIncrementalSwap(benchmark::State& state) {
+  const auto mesh = topo::make_mesh_for(12);
+  auto inputs = vopd_inputs(*mesh);
+  fplan::FloorplanSession session({}, mesh->relative_placement(),
+                                  inputs.cores, inputs.switches);
+  (void)session.solve();
+  SwapSequence sequence(mesh->num_slots());
+  std::vector<fplan::SlotShapeUpdate> updates(2);
+  for (auto _ : state) {
+    const auto [a, b] = sequence.next();
+    std::swap(inputs.cores[static_cast<std::size_t>(a)],
+              inputs.cores[static_cast<std::size_t>(b)]);
+    updates[0] = {a, inputs.cores[static_cast<std::size_t>(a)]};
+    updates[1] = {b, inputs.cores[static_cast<std::size_t>(b)]};
+    session.update_shapes(updates);
+    benchmark::DoNotOptimize(session.solve().area_mm2());
+  }
+}
+BENCHMARK(BM_FloorplanIncrementalSwap)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off our own --json[=path] flag before google-benchmark sees the
+  // arguments.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_floorplan.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argv[kept] = nullptr;
+  argc = kept;
+
+  const auto total_start = std::chrono::steady_clock::now();
   print_engine_comparison();
   print_sizing_ablation();
+
+  bench::print_heading(
+      "Swap-sequence probe: from-scratch place vs incremental session "
+      "(bit-identical by contract)");
+  std::vector<SwapWorkload> workloads;
+  {
+    SwapWorkload vopd_mesh{"vopd_mesh", apps::vopd(), nullptr};
+    vopd_mesh.topology = topo::make_mesh_for(16);  // 12 cores on 16 slots
+    workloads.push_back(std::move(vopd_mesh));
+    SwapWorkload mpeg4_mesh{"mpeg4_mesh", apps::mpeg4(), nullptr};
+    mpeg4_mesh.topology = topo::make_mesh_for(apps::mpeg4().num_cores());
+    workloads.push_back(std::move(mpeg4_mesh));
+    SwapWorkload vopd_bfly{"vopd_butterfly", apps::vopd(), nullptr};
+    vopd_bfly.topology = topo::make_butterfly_for(apps::vopd().num_cores());
+    workloads.push_back(std::move(vopd_bfly));
+  }
+
+  std::vector<SwapRow> rows;
+  util::Table table({"workload", "from-scratch ms", "incremental ms",
+                     "speedup", "bit-identical"});
+  bool all_identical = true;
+  double total_scratch = 0.0;
+  double total_incremental = 0.0;
+  for (const auto& workload : workloads) {
+    auto row = run_swap_probe(workload);
+    all_identical = all_identical && row.bit_identical;
+    total_scratch += row.from_scratch_ms;
+    total_incremental += row.incremental_ms;
+    table.add_row({row.key, util::Table::num(row.from_scratch_ms, 1),
+                   util::Table::num(row.incremental_ms, 1),
+                   util::Table::num(row.speedup(), 2) + "x",
+                   row.bit_identical ? "yes" : "NO"});
+    rows.push_back(std::move(row));
+  }
+  const double aggregate_speedup =
+      total_incremental > 0.0 ? total_scratch / total_incremental : 0.0;
+  std::printf("%saggregate incremental speedup: %.2fx over %d swaps x %zu "
+              "workloads\n",
+              table.to_string().c_str(), aggregate_speedup, kSwapSteps,
+              workloads.size());
+
+  const bool incremental_2x = aggregate_speedup >= 2.0;
+  int status = 0;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: incremental session diverged from from-scratch "
+                 "Floorplanner::place\n");
+    status = 1;
+  }
+  if (!incremental_2x) {
+    std::fprintf(stderr,
+                 "FAIL: incremental speedup %.2fx below the 2x acceptance "
+                 "bar\n",
+                 aggregate_speedup);
+    status = 1;
+  }
+
+  const auto total_end = std::chrono::steady_clock::now();
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(total_end - total_start)
+          .count();
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"floorplan\",\n"
+                 "  \"wall_ms\": %.3f,\n"
+                 "  \"swap_steps\": %d,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"incremental_2x\": %s,\n"
+                 "  \"aggregate_speedup\": %.3f,\n",
+                 total_ms, kSwapSteps, all_identical ? "true" : "false",
+                 incremental_2x ? "true" : "false", aggregate_speedup);
+    std::fprintf(out, "  \"swap_probe\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(out,
+                   "    {\"run\": \"%s\", \"from_scratch_ms\": %.3f, "
+                   "\"incremental_ms\": %.3f, \"speedup\": %.3f, "
+                   "\"bit_identical\": %s}%s\n",
+                   row.key.c_str(), row.from_scratch_ms, row.incremental_ms,
+                   row.speedup(), row.bit_identical ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    // Only the incremental legs are gated sub-benchmarks: the from-scratch
+    // legs are the deliberately slow reference path (their absolute time
+    // shifts with runner generations, and a slowdown there would only make
+    // the session look better); they stay in swap_probe for information.
+    std::fprintf(out, "  ],\n  \"sub_benchmarks\": {\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out, "    \"%s_incremental\": %.3f%s\n",
+                   rows[i].key.c_str(), rows[i].incremental_ms,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (status != 0) return status;
   return sunmap::bench::run_benchmarks(argc, argv);
 }

@@ -28,10 +28,11 @@ import json
 import sys
 
 # Correctness invariants recorded alongside the timings, when present: the
-# probes' mapping costs, candidate counts, and bit-identity flags are part
-# of the contract and must not drift as the engine gets faster.
+# probes' mapping costs, candidate counts, bit-identity flags, and the
+# incremental floorplanner's 2x acceptance bar are part of the contract and
+# must not drift as the engine gets faster.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
-                  "bit_identical", "restart_never_worse")
+                  "bit_identical", "restart_never_worse", "incremental_2x")
 
 
 def check_pair(current_path: str, baseline_path: str,

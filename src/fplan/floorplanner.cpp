@@ -1,377 +1,34 @@
 #include "fplan/floorplanner.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
-#include <stdexcept>
+#include <utility>
 
-#include "fplan/lp.h"
+#include "fplan/session.h"
 
 namespace sunmap::fplan {
-
-namespace {
-
-using Mode = topo::RelativePlacement::Mode;
-
-}  // namespace
 
 Floorplanner::Floorplanner() : options_{} {}
 
 Floorplanner::Floorplanner(Options options) : options_(std::move(options)) {}
 
-std::vector<Floorplanner::Item> Floorplanner::resolve_items(
-    const topo::RelativePlacement& placement,
-    const std::vector<std::optional<BlockShape>>& core_shapes,
-    const std::vector<BlockShape>& switch_shapes) const {
-  std::vector<Item> items;
-  items.reserve(placement.items.size());
-  for (const auto& it : placement.items) {
-    const BlockShape* shape = nullptr;
-    PlacedBlock::Kind kind;
-    if (it.kind == topo::RelativePlacement::Item::Kind::kCore) {
-      kind = PlacedBlock::Kind::kCore;
-      const auto& maybe =
-          core_shapes.at(static_cast<std::size_t>(it.index));
-      if (!maybe) continue;  // unused slot: no block
-      shape = &*maybe;
-    } else {
-      kind = PlacedBlock::Kind::kSwitch;
-      shape = &switch_shapes.at(static_cast<std::size_t>(it.index));
-    }
-    Item item{kind, it.index, it.row, it.col, it.sub, shape, 0.0, 0.0};
-    if (shape->soft) {
-      item.w = std::sqrt(shape->area_mm2);
-      item.h = item.w;
-    } else {
-      item.w = shape->width_mm;
-      item.h = shape->height_mm;
-    }
-    items.push_back(item);
-  }
-  return items;
-}
-
-namespace {
-
-/// Band-based layout shared by both engines' geometry: column bands along x
-/// and, for grid mode, row bands along y with per-cell stacking. Equivalent
-/// to the longest-path solution of the relative-position constraint graph.
-struct Layout {
-  std::vector<std::pair<double, double>> pos;  // (x, y) per item
-  double width = 0.0;
-  double height = 0.0;
-};
-
-Layout compute_layout(const topo::RelativePlacement& placement,
-                      const std::vector<Floorplanner::Item>& items,
-                      double spacing) {
-  Layout layout;
-  layout.pos.resize(items.size());
-
-  const int ncols = std::max(placement.num_cols, 1);
-  const int nrows = std::max(placement.num_rows, 1);
-
-  // Group item indices per (col) and per (row, col) cell.
-  std::vector<std::vector<std::size_t>> by_col(
-      static_cast<std::size_t>(ncols));
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    by_col.at(static_cast<std::size_t>(items[i].col)).push_back(i);
-  }
-
-  // Column widths.
-  std::vector<double> col_width(static_cast<std::size_t>(ncols), 0.0);
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    auto& w = col_width[static_cast<std::size_t>(items[i].col)];
-    w = std::max(w, items[i].w);
-  }
-
-  // Column x origins; spacing only between non-empty columns.
-  std::vector<double> col_x(static_cast<std::size_t>(ncols), 0.0);
-  double x = 0.0;
-  bool first_col = true;
-  for (int c = 0; c < ncols; ++c) {
-    if (by_col[static_cast<std::size_t>(c)].empty()) continue;
-    if (!first_col) x += spacing;
-    first_col = false;
-    col_x[static_cast<std::size_t>(c)] = x;
-    x += col_width[static_cast<std::size_t>(c)];
-  }
-  layout.width = x;
-
-  if (placement.mode == Mode::kGrid) {
-    // Cell stack heights -> row band heights.
-    std::map<std::pair<int, int>, std::vector<std::size_t>> cells;
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      cells[{items[i].row, items[i].col}].push_back(i);
-    }
-    for (auto& [key, stack] : cells) {
-      std::sort(stack.begin(), stack.end(), [&](std::size_t a, std::size_t b) {
-        return items[a].sub < items[b].sub;
-      });
-    }
-    std::vector<double> row_height(static_cast<std::size_t>(nrows), 0.0);
-    for (const auto& [key, stack] : cells) {
-      double h = 0.0;
-      for (std::size_t k = 0; k < stack.size(); ++k) {
-        if (k > 0) h += spacing;
-        h += items[stack[k]].h;
-      }
-      auto& rh = row_height[static_cast<std::size_t>(key.first)];
-      rh = std::max(rh, h);
-    }
-    std::vector<double> row_y(static_cast<std::size_t>(nrows), 0.0);
-    double y = 0.0;
-    bool first_row = true;
-    for (int r = 0; r < nrows; ++r) {
-      bool used = false;
-      for (const auto& [key, stack] : cells) {
-        if (key.first == r && !stack.empty()) {
-          used = true;
-          break;
-        }
-      }
-      if (!used) continue;
-      if (!first_row) y += spacing;
-      first_row = false;
-      row_y[static_cast<std::size_t>(r)] = y;
-      y += row_height[static_cast<std::size_t>(r)];
-    }
-    layout.height = y;
-
-    for (const auto& [key, stack] : cells) {
-      double cy = row_y[static_cast<std::size_t>(key.first)];
-      for (std::size_t idx : stack) {
-        const auto& item = items[idx];
-        const double cx =
-            col_x[static_cast<std::size_t>(item.col)] +
-            (col_width[static_cast<std::size_t>(item.col)] - item.w) / 2.0;
-        layout.pos[idx] = {cx, cy};
-        cy += item.h + spacing;
-      }
-    }
-  } else {
-    // Columns mode: stack each column bottom-up, then centre it vertically.
-    double max_height = 0.0;
-    std::vector<double> col_height(static_cast<std::size_t>(ncols), 0.0);
-    for (int c = 0; c < ncols; ++c) {
-      auto& column = by_col[static_cast<std::size_t>(c)];
-      std::sort(column.begin(), column.end(),
-                [&](std::size_t a, std::size_t b) {
-                  return items[a].row < items[b].row;
-                });
-      double h = 0.0;
-      for (std::size_t k = 0; k < column.size(); ++k) {
-        if (k > 0) h += spacing;
-        h += items[column[k]].h;
-      }
-      col_height[static_cast<std::size_t>(c)] = h;
-      max_height = std::max(max_height, h);
-    }
-    layout.height = max_height;
-    for (int c = 0; c < ncols; ++c) {
-      const auto& column = by_col[static_cast<std::size_t>(c)];
-      double cy =
-          (max_height - col_height[static_cast<std::size_t>(c)]) / 2.0;
-      for (std::size_t idx : column) {
-        const auto& item = items[idx];
-        const double cx =
-            col_x[static_cast<std::size_t>(item.col)] +
-            (col_width[static_cast<std::size_t>(item.col)] - item.w) / 2.0;
-        layout.pos[idx] = {cx, cy};
-        cy += item.h + spacing;
-      }
-    }
-  }
-  return layout;
-}
-
-}  // namespace
-
-std::pair<double, double> Floorplanner::extents(
-    const topo::RelativePlacement& placement,
-    const std::vector<Item>& items) const {
-  const auto layout = compute_layout(placement, items, options_.spacing_mm);
-  return {layout.width, layout.height};
-}
-
-void Floorplanner::size_soft_blocks(const topo::RelativePlacement& placement,
-                                    std::vector<Item>& items) const {
-  for (int pass = 0; pass < options_.sizing_passes; ++pass) {
-    for (auto& item : items) {
-      if (!item.shape->soft) continue;
-      double best_area = std::numeric_limits<double>::infinity();
-      double best_w = item.w;
-      double best_h = item.h;
-      std::vector<double> candidates = options_.aspect_candidates;
-      candidates.push_back(item.shape->min_aspect);
-      candidates.push_back(item.shape->max_aspect);
-      for (double aspect : candidates) {
-        const double clipped = std::clamp(aspect, item.shape->min_aspect,
-                                          item.shape->max_aspect);
-        item.w = std::sqrt(item.shape->area_mm2 * clipped);
-        item.h = std::sqrt(item.shape->area_mm2 / clipped);
-        const auto [w, h] = extents(placement, items);
-        const double chip = w * h;
-        if (chip < best_area - 1e-12) {
-          best_area = chip;
-          best_w = item.w;
-          best_h = item.h;
-        }
-      }
-      item.w = best_w;
-      item.h = best_h;
-    }
-  }
-}
-
-Floorplan Floorplanner::place_longest_path(
-    const topo::RelativePlacement& placement,
-    const std::vector<Item>& items) const {
-  const auto layout = compute_layout(placement, items, options_.spacing_mm);
-  std::vector<PlacedBlock> blocks;
-  blocks.reserve(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    blocks.push_back(PlacedBlock{items[i].kind, items[i].index,
-                                 layout.pos[i].first, layout.pos[i].second,
-                                 items[i].w, items[i].h});
-  }
-  return Floorplan(std::move(blocks), layout.width, layout.height);
-}
-
-Floorplan Floorplanner::place_simplex(
-    const topo::RelativePlacement& placement,
-    const std::vector<Item>& items) const {
-  // Variables: x_i, y_i per item, then W, H. Minimise W + H subject to the
-  // relative-position ordering constraints. This is the paper's LP
-  // formulation [21]; it attains the same chip extents as the band layout.
-  const int n = static_cast<int>(items.size());
-  if (n == 0) return Floorplan({}, 0.0, 0.0);
-  const double spacing = options_.spacing_mm;
-  LinearProgram lp(2 * n + 2);
-  const int var_w = 2 * n;
-  const int var_h = 2 * n + 1;
-  lp.set_objective(var_w, 1.0);
-  lp.set_objective(var_h, 1.0);
-
-  auto var_x = [](int i) { return 2 * i; };
-  auto var_y = [](int i) { return 2 * i + 1; };
-
-  // Boundary constraints: x_i + w_i <= W, y_i + h_i <= H.
-  for (int i = 0; i < n; ++i) {
-    lp.add_constraint({{var_x(i), 1.0}, {var_w, -1.0}},
-                      LinearProgram::Relation::kLe,
-                      -items[static_cast<std::size_t>(i)].w);
-    lp.add_constraint({{var_y(i), 1.0}, {var_h, -1.0}},
-                      LinearProgram::Relation::kLe,
-                      -items[static_cast<std::size_t>(i)].h);
-  }
-
-  // Ordering constraints between consecutive non-empty columns.
-  const int ncols = std::max(placement.num_cols, 1);
-  std::vector<std::vector<int>> by_col(static_cast<std::size_t>(ncols));
-  for (int i = 0; i < n; ++i) {
-    by_col.at(static_cast<std::size_t>(items[static_cast<std::size_t>(i)].col))
-        .push_back(i);
-  }
-  int prev_col = -1;
-  for (int c = 0; c < ncols; ++c) {
-    if (by_col[static_cast<std::size_t>(c)].empty()) continue;
-    if (prev_col >= 0) {
-      for (int a : by_col[static_cast<std::size_t>(prev_col)]) {
-        for (int b : by_col[static_cast<std::size_t>(c)]) {
-          // x_b - x_a >= w_a + spacing
-          lp.add_constraint({{var_x(b), 1.0}, {var_x(a), -1.0}},
-                            LinearProgram::Relation::kGe,
-                            items[static_cast<std::size_t>(a)].w + spacing);
-        }
-      }
-    }
-    prev_col = c;
-  }
-
-  if (placement.mode == Mode::kGrid) {
-    // Row ordering plus intra-cell stacking.
-    const int nrows = std::max(placement.num_rows, 1);
-    std::vector<std::vector<int>> by_row(static_cast<std::size_t>(nrows));
-    for (int i = 0; i < n; ++i) {
-      by_row
-          .at(static_cast<std::size_t>(items[static_cast<std::size_t>(i)].row))
-          .push_back(i);
-    }
-    int prev_row = -1;
-    for (int r = 0; r < nrows; ++r) {
-      if (by_row[static_cast<std::size_t>(r)].empty()) continue;
-      if (prev_row >= 0) {
-        for (int a : by_row[static_cast<std::size_t>(prev_row)]) {
-          for (int b : by_row[static_cast<std::size_t>(r)]) {
-            lp.add_constraint({{var_y(b), 1.0}, {var_y(a), -1.0}},
-                              LinearProgram::Relation::kGe,
-                              items[static_cast<std::size_t>(a)].h + spacing);
-          }
-        }
-      }
-      prev_row = r;
-      // Stacking within each cell of this row.
-      for (int a : by_row[static_cast<std::size_t>(r)]) {
-        for (int b : by_row[static_cast<std::size_t>(r)]) {
-          const auto& ia = items[static_cast<std::size_t>(a)];
-          const auto& ib = items[static_cast<std::size_t>(b)];
-          if (ia.col == ib.col && ia.sub < ib.sub) {
-            lp.add_constraint({{var_y(b), 1.0}, {var_y(a), -1.0}},
-                              LinearProgram::Relation::kGe, ia.h + spacing);
-          }
-        }
-      }
-    }
-  } else {
-    // Columns mode: stacking within each column by row order.
-    for (int c = 0; c < ncols; ++c) {
-      auto column = by_col[static_cast<std::size_t>(c)];
-      std::sort(column.begin(), column.end(), [&](int a, int b) {
-        return items[static_cast<std::size_t>(a)].row <
-               items[static_cast<std::size_t>(b)].row;
-      });
-      for (std::size_t k = 0; k + 1 < column.size(); ++k) {
-        lp.add_constraint(
-            {{var_y(column[k + 1]), 1.0}, {var_y(column[k]), -1.0}},
-            LinearProgram::Relation::kGe,
-            items[static_cast<std::size_t>(column[k])].h + spacing);
-      }
-    }
-  }
-
-  const auto solution = solve(lp);
-  if (solution.status != LpStatus::kOptimal) {
-    throw std::logic_error("Floorplanner: LP did not reach optimality");
-  }
-
-  std::vector<PlacedBlock> blocks;
-  blocks.reserve(items.size());
-  for (int i = 0; i < n; ++i) {
-    blocks.push_back(
-        PlacedBlock{items[static_cast<std::size_t>(i)].kind,
-                    items[static_cast<std::size_t>(i)].index,
-                    solution.values[static_cast<std::size_t>(var_x(i))],
-                    solution.values[static_cast<std::size_t>(var_y(i))],
-                    items[static_cast<std::size_t>(i)].w,
-                    items[static_cast<std::size_t>(i)].h});
-  }
-  return Floorplan(std::move(blocks),
-                   solution.values[static_cast<std::size_t>(var_w)],
-                   solution.values[static_cast<std::size_t>(var_h)]);
-}
-
 Floorplan Floorplanner::place(
     const topo::RelativePlacement& placement,
     const std::vector<std::optional<BlockShape>>& core_shapes,
     const std::vector<BlockShape>& switch_shapes) const {
-  auto items = resolve_items(placement, core_shapes, switch_shapes);
-  size_soft_blocks(placement, items);
-  if (options_.engine == Engine::kSimplexLp) {
-    return place_simplex(placement, items);
+  // A one-shot place is a session solved once with its construction-time
+  // shapes: the same staged code path the incremental callers drive, which
+  // is what makes incremental results bit-identical to from-scratch ones.
+  FloorplanSession session(options_, placement, core_shapes, switch_shapes);
+  return session.solve();
+}
+
+const char* to_string(Floorplanner::Engine engine) {
+  switch (engine) {
+    case Floorplanner::Engine::kLongestPath:
+      return "lp";
+    case Floorplanner::Engine::kSimplexLp:
+      return "simplex";
   }
-  return place_longest_path(placement, items);
+  return "?";
 }
 
 }  // namespace sunmap::fplan

@@ -14,6 +14,14 @@ namespace sunmap::fplan {
 /// is already solved — "for a particular mapping ... the relative positions
 /// of the cores and switches are known" — so only the second step remains.
 ///
+/// The solve is staged — item resolution, soft-block sizing, column/row
+/// constraint-graph build, longest-path (or simplex) solve — and the stages
+/// live in fplan::FloorplanSession (session.h), which keeps them alive
+/// across a *sequence* of related solves and accepts shape deltas.
+/// Floorplanner::place is the stateless one-shot entry point: it runs a
+/// fresh session once, so its results are bit-identical to any session
+/// reaching the same shape assignment through updates.
+///
 /// Two exact-position engines are provided:
 ///  * kLongestPath — column/row constraint-graph longest path; optimal for
 ///    the separable relative-position structure and fast enough to run on
@@ -63,8 +71,8 @@ class Floorplanner {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
-  /// Implementation detail exposed for the layout helpers; a block with its
-  /// relative grid coordinates and resolved dimensions.
+  /// A block with its relative grid coordinates and resolved dimensions —
+  /// the unit the session's stages exchange.
   struct Item {
     PlacedBlock::Kind kind;
     int index;
@@ -74,28 +82,12 @@ class Floorplanner {
   };
 
  private:
-  [[nodiscard]] std::vector<Item> resolve_items(
-      const topo::RelativePlacement& placement,
-      const std::vector<std::optional<BlockShape>>& core_shapes,
-      const std::vector<BlockShape>& switch_shapes) const;
-
-  /// Chip W/H for the current item dimensions (no positions).
-  [[nodiscard]] std::pair<double, double> extents(
-      const topo::RelativePlacement& placement,
-      const std::vector<Item>& items) const;
-
-  void size_soft_blocks(const topo::RelativePlacement& placement,
-                        std::vector<Item>& items) const;
-
-  [[nodiscard]] Floorplan place_longest_path(
-      const topo::RelativePlacement& placement,
-      const std::vector<Item>& items) const;
-
-  [[nodiscard]] Floorplan place_simplex(
-      const topo::RelativePlacement& placement,
-      const std::vector<Item>& items) const;
-
   Options options_;
 };
+
+/// Short stable engine names ("lp" for the longest-path band engine,
+/// "simplex" for the literal simplex LP), shared by the CLI flags and the
+/// exploration-report columns.
+const char* to_string(Floorplanner::Engine engine);
 
 }  // namespace sunmap::fplan

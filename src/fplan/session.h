@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fplan/floorplan.h"
+#include "fplan/floorplanner.h"
+#include "topo/topology.h"
+
+namespace sunmap::fplan {
+
+/// One slot's shape change for FloorplanSession::update_shapes: the core
+/// shape now occupying the slot, or nullopt to empty it. Switch shapes are
+/// placement-invariant and fixed at session construction.
+struct SlotShapeUpdate {
+  int slot = 0;
+  std::optional<BlockShape> shape;
+};
+
+/// Session-based incremental floorplanner: the stateful counterpart of
+/// Floorplanner::place for callers that solve a *sequence* of closely
+/// related shape assignments (the mapping search's pairwise-swap loop, the
+/// explorer's per-topology sweeps).
+///
+/// The one-shot place() pays, on every call, for (1) resolving placement
+/// items against the shape tables, (2) building the column/row constraint
+/// graphs — per-column member lists, per-cell stacks sorted by stacking
+/// order, per-row cell lists — and (3) a soft-block sizing descent whose
+/// every candidate trial re-derives the chip extents from scratch. A
+/// session splits those stages apart and keeps (1) and (2) alive across
+/// solves:
+///
+///  * update_shapes() applies a delta (a pairwise swap touches <= 2 slots):
+///    only the touched items are re-resolved and only their columns, cells,
+///    and rows have their longest-path aggregates re-derived; everything
+///    downstream of a dirty column/row (the chip-extent prefix sums) is
+///    re-run at the next solve. When the dirty set covers most of the
+///    design the patching is abandoned and the next solve re-derives every
+///    aggregate (the full-solve fallback).
+///  * solve() runs the sizing descent over the persistent structure; each
+///    candidate trial re-solves only the candidate's own column/row
+///    constraint chains (a max per column, a stack sum per cell) plus the
+///    downstream extent sums, instead of rebuilding the whole layout.
+///
+/// Incremental solves are bit-identical to from-scratch ones: every
+/// aggregate a delta dirties is recomputed with the same loop, in the same
+/// order, as the full derivation, and max/assignment carry no accumulated
+/// state — so Floorplanner::place (itself a one-shot session) and a session
+/// driven through any update history agree on every block position, chip
+/// dimension, and area to the last bit (asserted by the randomized
+/// swap-sequence property tests and by bench_floorplan --json).
+///
+/// Sessions are single-threaded; concurrent searches give each worker its
+/// own (mapping::EvalScratch owns one per thread).
+class FloorplanSession {
+ public:
+  using Options = Floorplanner::Options;
+
+  /// Captures the placement structure and the initial shape assignment.
+  /// `core_shapes` is indexed by SlotId (nullopt = empty slot) and
+  /// `switch_shapes` by switch NodeId, exactly as Floorplanner::place takes
+  /// them; the shapes are resolved into the session's own items and the
+  /// placement is copied, so neither argument needs to outlive the call.
+  FloorplanSession(Options options, const topo::RelativePlacement& placement,
+                   const std::vector<std::optional<BlockShape>>& core_shapes,
+                   const std::vector<BlockShape>& switch_shapes);
+
+  /// Applies a shape delta. Updates whose shape equals the slot's current
+  /// one are no-ops; updates for slots the placement does not position are
+  /// ignored (place() never sees their shapes either).
+  void update_shapes(const SlotShapeUpdate* updates, std::size_t count);
+  void update_shapes(const std::vector<SlotShapeUpdate>& updates) {
+    update_shapes(updates.data(), updates.size());
+  }
+
+  /// Solves the current assignment and returns the floorplan, bit-identical
+  /// to Floorplanner(options()).place(placement, core_shapes,
+  /// switch_shapes). The result is cached: a solve with no intervening
+  /// effective update is free.
+  [[nodiscard]] const Floorplan& solve();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Solve-path counters, for the tests' and benches' reuse assertions.
+  struct Stats {
+    std::uint64_t solves = 0;             ///< Solves that did any work.
+    std::uint64_t cached_solves = 0;      ///< No effective delta since last.
+    std::uint64_t incremental_solves = 0; ///< Dirty aggregates patched.
+    std::uint64_t full_solves = 0;        ///< Every aggregate re-derived.
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// One placement item with its resolved shape. `init_w/init_h` are the
+  /// stage-1 dimensions (pre-sizing); `w/h` are the working dimensions the
+  /// sizing descent iterates on.
+  struct Node {
+    PlacedBlock::Kind kind = PlacedBlock::Kind::kSwitch;
+    int index = 0;  ///< SlotId for cores, switch NodeId for switches.
+    int row = 0, col = 0, sub = 0;
+    bool present = false;
+    BlockShape shape;
+    double init_w = 0.0, init_h = 0.0;
+    double w = 0.0, h = 0.0;
+    /// Soft blocks: the candidate (w, h) pairs of the sizing descent, from
+    /// the option aspects clipped to the shape's range, duplicates dropped
+    /// (a duplicate re-derives an identical chip and can never pass the
+    /// strict improvement test). Depends only on shape + options, so it is
+    /// resolved once per shape change instead of once per trial.
+    std::vector<std::pair<double, double>> candidate_dims;
+  };
+
+  void resolve_node(Node& node) const;
+  void build_structure(const std::vector<std::optional<BlockShape>>& cores,
+                       const std::vector<BlockShape>& switches);
+  void rederive_all_init_aggregates();
+  void patch_init_aggregates();
+  /// Re-derives one column's / one cell's / one row's init aggregate with
+  /// the exact arithmetic of the full derivation.
+  void rederive_col(int col);
+  void rederive_cell(int cell);
+  void rederive_row(int row);
+
+  // ---- Sizing-descent helpers over the working aggregates. ----
+  void set_dims(int node_id, double w, double h);
+  void run_sizing_descent();
+  [[nodiscard]] Floorplan place_band();
+  [[nodiscard]] Floorplan place_simplex() const;
+
+  Options options_;
+  topo::RelativePlacement placement_;
+  bool grid_ = true;
+  int ncols_ = 0, nrows_ = 0;
+  double spacing_ = 0.0;
+
+  std::vector<Node> nodes_;    ///< Placement order.
+  std::vector<int> slot_node_; ///< SlotId -> node id, -1 when unplaced.
+
+  // ---- Constraint-graph structure (placement-only, built once). ----
+  std::vector<std::vector<int>> col_members_; ///< Width-max members per col.
+  std::vector<int> node_cell_;                ///< Grid: node -> cell id.
+  std::vector<std::vector<int>> cell_stack_;  ///< Grid: stack order per cell.
+  std::vector<std::vector<int>> row_cells_;   ///< Grid: cell ids per row.
+  std::vector<std::vector<int>> col_stack_;   ///< Columns: stack per col.
+
+  // ---- Presence counts (maintained by update_shapes). ----
+  std::vector<int> col_present_;
+  std::vector<int> row_present_;  ///< Grid mode only.
+  std::vector<int> cell_present_; ///< Grid mode only.
+
+  // ---- Longest-path aggregates of the init dims (delta-patched). ----
+  std::vector<double> init_col_width_;
+  std::vector<double> init_cell_height_; ///< Grid mode.
+  std::vector<double> init_row_height_;  ///< Grid mode.
+  std::vector<double> init_col_height_;  ///< Columns mode.
+
+  // ---- Working aggregates of the sizing descent. ----
+  std::vector<double> col_width_;
+  std::vector<double> cell_height_;
+  std::vector<double> row_height_;
+  std::vector<double> col_height_;
+
+  // ---- Delta bookkeeping. ----
+  std::vector<int> dirty_nodes_;
+  std::vector<int> dirty_cols_scratch_;
+  std::vector<int> dirty_cells_scratch_;
+  std::vector<int> dirty_rows_scratch_;
+  bool all_dirty_ = true;
+  bool solved_ = false;
+  Floorplan last_;
+  Stats stats_;
+
+  // Reusable position scratch of place_band (sized in build_structure, so
+  // incremental solves allocate nothing but the returned blocks).
+  std::vector<double> col_x_scratch_;
+  std::vector<double> row_y_scratch_;
+  std::vector<std::pair<double, double>> pos_scratch_;
+
+};
+
+}  // namespace sunmap::fplan

@@ -70,7 +70,8 @@ std::string json_string(const std::string& text) {
 
 std::string exploration_report_csv(const select::ExplorationReport& report) {
   std::ostringstream out;
-  out << "point,routing,objective,search,restarts,link_bandwidth_mbps,"
+  out << "point,routing,objective,search,restarts,swap_passes,fplan_engine,"
+         "fplan_sizing_passes,link_bandwidth_mbps,"
          "max_area_mm2,topology,"
          "feasible,best,avg_hops,avg_latency_ns,design_area_mm2,"
          "design_power_mw,dynamic_power_mw,static_power_mw,"
@@ -87,7 +88,10 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
           << (config.search == mapping::SearchKind::kRestartAnnealing
                   ? std::to_string(config.annealing_restarts)
                   : std::string())
-          << "," << number(config.link_bandwidth_mbps) << ",";
+          << "," << config.swap_passes << ","
+          << fplan::to_string(config.floorplan.engine) << ","
+          << config.floorplan.sizing_passes << ","
+          << number(config.link_bandwidth_mbps) << ",";
       if (std::isfinite(config.max_area_mm2)) {
         out << number(config.max_area_mm2);
       }
@@ -122,6 +126,10 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
         << (config.search == mapping::SearchKind::kRestartAnnealing
                 ? std::to_string(config.annealing_restarts)
                 : std::string("null"))
+        << ", \"swap_passes\": " << config.swap_passes
+        << ", \"fplan_engine\": "
+        << json_string(fplan::to_string(config.floorplan.engine))
+        << ", \"fplan_sizing_passes\": " << config.floorplan.sizing_passes
         << ", \"link_bandwidth_mbps\": "
         << json_number(config.link_bandwidth_mbps)
         << ", \"max_area_mm2\": " << json_number(config.max_area_mm2)

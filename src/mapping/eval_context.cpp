@@ -79,7 +79,7 @@ EvalContext::EvalContext(const CoreGraph& app, const topo::Topology& topology,
     core_shape_class_.push_back(cls);
   }
 
-  g_contexts_built.fetch_add(1, std::memory_order_relaxed);
+  context_id_ = g_contexts_built.fetch_add(1, std::memory_order_relaxed) + 1;
   bind(config, library, /*first_bind=*/true);
 }
 
@@ -120,7 +120,10 @@ void EvalContext::bind(const MapperConfig& config,
     }
   }
   if (floorplan_changed) {
-    planner_ = fplan::Floorplanner(config.floorplan);
+    // Scratch-owned floorplan sessions were resolved against the old
+    // options/switch shapes; moving the epoch makes every scratch rebuild
+    // its session on next use.
+    ++session_epoch_;
     std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     floorplan_cache_.clear();
   }
@@ -462,15 +465,26 @@ fplan::Floorplan EvalContext::floorplan_for_mapping(
     }
     g_floorplan_misses.fetch_add(1, std::memory_order_relaxed);
   }
-  scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
-                             std::nullopt);
-  for (int core = 0; core < app_.num_cores(); ++core) {
-    scratch.core_shapes[static_cast<std::size_t>(
-        core_to_slot[static_cast<std::size_t>(core)])] =
-        app_.core(core).shape;
+  // Cache miss: solve through this thread's incremental session, sending
+  // only the slots whose shape class moved since the session's last solve —
+  // a pairwise swap perturbs at most two. Shape classes map to bit-identical
+  // shapes, so updating by class representative equals updating by the
+  // cores' own shapes, and the session's incremental solve is bit-identical
+  // to the from-scratch Floorplanner::place the cache used to call.
+  fplan::FloorplanSession& session = session_for(scratch);
+  scratch.fplan_updates.clear();
+  for (int slot = 0; slot < num_slots; ++slot) {
+    const std::uint16_t want = scratch.floor_key[static_cast<std::size_t>(slot)];
+    auto& have = scratch.fplan_session_key[static_cast<std::size_t>(slot)];
+    if (have == want) continue;
+    fplan::SlotShapeUpdate update;
+    update.slot = slot;
+    if (want > 0) update.shape = class_shapes_[static_cast<std::size_t>(want - 1)];
+    scratch.fplan_updates.push_back(std::move(update));
+    have = want;
   }
-  fplan::Floorplan floorplan =
-      planner_.place(placement_, scratch.core_shapes, switch_shapes_);
+  session.update_shapes(scratch.fplan_updates);
+  fplan::Floorplan floorplan = session.solve();
   {
     std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     if (floorplan_cache_.size() < kFloorplanCacheCap) {
@@ -478,6 +492,24 @@ fplan::Floorplan EvalContext::floorplan_for_mapping(
     }
   }
   return floorplan;
+}
+
+fplan::FloorplanSession& EvalContext::session_for(EvalScratch& scratch) const {
+  if (scratch.fplan_session == nullptr ||
+      scratch.fplan_session_context != context_id_ ||
+      scratch.fplan_session_epoch != session_epoch_) {
+    const auto num_slots = static_cast<std::size_t>(topology_.num_slots());
+    // Seed with every slot empty (shape class 0); the first solve's delta
+    // then carries the whole mapping, which the session treats as a full
+    // solve anyway.
+    scratch.core_shapes.assign(num_slots, std::nullopt);
+    scratch.fplan_session = std::make_unique<fplan::FloorplanSession>(
+        config_.floorplan, placement_, scratch.core_shapes, switch_shapes_);
+    scratch.fplan_session_context = context_id_;
+    scratch.fplan_session_epoch = session_epoch_;
+    scratch.fplan_session_key.assign(num_slots, 0);
+  }
+  return *scratch.fplan_session;
 }
 
 bool EvalContext::supports_pruning() const {

@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <vector>
 
 #include "fplan/floorplanner.h"
+#include "fplan/session.h"
 #include "mapping/mapper.h"
 #include "model/library.h"
 #include "route/routing.h"
@@ -40,6 +42,22 @@ struct EvalScratch {
   std::vector<double> bound_col_w, bound_row_h;
   std::vector<char> bound_col_used;
   std::vector<int> bound_row_used;
+
+  /// This thread's incremental floorplan session: floorplan-cache misses
+  /// solve through it, sending only the slots whose shape class changed
+  /// since the previous miss (a pairwise swap sends <= 2). Owned by the
+  /// scratch so concurrent workers never share solver state; the context
+  /// lazily (re)builds it when the scratch meets a different context or the
+  /// context's floorplan options / technology epoch moved. The session
+  /// survives rebind()s that keep the floorplan configuration, which is how
+  /// a design-space sweep reuses one session per topology worker across
+  /// every grid point sharing its floorplan options.
+  std::unique_ptr<fplan::FloorplanSession> fplan_session;
+  std::uint64_t fplan_session_context = 0;  ///< EvalContext id it belongs to.
+  std::uint64_t fplan_session_epoch = 0;    ///< Floorplan epoch it was built at.
+  /// Per-slot shape classes the session currently holds (the delta base).
+  std::vector<std::uint16_t> fplan_session_key;
+  std::vector<fplan::SlotShapeUpdate> fplan_updates;  ///< Reusable delta buffer.
 };
 
 /// The incremental mapping-evaluation engine: everything about one
@@ -79,7 +97,11 @@ struct EvalScratch {
 ///    every rebind() that keeps the floorplan options and technology point,
 ///    and it also merges candidate mappings that permute identically-shaped
 ///    cores. Floorplanning dominates evaluation cost, which makes this the
-///    main source of the explorer's cross-configuration speedup.
+///    main source of the explorer's cross-configuration speedup. Cache
+///    *misses* solve through the scratch's incremental FloorplanSession
+///    (fplan/session.h): only the slots whose shape class moved since the
+///    session's previous solve are re-solved, which is a two-slot delta in
+///    the pairwise-swap loops.
 ///  * an evaluation-metrics cache keyed by the mapping, valid for one
 ///    "evaluation class" (routing function plus the config fields that
 ///    influence routes). Objective, area cap, and bandwidth threshold only
@@ -225,9 +247,16 @@ class EvalContext {
 
   /// The mapping's floorplan, via the shape-class cache (computed and
   /// inserted on a miss). Exactly what evaluate() uses; also the min-area
-  /// bound's exact phase. Fills scratch.floor_key as a side effect.
+  /// bound's exact phase. Fills scratch.floor_key as a side effect. Misses
+  /// solve through the scratch's incremental FloorplanSession, so the cost
+  /// of a miss is a delta re-solve, not a from-scratch floorplan.
   [[nodiscard]] fplan::Floorplan floorplan_for_mapping(
       const std::vector<int>& core_to_slot, EvalScratch& scratch) const;
+
+  /// The scratch's floorplan session, (re)built when the scratch belongs to
+  /// another context or a rebind() moved the floorplan options/technology.
+  [[nodiscard]] fplan::FloorplanSession& session_for(
+      EvalScratch& scratch) const;
 
   void build_bound_envelope();
   void build_power_bound_table();
@@ -235,6 +264,13 @@ class EvalContext {
   // ---- Mapping-invariant state (per app + topology, never rebuilt). ----
   const CoreGraph& app_;
   const topo::Topology& topology_;
+  /// Process-unique id of this context (from the construction counter), so
+  /// a scratch can tell a recycled context address from the context its
+  /// floorplan session was built for.
+  std::uint64_t context_id_ = 0;
+  /// Bumped whenever a bind changes the floorplan options or technology
+  /// point: scratch sessions from older epochs are stale and are rebuilt.
+  std::uint64_t session_epoch_ = 0;
   std::vector<Commodity> commodities_;
   double total_value_ = 0.0;
   topo::RelativePlacement placement_;
@@ -254,7 +290,6 @@ class EvalContext {
   MapperConfig config_;  // by value: the context must not dangle on the mapper
   model::ResolvedSwitchTable switch_table_;
   std::vector<fplan::BlockShape> switch_shapes_;
-  fplan::Floorplanner planner_;
   std::optional<route::RoutingEngine> engine_;
   const std::vector<route::RouteSet>* static_routes_ = nullptr;
   bool static_routing_ = false;

@@ -67,6 +67,12 @@ void MapperConfig::validate() const {
   if (annealing_restarts < 1) fail("annealing_restarts must be >= 1");
   if (annealing_reheats < 0) fail("annealing_reheats must be >= 0");
   if (num_threads < 1) fail("num_threads must be >= 1");
+  if (floorplan.sizing_passes < 0) {
+    fail("floorplan sizing_passes must be >= 0");
+  }
+  if (!(floorplan.spacing_mm >= 0.0)) {
+    fail("floorplan spacing_mm must be >= 0");
+  }
   if (!(weights.delay >= 0.0 && weights.area >= 0.0 && weights.power >= 0.0)) {
     fail("objective weights must be >= 0");
   }
@@ -356,6 +362,11 @@ MappingResult Mapper::map(const CoreGraph& app,
 }
 
 MappingResult Mapper::map(const EvalContext& ctx) const {
+  EvalScratch scratch;
+  return map(ctx, scratch);
+}
+
+MappingResult Mapper::map(const EvalContext& ctx, EvalScratch& scratch) const {
   const CoreGraph& app = ctx.app();
   const topo::Topology& topology = ctx.topology();
   // The context's config copy governs the whole run — evaluation *and*
@@ -373,7 +384,6 @@ MappingResult Mapper::map(const EvalContext& ctx) const {
 
   MappingResult result;
   result.core_to_slot = greedy_initial_mapping(app, topology);
-  EvalScratch scratch;
   result.eval = ctx.evaluate(result.core_to_slot, scratch);
   result.evaluated_mappings = 1;
   if (cfg.collect_explored) {
@@ -381,7 +391,7 @@ MappingResult Mapper::map(const EvalContext& ctx) const {
                                             result.eval.design_power_mw);
   }
 
-  make_search_strategy(cfg.search)->improve(ctx, result);
+  make_search_strategy(cfg.search)->improve(ctx, result, scratch);
 
   // The search loops keep incumbent evaluations light (no per-commodity
   // routes or link loads); materialize the winning mapping's full

@@ -192,6 +192,7 @@ struct MappingResult {
 };
 
 class EvalContext;
+struct EvalScratch;
 
 /// The minimum-path mapping algorithm of Fig 5, generalised over topologies
 /// and routing functions: greedy initial placement, commodities routed in
@@ -212,6 +213,15 @@ class Mapper {
   /// repeatedly onto one topology — or keeping the context for later
   /// re-evaluations — pay the per-topology precomputation once.
   [[nodiscard]] MappingResult map(const EvalContext& ctx) const;
+
+  /// Same again, over a caller-owned scratch that survives across map()
+  /// calls. The scratch carries the thread's incremental floorplan session,
+  /// so a sweep that re-binds one context across many design points keeps
+  /// the session (and its solved state) alive between searches — this is
+  /// the overload DesignSpaceExplorer drives. The scratch must not be
+  /// shared between concurrent map() calls.
+  [[nodiscard]] MappingResult map(const EvalContext& ctx,
+                                  EvalScratch& scratch) const;
 
   /// Builds the incremental evaluation engine for one (application,
   /// topology) pair under this mapper's configuration. The returned context

@@ -69,7 +69,8 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
                                  const std::vector<int>& initial_mapping,
                                  const Evaluation& initial_eval,
                                  std::uint64_t seed, int iterations,
-                                 double cooling) {
+                                 double cooling,
+                                 EvalScratch* shared_scratch = nullptr) {
   const topo::Topology& topology = ctx.topology();
   const MapperConfig& cfg = ctx.config();
 
@@ -87,7 +88,10 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
     slot_to_core[static_cast<std::size_t>(
         current[static_cast<std::size_t>(c)])] = c;
   }
-  EvalScratch scratch;
+  // Sequential callers lend their persistent scratch (and with it the
+  // incremental floorplan session); parallel chains bring their own.
+  EvalScratch local_scratch;
+  EvalScratch& scratch = shared_scratch ? *shared_scratch : local_scratch;
 
   // Exactly annealing_reheats resets, at the k/(reheats+1) fractions of the
   // budget (duplicates from tiny budgets collapse; a reset can never land
@@ -160,8 +164,8 @@ void commit_chain(ChainOutcome&& chain, MappingResult& result) {
 
 }  // namespace
 
-void GreedySwapSearch::improve(const EvalContext& ctx,
-                               MappingResult& result) const {
+void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
+                               EvalScratch& scratch) const {
   // Fig 5 steps 9-10: pairwise swaps of topology vertices. Swapping two
   // slots exchanges whatever occupies them (two cores, or a core and an
   // empty slot, which moves the core). Candidates are two-phase evaluated:
@@ -195,7 +199,6 @@ void GreedySwapSearch::improve(const EvalContext& ctx,
       std::min(cfg.num_threads, static_cast<int>(pairs.size()));
 
   if (num_threads <= 1) {
-    EvalScratch scratch;
     for (int pass = 0; pass < cfg.swap_passes; ++pass) {
       bool improved = false;
       for (const auto& [a, b] : pairs) {
@@ -231,7 +234,14 @@ void GreedySwapSearch::improve(const EvalContext& ctx,
   // incumbent and mapping) and the next chunk resumes right after the
   // accepted pair — exactly the sequential trajectory, so any thread count
   // yields the sequential result, deterministically.
-  std::vector<EvalScratch> scratches(static_cast<std::size_t>(num_threads));
+  // Worker 0 keeps the caller's scratch (and its floorplan session); the
+  // extra workers bring their own.
+  std::vector<EvalScratch> extra_scratches(
+      static_cast<std::size_t>(num_threads - 1));
+  const auto scratch_for = [&](int t) -> EvalScratch& {
+    return t == 0 ? scratch
+                  : extra_scratches[static_cast<std::size_t>(t - 1)];
+  };
   std::vector<std::vector<int>> worker_mapping(
       static_cast<std::size_t>(num_threads));
   std::vector<std::vector<int>> worker_inverse(
@@ -252,7 +262,7 @@ void GreedySwapSearch::improve(const EvalContext& ctx,
         auto& inv = worker_inverse[static_cast<std::size_t>(t)];
         m = mapping;
         inv = slot_to_core;
-        auto& scratch = scratches[static_cast<std::size_t>(t)];
+        auto& worker_scratch = scratch_for(t);
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= count) break;
@@ -265,10 +275,10 @@ void GreedySwapSearch::improve(const EvalContext& ctx,
             continue;
           }
           apply_swap(a, b, m, inv);
-          if (ctx.prunable(m, result.eval, scratch)) {
+          if (ctx.prunable(m, result.eval, worker_scratch)) {
             out.state = SwapOutcome::State::kPruned;
           } else {
-            out.eval = ctx.evaluate(m, scratch, /*materialize=*/false);
+            out.eval = ctx.evaluate(m, worker_scratch, /*materialize=*/false);
             out.state = SwapOutcome::State::kEvaluated;
           }
           apply_swap(a, b, m, inv);  // undo for the next candidate
@@ -307,18 +317,19 @@ void GreedySwapSearch::improve(const EvalContext& ctx,
   }
 }
 
-void AnnealingSearch::improve(const EvalContext& ctx,
-                              MappingResult& result) const {
+void AnnealingSearch::improve(const EvalContext& ctx, MappingResult& result,
+                              EvalScratch& scratch) const {
   const MapperConfig& cfg = ctx.config();
   commit_chain(run_annealing_chain(ctx, result.core_to_slot, result.eval,
                                    cfg.annealing_seed,
                                    cfg.annealing_iterations,
-                                   cfg.annealing_cooling),
+                                   cfg.annealing_cooling, &scratch),
                result);
 }
 
 void RestartAnnealingSearch::improve(const EvalContext& ctx,
-                                     MappingResult& result) const {
+                                     MappingResult& result,
+                                     EvalScratch& scratch) const {
   const MapperConfig& cfg = ctx.config();
   const int restarts = cfg.annealing_restarts;
   const int total = cfg.annealing_iterations;
@@ -337,7 +348,7 @@ void RestartAnnealingSearch::improve(const EvalContext& ctx,
   }
 
   std::vector<ChainOutcome> outcomes(static_cast<std::size_t>(restarts));
-  const auto run_chain = [&](int r) {
+  const auto run_chain = [&](int r, EvalScratch* chain_scratch) {
     const int budget = budgets[static_cast<std::size_t>(r)];
     double cooling = cfg.annealing_cooling;
     if (budget > 0 && budget < total) {
@@ -346,28 +357,38 @@ void RestartAnnealingSearch::improve(const EvalContext& ctx,
     }
     outcomes[static_cast<std::size_t>(r)] = run_annealing_chain(
         ctx, result.core_to_slot, result.eval,
-        cfg.annealing_seed + static_cast<std::uint64_t>(r), budget, cooling);
+        cfg.annealing_seed + static_cast<std::uint64_t>(r), budget, cooling,
+        chain_scratch);
   };
 
   const int num_threads = std::min(cfg.num_threads, restarts);
   if (num_threads <= 1) {
-    for (int r = 0; r < restarts; ++r) run_chain(r);
+    // Sequential chains run one at a time, so they can all share the
+    // caller's scratch — and with it one floorplan session.
+    for (int r = 0; r < restarts; ++r) run_chain(r, &scratch);
   } else {
-    // Chains are fully independent (each owns its Prng, scratch, and
-    // mapping copies), so workers just pull restart indices; determinism
-    // comes from committing the outcomes in seed order below.
+    // Chains are fully independent (each owns its Prng and mapping
+    // copies), so workers just pull restart indices; determinism comes
+    // from committing the outcomes in seed order below. Each worker keeps
+    // one scratch across its chains (worker 0 the caller's), so later
+    // chains reuse the worker's floorplan session instead of rebuilding
+    // one per restart.
     std::atomic<int> next{0};
-    const auto worker = [&]() {
+    std::vector<EvalScratch> extra_scratches(
+        static_cast<std::size_t>(num_threads - 1));
+    const auto worker = [&](int t) {
+      EvalScratch& worker_scratch =
+          t == 0 ? scratch : extra_scratches[static_cast<std::size_t>(t - 1)];
       for (;;) {
         const int r = next.fetch_add(1);
         if (r >= restarts) break;
-        run_chain(r);
+        run_chain(r, &worker_scratch);
       }
     };
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(num_threads - 1));
-    for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker);
-    worker();
+    for (int t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
+    worker(0);
     for (auto& thread : pool) thread.join();
   }
 

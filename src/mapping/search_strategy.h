@@ -7,6 +7,7 @@
 namespace sunmap::mapping {
 
 class EvalContext;
+struct EvalScratch;
 
 /// A pluggable mapping-search strategy: given an evaluation context and a
 /// MappingResult primed with the initial mapping and its evaluation,
@@ -30,8 +31,12 @@ class SearchStrategy {
   /// Improves result.core_to_slot / result.eval in place. On entry `result`
   /// holds the initial mapping and its (materialized) evaluation; on exit it
   /// holds the best mapping found, whose evaluation may be lightweight
-  /// (Mapper::map() re-materializes the winner).
-  virtual void improve(const EvalContext& ctx, MappingResult& result) const = 0;
+  /// (Mapper::map() re-materializes the winner). `scratch` is the caller's
+  /// per-thread evaluation scratch — it carries the incremental floorplan
+  /// session, so sequential search paths must evaluate through it; parallel
+  /// paths give each extra worker its own scratch.
+  virtual void improve(const EvalContext& ctx, MappingResult& result,
+                       EvalScratch& scratch) const = 0;
 };
 
 /// Fig 5 steps 9-10: hill climbing over all pairwise slot swaps with
@@ -40,7 +45,8 @@ class SearchStrategy {
 class GreedySwapSearch final : public SearchStrategy {
  public:
   [[nodiscard]] const char* name() const override { return "greedy-swaps"; }
-  void improve(const EvalContext& ctx, MappingResult& result) const override;
+  void improve(const EvalContext& ctx, MappingResult& result,
+               EvalScratch& scratch) const override;
 };
 
 /// Single-chain simulated annealing: random pairwise swaps accepted with the
@@ -49,7 +55,8 @@ class GreedySwapSearch final : public SearchStrategy {
 class AnnealingSearch final : public SearchStrategy {
  public:
   [[nodiscard]] const char* name() const override { return "annealing"; }
-  void improve(const EvalContext& ctx, MappingResult& result) const override;
+  void improve(const EvalContext& ctx, MappingResult& result,
+               EvalScratch& scratch) const override;
 };
 
 /// Multi-restart simulated annealing: config.annealing_restarts independent
@@ -63,7 +70,8 @@ class RestartAnnealingSearch final : public SearchStrategy {
   [[nodiscard]] const char* name() const override {
     return "restart-annealing";
   }
-  void improve(const EvalContext& ctx, MappingResult& result) const override;
+  void improve(const EvalContext& ctx, MappingResult& result,
+               EvalScratch& scratch) const override;
 };
 
 /// The strategy implementing config.search. The returned strategy is

@@ -43,9 +43,10 @@ int best_candidate_index(const std::vector<TopologyCandidate>& candidates) {
 
 std::size_t ExplorationRequest::num_points() const {
   const auto axis = [](std::size_t n) { return n == 0 ? 1 : n; };
-  return axis(routings.size()) * axis(link_bandwidths_mbps.size()) *
-         axis(max_areas_mm2.size()) * axis(weight_sets.size()) *
-         axis(searches.size()) * axis(restart_counts.size()) *
+  return axis(floorplan_options.size()) * axis(routings.size()) *
+         axis(link_bandwidths_mbps.size()) * axis(max_areas_mm2.size()) *
+         axis(weight_sets.size()) * axis(searches.size()) *
+         axis(restart_counts.size()) * axis(swap_passes.size()) *
          axis(objectives.size());
 }
 
@@ -71,6 +72,16 @@ std::string DesignPoint::label() const {
       label += std::to_string(config.annealing_restarts);
     }
   }
+  if (swap_passes_index > 0) {
+    label += "/sp";
+    label += std::to_string(config.swap_passes);
+  }
+  if (fplan_index > 0) {
+    label += "/fp-";
+    label += fplan::to_string(config.floorplan.engine);
+    label += "-sz";
+    label += std::to_string(config.floorplan.sizing_passes);
+  }
   return label;
 }
 
@@ -90,9 +101,13 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
     const ExplorationRequest& request) {
   // Objective varies fastest: consecutive points then differ only in the
   // cost function, which keeps the per-topology context's evaluation class
-  // stable and its metrics cache warm across the inner loop.
+  // stable and its metrics cache warm across the inner loop. Floorplan
+  // options vary slowest: they are the one axis whose move clears the
+  // floorplan cache and incremental sessions on rebind.
   std::vector<DesignPoint> points;
   points.reserve(request.num_points());
+  const std::size_t nf =
+      std::max<std::size_t>(1, request.floorplan_options.size());
   const std::size_t nr = std::max<std::size_t>(1, request.routings.size());
   const std::size_t nb =
       std::max<std::size_t>(1, request.link_bandwidths_mbps.size());
@@ -101,46 +116,60 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
   const std::size_t ns = std::max<std::size_t>(1, request.searches.size());
   const std::size_t nc =
       std::max<std::size_t>(1, request.restart_counts.size());
+  const std::size_t np = std::max<std::size_t>(1, request.swap_passes.size());
   const std::size_t no = std::max<std::size_t>(1, request.objectives.size());
-  for (std::size_t r = 0; r < nr; ++r) {
-    for (std::size_t b = 0; b < nb; ++b) {
-      for (std::size_t a = 0; a < na; ++a) {
-        for (std::size_t w = 0; w < nw; ++w) {
-          for (std::size_t s = 0; s < ns; ++s) {
-            for (std::size_t c = 0; c < nc; ++c) {
-              for (std::size_t o = 0; o < no; ++o) {
-                DesignPoint point;
-                point.config = request.base;
-                if (!request.routings.empty()) {
-                  point.config.routing = request.routings[r];
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      for (std::size_t b = 0; b < nb; ++b) {
+        for (std::size_t a = 0; a < na; ++a) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            for (std::size_t s = 0; s < ns; ++s) {
+              for (std::size_t c = 0; c < nc; ++c) {
+                for (std::size_t p = 0; p < np; ++p) {
+                  for (std::size_t o = 0; o < no; ++o) {
+                    DesignPoint point;
+                    point.config = request.base;
+                    if (!request.floorplan_options.empty()) {
+                      point.config.floorplan = request.floorplan_options[f];
+                    }
+                    if (!request.routings.empty()) {
+                      point.config.routing = request.routings[r];
+                    }
+                    if (!request.link_bandwidths_mbps.empty()) {
+                      point.config.link_bandwidth_mbps =
+                          request.link_bandwidths_mbps[b];
+                    }
+                    if (!request.max_areas_mm2.empty()) {
+                      point.config.max_area_mm2 = request.max_areas_mm2[a];
+                    }
+                    if (!request.weight_sets.empty()) {
+                      point.config.weights = request.weight_sets[w];
+                    }
+                    if (!request.searches.empty()) {
+                      point.config.search = request.searches[s];
+                    }
+                    if (!request.restart_counts.empty()) {
+                      point.config.annealing_restarts =
+                          request.restart_counts[c];
+                    }
+                    if (!request.swap_passes.empty()) {
+                      point.config.swap_passes = request.swap_passes[p];
+                    }
+                    if (!request.objectives.empty()) {
+                      point.config.objective = request.objectives[o];
+                    }
+                    point.fplan_index = static_cast<int>(f);
+                    point.routing_index = static_cast<int>(r);
+                    point.bandwidth_index = static_cast<int>(b);
+                    point.area_index = static_cast<int>(a);
+                    point.weights_index = static_cast<int>(w);
+                    point.search_index = static_cast<int>(s);
+                    point.restarts_index = static_cast<int>(c);
+                    point.swap_passes_index = static_cast<int>(p);
+                    point.objective_index = static_cast<int>(o);
+                    points.push_back(std::move(point));
+                  }
                 }
-                if (!request.link_bandwidths_mbps.empty()) {
-                  point.config.link_bandwidth_mbps =
-                      request.link_bandwidths_mbps[b];
-                }
-                if (!request.max_areas_mm2.empty()) {
-                  point.config.max_area_mm2 = request.max_areas_mm2[a];
-                }
-                if (!request.weight_sets.empty()) {
-                  point.config.weights = request.weight_sets[w];
-                }
-                if (!request.searches.empty()) {
-                  point.config.search = request.searches[s];
-                }
-                if (!request.restart_counts.empty()) {
-                  point.config.annealing_restarts = request.restart_counts[c];
-                }
-                if (!request.objectives.empty()) {
-                  point.config.objective = request.objectives[o];
-                }
-                point.routing_index = static_cast<int>(r);
-                point.bandwidth_index = static_cast<int>(b);
-                point.area_index = static_cast<int>(a);
-                point.weights_index = static_cast<int>(w);
-                point.search_index = static_cast<int>(s);
-                point.restarts_index = static_cast<int>(c);
-                point.objective_index = static_cast<int>(o);
-                points.push_back(std::move(point));
               }
             }
           }
@@ -202,9 +231,15 @@ ExplorationReport DesignSpaceExplorer::explore(
         if (t >= library.size()) break;
         try {
           mapping::EvalContext ctx = mapper.make_context(app, *library[t]);
+          // One scratch per topology, surviving the whole grid: it carries
+          // the incremental floorplan session, which rebind() keeps alive
+          // across every design point that shares the floorplan options and
+          // technology (the session epoch only moves when those do).
+          mapping::EvalScratch scratch;
           for (std::size_t p = 0; p < points.size(); ++p) {
             if (p > 0) ctx.rebind(points[p].config, mapper.library());
-            report.results[p].selection.candidates[t].result = mapper.map(ctx);
+            report.results[p].selection.candidates[t].result =
+                mapper.map(ctx, scratch);
           }
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);

@@ -40,6 +40,14 @@ struct ExplorationRequest {
   /// the per-topology metrics cache makes such repeats near-free.
   std::vector<mapping::SearchKind> searches;
   std::vector<int> restart_counts;
+  /// Floorplanner-option variations (engine, sizing passes, spacing, ...)
+  /// and the swap-pass schedule of the greedy search — the remaining
+  /// ROADMAP sweep axes. Floorplan options vary SLOWEST in the grid: a
+  /// floorplan-option move is the one axis step that invalidates the
+  /// per-topology floorplan cache and incremental floorplan sessions on
+  /// rebind, so the grid exhausts every other axis before paying it.
+  std::vector<fplan::Floorplanner::Options> floorplan_options;
+  std::vector<int> swap_passes;
 
   /// Worker threads the explorer spreads topologies over. Each worker owns
   /// one topology's evaluation context at a time, so any thread count
@@ -56,16 +64,20 @@ struct ExplorationRequest {
 /// left empty).
 struct DesignPoint {
   mapping::MapperConfig config;
+  int fplan_index = 0;
   int routing_index = 0;
   int bandwidth_index = 0;
   int area_index = 0;
   int weights_index = 0;
   int search_index = 0;
   int restarts_index = 0;
+  int swap_passes_index = 0;
   int objective_index = 0;
 
   /// Compact human-readable tag, e.g. "MP/delay/bw500" (non-default search
-  /// strategies append themselves, e.g. ".../restart-annealing-x8").
+  /// strategies append themselves, e.g. ".../restart-annealing-x8"; swept
+  /// swap-pass and floorplan coordinates append "/spN" and
+  /// "/fp-<engine>-szN").
   [[nodiscard]] std::string label() const;
 };
 
@@ -93,11 +105,13 @@ struct ObjectiveBest {
 };
 
 /// Outcome of a batched exploration. `results` is ordered deterministically
-/// by grid coordinates — routing outermost, then bandwidth, area cap,
-/// weight set, search strategy, restart count, and objective innermost —
-/// regardless of how many worker threads ran the sweep. (Objective varies
-/// fastest so that consecutive points share the evaluation-metrics cache of
-/// the per-topology context.)
+/// by grid coordinates — floorplan options outermost, then routing,
+/// bandwidth, area cap, weight set, search strategy, restart count, swap
+/// passes, and objective innermost — regardless of how many worker threads
+/// ran the sweep. (Objective varies fastest so that consecutive points
+/// share the evaluation-metrics cache of the per-topology context;
+/// floorplan options vary slowest so the floorplan cache and sessions are
+/// invalidated as rarely as the grid allows.)
 struct ExplorationReport {
   std::vector<PointResult> results;
   /// One entry per distinct objective swept, in axis order.

@@ -93,6 +93,55 @@ TEST(Explorer, SearchStrategyAndRestartAxesSweepBitIdentically) {
   }
 }
 
+TEST(Explorer, FloorplanAndSwapPassAxesSweepBitIdentically) {
+  // The remaining ROADMAP sweep axes: floorplan options (engine + sizing
+  // passes) and the greedy search's swap-pass schedule. Floorplan options
+  // vary slowest (their move is the one that clears the floorplan cache and
+  // sessions), swap passes sit just above the objective.
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  fplan::Floorplanner::Options sized;   // default: lp engine, 2 passes
+  fplan::Floorplanner::Options rigid;
+  rigid.sizing_passes = 0;
+  request.floorplan_options = {sized, rigid};
+  request.swap_passes = {1, 2};
+  request.objectives = {mapping::Objective::kMinArea};
+  EXPECT_EQ(request.num_points(), 4u);
+
+  const auto points = DesignSpaceExplorer::expand(request);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].config.floorplan.sizing_passes, 2);
+  EXPECT_EQ(points[0].config.swap_passes, 1);
+  EXPECT_EQ(points[1].config.swap_passes, 2);
+  EXPECT_EQ(points[2].config.floorplan.sizing_passes, 0);
+  EXPECT_EQ(points[2].fplan_index, 1);
+  EXPECT_EQ(points[3].swap_passes_index, 1);
+  EXPECT_NE(points[1].label().find("/sp2"), std::string::npos);
+  EXPECT_NE(points[2].label().find("/fp-lp-sz0"), std::string::npos);
+  EXPECT_EQ(points[0].label().find("/fp-"), std::string::npos);
+
+  const auto contexts_before = mapping::EvalContext::contexts_built();
+  DesignSpaceExplorer explorer;
+  const auto report = explorer.explore(request);
+  EXPECT_EQ(mapping::EvalContext::contexts_built() - contexts_before,
+            library.size());
+  ASSERT_EQ(report.results.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    TopologySelector selector(points[p].config);
+    expect_identical(report.results[p].selection,
+                     selector.select(app, library),
+                     report.results[p].point.label());
+  }
+  // Less sizing freedom can never shrink the best min-area design.
+  const auto best_cost = [&](std::size_t p) {
+    return report.results[p].selection.best()->result.eval.cost;
+  };
+  EXPECT_LE(best_cost(1), best_cost(3) + 1e-9);
+}
+
 TEST(Explorer, ExpandsGridObjectiveInnermostRoutingOutermost) {
   const auto app = apps::vopd();
   const auto library = topo::standard_library(app.num_cores());
@@ -354,6 +403,9 @@ TEST(ExplorationIo, CsvHasOneRowPerCell) {
   for (char c : csv) rows += c == '\n' ? 1 : 0;
   EXPECT_EQ(rows, 1 + report.results.size() * library.size());
   EXPECT_NE(csv.find("point,routing,objective"), std::string::npos);
+  EXPECT_NE(csv.find("swap_passes,fplan_engine,fplan_sizing_passes"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",lp,"), std::string::npos);
   EXPECT_NE(csv.find("min-delay"), std::string::npos);
   EXPECT_NE(csv.find("mesh"), std::string::npos);
 }
@@ -373,6 +425,9 @@ TEST(ExplorationIo, JsonContainsPointsWinnersPareto) {
   EXPECT_NE(json.find("\"winners\""), std::string::npos);
   EXPECT_NE(json.find("\"pareto\""), std::string::npos);
   EXPECT_NE(json.find("\"objective\": \"min-delay\""), std::string::npos);
+  EXPECT_NE(json.find("\"swap_passes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"fplan_engine\": \"lp\""), std::string::npos);
+  EXPECT_NE(json.find("\"fplan_sizing_passes\": 2"), std::string::npos);
   // An unconstrained area cap must be emitted as null, not infinity.
   EXPECT_NE(json.find("\"max_area_mm2\": null"), std::string::npos);
   EXPECT_EQ(json.find("inf"), std::string::npos);

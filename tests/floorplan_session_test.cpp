@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fplan/session.h"
+#include "topo/library.h"
+#include "util/prng.h"
+
+namespace sunmap::fplan {
+namespace {
+
+using topo::Topology;
+
+/// Bitwise floorplan equality: chip dimensions, block order, and every
+/// block field must match to the last bit — the session's contract with
+/// Floorplanner::place.
+void expect_bit_identical(const Floorplan& incremental,
+                          const Floorplan& reference,
+                          const std::string& where) {
+  EXPECT_EQ(incremental.width_mm(), reference.width_mm()) << where;
+  EXPECT_EQ(incremental.height_mm(), reference.height_mm()) << where;
+  EXPECT_EQ(incremental.area_mm2(), reference.area_mm2()) << where;
+  ASSERT_EQ(incremental.blocks().size(), reference.blocks().size()) << where;
+  for (std::size_t i = 0; i < reference.blocks().size(); ++i) {
+    const auto& a = incremental.blocks()[i];
+    const auto& b = reference.blocks()[i];
+    EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << where;
+    EXPECT_EQ(a.index, b.index) << where;
+    EXPECT_EQ(a.x, b.x) << where << " block " << i;
+    EXPECT_EQ(a.y, b.y) << where << " block " << i;
+    EXPECT_EQ(a.w, b.w) << where << " block " << i;
+    EXPECT_EQ(a.h, b.h) << where << " block " << i;
+  }
+}
+
+/// A pool of distinct shapes (several soft classes with different areas and
+/// aspect ranges plus one hard block), so swaps genuinely change the
+/// assignment instead of permuting equal shapes.
+std::vector<BlockShape> shape_pool() {
+  std::vector<BlockShape> pool;
+  pool.push_back(BlockShape::soft_block(4.0));
+  pool.push_back(BlockShape::soft_block(9.0));
+  auto narrow = BlockShape::soft_block(2.25);
+  narrow.min_aspect = 0.5;
+  narrow.max_aspect = 2.0;
+  pool.push_back(narrow);
+  pool.push_back(BlockShape::soft_block(1.0));
+  pool.push_back(BlockShape::hard_block(1.5, 3.0));
+  return pool;
+}
+
+struct Workload {
+  std::unique_ptr<Topology> topology;
+  std::vector<std::optional<BlockShape>> cores;  // per slot, some empty
+  std::vector<BlockShape> switches;
+};
+
+Workload make_workload(std::unique_ptr<Topology> topology, int used_slots,
+                       std::uint64_t seed) {
+  Workload w;
+  w.topology = std::move(topology);
+  const auto pool = shape_pool();
+  util::Prng prng(seed);
+  w.cores.resize(static_cast<std::size_t>(w.topology->num_slots()));
+  for (int s = 0; s < used_slots && s < w.topology->num_slots(); ++s) {
+    w.cores[static_cast<std::size_t>(s)] =
+        pool[prng.next_below(pool.size())];
+  }
+  w.switches.reserve(static_cast<std::size_t>(w.topology->num_switches()));
+  for (graph::NodeId sw = 0; sw < w.topology->num_switches(); ++sw) {
+    auto shape = BlockShape::soft_block(0.2 + 0.05 * (sw % 3));
+    shape.min_aspect = 0.5;
+    shape.max_aspect = 2.0;
+    w.switches.push_back(shape);
+  }
+  return w;
+}
+
+/// Drives `steps` random pairwise slot swaps (core<->core and core<->empty)
+/// through one session and asserts bit-identity with a from-scratch place
+/// after every step.
+void run_swap_sequence(Workload w, Floorplanner::Options options, int steps,
+                       std::uint64_t seed) {
+  const auto placement = w.topology->relative_placement();
+  const Floorplanner reference(options);
+  FloorplanSession session(options, placement, w.cores, w.switches);
+
+  expect_bit_identical(session.solve(),
+                       reference.place(placement, w.cores, w.switches),
+                       w.topology->name() + " initial");
+
+  util::Prng prng(seed);
+  const int num_slots = w.topology->num_slots();
+  std::vector<SlotShapeUpdate> updates;
+  for (int step = 0; step < steps; ++step) {
+    const int a = prng.next_int(0, num_slots - 1);
+    int b = prng.next_int(0, num_slots - 2);
+    if (b >= a) ++b;
+    std::swap(w.cores[static_cast<std::size_t>(a)],
+              w.cores[static_cast<std::size_t>(b)]);
+    updates.clear();
+    updates.push_back({a, w.cores[static_cast<std::size_t>(a)]});
+    updates.push_back({b, w.cores[static_cast<std::size_t>(b)]});
+    session.update_shapes(updates);
+    expect_bit_identical(session.solve(),
+                         reference.place(placement, w.cores, w.switches),
+                         w.topology->name() + " step " +
+                             std::to_string(step));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The probe must have exercised the delta path, not fallen back to full
+  // re-derivations throughout.
+  EXPECT_GT(session.stats().incremental_solves, 0u);
+}
+
+TEST(FloorplanSession, LongSwapSequenceMatchesFromScratchOnMesh) {
+  // 12 cores on 16 slots: the sequence moves cores into empty slots too.
+  run_swap_sequence(make_workload(topo::make_mesh_for(16), 12, 11),
+                    Floorplanner::Options{}, 200, 21);
+}
+
+TEST(FloorplanSession, LongSwapSequenceMatchesFromScratchOnTorus) {
+  run_swap_sequence(make_workload(topo::make_torus_for(16), 16, 12),
+                    Floorplanner::Options{}, 200, 22);
+}
+
+TEST(FloorplanSession, LongSwapSequenceMatchesFromScratchOnButterfly) {
+  // Columns-mode placement (the butterfly's flanked layout).
+  run_swap_sequence(make_workload(topo::make_butterfly_for(16), 14, 13),
+                    Floorplanner::Options{}, 200, 23);
+}
+
+TEST(FloorplanSession, SimplexEngineMatchesFromScratch) {
+  Floorplanner::Options options;
+  options.engine = Floorplanner::Engine::kSimplexLp;
+  run_swap_sequence(make_workload(topo::make_mesh_for(8), 6, 14), options, 25,
+                    24);
+  run_swap_sequence(make_workload(topo::make_butterfly_for(8), 6, 14), options,
+                    25, 24);
+}
+
+TEST(FloorplanSession, NoSizingPassesMatchesFromScratch) {
+  Floorplanner::Options options;
+  options.sizing_passes = 0;
+  run_swap_sequence(make_workload(topo::make_mesh_for(16), 12, 15),
+                    Floorplanner::Options{options}, 120, 25);
+}
+
+TEST(FloorplanSession, LargeDeltaFallsBackToFullSolve) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 16);
+  const auto placement = w.topology->relative_placement();
+  const Floorplanner reference;
+  FloorplanSession session({}, placement, w.cores, w.switches);
+  (void)session.solve();
+  const auto full_before = session.stats().full_solves;
+
+  // Replace the entire assignment with fresh shapes: every slot changes,
+  // so patching two aggregates at a time would be pointless — the session
+  // must re-derive.
+  std::vector<SlotShapeUpdate> updates;
+  for (int s = 0; s < w.topology->num_slots(); ++s) {
+    w.cores[static_cast<std::size_t>(s)] =
+        BlockShape::soft_block(1.0 + 0.25 * s);
+    updates.push_back({s, w.cores[static_cast<std::size_t>(s)]});
+  }
+  session.update_shapes(updates);
+  expect_bit_identical(session.solve(),
+                       reference.place(placement, w.cores, w.switches),
+                       "shuffled");
+  EXPECT_GT(session.stats().full_solves, full_before);
+}
+
+TEST(FloorplanSession, NoOpUpdatesAreCached) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 17);
+  FloorplanSession session({}, w.topology->relative_placement(), w.cores,
+                           w.switches);
+  (void)session.solve();
+  const auto solves = session.stats().solves;
+
+  // Re-sending the current shapes must not trigger a re-solve.
+  std::vector<SlotShapeUpdate> updates;
+  for (int s = 0; s < w.topology->num_slots(); ++s) {
+    updates.push_back({s, w.cores[static_cast<std::size_t>(s)]});
+  }
+  session.update_shapes(updates);
+  (void)session.solve();
+  EXPECT_EQ(session.stats().solves, solves);
+  EXPECT_GT(session.stats().cached_solves, 0u);
+}
+
+TEST(FloorplanSession, UpdatesForUnplacedSlotsAreIgnored) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 18);
+  FloorplanSession session({}, w.topology->relative_placement(), w.cores,
+                           w.switches);
+  const Floorplan before = session.solve();
+  std::vector<SlotShapeUpdate> updates;
+  updates.push_back({w.topology->num_slots() + 5, BlockShape::soft_block(7.0)});
+  updates.push_back({-1, std::nullopt});
+  session.update_shapes(updates);
+  expect_bit_identical(session.solve(), before, "unplaced slots");
+}
+
+}  // namespace
+}  // namespace sunmap::fplan

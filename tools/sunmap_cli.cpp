@@ -54,6 +54,14 @@ void usage() {
                       total annealing budget is split across them and the
                       best-of-restarts mapping kept (default 4)
   --reheat <n>        temperature re-heats per annealing chain (default 0)
+  --swap-passes <n>   hill-climbing passes of the greedy swap search
+                      (default 2; 1 reproduces the paper)
+  --fplan-engine <e>  floorplan position engine: lp (constraint-graph
+                      longest path, default) | simplex (the literal
+                      simplex LP of the paper)
+  --fplan-sizing-passes <n>
+                      soft-block aspect-ratio sizing passes (default 2;
+                      0 keeps every soft block square)
   --w-delay <x>       weight of the delay term    (objective weighted)
   --w-area <x>        weight of the area term     (objective weighted)
   --w-power <x>       weight of the power term    (objective weighted)
@@ -66,15 +74,19 @@ void usage() {
   --csv <path>        write the comparison table as CSV
   --out <dir>         write generated SystemC sources here
   --sweep             batched design-space exploration: --routing,
-                      --objective, --bandwidth, --max-area, --search, and
-                      --restarts accept comma-separated lists and the whole
-                      cross product is explored with one evaluation context
-                      per topology;
+                      --objective, --bandwidth, --max-area, --search,
+                      --restarts, --swap-passes, --fplan-engine, and
+                      --fplan-sizing-passes accept comma-separated lists
+                      and the whole cross product is explored with one
+                      evaluation context per topology;
                       prints the comparison matrix, per-objective winners,
-                      and the area/power Pareto frontier. In sweep mode
-                      --threads means explorer workers spread across
-                      topologies (each swap search stays sequential);
-                      any thread count returns the identical report
+                      and the area/power Pareto frontier. --floorplan then
+                      renders each objective winner's floorplan and --out
+                      writes each winner's generated sources to
+                      <dir>/<objective>/. In sweep mode --threads means
+                      explorer workers spread across topologies (each swap
+                      search stays sequential); any thread count returns
+                      the identical report
   --json <path>       write the exploration report as JSON (sweep only)
   --help              this text
 )";
@@ -92,6 +104,17 @@ std::optional<mapping::Objective> parse_objective(const std::string& text) {
   if (text == "area") return mapping::Objective::kMinArea;
   if (text == "power") return mapping::Objective::kMinPower;
   if (text == "weighted") return mapping::Objective::kWeighted;
+  return std::nullopt;
+}
+
+std::optional<fplan::Floorplanner::Engine> parse_fplan_engine(
+    const std::string& text) {
+  if (text == "lp" || text == "longest-path") {
+    return fplan::Floorplanner::Engine::kLongestPath;
+  }
+  if (text == "simplex" || text == "simplex-lp") {
+    return fplan::Floorplanner::Engine::kSimplexLp;
+  }
   return std::nullopt;
 }
 
@@ -128,18 +151,26 @@ std::vector<std::string> split_list(const std::string& text) {
   return items;
 }
 
+/// The value lists and output options a sweep run consumes.
+struct SweepArgs {
+  std::vector<std::string> objectives, routings, bandwidths, max_areas,
+      searches, restarts, swap_passes, fplan_engines, fplan_sizing;
+  int threads = 1;
+  bool show_floorplan = false;
+  std::string out_dir;
+  std::string csv_path;
+  std::string json_path;
+};
+
 int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
-              const std::vector<std::string>& objectives,
-              const std::vector<std::string>& routings,
-              const std::vector<std::string>& bandwidths,
-              const std::vector<std::string>& max_areas,
-              const std::vector<std::string>& searches,
-              const std::vector<std::string>& restarts, int threads,
-              const std::string& csv_path, const std::string& json_path) {
+              const SweepArgs& args) {
+  const auto& objectives = args.objectives;
+  const auto& routings = args.routings;
+  const auto& searches = args.searches;
   select::ExplorationRequest request;
   request.app = &app;
   request.base = config.mapper;
-  request.num_threads = threads;
+  request.num_threads = args.threads;
   for (const auto& text : objectives) {
     const auto objective = parse_objective(text);
     if (!objective) {
@@ -165,18 +196,55 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
     request.searches.push_back(*kind);
   }
   try {
-    for (const auto& text : bandwidths) {
+    for (const auto& text : args.bandwidths) {
       request.link_bandwidths_mbps.push_back(std::stod(text));
     }
-    for (const auto& text : max_areas) {
+    for (const auto& text : args.max_areas) {
       request.max_areas_mm2.push_back(std::stod(text));
     }
-    for (const auto& text : restarts) {
+    for (const auto& text : args.restarts) {
       request.restart_counts.push_back(std::stoi(text));
+    }
+    for (const auto& text : args.swap_passes) {
+      request.swap_passes.push_back(std::stoi(text));
     }
   } catch (const std::exception&) {
     std::cerr << "bad numeric list value\n";
     return 2;
+  }
+
+  // The floorplan axis is the cross product of the engine and sizing-pass
+  // lists over the base floorplan options; either list left empty falls
+  // back to the base value, and both empty leaves the axis unswept.
+  if (!args.fplan_engines.empty() || !args.fplan_sizing.empty()) {
+    std::vector<fplan::Floorplanner::Engine> engines;
+    for (const auto& text : args.fplan_engines) {
+      const auto engine = parse_fplan_engine(text);
+      if (!engine) {
+        std::cerr << "unknown floorplan engine " << text << "\n";
+        return 2;
+      }
+      engines.push_back(*engine);
+    }
+    if (engines.empty()) engines.push_back(config.mapper.floorplan.engine);
+    std::vector<int> sizing;
+    try {
+      for (const auto& text : args.fplan_sizing) {
+        sizing.push_back(std::stoi(text));
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad numeric list value\n";
+      return 2;
+    }
+    if (sizing.empty()) sizing.push_back(config.mapper.floorplan.sizing_passes);
+    for (const auto engine : engines) {
+      for (const int passes : sizing) {
+        auto options = config.mapper.floorplan;
+        options.engine = engine;
+        options.sizing_passes = passes;
+        request.floorplan_options.push_back(std::move(options));
+      }
+    }
   }
 
   const auto library = topo::standard_library(
@@ -255,13 +323,59 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
     std::cout << pareto.to_string() << "\n";
   }
 
-  if (!csv_path.empty()) {
-    io::write_file(csv_path, io::exploration_report_csv(*report));
-    std::cout << "wrote " << csv_path << "\n";
+  // Sweep-mode --floorplan / --out operate on the per-objective winners:
+  // each winner's floorplan is rendered, and its generated sources go to
+  // <out>/<objective>[-wN]/ so several winners never overwrite each other.
+  for (const auto& best : report->winners) {
+    if (!best.found()) continue;
+    const auto& result =
+        report->results[static_cast<std::size_t>(best.point_index)];
+    const auto& candidate =
+        result.selection
+            .candidates[static_cast<std::size_t>(best.topology_index)];
+    std::string tag = mapping::to_string(best.objective);
+    if (best.weights_index >= 0) {
+      tag += "-w" + std::to_string(best.weights_index);
+    }
+    if (args.show_floorplan) {
+      const auto& slot_to_core = candidate.result.slot_to_core;
+      std::cout << "Floorplan of the " << tag << " winner ("
+                << candidate.topology->name() << ", "
+                << result.point.label() << "):\n"
+                << fplan::render_ascii(
+                       candidate.result.eval.floorplan,
+                       [&](const fplan::PlacedBlock& block) {
+                         if (block.kind == fplan::PlacedBlock::Kind::kSwitch) {
+                           return "S" + std::to_string(block.index);
+                         }
+                         const int core = slot_to_core[
+                             static_cast<std::size_t>(block.index)];
+                         return core >= 0 ? app.core(core).name
+                                          : std::string("-");
+                       })
+                << "\n";
+    }
+    if (!args.out_dir.empty()) {
+      const auto netlist = gen::Netlist::build(
+          *candidate.topology, app, candidate.result.core_to_slot,
+          &candidate.result.eval.floorplan);
+      const auto dir =
+          (std::filesystem::path(args.out_dir) / tag).string();
+      std::filesystem::create_directories(dir);
+      gen::SystemCWriter writer;
+      for (const auto& file : writer.write_to(netlist, dir)) {
+        std::cout << "wrote " << file << "\n";
+      }
+    }
   }
-  if (!json_path.empty()) {
-    io::write_file(json_path, io::exploration_report_json(*report));
-    std::cout << "wrote " << json_path << "\n";
+
+  if (!args.csv_path.empty()) {
+    io::write_file(args.csv_path, io::exploration_report_csv(*report));
+    std::cout << "wrote " << args.csv_path << "\n";
+  }
+  if (!args.json_path.empty()) {
+    io::write_file(args.json_path, io::exploration_report_json(*report));
+    std::cout << "wrote " << args.json_path << "\n";
   }
 
   for (const auto& best : report->winners) {
@@ -282,7 +396,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   std::vector<std::string> objectives, routings, bandwidths, max_areas,
-      searches, restarts;
+      searches, restarts, swap_passes, fplan_engines, fplan_sizing;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -316,6 +430,12 @@ int main(int argc, char** argv) {
         restarts = split_list(need_value(i));
       } else if (arg == "--reheat") {
         config.mapper.annealing_reheats = std::stoi(need_value(i));
+      } else if (arg == "--swap-passes") {
+        swap_passes = split_list(need_value(i));
+      } else if (arg == "--fplan-engine") {
+        fplan_engines = split_list(need_value(i));
+      } else if (arg == "--fplan-sizing-passes") {
+        fplan_sizing = split_list(need_value(i));
       } else if (arg == "--bandwidth") {
         bandwidths = split_list(need_value(i));
       } else if (arg == "--w-delay") {
@@ -356,19 +476,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (sweep) {
-    // Sweep mode explores, it does not generate: flags tied to the single
-    // winning design are rejected rather than silently dropped.
-    if (show_floorplan || !config.output_directory.empty()) {
-      std::cerr << "--floorplan and --out require a single-point run "
-                   "(drop --sweep)\n";
-      return 2;
-    }
-  } else {
+  if (!sweep) {
     // Single-point mode: every axis flag must name exactly one value.
     if (objectives.size() > 1 || routings.size() > 1 ||
         bandwidths.size() > 1 || max_areas.size() > 1 ||
-        searches.size() > 1 || restarts.size() > 1) {
+        searches.size() > 1 || restarts.size() > 1 ||
+        swap_passes.size() > 1 || fplan_engines.size() > 1 ||
+        fplan_sizing.size() > 1) {
       std::cerr << "value lists require --sweep\n";
       return 2;
     }
@@ -400,6 +514,15 @@ int main(int argc, char** argv) {
       }
       config.mapper.search = *kind;
     }
+    if (!fplan_engines.empty()) {
+      const auto engine = parse_fplan_engine(fplan_engines.front());
+      if (!engine) {
+        std::cerr << "unknown floorplan engine " << fplan_engines.front()
+                  << "\n";
+        return 2;
+      }
+      config.mapper.floorplan.engine = *engine;
+    }
     try {
       if (!bandwidths.empty()) {
         config.mapper.link_bandwidth_mbps = std::stod(bandwidths.front());
@@ -409,6 +532,12 @@ int main(int argc, char** argv) {
       }
       if (!restarts.empty()) {
         config.mapper.annealing_restarts = std::stoi(restarts.front());
+      }
+      if (!swap_passes.empty()) {
+        config.mapper.swap_passes = std::stoi(swap_passes.front());
+      }
+      if (!fplan_sizing.empty()) {
+        config.mapper.floorplan.sizing_passes = std::stoi(fplan_sizing.front());
       }
     } catch (const std::exception&) {
       std::cerr << "bad numeric value\n";
@@ -427,9 +556,22 @@ int main(int argc, char** argv) {
   }
 
   if (sweep) {
-    return run_sweep(*app, config, objectives, routings, bandwidths,
-                     max_areas, searches, restarts, threads, csv_path,
-                     json_path);
+    SweepArgs args;
+    args.objectives = std::move(objectives);
+    args.routings = std::move(routings);
+    args.bandwidths = std::move(bandwidths);
+    args.max_areas = std::move(max_areas);
+    args.searches = std::move(searches);
+    args.restarts = std::move(restarts);
+    args.swap_passes = std::move(swap_passes);
+    args.fplan_engines = std::move(fplan_engines);
+    args.fplan_sizing = std::move(fplan_sizing);
+    args.threads = threads;
+    args.show_floorplan = show_floorplan;
+    args.out_dir = config.output_directory;
+    args.csv_path = csv_path;
+    args.json_path = json_path;
+    return run_sweep(*app, config, args);
   }
 
   std::cout << "SUNMAP: " << app->name() << " (" << app->num_cores()
