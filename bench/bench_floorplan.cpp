@@ -243,6 +243,138 @@ SwapRow run_swap_probe(const SwapWorkload& workload) {
   return row;
 }
 
+// ---- Annealing-shaped probe: speculative push/solve then commit|rollback
+// (the DeltaTxn protocol's floorplan leg) vs a from-scratch place per
+// candidate. This is the session traffic a simulated-annealing chain
+// generates — roughly half the candidates are rejected, so the session must
+// win on the rollback side too, not just on forward deltas.
+
+struct TxnRow {
+  std::string key;
+  double from_scratch_ms = 0.0;
+  double incremental_ms = 0.0;
+  bool bit_identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return incremental_ms > 0.0 ? from_scratch_ms / incremental_ms : 0.0;
+  }
+};
+
+TxnRow run_txn_probe(const SwapWorkload& workload,
+                     const fplan::Floorplanner::Options& options,
+                     const std::string& key) {
+  const auto placement = workload.topology->relative_placement();
+  const fplan::Floorplanner planner(options);
+  const int num_slots = workload.topology->num_slots();
+
+  TxnRow row;
+  row.key = key;
+
+  // One candidate per step: speculate the swap with push_shapes, solve,
+  // then accept (commit_shapes, the swap stays) or reject (pop_shapes, the
+  // baseline returns) — decided by the same Prng stream in every pass.
+  const auto drive = [&](auto&& per_candidate) {
+    auto inputs = app_inputs(workload.app, *workload.topology);
+    SwapSequence sequence(num_slots);
+    util::Prng accept_prng(99);
+    for (int step = 0; step < kSwapSteps; ++step) {
+      const auto [a, b] = sequence.next();
+      auto speculative_a = inputs.cores[static_cast<std::size_t>(b)];
+      auto speculative_b = inputs.cores[static_cast<std::size_t>(a)];
+      const bool accept = accept_prng.chance(0.5);
+      per_candidate(inputs, a, b, speculative_a, speculative_b, accept);
+      if (accept) {
+        std::swap(inputs.cores[static_cast<std::size_t>(a)],
+                  inputs.cores[static_cast<std::size_t>(b)]);
+      }
+    }
+  };
+
+  // Correctness pass (untimed): every speculative solve must equal the
+  // from-scratch place of the speculative assignment, and every rollback
+  // must leave the next speculation bit-identical too.
+  {
+    auto inputs = app_inputs(workload.app, *workload.topology);
+    fplan::FloorplanSession session(options, placement, inputs.cores,
+                                    inputs.switches);
+    (void)session.solve();
+    row.bit_identical = true;
+    SwapSequence sequence(num_slots);
+    util::Prng accept_prng(99);
+    std::vector<fplan::SlotShapeUpdate> updates(2);
+    for (int step = 0; step < kSwapSteps && row.bit_identical; ++step) {
+      const auto [a, b] = sequence.next();
+      auto speculative = inputs.cores;
+      std::swap(speculative[static_cast<std::size_t>(a)],
+                speculative[static_cast<std::size_t>(b)]);
+      updates[0] = {a, speculative[static_cast<std::size_t>(a)]};
+      updates[1] = {b, speculative[static_cast<std::size_t>(b)]};
+      session.push_shapes(updates);
+      row.bit_identical = floorplans_equal(
+          session.solve(),
+          planner.place(placement, speculative, inputs.switches));
+      if (accept_prng.chance(0.5)) {
+        session.commit_shapes();
+        inputs.cores = std::move(speculative);
+      } else {
+        session.pop_shapes();
+      }
+    }
+  }
+
+  // Timing passes, best of kTimingRounds per side.
+  row.from_scratch_ms = std::numeric_limits<double>::infinity();
+  row.incremental_ms = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kTimingRounds; ++round) {
+    {
+      double blackhole = 0.0;
+      const auto t0 = std::chrono::steady_clock::now();
+      drive([&](Inputs& inputs, int a, int b,
+                const std::optional<fplan::BlockShape>& sa,
+                const std::optional<fplan::BlockShape>& sb, bool) {
+        auto speculative = inputs.cores;
+        speculative[static_cast<std::size_t>(a)] = sa;
+        speculative[static_cast<std::size_t>(b)] = sb;
+        blackhole +=
+            planner.place(placement, speculative, inputs.switches).area_mm2();
+      });
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(blackhole);
+      row.from_scratch_ms = std::min(
+          row.from_scratch_ms,
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    {
+      auto base = app_inputs(workload.app, *workload.topology);
+      fplan::FloorplanSession session(options, placement, base.cores,
+                                      base.switches);
+      (void)session.solve();
+      std::vector<fplan::SlotShapeUpdate> updates(2);
+      double blackhole = 0.0;
+      const auto t0 = std::chrono::steady_clock::now();
+      drive([&](Inputs&, int a, int b,
+                const std::optional<fplan::BlockShape>& sa,
+                const std::optional<fplan::BlockShape>& sb, bool accept) {
+        updates[0] = {a, sa};
+        updates[1] = {b, sb};
+        session.push_shapes(updates);
+        blackhole += session.solve().area_mm2();
+        if (accept) {
+          session.commit_shapes();
+        } else {
+          session.pop_shapes();
+        }
+      });
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(blackhole);
+      row.incremental_ms = std::min(
+          row.incremental_ms,
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  }
+  return row;
+}
+
 void BM_FloorplanLongestPath(benchmark::State& state) {
   const auto mesh = topo::make_mesh_for(12);
   const auto inputs = vopd_inputs(*mesh);
@@ -325,6 +457,28 @@ int main(int argc, char** argv) {
     vopd_bfly.topology = topo::make_butterfly_for(apps::vopd().num_cores());
     workloads.push_back(std::move(vopd_bfly));
   }
+  // The annealing-shaped probe adds a production-scale point: 48
+  // heterogeneous cores on an 8x8 mesh, where the from-scratch rebuild
+  // grows with the design while the delta patch stays O(dirty).
+  std::vector<SwapWorkload> txn_workloads;
+  {
+    SwapWorkload vopd_mesh{"vopd_mesh", apps::vopd(), nullptr};
+    vopd_mesh.topology = topo::make_mesh_for(16);
+    txn_workloads.push_back(std::move(vopd_mesh));
+    SwapWorkload mpeg4_mesh{"mpeg4_mesh", apps::mpeg4(), nullptr};
+    mpeg4_mesh.topology = topo::make_mesh_for(apps::mpeg4().num_cores());
+    txn_workloads.push_back(std::move(mpeg4_mesh));
+    SwapWorkload vopd_bfly{"vopd_butterfly", apps::vopd(), nullptr};
+    vopd_bfly.topology = topo::make_butterfly_for(apps::vopd().num_cores());
+    txn_workloads.push_back(std::move(vopd_bfly));
+    apps::SyntheticSpec spec;
+    spec.num_cores = 48;
+    spec.edge_density = 0.05;
+    spec.seed = 42;
+    SwapWorkload synth{"synth48_mesh", apps::synthetic(spec), nullptr};
+    synth.topology = topo::make_mesh_for(64);
+    txn_workloads.push_back(std::move(synth));
+  }
 
   std::vector<SwapRow> rows;
   util::Table table({"workload", "from-scratch ms", "incremental ms",
@@ -350,6 +504,64 @@ int main(int argc, char** argv) {
               table.to_string().c_str(), aggregate_speedup, kSwapSteps,
               workloads.size());
 
+  bench::print_heading(
+      "Annealing-shaped probe: speculative push/solve + commit|rollback vs "
+      "from-scratch place per candidate (default + rigid sizing)");
+  std::vector<TxnRow> txn_rows;
+  util::Table txn_table({"workload", "from-scratch ms", "txn ms", "speedup",
+                         "bit-identical"});
+  bool txn_identical = true;
+  double sized_scratch_total = 0.0, sized_incremental_total = 0.0;
+  double rigid_scratch_total = 0.0, rigid_incremental_total = 0.0;
+  for (const auto& workload : txn_workloads) {
+    // Default sizing first (the evaluation stack's configuration), then the
+    // rigid engine (sizing_passes = 0), which isolates the incremental
+    // constraint-graph machinery from the sizing descent — the descent runs
+    // identically on both sides of the comparison, so the rigid rows are
+    // where the delta-vs-rebuild win itself is visible.
+    fplan::Floorplanner::Options rigid;
+    rigid.sizing_passes = 0;
+    for (const auto& [options, key] :
+         {std::pair<fplan::Floorplanner::Options, std::string>{{},
+                                                               workload.name},
+          std::pair<fplan::Floorplanner::Options, std::string>{
+              rigid, workload.name + "_rigid"}}) {
+      auto row = run_txn_probe(workload, options, key);
+      txn_identical = txn_identical && row.bit_identical;
+      const bool is_rigid = options.sizing_passes == 0;
+      (is_rigid ? rigid_scratch_total : sized_scratch_total) +=
+          row.from_scratch_ms;
+      (is_rigid ? rigid_incremental_total : sized_incremental_total) +=
+          row.incremental_ms;
+      txn_table.add_row({row.key, util::Table::num(row.from_scratch_ms, 1),
+                         util::Table::num(row.incremental_ms, 1),
+                         util::Table::num(row.speedup(), 2) + "x",
+                         row.bit_identical ? "yes" : "NO"});
+      txn_rows.push_back(std::move(row));
+    }
+  }
+  const double txn_speedup_rigid =
+      rigid_incremental_total > 0.0
+          ? rigid_scratch_total / rigid_incremental_total
+          : 0.0;
+  const double txn_speedup_sized =
+      sized_incremental_total > 0.0
+          ? sized_scratch_total / sized_incremental_total
+          : 0.0;
+  std::printf("%saggregate annealing-txn speedup: %.2fx rigid, %.2fx with "
+              "sizing, over %d accept/reject candidates x %zu workloads\n",
+              txn_table.to_string().c_str(), txn_speedup_rigid,
+              txn_speedup_sized, kSwapSteps, txn_workloads.size());
+
+  // The tentpole's CI invariant: annealing accept/reject traffic through
+  // the transactional session must stay bit-identical AND keep its
+  // wall-clock win over from-scratch floorplanning — >= 2x where the
+  // rebuild-vs-delta machinery is isolated (rigid), >= 1.4x with the
+  // (side-independent) sizing descent folded in — or the build fails.
+  const bool annealing_incremental = txn_identical &&
+                                     txn_speedup_rigid >= 2.0 &&
+                                     txn_speedup_sized >= 1.4;
+
   const bool incremental_2x = aggregate_speedup >= 2.0;
   int status = 0;
   if (!all_identical) {
@@ -363,6 +575,15 @@ int main(int argc, char** argv) {
                  "FAIL: incremental speedup %.2fx below the 2x acceptance "
                  "bar\n",
                  aggregate_speedup);
+    status = 1;
+  }
+  if (!annealing_incremental) {
+    std::fprintf(stderr,
+                 "FAIL: annealing-shaped txn probe lost its win "
+                 "(bit-identical %s, rigid %.2fx vs the 2x bar, sized "
+                 "%.2fx vs the 1.4x bar)\n",
+                 txn_identical ? "yes" : "NO", txn_speedup_rigid,
+                 txn_speedup_sized);
     status = 1;
   }
 
@@ -384,10 +605,26 @@ int main(int argc, char** argv) {
                  "  \"swap_steps\": %d,\n"
                  "  \"bit_identical\": %s,\n"
                  "  \"incremental_2x\": %s,\n"
-                 "  \"aggregate_speedup\": %.3f,\n",
+                 "  \"aggregate_speedup\": %.3f,\n"
+                 "  \"annealing_incremental\": %s,\n"
+                 "  \"annealing_txn_speedup_rigid\": %.3f,\n"
+                 "  \"annealing_txn_speedup_sized\": %.3f,\n",
                  total_ms, kSwapSteps, all_identical ? "true" : "false",
-                 incremental_2x ? "true" : "false", aggregate_speedup);
-    std::fprintf(out, "  \"swap_probe\": [\n");
+                 incremental_2x ? "true" : "false", aggregate_speedup,
+                 annealing_incremental ? "true" : "false", txn_speedup_rigid,
+                 txn_speedup_sized);
+    std::fprintf(out, "  \"txn_probe\": [\n");
+    for (std::size_t i = 0; i < txn_rows.size(); ++i) {
+      const auto& row = txn_rows[i];
+      std::fprintf(out,
+                   "    {\"run\": \"%s\", \"from_scratch_ms\": %.3f, "
+                   "\"incremental_ms\": %.3f, \"speedup\": %.3f, "
+                   "\"bit_identical\": %s}%s\n",
+                   row.key.c_str(), row.from_scratch_ms, row.incremental_ms,
+                   row.speedup(), row.bit_identical ? "true" : "false",
+                   i + 1 < txn_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"swap_probe\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& row = rows[i];
       std::fprintf(out,
@@ -403,10 +640,15 @@ int main(int argc, char** argv) {
     // shifts with runner generations, and a slowdown there would only make
     // the session look better); they stay in swap_probe for information.
     std::fprintf(out, "  ],\n  \"sub_benchmarks\": {\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::fprintf(out, "    \"%s_incremental\": %.3f%s\n",
-                   rows[i].key.c_str(), rows[i].incremental_ms,
-                   i + 1 < rows.size() ? "," : "");
+    const std::size_t total_subs = rows.size() + txn_rows.size();
+    std::size_t emitted = 0;
+    for (const auto& row : rows) {
+      std::fprintf(out, "    \"%s_incremental\": %.3f%s\n", row.key.c_str(),
+                   row.incremental_ms, ++emitted < total_subs ? "," : "");
+    }
+    for (const auto& row : txn_rows) {
+      std::fprintf(out, "    \"%s_txn\": %.3f%s\n", row.key.c_str(),
+                   row.incremental_ms, ++emitted < total_subs ? "," : "");
     }
     std::fprintf(out, "  }\n}\n");
     std::fclose(out);

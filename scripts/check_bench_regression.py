@@ -28,11 +28,15 @@ import json
 import sys
 
 # Correctness invariants recorded alongside the timings, when present: the
-# probes' mapping costs, candidate counts, bit-identity flags, and the
-# incremental floorplanner's 2x acceptance bar are part of the contract and
-# must not drift as the engine gets faster.
+# probes' mapping costs, candidate counts, bit-identity flags, the
+# incremental floorplanner's 2x acceptance bar, and the transactional
+# annealing win (bit-identical SA with incremental floorplan deltas on
+# accept AND reject, >= 2x where the delta-vs-rebuild machinery is
+# isolated) are part of the contract and must not drift as the engine gets
+# faster.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
-                  "bit_identical", "restart_never_worse", "incremental_2x")
+                  "bit_identical", "restart_never_worse", "incremental_2x",
+                  "annealing_incremental")
 
 
 def check_pair(current_path: str, baseline_path: str,

@@ -151,33 +151,45 @@ FloorplanSession::FloorplanSession(
   build_structure(core_shapes, switch_shapes);
 }
 
-void FloorplanSession::resolve_node(Node& node) const {
-  node.candidate_dims.clear();
-  if (node.shape.soft) {
-    node.init_w = std::sqrt(node.shape.area_mm2);
-    node.init_h = node.init_w;
+int FloorplanSession::resolve_shape(const BlockShape& shape) {
+  for (std::size_t i = 0; i < resolved_shapes_.size(); ++i) {
+    if (resolved_shapes_[i].shape == shape) return static_cast<int>(i);
+  }
+  ResolvedShape resolved;
+  resolved.shape = shape;
+  if (shape.soft) {
+    resolved.init_w = std::sqrt(shape.area_mm2);
+    resolved.init_h = resolved.init_w;
     // The descent's candidate dims in trial order: the option aspects, then
     // the shape's own min and max, each clipped to the shape's range;
     // clip-collapsed duplicates dropped (an identical (w, h) re-derives an
     // identical chip, which can never pass the strict improvement test).
-    node.candidate_dims.reserve(options_.aspect_candidates.size() + 2);
+    resolved.candidate_dims.reserve(options_.aspect_candidates.size() + 2);
     const auto try_aspect = [&](double aspect) {
       const double clipped =
-          std::clamp(aspect, node.shape.min_aspect, node.shape.max_aspect);
-      const double w = std::sqrt(node.shape.area_mm2 * clipped);
-      const double h = std::sqrt(node.shape.area_mm2 / clipped);
-      for (const auto& [tw, th] : node.candidate_dims) {
+          std::clamp(aspect, shape.min_aspect, shape.max_aspect);
+      const double w = std::sqrt(shape.area_mm2 * clipped);
+      const double h = std::sqrt(shape.area_mm2 / clipped);
+      for (const auto& [tw, th] : resolved.candidate_dims) {
         if (tw == w && th == h) return;
       }
-      node.candidate_dims.emplace_back(w, h);
+      resolved.candidate_dims.emplace_back(w, h);
     };
     for (double aspect : options_.aspect_candidates) try_aspect(aspect);
-    try_aspect(node.shape.min_aspect);
-    try_aspect(node.shape.max_aspect);
+    try_aspect(shape.min_aspect);
+    try_aspect(shape.max_aspect);
   } else {
-    node.init_w = node.shape.width_mm;
-    node.init_h = node.shape.height_mm;
+    resolved.init_w = shape.width_mm;
+    resolved.init_h = shape.height_mm;
   }
+  resolved_shapes_.push_back(std::move(resolved));
+  return static_cast<int>(resolved_shapes_.size() - 1);
+}
+
+void FloorplanSession::resolve_node(Node& node) {
+  node.resolved = resolve_shape(node.shape);
+  node.init_w = resolved_shapes_[static_cast<std::size_t>(node.resolved)].init_w;
+  node.init_h = resolved_shapes_[static_cast<std::size_t>(node.resolved)].init_h;
 }
 
 void FloorplanSession::build_structure(
@@ -186,6 +198,7 @@ void FloorplanSession::build_structure(
   using Kind = topo::RelativePlacement::Item::Kind;
   nodes_.clear();
   nodes_.reserve(placement_.items.size());
+  resolved_shapes_.clear();
   int max_slot = -1;
   for (const auto& item : placement_.items) {
     if (item.col < 0 || item.col >= ncols_) {
@@ -308,11 +321,103 @@ void FloorplanSession::build_structure(
 
   all_dirty_ = true;
   dirty_nodes_.clear();
+  journal_depth_ = 0;
+  for (auto& frame : journal_) frame.reset();
   solved_ = false;
 }
 
 void FloorplanSession::update_shapes(const SlotShapeUpdate* updates,
                                      std::size_t count) {
+  if (journal_depth_ > 0) {
+    throw std::logic_error(
+        "FloorplanSession::update_shapes: speculative frames are open; use "
+        "push_shapes or settle them with pop_shapes/commit_shapes first");
+  }
+  apply_updates(updates, count, /*frame=*/nullptr);
+}
+
+void FloorplanSession::push_shapes(const SlotShapeUpdate* updates,
+                                   std::size_t count) {
+  if (journal_.size() <= journal_depth_) journal_.emplace_back();
+  JournalFrame& frame = journal_[journal_depth_];
+  frame.reset();
+  frame.base_all_dirty = all_dirty_;
+  frame.base_solved = solved_;
+  frame.base_dirty_nodes = dirty_nodes_;
+  ++journal_depth_;
+  apply_updates(updates, count, &frame);
+}
+
+void FloorplanSession::pop_shapes() {
+  if (journal_depth_ == 0) {
+    throw std::logic_error("FloorplanSession::pop_shapes: no frame is open");
+  }
+  JournalFrame& frame = journal_[--journal_depth_];
+
+  // Restore the displaced node states in reverse push order, so a slot the
+  // frame touched twice lands back on its original occupancy and shape.
+  // The journaled resolution (interned-shape index + init dims) is written
+  // back verbatim — the interned entry it points at never moves — so the
+  // restored node is bit-identical to its pre-push self without touching
+  // the resolver.
+  for (auto it = frame.nodes.rbegin(); it != frame.nodes.rend(); ++it) {
+    Node& node = nodes_[static_cast<std::size_t>(it->id)];
+    if (node.present != it->present) {
+      const int delta = it->present ? 1 : -1;
+      col_present_[static_cast<std::size_t>(node.col)] += delta;
+      if (grid_) {
+        row_present_[static_cast<std::size_t>(node.row)] += delta;
+        cell_present_[static_cast<std::size_t>(
+            node_cell_[static_cast<std::size_t>(it->id)])] += delta;
+      }
+    }
+    node.present = it->present;
+    node.shape = it->shape;
+    node.resolved = it->resolved;
+    node.init_w = it->init_w;
+    node.init_h = it->init_h;
+  }
+
+  if (frame.base_all_dirty || frame.solved_full) {
+    // The frame's base already needed (or a solve under the frame performed)
+    // a full re-derivation: surgical aggregate restoration has nothing valid
+    // to write back, so the next solve re-derives everything from the
+    // restored node states — exact, just not O(dirty).
+    all_dirty_ = true;
+    dirty_nodes_.clear();
+  } else {
+    // Write the displaced longest-path aggregates back verbatim (reverse
+    // record order, so overlapping records end on the oldest value) and
+    // restore the pre-push pending-delta set; aggregates a solve patched
+    // for those pending nodes are re-patched at the next solve.
+    for (auto it = frame.col_w.rbegin(); it != frame.col_w.rend(); ++it) {
+      init_col_width_[static_cast<std::size_t>(it->first)] = it->second;
+    }
+    for (auto it = frame.cell_h.rbegin(); it != frame.cell_h.rend(); ++it) {
+      init_cell_height_[static_cast<std::size_t>(it->first)] = it->second;
+    }
+    for (auto it = frame.row_h.rbegin(); it != frame.row_h.rend(); ++it) {
+      init_row_height_[static_cast<std::size_t>(it->first)] = it->second;
+    }
+    for (auto it = frame.col_h.rbegin(); it != frame.col_h.rend(); ++it) {
+      init_col_height_[static_cast<std::size_t>(it->first)] = it->second;
+    }
+    all_dirty_ = false;
+    dirty_nodes_ = frame.base_dirty_nodes;
+  }
+  // A solve while the frame was open left last_ holding the speculative
+  // floorplan; without one, the pre-push cached solve (if any) is still
+  // exactly the restored state's solution.
+  solved_ = frame.solved_through ? false : frame.base_solved;
+  frame.reset();
+}
+
+void FloorplanSession::commit_shapes() {
+  while (journal_depth_ > 0) journal_[--journal_depth_].reset();
+}
+
+void FloorplanSession::apply_updates(const SlotShapeUpdate* updates,
+                                     std::size_t count, JournalFrame* frame) {
   for (std::size_t i = 0; i < count; ++i) {
     const auto& update = updates[i];
     if (update.slot < 0 ||
@@ -326,6 +431,23 @@ void FloorplanSession::update_shapes(const SlotShapeUpdate* updates,
     if (want_present == node.present &&
         (!want_present || *update.shape == node.shape)) {
       continue;  // no-op: same occupancy, same shape
+    }
+    if (frame != nullptr) {
+      frame->nodes.push_back(JournalFrame::NodeUndo{
+          id, node.present, node.shape, node.resolved, node.init_w,
+          node.init_h});
+      frame->col_w.emplace_back(
+          node.col, init_col_width_[static_cast<std::size_t>(node.col)]);
+      if (grid_) {
+        const int cell = node_cell_[static_cast<std::size_t>(id)];
+        frame->cell_h.emplace_back(
+            cell, init_cell_height_[static_cast<std::size_t>(cell)]);
+        frame->row_h.emplace_back(
+            node.row, init_row_height_[static_cast<std::size_t>(node.row)]);
+      } else {
+        frame->col_h.emplace_back(
+            node.col, init_col_height_[static_cast<std::size_t>(node.col)]);
+      }
     }
     if (want_present != node.present) {
       const int delta = want_present ? 1 : -1;
@@ -597,7 +719,10 @@ void FloorplanSession::run_sizing_descent() {
       double best_h = node.h;
       const double start_w = node.w;
       const double start_h = node.h;
-      for (const auto& [w, h] : node.candidate_dims) {
+      const auto& candidate_dims =
+          resolved_shapes_[static_cast<std::size_t>(node.resolved)]
+              .candidate_dims;
+      for (const auto& [w, h] : candidate_dims) {
         const double col_w = std::max(col_others, w);
 
         double stack_h = stack_prefix;
@@ -746,6 +871,13 @@ const Floorplan& FloorplanSession::solve() {
     return last_;
   }
   ++stats_.solves;
+  // A solve under open speculative frames patches (or fully re-derives) the
+  // aggregates those frames journaled; mark them so pop_shapes() knows the
+  // cached solve is stale and whether surgical restoration is still valid.
+  for (std::size_t i = 0; i < journal_depth_; ++i) {
+    journal_[i].solved_through = true;
+    if (all_dirty_) journal_[i].solved_full = true;
+  }
   if (all_dirty_) {
     rederive_all_init_aggregates();
     ++stats_.full_solves;

@@ -42,6 +42,11 @@ struct SlotShapeUpdate {
 ///    candidate trial re-solves only the candidate's own column/row
 ///    constraint chains (a max per column, a stack sum per cell) plus the
 ///    downstream extent sums, instead of rebuilding the whole layout.
+///  * push_shapes()/pop_shapes()/commit_shapes() are the speculative
+///    (transactional) form of update_shapes(): a push journals what it
+///    displaces, a pop restores it in O(frame) — the protocol
+///    mapping::DeltaTxn drives so annealing accept/reject pairs solve
+///    incrementally in both directions.
 ///
 /// Incremental solves are bit-identical to from-scratch ones: every
 /// aggregate a delta dirties is recomputed with the same loop, in the same
@@ -68,10 +73,53 @@ class FloorplanSession {
 
   /// Applies a shape delta. Updates whose shape equals the slot's current
   /// one are no-ops; updates for slots the placement does not position are
-  /// ignored (place() never sees their shapes either).
+  /// ignored (place() never sees their shapes either). Must not be called
+  /// while speculative frames are open (throws std::logic_error) — an
+  /// untracked mutation would make pop_shapes() restore the wrong base.
   void update_shapes(const SlotShapeUpdate* updates, std::size_t count);
   void update_shapes(const std::vector<SlotShapeUpdate>& updates) {
     update_shapes(updates.data(), updates.size());
+  }
+
+  // ---- Speculative frames (the transactional half of the API). ----
+  //
+  // push_shapes() applies a delta like update_shapes() but opens an undo
+  // frame first, journaling everything the delta displaces: the touched
+  // nodes' occupancy and shapes, and — because a solve() between push and
+  // pop patches them — the per-column/cell/row longest-path aggregates the
+  // delta dirties, plus the pending-delta bookkeeping and the solved flag.
+  // pop_shapes() restores the journaled state in O(frame) time: node shapes
+  // are re-resolved, displaced aggregates are written back verbatim (no
+  // re-derivation), and the pre-push dirty set returns, so the session is
+  // bit-identically the session it was before the push — including a still
+  // -valid cached solve when none ran in between. commit_shapes() keeps the
+  // current state and drops every open frame.
+  //
+  // Frames nest (push/push/pop/pop); mapping::DeltaTxn drives one frame per
+  // speculative evaluation inside it. When a push trips the ¼-dirty
+  // full-solve fallback, or a solve() under an open frame re-derives every
+  // aggregate, the frame degrades gracefully: pop_shapes() restores the
+  // node states and schedules a full re-derivation instead of surgically
+  // restoring aggregates (rollback-after-fallback stays exact, it just
+  // pays a full solve next).
+
+  /// Applies a delta under a new undo frame. Same no-op/unplaced-slot
+  /// semantics as update_shapes().
+  void push_shapes(const SlotShapeUpdate* updates, std::size_t count);
+  void push_shapes(const std::vector<SlotShapeUpdate>& updates) {
+    push_shapes(updates.data(), updates.size());
+  }
+
+  /// Rolls back the most recent open frame. Throws std::logic_error when no
+  /// frame is open.
+  void pop_shapes();
+
+  /// Accepts the current state: drops every open frame without restoring.
+  void commit_shapes();
+
+  /// Open speculative frames (0 outside a transaction).
+  [[nodiscard]] int journal_depth() const {
+    return static_cast<int>(journal_depth_);
   }
 
   /// Solves the current assignment and returns the floorplan, bit-identical
@@ -92,26 +140,81 @@ class FloorplanSession {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  /// One placement item with its resolved shape. `init_w/init_h` are the
-  /// stage-1 dimensions (pre-sizing); `w/h` are the working dimensions the
-  /// sizing descent iterates on.
+  /// One distinct block shape's resolution against the session options: the
+  /// stage-1 (pre-sizing) dimensions and, for soft blocks, the candidate
+  /// (w, h) pairs of the sizing descent — the option aspects clipped to the
+  /// shape's range, duplicates dropped (a duplicate re-derives an identical
+  /// chip and can never pass the strict improvement test). Depends only on
+  /// (shape, options), so the session interns one entry per distinct shape
+  /// it ever sees: a delta that moves a shape onto a slot — and a journal
+  /// pop that moves it back off — costs an index assignment, not a
+  /// re-derivation of the candidate list.
+  struct ResolvedShape {
+    BlockShape shape;
+    double init_w = 0.0, init_h = 0.0;
+    std::vector<std::pair<double, double>> candidate_dims;
+  };
+
+  /// One placement item with its resolved shape. `init_w/init_h` mirror the
+  /// interned resolution (hot-loop locality); `w/h` are the working
+  /// dimensions the sizing descent iterates on; `resolved` indexes
+  /// resolved_shapes_ (-1 while absent).
   struct Node {
     PlacedBlock::Kind kind = PlacedBlock::Kind::kSwitch;
     int index = 0;  ///< SlotId for cores, switch NodeId for switches.
     int row = 0, col = 0, sub = 0;
     bool present = false;
     BlockShape shape;
+    int resolved = -1;
     double init_w = 0.0, init_h = 0.0;
     double w = 0.0, h = 0.0;
-    /// Soft blocks: the candidate (w, h) pairs of the sizing descent, from
-    /// the option aspects clipped to the shape's range, duplicates dropped
-    /// (a duplicate re-derives an identical chip and can never pass the
-    /// strict improvement test). Depends only on shape + options, so it is
-    /// resolved once per shape change instead of once per trial.
-    std::vector<std::pair<double, double>> candidate_dims;
   };
 
-  void resolve_node(Node& node) const;
+  /// One speculative frame of the undo journal. `nodes` records the
+  /// pre-push occupancy/shape of every effectively-changed node;
+  /// `col_w`/`cell_h`/`row_h`/`col_h` record the init longest-path
+  /// aggregates the pushed nodes dirty, as they stood at push time (a
+  /// solve() while the frame is open patches exactly those). Frames are
+  /// pooled: pop/commit only move `journal_depth_`, so steady-state
+  /// annealing pushes allocate nothing.
+  struct JournalFrame {
+    struct NodeUndo {
+      int id = 0;
+      bool present = false;
+      BlockShape shape;
+      int resolved = -1;
+      double init_w = 0.0, init_h = 0.0;
+    };
+    std::vector<NodeUndo> nodes;
+    std::vector<std::pair<int, double>> col_w;
+    std::vector<std::pair<int, double>> cell_h;
+    std::vector<std::pair<int, double>> row_h;
+    std::vector<std::pair<int, double>> col_h;
+    std::vector<int> base_dirty_nodes;  ///< dirty_nodes_ at push time.
+    bool base_all_dirty = false;
+    bool base_solved = false;
+    bool solved_through = false;  ///< A solve ran while the frame was open.
+    bool solved_full = false;     ///< ...and it re-derived every aggregate.
+
+    void reset() {
+      nodes.clear();
+      col_w.clear();
+      cell_h.clear();
+      row_h.clear();
+      col_h.clear();
+      base_dirty_nodes.clear();
+      base_all_dirty = base_solved = solved_through = solved_full = false;
+    }
+  };
+
+  /// Shared body of update_shapes/push_shapes; journals into `frame` when
+  /// one is given.
+  void apply_updates(const SlotShapeUpdate* updates, std::size_t count,
+                     JournalFrame* frame);
+
+  /// Find-or-intern `shape` in resolved_shapes_; returns its index.
+  [[nodiscard]] int resolve_shape(const BlockShape& shape);
+  void resolve_node(Node& node);
   void build_structure(const std::vector<std::optional<BlockShape>>& cores,
                        const std::vector<BlockShape>& switches);
   void rederive_all_init_aggregates();
@@ -136,6 +239,9 @@ class FloorplanSession {
 
   std::vector<Node> nodes_;    ///< Placement order.
   std::vector<int> slot_node_; ///< SlotId -> node id, -1 when unplaced.
+  /// Interned per-shape resolutions (a design has a handful of distinct
+  /// shapes; linear find-or-insert by exact equality).
+  std::vector<ResolvedShape> resolved_shapes_;
 
   // ---- Constraint-graph structure (placement-only, built once). ----
   std::vector<std::vector<int>> col_members_; ///< Width-max members per col.
@@ -162,6 +268,8 @@ class FloorplanSession {
   std::vector<double> col_height_;
 
   // ---- Delta bookkeeping. ----
+  std::vector<JournalFrame> journal_;  ///< Pooled frames; depth_ are open.
+  std::size_t journal_depth_ = 0;
   std::vector<int> dirty_nodes_;
   std::vector<int> dirty_cols_scratch_;
   std::vector<int> dirty_cells_scratch_;

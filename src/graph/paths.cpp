@@ -38,85 +38,23 @@ std::vector<int> bfs_impl(const DirectedGraph& g, NodeId start, bool reverse,
 
 }  // namespace
 
+namespace detail {
+
+DijkstraWorkspace& dijkstra_workspace() {
+  static thread_local DijkstraWorkspace ws;
+  return ws;
+}
+
+}  // namespace detail
+
 std::optional<Path> shortest_path(const DirectedGraph& g, NodeId src,
                                   NodeId dst, const EdgeCostFn& cost,
                                   const NodeFilterFn& filter) {
-  const auto n = static_cast<std::size_t>(g.num_nodes());
-  if (src < 0 || dst < 0 || src >= g.num_nodes() || dst >= g.num_nodes()) {
-    throw std::out_of_range("shortest_path: endpoint out of range");
+  if (!filter) {
+    return shortest_path_with(g, src, dst, cost, AdmitAll{});
   }
-  if (!admitted(filter, src) || !admitted(filter, dst)) return std::nullopt;
-
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-
-  // Reusable per-thread workspace: the mapping search calls this function
-  // hundreds of thousands of times over small graphs, where the per-call
-  // vector allocations would dominate the relaxations themselves. The heap
-  // is driven with push_heap/pop_heap under the same comparator that
-  // std::priority_queue uses, so the settle order — and therefore the
-  // tie-breaking among equal-cost paths — is unchanged.
-  using Item = std::pair<double, NodeId>;
-  struct Workspace {
-    std::vector<double> dist;
-    std::vector<EdgeId> via;
-    std::vector<char> done;
-    std::vector<Item> heap;
-  };
-  static thread_local Workspace ws;
-  ws.dist.assign(n, kInf);
-  ws.via.assign(n, kInvalidEdge);
-  ws.done.assign(n, 0);
-  ws.heap.clear();
-
-  auto& dist = ws.dist;
-  auto& via = ws.via;
-  auto& done = ws.done;
-  auto& heap = ws.heap;
-
-  dist[static_cast<std::size_t>(src)] = 0.0;
-  heap.emplace_back(0.0, src);
-
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-    const auto [d, u] = heap.back();
-    heap.pop_back();
-    if (done[static_cast<std::size_t>(u)] != 0) continue;
-    done[static_cast<std::size_t>(u)] = 1;
-    if (u == dst) break;
-    for (EdgeId e : g.out_edges(u)) {
-      const NodeId v = g.edge(e).dst;
-      if (!admitted(filter, v) || done[static_cast<std::size_t>(v)] != 0) {
-        continue;
-      }
-      const double w = cost(e);
-      if (w < 0.0) {
-        throw std::invalid_argument("shortest_path: negative edge cost");
-      }
-      const double nd = d + w;
-      if (nd < dist[static_cast<std::size_t>(v)]) {
-        dist[static_cast<std::size_t>(v)] = nd;
-        via[static_cast<std::size_t>(v)] = e;
-        heap.emplace_back(nd, v);
-        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
-      }
-    }
-  }
-
-  if (dist[static_cast<std::size_t>(dst)] == kInf) return std::nullopt;
-
-  Path path;
-  path.cost = dist[static_cast<std::size_t>(dst)];
-  NodeId cur = dst;
-  while (cur != src) {
-    const EdgeId e = via[static_cast<std::size_t>(cur)];
-    path.edges.push_back(e);
-    path.nodes.push_back(cur);
-    cur = g.edge(e).src;
-  }
-  path.nodes.push_back(src);
-  std::reverse(path.nodes.begin(), path.nodes.end());
-  std::reverse(path.edges.begin(), path.edges.end());
-  return path;
+  return shortest_path_with(g, src, dst, cost,
+                            [&](NodeId u) { return filter(u); });
 }
 
 std::vector<int> bfs_distances(const DirectedGraph& g, NodeId src,

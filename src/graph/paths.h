@@ -1,7 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -27,9 +31,111 @@ using EdgeCostFn = std::function<double(EdgeId)>;
 /// relaxed (used to restrict searches to a quadrant graph).
 using NodeFilterFn = std::function<bool(NodeId)>;
 
+namespace detail {
+
+/// Reusable per-thread Dijkstra workspace: the mapping search runs this
+/// algorithm hundreds of thousands of times over small graphs, where the
+/// per-call vector allocations would dominate the relaxations themselves.
+struct DijkstraWorkspace {
+  std::vector<double> dist;
+  std::vector<EdgeId> via;
+  std::vector<char> done;
+  std::vector<std::pair<double, NodeId>> heap;
+};
+
+/// The calling thread's workspace (one instance shared by every
+/// instantiation of shortest_path_with, so template callers and the
+/// std::function wrapper reuse the same buffers).
+DijkstraWorkspace& dijkstra_workspace();
+
+}  // namespace detail
+
+/// Dijkstra shortest path from src to dst, templated over the cost and
+/// admission functors so hot callers (the routing engine's inner loops) pay
+/// direct calls instead of std::function dispatch. The heap is driven with
+/// push_heap/pop_heap under the same comparator that std::priority_queue
+/// uses, so the settle order — and therefore the tie-breaking among
+/// equal-cost paths — matches the historical implementation exactly; the
+/// std::function-based shortest_path() below delegates here and is
+/// bit-identical by construction.
+template <typename CostFn, typename FilterFn>
+std::optional<Path> shortest_path_with(const DirectedGraph& g, NodeId src,
+                                       NodeId dst, const CostFn& cost,
+                                       const FilterFn& filter) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (src < 0 || dst < 0 || src >= g.num_nodes() || dst >= g.num_nodes()) {
+    throw std::out_of_range("shortest_path: endpoint out of range");
+  }
+  if (!filter(src) || !filter(dst)) return std::nullopt;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  detail::DijkstraWorkspace& ws = detail::dijkstra_workspace();
+  ws.dist.assign(n, kInf);
+  ws.via.assign(n, kInvalidEdge);
+  ws.done.assign(n, 0);
+  ws.heap.clear();
+
+  auto& dist = ws.dist;
+  auto& via = ws.via;
+  auto& done = ws.done;
+  auto& heap = ws.heap;
+
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace_back(0.0, src);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (done[static_cast<std::size_t>(u)] != 0) continue;
+    done[static_cast<std::size_t>(u)] = 1;
+    if (u == dst) break;
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).dst;
+      if (!filter(v) || done[static_cast<std::size_t>(v)] != 0) {
+        continue;
+      }
+      const double w = cost(e);
+      if (w < 0.0) {
+        throw std::invalid_argument("shortest_path: negative edge cost");
+      }
+      const double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        via[static_cast<std::size_t>(v)] = e;
+        heap.emplace_back(nd, v);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(dst)] == kInf) return std::nullopt;
+
+  Path path;
+  path.cost = dist[static_cast<std::size_t>(dst)];
+  NodeId cur = dst;
+  while (cur != src) {
+    const EdgeId e = via[static_cast<std::size_t>(cur)];
+    path.edges.push_back(e);
+    path.nodes.push_back(cur);
+    cur = g.edge(e).src;
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+/// Admission functor admitting every node (the unfiltered template case).
+struct AdmitAll {
+  bool operator()(NodeId) const { return true; }
+};
+
 /// Dijkstra shortest path from src to dst under `cost`, optionally restricted
 /// to nodes admitted by `filter` (src and dst must themselves be admitted).
-/// Returns std::nullopt if dst is unreachable.
+/// Returns std::nullopt if dst is unreachable. Type-erased convenience
+/// wrapper over shortest_path_with().
 std::optional<Path> shortest_path(const DirectedGraph& g, NodeId src,
                                   NodeId dst, const EdgeCostFn& cost,
                                   const NodeFilterFn& filter = nullptr);

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "mapping/mapper.h"
+
+namespace sunmap::mapping {
+
+class EvalContext;
+struct EvalScratch;
+
+/// The transactional delta-evaluation protocol of the mapping search: one
+/// begin -> speculative evaluate -> commit | rollback cycle that atomically
+/// spans every piece of state a candidate swap touches —
+///
+///  * the mapping arrays (core_to_slot and its slot_to_core inverse),
+///  * the scratch's incremental fplan::FloorplanSession (cache misses under
+///    an open speculation solve through push_shapes, journaling what they
+///    displace) together with the scratch's session shape key, and
+///  * the EvalContext memo caches, which being pure memoisation need no
+///    undo: a speculative result cached during a rolled-back transaction is
+///    still the exact value any later evaluation of that mapping computes.
+///
+/// begin_swap() applies a pairwise slot swap; evaluate()/prunable() then see
+/// the speculative mapping through the normal EvalContext entry points;
+/// commit() keeps it (dropping the journal), rollback() restores the
+/// mapping, the session state (in O(dirty), via the session's undo journal
+/// — no re-derivation), and the session key, bit-identically to the state
+/// before begin_swap(). This is what lets annealing chains reject a
+/// candidate without leaving the floorplan session dirty: the next
+/// candidate's delta is measured against the incumbent, not against the
+/// rejected speculation.
+///
+/// The transaction borrows everything it coordinates; the context, scratch,
+/// and both mapping vectors must outlive it. One scratch carries at most
+/// one open speculation (begin_swap() under an open one throws); concurrent
+/// search workers each run their own transaction over their own scratch.
+/// Destroying an open transaction rolls it back.
+class DeltaTxn {
+ public:
+  DeltaTxn(const EvalContext& ctx, EvalScratch& scratch,
+           std::vector<int>& core_to_slot, std::vector<int>& slot_to_core);
+  ~DeltaTxn();
+
+  DeltaTxn(const DeltaTxn&) = delete;
+  DeltaTxn& operator=(const DeltaTxn&) = delete;
+
+  /// Applies the pairwise swap of slots (a, b) to the mapping arrays and
+  /// opens the speculation. Swapping two empty slots is the caller's no-op
+  /// to skip; a swap involving one empty slot moves the occupying core.
+  void begin_swap(int slot_a, int slot_b);
+
+  /// Evaluates the current (speculative or committed) mapping through the
+  /// context. Works outside a speculation too — e.g. for the initial
+  /// mapping — where it behaves exactly like ctx.evaluate().
+  [[nodiscard]] Evaluation evaluate(bool materialize = false) const;
+
+  /// Phase-1 bound check of the current mapping against `incumbent`
+  /// (EvalContext::prunable through this transaction's scratch).
+  [[nodiscard]] bool prunable(const Evaluation& incumbent) const;
+
+  /// Keeps the speculative swap: the mapping stays, the session journal is
+  /// committed, and the transaction is ready for the next begin_swap().
+  void commit();
+
+  /// Undoes the speculative swap: mapping arrays, floorplan-session state,
+  /// and session key all return to their pre-begin_swap() values.
+  void rollback();
+
+  [[nodiscard]] bool open() const { return open_; }
+
+ private:
+  const EvalContext& ctx_;
+  EvalScratch& scratch_;
+  std::vector<int>& core_to_slot_;
+  std::vector<int>& slot_to_core_;
+  int slot_a_ = -1;
+  int slot_b_ = -1;
+  bool open_ = false;
+};
+
+/// Applies the pairwise swap of slots (a, b) to a mapping and its inverse in
+/// place. Self-inverse: applying it twice restores both arrays — the
+/// primitive DeltaTxn's begin/rollback are built on.
+void apply_slot_swap(int a, int b, std::vector<int>& core_to_slot,
+                     std::vector<int>& slot_to_core);
+
+}  // namespace sunmap::mapping

@@ -39,6 +39,14 @@ bool same_evaluation_class(const MapperConfig& a, const MapperConfig& b) {
 
 }  // namespace
 
+EvalScratch& EvalScratch::worker_scratch(int t) {
+  if (t <= 0) return *this;
+  while (worker_pool.size() < static_cast<std::size_t>(t)) {
+    worker_pool.push_back(std::make_unique<EvalScratch>());
+  }
+  return *worker_pool[static_cast<std::size_t>(t - 1)];
+}
+
 std::uint64_t EvalContext::contexts_built() {
   return g_contexts_built.load(std::memory_order_relaxed);
 }
@@ -340,7 +348,8 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   // of a sweep that shares floorplan options and technology. The same
   // helper is the min-area bound's exact phase, so pruned candidates warm
   // the cache for the evaluations that follow.
-  fplan::Floorplan floorplan = floorplan_for_mapping(core_to_slot, scratch);
+  const fplan::Floorplan& floorplan =
+      floorplan_for_mapping(core_to_slot, scratch);
   eval.design_area_mm2 = floorplan.area_mm2();
   const double floorplan_aspect = floorplan.aspect();
 
@@ -435,8 +444,13 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
     }
   }
 
-  eval.floorplan = std::move(floorplan);
+  // Lightweight (search-loop) evaluations carry metrics only: the searches
+  // compare candidates by scalars, so copying the floorplan geometry into
+  // every rejected candidate would be pure waste. Materialized evaluations
+  // — the winners and every caller-facing result — get the full floorplan
+  // and routes, exactly as before.
   if (materialize) {
+    eval.floorplan = floorplan;
     eval.link_loads = scratch.loads.values();
     eval.routes.reserve(num_commodities);
     for (std::size_t k = 0; k < num_commodities; ++k) {
@@ -446,7 +460,7 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   return eval;
 }
 
-fplan::Floorplan EvalContext::floorplan_for_mapping(
+const fplan::Floorplan& EvalContext::floorplan_for_mapping(
     const std::vector<int>& core_to_slot, EvalScratch& scratch) const {
   const int num_slots = topology_.num_slots();
   scratch.floor_key.assign(static_cast<std::size_t>(num_slots), 0);
@@ -457,6 +471,9 @@ fplan::Floorplan EvalContext::floorplan_for_mapping(
             core_shape_class_[static_cast<std::size_t>(core)] + 1);
   }
   {
+    // Cache-entry references outlive the lock: entries are never evicted,
+    // and the only clear happens in bind(), which is documented to never
+    // run concurrently with evaluations.
     std::shared_lock<std::shared_mutex> lock(cache_mutex_);
     const auto it = floorplan_cache_.find(scratch.floor_key);
     if (it != floorplan_cache_.end()) {
@@ -465,13 +482,42 @@ fplan::Floorplan EvalContext::floorplan_for_mapping(
     }
     g_floorplan_misses.fetch_add(1, std::memory_order_relaxed);
   }
-  // Cache miss: solve through this thread's incremental session, sending
-  // only the slots whose shape class moved since the session's last solve —
-  // a pairwise swap perturbs at most two. Shape classes map to bit-identical
+  // Cache miss. The reference (non-incremental) path pays a from-scratch
+  // Floorplanner::place — it exists so the annealing_incremental bench
+  // invariant and the transactional-equivalence tests can measure the
+  // incremental engine against the exact arithmetic it must reproduce.
+  if (!config_.incremental_floorplan) {
+    scratch.core_shapes.assign(static_cast<std::size_t>(num_slots),
+                               std::nullopt);
+    for (int slot = 0; slot < num_slots; ++slot) {
+      const std::uint16_t cls =
+          scratch.floor_key[static_cast<std::size_t>(slot)];
+      if (cls > 0) {
+        scratch.core_shapes[static_cast<std::size_t>(slot)] =
+            class_shapes_[static_cast<std::size_t>(cls - 1)];
+      }
+    }
+    scratch.fplan_result = fplan::Floorplanner(config_.floorplan)
+                               .place(placement_, scratch.core_shapes,
+                                      switch_shapes_);
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    if (floorplan_cache_.size() < kFloorplanCacheCap) {
+      floorplan_cache_.emplace(scratch.floor_key, scratch.fplan_result);
+    }
+    return scratch.fplan_result;
+  }
+  // Incremental path: solve through this thread's session, sending only the
+  // slots whose shape class moved since the session's last solve — a
+  // pairwise swap perturbs at most two. Shape classes map to bit-identical
   // shapes, so updating by class representative equals updating by the
   // cores' own shapes, and the session's incremental solve is bit-identical
-  // to the from-scratch Floorplanner::place the cache used to call.
+  // to the from-scratch Floorplanner::place the cache used to call. Under an
+  // open DeltaTxn speculation the delta is journaled instead of applied
+  // destructively: the session takes it as a push_shapes frame and the
+  // displaced key entries are logged, so a rollback restores the session to
+  // the incumbent mapping without re-deriving anything.
   fplan::FloorplanSession& session = session_for(scratch);
+  const bool speculative = scratch.txn_depth > 0;
   scratch.fplan_updates.clear();
   for (int slot = 0; slot < num_slots; ++slot) {
     const std::uint16_t want = scratch.floor_key[static_cast<std::size_t>(slot)];
@@ -481,24 +527,38 @@ fplan::Floorplan EvalContext::floorplan_for_mapping(
     update.slot = slot;
     if (want > 0) update.shape = class_shapes_[static_cast<std::size_t>(want - 1)];
     scratch.fplan_updates.push_back(std::move(update));
+    if (speculative) scratch.txn_key_undo.emplace_back(slot, have);
     have = want;
   }
-  session.update_shapes(scratch.fplan_updates);
-  fplan::Floorplan floorplan = session.solve();
+  if (speculative) {
+    session.push_shapes(scratch.fplan_updates);
+    ++scratch.txn_session_pushes;
+  } else {
+    session.update_shapes(scratch.fplan_updates);
+  }
+  const fplan::Floorplan& floorplan = session.solve();
   {
     std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     if (floorplan_cache_.size() < kFloorplanCacheCap) {
       floorplan_cache_.emplace(scratch.floor_key, floorplan);
     }
   }
+  // The session's solution stays untouched until this scratch's next
+  // floorplan query, so returning it directly skips a blocks copy per miss.
   return floorplan;
 }
 
 fplan::FloorplanSession& EvalContext::session_for(EvalScratch& scratch) const {
+  const auto num_slots = static_cast<std::size_t>(topology_.num_slots());
+  // The slot-count guard backs up the id/epoch checks: a scratch recycled
+  // across contexts (the shared worker pool hands them around freely) whose
+  // id and floorplan epoch both happen to line up must still never feed a
+  // session resolved for a different topology — a mismatch between the key
+  // length and this topology's slot count is the tell.
   if (scratch.fplan_session == nullptr ||
       scratch.fplan_session_context != context_id_ ||
-      scratch.fplan_session_epoch != session_epoch_) {
-    const auto num_slots = static_cast<std::size_t>(topology_.num_slots());
+      scratch.fplan_session_epoch != session_epoch_ ||
+      scratch.fplan_session_key.size() != num_slots) {
     // Seed with every slot empty (shape class 0); the first solve's delta
     // then carries the whole mapping, which the session treats as a full
     // solve anyway.
@@ -508,6 +568,8 @@ fplan::FloorplanSession& EvalContext::session_for(EvalScratch& scratch) const {
     scratch.fplan_session_context = context_id_;
     scratch.fplan_session_epoch = session_epoch_;
     scratch.fplan_session_key.assign(num_slots, 0);
+    scratch.txn_session_pushes = 0;
+    scratch.txn_key_undo.clear();
   }
   return *scratch.fplan_session;
 }
@@ -694,12 +756,16 @@ void EvalContext::build_bound_envelope() {
     env.attach_out_base.assign(static_cast<std::size_t>(num_slots), 0.0);
     env.attach_in_vertical.assign(static_cast<std::size_t>(num_slots), 0);
     env.attach_out_vertical.assign(static_cast<std::size_t>(num_slots), 0);
+    env.slot_in_sw.assign(static_cast<std::size_t>(num_slots), 0);
+    env.slot_out_sw.assign(static_cast<std::size_t>(num_slots), 0);
     for (int s = 0; s < num_slots; ++s) {
       const auto slot = static_cast<std::size_t>(s);
       const auto in_sw =
           static_cast<std::size_t>(topology_.ingress_switch(s));
       const auto out_sw =
           static_cast<std::size_t>(topology_.egress_switch(s));
+      env.slot_in_sw[slot] = static_cast<int>(in_sw);
+      env.slot_out_sw[slot] = static_cast<int>(out_sw);
       const bool in_vertical =
           env.slot_col[slot] == env.switch_col[in_sw];
       const bool out_vertical =
@@ -855,71 +921,142 @@ void EvalContext::build_power_bound_table() {
       edge_wire[static_cast<std::size_t>(e)] = wire;
     }
   }
-  const auto edge_cost = [&](graph::EdgeId e) {
-    return switch_table_.energy_pj_per_bit(g.edge(e).dst) +
-           link_e * edge_wire[static_cast<std::size_t>(e)];
+
+  // Exact-geometry upgrade: when the application has a single core shape
+  // class and fills every slot, every injective mapping produces the same
+  // per-slot shape assignment, hence the identical floorplan. The wire
+  // bounds can then use the actual placed geometry — per-link centre
+  // distances and exact core-attachment wires — instead of minimal
+  // envelopes, which is what closes most of the bound gap on the
+  // fully-occupied uniform meshes (netproc16).
+  power_bound_exact_ = false;
+  const auto manhattan = [](double ax, double ay, double bx, double by) {
+    return std::abs(ax - bx) + std::abs(ay - by);
   };
+  if (env.valid && class_shapes_.size() == 1 &&
+      num_cores == num_slots) {
+    const int num_switches = topology_.num_switches();
+    std::vector<std::optional<fplan::BlockShape>> shapes(
+        static_cast<std::size_t>(num_slots), class_shapes_[0]);
+    const fplan::Floorplan plan =
+        fplan::Floorplanner(config_.floorplan)
+            .place(placement_, shapes, switch_shapes_);
+    std::vector<double> sw_cx(static_cast<std::size_t>(num_switches), 0.0);
+    std::vector<double> sw_cy(static_cast<std::size_t>(num_switches), 0.0);
+    std::vector<double> core_cx(static_cast<std::size_t>(num_slots), 0.0);
+    std::vector<double> core_cy(static_cast<std::size_t>(num_slots), 0.0);
+    for (const auto& block : plan.blocks()) {
+      if (block.kind == fplan::PlacedBlock::Kind::kCore) {
+        core_cx[static_cast<std::size_t>(block.index)] = block.cx();
+        core_cy[static_cast<std::size_t>(block.index)] = block.cy();
+      } else {
+        sw_cx[static_cast<std::size_t>(block.index)] = block.cx();
+        sw_cy[static_cast<std::size_t>(block.index)] = block.cy();
+      }
+    }
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      edge_wire[static_cast<std::size_t>(e)] = manhattan(
+          sw_cx[static_cast<std::size_t>(edge.src)],
+          sw_cy[static_cast<std::size_t>(edge.src)],
+          sw_cx[static_cast<std::size_t>(edge.dst)],
+          sw_cy[static_cast<std::size_t>(edge.dst)]);
+    }
+    exact_attach_in_.assign(static_cast<std::size_t>(num_slots), 0.0);
+    exact_attach_out_.assign(static_cast<std::size_t>(num_slots), 0.0);
+    for (int s = 0; s < num_slots; ++s) {
+      const auto slot = static_cast<std::size_t>(s);
+      const auto in_sw =
+          static_cast<std::size_t>(topology_.ingress_switch(s));
+      const auto out_sw =
+          static_cast<std::size_t>(topology_.egress_switch(s));
+      exact_attach_in_[slot] = manhattan(core_cx[slot], core_cy[slot],
+                                         sw_cx[in_sw], sw_cy[in_sw]);
+      exact_attach_out_[slot] = manhattan(core_cx[slot], core_cy[slot],
+                                          sw_cx[out_sw], sw_cy[out_sw]);
+    }
+    power_bound_exact_ = true;
+  }
 
   // One single-source Dijkstra per distinct ingress switch reaches every
   // egress at once — O(S) passes instead of a point-to-point search per
-  // slot pair.
-  pair_energy_lb_.assign(static_cast<std::size_t>(num_slots) *
-                             static_cast<std::size_t>(num_slots),
-                         0.0);
-  constexpr double kUnreached = std::numeric_limits<double>::infinity();
-  std::map<graph::NodeId, std::vector<double>> by_ingress;
-  std::vector<char> settled;
-  for (int src = 0; src < num_slots; ++src) {
-    const graph::NodeId u = topology_.ingress_switch(src);
-    auto [it, inserted] =
-        by_ingress.try_emplace(u, std::vector<double>());
-    if (inserted) {
-      auto& dist = it->second;
-      dist.assign(static_cast<std::size_t>(g.num_nodes()), kUnreached);
-      settled.assign(static_cast<std::size_t>(g.num_nodes()), 0);
-      using Entry = std::pair<double, graph::NodeId>;
-      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-      dist[static_cast<std::size_t>(u)] = 0.0;
-      queue.emplace(0.0, u);
-      while (!queue.empty()) {
-        const auto [d, node] = queue.top();
-        queue.pop();
-        if (settled[static_cast<std::size_t>(node)]) continue;
-        settled[static_cast<std::size_t>(node)] = 1;
-        for (const graph::EdgeId e : g.out_edges(node)) {
-          const graph::NodeId next = g.edge(e).dst;
-          const double candidate = d + edge_cost(e);
-          if (candidate < dist[static_cast<std::size_t>(next)]) {
-            dist[static_cast<std::size_t>(next)] = candidate;
-            queue.emplace(candidate, next);
+  // slot pair. Run once with the wire term folded in (the main table) and,
+  // outside exact mode, once over switch energies alone — the base the
+  // per-candidate occupied-band wire refinement adds its geometric floor
+  // to (the refined bound must not double-count the static edge wires).
+  const auto run_sweep = [&](const auto& edge_cost,
+                             std::vector<double>& table) {
+    table.assign(static_cast<std::size_t>(num_slots) *
+                     static_cast<std::size_t>(num_slots),
+                 0.0);
+    constexpr double kUnreached = std::numeric_limits<double>::infinity();
+    std::map<graph::NodeId, std::vector<double>> by_ingress;
+    std::vector<char> settled;
+    for (int src = 0; src < num_slots; ++src) {
+      const graph::NodeId u = topology_.ingress_switch(src);
+      auto [it, inserted] =
+          by_ingress.try_emplace(u, std::vector<double>());
+      if (inserted) {
+        auto& dist = it->second;
+        dist.assign(static_cast<std::size_t>(g.num_nodes()), kUnreached);
+        settled.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+        using Entry = std::pair<double, graph::NodeId>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+        dist[static_cast<std::size_t>(u)] = 0.0;
+        queue.emplace(0.0, u);
+        while (!queue.empty()) {
+          const auto [d, node] = queue.top();
+          queue.pop();
+          if (settled[static_cast<std::size_t>(node)]) continue;
+          settled[static_cast<std::size_t>(node)] = 1;
+          for (const graph::EdgeId e : g.out_edges(node)) {
+            const graph::NodeId next = g.edge(e).dst;
+            const double candidate = d + edge_cost(e);
+            if (candidate < dist[static_cast<std::size_t>(next)]) {
+              dist[static_cast<std::size_t>(next)] = candidate;
+              queue.emplace(candidate, next);
+            }
           }
         }
       }
+      const auto& dist = it->second;
+      for (int dst = 0; dst < num_slots; ++dst) {
+        const auto v =
+            static_cast<std::size_t>(topology_.egress_switch(dst));
+        // An unreachable pair cannot be routed at all; leave its bound at
+        // zero so it can never prune a candidate evaluate() would reject
+        // its own way.
+        table[static_cast<std::size_t>(src) *
+                  static_cast<std::size_t>(num_slots) +
+              static_cast<std::size_t>(dst)] =
+            dist[v] == kUnreached
+                ? 0.0
+                : switch_table_.energy_pj_per_bit(static_cast<int>(u)) +
+                      dist[v];
+      }
     }
-    const auto& dist = it->second;
-    for (int dst = 0; dst < num_slots; ++dst) {
-      const auto v =
-          static_cast<std::size_t>(topology_.egress_switch(dst));
-      // An unreachable pair cannot be routed at all; leave its bound at
-      // zero so it can never prune a candidate evaluate() would reject
-      // its own way.
-      pair_energy_lb_[static_cast<std::size_t>(src) *
-                          static_cast<std::size_t>(num_slots) +
-                      static_cast<std::size_t>(dst)] =
-          dist[v] == kUnreached
-              ? 0.0
-              : switch_table_.energy_pj_per_bit(static_cast<int>(u)) +
-                    dist[v];
-    }
+  };
+  run_sweep(
+      [&](graph::EdgeId e) {
+        return switch_table_.energy_pj_per_bit(g.edge(e).dst) +
+               link_e * edge_wire[static_cast<std::size_t>(e)];
+      },
+      pair_energy_lb_);
+  if (!power_bound_exact_) {
+    run_sweep(
+        [&](graph::EdgeId e) {
+          return switch_table_.energy_pj_per_bit(g.edge(e).dst);
+        },
+        pair_switch_energy_lb_);
+  } else {
+    pair_switch_energy_lb_.clear();
   }
   power_bound_valid_ = true;
 }
 
-double EvalContext::area_lower_bound(const std::vector<int>& core_to_slot,
-                                     EvalScratch& scratch) const {
+void EvalContext::fill_bound_floors(const std::vector<int>& core_to_slot,
+                                    EvalScratch& scratch) const {
   const BoundEnvelope& env = envelope_;
-  if (!env.valid) return 0.0;
-
   // Start from the mapping-invariant switch floors, then fold in each
   // mapped core's minimal dimensions at its slot's grid position — exactly
   // the band layout the floorplanner computes, with every resolved
@@ -960,6 +1097,14 @@ double EvalContext::area_lower_bound(const std::vector<int>& core_to_slot,
       ++scratch.bound_row_used[col];
     }
   }
+}
+
+double EvalContext::area_lower_bound(const std::vector<int>& core_to_slot,
+                                     EvalScratch& scratch) const {
+  const BoundEnvelope& env = envelope_;
+  if (!env.valid) return 0.0;
+
+  fill_bound_floors(core_to_slot, scratch);
 
   double width = 0.0;
   int used_cols = 0;
@@ -991,11 +1136,74 @@ double EvalContext::area_lower_bound(const std::vector<int>& core_to_slot,
   return width * height;
 }
 
-double EvalContext::power_lower_bound(
-    const std::vector<int>& core_to_slot) const {
+double EvalContext::power_lower_bound_impl(
+    const std::vector<int>& core_to_slot, EvalScratch& scratch,
+    bool floors_filled) const {
   if (!power_bound_valid_) return 0.0;
+  const BoundEnvelope& env = envelope_;
   const auto num_slots = static_cast<std::size_t>(topology_.num_slots());
   const double link_e = config_.tech.link_energy_pj_per_bit_mm;
+
+  // Exact-geometry mode (mapping-invariant floorplan): the pair table
+  // already carries actual wire lengths, and the attachments are exact.
+  if (power_bound_exact_) {
+    double power_mw = 0.0;
+    for (const auto& commodity : commodities_) {
+      const auto src_slot = static_cast<std::size_t>(
+          core_to_slot[static_cast<std::size_t>(commodity.src_core)]);
+      const auto dst_slot = static_cast<std::size_t>(
+          core_to_slot[static_cast<std::size_t>(commodity.dst_core)]);
+      const double energy_pj =
+          pair_energy_lb_[src_slot * num_slots + dst_slot] +
+          link_e * (exact_attach_in_[src_slot] + exact_attach_out_[dst_slot]);
+      power_mw += commodity.value_mbps * 8e-3 * energy_pj;
+    }
+    return switch_table_.total_static_power_mw() + power_mw;
+  }
+
+  // Per-candidate occupied-row/column wire refinement (band engine only —
+  // it leans on blocks being centred in their column bands and row bands
+  // packing back to back). The candidate's per-band floors are the area
+  // bound's, folded into prefix sums so each commodity's between-band wire
+  // floor is O(1): for ingress/egress switches in different bands, their
+  // centre distance is at least half of each end band plus every occupied
+  // band between, a spacing per crossing — along both axes. Added to the
+  // switch-energy-only Dijkstra table it forms a second admissible bound;
+  // each commodity takes the max of the two.
+  const bool refine =
+      env.valid && env.grid &&
+      config_.floorplan.engine == fplan::Floorplanner::Engine::kLongestPath &&
+      !pair_switch_energy_lb_.empty();
+  if (refine) {
+    if (!floors_filled) fill_bound_floors(core_to_slot, scratch);
+    const auto ncols = static_cast<std::size_t>(env.ncols);
+    const auto nrows = static_cast<std::size_t>(env.nrows);
+    scratch.bound_col_px.assign(ncols, 0.0);
+    scratch.bound_col_pn.assign(ncols, 0);
+    double acc_w = 0.0;
+    int cnt_w = 0;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (scratch.bound_col_used[c]) {
+        acc_w += scratch.bound_col_w[c];
+        ++cnt_w;
+      }
+      scratch.bound_col_px[c] = acc_w;
+      scratch.bound_col_pn[c] = cnt_w;
+    }
+    scratch.bound_row_px.assign(nrows, 0.0);
+    scratch.bound_row_pn.assign(nrows, 0);
+    double acc_h = 0.0;
+    int cnt_h = 0;
+    for (std::size_t r = 0; r < nrows; ++r) {
+      if (scratch.bound_row_used[r]) {
+        acc_h += scratch.bound_row_h[r];
+        ++cnt_h;
+      }
+      scratch.bound_row_px[r] = acc_h;
+      scratch.bound_row_pn[r] = cnt_h;
+    }
+  }
+
   double power_mw = 0.0;
   for (const auto& commodity : commodities_) {
     const auto src_slot = static_cast<std::size_t>(
@@ -1003,23 +1211,69 @@ double EvalContext::power_lower_bound(
     const auto dst_slot = static_cast<std::size_t>(
         core_to_slot[static_cast<std::size_t>(commodity.dst_core)]);
     double energy_pj = pair_energy_lb_[src_slot * num_slots + dst_slot];
-    if (envelope_.valid) {
+    double attach_pj = 0.0;
+    if (env.valid) {
       const auto src_cls = static_cast<std::size_t>(
           core_shape_class_[static_cast<std::size_t>(commodity.src_core)]);
       const auto dst_cls = static_cast<std::size_t>(
           core_shape_class_[static_cast<std::size_t>(commodity.dst_core)]);
-      const double in_core = envelope_.attach_in_vertical[src_slot]
-                                 ? envelope_.class_min_h[src_cls]
-                                 : envelope_.class_min_w[src_cls];
-      const double out_core = envelope_.attach_out_vertical[dst_slot]
-                                  ? envelope_.class_min_h[dst_cls]
-                                  : envelope_.class_min_w[dst_cls];
-      energy_pj += link_e * (envelope_.attach_in_base[src_slot] +
-                             in_core / 2.0 +
-                             envelope_.attach_out_base[dst_slot] +
-                             out_core / 2.0);
+      const double in_core = env.attach_in_vertical[src_slot]
+                                 ? env.class_min_h[src_cls]
+                                 : env.class_min_w[src_cls];
+      const double out_core = env.attach_out_vertical[dst_slot]
+                                  ? env.class_min_h[dst_cls]
+                                  : env.class_min_w[dst_cls];
+      attach_pj = link_e * (env.attach_in_base[src_slot] + in_core / 2.0 +
+                            env.attach_out_base[dst_slot] + out_core / 2.0);
     }
-    power_mw += commodity.value_mbps * 8e-3 * energy_pj;
+    if (refine) {
+      const auto in_sw = static_cast<std::size_t>(env.slot_in_sw[src_slot]);
+      const auto out_sw = static_cast<std::size_t>(env.slot_out_sw[dst_slot]);
+      double wire = 0.0;
+      const int cu = env.switch_col[in_sw];
+      const int cv = env.switch_col[out_sw];
+      if (cu != cv) {
+        // Blocks sit centred in their column band, so the x distance spans
+        // half of each end column (at least as wide as its own switch and
+        // the candidate's column floor) plus every occupied column between.
+        const int lo = std::min(cu, cv);
+        const int hi = std::max(cu, cv);
+        const double between =
+            scratch.bound_col_px[static_cast<std::size_t>(hi - 1)] -
+            scratch.bound_col_px[static_cast<std::size_t>(lo)];
+        const int gaps =
+            scratch.bound_col_pn[static_cast<std::size_t>(hi - 1)] -
+            scratch.bound_col_pn[static_cast<std::size_t>(lo)] + 1;
+        wire += std::max(scratch.bound_col_w[static_cast<std::size_t>(cu)],
+                         env.switch_min_w[in_sw]) /
+                    2.0 +
+                std::max(scratch.bound_col_w[static_cast<std::size_t>(cv)],
+                         env.switch_min_w[out_sw]) /
+                    2.0 +
+                between + env.spacing * gaps;
+      }
+      const int ru = env.switch_row[in_sw];
+      const int rv = env.switch_row[out_sw];
+      if (ru != rv) {
+        // Row bands pack back to back; the endpoints contribute half their
+        // own switch heights (a stacked block is not centred in its band).
+        const int lo = std::min(ru, rv);
+        const int hi = std::max(ru, rv);
+        const double between =
+            scratch.bound_row_px[static_cast<std::size_t>(hi - 1)] -
+            scratch.bound_row_px[static_cast<std::size_t>(lo)];
+        const int gaps =
+            scratch.bound_row_pn[static_cast<std::size_t>(hi - 1)] -
+            scratch.bound_row_pn[static_cast<std::size_t>(lo)] + 1;
+        wire += (env.switch_min_h[in_sw] + env.switch_min_h[out_sw]) / 2.0 +
+                between + env.spacing * gaps;
+      }
+      const double refined =
+          pair_switch_energy_lb_[src_slot * num_slots + dst_slot] +
+          link_e * wire;
+      energy_pj = std::max(energy_pj, refined);
+    }
+    power_mw += commodity.value_mbps * 8e-3 * (energy_pj + attach_pj);
   }
   return switch_table_.total_static_power_mw() + power_mw;
 }
@@ -1077,15 +1331,24 @@ bool EvalContext::prunable(const std::vector<int>& core_to_slot,
              incumbent.cost;
     }
     case Objective::kMinPower:
+      // area_lower_bound (when the area cap engaged it above) already
+      // derived this candidate's band floors into the scratch; the power
+      // refinement reuses them.
       return power_bound_valid_ &&
-             power_lower_bound(core_to_slot) >= incumbent.cost + strict;
+             power_lower_bound_impl(core_to_slot, scratch,
+                                    /*floors_filled=*/envelope_.valid &&
+                                        wants_area_bound) >=
+                 incumbent.cost + strict;
     case Objective::kWeighted: {
       if (!power_bound_valid_ || !envelope_.valid) return false;
       const auto& w = config_.weights;
       const double bound =
           w.delay * hop_cost_lower_bound(core_to_slot) / w.ref_hops +
           w.area * area_lb / w.ref_area_mm2 +
-          w.power * power_lower_bound(core_to_slot) / w.ref_power_mw;
+          w.power *
+              power_lower_bound_impl(core_to_slot, scratch,
+                                     /*floors_filled=*/true) /
+              w.ref_power_mw;
       return bound >= incumbent.cost + strict;
     }
   }

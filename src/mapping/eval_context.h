@@ -42,6 +42,11 @@ struct EvalScratch {
   std::vector<double> bound_col_w, bound_row_h;
   std::vector<char> bound_col_used;
   std::vector<int> bound_row_used;
+  /// Per-candidate occupied-column/row prefix folds of the min-power wire
+  /// refinement: cumulative width/height floors and occupied counts, so
+  /// each commodity's between-band wire floor is an O(1) lookup.
+  std::vector<double> bound_col_px, bound_row_px;
+  std::vector<int> bound_col_pn, bound_row_pn;
 
   /// This thread's incremental floorplan session: floorplan-cache misses
   /// solve through it, sending only the slots whose shape class changed
@@ -58,6 +63,38 @@ struct EvalScratch {
   /// Per-slot shape classes the session currently holds (the delta base).
   std::vector<std::uint16_t> fplan_session_key;
   std::vector<fplan::SlotShapeUpdate> fplan_updates;  ///< Reusable delta buffer.
+  /// Home of the latest floorplan computed outside the session and the
+  /// cache (the non-incremental reference path, or a miss past the cache
+  /// cap) — floorplan_for_mapping returns references, never copies.
+  fplan::Floorplan fplan_result;
+
+  // ---- Transactional state (owned by mapping::DeltaTxn). ----
+  /// Non-zero while a DeltaTxn speculation is open on this scratch. While
+  /// open, floorplan-cache misses journal their session delta (the session
+  /// solves through push_shapes instead of update_shapes) and log the
+  /// displaced fplan_session_key entries below, so DeltaTxn::rollback() can
+  /// restore both without re-deriving anything.
+  int txn_depth = 0;
+  /// Speculative session frames opened since begin_swap() (rollback pops
+  /// exactly this many).
+  int txn_session_pushes = 0;
+  /// (slot, displaced shape class) journal of fplan_session_key changes.
+  std::vector<std::pair<int, std::uint16_t>> txn_key_undo;
+
+  /// Shared per-worker scratch pool for the parallel search paths. The
+  /// parallel neighborhood search and the restart annealer lend worker t > 0
+  /// the pool's (t-1)th scratch instead of stack-allocating fresh ones, so
+  /// the workers' floorplan sessions survive across chunks, passes, improve()
+  /// calls, and — because the explorer keeps one caller scratch per topology
+  /// worker for a whole sweep — across every design point of a grid. Entries
+  /// are created on first use and epoch/slot-guarded by the context exactly
+  /// like the caller's own session.
+  std::vector<std::unique_ptr<EvalScratch>> worker_pool;
+
+  /// The pooled scratch for worker `t` (worker 0 is this scratch itself),
+  /// growing the pool on first use. Not thread-safe: size the pool before
+  /// handing scratches to concurrent workers.
+  EvalScratch& worker_scratch(int t);
 };
 
 /// The incremental mapping-evaluation engine: everything about one
@@ -144,12 +181,11 @@ class EvalContext {
   }
 
   /// Evaluates one mapping (Fig 5 steps 2-8) using the cached data. With
-  /// `materialize` false the returned Evaluation carries every metric but
-  /// leaves `routes`/`link_loads` empty — the search loops compare
-  /// candidates by metrics only, and skipping the per-copy of the route
-  /// sets keeps rejected candidates cheap. A metrics-cache hit additionally
-  /// leaves `floorplan` empty (the cache stores scalars, not geometry);
-  /// materialized evaluations always carry the full floorplan and routes.
+  /// `materialize` false the returned Evaluation carries metrics ONLY:
+  /// `routes`, `link_loads`, and `floorplan` all stay empty — the search
+  /// loops compare candidates by scalars, and skipping the route and
+  /// geometry copies keeps rejected candidates cheap. Materialized
+  /// evaluations always carry the full floorplan and routes.
   ///
   /// Throws std::invalid_argument on a malformed mapping, mirroring
   /// Mapper::evaluate().
@@ -194,8 +230,26 @@ class EvalContext {
   /// core-attachment wire energy. Every actual route of any routing
   /// function costs at least this much. Returns 0 when the power-bound
   /// table is not bound (see prunable() for when it is built).
-  [[nodiscard]] double power_lower_bound(
-      const std::vector<int>& core_to_slot) const;
+  ///
+  /// Two refinements tighten the wire part beyond the static per-link
+  /// floors (ROADMAP follow-on from PR 3):
+  ///  * per-candidate occupied-row/column refinement — under the band
+  ///    engine, each commodity's ingress->egress wire is additionally
+  ///    bounded by the spacing-separated column/row floors of the bands the
+  ///    candidate actually occupies (the same floors the area bound
+  ///    derives), folded against a switch-energy-only Dijkstra table; the
+  ///    commodity takes the max of the two admissible bounds.
+  ///  * exact-geometry upgrade — when every slot provably hosts the one
+  ///    core shape class the application has (num_cores == num_slots,
+  ///    single class), the floorplan is the same for every candidate, so
+  ///    the per-link wires and core attachments use the actual placed
+  ///    geometry instead of minimal envelopes. This is what moves the
+  ///    fully-occupied uniform meshes (netproc16) from a ~25% prune rate.
+  [[nodiscard]] double power_lower_bound(const std::vector<int>& core_to_slot,
+                                         EvalScratch& scratch) const {
+    return power_lower_bound_impl(core_to_slot, scratch,
+                                  /*floors_filled=*/false);
+  }
 
   /// Phase 1 of the two-phase evaluation: true when an admissible bound
   /// proves the candidate cannot rank strictly better than the incumbent
@@ -250,7 +304,14 @@ class EvalContext {
   /// bound's exact phase. Fills scratch.floor_key as a side effect. Misses
   /// solve through the scratch's incremental FloorplanSession, so the cost
   /// of a miss is a delta re-solve, not a from-scratch floorplan.
-  [[nodiscard]] fplan::Floorplan floorplan_for_mapping(
+  ///
+  /// Returns a reference instead of a copy — the search loops only read
+  /// scalars and block centres from it. The reference points at a cache
+  /// entry (stable: entries are never evicted, only cleared by rebind(),
+  /// which must not run concurrently with evaluations), at the scratch's
+  /// session solution, or at scratch.fplan_result; it stays valid until
+  /// this scratch's next evaluation or floorplan query.
+  [[nodiscard]] const fplan::Floorplan& floorplan_for_mapping(
       const std::vector<int>& core_to_slot, EvalScratch& scratch) const;
 
   /// The scratch's floorplan session, (re)built when the scratch belongs to
@@ -260,6 +321,18 @@ class EvalContext {
 
   void build_bound_envelope();
   void build_power_bound_table();
+  /// Fills scratch.bound_col_w / bound_row_h (+ used flags) with the
+  /// candidate's per-band minimal floors — the shared first stage of
+  /// area_lower_bound() and the min-power wire refinement.
+  void fill_bound_floors(const std::vector<int>& core_to_slot,
+                         EvalScratch& scratch) const;
+  /// power_lower_bound with the floor fill optionally skipped:
+  /// `floors_filled` true means the scratch already holds this candidate's
+  /// band floors (prunable() just ran area_lower_bound on it), so the
+  /// refinement reuses them instead of deriving them a second time.
+  [[nodiscard]] double power_lower_bound_impl(
+      const std::vector<int>& core_to_slot, EvalScratch& scratch,
+      bool floors_filled) const;
 
   // ---- Mapping-invariant state (per app + topology, never rebuilt). ----
   const CoreGraph& app_;
@@ -338,13 +411,25 @@ class EvalContext {
     /// the core's own half-extent is added per candidate from its class.
     std::vector<double> attach_in_base, attach_out_base;
     std::vector<char> attach_in_vertical, attach_out_vertical;
+    /// Per-slot ingress/egress switch NodeIds (the wire refinement reads
+    /// the switches' band coordinates per commodity).
+    std::vector<int> slot_in_sw, slot_out_sw;
   };
   BoundEnvelope envelope_;
   /// Minimum switch-energy + wire-energy (pJ/bit) between the ingress
   /// switch of slot src and the egress switch of slot dst, indexed
   /// [src * num_slots + dst]. Valid only while power_bound_valid_.
   std::vector<double> pair_energy_lb_;
+  /// Switch-energy-only companion table (no wire term): the admissible
+  /// base the per-candidate occupied-band wire refinement adds its
+  /// geometric floor to.
+  std::vector<double> pair_switch_energy_lb_;
   bool power_bound_valid_ = false;
+  /// Exact-geometry mode: the floorplan is mapping-invariant (single core
+  /// shape class filling every slot), so pair_energy_lb_ was built from
+  /// actual placed wire lengths and the attachment terms below are exact.
+  bool power_bound_exact_ = false;
+  std::vector<double> exact_attach_in_, exact_attach_out_;
 
   // ---- Memoisation caches (guarded by cache_mutex_, bounded). ----
   // Reader-writer lock: concurrent search workers mostly hit, and hits only

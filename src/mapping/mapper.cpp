@@ -394,12 +394,15 @@ MappingResult Mapper::map(const EvalContext& ctx, EvalScratch& scratch) const {
   make_search_strategy(cfg.search)->improve(ctx, result, scratch);
 
   // The search loops keep incumbent evaluations light (no per-commodity
-  // routes or link loads); materialize the winning mapping's full
-  // Evaluation once at the end. Both sizes are checked so an application
-  // with no flows still gets its per-edge (all-zero) link loads.
+  // routes, link loads, or floorplan geometry); materialize the winning
+  // mapping's full Evaluation once at the end. All three emptiness checks
+  // matter: an application with no flows still gets its per-edge
+  // (all-zero) link loads, and a flowless app on an edgeless topology is
+  // only caught by its missing floorplan blocks.
   if (result.eval.routes.size() != ctx.commodities().size() ||
       result.eval.link_loads.size() !=
-          static_cast<std::size_t>(topology.switch_graph().num_edges())) {
+          static_cast<std::size_t>(topology.switch_graph().num_edges()) ||
+      result.eval.floorplan.blocks().empty()) {
     result.eval = ctx.evaluate(result.core_to_slot, scratch);
   }
 

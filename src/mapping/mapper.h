@@ -98,6 +98,16 @@ struct MapperConfig {
   /// bit-identical.
   bool bound_pruning = true;
 
+  /// Master switch for incremental floorplanning: with it on (the default),
+  /// floorplan-cache misses solve through the scratch's persistent
+  /// fplan::FloorplanSession — delta updates, and push/pop speculation
+  /// frames under the search's DeltaTxn protocol — while off makes every
+  /// miss pay a from-scratch Floorplanner::place. Results are bit-identical
+  /// either way (the session contract); the off position is the reference
+  /// the annealing_incremental bench invariant and the transactional
+  /// equivalence tests measure against.
+  bool incremental_floorplan = true;
+
   /// Sub-flows for split-across-all-paths routing.
   int split_chunks = 16;
 

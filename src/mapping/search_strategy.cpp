@@ -7,25 +7,13 @@
 #include <utility>
 #include <vector>
 
+#include "mapping/delta_txn.h"
 #include "mapping/eval_context.h"
 #include "util/prng.h"
 
 namespace sunmap::mapping {
 
 namespace {
-
-/// Applies the pairwise swap of slots (a, b) to a mapping and its inverse in
-/// place. Self-inverse: applying it twice restores both arrays, which is
-/// what lets the swap search try candidates without copying the mapping.
-void apply_swap(int a, int b, std::vector<int>& core_to_slot,
-                std::vector<int>& slot_to_core) {
-  const int core_a = slot_to_core[static_cast<std::size_t>(a)];
-  const int core_b = slot_to_core[static_cast<std::size_t>(b)];
-  if (core_a >= 0) core_to_slot[static_cast<std::size_t>(core_a)] = b;
-  if (core_b >= 0) core_to_slot[static_cast<std::size_t>(core_b)] = a;
-  std::swap(slot_to_core[static_cast<std::size_t>(a)],
-            slot_to_core[static_cast<std::size_t>(b)]);
-}
 
 /// Outcome of one speculatively evaluated swap candidate.
 struct SwapOutcome {
@@ -58,8 +46,12 @@ struct ChainOutcome {
 /// Metropolis acceptance over random pairwise swaps with geometric cooling.
 /// The chain itself cannot be bound-pruned (even a worse candidate may be
 /// accepted, and its exact cost feeds the Metropolis criterion), so the
-/// speedup comes purely from the cached evaluation path. Swaps are applied
-/// in place and undone on rejection; the best *feasible-ranked* mapping seen
+/// speedup comes from the cached evaluation path and the transactional
+/// floorplan deltas. Every candidate runs as one DeltaTxn speculation:
+/// commit keeps the swap, rollback restores the mapping AND the floorplan
+/// session to the incumbent in O(dirty) — so both accepted and rejected
+/// iterations re-solve the floorplan from a two-slot delta, never from the
+/// wreckage of a rejected candidate. The best *feasible-ranked* mapping seen
 /// (under better_than) is what the chain returns.
 ///
 /// With config.annealing_reheats > 0 the chain is split into equal segments
@@ -92,6 +84,7 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
   // incremental floorplan session); parallel chains bring their own.
   EvalScratch local_scratch;
   EvalScratch& scratch = shared_scratch ? *shared_scratch : local_scratch;
+  DeltaTxn txn(ctx, scratch, current, slot_to_core);
 
   // Exactly annealing_reheats resets, at the k/(reheats+1) fractions of the
   // budget (duplicates from tiny budgets collapse; a reset can never land
@@ -119,9 +112,8 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
     const int core_b = slot_to_core[static_cast<std::size_t>(b)];
     if (core_a < 0 && core_b < 0) continue;
 
-    apply_swap(a, b, current, slot_to_core);
-
-    auto eval = ctx.evaluate(current, scratch, /*materialize=*/false);
+    txn.begin_swap(a, b);
+    auto eval = txn.evaluate(/*materialize=*/false);
     ++out.evaluated;
     if (cfg.collect_explored) {
       out.explored.emplace_back(eval.design_area_mm2, eval.design_power_mw);
@@ -137,9 +129,10 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
       out.best_mapping = current;
     }
     if (accept) {
+      txn.commit();
       current_eval = std::move(eval);
     } else {
-      apply_swap(a, b, current, slot_to_core);  // undo
+      txn.rollback();
     }
     temperature *= cooling;
   }
@@ -170,7 +163,9 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
   // slots exchanges whatever occupies them (two cores, or a core and an
   // empty slot, which moves the core). Candidates are two-phase evaluated:
   // the objective's cost lower bound first, the full routing + floorplanning
-  // evaluation only for candidates the bound cannot reject.
+  // evaluation only for candidates the bound cannot reject. Every candidate
+  // is one DeltaTxn speculation — rollback leaves the mapping and floorplan
+  // session exactly on the incumbent, commit keeps the swap.
   const topo::Topology& topology = ctx.topology();
   const MapperConfig& cfg = ctx.config();
   const int num_slots = topology.num_slots();
@@ -199,6 +194,7 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
       std::min(cfg.num_threads, static_cast<int>(pairs.size()));
 
   if (num_threads <= 1) {
+    DeltaTxn txn(ctx, scratch, mapping, slot_to_core);
     for (int pass = 0; pass < cfg.swap_passes; ++pass) {
       bool improved = false;
       for (const auto& [a, b] : pairs) {
@@ -206,20 +202,21 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
         const int core_b = slot_to_core[static_cast<std::size_t>(b)];
         if (core_a < 0 && core_b < 0) continue;  // both empty: no-op
 
-        apply_swap(a, b, mapping, slot_to_core);
+        txn.begin_swap(a, b);
         ++result.evaluated_mappings;
-        if (ctx.prunable(mapping, result.eval, scratch)) {
+        if (txn.prunable(result.eval)) {
           ++result.pruned_mappings;
-          apply_swap(a, b, mapping, slot_to_core);  // undo
+          txn.rollback();
           continue;
         }
-        auto eval = ctx.evaluate(mapping, scratch, /*materialize=*/false);
+        auto eval = txn.evaluate(/*materialize=*/false);
         record_explored(eval);
         if (better_than(eval, result.eval)) {
           result.eval = std::move(eval);
-          improved = true;  // keep the swap
+          txn.commit();  // keep the swap
+          improved = true;
         } else {
-          apply_swap(a, b, mapping, slot_to_core);  // undo
+          txn.rollback();
         }
       }
       if (!improved) break;
@@ -235,13 +232,15 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
   // accepted pair — exactly the sequential trajectory, so any thread count
   // yields the sequential result, deterministically.
   // Worker 0 keeps the caller's scratch (and its floorplan session); the
-  // extra workers bring their own.
-  std::vector<EvalScratch> extra_scratches(
-      static_cast<std::size_t>(num_threads - 1));
-  const auto scratch_for = [&](int t) -> EvalScratch& {
-    return t == 0 ? scratch
-                  : extra_scratches[static_cast<std::size_t>(t - 1)];
-  };
+  // extra workers draw theirs from the caller's shared pool, so their
+  // sessions survive across chunks, passes, and improve() calls instead of
+  // being rebuilt per search. The pool is sized up front — worker_scratch()
+  // is not thread-safe to grow.
+  std::vector<EvalScratch*> worker_scratches(
+      static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    worker_scratches[static_cast<std::size_t>(t)] = &scratch.worker_scratch(t);
+  }
   std::vector<std::vector<int>> worker_mapping(
       static_cast<std::size_t>(num_threads));
   std::vector<std::vector<int>> worker_inverse(
@@ -262,7 +261,11 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
         auto& inv = worker_inverse[static_cast<std::size_t>(t)];
         m = mapping;
         inv = slot_to_core;
-        auto& worker_scratch = scratch_for(t);
+        auto& worker_scratch = *worker_scratches[static_cast<std::size_t>(t)];
+        // One transaction per worker, one speculation per candidate:
+        // rollback parks the worker's mapping copy and floorplan session
+        // back on the incumbent between candidates.
+        DeltaTxn txn(ctx, worker_scratch, m, inv);
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= count) break;
@@ -274,14 +277,14 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
             out.state = SwapOutcome::State::kSkipped;
             continue;
           }
-          apply_swap(a, b, m, inv);
-          if (ctx.prunable(m, result.eval, worker_scratch)) {
+          txn.begin_swap(a, b);
+          if (txn.prunable(result.eval)) {
             out.state = SwapOutcome::State::kPruned;
           } else {
-            out.eval = ctx.evaluate(m, worker_scratch, /*materialize=*/false);
+            out.eval = txn.evaluate(/*materialize=*/false);
             out.state = SwapOutcome::State::kEvaluated;
           }
-          apply_swap(a, b, m, inv);  // undo for the next candidate
+          txn.rollback();  // speculation only; acceptance is committed below
         }
       };
 
@@ -304,7 +307,7 @@ void GreedySwapSearch::improve(const EvalContext& ctx, MappingResult& result,
         record_explored(out.eval);
         if (better_than(out.eval, result.eval)) {
           const auto [a, b] = pairs[begin + i];
-          apply_swap(a, b, mapping, slot_to_core);
+          apply_slot_swap(a, b, mapping, slot_to_core);
           result.eval = std::move(out.eval);
           improved = true;
           committed = i + 1;  // discard stale outcomes past the acceptance
@@ -369,16 +372,21 @@ void RestartAnnealingSearch::improve(const EvalContext& ctx,
   } else {
     // Chains are fully independent (each owns its Prng and mapping
     // copies), so workers just pull restart indices; determinism comes
-    // from committing the outcomes in seed order below. Each worker keeps
-    // one scratch across its chains (worker 0 the caller's), so later
-    // chains reuse the worker's floorplan session instead of rebuilding
-    // one per restart.
+    // from committing the outcomes in seed order below. Worker 0 keeps the
+    // caller's scratch; the extra workers draw theirs from the caller's
+    // shared pool (sized up front — growing is not thread-safe), so their
+    // floorplan sessions persist across chains, improve() calls, and the
+    // design points of a sweep.
     std::atomic<int> next{0};
-    std::vector<EvalScratch> extra_scratches(
-        static_cast<std::size_t>(num_threads - 1));
+    std::vector<EvalScratch*> worker_scratches(
+        static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      worker_scratches[static_cast<std::size_t>(t)] =
+          &scratch.worker_scratch(t);
+    }
     const auto worker = [&](int t) {
       EvalScratch& worker_scratch =
-          t == 0 ? scratch : extra_scratches[static_cast<std::size_t>(t - 1)];
+          *worker_scratches[static_cast<std::size_t>(t)];
       for (;;) {
         const int r = next.fetch_add(1);
         if (r >= restarts) break;

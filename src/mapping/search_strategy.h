@@ -21,6 +21,14 @@ struct EvalScratch;
 /// schedules. Implementations must be deterministic for a fixed config —
 /// including config.num_threads > 1, where any thread count must return the
 /// bit-identical result of the sequential run.
+///
+/// Candidate speculation goes through the shared transactional protocol
+/// (mapping::DeltaTxn, delta_txn.h): begin_swap -> prunable/evaluate ->
+/// commit | rollback. The transaction keeps the mapping arrays, the
+/// scratch's incremental floorplan session, and the memo caches in lock
+/// step, so a strategy that opts in gets incremental floorplan re-solves on
+/// both accepted and rejected candidates for free — see the DeltaTxn docs
+/// for how a new strategy adopts it.
 class SearchStrategy {
  public:
   virtual ~SearchStrategy() = default;

@@ -136,7 +136,11 @@ RouteSet RoutingEngine::route_min_path(topo::SlotId src, topo::SlotId dst,
           ? quadrant_table_->mask(src, dst)
           : topology_.quadrant_mask(src, dst).data();
 
-  const auto path = graph::shortest_path(
+  // Direct template instantiation: this is the hottest loop of the whole
+  // mapping search (every adaptive-routing evaluation runs one Dijkstra per
+  // commodity per pass), so the cost/admission callbacks must inline rather
+  // than go through std::function dispatch.
+  const auto path = graph::shortest_path_with(
       topology_.switch_graph(), topology_.ingress_switch(src),
       topology_.egress_switch(dst),
       [&](graph::EdgeId e) { return kHopCost + loads.load(e); },
@@ -260,15 +264,18 @@ RouteSet RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
   std::vector<double> extra(static_cast<std::size_t>(g.num_edges()), 0.0);
   RouteSet result;
   for (int c = 0; c < split_chunks_; ++c) {
-    auto path = graph::shortest_path(g, from, to, [&](graph::EdgeId e) {
-      const double current =
-          loads.load(e) + extra[static_cast<std::size_t>(e)];
-      double cost = hop_bias + current + chunk * 0.5;
-      if (current + chunk > capacity_hint_mbps_ + 1e-9) {
-        cost += kOverloadPenalty;
-      }
-      return cost;
-    });
+    auto path = graph::shortest_path_with(
+        g, from, to,
+        [&](graph::EdgeId e) {
+          const double current =
+              loads.load(e) + extra[static_cast<std::size_t>(e)];
+          double cost = hop_bias + current + chunk * 0.5;
+          if (current + chunk > capacity_hint_mbps_ + 1e-9) {
+            cost += kOverloadPenalty;
+          }
+          return cost;
+        },
+        graph::AdmitAll{});
     if (!path) {
       throw std::logic_error("RoutingEngine: topology disconnected");
     }

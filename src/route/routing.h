@@ -57,7 +57,9 @@ class LoadMap {
       : loads_(static_cast<std::size_t>(num_edges), 0.0) {}
 
   void add(graph::EdgeId e, double amount) {
-    double& value = loads_.at(static_cast<std::size_t>(e));
+    // Unchecked indexing: edge ids come straight from the switch graph in
+    // every caller, and this sits inside the mapping search's hottest loop.
+    double& value = loads_[static_cast<std::size_t>(e)];
     value += amount;
     // Rip-up-and-reroute removes a commodity by adding its routes with
     // negative demand; floating-point cancellation can leave a tiny negative
@@ -72,7 +74,7 @@ class LoadMap {
   void add_route(const RouteSet& routes, double demand);
 
   [[nodiscard]] double load(graph::EdgeId e) const {
-    return loads_.at(static_cast<std::size_t>(e));
+    return loads_[static_cast<std::size_t>(e)];
   }
   [[nodiscard]] double max_load() const;
   [[nodiscard]] const std::vector<double>& values() const { return loads_; }

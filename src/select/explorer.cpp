@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -37,6 +38,87 @@ int best_candidate_index(const std::vector<TopologyCandidate>& candidates) {
     }
   }
   return best;
+}
+
+/// Incremental per-objective winner accumulation, shared by the buffered
+/// and streaming paths: points must be fed in report (grid) order, so ties
+/// resolve to the earliest grid coordinate exactly as the buffered scan
+/// always did. Weighted costs are only comparable under one weight vector,
+/// so kWeighted gets one winner per swept weight set; the plain objectives
+/// pool across weight sets.
+class WinnerTracker {
+ public:
+  WinnerTracker(const ExplorationRequest& request) {
+    const auto objectives_axis =
+        request.objectives.empty()
+            ? std::vector<mapping::Objective>{request.base.objective}
+            : request.objectives;
+    const int num_weight_sets =
+        static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
+    for (const auto objective : objectives_axis) {
+      const int groups =
+          objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
+      for (int w = 0; w < groups; ++w) {
+        const int weights_index =
+            objective == mapping::Objective::kWeighted && num_weight_sets > 1
+                ? w
+                : -1;
+        bool seen = false;
+        for (const auto& known : winners_) {
+          seen = seen || (known.objective == objective &&
+                          known.weights_index == weights_index);
+        }
+        if (!seen) {
+          ObjectiveBest best;
+          best.objective = objective;
+          best.weights_index = weights_index;
+          winners_.push_back(best);
+          best_costs_.push_back(0.0);
+        }
+      }
+    }
+  }
+
+  void consider(const PointResult& result, int point_index) {
+    for (std::size_t g = 0; g < winners_.size(); ++g) {
+      auto& best = winners_[g];
+      if (result.point.config.objective != best.objective) continue;
+      if (best.weights_index >= 0 &&
+          result.point.weights_index != best.weights_index) {
+        continue;
+      }
+      for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+        const auto& candidate = result.selection.candidates[t];
+        if (!candidate.feasible()) continue;
+        if (!best.found() || candidate.result.eval.cost < best_costs_[g]) {
+          best.point_index = point_index;
+          best.topology_index = static_cast<int>(t);
+          best_costs_[g] = candidate.result.eval.cost;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<ObjectiveBest> take() { return std::move(winners_); }
+
+ private:
+  std::vector<ObjectiveBest> winners_;
+  std::vector<double> best_costs_;
+};
+
+/// Runs `worker` on this thread plus num_workers - 1 spawned ones and
+/// joins — the shared scaffold of the buffered and streaming sweep paths
+/// (the worker captures its own work queue and error slot).
+void run_worker_pool(int num_workers, const std::function<void()>& worker) {
+  if (num_workers <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(num_workers - 1));
+  for (int i = 1; i < num_workers; ++i) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
 }
 
 }  // namespace
@@ -90,6 +172,12 @@ const TopologyCandidate* ExplorationReport::winner(
   for (const auto& best : winners) {
     if (best.objective != objective) continue;
     if (!best.found()) return nullptr;
+    // A streamed report (ExplorationRequest::on_point) retains no per-point
+    // results to point into; the winner coordinates in `winners` are still
+    // valid grid coordinates for the caller's own bookkeeping.
+    if (static_cast<std::size_t>(best.point_index) >= results.size()) {
+      return nullptr;
+    }
     return &results[static_cast<std::size_t>(best.point_index)]
                 .selection
                 .candidates[static_cast<std::size_t>(best.topology_index)];
@@ -206,7 +294,80 @@ ExplorationReport DesignSpaceExplorer::explore(
   // not a sweep axis, so all points share one resolved area/power library.
   mapping::Mapper mapper(points.front().config);
 
+  // Winner/Pareto accumulation is incremental and scalar-only, so the
+  // streaming path can drop each PointResult right after the callback.
+  WinnerTracker tracker(request);
+  std::vector<std::pair<double, double>> area_power;
+  const auto absorb = [&](const PointResult& result, int point_index) {
+    tracker.consider(result, point_index);
+    for (const auto& candidate : result.selection.candidates) {
+      if (!candidate.feasible()) continue;
+      area_power.emplace_back(candidate.result.eval.design_area_mm2,
+                              candidate.result.eval.design_power_mw);
+    }
+  };
+
   ExplorationReport report;
+
+  if (request.on_point) {
+    // ---- Request-level result streaming (point-major). ----
+    // One context and one scratch per topology, all alive at once and
+    // re-bound per design point; a barrier per point lets the callback fire
+    // in exact grid order with only O(|library|) results in memory. Each
+    // context still experiences the identical build-then-rebind sequence of
+    // the buffered path, so streamed results are bit-identical to it.
+    const std::size_t num_topologies = library.size();
+    std::vector<std::unique_ptr<mapping::EvalContext>> contexts(
+        num_topologies);
+    std::vector<mapping::EvalScratch> scratches(num_topologies);
+    PointResult current;
+    current.selection.candidates.resize(num_topologies);
+    for (std::size_t t = 0; t < num_topologies; ++t) {
+      current.selection.candidates[t].topology = library[t].get();
+    }
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      current.point = points[p];
+      if (num_topologies > 0) {
+        std::atomic<std::size_t> next_topology{0};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+        const auto worker = [&]() {
+          for (;;) {
+            const std::size_t t = next_topology.fetch_add(1);
+            if (t >= num_topologies) break;
+            try {
+              if (contexts[t] == nullptr) {
+                contexts[t] = std::make_unique<mapping::EvalContext>(
+                    app, *library[t], points[p].config, mapper.library());
+              } else {
+                contexts[t]->rebind(points[p].config, mapper.library());
+              }
+              current.selection.candidates[t].result =
+                  mapper.map(*contexts[t], scratches[t]);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+              break;
+            }
+          }
+        };
+        run_worker_pool(
+            static_cast<int>(std::min<std::size_t>(
+                static_cast<std::size_t>(request.num_threads),
+                num_topologies)),
+            worker);
+        if (first_error) std::rethrow_exception(first_error);
+      }
+      current.selection.best_index =
+          best_candidate_index(current.selection.candidates);
+      absorb(current, static_cast<int>(p));
+      request.on_point(current);
+    }
+    report.winners = tracker.take();
+    report.pareto = pareto_frontier(area_power);
+    return report;
+  }
+
   report.results.resize(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
     report.results[p].point = points[p];
@@ -249,90 +410,23 @@ ExplorationReport DesignSpaceExplorer::explore(
       }
     };
 
-    const int num_workers = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(request.num_threads), library.size()));
-    if (num_workers <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(num_workers - 1));
-      for (int i = 1; i < num_workers; ++i) pool.emplace_back(worker);
-      worker();
-      for (auto& thread : pool) thread.join();
-    }
+    run_worker_pool(
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(request.num_threads), library.size())),
+        worker);
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  for (auto& result : report.results) {
+  // Per-objective winners (best feasible cell in report order, ties to the
+  // earliest grid coordinate) and the area/power Pareto frontier, via the
+  // same accumulator the streaming path feeds point by point.
+  for (std::size_t p = 0; p < report.results.size(); ++p) {
+    auto& result = report.results[p];
     result.selection.best_index =
         best_candidate_index(result.selection.candidates);
+    absorb(result, static_cast<int>(p));
   }
-
-  // Per-objective winners: the best feasible cell over every point that
-  // swept the objective, scanned in report order so ties resolve to the
-  // earliest grid coordinate. Weighted costs are only comparable under one
-  // weight vector, so kWeighted gets one winner per swept weight set; the
-  // plain objectives pool across weight sets.
-  std::vector<std::pair<mapping::Objective, int>> distinct;
-  const auto objectives_axis =
-      request.objectives.empty()
-          ? std::vector<mapping::Objective>{request.base.objective}
-          : request.objectives;
-  const int num_weight_sets =
-      static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
-  for (const auto objective : objectives_axis) {
-    const int groups =
-        objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
-    for (int w = 0; w < groups; ++w) {
-      const int weights_index =
-          objective == mapping::Objective::kWeighted && num_weight_sets > 1
-              ? w
-              : -1;
-      bool seen = false;
-      for (const auto& known : distinct) {
-        seen = seen || (known.first == objective &&
-                        known.second == weights_index);
-      }
-      if (!seen) distinct.emplace_back(objective, weights_index);
-    }
-  }
-  for (const auto& [objective, weights_index] : distinct) {
-    ObjectiveBest best;
-    best.objective = objective;
-    best.weights_index = weights_index;
-    for (std::size_t p = 0; p < report.results.size(); ++p) {
-      const auto& result = report.results[p];
-      if (result.point.config.objective != objective) continue;
-      if (weights_index >= 0 &&
-          result.point.weights_index != weights_index) {
-        continue;
-      }
-      for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
-        const auto& candidate = result.selection.candidates[t];
-        if (!candidate.feasible()) continue;
-        if (!best.found() ||
-            candidate.result.eval.cost <
-                report.results[static_cast<std::size_t>(best.point_index)]
-                    .selection
-                    .candidates[static_cast<std::size_t>(best.topology_index)]
-                    .result.eval.cost) {
-          best.point_index = static_cast<int>(p);
-          best.topology_index = static_cast<int>(t);
-        }
-      }
-    }
-    report.winners.push_back(best);
-  }
-
-  // Area/power Pareto frontier over every feasible cell of the grid.
-  std::vector<std::pair<double, double>> area_power;
-  for (const auto& result : report.results) {
-    for (const auto& candidate : result.selection.candidates) {
-      if (!candidate.feasible()) continue;
-      area_power.emplace_back(candidate.result.eval.design_area_mm2,
-                              candidate.result.eval.design_power_mw);
-    }
-  }
+  report.winners = tracker.take();
   report.pareto = pareto_frontier(area_power);
   return report;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "topo/library.h"
 
 namespace sunmap::select {
+
+struct PointResult;
 
 /// A batched design-space exploration: one application, one topology
 /// library, and a grid of mapper-configuration variations. Every non-empty
@@ -54,6 +57,23 @@ struct ExplorationRequest {
   /// returns bit-identical reports in identical order. Independent of
   /// base.num_threads (the per-search swap workers).
   int num_threads = 1;
+
+  /// Request-level result streaming: when set, every design point's
+  /// PointResult is handed to this callback in deterministic grid order
+  /// (exactly the order ExplorationReport::results would have) as soon as
+  /// the point completes, and the report keeps NO per-point results — so a
+  /// very large sweep never buffers every SelectionReport. Winners and the
+  /// Pareto frontier are still accumulated (from scalars) and returned;
+  /// ExplorationReport::winner() returns nullptr in this mode because the
+  /// buffered results it would point into were never retained.
+  ///
+  /// Streaming flips the iteration point-major (contexts for every
+  /// topology stay alive simultaneously and are re-bound per point, with a
+  /// barrier per point so the callback order is exact); each context still
+  /// sees the identical rebind sequence, so the streamed PointResults are
+  /// bit-identical to a buffered explore(). The callback runs on the
+  /// explore() caller's thread.
+  std::function<void(const PointResult&)> on_point;
 
   /// Number of design points the grid expands to.
   [[nodiscard]] std::size_t num_points() const;

@@ -340,6 +340,82 @@ TEST(Explorer, ParetoFrontierCoversFeasibleCells) {
   }
 }
 
+TEST(Explorer, StreamedPointsMatchBufferedExploreInGridOrder) {
+  // Request-level result streaming (ROADMAP follow-on from PR 2): with
+  // on_point set the explorer hands every PointResult over in exact grid
+  // order, bit-identical to the buffered run, keeps no per-point results,
+  // and still reports identical winners and Pareto frontier.
+  const auto app = apps::vopd();
+  auto library = topo::standard_library(app.num_cores());
+  library.resize(2);
+  auto request = full_sweep(app, library);
+
+  DesignSpaceExplorer explorer;
+  const auto buffered = explorer.explore(request);
+  const auto points = DesignSpaceExplorer::expand(request);
+
+  std::vector<PointResult> streamed;
+  request.on_point = [&](const PointResult& result) {
+    streamed.push_back(result);
+  };
+  const auto report = explorer.explore(request);
+
+  EXPECT_TRUE(report.results.empty());
+  ASSERT_EQ(streamed.size(), buffered.results.size());
+  ASSERT_EQ(streamed.size(), points.size());
+  for (std::size_t p = 0; p < streamed.size(); ++p) {
+    EXPECT_EQ(streamed[p].point.label(), points[p].label());
+    expect_identical(streamed[p].selection, buffered.results[p].selection,
+                     "streamed point " + std::to_string(p));
+  }
+
+  ASSERT_EQ(report.winners.size(), buffered.winners.size());
+  for (std::size_t w = 0; w < report.winners.size(); ++w) {
+    EXPECT_EQ(report.winners[w].objective, buffered.winners[w].objective);
+    EXPECT_EQ(report.winners[w].weights_index,
+              buffered.winners[w].weights_index);
+    EXPECT_EQ(report.winners[w].point_index, buffered.winners[w].point_index);
+    EXPECT_EQ(report.winners[w].topology_index,
+              buffered.winners[w].topology_index);
+  }
+  ASSERT_EQ(report.pareto.size(), buffered.pareto.size());
+  for (std::size_t i = 0; i < report.pareto.size(); ++i) {
+    EXPECT_EQ(report.pareto[i].area_mm2, buffered.pareto[i].area_mm2);
+    EXPECT_EQ(report.pareto[i].power_mw, buffered.pareto[i].power_mw);
+  }
+  // No buffered results to point into: the accessor answers nullptr rather
+  // than dangling.
+  EXPECT_EQ(report.winner(mapping::Objective::kMinDelay), nullptr);
+}
+
+TEST(Explorer, StreamingIsThreadCountInvariant) {
+  const auto app = apps::vopd();
+  auto library = topo::standard_library(app.num_cores());
+  library.resize(3);
+  auto request = full_sweep(app, library);
+  request.objectives.resize(2);
+  request.routings.resize(2);
+
+  std::vector<double> costs_seq;
+  request.on_point = [&](const PointResult& result) {
+    for (const auto& candidate : result.selection.candidates) {
+      costs_seq.push_back(candidate.result.eval.cost);
+    }
+  };
+  DesignSpaceExplorer explorer;
+  (void)explorer.explore(request);
+
+  std::vector<double> costs_par;
+  request.num_threads = 3;
+  request.on_point = [&](const PointResult& result) {
+    for (const auto& candidate : result.selection.candidates) {
+      costs_par.push_back(candidate.result.eval.cost);
+    }
+  };
+  (void)explorer.explore(request);
+  EXPECT_EQ(costs_seq, costs_par);
+}
+
 TEST(Explorer, ValidatesRequest) {
   const auto app = apps::vopd();
   const auto library = topo::standard_library(app.num_cores());

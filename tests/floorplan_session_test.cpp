@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "fplan/session.h"
@@ -189,6 +190,186 @@ TEST(FloorplanSession, NoOpUpdatesAreCached) {
   (void)session.solve();
   EXPECT_EQ(session.stats().solves, solves);
   EXPECT_GT(session.stats().cached_solves, 0u);
+}
+
+// ---- Speculative frames (push_shapes / pop_shapes / commit_shapes). ----
+
+/// Drives a randomized accept/reject (commit/rollback) sequence through one
+/// session: each step speculates a pairwise swap with push_shapes, solves
+/// (sometimes), then either commits it into the baseline or pops it back.
+/// After every solve the result must equal the from-scratch place of
+/// whatever assignment is current, and after every pop the session must be
+/// bit-identically back on the committed baseline.
+void run_accept_reject_sequence(Workload w, Floorplanner::Options options,
+                                int steps, std::uint64_t seed) {
+  const auto placement = w.topology->relative_placement();
+  const Floorplanner reference(options);
+  FloorplanSession session(options, placement, w.cores, w.switches);
+  (void)session.solve();
+
+  util::Prng prng(seed);
+  const int num_slots = w.topology->num_slots();
+  std::vector<SlotShapeUpdate> updates;
+  auto speculative = w.cores;  // the assignment under open frames
+  for (int step = 0; step < steps; ++step) {
+    const int a = prng.next_int(0, num_slots - 1);
+    int b = prng.next_int(0, num_slots - 2);
+    if (b >= a) ++b;
+    speculative = w.cores;
+    std::swap(speculative[static_cast<std::size_t>(a)],
+              speculative[static_cast<std::size_t>(b)]);
+    updates.clear();
+    updates.push_back({a, speculative[static_cast<std::size_t>(a)]});
+    updates.push_back({b, speculative[static_cast<std::size_t>(b)]});
+    session.push_shapes(updates);
+
+    // Usually evaluate the speculation; sometimes abandon it unsolved (the
+    // pruned-candidate path), which must leave the pre-push cached solve
+    // valid after the pop.
+    const bool solve_speculation = prng.chance(0.8);
+    if (solve_speculation) {
+      expect_bit_identical(
+          session.solve(),
+          reference.place(placement, speculative, w.switches),
+          w.topology->name() + " speculation " + std::to_string(step));
+    }
+
+    // Occasionally nest a second frame on top (a second no-op or real
+    // delta) before settling, like a prune-then-evaluate pair does.
+    const bool nested = prng.chance(0.25);
+    if (nested) {
+      session.push_shapes(updates);  // no-op relative to the open frame
+      if (prng.chance(0.5)) (void)session.solve();
+      session.pop_shapes();
+    }
+
+    if (prng.chance(0.5)) {
+      session.commit_shapes();
+      w.cores = speculative;
+    } else {
+      session.pop_shapes();
+      // The rolled-back session must solve to the committed baseline.
+      expect_bit_identical(session.solve(),
+                           reference.place(placement, w.cores, w.switches),
+                           w.topology->name() + " rollback " +
+                               std::to_string(step));
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(session.stats().incremental_solves, 0u);
+}
+
+TEST(FloorplanSessionTxn, AcceptRejectSequenceMatchesFromScratchOnMesh) {
+  run_accept_reject_sequence(make_workload(topo::make_mesh_for(16), 12, 31),
+                             Floorplanner::Options{}, 120, 41);
+}
+
+TEST(FloorplanSessionTxn, AcceptRejectSequenceMatchesFromScratchOnTorus) {
+  run_accept_reject_sequence(make_workload(topo::make_torus_for(16), 16, 32),
+                             Floorplanner::Options{}, 120, 42);
+}
+
+TEST(FloorplanSessionTxn, AcceptRejectSequenceMatchesFromScratchOnButterfly) {
+  run_accept_reject_sequence(
+      make_workload(topo::make_butterfly_for(16), 14, 33),
+      Floorplanner::Options{}, 120, 43);
+}
+
+TEST(FloorplanSessionTxn, AcceptRejectSequenceMatchesUnderSimplexEngine) {
+  Floorplanner::Options options;
+  options.engine = Floorplanner::Engine::kSimplexLp;
+  run_accept_reject_sequence(make_workload(topo::make_mesh_for(8), 6, 34),
+                             options, 20, 44);
+  run_accept_reject_sequence(make_workload(topo::make_butterfly_for(8), 6, 34),
+                             options, 20, 44);
+}
+
+TEST(FloorplanSessionTxn, RollbackAfterFallbackRestoresExactState) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 35);
+  const auto placement = w.topology->relative_placement();
+  const Floorplanner reference;
+  FloorplanSession session({}, placement, w.cores, w.switches);
+  (void)session.solve();
+
+  // Push a frame large enough to trip the quarter-dirty full-solve
+  // fallback, solve through it, then roll back: the surgical aggregate
+  // restoration is off the table, so the pop must schedule a full
+  // re-derivation and still land bit-identically on the baseline.
+  auto speculative = w.cores;
+  std::vector<SlotShapeUpdate> updates;
+  for (int s = 0; s < w.topology->num_slots(); ++s) {
+    speculative[static_cast<std::size_t>(s)] =
+        BlockShape::soft_block(2.0 + 0.5 * s);
+    updates.push_back({s, speculative[static_cast<std::size_t>(s)]});
+  }
+  session.push_shapes(updates);
+  expect_bit_identical(session.solve(),
+                       reference.place(placement, speculative, w.switches),
+                       "fallback speculation");
+  session.pop_shapes();
+  expect_bit_identical(session.solve(),
+                       reference.place(placement, w.cores, w.switches),
+                       "rollback after fallback");
+
+  // And the session keeps working incrementally afterwards.
+  std::swap(w.cores[0], w.cores[5]);
+  updates.clear();
+  updates.push_back({0, w.cores[0]});
+  updates.push_back({5, w.cores[5]});
+  session.update_shapes(updates);
+  expect_bit_identical(session.solve(),
+                       reference.place(placement, w.cores, w.switches),
+                       "post-fallback delta");
+}
+
+TEST(FloorplanSessionTxn, NestedNoOpFramesPreserveCachedSolve) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 36);
+  FloorplanSession session({}, w.topology->relative_placement(), w.cores,
+                           w.switches);
+  (void)session.solve();
+  const auto solves = session.stats().solves;
+
+  // Frames whose deltas are no-ops (same shapes) must neither dirty the
+  // session nor invalidate the cached solution — popping them lands back
+  // on a still-cached solve.
+  std::vector<SlotShapeUpdate> updates;
+  for (int s = 0; s < 4; ++s) {
+    updates.push_back({s, w.cores[static_cast<std::size_t>(s)]});
+  }
+  session.push_shapes(updates);
+  session.push_shapes(updates);
+  EXPECT_EQ(session.journal_depth(), 2);
+  (void)session.solve();
+  session.pop_shapes();
+  session.pop_shapes();
+  (void)session.solve();
+  EXPECT_EQ(session.stats().solves, solves);
+  EXPECT_GT(session.stats().cached_solves, 0u);
+}
+
+TEST(FloorplanSessionTxn, UpdateShapesUnderOpenFrameThrows) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 37);
+  FloorplanSession session({}, w.topology->relative_placement(), w.cores,
+                           w.switches);
+  std::vector<SlotShapeUpdate> updates;
+  updates.push_back({0, BlockShape::soft_block(5.0)});
+  session.push_shapes(updates);
+  EXPECT_THROW(session.update_shapes(updates), std::logic_error);
+  session.pop_shapes();
+  session.update_shapes(updates);  // settled again: legal
+}
+
+TEST(FloorplanSessionTxn, PopWithoutFrameThrows) {
+  auto w = make_workload(topo::make_mesh_for(16), 12, 38);
+  FloorplanSession session({}, w.topology->relative_placement(), w.cores,
+                           w.switches);
+  EXPECT_THROW(session.pop_shapes(), std::logic_error);
+  std::vector<SlotShapeUpdate> updates;
+  updates.push_back({0, BlockShape::soft_block(5.0)});
+  session.push_shapes(updates);
+  session.commit_shapes();
+  EXPECT_EQ(session.journal_depth(), 0);
+  EXPECT_THROW(session.pop_shapes(), std::logic_error);
 }
 
 TEST(FloorplanSession, UpdatesForUnplacedSlotsAreIgnored) {

@@ -78,7 +78,7 @@ TEST(BoundAdmissibility, PowerBoundNeverExceedsEvaluatedPower) {
         const auto mapping =
             random_mapping(app.num_cores(), topology->num_slots(), prng);
         const auto eval = ctx.evaluate(mapping, scratch);
-        const double bound = ctx.power_lower_bound(mapping);
+        const double bound = ctx.power_lower_bound(mapping, scratch);
         SCOPED_TRACE(topology->name() + std::string(" / ") +
                      route::to_string(kind) + " trial " +
                      std::to_string(trial));
@@ -159,6 +159,64 @@ TEST(PrunedSearch, BitIdenticalAcrossObjectivesRoutingsAndTopologies) {
   }
 }
 
+TEST(BoundAdmissibility, ExactGeometryPowerBoundOnFullyOccupiedUniformMesh) {
+  // netproc16: one core shape class filling every slot means every mapping
+  // shares one floorplan, so the power bound switches to exact placed
+  // geometry (PR 3 follow-on). It must stay admissible for every routing
+  // function and random mapping, and it must actually bite: the bound of
+  // the greedy winner's neighbourhood must land within a few percent of the
+  // evaluated power (the old envelope bound sat ~6% under).
+  const auto app = apps::netproc16();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  util::Prng prng(17);
+  for (const route::RoutingKind kind : route::kAllRoutingKinds) {
+    MapperConfig config;
+    config.routing = kind;
+    config.objective = Objective::kMinPower;
+    config.link_bandwidth_mbps = 1000.0;
+    Mapper mapper(config);
+    const auto ctx = mapper.make_context(app, *mesh);
+    EvalScratch scratch;
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto mapping =
+          random_mapping(app.num_cores(), mesh->num_slots(), prng);
+      const auto eval = ctx.evaluate(mapping, scratch);
+      const double bound = ctx.power_lower_bound(mapping, scratch);
+      SCOPED_TRACE(std::string(route::to_string(kind)) + " trial " +
+                   std::to_string(trial));
+      EXPECT_GE(bound, eval.static_power_mw);
+      EXPECT_LE(bound, eval.design_power_mw * (1.0 + 1e-12));
+      // Tightness: exact geometry leaves only route-adaptivity slack.
+      EXPECT_GE(bound, 0.9 * eval.design_power_mw);
+    }
+  }
+}
+
+TEST(PrunedSearch, ExactGeometryBoundPrunesFullyOccupiedUniformMesh) {
+  // The headline of the refinement: netproc16 min-power greedy search used
+  // to bound-prune only ~25% of its candidates; exact-geometry wire floors
+  // must clear 40% while staying bit-identical to the prune-free search.
+  const auto app = apps::netproc16();
+  const auto mesh = topo::make_mesh_for(app.num_cores());
+  MapperConfig config;
+  config.objective = Objective::kMinPower;
+  config.link_bandwidth_mbps = 1000.0;
+  expect_pruned_search_identical(app, *mesh, config);
+  const auto pruned = Mapper(config).map(app, *mesh);
+  EXPECT_GT(pruned.pruned_mappings, (2 * pruned.evaluated_mappings) / 5);
+}
+
+TEST(PrunedSearch, OccupiedBandRefinementBitIdenticalOnPartialMeshes) {
+  // The per-candidate occupied-row/column refinement path (heterogeneous
+  // shapes, empty slots): pruned vs prune-free bit-identity on a 16-slot
+  // mesh holding 12 VOPD cores.
+  const auto app = apps::vopd();
+  const auto mesh16 = topo::make_mesh_for(16);
+  MapperConfig config;
+  config.objective = Objective::kMinPower;
+  expect_pruned_search_identical(app, *mesh16, config);
+}
+
 TEST(BoundAdmissibility, HoldsUnderSimplexLpFloorplanEngine) {
   // The LP engine places blocks at raw simplex-vertex coordinates, where
   // only the pairwise ordering constraints are guaranteed — the bounds
@@ -179,7 +237,7 @@ TEST(BoundAdmissibility, HoldsUnderSimplexLpFloorplanEngine) {
       SCOPED_TRACE(topology->name() + " trial " + std::to_string(trial));
       EXPECT_LE(ctx.area_lower_bound(mapping, scratch),
                 eval.design_area_mm2 * (1.0 + 1e-12));
-      EXPECT_LE(ctx.power_lower_bound(mapping),
+      EXPECT_LE(ctx.power_lower_bound(mapping, scratch),
                 eval.design_power_mw * (1.0 + 1e-12));
     }
   }
