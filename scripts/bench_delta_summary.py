@@ -28,7 +28,7 @@ INVARIANT_KEYS = GATED_INVARIANT_KEYS + (
     "annealing_speedup_rigid", "annealing_speedup_sized",
     "annealing_txn_speedup_rigid", "annealing_txn_speedup_sized",
     "aggregate_speedup", "min_prune_fraction", "min_area_prune_fraction",
-    "min_power_prune_fraction")
+    "min_power_prune_fraction", "fault_incremental_speedup")
 
 
 def fmt_ms(value) -> str:
@@ -82,6 +82,25 @@ def main() -> int:
             marker = "" if old in (None, new) else " ⚠️"
             print(f"| {key} | {old if old is not None else '—'} | "
                   f"{new}{marker} |")
+
+    # The fault probe also records how degraded-mode re-evaluation scales
+    # with the number of injected scenarios; render it as its own table so
+    # the trend (incremental flat-ish, reference linear) stays visible.
+    scaling = current.get("scenario_scaling")
+    if scaling:
+        baseline_scaling = {point.get("scenarios"): point
+                            for point in baseline.get("scenario_scaling", [])}
+        print("\n| scenarios | incremental ms | reference ms | speedup | "
+              "baseline speedup |")
+        print("|---|---|---|---|---|")
+        for point in scaling:
+            old = baseline_scaling.get(point.get("scenarios"), {})
+            old_speedup = old.get("speedup")
+            print(f"| {point['scenarios']} | "
+                  f"{fmt_ms(point['incremental_ms'])} | "
+                  f"{fmt_ms(point['reference_ms'])} | "
+                  f"{float(point['speedup']):.2f}x | "
+                  f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} |")
     print()
     return 0
 

@@ -32,11 +32,14 @@ import sys
 # incremental floorplanner's 2x acceptance bar, and the transactional
 # annealing win (bit-identical SA with incremental floorplan deltas on
 # accept AND reject, >= 2x where the delta-vs-rebuild machinery is
-# isolated) are part of the contract and must not drift as the engine gets
-# faster.
+# isolated), and the fault-evaluation pair (an empty fault set leaves the
+# mapping search bit-identical; degraded re-evaluation through prebuilt
+# per-scenario BFS tables is >= 2x the from-scratch masked searches) are
+# part of the contract and must not drift as the engine gets faster.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
                   "bit_identical", "restart_never_worse", "incremental_2x",
-                  "annealing_incremental")
+                  "annealing_incremental", "fault_free_bit_identical",
+                  "fault_incremental_2x")
 
 
 def check_pair(current_path: str, baseline_path: str,

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "fault/fault.h"
 #include "io/csv.h"
 
 namespace sunmap::io {
@@ -71,11 +72,12 @@ std::string json_string(const std::string& text) {
 std::string exploration_report_csv(const select::ExplorationReport& report) {
   std::ostringstream out;
   out << "point,routing,objective,search,restarts,swap_passes,fplan_engine,"
-         "fplan_sizing_passes,link_bandwidth_mbps,"
+         "fplan_sizing_passes,faults,link_bandwidth_mbps,"
          "max_area_mm2,topology,"
          "feasible,best,avg_hops,avg_latency_ns,design_area_mm2,"
          "design_power_mw,dynamic_power_mw,static_power_mw,"
-         "min_bandwidth_mbps,cost\n";
+         "min_bandwidth_mbps,cost,"
+         "fault_scenarios,worst_fault_cost,fault_disconnected\n";
   for (std::size_t p = 0; p < report.results.size(); ++p) {
     const auto& result = report.results[p];
     const auto& config = result.point.config;
@@ -91,6 +93,7 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
           << "," << config.swap_passes << ","
           << fplan::to_string(config.floorplan.engine) << ","
           << config.floorplan.sizing_passes << ","
+          << fault::describe(config.faults) << ","
           << number(config.link_bandwidth_mbps) << ",";
       if (std::isfinite(config.max_area_mm2)) {
         out << number(config.max_area_mm2);
@@ -105,7 +108,9 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
           << number(eval.dynamic_power_mw) << ","
           << number(eval.static_power_mw) << ","
           << number(eval.max_link_load_mbps) << "," << number(eval.cost)
-          << "\n";
+          << "," << eval.fault_outcomes.size() << ","
+          << number(eval.worst_fault_cost) << ","
+          << eval.infeasible_fault_scenarios << "\n";
     }
   }
   return out.str();
@@ -130,6 +135,7 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
         << ", \"fplan_engine\": "
         << json_string(fplan::to_string(config.floorplan.engine))
         << ", \"fplan_sizing_passes\": " << config.floorplan.sizing_passes
+        << ", \"faults\": " << json_string(fault::describe(config.faults))
         << ", \"link_bandwidth_mbps\": "
         << json_number(config.link_bandwidth_mbps)
         << ", \"max_area_mm2\": " << json_number(config.max_area_mm2)
@@ -148,7 +154,11 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
           << ", \"design_power_mw\": " << json_number(eval.design_power_mw)
           << ", \"min_bandwidth_mbps\": "
           << json_number(eval.max_link_load_mbps)
-          << ", \"cost\": " << json_number(eval.cost) << "}"
+          << ", \"cost\": " << json_number(eval.cost)
+          << ", \"fault_scenarios\": " << eval.fault_outcomes.size()
+          << ", \"worst_fault_cost\": " << json_number(eval.worst_fault_cost)
+          << ", \"fault_disconnected\": " << eval.infeasible_fault_scenarios
+          << "}"
           << (t + 1 < result.selection.candidates.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (p + 1 < report.results.size() ? "," : "") << "\n";

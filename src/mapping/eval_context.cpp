@@ -34,6 +34,12 @@ bool same_evaluation_class(const MapperConfig& a, const MapperConfig& b) {
       a.link_bandwidth_mbps != b.link_bandwidth_mbps) {
     return false;
   }
+  // The raw per-scenario degraded metrics cached alongside the fault-free
+  // ones depend on which scenarios exist (aggregation mode and penalty do
+  // not — they only enter the re-derived cost — but the spec does).
+  // incremental_fault_eval is deliberately absent: like
+  // incremental_floorplan, both settings produce bit-identical metrics.
+  if (!(a.faults.spec == b.faults.spec)) return false;
   return true;
 }
 
@@ -104,6 +110,8 @@ void EvalContext::bind(const MapperConfig& config,
       tech_changed || !(config_.floorplan == config.floorplan);
   const bool evaluation_class_changed =
       floorplan_changed || !same_evaluation_class(config_, config);
+  const bool faults_changed =
+      first_bind || !(config_.faults.spec == config.faults.spec);
 
   if (tech_changed) {
     // Resolve the area/power library once per switch instead of per lookup
@@ -154,6 +162,8 @@ void EvalContext::bind(const MapperConfig& config,
     if (!quadrant_table_) quadrant_table_.emplace(topology_);
     engine_->attach_quadrant_table(&*quadrant_table_);
   }
+
+  if (faults_changed) build_fault_tables();
 
   static_routes_ = nullptr;
   if (config_.routing == route::RoutingKind::kDimensionOrdered) {
@@ -207,6 +217,38 @@ void EvalContext::build_static_routes(
   }
 }
 
+void EvalContext::build_fault_tables() {
+  fault_scenarios_ = fault::materialize(config_.faults.spec, topology_);
+  fault_masks_.clear();
+  fault_bfs_.clear();
+  if (fault_scenarios_.empty()) return;
+
+  const auto& g = topology_.switch_graph();
+  fault_masks_.resize(fault_scenarios_.size());
+  for (std::size_t s = 0; s < fault_scenarios_.size(); ++s) {
+    fault::make_mask(g, fault_scenarios_[s], fault_masks_[s]);
+  }
+
+  // One BFS per (scenario, distinct ingress switch): every commodity's
+  // degraded route is then an O(path length) parent walk, shared by all
+  // commodities injecting at that switch. Storing parent arrays instead of
+  // per-slot-pair paths keeps the table O(scenarios x switches^2) small
+  // even for exhaustive N-1 sets on large meshes.
+  const auto num_switches = static_cast<std::size_t>(g.num_nodes());
+  std::vector<char> is_ingress(num_switches, 0);
+  for (int slot = 0; slot < topology_.num_slots(); ++slot) {
+    is_ingress[static_cast<std::size_t>(topology_.ingress_switch(slot))] = 1;
+  }
+  fault_bfs_.resize(fault_scenarios_.size() * num_switches);
+  for (std::size_t s = 0; s < fault_scenarios_.size(); ++s) {
+    for (std::size_t sw = 0; sw < num_switches; ++sw) {
+      if (is_ingress[sw] == 0) continue;
+      fault::masked_bfs(g, static_cast<graph::NodeId>(sw), fault_masks_[s],
+                        fault_bfs_[s * num_switches + sw]);
+    }
+  }
+}
+
 void EvalContext::apply_config_dependent(Evaluation& eval,
                                          double floorplan_aspect) const {
   eval.bandwidth_feasible =
@@ -234,6 +276,11 @@ void EvalContext::apply_config_dependent(Evaluation& eval,
       break;
     }
   }
+  // Fold the raw degraded metrics (cached alongside the fault-free ones)
+  // into the per-scenario and aggregated costs. Shared code with the
+  // from-scratch Mapper::evaluate, and re-run on metrics-cache hits, so the
+  // hit path re-derives fault costs exactly like the flags above.
+  apply_fault_objective(eval, config_);
 }
 
 Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
@@ -431,6 +478,78 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
   eval.avg_path_latency_ns =
       total_value_ > 0.0 ? weighted_latency_ps / total_value_ / 1000.0 : 0.0;
 
+  // ---- Degraded modes: every commodity re-routed under each scenario. ----
+  // The incremental path walks the prebuilt per-(scenario, ingress) BFS
+  // parents; the reference path re-runs the identical BFS per commodity.
+  // Both extract through fault::extract_path, so the routes — and all the
+  // arithmetic below — are bit-identical between the two. Disconnection is
+  // a recorded verdict, never an exception: the search keeps moving.
+  if (!fault_scenarios_.empty()) {
+    const auto num_switches_sz = static_cast<std::size_t>(num_switches);
+    eval.fault_outcomes.resize(fault_scenarios_.size());
+    for (std::size_t s = 0; s < fault_scenarios_.size(); ++s) {
+      const fault::ScenarioMask& mask = fault_masks_[s];
+      auto& outcome = eval.fault_outcomes[s];
+      outcome = Evaluation::FaultScenarioOutcome{};
+      outcome.weight = fault_scenarios_[s].weight;
+      double fault_hops = 0.0;
+      double fault_power_mw = 0.0;
+      for (std::size_t k = 0; k < num_commodities; ++k) {
+        const auto& commodity = commodities_[k];
+        const int src_slot =
+            core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+        const int dst_slot =
+            core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+        const graph::NodeId ingress = topology_.ingress_switch(src_slot);
+        const graph::NodeId egress = topology_.egress_switch(dst_slot);
+        const fault::MaskedBfs* bfs;
+        if (config_.incremental_fault_eval) {
+          bfs = &fault_bfs_[s * num_switches_sz +
+                            static_cast<std::size_t>(ingress)];
+        } else {
+          fault::masked_bfs(g, ingress, mask, scratch.fault_bfs);
+          bfs = &scratch.fault_bfs;
+        }
+        if (!fault::extract_path(g, *bfs, ingress, egress,
+                                 scratch.fault_path)) {
+          outcome.connected = false;
+          continue;
+        }
+        const graph::Path& fpath = scratch.fault_path;
+        fault_hops += commodity.value_mbps *
+                      static_cast<double>(fpath.nodes.size());
+        double path_pj = 0.0;
+        double wire_mm = 0.0;
+        for (const graph::NodeId sw : fpath.nodes) {
+          path_pj += switch_table_.energy_pj_per_bit(sw);
+        }
+        for (const graph::EdgeId e : fpath.edges) {
+          const auto& edge = g.edge(e);
+          wire_mm += manhattan(
+              scratch.switch_cx[static_cast<std::size_t>(edge.src)],
+              scratch.switch_cy[static_cast<std::size_t>(edge.src)],
+              scratch.switch_cx[static_cast<std::size_t>(edge.dst)],
+              scratch.switch_cy[static_cast<std::size_t>(edge.dst)]);
+        }
+        wire_mm += manhattan(
+            scratch.core_cx[static_cast<std::size_t>(src_slot)],
+            scratch.core_cy[static_cast<std::size_t>(src_slot)],
+            scratch.switch_cx[static_cast<std::size_t>(ingress)],
+            scratch.switch_cy[static_cast<std::size_t>(ingress)]);
+        wire_mm += manhattan(
+            scratch.core_cx[static_cast<std::size_t>(dst_slot)],
+            scratch.core_cy[static_cast<std::size_t>(dst_slot)],
+            scratch.switch_cx[static_cast<std::size_t>(egress)],
+            scratch.switch_cy[static_cast<std::size_t>(egress)]);
+        path_pj += link_e * wire_mm;
+        fault_power_mw += commodity.value_mbps * 8e-3 * path_pj;
+      }
+      outcome.avg_switch_hops =
+          total_value_ > 0.0 ? fault_hops / total_value_ : 0.0;
+      outcome.dynamic_power_mw = fault_power_mw;
+    }
+  }
+
   apply_config_dependent(eval, floorplan_aspect);
 
   // Cache the metrics while `eval` still carries no floorplan or routes:
@@ -455,6 +574,45 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
     eval.routes.reserve(num_commodities);
     for (std::size_t k = 0; k < num_commodities; ++k) {
       eval.routes.push_back(*scratch.route_refs[k]);
+    }
+    // Per-scenario degraded link loads are a materialized-only extra (like
+    // link_loads), computed after the cache insert above so cached metrics
+    // stay identical between the hit and miss paths.
+    if (!fault_scenarios_.empty()) {
+      const auto num_switches_sz = static_cast<std::size_t>(num_switches);
+      for (std::size_t s = 0; s < fault_scenarios_.size(); ++s) {
+        auto& outcome = eval.fault_outcomes[s];
+        scratch.fault_loads.assign(static_cast<std::size_t>(num_edges), 0.0);
+        for (std::size_t k = 0; k < num_commodities; ++k) {
+          const auto& commodity = commodities_[k];
+          const int src_slot =
+              core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+          const graph::NodeId ingress = topology_.ingress_switch(src_slot);
+          const graph::NodeId egress = topology_.egress_switch(
+              core_to_slot[static_cast<std::size_t>(commodity.dst_core)]);
+          const fault::MaskedBfs* bfs;
+          if (config_.incremental_fault_eval) {
+            bfs = &fault_bfs_[s * num_switches_sz +
+                              static_cast<std::size_t>(ingress)];
+          } else {
+            fault::masked_bfs(g, ingress, fault_masks_[s], scratch.fault_bfs);
+            bfs = &scratch.fault_bfs;
+          }
+          if (!fault::extract_path(g, *bfs, ingress, egress,
+                                   scratch.fault_path)) {
+            continue;
+          }
+          for (const graph::EdgeId e : scratch.fault_path.edges) {
+            scratch.fault_loads[static_cast<std::size_t>(e)] +=
+                commodity.value_mbps;
+          }
+        }
+        outcome.max_link_load_mbps =
+            scratch.fault_loads.empty()
+                ? 0.0
+                : *std::max_element(scratch.fault_loads.begin(),
+                                    scratch.fault_loads.end());
+      }
     }
   }
   return eval;

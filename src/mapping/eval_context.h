@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "fault/fault.h"
 #include "fplan/floorplanner.h"
 #include "fplan/session.h"
 #include "mapping/mapper.h"
@@ -36,6 +37,13 @@ struct EvalScratch {
   std::vector<double> core_cx, core_cy, switch_cx, switch_cy;
   /// Per-slot shape-class ids (0 = empty slot) — the floorplan cache key.
   std::vector<std::uint16_t> floor_key;
+  /// Degraded-mode routing buffers: the reference fault path re-runs its
+  /// masked BFS here per (scenario, commodity), and both paths extract the
+  /// commodity's surviving route into fault_path. fault_loads accumulates
+  /// per-scenario link loads on materialized evaluations.
+  fault::MaskedBfs fault_bfs;
+  graph::Path fault_path;
+  std::vector<double> fault_loads;
   /// Column/row accumulators of the area lower bound (phase-1 pruning).
   /// bound_row_used doubles as a per-column item count in columns-mode
   /// placements, hence int rather than a flag.
@@ -319,6 +327,12 @@ class EvalContext {
   [[nodiscard]] fplan::FloorplanSession& session_for(
       EvalScratch& scratch) const;
 
+  /// Materializes the config's fault spec against this topology and
+  /// prebuilds one masked-BFS parent table per (scenario, ingress switch) —
+  /// the incremental fault path reads routes out of these tables instead of
+  /// re-searching, which is where the >= 2x per-scenario re-evaluation
+  /// speedup comes from. Rebuilt only when the bound FaultSet changes.
+  void build_fault_tables();
   void build_bound_envelope();
   void build_power_bound_table();
   /// Fills scratch.bound_col_w / bound_row_h (+ used flags) with the
@@ -367,6 +381,16 @@ class EvalContext {
   const std::vector<route::RouteSet>* static_routes_ = nullptr;
   bool static_routing_ = false;
   bool adaptive_routing_ = false;
+
+  /// Fault state, rebuilt by bind() when the configuration's FaultSet moved:
+  /// the scenarios materialized against this topology, their aliveness
+  /// masks, and the per-(scenario, ingress switch) BFS tables, indexed
+  /// [scenario * num_switches + ingress] (entries for switches no slot
+  /// injects from stay empty). All immutable between binds, so concurrent
+  /// search workers share them lock-free.
+  std::vector<fault::FaultScenario> fault_scenarios_;
+  std::vector<fault::ScenarioMask> fault_masks_;
+  std::vector<fault::MaskedBfs> fault_bfs_;
 
   /// Precomputed geometry of the area/power lower bounds, derived from the
   /// relative placement, the shape classes, and the resolved switch shapes

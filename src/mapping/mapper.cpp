@@ -47,39 +47,130 @@ bool better_than(const Evaluation& a, const Evaluation& b) {
   return a.cost < b.cost;
 }
 
+void apply_fault_objective(Evaluation& eval, const MapperConfig& config) {
+  eval.worst_fault_cost = 0.0;
+  eval.infeasible_fault_scenarios = 0;
+  if (eval.fault_outcomes.empty()) return;
+
+  // Admissibility: every path below keeps the aggregate >= the fault-free
+  // lower bounds prunable() uses. Degraded routes live on a subgraph of the
+  // pristine topology, so degraded hops >= the minimal-hop bound and
+  // degraded power (same wire arithmetic) >= the energy bound; the area is
+  // fault-invariant; a disconnected scenario contributes penalty x base
+  // with penalty >= 1 (validated); and both max() and a weighted mean of
+  // terms each >= the bound stay >= the bound.
+  const double base_cost = eval.cost;
+  double worst = base_cost;
+  double worst_scenario = 0.0;
+  double weighted_sum = config.faults.fault_free_weight * base_cost;
+  double weight_total = config.faults.fault_free_weight;
+  for (auto& outcome : eval.fault_outcomes) {
+    double cost = 0.0;
+    if (!outcome.connected) {
+      ++eval.infeasible_fault_scenarios;
+      cost = config.faults.infeasible_penalty * base_cost;
+    } else {
+      switch (config.objective) {
+        case Objective::kMinDelay:
+          cost = outcome.avg_switch_hops;
+          break;
+        case Objective::kMinArea:
+          cost = eval.design_area_mm2;  // faults do not move the floorplan
+          break;
+        case Objective::kMinPower:
+          cost = outcome.dynamic_power_mw + eval.static_power_mw;
+          break;
+        case Objective::kWeighted: {
+          const auto& w = config.weights;
+          cost = w.delay * outcome.avg_switch_hops / w.ref_hops +
+                 w.area * eval.design_area_mm2 / w.ref_area_mm2 +
+                 w.power * (outcome.dynamic_power_mw + eval.static_power_mw) /
+                     w.ref_power_mw;
+          break;
+        }
+      }
+    }
+    outcome.cost = cost;
+    worst_scenario = std::max(worst_scenario, cost);
+    worst = std::max(worst, cost);
+    weighted_sum += outcome.weight * cost;
+    weight_total += outcome.weight;
+  }
+  eval.worst_fault_cost = worst_scenario;
+  if (config.faults.aggregation == fault::Aggregation::kWeighted &&
+      weight_total > 0.0) {
+    eval.cost = weighted_sum / weight_total;
+  } else {
+    eval.cost = worst;
+  }
+}
+
 void MapperConfig::validate() const {
-  const auto fail = [](const char* what) {
-    throw std::invalid_argument(std::string("MapperConfig: ") + what);
+  // Every message carries the offending value: a sweep rejects one design
+  // point out of hundreds, and "swap_passes must be >= 0" without the value
+  // forces the caller to reconstruct which axis produced it.
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("MapperConfig: " + what);
   };
+  const auto num = [](double value) { return std::to_string(value); };
   if (!(link_bandwidth_mbps > 0.0)) {
-    fail("link bandwidth must be positive");
+    fail("link bandwidth must be positive, got " + num(link_bandwidth_mbps));
   }
-  if (!(max_area_mm2 > 0.0)) fail("max_area_mm2 must be positive");
-  if (!(max_design_aspect >= 1.0)) fail("max_design_aspect must be >= 1");
-  if (swap_passes < 0) fail("swap_passes must be >= 0");
-  if (reroute_passes < 0) fail("reroute_passes must be >= 0");
-  if (split_chunks < 1) fail("split_chunks must be >= 1");
-  if (annealing_iterations < 0) fail("annealing_iterations must be >= 0");
-  if (!(annealing_t0 >= 0.0)) fail("annealing_t0 must be >= 0");
+  if (!(max_area_mm2 > 0.0)) {
+    fail("max_area_mm2 must be positive, got " + num(max_area_mm2));
+  }
+  if (!(max_design_aspect >= 1.0)) {
+    fail("max_design_aspect must be >= 1, got " + num(max_design_aspect));
+  }
+  if (swap_passes < 0) {
+    fail("swap_passes must be >= 0, got " + std::to_string(swap_passes));
+  }
+  if (reroute_passes < 0) {
+    fail("reroute_passes must be >= 0, got " + std::to_string(reroute_passes));
+  }
+  if (split_chunks < 1) {
+    fail("split_chunks must be >= 1, got " + std::to_string(split_chunks));
+  }
+  if (annealing_iterations < 0) {
+    fail("annealing_iterations must be >= 0, got " +
+         std::to_string(annealing_iterations));
+  }
+  if (!(annealing_t0 >= 0.0)) {
+    fail("annealing_t0 must be >= 0, got " + num(annealing_t0));
+  }
   if (!(annealing_cooling > 0.0 && annealing_cooling <= 1.0)) {
-    fail("annealing_cooling must be in (0, 1]");
+    fail("annealing_cooling must be in (0, 1], got " + num(annealing_cooling));
   }
-  if (annealing_restarts < 1) fail("annealing_restarts must be >= 1");
-  if (annealing_reheats < 0) fail("annealing_reheats must be >= 0");
-  if (num_threads < 1) fail("num_threads must be >= 1");
+  if (annealing_restarts < 1) {
+    fail("annealing_restarts must be >= 1, got " +
+         std::to_string(annealing_restarts));
+  }
+  if (annealing_reheats < 0) {
+    fail("annealing_reheats must be >= 0, got " +
+         std::to_string(annealing_reheats));
+  }
+  if (num_threads < 1) {
+    fail("num_threads must be >= 1, got " + std::to_string(num_threads));
+  }
   if (floorplan.sizing_passes < 0) {
-    fail("floorplan sizing_passes must be >= 0");
+    fail("floorplan sizing_passes must be >= 0, got " +
+         std::to_string(floorplan.sizing_passes));
   }
   if (!(floorplan.spacing_mm >= 0.0)) {
-    fail("floorplan spacing_mm must be >= 0");
+    fail("floorplan spacing_mm must be >= 0, got " +
+         num(floorplan.spacing_mm));
   }
   if (!(weights.delay >= 0.0 && weights.area >= 0.0 && weights.power >= 0.0)) {
-    fail("objective weights must be >= 0");
+    fail("objective weights must be >= 0, got delay=" + num(weights.delay) +
+         " area=" + num(weights.area) + " power=" + num(weights.power));
   }
   if (!(weights.ref_hops > 0.0 && weights.ref_area_mm2 > 0.0 &&
         weights.ref_power_mw > 0.0)) {
-    fail("objective weight reference scales must be positive");
+    fail("objective weight reference scales must be positive, got ref_hops=" +
+         num(weights.ref_hops) + " ref_area_mm2=" + num(weights.ref_area_mm2) +
+         " ref_power_mw=" + num(weights.ref_power_mw));
   }
+  faults.validate();
 }
 
 Mapper::Mapper(MapperConfig config)
@@ -249,6 +340,73 @@ Evaluation Mapper::evaluate(const CoreGraph& app,
   eval.avg_path_latency_ns =
       total_value > 0.0 ? weighted_latency_ps / total_value / 1000.0 : 0.0;
 
+  // ---- Degraded modes: re-route every commodity under each fault scenario.
+  // This is the from-scratch reference of the fault evaluation: scenarios
+  // materialized per call, one masked BFS per (scenario, commodity). The
+  // cached EvalContext path prebuilds the BFS tables but extracts paths
+  // through the same fault:: code, so both are bit-identical.
+  const auto fault_scenarios =
+      fault::materialize(config_.faults.spec, topology);
+  if (!fault_scenarios.empty()) {
+    fault::ScenarioMask mask;
+    fault::MaskedBfs bfs;
+    graph::Path fpath;
+    std::vector<double> fault_loads;
+    eval.fault_outcomes.resize(fault_scenarios.size());
+    for (std::size_t s = 0; s < fault_scenarios.size(); ++s) {
+      fault::make_mask(g, fault_scenarios[s], mask);
+      auto& outcome = eval.fault_outcomes[s];
+      outcome = Evaluation::FaultScenarioOutcome{};
+      outcome.weight = fault_scenarios[s].weight;
+      fault_loads.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+      double fault_hops = 0.0;
+      double fault_power_mw = 0.0;
+      for (const auto& commodity : commodities) {
+        const int src_slot =
+            core_to_slot[static_cast<std::size_t>(commodity.src_core)];
+        const int dst_slot =
+            core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
+        const graph::NodeId ingress = topology.ingress_switch(src_slot);
+        const graph::NodeId egress = topology.egress_switch(dst_slot);
+        fault::masked_bfs(g, ingress, mask, bfs);
+        if (!fault::extract_path(g, bfs, ingress, egress, fpath)) {
+          // Disconnected (or a dead attachment switch): the scenario is
+          // infeasible — documented graceful degradation, never a throw.
+          outcome.connected = false;
+          continue;
+        }
+        fault_hops += commodity.value_mbps *
+                      static_cast<double>(fpath.nodes.size());
+        double path_pj = 0.0;
+        double wire_mm = 0.0;
+        for (const graph::NodeId sw : fpath.nodes) {
+          path_pj += library_
+                         .lookup(topology.switch_in_ports(sw),
+                                 topology.switch_out_ports(sw))
+                         .energy_pj_per_bit;
+        }
+        for (const graph::EdgeId e : fpath.edges) {
+          wire_mm += eval.floorplan.center_distance_mm(
+              Kind::kSwitch, g.edge(e).src, Kind::kSwitch, g.edge(e).dst);
+          fault_loads[static_cast<std::size_t>(e)] += commodity.value_mbps;
+        }
+        wire_mm += eval.floorplan.center_distance_mm(Kind::kCore, src_slot,
+                                                     Kind::kSwitch, ingress);
+        wire_mm += eval.floorplan.center_distance_mm(Kind::kCore, dst_slot,
+                                                     Kind::kSwitch, egress);
+        path_pj += link_e * wire_mm;
+        fault_power_mw += commodity.value_mbps * 8e-3 * path_pj;
+      }
+      outcome.avg_switch_hops =
+          total_value > 0.0 ? fault_hops / total_value : 0.0;
+      outcome.dynamic_power_mw = fault_power_mw;
+      outcome.max_link_load_mbps =
+          fault_loads.empty()
+              ? 0.0
+              : *std::max_element(fault_loads.begin(), fault_loads.end());
+    }
+  }
+
   // ---- Fig 5 step 8: objective cost. ----
   switch (config_.objective) {
     case Objective::kMinDelay:
@@ -268,6 +426,7 @@ Evaluation Mapper::evaluate(const CoreGraph& app,
       break;
     }
   }
+  apply_fault_objective(eval, config_);
   return eval;
 }
 

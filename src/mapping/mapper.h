@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "fault/fault.h"
 #include "fplan/floorplanner.h"
 #include "mapping/core_graph.h"
 #include "model/library.h"
@@ -108,6 +109,21 @@ struct MapperConfig {
   /// equivalence tests measure against.
   bool incremental_floorplan = true;
 
+  /// Fault scenarios to evaluate every candidate mapping under, plus how
+  /// their degraded costs aggregate into the search objective (fault/fault.h).
+  /// The default (empty) keeps evaluation bit-identical to a fault-unaware
+  /// run. The spec is topology-independent; each EvalContext materializes it
+  /// against its own topology, so one configuration sweeps a whole library.
+  fault::FaultSet faults;
+
+  /// Master switch for incremental per-scenario fault re-evaluation: with it
+  /// on (the default), each evaluation reads the per-(scenario, ingress
+  /// switch) masked-BFS tables the context prebuilt at bind, while off
+  /// re-runs the BFS per commodity — the from-scratch reference the
+  /// fault_incremental_2x bench invariant measures against. Both paths
+  /// extract paths through the same code, so results are bit-identical.
+  bool incremental_fault_eval = true;
+
   /// Sub-flows for split-across-all-paths routing.
   int split_chunks = 16;
 
@@ -170,8 +186,36 @@ struct Evaluation {
   /// Silicon area of the network switches alone.
   double switch_area_mm2 = 0.0;
   /// Objective-function value (lower is better); infeasible mappings rank
-  /// by max link overload.
+  /// by max link overload. With fault scenarios configured this is the
+  /// aggregated (worst-case or weighted) degraded cost; without, the plain
+  /// fault-free objective value.
   double cost = std::numeric_limits<double>::infinity();
+
+  /// Degraded-mode metrics of one fault scenario, aligned with the
+  /// materialized scenario list of the configuration's FaultSet. Degraded
+  /// routes are deterministic shortest paths over the surviving subgraph
+  /// (regardless of the configured routing function), so the raw metrics
+  /// are config-independent within an evaluation class and cache alongside
+  /// the fault-free ones; `cost` is re-derived per configuration.
+  struct FaultScenarioOutcome {
+    /// False when the scenario disconnects a commodity or kills a switch a
+    /// mapped core attaches to; the scenario then contributes
+    /// infeasible_penalty x the fault-free cost instead of its own metrics.
+    bool connected = true;
+    double avg_switch_hops = 0.0;  ///< Over the commodities still routable.
+    double dynamic_power_mw = 0.0;
+    double weight = 1.0;  ///< From the scenario, for kWeighted aggregation.
+    double cost = 0.0;    ///< Per-scenario objective value (config-derived).
+    /// Max degraded link load; filled on materialized evaluations only.
+    double max_link_load_mbps = 0.0;
+  };
+  /// One entry per fault scenario; empty when the config carries no faults.
+  std::vector<FaultScenarioOutcome> fault_outcomes;
+  /// Max over the per-scenario costs (0 when no scenarios) — the
+  /// robustness column of exploration reports.
+  double worst_fault_cost = 0.0;
+  /// Scenarios that disconnected at least one commodity.
+  int infeasible_fault_scenarios = 0;
 
   fplan::Floorplan floorplan;
   /// Routes per commodity, aligned with commodities_by_value(app).
@@ -183,6 +227,13 @@ struct Evaluation {
 /// Ranks two evaluations under the mapper's search: feasible before
 /// infeasible, then lower cost; among infeasible, lower max load.
 bool better_than(const Evaluation& a, const Evaluation& b);
+
+/// Derives the per-scenario costs and the aggregated objective value from an
+/// evaluation's raw fault outcomes, overwriting eval.cost (which must hold
+/// the fault-free objective value on entry). No-op without outcomes. Shared
+/// by Mapper::evaluate and EvalContext so the degraded-cost arithmetic is
+/// literally the same code on the reference and incremental paths.
+void apply_fault_objective(Evaluation& eval, const MapperConfig& config);
 
 /// Result of mapping one application onto one topology.
 struct MappingResult {

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "fault/fault.h"
 #include "mapping/eval_context.h"
 
 namespace sunmap::select {
@@ -125,7 +126,8 @@ void run_worker_pool(int num_workers, const std::function<void()>& worker) {
 
 std::size_t ExplorationRequest::num_points() const {
   const auto axis = [](std::size_t n) { return n == 0 ? 1 : n; };
-  return axis(floorplan_options.size()) * axis(routings.size()) *
+  return axis(floorplan_options.size()) * axis(fault_sets.size()) *
+         axis(routings.size()) *
          axis(link_bandwidths_mbps.size()) * axis(max_areas_mm2.size()) *
          axis(weight_sets.size()) * axis(searches.size()) *
          axis(restart_counts.size()) * axis(swap_passes.size()) *
@@ -164,6 +166,10 @@ std::string DesignPoint::label() const {
     label += "-sz";
     label += std::to_string(config.floorplan.sizing_passes);
   }
+  if (!config.faults.empty()) {
+    label += "/flt-";
+    label += fault::describe(config.faults);
+  }
   return label;
 }
 
@@ -191,11 +197,14 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
   // cost function, which keeps the per-topology context's evaluation class
   // stable and its metrics cache warm across the inner loop. Floorplan
   // options vary slowest: they are the one axis whose move clears the
-  // floorplan cache and incremental sessions on rebind.
+  // floorplan cache and incremental sessions on rebind. Fault sets sit
+  // just inside them: a fault-spec move clears the metrics cache and the
+  // per-scenario BFS tables, the second-costliest rebind.
   std::vector<DesignPoint> points;
   points.reserve(request.num_points());
   const std::size_t nf =
       std::max<std::size_t>(1, request.floorplan_options.size());
+  const std::size_t nx = std::max<std::size_t>(1, request.fault_sets.size());
   const std::size_t nr = std::max<std::size_t>(1, request.routings.size());
   const std::size_t nb =
       std::max<std::size_t>(1, request.link_bandwidths_mbps.size());
@@ -207,6 +216,7 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
   const std::size_t np = std::max<std::size_t>(1, request.swap_passes.size());
   const std::size_t no = std::max<std::size_t>(1, request.objectives.size());
   for (std::size_t f = 0; f < nf; ++f) {
+   for (std::size_t x = 0; x < nx; ++x) {
     for (std::size_t r = 0; r < nr; ++r) {
       for (std::size_t b = 0; b < nb; ++b) {
         for (std::size_t a = 0; a < na; ++a) {
@@ -219,6 +229,9 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
                     point.config = request.base;
                     if (!request.floorplan_options.empty()) {
                       point.config.floorplan = request.floorplan_options[f];
+                    }
+                    if (!request.fault_sets.empty()) {
+                      point.config.faults = request.fault_sets[x];
                     }
                     if (!request.routings.empty()) {
                       point.config.routing = request.routings[r];
@@ -247,6 +260,7 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
                       point.config.objective = request.objectives[o];
                     }
                     point.fplan_index = static_cast<int>(f);
+                    point.fault_index = static_cast<int>(x);
                     point.routing_index = static_cast<int>(r);
                     point.bandwidth_index = static_cast<int>(b);
                     point.area_index = static_cast<int>(a);
@@ -264,6 +278,7 @@ std::vector<DesignPoint> DesignSpaceExplorer::expand(
         }
       }
     }
+   }
   }
   return points;
 }

@@ -51,6 +51,13 @@ struct ExplorationRequest {
   /// rebind, so the grid exhausts every other axis before paying it.
   std::vector<fplan::Floorplanner::Options> floorplan_options;
   std::vector<int> swap_passes;
+  /// Fault-scenario variations (robustness axis): each entry is a full
+  /// fault set — injection spec plus aggregation mode and penalty. The
+  /// axis sits just inside floorplan options in the grid (second slowest):
+  /// changing the fault spec changes the evaluation class, clearing the
+  /// metrics cache and the per-scenario BFS tables on rebind, so the grid
+  /// exhausts every faster axis before paying that rebuild.
+  std::vector<fault::FaultSet> fault_sets;
 
   /// Worker threads the explorer spreads topologies over. Each worker owns
   /// one topology's evaluation context at a time, so any thread count
@@ -85,6 +92,7 @@ struct ExplorationRequest {
 struct DesignPoint {
   mapping::MapperConfig config;
   int fplan_index = 0;
+  int fault_index = 0;
   int routing_index = 0;
   int bandwidth_index = 0;
   int area_index = 0;
@@ -97,7 +105,7 @@ struct DesignPoint {
   /// Compact human-readable tag, e.g. "MP/delay/bw500" (non-default search
   /// strategies append themselves, e.g. ".../restart-annealing-x8"; swept
   /// swap-pass and floorplan coordinates append "/spN" and
-  /// "/fp-<engine>-szN").
+  /// "/fp-<engine>-szN"; a non-empty fault set appends "/flt-<describe>").
   [[nodiscard]] std::string label() const;
 };
 
@@ -125,10 +133,10 @@ struct ObjectiveBest {
 };
 
 /// Outcome of a batched exploration. `results` is ordered deterministically
-/// by grid coordinates — floorplan options outermost, then routing,
-/// bandwidth, area cap, weight set, search strategy, restart count, swap
-/// passes, and objective innermost — regardless of how many worker threads
-/// ran the sweep. (Objective varies fastest so that consecutive points
+/// by grid coordinates — floorplan options outermost, then fault sets,
+/// routing, bandwidth, area cap, weight set, search strategy, restart
+/// count, swap passes, and objective innermost — regardless of how many
+/// worker threads ran the sweep. (Objective varies fastest so that consecutive points
 /// share the evaluation-metrics cache of the per-topology context;
 /// floorplan options vary slowest so the floorplan cache and sessions are
 /// invalidated as rarely as the grid allows.)

@@ -7,6 +7,20 @@
 
 namespace sunmap::sim {
 
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kDrained:
+      return "drained";
+    case RunStatus::kSaturatedThroughput:
+      return "saturated-throughput";
+    case RunStatus::kUndelivered:
+      return "undelivered";
+    case RunStatus::kStalled:
+      return "stalled";
+  }
+  return "?";
+}
+
 namespace {
 
 struct Packet {
@@ -361,8 +375,10 @@ struct Simulator::Impl {
           now >= config.warmup_cycles && now < measure_end;
       const int moved = step(traffic, measure_window);
       if (moved == 0 && flits_in_network > 0) {
+        ++stats.stalled_cycles;
         if (++stall >= config.stall_limit_cycles) {
           stats.saturated = true;
+          stats.status = RunStatus::kStalled;
           break;
         }
       } else {
@@ -391,7 +407,13 @@ struct Simulator::Impl {
       stats.p95_latency_cycles = percentile(0.95);
       stats.p99_latency_cycles = percentile(0.99);
     }
-    if (measured_delivered < measured_generated) stats.saturated = true;
+    stats.undelivered_packets = measured_generated - measured_delivered;
+    if (measured_delivered < measured_generated) {
+      stats.saturated = true;
+      if (stats.status == RunStatus::kDrained) {
+        stats.status = RunStatus::kUndelivered;
+      }
+    }
     const std::uint64_t span = now > config.warmup_cycles
                                    ? now - config.warmup_cycles
                                    : 1;
@@ -409,6 +431,9 @@ struct Simulator::Impl {
         stats.throughput_flits_per_cycle_per_slot <
             0.9 * stats.offered_flits_per_cycle_per_slot) {
       stats.saturated = true;
+      if (stats.status == RunStatus::kDrained) {
+        stats.status = RunStatus::kSaturatedThroughput;
+      }
     }
     return stats;
   }

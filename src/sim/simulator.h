@@ -42,6 +42,21 @@ struct SimConfig {
   std::uint64_t seed = 1;
 };
 
+/// Structured verdict on how a run terminated, from healthiest to most
+/// pathological. Exactly one applies; SimStats::saturated stays the derived
+/// "anything but kDrained" summary for callers that only need a boolean.
+enum class RunStatus {
+  kDrained,      ///< Every measured packet was delivered within the budget.
+  kSaturatedThroughput,  ///< Drained, but accepted meaningfully less
+                         ///< traffic than was offered (acceptance < 90%).
+  kUndelivered,  ///< The drain budget expired with measured packets still
+                 ///< in flight.
+  kStalled,      ///< No flit moved for stall_limit_cycles — congestion
+                 ///< collapse or single-VC wormhole deadlock.
+};
+
+const char* to_string(RunStatus status);
+
 /// Aggregate results of one simulation run.
 struct SimStats {
   std::uint64_t cycles = 0;
@@ -59,8 +74,18 @@ struct SimStats {
   /// True when the network could not keep up with the offered load: the run
   /// hit the stall limit, failed to drain the measured packets, or accepted
   /// meaningfully less traffic than was offered. Latencies reported for a
-  /// saturated run are lower bounds.
+  /// saturated run are lower bounds. Always equal to
+  /// (status != RunStatus::kDrained).
   bool saturated = false;
+  /// Which of the saturation conditions (if any) ended the run; kStalled
+  /// wins over kUndelivered wins over kSaturatedThroughput when several
+  /// hold at once.
+  RunStatus status = RunStatus::kDrained;
+  /// Cycles in which no flit moved while the network held flits, summed
+  /// over the whole run (not just the final stall streak).
+  std::uint64_t stalled_cycles = 0;
+  /// Measured packets generated but never delivered.
+  std::uint64_t undelivered_packets = 0;
 };
 
 /// Cycle-accurate NoC simulator over one topology and routing table.

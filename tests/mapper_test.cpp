@@ -40,25 +40,92 @@ TEST(MapperConfig, ValidateRejectsEachBadField) {
   // The centralised validation behind Mapper, the explorer, and the CLI.
   EXPECT_NO_THROW(MapperConfig{}.validate());
 
-  const auto rejects = [](auto&& mutate) {
+  // Each rejection message must name the offending value ("got ..."): a
+  // sweep rejects one design point out of hundreds, and without the value
+  // the caller cannot tell which axis entry produced it.
+  const auto rejects = [](auto&& mutate, const std::string& value) {
     MapperConfig config;
     mutate(config);
-    EXPECT_THROW(config.validate(), std::invalid_argument);
+    try {
+      config.validate();
+      ADD_FAILURE() << "validate() accepted a config that should name "
+                    << value;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(value), std::string::npos)
+          << "message \"" << e.what() << "\" does not name " << value;
+    }
     EXPECT_THROW(Mapper{config}, std::invalid_argument);
   };
-  rejects([](MapperConfig& c) { c.link_bandwidth_mbps = -10.0; });
-  rejects([](MapperConfig& c) { c.link_bandwidth_mbps = 0.0; });
-  rejects([](MapperConfig& c) { c.max_area_mm2 = -1.0; });
-  rejects([](MapperConfig& c) { c.max_design_aspect = 0.5; });
-  rejects([](MapperConfig& c) { c.swap_passes = -1; });
-  rejects([](MapperConfig& c) { c.reroute_passes = -2; });
-  rejects([](MapperConfig& c) { c.split_chunks = 0; });
-  rejects([](MapperConfig& c) { c.annealing_iterations = -1; });
-  rejects([](MapperConfig& c) { c.annealing_cooling = 0.0; });
-  rejects([](MapperConfig& c) { c.annealing_cooling = 1.5; });
-  rejects([](MapperConfig& c) { c.num_threads = 0; });
-  rejects([](MapperConfig& c) { c.weights.delay = -1.0; });
-  rejects([](MapperConfig& c) { c.weights.ref_power_mw = 0.0; });
+  rejects([](MapperConfig& c) { c.link_bandwidth_mbps = -10.0; },
+          "got " + std::to_string(-10.0));
+  rejects([](MapperConfig& c) { c.link_bandwidth_mbps = 0.0; },
+          "got " + std::to_string(0.0));
+  rejects([](MapperConfig& c) { c.max_area_mm2 = -1.0; },
+          "got " + std::to_string(-1.0));
+  rejects([](MapperConfig& c) { c.max_design_aspect = 0.5; },
+          "got " + std::to_string(0.5));
+  rejects([](MapperConfig& c) { c.swap_passes = -1; }, "got -1");
+  rejects([](MapperConfig& c) { c.reroute_passes = -2; }, "got -2");
+  rejects([](MapperConfig& c) { c.split_chunks = 0; }, "got 0");
+  rejects([](MapperConfig& c) { c.annealing_iterations = -3; }, "got -3");
+  rejects([](MapperConfig& c) { c.annealing_t0 = -0.5; },
+          "got " + std::to_string(-0.5));
+  rejects([](MapperConfig& c) { c.annealing_cooling = 0.0; },
+          "got " + std::to_string(0.0));
+  rejects([](MapperConfig& c) { c.annealing_cooling = 1.5; },
+          "got " + std::to_string(1.5));
+  rejects([](MapperConfig& c) { c.annealing_restarts = 0; }, "got 0");
+  rejects([](MapperConfig& c) { c.annealing_reheats = -4; }, "got -4");
+  rejects([](MapperConfig& c) { c.num_threads = 0; }, "got 0");
+  rejects([](MapperConfig& c) { c.floorplan.sizing_passes = -5; }, "got -5");
+  rejects([](MapperConfig& c) { c.floorplan.spacing_mm = -0.25; },
+          std::to_string(-0.25));
+  rejects([](MapperConfig& c) { c.weights.delay = -1.0; },
+          "delay=" + std::to_string(-1.0));
+  rejects([](MapperConfig& c) { c.weights.ref_power_mw = 0.0; },
+          std::to_string(0.0));
+  rejects([](MapperConfig& c) { c.faults.infeasible_penalty = 0.5; },
+          "got " + std::to_string(0.5));
+  rejects([](MapperConfig& c) { c.faults.fault_free_weight = -2.0; },
+          "got " + std::to_string(-2.0));
+  rejects(
+      [](MapperConfig& c) {
+        c.faults.spec.kind = fault::FaultSpec::Kind::kRandom;
+        c.faults.spec.num_scenarios = 0;
+      },
+      "got 0");
+  rejects(
+      [](MapperConfig& c) {
+        c.faults.spec.kind = fault::FaultSpec::Kind::kRandom;
+        c.faults.spec.faults_per_scenario = -1;
+      },
+      "got -1");
+  rejects(
+      [](MapperConfig& c) {
+        c.faults.spec.kind = fault::FaultSpec::Kind::kExplicit;
+        c.faults.spec.scenarios.push_back({{{0, 1}}, {}, -1.0});
+      },
+      "got " + std::to_string(-1.0));
+  rejects(
+      [](MapperConfig& c) {
+        c.faults.spec.kind = fault::FaultSpec::Kind::kExplicit;
+        c.faults.spec.scenarios.push_back({{{-1, 3}}, {}, 1.0});
+      },
+      "got -1-3");
+  rejects(
+      [](MapperConfig& c) {
+        c.faults.spec.kind = fault::FaultSpec::Kind::kExplicit;
+        c.faults.spec.scenarios.push_back({{}, {-7}, 1.0});
+      },
+      "got -7");
+  rejects(
+      [](MapperConfig& c) {
+        c.faults.aggregation = fault::Aggregation::kWeighted;
+        c.faults.fault_free_weight = 0.0;
+        c.faults.spec.kind = fault::FaultSpec::Kind::kExplicit;
+        c.faults.spec.scenarios.push_back({{{0, 1}}, {}, 0.0});
+      },
+      "got " + std::to_string(0.0));
 }
 
 TEST(Mapper, MappingIsInjective) {

@@ -31,6 +31,8 @@ TEST(Simulator, ZeroLoadLatencyMatchesPipelineModel) {
   const auto stats = simulator.run(traffic);
   ASSERT_GT(stats.packets_delivered, 0u);
   EXPECT_FALSE(stats.saturated);
+  EXPECT_EQ(stats.status, RunStatus::kDrained);
+  EXPECT_EQ(stats.undelivered_packets, 0u);
   EXPECT_DOUBLE_EQ(stats.avg_latency_cycles, 5.0);
   EXPECT_DOUBLE_EQ(stats.max_latency_cycles, 5.0);
 }
@@ -108,6 +110,9 @@ TEST(Simulator, DeterministicForSameSeed) {
   EXPECT_EQ(a.packets_generated, b.packets_generated);
   EXPECT_EQ(a.packets_delivered, b.packets_delivered);
   EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.stalled_cycles, b.stalled_cycles);
+  EXPECT_EQ(a.undelivered_packets, b.undelivered_packets);
 }
 
 TEST(Simulator, SeedsChangeTheRun) {
@@ -134,6 +139,16 @@ TEST(Simulator, SaturatesBeyondCapacity) {
   const auto stats =
       simulate_pattern(*mesh, routes, Pattern::kBitComplement, 0.8, config);
   EXPECT_TRUE(stats.saturated);
+  // The boolean is exactly the structured verdict's "anything but drained".
+  // Source-queue backpressure throttles generation here, so the run drains
+  // what it generated and the acceptance check — not the drain budget — is
+  // what flags the overload.
+  EXPECT_EQ(stats.status, RunStatus::kSaturatedThroughput);
+  EXPECT_EQ(stats.saturated, stats.status != RunStatus::kDrained);
+  EXPECT_EQ(stats.undelivered_packets,
+            stats.packets_generated - stats.packets_delivered);
+  EXPECT_LT(stats.throughput_flits_per_cycle_per_slot,
+            0.9 * stats.offered_flits_per_cycle_per_slot);
 }
 
 TEST(Simulator, ClosOutlastsButterflyUnderAdversarialTraffic) {
@@ -173,6 +188,18 @@ TEST(Simulator, WormholeDeadlockIsDetectedNotHung) {
   const auto stats =
       simulate_pattern(*mesh, routes, Pattern::kBitComplement, 0.4, config);
   EXPECT_TRUE(stats.saturated);
+  // A deadlock ends the run through the stall detector specifically, after
+  // at least one full stall streak of motionless cycles.
+  EXPECT_EQ(stats.status, RunStatus::kStalled);
+  EXPECT_GE(stats.stalled_cycles, config.stall_limit_cycles);
+  EXPECT_STREQ(to_string(stats.status), "stalled");
+  // The stall path is as deterministic as the rest of the run.
+  const auto again =
+      simulate_pattern(*mesh, routes, Pattern::kBitComplement, 0.4, config);
+  EXPECT_EQ(again.status, RunStatus::kStalled);
+  EXPECT_EQ(again.cycles, stats.cycles);
+  EXPECT_EQ(again.stalled_cycles, stats.stalled_cycles);
+  EXPECT_EQ(again.undelivered_packets, stats.undelivered_packets);
 }
 
 TEST(Simulator, ThroughputTracksOfferedLoadBelowSaturation) {
@@ -182,6 +209,8 @@ TEST(Simulator, ThroughputTracksOfferedLoadBelowSaturation) {
   const auto stats = simulate_pattern(*mesh, routes, Pattern::kUniform, 0.1,
                                       quick_config());
   EXPECT_FALSE(stats.saturated);
+  EXPECT_EQ(stats.status, RunStatus::kDrained);
+  EXPECT_EQ(stats.stalled_cycles, 0u);
   EXPECT_NEAR(stats.throughput_flits_per_cycle_per_slot, 0.1, 0.02);
 }
 

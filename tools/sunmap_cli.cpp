@@ -27,6 +27,7 @@
 
 #include "apps/apps.h"
 #include "core/sunmap.h"
+#include "fault/fault.h"
 #include "fplan/render.h"
 #include "io/core_graph_io.h"
 #include "io/csv.h"
@@ -65,6 +66,18 @@ void usage() {
   --w-delay <x>       weight of the delay term    (objective weighted)
   --w-area <x>        weight of the area term     (objective weighted)
   --w-power <x>       weight of the power term    (objective weighted)
+  --faults <spec>     fault scenarios folded into the objective:
+                      none | n1 (exhaustive single-channel failures) |
+                      rand[M] (random scenarios of M channels each,
+                      default 1) | an explicit list "a-b,c-d,s7/..."
+                      (link faults by endpoint switches, sN = dead
+                      switch N, / separates scenarios)  (default none)
+  --fault-samples <n> random scenarios drawn by --faults rand (default 4)
+  --fault-seed <s>    seed of the --faults rand sampler (default 1)
+  --fault-mode <m>    worst (max over fault-free + degraded costs,
+                      default) | weighted (weight-normalised mean)
+  --fault-penalty <x> fault-free-cost multiplier charged when a scenario
+                      disconnects a commodity; must be >= 1 (default 10)
   --bandwidth <MBps>  link capacity               (default 500)
   --threads <n>       swap-search worker threads  (default 1; any n is
                       deterministic and matches the sequential result)
@@ -75,8 +88,11 @@ void usage() {
   --out <dir>         write generated SystemC sources here
   --sweep             batched design-space exploration: --routing,
                       --objective, --bandwidth, --max-area, --search,
-                      --restarts, --swap-passes, --fplan-engine, and
-                      --fplan-sizing-passes accept comma-separated lists
+                      --restarts, --swap-passes, --fplan-engine,
+                      --fplan-sizing-passes, and --faults accept
+                      comma-separated lists (--faults sweeps named specs
+                      only — none/n1/rand[M]; explicit scenario lists
+                      contain commas and need single-point mode)
                       and the whole cross product is explored with one
                       evaluation context per topology;
                       prints the comparison matrix, per-objective winners,
@@ -131,6 +147,71 @@ std::optional<mapping::SearchKind> parse_search(const std::string& text) {
   return std::nullopt;
 }
 
+/// Parses one --faults spec. `base` supplies the sampler parameters the
+/// --fault-samples/--fault-seed flags may already have set, so flag order
+/// does not matter. Grammar: "none" | "n1" | "rand[M]" | explicit scenario
+/// list "a-b,c-d,s7/..." ('/' separates scenarios, ',' separates faults,
+/// "a-b" fails the channel between switches a and b, "sN" kills switch N).
+std::optional<fault::FaultSpec> parse_fault_spec(const std::string& text,
+                                                 const fault::FaultSpec& base) {
+  fault::FaultSpec spec = base;
+  spec.scenarios.clear();
+  if (text == "none") {
+    spec.kind = fault::FaultSpec::Kind::kNone;
+    return spec;
+  }
+  if (text == "n1") {
+    spec.kind = fault::FaultSpec::Kind::kEveryLink;
+    return spec;
+  }
+  if (text.rfind("rand", 0) == 0) {
+    spec.kind = fault::FaultSpec::Kind::kRandom;
+    try {
+      if (text.size() > 4) spec.faults_per_scenario = std::stoi(text.substr(4));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    return spec;
+  }
+  spec.kind = fault::FaultSpec::Kind::kExplicit;
+  try {
+    std::stringstream scenarios(text);
+    std::string scenario_text;
+    while (std::getline(scenarios, scenario_text, '/')) {
+      fault::ScenarioSpec scenario;
+      std::stringstream faults(scenario_text);
+      std::string item;
+      while (std::getline(faults, item, ',')) {
+        if (item.empty()) return std::nullopt;
+        if (item.front() == 's') {
+          scenario.switches.push_back(std::stoi(item.substr(1)));
+          continue;
+        }
+        const auto dash = item.find('-', 1);
+        if (dash == std::string::npos) return std::nullopt;
+        scenario.links.push_back({std::stoi(item.substr(0, dash)),
+                                  std::stoi(item.substr(dash + 1))});
+      }
+      if (scenario.links.empty() && scenario.switches.empty()) {
+        return std::nullopt;
+      }
+      spec.scenarios.push_back(std::move(scenario));
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (spec.scenarios.empty()) return std::nullopt;
+  return spec;
+}
+
+std::optional<fault::Aggregation> parse_fault_mode(const std::string& text) {
+  if (text == "worst" || text == "worst-case") {
+    return fault::Aggregation::kWorstCase;
+  }
+  if (text == "weighted") return fault::Aggregation::kWeighted;
+  return std::nullopt;
+}
+
 std::optional<mapping::CoreGraph> builtin_app(const std::string& name) {
   if (name == "vopd") return apps::vopd();
   if (name == "mpeg4") return apps::mpeg4();
@@ -155,6 +236,8 @@ std::vector<std::string> split_list(const std::string& text) {
 struct SweepArgs {
   std::vector<std::string> objectives, routings, bandwidths, max_areas,
       searches, restarts, swap_passes, fplan_engines, fplan_sizing;
+  /// Raw --faults value; split on ',' here (named specs only in sweeps).
+  std::string faults;
   int threads = 1;
   bool show_floorplan = false;
   std::string out_dir;
@@ -244,6 +327,23 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
         options.sizing_passes = passes;
         request.floorplan_options.push_back(std::move(options));
       }
+    }
+  }
+
+  // The fault axis sweeps named specs; the aggregation mode, penalty, and
+  // sampler parameters come from the single-valued --fault-* flags and are
+  // shared by every entry.
+  if (!args.faults.empty()) {
+    for (const auto& text : split_list(args.faults)) {
+      const auto spec = parse_fault_spec(text, config.mapper.faults.spec);
+      if (!spec || spec->kind == fault::FaultSpec::Kind::kExplicit) {
+        std::cerr << "bad sweep fault spec " << text
+                  << " (sweeps take none | n1 | rand[M])\n";
+        return 2;
+      }
+      auto faults = config.mapper.faults;
+      faults.spec = *spec;
+      request.fault_sets.push_back(std::move(faults));
     }
   }
 
@@ -395,6 +495,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   std::string csv_path;
   std::string json_path;
+  std::string faults_text;
   std::vector<std::string> objectives, routings, bandwidths, max_areas,
       searches, restarts, swap_passes, fplan_engines, fplan_sizing;
 
@@ -436,6 +537,24 @@ int main(int argc, char** argv) {
         fplan_engines = split_list(need_value(i));
       } else if (arg == "--fplan-sizing-passes") {
         fplan_sizing = split_list(need_value(i));
+      } else if (arg == "--faults") {
+        // Kept raw: explicit fault specs use ',' inside one scenario, so
+        // splitting into sweep values happens only in sweep mode.
+        faults_text = need_value(i);
+      } else if (arg == "--fault-samples") {
+        config.mapper.faults.spec.num_scenarios = std::stoi(need_value(i));
+      } else if (arg == "--fault-seed") {
+        config.mapper.faults.spec.seed = std::stoull(need_value(i));
+      } else if (arg == "--fault-mode") {
+        const std::string text = need_value(i);
+        const auto mode = parse_fault_mode(text);
+        if (!mode) {
+          std::cerr << "unknown fault mode " << text << "\n";
+          return 2;
+        }
+        config.mapper.faults.aggregation = *mode;
+      } else if (arg == "--fault-penalty") {
+        config.mapper.faults.infeasible_penalty = std::stod(need_value(i));
       } else if (arg == "--bandwidth") {
         bandwidths = split_list(need_value(i));
       } else if (arg == "--w-delay") {
@@ -543,6 +662,15 @@ int main(int argc, char** argv) {
       std::cerr << "bad numeric value\n";
       return 2;
     }
+    if (!faults_text.empty()) {
+      const auto spec =
+          parse_fault_spec(faults_text, config.mapper.faults.spec);
+      if (!spec) {
+        std::cerr << "bad fault spec " << faults_text << " (try --help)\n";
+        return 2;
+      }
+      config.mapper.faults.spec = *spec;
+    }
     config.mapper.num_threads = threads;
   }
 
@@ -566,6 +694,7 @@ int main(int argc, char** argv) {
     args.swap_passes = std::move(swap_passes);
     args.fplan_engines = std::move(fplan_engines);
     args.fplan_sizing = std::move(fplan_sizing);
+    args.faults = std::move(faults_text);
     args.threads = threads;
     args.show_floorplan = show_floorplan;
     args.out_dir = config.output_directory;
@@ -578,7 +707,12 @@ int main(int argc, char** argv) {
             << " cores, " << app->total_bandwidth_mbps()
             << " MB/s) routing=" << route::to_string(config.mapper.routing)
             << " objective=" << mapping::to_string(config.mapper.objective)
-            << " link=" << config.mapper.link_bandwidth_mbps << " MB/s\n\n";
+            << " link=" << config.mapper.link_bandwidth_mbps << " MB/s";
+  if (!config.mapper.faults.empty()) {
+    std::cout << " faults=" << fault::describe(config.mapper.faults) << " ("
+              << fault::to_string(config.mapper.faults.aggregation) << ")";
+  }
+  std::cout << "\n\n";
 
   // Invalid configurations that slip past validate() (e.g. an application
   // with more cores than any topology has slots) surface as
