@@ -101,6 +101,24 @@ def main() -> int:
                   f"{fmt_ms(point['reference_ms'])} | "
                   f"{float(point['speedup']):.2f}x | "
                   f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} |")
+
+    # The distributed probe records how the sweep scales with forked worker
+    # processes against the single-process explorer; render it the same way
+    # so the fork/merge overhead trend stays visible across runners.
+    scaling = current.get("worker_scaling")
+    if scaling:
+        baseline_scaling = {point.get("workers"): point
+                            for point in baseline.get("worker_scaling", [])}
+        print("\n| workers | wall ms | speedup vs single | "
+              "baseline speedup |")
+        print("|---|---|---|---|")
+        for point in scaling:
+            old = baseline_scaling.get(point.get("workers"), {})
+            old_speedup = old.get("speedup")
+            print(f"| {point['workers']} | "
+                  f"{fmt_ms(point['ms'])} | "
+                  f"{float(point['speedup']):.2f}x | "
+                  f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} |")
     print()
     return 0
 

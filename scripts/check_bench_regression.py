@@ -35,11 +35,15 @@ import sys
 # isolated), and the fault-evaluation pair (an empty fault set leaves the
 # mapping search bit-identical; degraded re-evaluation through prebuilt
 # per-scenario BFS tables is >= 2x the from-scratch masked searches) are
-# part of the contract and must not drift as the engine gets faster.
+# part of the contract and must not drift as the engine gets faster. The
+# distributed-sweep probe adds two more: a merged multi-process report and
+# a checkpoint-resumed report must both stay bit-identical to the
+# single-process explorer.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
                   "bit_identical", "restart_never_worse", "incremental_2x",
                   "annealing_incremental", "fault_free_bit_identical",
-                  "fault_incremental_2x")
+                  "fault_incremental_2x", "merge_bit_identical",
+                  "resume_bit_identical")
 
 
 def check_pair(current_path: str, baseline_path: str,

@@ -71,7 +71,8 @@ std::string json_string(const std::string& text) {
 
 std::string exploration_report_csv(const select::ExplorationReport& report) {
   std::ostringstream out;
-  out << "point,routing,objective,search,restarts,swap_passes,fplan_engine,"
+  out << "point,shard,worker,routing,objective,search,restarts,swap_passes,"
+         "fplan_engine,"
          "fplan_sizing_passes,faults,link_bandwidth_mbps,"
          "max_area_mm2,topology,"
          "feasible,best,avg_hops,avg_latency_ns,design_area_mm2,"
@@ -84,7 +85,11 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
     for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
       const auto& candidate = result.selection.candidates[t];
       const auto& eval = candidate.result.eval;
-      out << p << "," << route::to_string(config.routing) << ","
+      out << p << ",";
+      if (result.shard_index >= 0) out << result.shard_index;
+      out << ",";
+      if (result.worker_id >= 0) out << result.worker_id;
+      out << "," << route::to_string(config.routing) << ","
           << mapping::to_string(config.objective) << ","
           << mapping::to_string(config.search) << ","
           << (config.search == mapping::SearchKind::kRestartAnnealing
@@ -123,6 +128,12 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
     const auto& result = report.results[p];
     const auto& config = result.point.config;
     out << "    {\"label\": " << json_string(result.point.label())
+        << ", \"shard\": "
+        << (result.shard_index >= 0 ? std::to_string(result.shard_index)
+                                    : std::string("null"))
+        << ", \"worker\": "
+        << (result.worker_id >= 0 ? std::to_string(result.worker_id)
+                                  : std::string("null"))
         << ", \"routing\": " << json_string(route::to_string(config.routing))
         << ", \"objective\": "
         << json_string(mapping::to_string(config.objective))

@@ -10,18 +10,22 @@ namespace sunmap::io {
 /// cell. Columns are stable and documented here rather than inferred, so
 /// the files are safe to consume programmatically:
 ///
-/// point,routing,objective,search,restarts,swap_passes,fplan_engine,
-/// fplan_sizing_passes,faults,link_bandwidth_mbps,max_area_mm2,topology,
-/// feasible,best,avg_hops,avg_latency_ns,design_area_mm2,design_power_mw,
-/// dynamic_power_mw,static_power_mw,min_bandwidth_mbps,cost,
-/// fault_scenarios,worst_fault_cost,fault_disconnected
+/// point,shard,worker,routing,objective,search,restarts,swap_passes,
+/// fplan_engine,fplan_sizing_passes,faults,link_bandwidth_mbps,
+/// max_area_mm2,topology,feasible,best,avg_hops,avg_latency_ns,
+/// design_area_mm2,design_power_mw,dynamic_power_mw,static_power_mw,
+/// min_bandwidth_mbps,cost,fault_scenarios,worst_fault_cost,
+/// fault_disconnected
 ///
 /// `best` marks the point's selected topology; an unconstrained area cap is
-/// written as the empty field. `faults` is the compact fault-set tag
-/// ("none" when the point injects no faults); `fault_scenarios` counts the
-/// materialised scenarios for that topology, `worst_fault_cost` is the
-/// worst degraded-scenario cost, and `fault_disconnected` counts scenarios
-/// that disconnected at least one commodity.
+/// written as the empty field. `shard`/`worker` are the distributed-sweep
+/// provenance of the point (which shard it belonged to, which worker
+/// process evaluated it); a point evaluated in-process leaves both empty.
+/// `faults` is the compact fault-set tag ("none" when the point injects no
+/// faults); `fault_scenarios` counts the materialised scenarios for that
+/// topology, `worst_fault_cost` is the worst degraded-scenario cost, and
+/// `fault_disconnected` counts scenarios that disconnected at least one
+/// commodity.
 std::string exploration_report_csv(const select::ExplorationReport& report);
 
 /// Structured JSON of the same report: the design-point grid with per-

@@ -24,89 +24,6 @@ std::string format_number(double value) {
   return buffer;
 }
 
-/// Best feasible candidate by strict cost comparison, in candidate order —
-/// the exact rule TopologySelector::select() applies, so per-point best
-/// indices are bit-identical to single-point runs.
-int best_candidate_index(const std::vector<TopologyCandidate>& candidates) {
-  int best = -1;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto& candidate = candidates[i];
-    if (!candidate.feasible()) continue;
-    if (best < 0 ||
-        candidate.result.eval.cost <
-            candidates[static_cast<std::size_t>(best)].result.eval.cost) {
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
-}
-
-/// Incremental per-objective winner accumulation, shared by the buffered
-/// and streaming paths: points must be fed in report (grid) order, so ties
-/// resolve to the earliest grid coordinate exactly as the buffered scan
-/// always did. Weighted costs are only comparable under one weight vector,
-/// so kWeighted gets one winner per swept weight set; the plain objectives
-/// pool across weight sets.
-class WinnerTracker {
- public:
-  WinnerTracker(const ExplorationRequest& request) {
-    const auto objectives_axis =
-        request.objectives.empty()
-            ? std::vector<mapping::Objective>{request.base.objective}
-            : request.objectives;
-    const int num_weight_sets =
-        static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
-    for (const auto objective : objectives_axis) {
-      const int groups =
-          objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
-      for (int w = 0; w < groups; ++w) {
-        const int weights_index =
-            objective == mapping::Objective::kWeighted && num_weight_sets > 1
-                ? w
-                : -1;
-        bool seen = false;
-        for (const auto& known : winners_) {
-          seen = seen || (known.objective == objective &&
-                          known.weights_index == weights_index);
-        }
-        if (!seen) {
-          ObjectiveBest best;
-          best.objective = objective;
-          best.weights_index = weights_index;
-          winners_.push_back(best);
-          best_costs_.push_back(0.0);
-        }
-      }
-    }
-  }
-
-  void consider(const PointResult& result, int point_index) {
-    for (std::size_t g = 0; g < winners_.size(); ++g) {
-      auto& best = winners_[g];
-      if (result.point.config.objective != best.objective) continue;
-      if (best.weights_index >= 0 &&
-          result.point.weights_index != best.weights_index) {
-        continue;
-      }
-      for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
-        const auto& candidate = result.selection.candidates[t];
-        if (!candidate.feasible()) continue;
-        if (!best.found() || candidate.result.eval.cost < best_costs_[g]) {
-          best.point_index = point_index;
-          best.topology_index = static_cast<int>(t);
-          best_costs_[g] = candidate.result.eval.cost;
-        }
-      }
-    }
-  }
-
-  [[nodiscard]] std::vector<ObjectiveBest> take() { return std::move(winners_); }
-
- private:
-  std::vector<ObjectiveBest> winners_;
-  std::vector<double> best_costs_;
-};
-
 /// Runs `worker` on this thread plus num_workers - 1 spawned ones and
 /// joins — the shared scaffold of the buffered and streaming sweep paths
 /// (the worker captures its own work queue and error slot).
@@ -123,6 +40,75 @@ void run_worker_pool(int num_workers, const std::function<void()>& worker) {
 }
 
 }  // namespace
+
+int best_feasible_index(const std::vector<TopologyCandidate>& candidates) {
+  int best = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& candidate = candidates[i];
+    if (!candidate.feasible()) continue;
+    if (best < 0 ||
+        candidate.result.eval.cost <
+            candidates[static_cast<std::size_t>(best)].result.eval.cost) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+WinnerTracker::WinnerTracker(const ExplorationRequest& request) {
+  const auto objectives_axis =
+      request.objectives.empty()
+          ? std::vector<mapping::Objective>{request.base.objective}
+          : request.objectives;
+  const int num_weight_sets =
+      static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
+  for (const auto objective : objectives_axis) {
+    const int groups =
+        objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
+    for (int w = 0; w < groups; ++w) {
+      const int weights_index =
+          objective == mapping::Objective::kWeighted && num_weight_sets > 1
+              ? w
+              : -1;
+      bool seen = false;
+      for (const auto& known : winners_) {
+        seen = seen || (known.objective == objective &&
+                        known.weights_index == weights_index);
+      }
+      if (!seen) {
+        ObjectiveBest best;
+        best.objective = objective;
+        best.weights_index = weights_index;
+        winners_.push_back(best);
+        best_costs_.push_back(0.0);
+      }
+    }
+  }
+}
+
+void WinnerTracker::consider(const PointResult& result, int point_index) {
+  for (std::size_t g = 0; g < winners_.size(); ++g) {
+    auto& best = winners_[g];
+    if (result.point.config.objective != best.objective) continue;
+    if (best.weights_index >= 0 &&
+        result.point.weights_index != best.weights_index) {
+      continue;
+    }
+    for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+      const auto& candidate = result.selection.candidates[t];
+      if (!candidate.feasible()) continue;
+      if (!best.found() || candidate.result.eval.cost < best_costs_[g]) {
+        best.point_index = point_index;
+        best.topology_index = static_cast<int>(t);
+        best_costs_[g] = candidate.result.eval.cost;
+      }
+    }
+  }
+}
+
+std::vector<ObjectiveBest> WinnerTracker::take() {
+  return std::move(winners_);
+}
 
 std::size_t ExplorationRequest::num_points() const {
   const auto axis = [](std::size_t n) { return n == 0 ? 1 : n; };
@@ -295,10 +281,48 @@ ExplorationReport DesignSpaceExplorer::explore(
     throw std::invalid_argument(
         "DesignSpaceExplorer: num_threads must be >= 1");
   }
+  const bool sub_range =
+      request.point_begin != 0 ||
+      request.point_end != std::numeric_limits<std::size_t>::max();
+  if (sub_range && !request.on_point) {
+    throw std::invalid_argument(
+        "DesignSpaceExplorer: point sub-ranges require on_point streaming");
+  }
+  if (request.point_begin > request.point_end) {
+    throw std::invalid_argument(
+        "DesignSpaceExplorer: point_begin exceeds point_end");
+  }
 
   const mapping::CoreGraph& app = *request.app;
   const auto& library = *request.library;
   auto points = expand(request);
+
+  // Bind (or verify) the externally-owned context pool. The pool's
+  // contexts borrow the app and library, so serving a different pair with
+  // them would evaluate the wrong problem; fail loudly instead.
+  ExplorerContextPool local_pool;
+  ExplorerContextPool& pool =
+      request.context_pool != nullptr ? *request.context_pool : local_pool;
+  if (pool.bound_app == nullptr) {
+    pool.bound_app = &app;
+    pool.bound_topologies.clear();
+    for (const auto& topology : library) {
+      pool.bound_topologies.push_back(topology.get());
+    }
+  } else {
+    bool same = pool.bound_app == &app &&
+                pool.bound_topologies.size() == library.size();
+    for (std::size_t t = 0; same && t < library.size(); ++t) {
+      same = pool.bound_topologies[t] == library[t].get();
+    }
+    if (!same) {
+      throw std::invalid_argument(
+          "DesignSpaceExplorer: context pool is bound to a different "
+          "app/library");
+    }
+  }
+  pool.contexts.resize(library.size());
+  pool.scratches.resize(library.size());
 
   // Centralised validation of every expanded configuration before any work
   // runs, so a bad axis value fails the whole request up front.
@@ -330,17 +354,17 @@ ExplorationReport DesignSpaceExplorer::explore(
     // re-bound per design point; a barrier per point lets the callback fire
     // in exact grid order with only O(|library|) results in memory. Each
     // context still experiences the identical build-then-rebind sequence of
-    // the buffered path, so streamed results are bit-identical to it.
+    // the buffered path, so streamed results are bit-identical to it. The
+    // contexts/scratches live in the (possibly caller-owned) pool.
     const std::size_t num_topologies = library.size();
-    std::vector<std::unique_ptr<mapping::EvalContext>> contexts(
-        num_topologies);
-    std::vector<mapping::EvalScratch> scratches(num_topologies);
+    const std::size_t begin = std::min(request.point_begin, points.size());
+    const std::size_t end = std::min(request.point_end, points.size());
     PointResult current;
     current.selection.candidates.resize(num_topologies);
     for (std::size_t t = 0; t < num_topologies; ++t) {
       current.selection.candidates[t].topology = library[t].get();
     }
-    for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t p = begin; p < end; ++p) {
       current.point = points[p];
       if (num_topologies > 0) {
         std::atomic<std::size_t> next_topology{0};
@@ -351,14 +375,14 @@ ExplorationReport DesignSpaceExplorer::explore(
             const std::size_t t = next_topology.fetch_add(1);
             if (t >= num_topologies) break;
             try {
-              if (contexts[t] == nullptr) {
-                contexts[t] = std::make_unique<mapping::EvalContext>(
+              if (pool.contexts[t] == nullptr) {
+                pool.contexts[t] = std::make_unique<mapping::EvalContext>(
                     app, *library[t], points[p].config, mapper.library());
               } else {
-                contexts[t]->rebind(points[p].config, mapper.library());
+                pool.contexts[t]->rebind(points[p].config, mapper.library());
               }
               current.selection.candidates[t].result =
-                  mapper.map(*contexts[t], scratches[t]);
+                  mapper.map(*pool.contexts[t], pool.scratches[t]);
             } catch (...) {
               std::lock_guard<std::mutex> lock(error_mutex);
               if (!first_error) first_error = std::current_exception();
@@ -374,7 +398,7 @@ ExplorationReport DesignSpaceExplorer::explore(
         if (first_error) std::rethrow_exception(first_error);
       }
       current.selection.best_index =
-          best_candidate_index(current.selection.candidates);
+          best_feasible_index(current.selection.candidates);
       absorb(current, static_cast<int>(p));
       request.on_point(current);
     }
@@ -406,12 +430,18 @@ ExplorationReport DesignSpaceExplorer::explore(
         const std::size_t t = next_topology.fetch_add(1);
         if (t >= library.size()) break;
         try {
-          mapping::EvalContext ctx = mapper.make_context(app, *library[t]);
+          if (pool.contexts[t] == nullptr) {
+            pool.contexts[t] = std::make_unique<mapping::EvalContext>(
+                app, *library[t], points.front().config, mapper.library());
+          } else {
+            pool.contexts[t]->rebind(points.front().config, mapper.library());
+          }
+          mapping::EvalContext& ctx = *pool.contexts[t];
           // One scratch per topology, surviving the whole grid: it carries
           // the incremental floorplan session, which rebind() keeps alive
           // across every design point that shares the floorplan options and
           // technology (the session epoch only moves when those do).
-          mapping::EvalScratch scratch;
+          mapping::EvalScratch& scratch = pool.scratches[t];
           for (std::size_t p = 0; p < points.size(); ++p) {
             if (p > 0) ctx.rebind(points[p].config, mapper.library());
             report.results[p].selection.candidates[t].result =
@@ -438,7 +468,7 @@ ExplorationReport DesignSpaceExplorer::explore(
   for (std::size_t p = 0; p < report.results.size(); ++p) {
     auto& result = report.results[p];
     result.selection.best_index =
-        best_candidate_index(result.selection.candidates);
+        best_feasible_index(result.selection.candidates);
     absorb(result, static_cast<int>(p));
   }
   report.winners = tracker.take();

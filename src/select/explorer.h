@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "mapping/eval_context.h"
 #include "mapping/mapper.h"
 #include "select/selector.h"
 #include "topo/library.h"
@@ -12,6 +15,28 @@
 namespace sunmap::select {
 
 struct PointResult;
+
+/// Externally-owned per-topology evaluation contexts and scratches, indexed
+/// like the request's library. When a request carries one, explore() draws
+/// its contexts from the pool instead of building fresh ones — contexts
+/// found in the pool are rebind()-ed, missing entries are built and left in
+/// the pool — so consecutive explore() calls over the same (app, library)
+/// skip the per-topology construction entirely. This is what the sweep
+/// daemon keeps alive across submitted requests and what a sweep worker
+/// reuses across its assigned shards.
+///
+/// A pool is bound to the first (app, library) it serves; handing it to a
+/// request over a different app or library is an error (the contexts
+/// borrow both). The pool must not be shared between concurrent explore()
+/// calls.
+struct ExplorerContextPool {
+  std::vector<std::unique_ptr<mapping::EvalContext>> contexts;
+  std::vector<mapping::EvalScratch> scratches;
+  /// Identity of the (app, library) the pool's contexts were built for;
+  /// set on first use, verified on every subsequent one.
+  const mapping::CoreGraph* bound_app = nullptr;
+  std::vector<const topo::Topology*> bound_topologies;
+};
 
 /// A batched design-space exploration: one application, one topology
 /// library, and a grid of mapper-configuration variations. Every non-empty
@@ -82,6 +107,22 @@ struct ExplorationRequest {
   /// explore() caller's thread.
   std::function<void(const PointResult&)> on_point;
 
+  /// Half-open sub-range [point_begin, point_end) of the expanded grid to
+  /// evaluate — the unit a sweep shard hands a worker process. The grid
+  /// coordinates and rebind sequence of the covered points are identical to
+  /// a full run (rebind() is equivalent to fresh construction by contract),
+  /// so the streamed results of a sub-range are bit-identical to the same
+  /// points of a whole-grid explore(). Only the streaming (on_point) path
+  /// supports sub-ranges; explore() throws otherwise. point_end is clamped
+  /// to num_points().
+  std::size_t point_begin = 0;
+  std::size_t point_end = std::numeric_limits<std::size_t>::max();
+
+  /// Optional externally-owned context/scratch pool (see
+  /// ExplorerContextPool). nullptr — the default — keeps the contexts
+  /// internal to the explore() call, exactly as before.
+  ExplorerContextPool* context_pool = nullptr;
+
   /// Number of design points the grid expands to.
   [[nodiscard]] std::size_t num_points() const;
 };
@@ -115,7 +156,21 @@ struct DesignPoint {
 struct PointResult {
   DesignPoint point;
   SelectionReport selection;
+  /// Provenance of a distributed sweep (sweep/coordinator.h): which shard
+  /// the point belonged to and which worker process produced it. -1 — the
+  /// default — marks a point evaluated in-process by the explorer itself;
+  /// io::exploration_report_csv/json render that as an empty/null cell.
+  int shard_index = -1;
+  int worker_id = -1;
 };
+
+/// Best feasible candidate of one point by strict cost comparison, in
+/// candidate order — the exact rule TopologySelector::select() applies
+/// (and SelectionReport::best_index holds), exposed so the sweep merge
+/// layer re-derives best indices from streamed scalars bit-identically.
+/// -1 when no candidate is feasible.
+[[nodiscard]] int best_feasible_index(
+    const std::vector<TopologyCandidate>& candidates);
 
 /// The best feasible (point, topology) cell for one swept objective;
 /// point_index < 0 when no cell under that objective was feasible. Costs
@@ -130,6 +185,29 @@ struct ObjectiveBest {
   int topology_index = -1;
 
   [[nodiscard]] bool found() const { return point_index >= 0; }
+};
+
+/// Incremental per-objective winner accumulation, shared by the buffered
+/// explore() path, the streaming path, and the distributed sweep merge
+/// layer: points must be fed in report (grid) order, so ties resolve to the
+/// earliest grid coordinate exactly as a buffered scan would. Weighted
+/// costs are only comparable under one weight vector, so kWeighted gets one
+/// winner per swept weight set; the plain objectives pool across weight
+/// sets.
+class WinnerTracker {
+ public:
+  explicit WinnerTracker(const ExplorationRequest& request);
+
+  /// Folds one point's candidates in, by its grid index. Feed strictly in
+  /// increasing point_index order for buffered-identical tie-breaking.
+  void consider(const PointResult& result, int point_index);
+
+  /// The accumulated winners, one entry per distinct objective group.
+  [[nodiscard]] std::vector<ObjectiveBest> take();
+
+ private:
+  std::vector<ObjectiveBest> winners_;
+  std::vector<double> best_costs_;
 };
 
 /// Outcome of a batched exploration. `results` is ordered deterministically

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "select/explorer.h"
+#include "sweep/worker.h"
+
+namespace sunmap::sweep {
+
+/// How run_sweep() distributes one exploration request.
+struct SweepOptions {
+  /// Worker child processes forked off the coordinator. Each binds its own
+  /// per-topology context pool; results stream back over pipes.
+  int num_workers = 2;
+  /// Shards the grid is partitioned into; 0 (default) means one per
+  /// worker. More shards than workers gives finer-grained work stealing
+  /// and smaller re-queued ranges after a crash.
+  int num_shards = 0;
+  /// Append-only journal of completed points (see checkpoint.h). Empty
+  /// disables checkpointing.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path instead of starting fresh: completed
+  /// points are folded in from the journal and only the remainder is
+  /// assigned to workers. The journal's request fingerprint must match.
+  bool resume = false;
+  /// Periodic progress lines on stderr (points done/total, rate, ETA,
+  /// per-worker throughput).
+  bool progress = false;
+  /// Seconds between progress lines.
+  double progress_interval_s = 1.0;
+  /// Free-form tag recorded in a fresh journal's header.
+  std::string description;
+  /// Failure-injection knobs for the crash/kill tests (inherited by the
+  /// workers at fork time).
+  WorkerHooks hooks;
+};
+
+/// What a sweep did, alongside the merged report.
+struct SweepStats {
+  std::size_t total_points = 0;
+  /// Points evaluated by workers in THIS run — a resumed sweep evaluates
+  /// only total_points - points_from_checkpoint of them, which is how the
+  /// kill/resume test asserts completed points were not re-evaluated.
+  std::size_t points_evaluated = 0;
+  std::size_t points_from_checkpoint = 0;
+  int workers_spawned = 0;
+  int worker_crashes = 0;
+  int shards_requeued = 0;
+  /// True when request_stop() ended the sweep early; the report then only
+  /// covers the absorbed prefix and the checkpoint holds every completed
+  /// point.
+  bool interrupted = false;
+  std::uint64_t fingerprint = 0;
+};
+
+struct SweepResult {
+  select::ExplorationReport report;
+  SweepStats stats;
+};
+
+/// Runs `request` across worker processes and merges the streamed scalars
+/// into a report that is bit-identical (winners, Pareto frontier, per-point
+/// scalars in grid order) to single-process DesignSpaceExplorer::explore()
+/// at any shard count and worker interleaving. Merged evaluations carry
+/// scalars and mappings only — floorplan geometry and route sets stay in
+/// the workers — so ExplorationReport::winner() floorplan rendering is a
+/// single-process-mode feature.
+///
+/// Worker crashes re-queue the lost remainder of the shard once; a second
+/// death on the same range throws std::runtime_error naming the shard and
+/// point range. A checkpoint fingerprint mismatch throws std::runtime_error
+/// naming both fingerprints. request.on_point, when set, fires in strict
+/// grid order as the merge cursor advances.
+[[nodiscard]] SweepResult run_sweep(const select::ExplorationRequest& request,
+                                    const SweepOptions& options);
+
+/// Async-signal-safe stop request: the coordinator finishes absorbing what
+/// already arrived, flushes the checkpoint journal, reaps its workers, and
+/// returns with stats.interrupted set. Wire it to SIGINT in a CLI handler.
+void request_stop();
+[[nodiscard]] bool stop_requested();
+void reset_stop();
+
+}  // namespace sunmap::sweep

@@ -1,0 +1,323 @@
+#include "sweep/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/apps.h"
+#include "io/exploration_io.h"
+#include "select/explorer.h"
+#include "sweep/coordinator.h"
+#include "topo/library.h"
+
+namespace sunmap::sweep {
+
+namespace {
+
+std::optional<mapping::CoreGraph> builtin_app(const std::string& name) {
+  if (name == "vopd") return apps::vopd();
+  if (name == "mpeg4") return apps::mpeg4();
+  if (name == "dsp") return apps::dsp_filter();
+  if (name == "netproc16") return apps::netproc16();
+  if (name == "pip") return apps::pip();
+  if (name == "mwd") return apps::mwd();
+  return std::nullopt;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+std::optional<mapping::Objective> parse_objective(const std::string& text) {
+  if (text == "delay") return mapping::Objective::kMinDelay;
+  if (text == "area") return mapping::Objective::kMinArea;
+  if (text == "power") return mapping::Objective::kMinPower;
+  if (text == "weighted") return mapping::Objective::kWeighted;
+  return std::nullopt;
+}
+
+std::optional<route::RoutingKind> parse_routing(const std::string& text) {
+  for (route::RoutingKind kind : route::kAllRoutingKinds) {
+    if (text == route::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<mapping::SearchKind> parse_search(const std::string& text) {
+  if (text == "greedy") return mapping::SearchKind::kGreedySwaps;
+  if (text == "sa") return mapping::SearchKind::kAnnealing;
+  if (text == "rsa") return mapping::SearchKind::kRestartAnnealing;
+  return std::nullopt;
+}
+
+/// One resident (application, library) pair with its live context pool.
+/// The app and library are heap-stable, so the pool's identity binding
+/// (ExplorerContextPool::bound_app/bound_topologies) holds across requests.
+struct PoolEntry {
+  std::unique_ptr<mapping::CoreGraph> app;
+  std::vector<std::unique_ptr<topo::Topology>> library;
+  select::ExplorerContextPool pool;
+};
+
+/// Serves one parsed request against the resident pools; throws
+/// std::runtime_error with a client-facing message on bad input.
+std::string handle_request(
+    const std::map<std::string, std::string>& fields,
+    std::map<std::string, PoolEntry>& pools) {
+  const auto app_it = fields.find("app");
+  if (app_it == fields.end()) {
+    throw std::runtime_error("request needs app=<name>");
+  }
+  const bool extensions =
+      fields.count("extensions") != 0 && fields.at("extensions") == "1";
+  const std::string pool_key =
+      app_it->second + (extensions ? "+ext" : "");
+  auto entry_it = pools.find(pool_key);
+  if (entry_it == pools.end()) {
+    auto app = builtin_app(app_it->second);
+    if (!app) {
+      throw std::runtime_error("unknown app " + app_it->second);
+    }
+    PoolEntry entry;
+    entry.app = std::make_unique<mapping::CoreGraph>(std::move(*app));
+    entry.library =
+        topo::standard_library(entry.app->num_cores(), extensions);
+    entry_it = pools.emplace(pool_key, std::move(entry)).first;
+  }
+  PoolEntry& entry = entry_it->second;
+
+  select::ExplorationRequest request;
+  request.app = entry.app.get();
+  request.library = &entry.library;
+  request.context_pool = &entry.pool;
+  const auto field = [&](const char* key) -> std::string {
+    const auto it = fields.find(key);
+    return it != fields.end() ? it->second : std::string();
+  };
+  for (const auto& text : split_list(field("objectives"))) {
+    const auto objective = parse_objective(text);
+    if (!objective) throw std::runtime_error("unknown objective " + text);
+    request.objectives.push_back(*objective);
+  }
+  for (const auto& text : split_list(field("routings"))) {
+    const auto kind = parse_routing(text);
+    if (!kind) throw std::runtime_error("unknown routing " + text);
+    request.routings.push_back(*kind);
+  }
+  for (const auto& text : split_list(field("searches"))) {
+    const auto kind = parse_search(text);
+    if (!kind) throw std::runtime_error("unknown search " + text);
+    request.searches.push_back(*kind);
+  }
+  try {
+    for (const auto& text : split_list(field("bandwidths"))) {
+      request.link_bandwidths_mbps.push_back(std::stod(text));
+    }
+    for (const auto& text : split_list(field("areas"))) {
+      request.max_areas_mm2.push_back(std::stod(text));
+    }
+    for (const auto& text : split_list(field("restarts"))) {
+      request.restart_counts.push_back(std::stoi(text));
+    }
+    for (const auto& text : split_list(field("swap_passes"))) {
+      request.swap_passes.push_back(std::stoi(text));
+    }
+    if (!field("threads").empty()) {
+      request.num_threads = std::stoi(field("threads"));
+    }
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error("bad numeric list value");
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("bad numeric list value");
+  }
+
+  select::DesignSpaceExplorer explorer;
+  return io::exploration_report_json(explorer.explore(request));
+}
+
+std::map<std::string, std::string> parse_fields(const std::string& text) {
+  std::map<std::string, std::string> fields;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("bad request line (want key=value): " + line);
+    }
+    fields[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  if (fields.empty()) throw std::runtime_error("empty request");
+  return fields;
+}
+
+void write_all_fd(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // Client gone; nothing useful left to do with this conn.
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads the whole request: until a blank line terminator or EOF.
+std::string read_request(int fd) {
+  std::string text;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    text.append(buffer, static_cast<std::size_t>(n));
+    if (text.find("\n\n") != std::string::npos) break;
+  }
+  return text;
+}
+
+}  // namespace
+
+DaemonStats serve(const DaemonOptions& options) {
+  if (options.socket_path.empty()) {
+    throw std::runtime_error("sweep daemon: socket path is empty");
+  }
+  sockaddr_un address{};
+  if (options.socket_path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("sweep daemon: socket path too long: " +
+                             options.socket_path);
+  }
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    throw std::runtime_error("sweep daemon: socket() failed");
+  }
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, options.socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  ::unlink(options.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd, 8) != 0) {
+    ::close(listen_fd);
+    throw std::runtime_error("sweep daemon: cannot bind " +
+                             options.socket_path + ": " +
+                             std::strerror(errno));
+  }
+
+  DaemonStats stats;
+  std::map<std::string, PoolEntry> pools;
+  while (!stop_requested() &&
+         (options.max_requests < 0 ||
+          stats.requests_served + stats.requests_failed <
+              options.max_requests)) {
+    pollfd listener{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&listener, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::string response;
+    try {
+      const auto fields = parse_fields(read_request(conn));
+      const std::string json = handle_request(fields, pools);
+      response = "OK " + std::to_string(json.size()) + "\n" + json;
+      ++stats.requests_served;
+      if (options.verbose) {
+        std::fprintf(stderr, "sweep daemon: served request %d (%zu bytes)\n",
+                     stats.requests_served, json.size());
+      }
+    } catch (const std::exception& e) {
+      response = std::string("ERR ") + e.what() + "\n";
+      ++stats.requests_failed;
+      if (options.verbose) {
+        std::fprintf(stderr, "sweep daemon: request failed: %s\n", e.what());
+      }
+    }
+    write_all_fd(conn, response.data(), response.size());
+    ::close(conn);
+  }
+  ::close(listen_fd);
+  ::unlink(options.socket_path.c_str());
+  return stats;
+}
+
+std::string call_daemon(const std::string& socket_path,
+                        const std::string& request_text) {
+  sockaddr_un address{};
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("sweep daemon: socket path too long: " +
+                             socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("sweep daemon: socket() failed");
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("sweep daemon: cannot connect to " +
+                             socket_path + ": " + std::strerror(errno));
+  }
+  std::string text = request_text;
+  if (text.size() < 2 || text.substr(text.size() - 2) != "\n\n") {
+    if (!text.empty() && text.back() != '\n') text += '\n';
+    text += '\n';
+  }
+  write_all_fd(fd, text.data(), text.size());
+  ::shutdown(fd, SHUT_WR);
+
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (response.rfind("OK ", 0) == 0) {
+    const auto newline = response.find('\n');
+    if (newline == std::string::npos) {
+      throw std::runtime_error("sweep daemon: malformed OK response");
+    }
+    return response.substr(newline + 1);
+  }
+  if (response.rfind("ERR ", 0) == 0) {
+    auto message = response.substr(4);
+    while (!message.empty() &&
+           (message.back() == '\n' || message.back() == '\r')) {
+      message.pop_back();
+    }
+    throw std::runtime_error("sweep daemon: " + message);
+  }
+  throw std::runtime_error("sweep daemon: malformed response");
+}
+
+}  // namespace sunmap::sweep

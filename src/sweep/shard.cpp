@@ -1,0 +1,30 @@
+#include "sweep/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sunmap::sweep {
+
+std::vector<Shard> plan_shards(std::size_t num_points, int num_shards) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("plan_shards: num_shards must be >= 1");
+  }
+  std::vector<Shard> shards;
+  if (num_points == 0) return shards;
+  const std::size_t count =
+      std::min<std::size_t>(static_cast<std::size_t>(num_shards), num_points);
+  const std::size_t base = num_points / count;
+  const std::size_t extra = num_points % count;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    Shard shard;
+    shard.index = static_cast<int>(s);
+    shard.begin = begin;
+    shard.end = begin + base + (s < extra ? 1 : 0);
+    begin = shard.end;
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+}  // namespace sunmap::sweep

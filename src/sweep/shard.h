@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sunmap::sweep {
+
+/// One contiguous slice [begin, end) of the deterministic design-point
+/// grid — the unit of work a coordinator hands a worker process. Shards
+/// partition the grid by point index, so the set of shards is a function of
+/// (num_points, num_shards) alone and independent of the axis sizes that
+/// produced the grid.
+struct Shard {
+  int index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Partitions [0, num_points) into at most `num_shards` contiguous,
+/// non-empty shards covering every point exactly once. Sizes differ by at
+/// most one (the first `num_points % num_shards` shards get the extra
+/// point), so any shard count balances within a point. Fewer shards than
+/// requested come back when the grid has fewer points than shards; an empty
+/// grid yields no shards. Throws std::invalid_argument for num_shards < 1.
+[[nodiscard]] std::vector<Shard> plan_shards(std::size_t num_points,
+                                             int num_shards);
+
+}  // namespace sunmap::sweep

@@ -478,9 +478,12 @@ TEST(ExplorationIo, CsvHasOneRowPerCell) {
   std::size_t rows = 0;
   for (char c : csv) rows += c == '\n' ? 1 : 0;
   EXPECT_EQ(rows, 1 + report.results.size() * library.size());
-  EXPECT_NE(csv.find("point,routing,objective"), std::string::npos);
+  EXPECT_NE(csv.find("point,shard,worker,routing,objective"),
+            std::string::npos);
   EXPECT_NE(csv.find("swap_passes,fplan_engine,fplan_sizing_passes"),
             std::string::npos);
+  // In-process points carry no distributed provenance: empty cells.
+  EXPECT_NE(csv.find("0,,,"), std::string::npos);
   EXPECT_NE(csv.find(",lp,"), std::string::npos);
   EXPECT_NE(csv.find("min-delay"), std::string::npos);
   EXPECT_NE(csv.find("mesh"), std::string::npos);
@@ -501,6 +504,8 @@ TEST(ExplorationIo, JsonContainsPointsWinnersPareto) {
   EXPECT_NE(json.find("\"winners\""), std::string::npos);
   EXPECT_NE(json.find("\"pareto\""), std::string::npos);
   EXPECT_NE(json.find("\"objective\": \"min-delay\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"worker\": null"), std::string::npos);
   EXPECT_NE(json.find("\"swap_passes\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"fplan_engine\": \"lp\""), std::string::npos);
   EXPECT_NE(json.find("\"fplan_sizing_passes\": 2"), std::string::npos);

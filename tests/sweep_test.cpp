@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.h"
+#include "io/exploration_io.h"
+#include "mapping/eval_context.h"
+#include "select/explorer.h"
+#include "sweep/coordinator.h"
+#include "sweep/daemon.h"
+#include "sweep/shard.h"
+#include "sweep/wire.h"
+#include "topo/library.h"
+
+namespace sunmap::sweep {
+namespace {
+
+select::ExplorationRequest figure_request(
+    const mapping::CoreGraph& app,
+    const std::vector<std::unique_ptr<topo::Topology>>& library) {
+  select::ExplorationRequest request;
+  request.app = &app;
+  request.library = &library;
+  request.objectives = {mapping::Objective::kMinDelay,
+                        mapping::Objective::kMinArea,
+                        mapping::Objective::kMinPower};
+  request.routings.assign(std::begin(route::kAllRoutingKinds),
+                          std::end(route::kAllRoutingKinds));
+  return request;
+}
+
+/// Bit-identity over everything a merged report carries: per-point scalars
+/// and mappings in grid order, best indices, winners, and the Pareto
+/// frontier. Exact double comparison throughout — the invariant is
+/// bit-identical, not approximately equal.
+void expect_merged_identical(const select::ExplorationReport& reference,
+                             const select::ExplorationReport& merged,
+                             const std::string& label) {
+  ASSERT_EQ(reference.results.size(), merged.results.size()) << label;
+  for (std::size_t p = 0; p < reference.results.size(); ++p) {
+    const auto& a = reference.results[p];
+    const auto& b = merged.results[p];
+    EXPECT_EQ(a.selection.best_index, b.selection.best_index)
+        << label << " point " << p;
+    ASSERT_EQ(a.selection.candidates.size(), b.selection.candidates.size());
+    for (std::size_t t = 0; t < a.selection.candidates.size(); ++t) {
+      const auto& ca = a.selection.candidates[t];
+      const auto& cb = b.selection.candidates[t];
+      const std::string cell =
+          label + " point " + std::to_string(p) + " topology " +
+          std::to_string(t);
+      EXPECT_EQ(ca.topology->name(), cb.topology->name()) << cell;
+      EXPECT_EQ(ca.result.core_to_slot, cb.result.core_to_slot) << cell;
+      EXPECT_EQ(ca.result.evaluated_mappings, cb.result.evaluated_mappings)
+          << cell;
+      EXPECT_EQ(ca.result.pruned_mappings, cb.result.pruned_mappings)
+          << cell;
+      const auto& ea = ca.result.eval;
+      const auto& eb = cb.result.eval;
+      EXPECT_EQ(ea.bandwidth_feasible, eb.bandwidth_feasible) << cell;
+      EXPECT_EQ(ea.area_feasible, eb.area_feasible) << cell;
+      EXPECT_EQ(ea.max_link_load_mbps, eb.max_link_load_mbps) << cell;
+      EXPECT_EQ(ea.avg_switch_hops, eb.avg_switch_hops) << cell;
+      EXPECT_EQ(ea.avg_path_latency_ns, eb.avg_path_latency_ns) << cell;
+      EXPECT_EQ(ea.design_area_mm2, eb.design_area_mm2) << cell;
+      EXPECT_EQ(ea.design_power_mw, eb.design_power_mw) << cell;
+      EXPECT_EQ(ea.dynamic_power_mw, eb.dynamic_power_mw) << cell;
+      EXPECT_EQ(ea.static_power_mw, eb.static_power_mw) << cell;
+      EXPECT_EQ(ea.switch_area_mm2, eb.switch_area_mm2) << cell;
+      EXPECT_EQ(ea.cost, eb.cost) << cell;
+      EXPECT_EQ(ea.worst_fault_cost, eb.worst_fault_cost) << cell;
+      EXPECT_EQ(ea.infeasible_fault_scenarios,
+                eb.infeasible_fault_scenarios)
+          << cell;
+      EXPECT_EQ(ea.fault_outcomes.size(), eb.fault_outcomes.size()) << cell;
+    }
+  }
+  ASSERT_EQ(reference.winners.size(), merged.winners.size()) << label;
+  for (std::size_t w = 0; w < reference.winners.size(); ++w) {
+    EXPECT_EQ(reference.winners[w].objective, merged.winners[w].objective);
+    EXPECT_EQ(reference.winners[w].weights_index,
+              merged.winners[w].weights_index);
+    EXPECT_EQ(reference.winners[w].point_index, merged.winners[w].point_index)
+        << label << " winner " << w;
+    EXPECT_EQ(reference.winners[w].topology_index,
+              merged.winners[w].topology_index)
+        << label << " winner " << w;
+  }
+  ASSERT_EQ(reference.pareto.size(), merged.pareto.size()) << label;
+  for (std::size_t i = 0; i < reference.pareto.size(); ++i) {
+    EXPECT_EQ(reference.pareto[i].area_mm2, merged.pareto[i].area_mm2);
+    EXPECT_EQ(reference.pareto[i].power_mw, merged.pareto[i].power_mw);
+  }
+}
+
+TEST(ShardPlanner, PartitionsContiguouslyAndBalanced) {
+  const auto shards = plan_shards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 4u);
+  EXPECT_EQ(shards[1].begin, 4u);
+  EXPECT_EQ(shards[1].end, 7u);
+  EXPECT_EQ(shards[2].begin, 7u);
+  EXPECT_EQ(shards[2].end, 10u);
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 3u);
+    EXPECT_LE(shard.size(), 4u);
+  }
+}
+
+TEST(ShardPlanner, ClampsToGridAndRejectsBadCounts) {
+  EXPECT_EQ(plan_shards(2, 7).size(), 2u);  // Never an empty shard.
+  EXPECT_TRUE(plan_shards(0, 3).empty());
+  EXPECT_THROW(plan_shards(5, 0), std::invalid_argument);
+  const auto one = plan_shards(5, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0u);
+  EXPECT_EQ(one[0].end, 5u);
+}
+
+TEST(Wire, PointRecordRoundTripsExactly) {
+  PointRecord record;
+  record.point_index = 42;
+  record.shard_index = 3;
+  record.worker_id = 1;
+  CandidateScalars scalars;
+  scalars.bandwidth_feasible = true;
+  scalars.cost = 4.9445597092556772;  // A real probe cost, full precision.
+  scalars.avg_switch_hops = 1.0 / 3.0;
+  scalars.design_area_mm2 = 73.04;
+  scalars.evaluated_mappings = 4033;
+  scalars.pruned_mappings = 3981;
+  scalars.core_to_slot = {3, 1, 0, 2, -1};
+  record.candidates = {scalars, CandidateScalars{}};
+
+  const auto bytes = encode_point_record(record);
+  const auto decoded = decode_point_record(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.point_index, 42u);
+  EXPECT_EQ(decoded.shard_index, 3);
+  EXPECT_EQ(decoded.worker_id, 1);
+  ASSERT_EQ(decoded.candidates.size(), 2u);
+  EXPECT_EQ(decoded.candidates[0].cost, scalars.cost);
+  EXPECT_EQ(decoded.candidates[0].avg_switch_hops,
+            scalars.avg_switch_hops);
+  EXPECT_EQ(decoded.candidates[0].core_to_slot, scalars.core_to_slot);
+  EXPECT_EQ(decoded.candidates[0].evaluated_mappings, 4033);
+}
+
+TEST(Wire, DecodeRejectsTruncatedPayload) {
+  PointRecord record;
+  record.candidates.resize(1);
+  auto bytes = encode_point_record(record);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_point_record(bytes.data(), bytes.size()),
+               std::runtime_error);
+}
+
+TEST(Sweep, MergedReportBitIdenticalAtEveryShardCount) {
+  // Two figure workloads (the paper's VOPD and MWD graphs), shard counts
+  // {1, 2, 3, 7} — the subsystem's core invariant from ISSUE/ROADMAP.
+  struct Workload {
+    const char* name;
+    mapping::CoreGraph app;
+  };
+  Workload workloads[] = {{"vopd", apps::vopd()}, {"mwd", apps::mwd()}};
+  for (auto& workload : workloads) {
+    const auto library = topo::standard_library(workload.app.num_cores());
+    const auto request = figure_request(workload.app, library);
+    select::DesignSpaceExplorer explorer;
+    const auto reference = explorer.explore(request);
+    for (const int shards : {1, 2, 3, 7}) {
+      SweepOptions options;
+      options.num_workers = 2;
+      options.num_shards = shards;
+      const auto result = run_sweep(request, options);
+      EXPECT_EQ(result.stats.points_evaluated, reference.results.size());
+      EXPECT_EQ(result.stats.worker_crashes, 0);
+      expect_merged_identical(
+          reference, result.report,
+          std::string(workload.name) + " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(Sweep, ProvenanceColumnsRecordShardAndWorker) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto request = figure_request(app, library);
+  SweepOptions options;
+  options.num_workers = 2;
+  options.num_shards = 3;
+  const auto result = run_sweep(request, options);
+  for (const auto& point : result.report.results) {
+    EXPECT_GE(point.shard_index, 0);
+    EXPECT_LT(point.shard_index, 3);
+    EXPECT_GE(point.worker_id, 0);
+  }
+  const auto csv = io::exploration_report_csv(result.report);
+  EXPECT_NE(csv.find("point,shard,worker,routing"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,"), std::string::npos);
+  const auto json = io::exploration_report_json(result.report);
+  EXPECT_NE(json.find("\"shard\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("\"shard\": null"), std::string::npos);
+}
+
+TEST(Sweep, WorkerCrashRequeuesRemainderOnce) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto request = figure_request(app, library);
+  select::DesignSpaceExplorer explorer;
+  const auto reference = explorer.explore(request);
+
+  SweepOptions options;
+  options.num_workers = 2;
+  options.num_shards = 2;
+  options.hooks.crash_at_point = 2;  // Mid-shard, not a boundary.
+  const auto result = run_sweep(request, options);
+  EXPECT_EQ(result.stats.worker_crashes, 1);
+  EXPECT_EQ(result.stats.shards_requeued, 1);
+  EXPECT_GT(result.stats.workers_spawned, 2);
+  expect_merged_identical(reference, result.report, "after crash recovery");
+}
+
+TEST(Sweep, PersistentCrashFailsWithNamedError) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  const auto request = figure_request(app, library);
+  SweepOptions options;
+  options.num_workers = 2;
+  options.num_shards = 2;
+  options.hooks.crash_at_point = 2;
+  options.hooks.crash_persistent = true;
+  try {
+    (void)run_sweep(request, options);
+    FAIL() << "expected a named double-death error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("died twice"), std::string::npos) << what;
+    EXPECT_NE(what.find("shard"), std::string::npos) << what;
+  }
+}
+
+TEST(Sweep, RequestStopInterruptsAndCheckpointResumes) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  auto request = figure_request(app, library);
+  select::DesignSpaceExplorer explorer;
+  const auto reference = explorer.explore(request);
+  const std::size_t total = reference.results.size();
+
+  const std::string path =
+      testing::TempDir() + "sweep_stop_resume.journal";
+  std::remove(path.c_str());
+
+  // Interrupt after the 3rd merged point, through the same stop flag the
+  // CLI's SIGINT handler raises.
+  reset_stop();
+  std::size_t streamed = 0;
+  request.on_point = [&](const select::PointResult&) {
+    if (++streamed == 3) request_stop();
+  };
+  SweepOptions options;
+  options.num_workers = 2;
+  options.checkpoint_path = path;
+  const auto partial = run_sweep(request, options);
+  reset_stop();
+  EXPECT_TRUE(partial.stats.interrupted);
+  EXPECT_LT(partial.stats.points_evaluated, total);
+
+  request.on_point = nullptr;
+  options.resume = true;
+  const auto resumed = run_sweep(request, options);
+  EXPECT_FALSE(resumed.stats.interrupted);
+  EXPECT_GE(resumed.stats.points_from_checkpoint, 3u);
+  // Completed points are never re-evaluated: this run only paid for the
+  // remainder.
+  EXPECT_EQ(resumed.stats.points_evaluated,
+            total - resumed.stats.points_from_checkpoint);
+  expect_merged_identical(reference, resumed.report, "after stop+resume");
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, ExplorerContextPoolSkipsRebuilds) {
+  const auto app = apps::vopd();
+  const auto library = topo::standard_library(app.num_cores());
+  auto request = figure_request(app, library);
+  select::DesignSpaceExplorer explorer;
+  const auto reference = explorer.explore(request);
+
+  select::ExplorerContextPool pool;
+  request.context_pool = &pool;
+  const auto first = explorer.explore(request);
+  const auto built_after_first = mapping::EvalContext::contexts_built();
+  const auto second = explorer.explore(request);
+  EXPECT_EQ(mapping::EvalContext::contexts_built(), built_after_first)
+      << "pooled re-run must rebind, not rebuild";
+  expect_merged_identical(reference, first, "pooled first run");
+  expect_merged_identical(reference, second, "pooled second run");
+}
+
+TEST(Sweep, DaemonServesRepeatRequestsWithLiveContexts) {
+  const std::string socket_path = testing::TempDir() + "sweep_daemon.sock";
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.max_requests = 3;
+  reset_stop();
+  DaemonStats stats;
+  std::thread server([&]() { stats = serve(options); });
+
+  const std::string request_text =
+      "app=vopd\nobjectives=delay,area\nroutings=DO,MP\n";
+  std::string first;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      first = call_daemon(socket_path, request_text);
+      break;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_FALSE(first.empty()) << "daemon never came up";
+  const auto built_after_first = mapping::EvalContext::contexts_built();
+  const std::string second = call_daemon(socket_path, request_text);
+  // Same socket, second request: contexts were rebound, not rebuilt.
+  EXPECT_EQ(mapping::EvalContext::contexts_built(), built_after_first);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"winners\""), std::string::npos);
+
+  EXPECT_THROW((void)call_daemon(socket_path, "app=nonesuch\n"),
+               std::runtime_error);
+  server.join();
+  EXPECT_EQ(stats.requests_served, 2);
+  EXPECT_EQ(stats.requests_failed, 1);
+}
+
+}  // namespace
+}  // namespace sunmap::sweep

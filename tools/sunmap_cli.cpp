@@ -17,6 +17,8 @@
 //   sunmap_cli --app vopd --sweep --objective delay,area,power \
 //              --routing DO,MP,SM,SA --csv sweep.csv --json sweep.json
 
+#include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -33,6 +35,8 @@
 #include "io/csv.h"
 #include "io/exploration_io.h"
 #include "select/explorer.h"
+#include "sweep/coordinator.h"
+#include "sweep/daemon.h"
 #include "util/table.h"
 
 namespace {
@@ -104,9 +108,32 @@ void usage() {
                       search stays sequential); any thread count returns
                       the identical report
   --json <path>       write the exploration report as JSON (sweep only)
+
+Distributed sweeps (with --sweep; see README "Distributed sweeps"):
+  --workers <n>       distribute the sweep across n worker processes; the
+                      merged report is bit-identical to the single-process
+                      explorer at any worker/shard count
+  --shards <n>        shards the grid is split into (default: one per
+                      worker; more shards = finer crash-recovery granules)
+  --checkpoint <path> append-only journal of completed points; a killed
+                      sweep resumes from it with --resume
+  --resume            fold the checkpoint's completed points in and only
+                      evaluate the remainder (fingerprint-checked)
+  --progress          periodic progress lines on stderr (done/total, ETA,
+                      points/s, per-worker throughput)
+
+Daemon mode:
+  --serve <socket>    serve sweep requests over a unix socket, keeping
+                      per-topology evaluation contexts alive across
+                      requests; SIGINT (or --serve-requests) stops it
+  --serve-requests <n>  exit after serving n requests (default: unlimited)
+  --call <socket>     submit THIS command line's --app/--objective/... as a
+                      request to a running daemon and print the JSON reply
   --help              this text
 )";
 }
+
+void handle_sigint(int) { sweep::request_stop(); }
 
 std::optional<route::RoutingKind> parse_routing(const std::string& text) {
   for (route::RoutingKind kind : route::kAllRoutingKinds) {
@@ -243,6 +270,17 @@ struct SweepArgs {
   std::string out_dir;
   std::string csv_path;
   std::string json_path;
+  /// Distributed-sweep options (--workers/--shards/--checkpoint/--resume/
+  /// --progress). workers == 0 and an empty checkpoint keep the sweep
+  /// in-process, exactly as before.
+  int workers = 0;
+  int shards = 0;
+  std::string checkpoint_path;
+  bool resume = false;
+  bool progress = false;
+  /// The invoking command line, for the "resume with: ..." hint printed
+  /// after an interrupted checkpointed sweep.
+  std::string command_line;
 };
 
 int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
@@ -351,10 +389,37 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
       app.num_cores(), config.include_extension_topologies);
   request.library = &library;
 
+  const bool distributed = args.workers > 0 || !args.checkpoint_path.empty();
   std::optional<select::ExplorationReport> report;
   try {
-    select::DesignSpaceExplorer explorer;
-    report = explorer.explore(request);
+    if (distributed) {
+      sweep::SweepOptions options;
+      options.num_workers = std::max(1, args.workers);
+      options.num_shards = args.shards;
+      options.checkpoint_path = args.checkpoint_path;
+      options.resume = args.resume;
+      options.progress = args.progress;
+      options.description = app.name();
+      sweep::reset_stop();
+      std::signal(SIGINT, handle_sigint);
+      auto result = sweep::run_sweep(request, options);
+      std::signal(SIGINT, SIG_DFL);
+      if (result.stats.interrupted) {
+        std::cerr << "sweep interrupted: " << result.stats.points_evaluated
+                  << " newly completed points";
+        if (!args.checkpoint_path.empty()) {
+          std::cerr << " flushed to " << args.checkpoint_path
+                    << "\nresume with: " << args.command_line;
+          if (!args.resume) std::cerr << " --resume";
+        }
+        std::cerr << "\n";
+        return 130;
+      }
+      report = std::move(result.report);
+    } else {
+      select::DesignSpaceExplorer explorer;
+      report = explorer.explore(request);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -426,7 +491,15 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
   // Sweep-mode --floorplan / --out operate on the per-objective winners:
   // each winner's floorplan is rendered, and its generated sources go to
   // <out>/<objective>[-wN]/ so several winners never overwrite each other.
+  // A distributed sweep merges scalars only (floorplan geometry stays in
+  // the worker processes), so those two outputs need a single-process run.
+  if (distributed && (args.show_floorplan || !args.out_dir.empty())) {
+    std::cout << "note: --floorplan/--out need floorplan geometry, which a "
+                 "distributed sweep does not merge; rerun the winning "
+                 "point without --workers to render or generate it.\n";
+  }
   for (const auto& best : report->winners) {
+    if (distributed) break;  // No geometry to render in merged reports.
     if (!best.found()) continue;
     const auto& result =
         report->results[static_cast<std::size_t>(best.point_index)];
@@ -489,15 +562,30 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
 
 int main(int argc, char** argv) {
   std::optional<mapping::CoreGraph> app;
+  std::string app_name;
   core::SunmapConfig config;
   bool show_floorplan = false;
   bool sweep = false;
   int threads = 1;
+  int workers = 0;
+  int shards = 0;
+  bool resume = false;
+  bool progress = false;
+  int serve_requests = -1;
+  std::string checkpoint_path;
+  std::string serve_socket;
+  std::string call_socket;
   std::string csv_path;
   std::string json_path;
   std::string faults_text;
   std::vector<std::string> objectives, routings, bandwidths, max_areas,
       searches, restarts, swap_passes, fplan_engines, fplan_sizing;
+
+  std::string command_line;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command_line += ' ';
+    command_line += argv[i];
+  }
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -514,7 +602,8 @@ int main(int argc, char** argv) {
         usage();
         return 0;
       } else if (arg == "--app") {
-        app = builtin_app(need_value(i));
+        app_name = need_value(i);
+        app = builtin_app(app_name);
         if (!app) {
           std::cerr << "unknown built-in app\n";
           return 2;
@@ -569,6 +658,22 @@ int main(int argc, char** argv) {
         max_areas = split_list(need_value(i));
       } else if (arg == "--sweep") {
         sweep = true;
+      } else if (arg == "--workers") {
+        workers = std::stoi(need_value(i));
+      } else if (arg == "--shards") {
+        shards = std::stoi(need_value(i));
+      } else if (arg == "--checkpoint") {
+        checkpoint_path = need_value(i);
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg == "--progress") {
+        progress = true;
+      } else if (arg == "--serve") {
+        serve_socket = need_value(i);
+      } else if (arg == "--serve-requests") {
+        serve_requests = std::stoi(need_value(i));
+      } else if (arg == "--call") {
+        call_socket = need_value(i);
       } else if (arg == "--extensions") {
         config.include_extension_topologies = true;
       } else if (arg == "--floorplan") {
@@ -590,8 +695,80 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Daemon mode: no local evaluation at all — serve sweep requests over
+  // the socket until SIGINT (or the request budget) stops the loop.
+  if (!serve_socket.empty()) {
+    sweep::reset_stop();
+    std::signal(SIGINT, handle_sigint);
+    try {
+      sweep::DaemonOptions options;
+      options.socket_path = serve_socket;
+      options.max_requests = serve_requests;
+      options.verbose = true;
+      const auto stats = sweep::serve(options);
+      std::cout << "served " << stats.requests_served << " request(s), "
+                << stats.requests_failed << " failed\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   if (!app) {
     usage();
+    return 2;
+  }
+
+  // Client mode: translate this command line into a daemon request and
+  // print the JSON report the daemon returns.
+  if (!call_socket.empty()) {
+    if (app_name.empty()) {
+      std::cerr << "--call needs --app (daemon requests name built-in "
+                   "apps)\n";
+      return 2;
+    }
+    std::string request_text = "app=" + app_name + "\n";
+    auto add_list = [&](const char* key,
+                        const std::vector<std::string>& values) {
+      if (values.empty()) return;
+      request_text += std::string(key) + "=";
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        if (v > 0) request_text += ',';
+        request_text += values[v];
+      }
+      request_text += '\n';
+    };
+    add_list("objectives", objectives);
+    add_list("routings", routings);
+    add_list("bandwidths", bandwidths);
+    add_list("areas", max_areas);
+    add_list("searches", searches);
+    add_list("restarts", restarts);
+    add_list("swap_passes", swap_passes);
+    if (config.include_extension_topologies) request_text += "extensions=1\n";
+    if (threads != 1) {
+      request_text += "threads=" + std::to_string(threads) + "\n";
+    }
+    try {
+      const auto json = sweep::call_daemon(call_socket, request_text);
+      if (!json_path.empty()) {
+        io::write_file(json_path, json);
+        std::cout << "wrote " << json_path << "\n";
+      } else {
+        std::cout << json;
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!sweep && (workers > 0 || shards > 0 || !checkpoint_path.empty() ||
+                 resume || progress)) {
+    std::cerr << "--workers/--shards/--checkpoint/--resume/--progress "
+                 "require --sweep\n";
     return 2;
   }
 
@@ -700,6 +877,12 @@ int main(int argc, char** argv) {
     args.out_dir = config.output_directory;
     args.csv_path = csv_path;
     args.json_path = json_path;
+    args.workers = workers;
+    args.shards = shards;
+    args.checkpoint_path = checkpoint_path;
+    args.resume = resume;
+    args.progress = progress;
+    args.command_line = command_line;
     return run_sweep(*app, config, args);
   }
 
