@@ -28,7 +28,8 @@ INVARIANT_KEYS = GATED_INVARIANT_KEYS + (
     "annealing_speedup_rigid", "annealing_speedup_sized",
     "annealing_txn_speedup_rigid", "annealing_txn_speedup_sized",
     "aggregate_speedup", "min_prune_fraction", "min_area_prune_fraction",
-    "min_power_prune_fraction", "fault_incremental_speedup")
+    "min_power_prune_fraction", "fault_incremental_speedup",
+    "session_speedup_minpath", "session_speedup_splitall")
 
 
 def fmt_ms(value) -> str:

@@ -38,12 +38,17 @@ import sys
 # part of the contract and must not drift as the engine gets faster. The
 # distributed-sweep probe adds two more: a merged multi-process report and
 # a checkpoint-resumed report must both stay bit-identical to the
-# single-process explorer.
+# single-process explorer. The routing probe adds the transactional
+# incremental-routing pair: every speculative RoutingSession solve is
+# bit-identical to the from-scratch canonical loop, and the gated
+# exploration legs keep the >= 2x session speedup under both minimum-path
+# and split-all routing.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
                   "bit_identical", "restart_never_worse", "incremental_2x",
                   "annealing_incremental", "fault_free_bit_identical",
                   "fault_incremental_2x", "merge_bit_identical",
-                  "resume_bit_identical")
+                  "resume_bit_identical", "routing_bit_identical",
+                  "routing_incremental_2x")
 
 
 def check_pair(current_path: str, baseline_path: str,

@@ -144,24 +144,29 @@ void EvalContext::bind(const MapperConfig& config,
     floorplan_cache_.clear();
   }
   if (evaluation_class_changed) {
+    // Scratch routing sessions hold a replay trace of the old evaluation
+    // class; moving the epoch makes every scratch rebuild on next use.
+    ++routing_epoch_;
     std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     metrics_cache_.clear();
   }
 
   config_ = config;
-  engine_.emplace(topology_, config_.routing, config_.split_chunks,
-                  config_.link_bandwidth_mbps);
+
+  route::RoutingEngine::Options engine_options;
+  engine_options.split_chunks = config_.split_chunks;
+  engine_options.capacity_hint_mbps = config_.link_bandwidth_mbps;
+  if (config_.routing == route::RoutingKind::kMinPath) {
+    // Topology-only: built on the first minimum-path bind, reused forever.
+    if (!quadrant_table_) quadrant_table_.emplace(topology_);
+    engine_options.quadrant_table = &*quadrant_table_;
+  }
+  engine_.emplace(topology_, config_.routing, engine_options);
 
   static_routing_ = config_.routing == route::RoutingKind::kDimensionOrdered ||
                     config_.routing == route::RoutingKind::kSplitMin;
   adaptive_routing_ = config_.routing == route::RoutingKind::kMinPath ||
                       config_.routing == route::RoutingKind::kSplitAll;
-
-  if (config_.routing == route::RoutingKind::kMinPath) {
-    // Topology-only: built on the first minimum-path bind, reused forever.
-    if (!quadrant_table_) quadrant_table_.emplace(topology_);
-    engine_->attach_quadrant_table(&*quadrant_table_);
-  }
 
   if (faults_changed) build_fault_tables();
 
@@ -209,10 +214,10 @@ void EvalContext::build_static_routes(
   for (int src = 0; src < num_slots; ++src) {
     for (int dst = 0; dst < num_slots; ++dst) {
       if (src == dst) continue;
-      table[static_cast<std::size_t>(src) *
-                static_cast<std::size_t>(num_slots) +
-            static_cast<std::size_t>(dst)] =
-          engine_->route(src, dst, /*demand=*/0.0, no_loads);
+      engine_->route(src, dst, /*demand=*/0.0, no_loads,
+                     table[static_cast<std::size_t>(src) *
+                               static_cast<std::size_t>(num_slots) +
+                           static_cast<std::size_t>(dst)]);
     }
   }
 }
@@ -344,7 +349,32 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
       scratch.loads.add_route(routes, commodity.value_mbps);
       scratch.route_refs[k] = &routes;
     }
+  } else if (config_.incremental_routing) {
+    // Session path: replay the canonical routing trace against the previous
+    // solve's routes, re-running only the Dijkstras whose inputs could have
+    // changed (bit-identical to the inline loop below — see
+    // route::RoutingSession). Under an open DeltaTxn the solve is
+    // speculative: displaced routes are journaled in a session frame that
+    // rollback pops verbatim.
+    route::RoutingSession& session = routing_session_for(scratch);
+    scratch.commodity_endpoints.resize(num_commodities);
+    for (std::size_t k = 0; k < num_commodities; ++k) {
+      const auto& commodity = commodities_[k];
+      scratch.commodity_endpoints[k] = route::CommodityEndpoints{
+          core_to_slot[static_cast<std::size_t>(commodity.src_core)],
+          core_to_slot[static_cast<std::size_t>(commodity.dst_core)]};
+    }
+    const bool speculative = scratch.txn_depth > 0;
+    session.solve(*engine_, scratch.commodity_endpoints, scratch.loads,
+                  speculative);
+    if (speculative) ++scratch.txn_route_pushes;
+    for (std::size_t k = 0; k < num_commodities; ++k) {
+      scratch.route_refs[k] = &session.route(static_cast<int>(k));
+    }
   } else {
+    // Reference path: the from-scratch canonical loop the session must
+    // reproduce bit-for-bit (kept selectable so the routing bench invariant
+    // and the session equivalence tests can measure one against the other).
     scratch.routes.resize(num_commodities);
     for (std::size_t k = 0; k < num_commodities; ++k) {
       const auto& commodity = commodities_[k];
@@ -352,8 +382,8 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
           core_to_slot[static_cast<std::size_t>(commodity.src_core)];
       const int dst_slot =
           core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
-      scratch.routes[k] = engine_->route(src_slot, dst_slot,
-                                         commodity.value_mbps, scratch.loads);
+      engine_->route(src_slot, dst_slot, commodity.value_mbps, scratch.loads,
+                     scratch.routes[k]);
       scratch.loads.add_route(scratch.routes[k], commodity.value_mbps);
       scratch.route_refs[k] = &scratch.routes[k];
     }
@@ -365,10 +395,9 @@ Evaluation EvalContext::evaluate(const std::vector<int>& core_to_slot,
               core_to_slot[static_cast<std::size_t>(commodity.src_core)];
           const int dst_slot =
               core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
-          scratch.loads.add_route(scratch.routes[k], -commodity.value_mbps);
-          scratch.routes[k] = engine_->route(src_slot, dst_slot,
-                                             commodity.value_mbps,
-                                             scratch.loads);
+          scratch.loads.remove_route(scratch.routes[k], commodity.value_mbps);
+          engine_->route(src_slot, dst_slot, commodity.value_mbps,
+                         scratch.loads, scratch.routes[k]);
           scratch.loads.add_route(scratch.routes[k], commodity.value_mbps);
         }
       }
@@ -730,6 +759,34 @@ fplan::FloorplanSession& EvalContext::session_for(EvalScratch& scratch) const {
     scratch.txn_key_undo.clear();
   }
   return *scratch.fplan_session;
+}
+
+route::RoutingSession& EvalContext::routing_session_for(
+    EvalScratch& scratch) const {
+  // Same id/epoch discipline as session_for: a scratch recycled across
+  // contexts or across an evaluation-class rebind holds a trace of different
+  // routes, so it is rebound rather than trusted. The commodity-count guard
+  // is the structural backstop for id collisions.
+  if (scratch.routing_session == nullptr ||
+      scratch.routing_session_context != context_id_ ||
+      scratch.routing_session_epoch != routing_epoch_ ||
+      scratch.routing_session->num_commodities() !=
+          static_cast<int>(commodities_.size()) ||
+      scratch.routing_session->reroute_passes() != config_.reroute_passes) {
+    if (scratch.routing_session == nullptr) {
+      scratch.routing_session = std::make_unique<route::RoutingSession>();
+    }
+    std::vector<double> demands;
+    demands.reserve(commodities_.size());
+    for (const auto& commodity : commodities_) {
+      demands.push_back(commodity.value_mbps);
+    }
+    scratch.routing_session->reset(std::move(demands), config_.reroute_passes);
+    scratch.routing_session_context = context_id_;
+    scratch.routing_session_epoch = routing_epoch_;
+    scratch.txn_route_pushes = 0;
+  }
+  return *scratch.routing_session;
 }
 
 bool EvalContext::supports_pruning() const {

@@ -13,6 +13,7 @@
 #include "mapping/mapper.h"
 #include "model/library.h"
 #include "route/routing.h"
+#include "route/routing_session.h"
 #include "topo/topology.h"
 
 namespace sunmap::mapping {
@@ -76,6 +77,18 @@ struct EvalScratch {
   /// cap) — floorplan_for_mapping returns references, never copies.
   fplan::Floorplan fplan_result;
 
+  /// This thread's incremental routing session (MP / split-all only; the
+  /// static kinds keep reading the context's route tables). Owned by the
+  /// scratch for the same reason as fplan_session: concurrent workers must
+  /// never share solver state. The context rebuilds it when the scratch
+  /// meets a different context or a rebind() changed the evaluation class
+  /// (anything that alters routes invalidates the session's cached trace).
+  std::unique_ptr<route::RoutingSession> routing_session;
+  std::uint64_t routing_session_context = 0;  ///< EvalContext id it belongs to.
+  std::uint64_t routing_session_epoch = 0;    ///< Routing epoch it was built at.
+  /// Reusable per-commodity endpoint buffer handed to the session's solve.
+  std::vector<route::CommodityEndpoints> commodity_endpoints;
+
   // ---- Transactional state (owned by mapping::DeltaTxn). ----
   /// Non-zero while a DeltaTxn speculation is open on this scratch. While
   /// open, floorplan-cache misses journal their session delta (the session
@@ -83,9 +96,12 @@ struct EvalScratch {
   /// displaced fplan_session_key entries below, so DeltaTxn::rollback() can
   /// restore both without re-deriving anything.
   int txn_depth = 0;
-  /// Speculative session frames opened since begin_swap() (rollback pops
+  /// Speculative session frames opened since begin_moves() (rollback pops
   /// exactly this many).
   int txn_session_pushes = 0;
+  /// Speculative routing-session frames opened since begin_moves()
+  /// (rollback pops exactly this many; commit folds them).
+  int txn_route_pushes = 0;
   /// (slot, displaced shape class) journal of fplan_session_key changes.
   std::vector<std::pair<int, std::uint16_t>> txn_key_undo;
 
@@ -327,6 +343,13 @@ class EvalContext {
   [[nodiscard]] fplan::FloorplanSession& session_for(
       EvalScratch& scratch) const;
 
+  /// The scratch's routing session, (re)built when the scratch belongs to
+  /// another context or a rebind() changed the evaluation class. A rebuild
+  /// binds the session to this context's commodity demands in canonical
+  /// order and drops any speculative frame bookkeeping.
+  [[nodiscard]] route::RoutingSession& routing_session_for(
+      EvalScratch& scratch) const;
+
   /// Materializes the config's fault spec against this topology and
   /// prebuilds one masked-BFS parent table per (scenario, ingress switch) —
   /// the incremental fault path reads routes out of these tables instead of
@@ -358,6 +381,10 @@ class EvalContext {
   /// Bumped whenever a bind changes the floorplan options or technology
   /// point: scratch sessions from older epochs are stale and are rebuilt.
   std::uint64_t session_epoch_ = 0;
+  /// Bumped whenever a bind changes the evaluation class (anything that
+  /// alters routes): scratch routing sessions from older epochs hold a
+  /// trace of a different routing configuration and are rebuilt.
+  std::uint64_t routing_epoch_ = 0;
   std::vector<Commodity> commodities_;
   double total_value_ = 0.0;
   topo::RelativePlacement placement_;

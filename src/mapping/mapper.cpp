@@ -149,6 +149,10 @@ void MapperConfig::validate() const {
     fail("annealing_reheats must be >= 0, got " +
          std::to_string(annealing_reheats));
   }
+  if (!(annealing_chain_move_prob >= 0.0 && annealing_chain_move_prob <= 1.0)) {
+    fail("annealing_chain_move_prob must be in [0, 1], got " +
+         num(annealing_chain_move_prob));
+  }
   if (num_threads < 1) {
     fail("num_threads must be >= 1, got " + std::to_string(num_threads));
   }
@@ -206,8 +210,10 @@ Evaluation Mapper::evaluate(const CoreGraph& app,
 
   // ---- Fig 5 steps 2-6: route commodities in decreasing value order. ----
   const auto commodities = commodities_by_value(app);
-  route::RoutingEngine engine(topology, config_.routing, config_.split_chunks,
-                              config_.link_bandwidth_mbps);
+  route::RoutingEngine::Options engine_options;
+  engine_options.split_chunks = config_.split_chunks;
+  engine_options.capacity_hint_mbps = config_.link_bandwidth_mbps;
+  route::RoutingEngine engine(topology, config_.routing, engine_options);
   route::LoadMap loads(topology.switch_graph().num_edges());
   eval.routes.reserve(commodities.size());
 
@@ -216,10 +222,9 @@ Evaluation Mapper::evaluate(const CoreGraph& app,
         core_to_slot[static_cast<std::size_t>(commodity.src_core)];
     const int dst_slot =
         core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
-    auto routes = engine.route(src_slot, dst_slot, commodity.value_mbps,
-                               loads);
+    route::RouteSet& routes = eval.routes.emplace_back();
+    engine.route(src_slot, dst_slot, commodity.value_mbps, loads, routes);
     loads.add_route(routes, commodity.value_mbps);
-    eval.routes.push_back(std::move(routes));
   }
 
   // Rip-up-and-reroute refinement for the load-adaptive routing functions:
@@ -235,9 +240,9 @@ Evaluation Mapper::evaluate(const CoreGraph& app,
             core_to_slot[static_cast<std::size_t>(commodity.src_core)];
         const int dst_slot =
             core_to_slot[static_cast<std::size_t>(commodity.dst_core)];
-        loads.add_route(eval.routes[k], -commodity.value_mbps);
-        eval.routes[k] = engine.route(src_slot, dst_slot,
-                                      commodity.value_mbps, loads);
+        loads.remove_route(eval.routes[k], commodity.value_mbps);
+        engine.route(src_slot, dst_slot, commodity.value_mbps, loads,
+                     eval.routes[k]);
         loads.add_route(eval.routes[k], commodity.value_mbps);
       }
     }
@@ -517,7 +522,8 @@ std::vector<int> Mapper::greedy_initial_mapping(
 MappingResult Mapper::map(const CoreGraph& app,
                           const topo::Topology& topology) const {
   const EvalContext ctx = make_context(app, topology);
-  return map(ctx);
+  EvalScratch scratch;
+  return map(ctx, scratch);
 }
 
 MappingResult Mapper::map(const EvalContext& ctx) const {

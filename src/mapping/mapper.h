@@ -93,6 +93,15 @@ struct MapperConfig {
   /// reproduces the plain geometric schedule.
   int annealing_reheats = 0;
 
+  /// Probability that an annealing move is a 2-opt chain — a 3-cycle of
+  /// slots applied as the batched move {(a,b), (b,c)} through one
+  /// DeltaTxn::begin_moves transaction — instead of a plain pairwise swap.
+  /// Chain moves reach mappings two swaps away in one Metropolis decision,
+  /// which plain-swap walks only reach through an uphill intermediate. 0
+  /// (the default) draws no extra random numbers, so default-configured
+  /// annealing walks are bit-identical to the pre-chain implementation.
+  double annealing_chain_move_prob = 0.0;
+
   /// Master switch for bound-based candidate pruning (the two-phase swap
   /// evaluation). On by default; the pruning admissibility tests flip it
   /// off to obtain the prune-free reference search, which must be
@@ -123,6 +132,18 @@ struct MapperConfig {
   /// fault_incremental_2x bench invariant measures against. Both paths
   /// extract paths through the same code, so results are bit-identical.
   bool incremental_fault_eval = true;
+
+  /// Master switch for incremental adaptive routing (MP / split-all): with
+  /// it on (the default), evaluations solve through the scratch's
+  /// persistent route::RoutingSession, which replays the canonical routing
+  /// trace and re-runs only the Dijkstras whose inputs could have changed —
+  /// and journals displaced routes in push/pop frames under the search's
+  /// DeltaTxn protocol. Off makes every evaluation pay the from-scratch
+  /// loop. Results are bit-identical either way (the session contract); the
+  /// off position is the reference the routing_bit_identical and
+  /// routing_incremental_2x bench invariants measure against. The static
+  /// kinds (DO / SM) read precomputed route tables and ignore this switch.
+  bool incremental_routing = true;
 
   /// Sub-flows for split-across-all-paths routing.
   int split_chunks = 16;
@@ -270,19 +291,23 @@ class Mapper {
   [[nodiscard]] MappingResult map(const CoreGraph& app,
                                   const topo::Topology& topology) const;
 
-  /// Same, over a caller-built context (make_context), so callers mapping
-  /// repeatedly onto one topology — or keeping the context for later
-  /// re-evaluations — pay the per-topology precomputation once.
-  [[nodiscard]] MappingResult map(const EvalContext& ctx) const;
-
-  /// Same again, over a caller-owned scratch that survives across map()
-  /// calls. The scratch carries the thread's incremental floorplan session,
-  /// so a sweep that re-binds one context across many design points keeps
-  /// the session (and its solved state) alive between searches — this is
-  /// the overload DesignSpaceExplorer drives. The scratch must not be
-  /// shared between concurrent map() calls.
+  /// The canonical entry point: maps over a caller-built context
+  /// (make_context) and a caller-owned scratch that survives across map()
+  /// calls. The scratch owns the thread's incremental floorplan and routing
+  /// sessions, so a sweep that re-binds one context across many design
+  /// points keeps the sessions (and their solved state) alive between
+  /// searches — this is the overload DesignSpaceExplorer drives, and every
+  /// other map() overload is sugar over it. The scratch must not be shared
+  /// between concurrent map() calls.
   [[nodiscard]] MappingResult map(const EvalContext& ctx,
                                   EvalScratch& scratch) const;
+
+  /// Compatibility shim for the pre-session API: constructs a throwaway
+  /// scratch per call, so the incremental sessions are rebuilt every time.
+  /// Prefer map(ctx, scratch) with a scratch that outlives the call.
+  [[deprecated("use map(ctx, scratch) — a throwaway scratch rebuilds the "
+               "incremental sessions on every call")]] [[nodiscard]]
+  MappingResult map(const EvalContext& ctx) const;
 
   /// Builds the incremental evaluation engine for one (application,
   /// topology) pair under this mapper's configuration. The returned context

@@ -43,16 +43,23 @@ struct ChainOutcome {
   std::vector<std::pair<double, double>> explored;
 };
 
-/// Metropolis acceptance over random pairwise swaps with geometric cooling.
-/// The chain itself cannot be bound-pruned (even a worse candidate may be
+/// Metropolis acceptance over random moves with geometric cooling. The
+/// chain itself cannot be bound-pruned (even a worse candidate may be
 /// accepted, and its exact cost feeds the Metropolis criterion), so the
 /// speedup comes from the cached evaluation path and the transactional
-/// floorplan deltas. Every candidate runs as one DeltaTxn speculation:
-/// commit keeps the swap, rollback restores the mapping AND the floorplan
-/// session to the incumbent in O(dirty) — so both accepted and rejected
-/// iterations re-solve the floorplan from a two-slot delta, never from the
-/// wreckage of a rejected candidate. The best *feasible-ranked* mapping seen
-/// (under better_than) is what the chain returns.
+/// floorplan/routing deltas. Every candidate runs as one DeltaTxn
+/// speculation: commit keeps the move, rollback restores the mapping AND
+/// both incremental sessions to the incumbent in O(dirty) — so both
+/// accepted and rejected iterations re-solve from a few-slot delta, never
+/// from the wreckage of a rejected candidate. The best *feasible-ranked*
+/// mapping seen (under better_than) is what the chain returns.
+///
+/// Moves are pairwise swaps, with probability
+/// config.annealing_chain_move_prob of a 2-opt chain instead: a slot
+/// 3-cycle a->b->c->a applied through begin_moves({(a,b), (b,c)}), reaching
+/// mappings two swaps away in one Metropolis decision. At probability 0 (the
+/// default) no chain-related random numbers are drawn, so the walk is
+/// bit-identical to the plain-swap implementation.
 ///
 /// With config.annealing_reheats > 0 the chain is split into equal segments
 /// and the temperature is reset to t0 x the current energy at each segment
@@ -98,6 +105,7 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
     }
   }
   std::size_t next_reheat = 0;
+  std::vector<SlotMove> moves;
 
   for (int iter = 0; iter < iterations; ++iter) {
     if (next_reheat < reheat_points.size() &&
@@ -108,11 +116,32 @@ ChainOutcome run_annealing_chain(const EvalContext& ctx,
     const int a = prng.next_int(0, topology.num_slots() - 1);
     int b = prng.next_int(0, topology.num_slots() - 2);
     if (b >= a) ++b;
-    const int core_a = slot_to_core[static_cast<std::size_t>(a)];
-    const int core_b = slot_to_core[static_cast<std::size_t>(b)];
-    if (core_a < 0 && core_b < 0) continue;
+    moves.clear();
+    moves.emplace_back(a, b);
+    // The prob > 0 short-circuit is what keeps default walks bit-identical:
+    // no chance() (or c) draw ever perturbs the Prng stream at prob 0.
+    if (cfg.annealing_chain_move_prob > 0.0 && topology.num_slots() >= 3 &&
+        prng.chance(cfg.annealing_chain_move_prob)) {
+      // Third distinct slot, uniform over [0, n) \ {a, b}: the 3-cycle
+      // a->b->c->a decomposes into the transpositions (a,b) then (b,c).
+      int c = prng.next_int(0, topology.num_slots() - 3);
+      const int lo = std::min(a, b);
+      const int hi = std::max(a, b);
+      if (c >= lo) ++c;
+      if (c >= hi) ++c;
+      moves.emplace_back(b, c);
+    }
+    bool touches_core = false;
+    for (const auto& [x, y] : moves) {
+      if (slot_to_core[static_cast<std::size_t>(x)] >= 0 ||
+          slot_to_core[static_cast<std::size_t>(y)] >= 0) {
+        touches_core = true;
+        break;
+      }
+    }
+    if (!touches_core) continue;  // every touched slot empty: no-op
 
-    txn.begin_swap(a, b);
+    txn.begin_moves(moves);
     auto eval = txn.evaluate(/*materialize=*/false);
     ++out.evaluated;
     if (cfg.collect_explored) {

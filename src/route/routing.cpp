@@ -46,10 +46,26 @@ double RouteSet::weighted_link_hops() const {
   return hops;
 }
 
+bool same_routes(const RouteSet& a, const RouteSet& b) {
+  if (a.paths.size() != b.paths.size()) return false;
+  for (std::size_t i = 0; i < a.paths.size(); ++i) {
+    if (a.paths[i].fraction != b.paths[i].fraction) return false;
+    if (a.paths[i].path.nodes != b.paths[i].path.nodes) return false;
+    if (a.paths[i].path.edges != b.paths[i].path.edges) return false;
+  }
+  return true;
+}
+
 void LoadMap::add_route(const RouteSet& routes, double demand) {
   for (const auto& wp : routes.paths) {
     for (graph::EdgeId e : wp.path.edges) add(e, demand * wp.fraction);
   }
+}
+
+void LoadMap::remove_route(const RouteSet& routes, double demand) {
+  // IEEE negation is exact, so this adds exactly the negated amounts of the
+  // corresponding add_route in the same edge order — the bit-exact inverse.
+  add_route(routes, -demand);
 }
 
 double LoadMap::max_load() const {
@@ -84,57 +100,58 @@ QuadrantTable::QuadrantTable(const topo::Topology& topology)
   }
 }
 
+RoutingEngine::RoutingEngine(const topo::Topology& topology, RoutingKind kind)
+    : RoutingEngine(topology, kind, Options()) {}
+
 RoutingEngine::RoutingEngine(const topo::Topology& topology, RoutingKind kind,
-                             int split_chunks, double capacity_hint_mbps)
-    : topology_(topology),
-      kind_(kind),
-      split_chunks_(split_chunks),
-      capacity_hint_mbps_(capacity_hint_mbps) {
-  if (split_chunks < 1) {
+                             Options options)
+    : topology_(topology), kind_(kind), options_(options) {
+  if (options_.split_chunks < 1) {
     throw std::invalid_argument("RoutingEngine: split_chunks must be >= 1");
   }
-  if (capacity_hint_mbps <= 0.0) {
+  if (options_.capacity_hint_mbps <= 0.0) {
     throw std::invalid_argument("RoutingEngine: capacity hint must be > 0");
   }
 }
 
-RouteSet RoutingEngine::route(topo::SlotId src, topo::SlotId dst,
-                              double demand, const LoadMap& loads) const {
+void RoutingEngine::route(topo::SlotId src, topo::SlotId dst, double demand,
+                          const LoadMap& loads, RouteSet& out) const {
+  out.paths.clear();
   if (src == dst) {
     throw std::invalid_argument("RoutingEngine: src and dst slots coincide");
   }
   switch (kind_) {
     case RoutingKind::kDimensionOrdered:
-      return route_dimension_ordered(src, dst);
+      route_dimension_ordered(src, dst, out);
+      return;
     case RoutingKind::kMinPath:
-      return route_min_path(src, dst, loads);
+      route_min_path(src, dst, loads, out);
+      return;
     case RoutingKind::kSplitMin:
-      return route_split_min(src, dst);
+      route_split_min(src, dst, out);
+      return;
     case RoutingKind::kSplitAll:
-      return route_split_all(src, dst, demand, loads);
+      route_split_all(src, dst, demand, loads, out);
+      return;
   }
   throw std::logic_error("RoutingEngine: unknown routing kind");
 }
 
-RouteSet RoutingEngine::route_dimension_ordered(topo::SlotId src,
-                                                topo::SlotId dst) const {
-  RouteSet result;
-  result.paths.push_back(WeightedPath{
+void RoutingEngine::route_dimension_ordered(topo::SlotId src,
+                                            topo::SlotId dst,
+                                            RouteSet& out) const {
+  out.paths.push_back(WeightedPath{
       topology_.make_path(topology_.dimension_ordered_path(src, dst)), 1.0});
-  return result;
 }
 
-RouteSet RoutingEngine::route_min_path(topo::SlotId src, topo::SlotId dst,
-                                       const LoadMap& loads) const {
+void RoutingEngine::route_min_path(topo::SlotId src, topo::SlotId dst,
+                                   const LoadMap& loads, RouteSet& out) const {
   // Quadrant graph of §4.3: restrict the Dijkstra search to the switches
   // that can lie on a minimum path, which both guarantees minimality and
   // gives the computational savings the paper reports. The admission mask
-  // comes from the attached per-topology table (lock-free, shared by
-  // concurrent search workers) or the topology's memoized cache.
-  const char* admitted =
-      quadrant_table_ != nullptr
-          ? quadrant_table_->mask(src, dst)
-          : topology_.quadrant_mask(src, dst).data();
+  // comes from the per-topology table configured at construction (lock-free,
+  // shared by concurrent search workers) or the topology's memoized cache.
+  const char* admitted = min_path_admission(src, dst);
 
   // Direct template instantiation: this is the hottest loop of the whole
   // mapping search (every adaptive-routing evaluation runs one Dijkstra per
@@ -149,23 +166,20 @@ RouteSet RoutingEngine::route_min_path(topo::SlotId src, topo::SlotId dst,
     throw std::logic_error(
         "RoutingEngine: quadrant graph disconnected (topology bug)");
   }
-  RouteSet result;
-  result.paths.push_back(WeightedPath{*path, 1.0});
-  return result;
+  out.paths.push_back(WeightedPath{*path, 1.0});
 }
 
-RouteSet RoutingEngine::route_split_min(topo::SlotId src,
-                                        topo::SlotId dst) const {
+void RoutingEngine::route_split_min(topo::SlotId src, topo::SlotId dst,
+                                    RouteSet& out) const {
   const auto& g = topology_.switch_graph();
   const graph::NodeId from = topology_.ingress_switch(src);
   const graph::NodeId to = topology_.egress_switch(dst);
 
-  RouteSet result;
   if (from == to) {
     graph::Path path;
     path.nodes = {from};
-    result.paths.push_back(WeightedPath{path, 1.0});
-    return result;
+    out.paths.push_back(WeightedPath{path, 1.0});
+    return;
   }
 
   // Even flow split over the minimum-path DAG: each node forwards its
@@ -232,20 +246,19 @@ RouteSet RoutingEngine::route_split_min(topo::SlotId src,
       edge_flow[static_cast<std::size_t>(e)] -= bottleneck;
     }
     path.cost = static_cast<double>(path.edges.size());
-    result.paths.push_back(WeightedPath{std::move(path), bottleneck});
+    out.paths.push_back(WeightedPath{std::move(path), bottleneck});
     remaining -= bottleneck;
   }
 
   // Normalise tiny floating-point residue so fractions sum to exactly 1.
   double total = 0.0;
-  for (const auto& wp : result.paths) total += wp.fraction;
-  for (auto& wp : result.paths) wp.fraction /= total;
-  return result;
+  for (const auto& wp : out.paths) total += wp.fraction;
+  for (auto& wp : out.paths) wp.fraction /= total;
 }
 
-RouteSet RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
-                                        double demand,
-                                        const LoadMap& loads) const {
+void RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
+                                    double demand, const LoadMap& loads,
+                                    RouteSet& out) const {
   // Split-across-all-paths: divide the commodity into equal chunks and route
   // each chunk with congestion-aware Dijkstra over the full switch graph
   // (non-minimal paths allowed), accounting for the chunks already placed.
@@ -253,8 +266,9 @@ RouteSet RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
   const auto& g = topology_.switch_graph();
   const graph::NodeId from = topology_.ingress_switch(src);
   const graph::NodeId to = topology_.egress_switch(dst);
+  const int split_chunks = options_.split_chunks;
   const double chunk =
-      demand > 0.0 ? demand / static_cast<double>(split_chunks_) : 0.0;
+      demand > 0.0 ? demand / static_cast<double>(split_chunks) : 0.0;
   const double hop_bias = std::max(1.0, demand * 0.01);
 
   // Soft capacity: a sub-flow strongly avoids links it would push past the
@@ -262,15 +276,14 @@ RouteSet RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
   // around already-loaded links instead of stacking onto them.
   constexpr double kOverloadPenalty = 1e7;
   std::vector<double> extra(static_cast<std::size_t>(g.num_edges()), 0.0);
-  RouteSet result;
-  for (int c = 0; c < split_chunks_; ++c) {
+  for (int c = 0; c < split_chunks; ++c) {
     auto path = graph::shortest_path_with(
         g, from, to,
         [&](graph::EdgeId e) {
           const double current =
               loads.load(e) + extra[static_cast<std::size_t>(e)];
           double cost = hop_bias + current + chunk * 0.5;
-          if (current + chunk > capacity_hint_mbps_ + 1e-9) {
+          if (current + chunk > options_.capacity_hint_mbps + 1e-9) {
             cost += kOverloadPenalty;
           }
           return cost;
@@ -284,19 +297,18 @@ RouteSet RoutingEngine::route_split_all(topo::SlotId src, topo::SlotId dst,
     }
     // Merge identical consecutive chunk paths to keep the set small.
     bool merged = false;
-    for (auto& wp : result.paths) {
+    for (auto& wp : out.paths) {
       if (wp.path.nodes == path->nodes) {
-        wp.fraction += 1.0 / static_cast<double>(split_chunks_);
+        wp.fraction += 1.0 / static_cast<double>(split_chunks);
         merged = true;
         break;
       }
     }
     if (!merged) {
-      result.paths.push_back(
-          WeightedPath{*path, 1.0 / static_cast<double>(split_chunks_)});
+      out.paths.push_back(
+          WeightedPath{*path, 1.0 / static_cast<double>(split_chunks)});
     }
   }
-  return result;
 }
 
 }  // namespace sunmap::route

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <limits>
 #include <vector>
 
@@ -46,6 +47,11 @@ struct RouteSet {
   [[nodiscard]] double weighted_link_hops() const;
 };
 
+/// True when the two route sets take exactly the same paths with exactly the
+/// same fractions (bit-wise double comparison; used by the routing session to
+/// detect whether a re-route actually displaced anything).
+[[nodiscard]] bool same_routes(const RouteSet& a, const RouteSet& b);
+
 /// Per-link traffic accumulator, indexed by switch-graph EdgeId, in the same
 /// MB/s units as core-graph edge weights. The mapping algorithm routes
 /// commodities in decreasing order and accumulates their bandwidth here
@@ -65,13 +71,30 @@ class LoadMap {
     // negative demand; floating-point cancellation can leave a tiny negative
     // residue that would perturb max_load() and feasibility checks. Link
     // loads are physically non-negative, so snap near-zero negatives back to
-    // exactly zero (a residue beyond the tolerance indicates a real
-    // accounting bug and is left visible).
+    // exactly zero. The clamp window is kNegativeResidueTolerance: residues
+    // inside (-tolerance, 0) are cancellation noise (they are bounded by a
+    // few ulps of the peak accumulated load, orders of magnitude below the
+    // tolerance for realistic MB/s traffic); anything at or beyond the
+    // tolerance indicates a real accounting bug — a rip-up of routes that
+    // were never added — so it trips the debug assert below and stays
+    // visible as a negative load in release builds.
+    assert(value > -kNegativeResidueTolerance &&
+           "LoadMap: negative residue beyond tolerance (rip-up mismatch)");
     if (value < 0.0 && value > -kNegativeResidueTolerance) value = 0.0;
   }
 
   /// Adds `demand` scaled by each path fraction along every routed path.
   void add_route(const RouteSet& routes, double demand);
+
+  /// Rip-up: removes a previously added route set by adding the IEEE-negated
+  /// per-edge amounts in the same edge order. On a link whose load was zero
+  /// before the matching add_route, the round trip restores exact zero
+  /// (0 + v = v and v - v = 0 are both exact); over a nonzero background
+  /// load the cancellation can drift by an ulp per cycle, which is why
+  /// consumers that need bit-identical loads (the routing session, the
+  /// reference re-route loop) always rebuild from a cleared map by replaying
+  /// the same add/remove sequence rather than round-tripping in place.
+  void remove_route(const RouteSet& routes, double demand);
 
   [[nodiscard]] double load(graph::EdgeId e) const {
     return loads_[static_cast<std::size_t>(e)];
@@ -85,6 +108,8 @@ class LoadMap {
   void clear() { loads_.assign(loads_.size(), 0.0); }
 
   /// Largest negative residue magnitude silently clamped to zero by add().
+  /// Residues at or beyond this are treated as accounting bugs (asserted in
+  /// debug builds, left visible in release builds).
   static constexpr double kNegativeResidueTolerance = 1e-6;
 
  private:
@@ -119,52 +144,69 @@ class QuadrantTable {
 
 /// Computes routes for commodities over one topology under one routing
 /// function. Stateless with respect to traffic: current link loads are
-/// passed in, so the mapper owns ordering and accumulation.
+/// passed in, so the mapper owns ordering and accumulation. Fully configured
+/// at construction (Options) — there is no post-construction mutation, so a
+/// const engine is safe to share across concurrent search workers.
 class RoutingEngine {
  public:
-  /// `split_chunks` controls the granularity of split-across-all-paths
-  /// routing (the commodity is divided into that many equal sub-flows).
-  /// `capacity_hint_mbps` is the link capacity the engine tries not to
-  /// exceed when spreading sub-flows (it is a soft bound — the bandwidth
-  /// *constraint* is checked by the mapper).
+  struct Options {
+    /// Granularity of split-across-all-paths routing (the commodity is
+    /// divided into that many equal sub-flows).
+    int split_chunks = 16;
+    /// Link capacity the engine tries not to exceed when spreading
+    /// sub-flows (a soft bound — the bandwidth *constraint* is checked by
+    /// the mapper).
+    double capacity_hint_mbps = std::numeric_limits<double>::infinity();
+    /// Optional precomputed quadrant table (not owned; must outlive the
+    /// engine). With a table, minimum-path routing reads admission masks
+    /// lock-free; without one it falls back to the topology's memoized
+    /// quadrant cache.
+    const QuadrantTable* quadrant_table = nullptr;
+  };
+
+  // Two overloads rather than `Options options = {}`: a default argument
+  // may not use the nested aggregate's member initializers before the
+  // enclosing class is complete.
+  RoutingEngine(const topo::Topology& topology, RoutingKind kind);
   RoutingEngine(const topo::Topology& topology, RoutingKind kind,
-                int split_chunks = 16,
-                double capacity_hint_mbps =
-                    std::numeric_limits<double>::infinity());
+                Options options);
 
   [[nodiscard]] RoutingKind kind() const { return kind_; }
   [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] int split_chunks() const { return options_.split_chunks; }
 
-  /// Attaches a precomputed quadrant table (not owned; must outlive the
-  /// engine). With a table attached, minimum-path routing reads admission
-  /// masks lock-free; without one it falls back to the topology's memoized
-  /// quadrant cache.
-  void attach_quadrant_table(const QuadrantTable* table) {
-    quadrant_table_ = table;
+  /// The switch admission mask minimum-path routing would use for this slot
+  /// pair (the attached table or the topology's memoized cache) — exposed so
+  /// the routing session can reason about which link-load changes are
+  /// visible to a commodity's Dijkstra.
+  [[nodiscard]] const char* min_path_admission(topo::SlotId src,
+                                               topo::SlotId dst) const {
+    return options_.quadrant_table != nullptr
+               ? options_.quadrant_table->mask(src, dst)
+               : topology_.quadrant_mask(src, dst).data();
   }
 
   /// Routes `demand` MB/s from slot src to slot dst given the traffic
-  /// already routed (`loads`). Does not modify `loads`; the caller
-  /// accumulates via LoadMap::add_route, matching Fig 5 steps 4-6.
-  [[nodiscard]] RouteSet route(topo::SlotId src, topo::SlotId dst,
-                               double demand, const LoadMap& loads) const;
+  /// already routed (`loads`), writing the result into `out` (cleared
+  /// first). The out-param keeps the hot path allocation-free once the
+  /// caller's RouteSet capacity has warmed up. Does not modify `loads`; the
+  /// caller accumulates via LoadMap::add_route, matching Fig 5 steps 4-6.
+  void route(topo::SlotId src, topo::SlotId dst, double demand,
+             const LoadMap& loads, RouteSet& out) const;
 
  private:
-  [[nodiscard]] RouteSet route_dimension_ordered(topo::SlotId src,
-                                                 topo::SlotId dst) const;
-  [[nodiscard]] RouteSet route_min_path(topo::SlotId src, topo::SlotId dst,
-                                        const LoadMap& loads) const;
-  [[nodiscard]] RouteSet route_split_min(topo::SlotId src,
-                                         topo::SlotId dst) const;
-  [[nodiscard]] RouteSet route_split_all(topo::SlotId src, topo::SlotId dst,
-                                         double demand,
-                                         const LoadMap& loads) const;
+  void route_dimension_ordered(topo::SlotId src, topo::SlotId dst,
+                               RouteSet& out) const;
+  void route_min_path(topo::SlotId src, topo::SlotId dst,
+                      const LoadMap& loads, RouteSet& out) const;
+  void route_split_min(topo::SlotId src, topo::SlotId dst,
+                       RouteSet& out) const;
+  void route_split_all(topo::SlotId src, topo::SlotId dst, double demand,
+                       const LoadMap& loads, RouteSet& out) const;
 
   const topo::Topology& topology_;
   RoutingKind kind_;
-  int split_chunks_;
-  double capacity_hint_mbps_;
-  const QuadrantTable* quadrant_table_ = nullptr;
+  Options options_;
 };
 
 }  // namespace sunmap::route

@@ -60,12 +60,15 @@ int RouteTable::max_path_switches() const {
 RouteTable RouteTable::all_pairs(const topo::Topology& topology,
                                  route::RoutingKind kind, int split_chunks) {
   RouteTable table(topology.num_slots());
-  route::RoutingEngine engine(topology, kind, split_chunks);
+  route::RoutingEngine::Options engine_options;
+  engine_options.split_chunks = split_chunks;
+  route::RoutingEngine engine(topology, kind, engine_options);
   route::LoadMap loads(topology.switch_graph().num_edges());
+  route::RouteSet routes;
   for (int src = 0; src < topology.num_slots(); ++src) {
     for (int dst = 0; dst < topology.num_slots(); ++dst) {
       if (src == dst) continue;
-      auto routes = engine.route(src, dst, 1.0, loads);
+      engine.route(src, dst, 1.0, loads, routes);
       loads.add_route(routes, 1.0);
       table.set(src, dst, std::move(routes));
     }

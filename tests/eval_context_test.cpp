@@ -239,10 +239,11 @@ TEST(Rebind, MatchesFreshContextAcrossAllRoutingKinds) {
     chain.push_back(chain[0]);
     chain.push_back(chain[1]);
 
+    EvalScratch scratch;  // reused across rebinds: sessions rebuild on demand
     for (const auto& config : chain) {
       Mapper mapper(config);
       ctx.rebind(config, mapper.library());
-      const auto rebound = mapper.map(ctx);
+      const auto rebound = mapper.map(ctx, scratch);
       const auto fresh = mapper.map(app, *topology);
       SCOPED_TRACE(std::string(topology->name()) + " / " +
                    route::to_string(config.routing));
@@ -277,10 +278,11 @@ TEST(Rebind, ObjectiveBandwidthAndConstraintChangesMatchFreshContexts) {
     chain.push_back(config);
   }
 
+  EvalScratch scratch;
   for (const auto& config : chain) {
     Mapper mapper(config);
     ctx.rebind(config, mapper.library());
-    const auto rebound = mapper.map(ctx);
+    const auto rebound = mapper.map(ctx, scratch);
     const auto fresh = mapper.map(app, *mesh);
     SCOPED_TRACE(std::string(to_string(config.objective)) + " / bw=" +
                  std::to_string(config.link_bandwidth_mbps));
@@ -301,7 +303,8 @@ TEST(Rebind, TechnologyChangeReresolvesSwitchTables) {
   scaled.tech.area_fixed *= 1.2;
   Mapper mapper(scaled);
   ctx.rebind(scaled, mapper.library());
-  const auto rebound = mapper.map(ctx);
+  EvalScratch scratch;
+  const auto rebound = mapper.map(ctx, scratch);
   const auto fresh = mapper.map(app, *mesh);
   EXPECT_EQ(rebound.core_to_slot, fresh.core_to_slot);
   expect_identical(fresh.eval, rebound.eval);
@@ -310,7 +313,7 @@ TEST(Rebind, TechnologyChangeReresolvesSwitchTables) {
   MapperConfig original;
   Mapper back(original);
   ctx.rebind(original, back.library());
-  const auto restored = back.map(ctx);
+  const auto restored = back.map(ctx, scratch);
   const auto reference = back.map(app, *mesh);
   EXPECT_EQ(restored.core_to_slot, reference.core_to_slot);
   expect_identical(reference.eval, restored.eval);

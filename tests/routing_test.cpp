@@ -19,6 +19,22 @@ double fraction_sum(const RouteSet& routes) {
   return sum;
 }
 
+/// Return-value convenience over the out-param hot-path API.
+RouteSet route(const RoutingEngine& engine, SlotId src, SlotId dst,
+               double demand, const LoadMap& loads) {
+  RouteSet out;
+  engine.route(src, dst, demand, loads, out);
+  return out;
+}
+
+RoutingEngine::Options split_options(int split_chunks,
+                                     double capacity_hint_mbps) {
+  RoutingEngine::Options options;
+  options.split_chunks = split_chunks;
+  options.capacity_hint_mbps = capacity_hint_mbps;
+  return options;
+}
+
 TEST(RoutingKind, Labels) {
   EXPECT_STREQ(to_string(RoutingKind::kDimensionOrdered), "DO");
   EXPECT_STREQ(to_string(RoutingKind::kMinPath), "MP");
@@ -49,23 +65,65 @@ TEST(LoadMap, ClampsNearZeroNegativeResidue) {
   EXPECT_EQ(loads.load(0), 0.0);
   EXPECT_EQ(loads.max_load(), 0.0);
 
-  // A genuinely negative balance (an accounting bug) stays visible.
+  // A genuinely negative balance (a rip-up of routes that were never added)
+  // is an accounting bug: it trips the debug assert, and in release builds
+  // it stays visible as a negative load rather than being masked.
+#ifdef NDEBUG
   loads.add(1, -1.0);
   EXPECT_LT(loads.load(1), 0.0);
+#else
+  EXPECT_DEATH(loads.add(1, -1.0), "negative residue beyond tolerance");
+#endif
+}
+
+TEST(LoadMap, RipUpRoundTripIsExactOnIdleLinksBoundedElsewhere) {
+  // On links idle before the add, an add_route/remove_route round trip
+  // restores exact zero (0 + v = v and v - v = 0 are both exact in IEEE
+  // arithmetic) — this is what lets the routing session trust a rebuilt
+  // LoadMap bit-for-bit. Over a nonzero background the cancellation may
+  // drift by an ulp per cycle, so there the guarantee is only a tight bound.
+  const auto mesh = topo::make_mesh_for(16);
+  RoutingEngine engine(*mesh, RoutingKind::kSplitMin);
+  LoadMap idle(mesh->switch_graph().num_edges());
+  const auto victim = route(engine, 3, 12, 217.7, idle);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    idle.add_route(victim, 217.7);
+    idle.remove_route(victim, 217.7);
+    for (std::size_t e = 0; e < idle.values().size(); ++e) {
+      EXPECT_EQ(idle.values()[e], 0.0) << "edge " << e << " cycle " << cycle;
+    }
+  }
+
+  LoadMap loads(mesh->switch_graph().num_edges());
+  const auto background = route(engine, 0, 15, 333.3, loads);
+  loads.add_route(background, 333.3);
+  const std::vector<double> before = loads.values();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    loads.add_route(victim, 217.7);
+    loads.remove_route(victim, 217.7);
+    const std::vector<double>& after = loads.values();
+    for (std::size_t e = 0; e < before.size(); ++e) {
+      EXPECT_NEAR(before[e], after[e], 1e-9)
+          << "edge " << e << " cycle " << cycle;
+    }
+  }
 }
 
 TEST(RoutingEngine, RejectsSelfRoute) {
   const auto mesh = topo::make_mesh_for(9);
   RoutingEngine engine(*mesh, RoutingKind::kMinPath);
   LoadMap loads(mesh->switch_graph().num_edges());
-  EXPECT_THROW(engine.route(1, 1, 100.0, loads), std::invalid_argument);
+  RouteSet out;
+  EXPECT_THROW(engine.route(1, 1, 100.0, loads, out), std::invalid_argument);
 }
 
 TEST(RoutingEngine, RejectsBadConfig) {
   const auto mesh = topo::make_mesh_for(9);
-  EXPECT_THROW(RoutingEngine(*mesh, RoutingKind::kSplitAll, 0),
+  EXPECT_THROW(RoutingEngine(*mesh, RoutingKind::kSplitAll,
+                             split_options(0, 500.0)),
                std::invalid_argument);
-  EXPECT_THROW(RoutingEngine(*mesh, RoutingKind::kSplitAll, 8, -1.0),
+  EXPECT_THROW(RoutingEngine(*mesh, RoutingKind::kSplitAll,
+                             split_options(8, -1.0)),
                std::invalid_argument);
 }
 
@@ -76,7 +134,7 @@ TEST(RoutingEngine, MinPathStaysInsideQuadrant) {
   for (SlotId a : {0, 3, 12, 5}) {
     for (SlotId b : {15, 10, 2, 7}) {
       if (a == b) continue;
-      const auto routes = engine.route(a, b, 10.0, loads);
+      const auto routes = route(engine, a, b, 10.0, loads);
       ASSERT_EQ(routes.paths.size(), 1u);
       const auto quadrant = mesh->quadrant_nodes(a, b);
       for (graph::NodeId u : routes.paths[0].path.nodes) {
@@ -93,9 +151,9 @@ TEST(RoutingEngine, MinPathAvoidsLoadedLink) {
   LoadMap loads(mesh->switch_graph().num_edges());
   // Route 0 -> 4 twice: the second route must avoid the first's links
   // (both L-paths have equal hops; load breaks the tie).
-  const auto first = engine.route(0, 4, 100.0, loads);
+  const auto first = route(engine, 0, 4, 100.0, loads);
   loads.add_route(first, 100.0);
-  const auto second = engine.route(0, 4, 100.0, loads);
+  const auto second = route(engine, 0, 4, 100.0, loads);
   EXPECT_NE(first.paths[0].path.nodes, second.paths[0].path.nodes);
 }
 
@@ -107,7 +165,7 @@ TEST(RoutingEngine, MinPathHopsMatchTopologyMinimum) {
     for (SlotId a = 0; a < mesh->num_slots(); ++a) {
       for (SlotId b = 0; b < mesh->num_slots(); ++b) {
         if (a == b) continue;
-        const auto routes = engine.route(a, b, 1.0, loads);
+        const auto routes = route(engine, a, b, 1.0, loads);
         EXPECT_DOUBLE_EQ(routes.weighted_switch_hops(),
                          mesh->min_switch_hops(a, b));
       }
@@ -119,7 +177,7 @@ TEST(RoutingEngine, SplitMinUsesAllClosMiddles) {
   const auto clos = std::make_unique<topo::Clos>(4, 2, 4);
   RoutingEngine engine(*clos, RoutingKind::kSplitMin);
   LoadMap loads(clos->switch_graph().num_edges());
-  const auto routes = engine.route(0, 7, 400.0, loads);
+  const auto routes = route(engine, 0, 7, 400.0, loads);
   // All four middle switches carry 1/4 of the flow each.
   EXPECT_EQ(routes.paths.size(), 4u);
   for (const auto& wp : routes.paths) {
@@ -134,7 +192,7 @@ TEST(RoutingEngine, SplitMinHalvesDiagonalMeshFlow) {
   LoadMap loads(mesh->switch_graph().num_edges());
   // 0 -> 4 (one-step diagonal): two minimum paths, half the flow on each
   // first link.
-  const auto routes = engine.route(0, 4, 100.0, loads);
+  const auto routes = route(engine, 0, 4, 100.0, loads);
   loads.add_route(routes, 100.0);
   EXPECT_NEAR(loads.max_load(), 50.0, 1e-9);
 }
@@ -144,18 +202,18 @@ TEST(RoutingEngine, SplitMinOnButterflyIsSinglePath) {
   RoutingEngine engine(*fly, RoutingKind::kSplitMin);
   LoadMap loads(fly->switch_graph().num_edges());
   // No path diversity (§6.1): splitting cannot help the butterfly.
-  const auto routes = engine.route(0, 9, 910.0, loads);
+  const auto routes = route(engine, 0, 9, 910.0, loads);
   ASSERT_EQ(routes.paths.size(), 1u);
   EXPECT_NEAR(routes.paths[0].fraction, 1.0, 1e-9);
 }
 
 TEST(RoutingEngine, SplitAllSpreadsBelowCapacity) {
   const auto mesh = topo::make_mesh_for(9);
-  RoutingEngine engine(*mesh, RoutingKind::kSplitAll, 16, 500.0);
+  RoutingEngine engine(*mesh, RoutingKind::kSplitAll, split_options(16, 500.0));
   LoadMap loads(mesh->switch_graph().num_edges());
   // 900 MB/s from the centre: must spread over several links to stay under
   // the 500 MB/s capacity hint.
-  const auto routes = engine.route(4, 0, 900.0, loads);
+  const auto routes = route(engine, 4, 0, 900.0, loads);
   loads.add_route(routes, 900.0);
   EXPECT_GT(routes.paths.size(), 1u);
   EXPECT_LE(loads.max_load(), 500.0 + 1e-6);
@@ -163,9 +221,10 @@ TEST(RoutingEngine, SplitAllSpreadsBelowCapacity) {
 
 TEST(RoutingEngine, SplitAllZeroLoadPrefersMinimalPath) {
   const auto mesh = topo::make_mesh_for(16);
-  RoutingEngine engine(*mesh, RoutingKind::kSplitAll, 4);
+  RoutingEngine engine(*mesh, RoutingKind::kSplitAll,
+                       split_options(4, 500.0));
   LoadMap loads(mesh->switch_graph().num_edges());
-  const auto routes = engine.route(0, 1, 1.0, loads);
+  const auto routes = route(engine, 0, 1, 1.0, loads);
   // Tiny demand on an idle network: all chunks take the 2-switch path.
   EXPECT_DOUBLE_EQ(routes.weighted_switch_hops(), 2.0);
 }
@@ -177,13 +236,13 @@ TEST_P(AllKindsAllTopologies, FractionsSumToOneAndLoadsConserve) {
   const auto [kind, topo_index] = GetParam();
   auto library = topo::standard_library(12, /*include_extensions=*/true);
   const auto& topology = *library[static_cast<std::size_t>(topo_index)];
-  RoutingEngine engine(topology, kind, 8, 500.0);
+  RoutingEngine engine(topology, kind, split_options(8, 500.0));
   LoadMap loads(topology.switch_graph().num_edges());
   for (SlotId a = 0; a < std::min(6, topology.num_slots()); ++a) {
     for (SlotId b = 0; b < std::min(6, topology.num_slots()); ++b) {
       if (a == b) continue;
       const double demand = 100.0;
-      const auto routes = engine.route(a, b, demand, loads);
+      const auto routes = route(engine, a, b, demand, loads);
       EXPECT_NEAR(fraction_sum(routes), 1.0, 1e-9);
 
       // Total added load equals demand x weighted link hops.
