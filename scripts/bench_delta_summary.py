@@ -29,7 +29,8 @@ INVARIANT_KEYS = GATED_INVARIANT_KEYS + (
     "annealing_txn_speedup_rigid", "annealing_txn_speedup_sized",
     "aggregate_speedup", "min_prune_fraction", "min_area_prune_fraction",
     "min_power_prune_fraction", "fault_incremental_speedup",
-    "session_speedup_minpath", "session_speedup_splitall")
+    "session_speedup_minpath", "session_speedup_splitall",
+    "event_speedup_light_load")
 
 
 def fmt_ms(value) -> str:
@@ -120,6 +121,25 @@ def main() -> int:
                   f"{fmt_ms(point['ms'])} | "
                   f"{float(point['speedup']):.2f}x | "
                   f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} |")
+    # The simulation probe records each (topology, traffic) leg run by both
+    # engines; render cycle-vs-event and the events/sec the event engine
+    # sustains so the light-load win stays visible as the router model grows.
+    probe = current.get("engine_probe")
+    if probe:
+        baseline_probe = {row.get("run"): row
+                          for row in baseline.get("engine_probe", [])}
+        print("\n| leg | cycle ms | event ms | speedup | "
+              "baseline speedup | Mevents/s |")
+        print("|---|---|---|---|---|---|")
+        for row in probe:
+            old = baseline_probe.get(row.get("run"), {})
+            old_speedup = old.get("speedup")
+            print(f"| {row['run']} | "
+                  f"{fmt_ms(row['cycle_ms'])} | "
+                  f"{fmt_ms(row['event_ms'])} | "
+                  f"{float(row['speedup']):.2f}x | "
+                  f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} | "
+                  f"{float(row['event_events_per_sec']) / 1e6:.2f} |")
     print()
     return 0
 

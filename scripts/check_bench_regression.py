@@ -42,13 +42,17 @@ import sys
 # incremental-routing pair: every speculative RoutingSession solve is
 # bit-identical to the from-scratch canonical loop, and the gated
 # exploration legs keep the >= 2x session speedup under both minimum-path
-# and split-all routing.
+# and split-all routing. The simulation probe adds the engine pair: the
+# event-driven engine is bit-identical to the cycle-stepped reference on
+# every leg (the full SimStats record, verdict paths included), and the
+# light-load legs keep the >= 3x aggregate event speedup.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
                   "bit_identical", "restart_never_worse", "incremental_2x",
                   "annealing_incremental", "fault_free_bit_identical",
                   "fault_incremental_2x", "merge_bit_identical",
                   "resume_bit_identical", "routing_bit_identical",
-                  "routing_incremental_2x")
+                  "routing_incremental_2x", "sim_bit_identical",
+                  "sim_event_3x")
 
 
 def check_pair(current_path: str, baseline_path: str,

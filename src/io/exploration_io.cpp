@@ -6,6 +6,7 @@
 
 #include "fault/fault.h"
 #include "io/csv.h"
+#include "sim/simulator.h"
 
 namespace sunmap::io {
 
@@ -78,7 +79,9 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
          "feasible,best,avg_hops,avg_latency_ns,design_area_mm2,"
          "design_power_mw,dynamic_power_mw,static_power_mw,"
          "min_bandwidth_mbps,cost,"
-         "fault_scenarios,worst_fault_cost,fault_disconnected\n";
+         "fault_scenarios,worst_fault_cost,fault_disconnected,"
+         "sim_latency_cycles,sim_analytical_cycles,sim_model_error,"
+         "sim_status\n";
   for (std::size_t p = 0; p < report.results.size(); ++p) {
     const auto& result = report.results[p];
     const auto& config = result.point.config;
@@ -115,7 +118,18 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
           << number(eval.max_link_load_mbps) << "," << number(eval.cost)
           << "," << eval.fault_outcomes.size() << ","
           << number(eval.worst_fault_cost) << ","
-          << eval.infeasible_fault_scenarios << "\n";
+          << eval.infeasible_fault_scenarios << ",";
+      // Finalist-tier simulation columns: empty unless the simulator scored
+      // this cell (--sim-finalists / ExplorationRequest::sim_finalists).
+      if (candidate.sim.has_value()) {
+        out << number(candidate.sim->simulated_latency_cycles) << ","
+            << number(candidate.sim->analytical_latency_cycles) << ","
+            << number(candidate.sim->model_error()) << ","
+            << sim::to_string(candidate.sim->stats.status);
+      } else {
+        out << ",,,";
+      }
+      out << "\n";
     }
   }
   return out.str();
@@ -169,8 +183,23 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
           << ", \"fault_scenarios\": " << eval.fault_outcomes.size()
           << ", \"worst_fault_cost\": " << json_number(eval.worst_fault_cost)
           << ", \"fault_disconnected\": " << eval.infeasible_fault_scenarios
-          << "}"
-          << (t + 1 < result.selection.candidates.size() ? "," : "") << "\n";
+          << ", \"sim\": ";
+      if (candidate.sim.has_value()) {
+        const auto& sim = *candidate.sim;
+        out << "{\"latency_cycles\": "
+            << json_number(sim.simulated_latency_cycles)
+            << ", \"analytical_cycles\": "
+            << json_number(sim.analytical_latency_cycles)
+            << ", \"model_error\": " << json_number(sim.model_error())
+            << ", \"status\": "
+            << json_string(sim::to_string(sim.stats.status))
+            << ", \"delivered\": " << sim.stats.packets_delivered
+            << ", \"flit_events\": " << sim.stats.flit_events << "}";
+      } else {
+        out << "null";
+      }
+      out << "}" << (t + 1 < result.selection.candidates.size() ? "," : "")
+          << "\n";
     }
     out << "    ]}" << (p + 1 < report.results.size() ? "," : "") << "\n";
   }

@@ -15,7 +15,8 @@ namespace sunmap::io {
 /// max_area_mm2,topology,feasible,best,avg_hops,avg_latency_ns,
 /// design_area_mm2,design_power_mw,dynamic_power_mw,static_power_mw,
 /// min_bandwidth_mbps,cost,fault_scenarios,worst_fault_cost,
-/// fault_disconnected
+/// fault_disconnected,sim_latency_cycles,sim_analytical_cycles,
+/// sim_model_error,sim_status
 ///
 /// `best` marks the point's selected topology; an unconstrained area cap is
 /// written as the empty field. `shard`/`worker` are the distributed-sweep
@@ -25,7 +26,10 @@ namespace sunmap::io {
 /// faults); `fault_scenarios` counts the materialised scenarios for that
 /// topology, `worst_fault_cost` is the worst degraded-scenario cost, and
 /// `fault_disconnected` counts scenarios that disconnected at least one
-/// commodity.
+/// commodity. The four sim_* columns carry the flit-level finalist tier's
+/// verdict (simulated vs analytical delay in cycles, their relative error,
+/// and the run status); all four are empty for cells the simulator did not
+/// score — the tier is opt-in via --sim-finalists.
 std::string exploration_report_csv(const select::ExplorationReport& report);
 
 /// Structured JSON of the same report: the design-point grid with per-

@@ -156,6 +156,13 @@ void MapperConfig::validate() const {
   if (num_threads < 1) {
     fail("num_threads must be >= 1, got " + std::to_string(num_threads));
   }
+  if (sim_finalists < 0) {
+    fail("sim_finalists must be >= 0, got " + std::to_string(sim_finalists));
+  }
+  if (!(sim_flits_per_cycle_per_gbps > 0.0)) {
+    fail("sim_flits_per_cycle_per_gbps must be positive, got " +
+         num(sim_flits_per_cycle_per_gbps));
+  }
   if (floorplan.sizing_passes < 0) {
     fail("floorplan sizing_passes must be >= 0, got " +
          std::to_string(floorplan.sizing_passes));

@@ -166,6 +166,19 @@ struct MapperConfig {
   /// sequential search. 1 (the default) runs fully sequential.
   int num_threads = 1;
 
+  /// Simulator-backed finalist tier (consumed by the explorer and the CLI,
+  /// not by Mapper::map itself): after the analytically-pruned search, the
+  /// flit-level simulator re-scores the top-K feasible candidates per
+  /// objective with contention-aware delay. 0 disables the tier.
+  int sim_finalists = 0;
+  /// Simulation engine for the finalist tier and --sim-validate: the
+  /// event-driven engine (default) or the cycle-stepped reference. Both are
+  /// bit-identical; the flag exists for A/B checks and perf probes.
+  bool sim_use_event_engine = true;
+  /// MB/s -> flits/cycle conversion for the simulated application trace
+  /// (sim::TraceTraffic's scaling knob).
+  double sim_flits_per_cycle_per_gbps = 0.05;
+
   fplan::Floorplanner::Options floorplan;
   model::TechParams tech = model::TechParams::um100();
 

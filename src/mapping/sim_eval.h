@@ -1,0 +1,90 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "mapping/core_graph.h"
+#include "mapping/mapper.h"
+#include "sim/simulator.h"
+
+namespace sunmap::mapping {
+
+/// Flit-level simulation verdict on one mapped design, reported alongside
+/// the analytical evaluation it validates: the analytical model prices
+/// delay as hops + wire latency with no contention, the simulator measures
+/// it with wormhole blocking, credit stalls, and allocation conflicts
+/// included.
+struct SimScore {
+  sim::SimStats stats;  ///< Full simulation statistics (trace traffic).
+  /// Zero-load pipeline prediction in cycles, traffic-weighted over the
+  /// mapping's commodities: F + (S-1)*L per commodity of S switches with
+  /// F flits/packet and L-cycle links — what the analytical hop model
+  /// implies when contention is free.
+  double analytical_latency_cycles = 0.0;
+  /// stats.avg_latency_cycles, duplicated for symmetric column naming.
+  double simulated_latency_cycles = 0.0;
+  /// Relative contention error the analytical model misses:
+  /// (simulated - analytical) / simulated; 0 when nothing was delivered.
+  [[nodiscard]] double model_error() const {
+    return simulated_latency_cycles > 0.0
+               ? (simulated_latency_cycles - analytical_latency_cycles) /
+                     simulated_latency_cycles
+               : 0.0;
+  }
+};
+
+/// Configuration of the simulator-backed evaluation tier.
+struct SimTierOptions {
+  /// Engine + windows + buffering. Distance-class VCs default on: finalist
+  /// routes include split-traffic and wraparound path sets that deadlock
+  /// under a single VC, and a deadlocked score validates nothing.
+  sim::SimConfig config;
+  /// MB/s -> flits/cycle conversion for trace traffic (matches
+  /// sim::TraceTraffic's scaling knob).
+  double flits_per_cycle_per_gbps = 0.05;
+
+  SimTierOptions() { config.distance_class_vcs = true; }
+};
+
+/// Maps a MapperConfig's sim_* knobs (engine choice, trace scaling) onto
+/// the simulation tier's options — the one translation the explorer and the
+/// CLI both need.
+[[nodiscard]] SimTierOptions sim_tier_options(const MapperConfig& config);
+
+/// Simulator-backed evaluation of mapped designs: binds a MappingResult's
+/// per-commodity routes and rates into the flit-level simulator and scores
+/// contention-aware delay. The entry point the explorer's finalist tier and
+/// the CLI's --sim-validate both use.
+///
+/// Per-topology network layouts and simulator instances are cached across
+/// calls (satellite of the event-engine PR: repeated finalist scoring pays
+/// route-table binding only, never network construction), so one evaluator
+/// should be reused across a whole report. Not thread-safe; score
+/// sequentially.
+class SimEvaluator {
+ public:
+  explicit SimEvaluator(SimTierOptions options = SimTierOptions());
+
+  /// Simulates `result` (a mapping of `app` onto `topology`) under its own
+  /// application trace. The result must carry materialized routes aligned
+  /// with commodities_by_value(app) — every Mapper::map result does.
+  [[nodiscard]] SimScore score(const CoreGraph& app,
+                               const topo::Topology& topology,
+                               const MappingResult& result);
+
+  [[nodiscard]] const SimTierOptions& options() const { return options_; }
+
+  /// Cached per-topology network layouts (exposed for tests).
+  [[nodiscard]] std::size_t cached_layouts() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const sim::NetworkLayout> layout;
+    std::unique_ptr<sim::Simulator> simulator;
+  };
+
+  SimTierOptions options_;
+  std::map<const topo::Topology*, Entry> cache_;
+};
+
+}  // namespace sunmap::mapping

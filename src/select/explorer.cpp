@@ -7,12 +7,14 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "fault/fault.h"
 #include "mapping/eval_context.h"
+#include "mapping/sim_eval.h"
 
 namespace sunmap::select {
 
@@ -37,6 +39,76 @@ void run_worker_pool(int num_workers, const std::function<void()>& worker) {
   for (int i = 1; i < num_workers; ++i) pool.emplace_back(worker);
   worker();
   for (auto& thread : pool) thread.join();
+}
+
+/// The finalist pass: picks the top-K feasible (point, topology) cells of
+/// each objective group by mapping cost — the same grouping WinnerTracker
+/// uses, so "finalist" means "the cells the winner table was chosen from" —
+/// and re-scores them with the flit-level simulator, attaching a SimScore
+/// to each. Cells are scored in ascending (point, topology) order with one
+/// shared evaluator, so repeated topologies pay route binding only.
+void score_sim_finalists(const ExplorationRequest& request,
+                         const mapping::CoreGraph& app,
+                         ExplorationReport& report) {
+  const auto objectives_axis =
+      request.objectives.empty()
+          ? std::vector<mapping::Objective>{request.base.objective}
+          : request.objectives;
+  const int num_weight_sets =
+      static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
+  std::vector<std::pair<mapping::Objective, int>> groups;
+  for (const auto objective : objectives_axis) {
+    const int splits =
+        objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
+    for (int w = 0; w < splits; ++w) {
+      const int weights_index =
+          objective == mapping::Objective::kWeighted && num_weight_sets > 1
+              ? w
+              : -1;
+      const auto group = std::make_pair(objective, weights_index);
+      if (std::find(groups.begin(), groups.end(), group) == groups.end()) {
+        groups.push_back(group);
+      }
+    }
+  }
+
+  struct Cell {
+    double cost;
+    std::size_t point;
+    std::size_t topology;
+  };
+  std::set<std::pair<std::size_t, std::size_t>> finalists;
+  for (const auto& [objective, weights_index] : groups) {
+    std::vector<Cell> cells;
+    for (std::size_t p = 0; p < report.results.size(); ++p) {
+      const auto& result = report.results[p];
+      if (result.point.config.objective != objective) continue;
+      if (weights_index >= 0 && result.point.weights_index != weights_index) {
+        continue;
+      }
+      for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+        const auto& candidate = result.selection.candidates[t];
+        if (!candidate.feasible()) continue;
+        cells.push_back(Cell{candidate.result.eval.cost, p, t});
+      }
+    }
+    std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+      if (a.cost != b.cost) return a.cost < b.cost;
+      if (a.point != b.point) return a.point < b.point;
+      return a.topology < b.topology;
+    });
+    const std::size_t take = std::min(
+        cells.size(), static_cast<std::size_t>(request.sim_finalists));
+    for (std::size_t i = 0; i < take; ++i) {
+      finalists.emplace(cells[i].point, cells[i].topology);
+    }
+  }
+
+  mapping::SimEvaluator evaluator(mapping::sim_tier_options(request.base));
+  for (const auto& [p, t] : finalists) {
+    auto& candidate = report.results[p].selection.candidates[t];
+    candidate.sim = evaluator.score(app, *candidate.topology, candidate.result);
+  }
 }
 
 }  // namespace
@@ -292,6 +364,15 @@ ExplorationReport DesignSpaceExplorer::explore(
     throw std::invalid_argument(
         "DesignSpaceExplorer: point_begin exceeds point_end");
   }
+  if (request.sim_finalists < 0) {
+    throw std::invalid_argument(
+        "DesignSpaceExplorer: sim_finalists must be >= 0");
+  }
+  if (request.sim_finalists > 0 && request.on_point) {
+    throw std::invalid_argument(
+        "DesignSpaceExplorer: sim_finalists requires the buffered path "
+        "(incompatible with on_point streaming)");
+  }
 
   const mapping::CoreGraph& app = *request.app;
   const auto& library = *request.library;
@@ -473,6 +554,11 @@ ExplorationReport DesignSpaceExplorer::explore(
   }
   report.winners = tracker.take();
   report.pareto = pareto_frontier(area_power);
+
+  // High-fidelity finalist tier (opt-in): simulate the top-K cells of each
+  // objective group. Purely additive — nothing above reads the scores.
+  if (request.sim_finalists > 0) score_sim_finalists(request, app, report);
+
   return report;
 }
 

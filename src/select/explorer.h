@@ -123,6 +123,19 @@ struct ExplorationRequest {
   /// internal to the explore() call, exactly as before.
   ExplorerContextPool* context_pool = nullptr;
 
+  /// Opt-in high-fidelity finalist tier: after the (analytically pruned and
+  /// scored) grid completes, the flit-level simulator re-scores the top-K
+  /// feasible (point, topology) cells of each objective group under the
+  /// application's own trace, attaching a mapping::SimScore to those
+  /// candidates (TopologyCandidate::sim) — contention-aware delay reported
+  /// alongside the analytical number. Mapping results and winner selection
+  /// are untouched (the tier is purely additive; reports are bit-identical
+  /// with it on or off). Engine and trace scaling come from the base
+  /// config's sim_* fields. 0 disables. Requires the buffered path:
+  /// combining this with on_point streaming throws (streamed reports
+  /// retain no candidates to attach scores to).
+  int sim_finalists = 0;
+
   /// Number of design points the grid expands to.
   [[nodiscard]] std::size_t num_points() const;
 };

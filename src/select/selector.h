@@ -1,10 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mapping/mapper.h"
+#include "mapping/sim_eval.h"
 #include "topo/library.h"
 
 namespace sunmap::select {
@@ -14,6 +16,11 @@ namespace sunmap::select {
 struct TopologyCandidate {
   const topo::Topology* topology = nullptr;
   mapping::MappingResult result;
+  /// Flit-level simulation of this candidate under its application trace —
+  /// contention-aware delay next to the analytical number. Only the
+  /// finalist tier fills this (ExplorationRequest::sim_finalists / CLI
+  /// --sim-finalists); nullopt means the cell was not simulated.
+  std::optional<mapping::SimScore> sim;
 
   [[nodiscard]] bool feasible() const { return result.eval.feasible(); }
 };

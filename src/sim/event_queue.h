@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+
+namespace sunmap::sim {
+
+/// One scheduled wakeup: at `cycle`, the consumer identified by `payload`
+/// (a router index in the simulator) has work to do.
+struct Event {
+  std::uint64_t cycle = 0;
+  int payload = 0;
+};
+
+/// Monotonic, cycle-keyed event queue for the event-driven simulation
+/// engine.
+///
+/// The engine only ever schedules into the future at a fixed horizon
+/// (`now + link_latency`), so event cycles are nondecreasing in schedule
+/// order and a plain FIFO is a complete priority queue: events pop in
+/// (cycle, schedule-order) order with no heap and no comparator. The
+/// schedule-order tie-break within a cycle is what makes replays
+/// deterministic — two flits sent on the same cycle always wake their
+/// destination routers in the order the grants happened.
+///
+/// Consecutive duplicate (cycle, payload) pairs are coalesced on insert;
+/// non-adjacent duplicates are allowed and must be harmless to process
+/// twice (the simulator's wakeups are idempotent drains).
+class EventQueue {
+ public:
+  void schedule(std::uint64_t cycle, int payload) {
+    assert(events_.empty() || cycle >= events_.back().cycle);
+    if (!events_.empty() && events_.back().cycle == cycle &&
+        events_.back().payload == payload) {
+      return;
+    }
+    events_.push_back(Event{cycle, payload});
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// True when the earliest event is due at or before `now`.
+  [[nodiscard]] bool due(std::uint64_t now) const {
+    return !events_.empty() && events_.front().cycle <= now;
+  }
+
+  [[nodiscard]] const Event& front() const { return events_.front(); }
+  void pop() { events_.pop_front(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::deque<Event> events_;
+};
+
+}  // namespace sunmap::sim

@@ -11,8 +11,7 @@ RouteTable::RouteTable(int num_slots) : num_slots_(num_slots) {
   }
   const auto n = static_cast<std::size_t>(num_slots) *
                  static_cast<std::size_t>(num_slots);
-  table_.resize(n);
-  present_.assign(n, false);
+  table_.assign(n, nullptr);
 }
 
 std::size_t RouteTable::index(int src_slot, int dst_slot) const {
@@ -30,27 +29,35 @@ void RouteTable::set(int src_slot, int dst_slot, route::RouteSet routes) {
     throw std::invalid_argument("RouteTable: empty route set");
   }
   const auto i = index(src_slot, dst_slot);
-  table_[i] = std::move(routes);
-  present_[i] = true;
+  owned_.push_back(std::move(routes));
+  table_[i] = &owned_.back();
+}
+
+void RouteTable::set_ref(int src_slot, int dst_slot,
+                         const route::RouteSet& routes) {
+  if (routes.paths.empty()) {
+    throw std::invalid_argument("RouteTable: empty route set");
+  }
+  table_[index(src_slot, dst_slot)] = &routes;
 }
 
 bool RouteTable::has(int src_slot, int dst_slot) const {
-  return present_[index(src_slot, dst_slot)];
+  return table_[index(src_slot, dst_slot)] != nullptr;
 }
 
 const route::RouteSet& RouteTable::at(int src_slot, int dst_slot) const {
   const auto i = index(src_slot, dst_slot);
-  if (!present_[i]) {
+  if (table_[i] == nullptr) {
     throw std::out_of_range("RouteTable: no route installed for pair");
   }
-  return table_[i];
+  return *table_[i];
 }
 
 int RouteTable::max_path_switches() const {
   int longest = 0;
-  for (std::size_t i = 0; i < table_.size(); ++i) {
-    if (!present_[i]) continue;
-    for (const auto& wp : table_[i].paths) {
+  for (const auto* set : table_) {
+    if (set == nullptr) continue;
+    for (const auto& wp : set->paths) {
       longest = std::max(longest, static_cast<int>(wp.path.nodes.size()));
     }
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <vector>
 
 #include "route/routing.h"
@@ -16,8 +17,21 @@ class RouteTable {
  public:
   explicit RouteTable(int num_slots);
 
-  /// Installs the routes for an ordered slot pair.
+  // Movable but not copyable: entries are pointers (possibly into caller
+  // storage via set_ref), and a copy would alias the source's owned paths.
+  RouteTable(const RouteTable&) = delete;
+  RouteTable& operator=(const RouteTable&) = delete;
+  RouteTable(RouteTable&&) = default;
+  RouteTable& operator=(RouteTable&&) = default;
+
+  /// Installs the routes for an ordered slot pair (the table owns a copy).
   void set(int src_slot, int dst_slot, route::RouteSet routes);
+
+  /// Installs borrowed routes for an ordered slot pair without copying the
+  /// paths: the caller guarantees `routes` outlives every use of the table.
+  /// This is how the explorer's finalist tier binds a mapping's
+  /// per-commodity Evaluation routes straight into the simulator.
+  void set_ref(int src_slot, int dst_slot, const route::RouteSet& routes);
 
   [[nodiscard]] bool has(int src_slot, int dst_slot) const;
   /// Routes for the pair; throws std::out_of_range if none are installed.
@@ -39,8 +53,11 @@ class RouteTable {
   [[nodiscard]] std::size_t index(int src_slot, int dst_slot) const;
 
   int num_slots_;
-  std::vector<route::RouteSet> table_;
-  std::vector<bool> present_;
+  /// Entry per ordered pair; null when nothing is installed. Owned entries
+  /// point into owned_ (a deque for pointer stability), borrowed entries
+  /// point at caller storage.
+  std::vector<const route::RouteSet*> table_;
+  std::deque<route::RouteSet> owned_;
 };
 
 }  // namespace sunmap::sim

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/event_queue.h"
+
 namespace sunmap::sim {
 
 const char* to_string(RunStatus status) {
@@ -21,7 +23,71 @@ const char* to_string(RunStatus status) {
   return "?";
 }
 
+const char* to_string(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kEventDriven:
+      return "event";
+    case SimEngine::kCycleStepped:
+      return "cycle";
+  }
+  return "?";
+}
+
+std::shared_ptr<const NetworkLayout> make_network_layout(
+    const topo::Topology& topology) {
+  auto layout = std::make_shared<NetworkLayout>();
+  const auto& g = topology.switch_graph();
+  layout->routers.resize(static_cast<std::size_t>(g.num_nodes()));
+  layout->out_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()),
+                                  -1);
+  layout->in_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()), -1);
+  layout->inject_port_of_slot.assign(
+      static_cast<std::size_t>(topology.num_slots()), -1);
+
+  // Network input/output ports follow edge order, then core attachments.
+  for (graph::NodeId r = 0; r < g.num_nodes(); ++r) {
+    auto& shape = layout->routers[static_cast<std::size_t>(r)];
+    for (graph::EdgeId e : g.in_edges(r)) {
+      layout->in_port_of_edge[static_cast<std::size_t>(e)] =
+          static_cast<int>(shape.input_is_source.size());
+      shape.input_is_source.push_back(0);
+    }
+    for (graph::EdgeId e : g.out_edges(r)) {
+      layout->out_port_of_edge[static_cast<std::size_t>(e)] =
+          static_cast<int>(shape.outputs.size());
+      shape.outputs.emplace_back();
+    }
+  }
+  for (int s = 0; s < topology.num_slots(); ++s) {
+    auto& in_shape = layout->routers[static_cast<std::size_t>(
+        topology.ingress_switch(s))];
+    layout->inject_port_of_slot[static_cast<std::size_t>(s)] =
+        static_cast<int>(in_shape.input_is_source.size());
+    in_shape.input_is_source.push_back(1);
+
+    auto& out_shape = layout->routers[static_cast<std::size_t>(
+        topology.egress_switch(s))];
+    NetworkLayout::Output sink;
+    sink.is_sink = true;
+    sink.sink_slot = s;
+    out_shape.outputs.push_back(sink);
+  }
+  // Wire up link destinations.
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    auto& out = layout->routers[static_cast<std::size_t>(edge.src)]
+                    .outputs[static_cast<std::size_t>(
+                        layout->out_port_of_edge[static_cast<std::size_t>(e)])];
+    out.dst_router = edge.dst;
+    out.dst_in_port = layout->in_port_of_edge[static_cast<std::size_t>(e)];
+  }
+  return layout;
+}
+
 namespace {
+
+constexpr std::uint64_t kNeverPopped =
+    std::numeric_limits<std::uint64_t>::max();
 
 struct Packet {
   int src = 0;
@@ -43,14 +109,17 @@ struct InFlight {
   Flit flit;
 };
 
-struct InputPort {
+struct InputState {
   /// One FIFO per virtual channel. A flit at hop h sits in VC h
   /// (distance-class assignment); with a single VC everything is queues[0].
   std::vector<std::deque<Flit>> queues;
   std::vector<int> pending;        ///< In-flight flits headed to each VC.
   std::deque<InFlight> in_flight;  ///< On the upstream link, FIFO.
   int capacity = 4;                ///< Per VC; INT_MAX for source queues.
-  bool popped_this_cycle = false;  ///< Input speedup is 1 flit/cycle.
+  /// Cycle of the last pop (input speedup is 1 flit/cycle). A timestamp
+  /// instead of a per-cycle-reset bool so the event engine never has to
+  /// visit idle ports just to clear flags.
+  std::uint64_t popped_cycle = kNeverPopped;
 
   [[nodiscard]] bool has_space(int vc) const {
     return static_cast<int>(queues[static_cast<std::size_t>(vc)].size()) +
@@ -59,13 +128,7 @@ struct InputPort {
   }
 };
 
-struct OutputPort {
-  // Destination: either a network link to (router, input port) or a sink.
-  bool is_sink = false;
-  int dst_router = -1;
-  int dst_in_port = -1;
-  int sink_slot = -1;
-
+struct OutputState {
   // Per-VC wormhole state: the packet owning this output VC and the input
   // it is draining from.
   std::vector<Packet*> locked;
@@ -74,29 +137,41 @@ struct OutputPort {
   int vc_rr = 0;             ///< Round-robin over VCs for the physical link.
 };
 
-struct Router {
-  std::vector<InputPort> inputs;
-  std::vector<OutputPort> outputs;
+struct RouterState {
+  std::vector<InputState> inputs;
+  std::vector<OutputState> outputs;
+  /// Flits sitting in this router's input queues (any port, any VC). The
+  /// event engine's wakeup predicate: a router with zero queued flits can
+  /// neither move a flit nor mutate allocator state, so it is skipped.
+  int queued_flits = 0;
 };
 
 }  // namespace
 
 struct Simulator::Impl {
   const topo::Topology& topology;
-  const RouteTable& routes;
+  const RouteTable* routes;
   SimConfig config;
   util::Prng prng;
+  std::shared_ptr<const NetworkLayout> layout;
 
-  std::vector<Router> routers;
-  std::vector<int> out_port_of_edge;    // EdgeId -> output port at edge.src
-  std::vector<int> in_port_of_edge;     // EdgeId -> input port at edge.dst
-  std::vector<int> inject_port_of_slot; // SlotId -> input port at ingress
+  std::vector<RouterState> routers;
   std::deque<Packet> packets;
+
+  // Event-driven engine state: link-arrival wakeups plus the sorted set of
+  // routers holding queued flits (scanned each cycle until they drain).
+  EventQueue arrivals;
+  std::vector<char> armed;
+  std::vector<int> armed_ids;  // ascending — allocation order must match
+                               // the cycle-stepped router sweep
+
+  std::vector<std::pair<int, int>> injections_buf;
 
   std::uint64_t now = 0;
   std::uint64_t flits_in_network = 0;
   std::uint64_t delivered_flits_since_warmup = 0;
   std::uint64_t injected_flits_since_warmup = 0;
+  std::uint64_t total_flit_events = 0;
 
   // Measurement accumulators.
   std::uint64_t measured_generated = 0;
@@ -105,18 +180,16 @@ struct Simulator::Impl {
   double latency_max = 0.0;
   std::vector<double> latencies;  // per measured packet, for percentiles
 
-  int num_vcs = 1;
+  int num_vcs = 0;  // 0 = router state not built yet
 
-  Impl(const topo::Topology& topo, const RouteTable& table, SimConfig cfg)
-      : topology(topo), routes(table), config(cfg), prng(cfg.seed) {
+  Impl(const topo::Topology& topo, const RouteTable& table, SimConfig cfg,
+       std::shared_ptr<const NetworkLayout> net)
+      : topology(topo), routes(&table), config(cfg), prng(cfg.seed) {
     if (cfg.flits_per_packet < 1 || cfg.buffer_depth_flits < 1 ||
         cfg.link_latency_cycles < 1) {
       throw std::invalid_argument("SimConfig: invalid parameters");
     }
-    if (cfg.distance_class_vcs) {
-      num_vcs = std::max(1, routes.max_path_switches());
-    }
-    build_network();
+    layout = net != nullptr ? std::move(net) : make_network_layout(topo);
   }
 
   /// VC a queued flit occupies: its hop index under distance-class VCs.
@@ -124,73 +197,86 @@ struct Simulator::Impl {
     return num_vcs == 1 ? 0 : std::min(flit.hop, num_vcs - 1);
   }
 
-  void build_network() {
-    const auto& g = topology.switch_graph();
-    routers.resize(static_cast<std::size_t>(g.num_nodes()));
-    out_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()), -1);
-    in_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()), -1);
-    inject_port_of_slot.assign(static_cast<std::size_t>(topology.num_slots()),
-                               -1);
-
-    auto make_input = [&](int capacity) {
-      InputPort port;
-      port.capacity = capacity;
-      port.queues.resize(static_cast<std::size_t>(num_vcs));
-      port.pending.assign(static_cast<std::size_t>(num_vcs), 0);
-      return port;
-    };
-    auto make_output = [&]() {
-      OutputPort port;
-      port.locked.assign(static_cast<std::size_t>(num_vcs), nullptr);
-      port.locked_in.assign(static_cast<std::size_t>(num_vcs), -1);
-      port.rr_next.assign(static_cast<std::size_t>(num_vcs), 0);
-      return port;
-    };
-
-    // Network input/output ports follow edge order, then core attachments.
-    for (graph::NodeId r = 0; r < g.num_nodes(); ++r) {
-      auto& router = routers[static_cast<std::size_t>(r)];
-      for (graph::EdgeId e : g.in_edges(r)) {
-        in_port_of_edge[static_cast<std::size_t>(e)] =
-            static_cast<int>(router.inputs.size());
-        router.inputs.push_back(make_input(config.buffer_depth_flits));
+  /// Sizes per-router state from the layout (only when the VC count
+  /// changes; otherwise reset() clears in place).
+  void build_state() {
+    routers.assign(layout->routers.size(), RouterState{});
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      const auto& shape = layout->routers[r];
+      auto& router = routers[r];
+      router.inputs.resize(shape.input_is_source.size());
+      for (std::size_t i = 0; i < router.inputs.size(); ++i) {
+        auto& in = router.inputs[i];
+        in.capacity = shape.input_is_source[i]
+                          ? std::numeric_limits<int>::max()
+                          : config.buffer_depth_flits;
+        in.queues.resize(static_cast<std::size_t>(num_vcs));
+        in.pending.assign(static_cast<std::size_t>(num_vcs), 0);
       }
-      for (graph::EdgeId e : g.out_edges(r)) {
-        out_port_of_edge[static_cast<std::size_t>(e)] =
-            static_cast<int>(router.outputs.size());
-        router.outputs.push_back(make_output());
+      router.outputs.resize(shape.outputs.size());
+      for (auto& out : router.outputs) {
+        out.locked.assign(static_cast<std::size_t>(num_vcs), nullptr);
+        out.locked_in.assign(static_cast<std::size_t>(num_vcs), -1);
+        out.rr_next.assign(static_cast<std::size_t>(num_vcs), 0);
       }
     }
-    for (int s = 0; s < topology.num_slots(); ++s) {
-      auto& in_router =
-          routers[static_cast<std::size_t>(topology.ingress_switch(s))];
-      inject_port_of_slot[static_cast<std::size_t>(s)] =
-          static_cast<int>(in_router.inputs.size());
-      in_router.inputs.push_back(
-          make_input(std::numeric_limits<int>::max()));
+  }
 
-      auto& out_router =
-          routers[static_cast<std::size_t>(topology.egress_switch(s))];
-      auto sink = make_output();
-      sink.is_sink = true;
-      sink.sink_slot = s;
-      out_router.outputs.push_back(std::move(sink));
+  /// Clears dynamic state so run() starts from cycle 0. Keeps the port
+  /// arrays allocated: repeated runs over the same binding pay no
+  /// construction.
+  void reset() {
+    prng = util::Prng(config.seed);
+    const int vcs =
+        config.distance_class_vcs ? std::max(1, routes->max_path_switches())
+                                  : 1;
+    if (vcs != num_vcs) {
+      num_vcs = vcs;
+      build_state();
+    } else {
+      for (auto& router : routers) {
+        for (auto& in : router.inputs) {
+          for (auto& q : in.queues) q.clear();
+          std::fill(in.pending.begin(), in.pending.end(), 0);
+          in.in_flight.clear();
+          in.popped_cycle = kNeverPopped;
+        }
+        for (auto& out : router.outputs) {
+          std::fill(out.locked.begin(), out.locked.end(), nullptr);
+          std::fill(out.locked_in.begin(), out.locked_in.end(), -1);
+          std::fill(out.rr_next.begin(), out.rr_next.end(), 0);
+          out.vc_rr = 0;
+        }
+        router.queued_flits = 0;
+      }
     }
-    // Wire up link destinations.
-    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-      const auto& edge = g.edge(e);
-      auto& out =
-          routers[static_cast<std::size_t>(edge.src)]
-              .outputs[static_cast<std::size_t>(
-                  out_port_of_edge[static_cast<std::size_t>(e)])];
-      out.dst_router = edge.dst;
-      out.dst_in_port = in_port_of_edge[static_cast<std::size_t>(e)];
-    }
+    packets.clear();
+    arrivals.clear();
+    armed.assign(routers.size(), 0);
+    armed_ids.clear();
+    now = 0;
+    flits_in_network = 0;
+    delivered_flits_since_warmup = 0;
+    injected_flits_since_warmup = 0;
+    total_flit_events = 0;
+    measured_generated = 0;
+    measured_delivered = 0;
+    latency_sum = 0.0;
+    latency_max = 0.0;
+    latencies.clear();
+  }
+
+  /// Marks a router as holding queued flits; keeps armed_ids ascending.
+  void arm(int r) {
+    if (armed[static_cast<std::size_t>(r)]) return;
+    armed[static_cast<std::size_t>(r)] = 1;
+    armed_ids.insert(std::lower_bound(armed_ids.begin(), armed_ids.end(), r),
+                     r);
   }
 
   /// Samples one weighted path for a new packet.
   const graph::Path* sample_path(int src, int dst) {
-    const auto& set = routes.at(src, dst);
+    const auto& set = routes->at(src, dst);
     double r = prng.next_double();
     for (const auto& wp : set.paths) {
       r -= wp.fraction;
@@ -203,16 +289,36 @@ struct Simulator::Impl {
     packets.push_back(Packet{src, dst, sample_path(src, dst), now, measured});
     Packet* pkt = &packets.back();
     if (measured) ++measured_generated;
-    auto& port =
-        routers[static_cast<std::size_t>(topology.ingress_switch(src))]
-            .inputs[static_cast<std::size_t>(
-                inject_port_of_slot[static_cast<std::size_t>(src)])];
+    const int r = topology.ingress_switch(src);
+    auto& router = routers[static_cast<std::size_t>(r)];
+    auto& port = router.inputs[static_cast<std::size_t>(
+        layout->inject_port_of_slot[static_cast<std::size_t>(src)])];
     for (int f = 0; f < config.flits_per_packet; ++f) {
       port.queues[0].push_back(Flit{pkt, f == 0,
                                     f == config.flits_per_packet - 1, 0});
       ++flits_in_network;
+      ++router.queued_flits;
       if (now >= config.warmup_cycles) ++injected_flits_since_warmup;
     }
+    arm(r);
+  }
+
+  /// Link arrivals at router `r` become visible input-queue flits.
+  void promote_arrivals(int r) {
+    auto& router = routers[static_cast<std::size_t>(r)];
+    bool promoted = false;
+    for (auto& in : router.inputs) {
+      while (!in.in_flight.empty() && in.in_flight.front().arrival <= now) {
+        const Flit& flit = in.in_flight.front().flit;
+        const int vc = vc_of(flit);
+        in.queues[static_cast<std::size_t>(vc)].push_back(flit);
+        --in.pending[static_cast<std::size_t>(vc)];
+        in.in_flight.pop_front();
+        ++router.queued_flits;
+        promoted = true;
+      }
+    }
+    if (promoted) arm(r);
   }
 
   /// Output port a flit at router `r` wants next (head flits only).
@@ -221,13 +327,13 @@ struct Simulator::Impl {
     if (flit.hop + 1 < static_cast<int>(path.nodes.size())) {
       const graph::EdgeId e =
           path.edges[static_cast<std::size_t>(flit.hop)];
-      return out_port_of_edge[static_cast<std::size_t>(e)];
+      return layout->out_port_of_edge[static_cast<std::size_t>(e)];
     }
     // Last switch: eject to the destination slot's sink port.
     const int dst = flit.packet->dst;
-    const auto& router = routers[static_cast<std::size_t>(r)];
-    for (std::size_t p = 0; p < router.outputs.size(); ++p) {
-      if (router.outputs[p].is_sink && router.outputs[p].sink_slot == dst) {
+    const auto& shape = layout->routers[static_cast<std::size_t>(r)];
+    for (std::size_t p = 0; p < shape.outputs.size(); ++p) {
+      if (shape.outputs[p].is_sink && shape.outputs[p].sink_slot == dst) {
         return static_cast<int>(p);
       }
     }
@@ -248,115 +354,97 @@ struct Simulator::Impl {
     latencies.push_back(latency);
   }
 
-  /// One simulation cycle; returns the number of flits that moved.
-  int step(TrafficModel& traffic, bool measure_window) {
-    // 1. Link arrivals become visible; reset per-cycle state.
-    for (auto& router : routers) {
-      for (auto& in : router.inputs) {
-        in.popped_this_cycle = false;
-        while (!in.in_flight.empty() && in.in_flight.front().arrival <= now) {
-          const Flit& flit = in.in_flight.front().flit;
-          const int vc = vc_of(flit);
-          in.queues[static_cast<std::size_t>(vc)].push_back(flit);
-          --in.pending[static_cast<std::size_t>(vc)];
-          in.in_flight.pop_front();
-        }
-      }
-    }
-
-    // 2. New packets.
-    static thread_local std::vector<std::pair<int, int>> injections;
-    injections.clear();
-    traffic.injections(now, prng, injections);
-    for (const auto& [src, dst] : injections) {
-      if (src == dst) continue;
-      inject(src, dst, measure_window);
-    }
-
-    // 3. Switch allocation and traversal: each output port (physical link)
-    // moves at most one flit per cycle, round-robining over its virtual
-    // channels, each of which holds its own wormhole lock.
+  /// Switch allocation and traversal for one router: each output port
+  /// (physical link) moves at most one flit per cycle, round-robining over
+  /// its virtual channels, each of which holds its own wormhole lock.
+  /// Shared verbatim by both engines — a router with no queued flits makes
+  /// no grants and mutates nothing, which is what lets the event engine
+  /// skip it.
+  int allocate_router(std::size_t r) {
     int moved = 0;
-    for (std::size_t r = 0; r < routers.size(); ++r) {
-      auto& router = routers[r];
-      for (auto& out : router.outputs) {
-        bool granted = false;
-        for (int kv = 0; kv < num_vcs && !granted; ++kv) {
-          const int vc = (out.vc_rr + kv) % num_vcs;
-          const auto vcz = static_cast<std::size_t>(vc);
+    auto& router = routers[r];
+    const auto& shape = layout->routers[r];
+    for (std::size_t o = 0; o < router.outputs.size(); ++o) {
+      auto& out = router.outputs[o];
+      const auto& out_shape = shape.outputs[o];
+      bool granted = false;
+      for (int kv = 0; kv < num_vcs && !granted; ++kv) {
+        const int vc = (out.vc_rr + kv) % num_vcs;
+        const auto vcz = static_cast<std::size_t>(vc);
 
-          int grant_in = -1;
-          if (out.locked[vcz] != nullptr) {
-            // Wormhole: the owning packet keeps this output VC until tail.
-            auto& in = router.inputs[static_cast<std::size_t>(
-                out.locked_in[vcz])];
-            if (!in.popped_this_cycle && !in.queues[vcz].empty() &&
-                in.queues[vcz].front().packet == out.locked[vcz]) {
-              grant_in = out.locked_in[vcz];
+        int grant_in = -1;
+        if (out.locked[vcz] != nullptr) {
+          // Wormhole: the owning packet keeps this output VC until tail.
+          auto& in = router.inputs[static_cast<std::size_t>(
+              out.locked_in[vcz])];
+          if (in.popped_cycle != now && !in.queues[vcz].empty() &&
+              in.queues[vcz].front().packet == out.locked[vcz]) {
+            grant_in = out.locked_in[vcz];
+          }
+        } else {
+          // Round-robin over head flits in this VC requesting this output.
+          const int n = static_cast<int>(router.inputs.size());
+          for (int k = 0; k < n; ++k) {
+            const int i = (out.rr_next[vcz] + k) % n;
+            auto& in = router.inputs[static_cast<std::size_t>(i)];
+            if (in.popped_cycle == now || in.queues[vcz].empty()) continue;
+            const Flit& flit = in.queues[vcz].front();
+            if (!flit.head) continue;
+            if (output_for(flit, static_cast<graph::NodeId>(r)) !=
+                static_cast<int>(o)) {
+              continue;
             }
-          } else {
-            // Round-robin over head flits in this VC requesting this output.
-            const int n = static_cast<int>(router.inputs.size());
-            for (int k = 0; k < n; ++k) {
-              const int i = (out.rr_next[vcz] + k) % n;
-              auto& in = router.inputs[static_cast<std::size_t>(i)];
-              if (in.popped_this_cycle || in.queues[vcz].empty()) continue;
-              const Flit& flit = in.queues[vcz].front();
-              if (!flit.head) continue;
-              if (output_for(flit, static_cast<graph::NodeId>(r)) !=
-                  static_cast<int>(&out - router.outputs.data())) {
-                continue;
-              }
-              grant_in = i;
-              out.rr_next[vcz] = (i + 1) % n;
-              break;
-            }
+            grant_in = i;
+            out.rr_next[vcz] = (i + 1) % n;
+            break;
           }
-          if (grant_in < 0) continue;
+        }
+        if (grant_in < 0) continue;
 
-          auto& in = router.inputs[static_cast<std::size_t>(grant_in)];
-          const Flit& head = in.queues[vcz].front();
+        auto& in = router.inputs[static_cast<std::size_t>(grant_in)];
+        const Flit& head = in.queues[vcz].front();
 
-          // Flow control: space in the downstream VC this flit will occupy
-          // (its hop increments across the link); sinks always accept.
-          if (!out.is_sink) {
-            Flit next = head;
-            ++next.hop;
-            const auto& dst_port =
-                routers[static_cast<std::size_t>(out.dst_router)]
-                    .inputs[static_cast<std::size_t>(out.dst_in_port)];
-            if (!dst_port.has_space(vc_of(next))) continue;
-          }
+        // Flow control: space in the downstream VC this flit will occupy
+        // (its hop increments across the link); sinks always accept.
+        if (!out_shape.is_sink) {
+          Flit next = head;
+          ++next.hop;
+          const auto& dst_port =
+              routers[static_cast<std::size_t>(out_shape.dst_router)]
+                  .inputs[static_cast<std::size_t>(out_shape.dst_in_port)];
+          if (!dst_port.has_space(vc_of(next))) continue;
+        }
 
-          Flit flit = head;
-          in.queues[vcz].pop_front();
-          in.popped_this_cycle = true;
-          ++moved;
-          granted = true;
-          out.vc_rr = (vc + 1) % num_vcs;
+        Flit flit = head;
+        in.queues[vcz].pop_front();
+        in.popped_cycle = now;
+        --router.queued_flits;
+        ++moved;
+        granted = true;
+        out.vc_rr = (vc + 1) % num_vcs;
 
-          if (flit.head && !flit.tail) {
-            out.locked[vcz] = flit.packet;
-            out.locked_in[vcz] = grant_in;
-          }
-          if (flit.tail) {
-            out.locked[vcz] = nullptr;
-            out.locked_in[vcz] = -1;
-          }
+        if (flit.head && !flit.tail) {
+          out.locked[vcz] = flit.packet;
+          out.locked_in[vcz] = grant_in;
+        }
+        if (flit.tail) {
+          out.locked[vcz] = nullptr;
+          out.locked_in[vcz] = -1;
+        }
 
-          if (out.is_sink) {
-            deliver(flit);
-          } else {
-            Flit next = flit;
-            ++next.hop;
-            auto& dst_port =
-                routers[static_cast<std::size_t>(out.dst_router)]
-                    .inputs[static_cast<std::size_t>(out.dst_in_port)];
-            ++dst_port.pending[static_cast<std::size_t>(vc_of(next))];
-            dst_port.in_flight.push_back(InFlight{
-                now + static_cast<std::uint64_t>(config.link_latency_cycles),
-                next});
-          }
+        if (out_shape.is_sink) {
+          deliver(flit);
+        } else {
+          Flit next = flit;
+          ++next.hop;
+          auto& dst_port =
+              routers[static_cast<std::size_t>(out_shape.dst_router)]
+                  .inputs[static_cast<std::size_t>(out_shape.dst_in_port)];
+          ++dst_port.pending[static_cast<std::size_t>(vc_of(next))];
+          const std::uint64_t when =
+              now + static_cast<std::uint64_t>(config.link_latency_cycles);
+          dst_port.in_flight.push_back(InFlight{when, next});
+          arrivals.schedule(when, out_shape.dst_router);
         }
       }
     }
@@ -364,16 +452,71 @@ struct Simulator::Impl {
   }
 
   SimStats run(TrafficModel& traffic) {
+    reset();
     SimStats stats;
+    const bool event_driven = config.engine == SimEngine::kEventDriven;
     const std::uint64_t measure_end =
         config.warmup_cycles + config.measure_cycles;
     const std::uint64_t hard_end = measure_end + config.drain_cycles;
     std::uint64_t stall = 0;
 
+    // Both engines execute the identical per-cycle phase order — arrivals,
+    // injections, allocation — and share all state-mutating code; the event
+    // engine differs only in visiting the routers that can act instead of
+    // all of them. Injection sampling runs every cycle regardless (the
+    // traffic models draw from the PRNG per cycle, and the draw sequence is
+    // part of the bit-identity contract), so a quiescent span costs one
+    // traffic poll per cycle and no router work at all.
     while (now < hard_end) {
       const bool measure_window =
           now >= config.warmup_cycles && now < measure_end;
-      const int moved = step(traffic, measure_window);
+
+      // 1. Link arrivals become visible.
+      if (event_driven) {
+        while (arrivals.due(now)) {
+          promote_arrivals(arrivals.front().payload);
+          arrivals.pop();
+        }
+      } else {
+        for (std::size_t r = 0; r < routers.size(); ++r) {
+          promote_arrivals(static_cast<int>(r));
+        }
+      }
+
+      // 2. New packets.
+      injections_buf.clear();
+      traffic.injections(now, prng, injections_buf);
+      for (const auto& [src, dst] : injections_buf) {
+        if (src == dst) continue;
+        inject(src, dst, measure_window);
+      }
+
+      // 3. Switch allocation and traversal.
+      int moved = 0;
+      if (event_driven) {
+        // Routers never join armed_ids mid-allocation (grants only park
+        // flits on links, to surface at now + link_latency), so iterating
+        // the ascending list reproduces the full router sweep exactly.
+        for (std::size_t idx = 0; idx < armed_ids.size(); ++idx) {
+          moved += allocate_router(
+              static_cast<std::size_t>(armed_ids[idx]));
+        }
+        std::size_t w = 0;
+        for (const int id : armed_ids) {
+          if (routers[static_cast<std::size_t>(id)].queued_flits > 0) {
+            armed_ids[w++] = id;
+          } else {
+            armed[static_cast<std::size_t>(id)] = 0;
+          }
+        }
+        armed_ids.resize(w);
+      } else {
+        for (std::size_t r = 0; r < routers.size(); ++r) {
+          moved += allocate_router(r);
+        }
+      }
+      total_flit_events += static_cast<std::uint64_t>(moved);
+
       if (moved == 0 && flits_in_network > 0) {
         ++stats.stalled_cycles;
         if (++stall >= config.stall_limit_cycles) {
@@ -393,6 +536,7 @@ struct Simulator::Impl {
     stats.cycles = now;
     stats.packets_generated = measured_generated;
     stats.packets_delivered = measured_delivered;
+    stats.flit_events = total_flit_events;
     if (measured_delivered > 0) {
       stats.avg_latency_cycles =
           latency_sum / static_cast<double>(measured_delivered);
@@ -440,19 +584,24 @@ struct Simulator::Impl {
 };
 
 Simulator::Simulator(const topo::Topology& topology, const RouteTable& routes,
-                     SimConfig config)
-    : impl_(std::make_unique<Impl>(topology, routes, config)) {}
+                     SimConfig config,
+                     std::shared_ptr<const NetworkLayout> layout)
+    : impl_(std::make_unique<Impl>(topology, routes, config,
+                                   std::move(layout))) {}
 
 Simulator::~Simulator() = default;
+
+void Simulator::bind(const RouteTable& routes) { impl_->routes = &routes; }
 
 SimStats Simulator::run(TrafficModel& traffic) { return impl_->run(traffic); }
 
 SimStats simulate_pattern(const topo::Topology& topology,
                           const RouteTable& routes, Pattern pattern,
-                          double injection_rate, const SimConfig& config) {
+                          double injection_rate, const SimConfig& config,
+                          std::shared_ptr<const NetworkLayout> layout) {
   PatternTraffic traffic(topology.num_slots(), pattern, injection_rate,
                          config.flits_per_packet);
-  Simulator simulator(topology, routes, config);
+  Simulator simulator(topology, routes, config, std::move(layout));
   return simulator.run(traffic);
 }
 

@@ -11,6 +11,23 @@
 
 namespace sunmap::sim {
 
+/// Which execution engine drives the simulation. Both engines implement the
+/// identical router model and produce bit-identical SimStats for the same
+/// config and traffic (asserted by tests/sim_event_test.cpp and gated by
+/// bench_sim_throughput); the cycle-stepped loop is retained as the
+/// reference the event-driven engine is checked against.
+enum class SimEngine {
+  /// Event-queue core: routers are scanned only on cycles where they hold
+  /// flits or receive one; quiescent spans cost one traffic poll per cycle
+  /// and nothing else. The default.
+  kEventDriven,
+  /// Reference implementation: every router, FIFO, and output port is
+  /// scanned on every cycle.
+  kCycleStepped,
+};
+
+const char* to_string(SimEngine engine);
+
 /// Simulator configuration. The router model is the cycle-accurate stand-in
 /// for the generated ×pipes SystemC macros (see DESIGN.md §2): wormhole
 /// switching, a single virtual channel, credit-based flow control over
@@ -40,6 +57,8 @@ struct SimConfig {
   std::uint64_t stall_limit_cycles = 2000;
 
   std::uint64_t seed = 1;
+
+  SimEngine engine = SimEngine::kEventDriven;
 };
 
 /// Structured verdict on how a run terminated, from healthiest to most
@@ -86,7 +105,39 @@ struct SimStats {
   std::uint64_t stalled_cycles = 0;
   /// Measured packets generated but never delivered.
   std::uint64_t undelivered_packets = 0;
+  /// Flit traversals granted over the whole run (warmup + measurement +
+  /// drain, link hops and ejections alike). Identical between engines; the
+  /// numerator of the events/sec throughput metric in bench_sim_throughput.
+  std::uint64_t flit_events = 0;
 };
+
+/// Static wiring of the simulated network for one topology: per-router port
+/// shapes, edge -> port maps, injection and sink attachments. A pure
+/// function of the topology — build it once with make_network_layout() and
+/// share it across Simulator instances (finalist scoring, load sweeps) so
+/// repeated runs don't pay network construction each time.
+struct NetworkLayout {
+  struct Output {
+    bool is_sink = false;
+    int dst_router = -1;   ///< Link destination router (non-sink).
+    int dst_in_port = -1;  ///< Input port index at dst_router (non-sink).
+    int sink_slot = -1;    ///< Ejection slot (sink only).
+  };
+  struct RouterShape {
+    /// One flag per input port, in port order: true for the unbounded
+    /// per-slot source queues appended after the network inputs.
+    std::vector<char> input_is_source;
+    std::vector<Output> outputs;
+  };
+
+  std::vector<RouterShape> routers;
+  std::vector<int> out_port_of_edge;     ///< EdgeId -> output port at src.
+  std::vector<int> in_port_of_edge;      ///< EdgeId -> input port at dst.
+  std::vector<int> inject_port_of_slot;  ///< SlotId -> ingress input port.
+};
+
+[[nodiscard]] std::shared_ptr<const NetworkLayout> make_network_layout(
+    const topo::Topology& topology);
 
 /// Cycle-accurate NoC simulator over one topology and routing table.
 ///
@@ -94,18 +145,30 @@ struct SimStats {
 /// path from the route table. A flit granted an output port at cycle t
 /// arrives at the downstream input at t + link_latency; with everything
 /// idle, a packet of F flits over a path of S switches is delivered in
-/// S + link_latency*(S-1) + F - 1 + 1 cycles from generation (asserted by
-/// the zero-load latency tests).
+/// F + link_latency*(S-1) cycles from generation (asserted by the zero-load
+/// latency tests).
+///
+/// A Simulator is reusable: run() resets all dynamic state (including the
+/// PRNG, reseeded from the config) before simulating, so repeated runs with
+/// the same traffic are identical, and bind() rebinds a different route
+/// table over the same network. Pass a cached NetworkLayout to skip port
+/// construction entirely.
 class Simulator {
  public:
   Simulator(const topo::Topology& topology, const RouteTable& routes,
-            SimConfig config);
+            SimConfig config,
+            std::shared_ptr<const NetworkLayout> layout = nullptr);
   ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Runs warmup + measurement + drain and returns the statistics.
+  /// Rebinds the route table (same topology). The table is borrowed: it
+  /// must outlive the next run() call.
+  void bind(const RouteTable& routes);
+
+  /// Runs warmup + measurement + drain and returns the statistics. Resets
+  /// all dynamic state first; callable repeatedly.
   [[nodiscard]] SimStats run(TrafficModel& traffic);
 
  private:
@@ -114,9 +177,12 @@ class Simulator {
 };
 
 /// Convenience: average measured packet latency for a synthetic pattern at
-/// one injection rate (one point of Fig 8(b)).
+/// one injection rate (one point of Fig 8(b)). An optional cached layout
+/// skips network construction.
 SimStats simulate_pattern(const topo::Topology& topology,
                           const RouteTable& routes, Pattern pattern,
-                          double injection_rate, const SimConfig& config);
+                          double injection_rate, const SimConfig& config,
+                          std::shared_ptr<const NetworkLayout> layout =
+                              nullptr);
 
 }  // namespace sunmap::sim

@@ -111,6 +111,45 @@ void PatternTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
   }
 }
 
+BurstyTraffic::BurstyTraffic(int num_slots, Pattern pattern,
+                             double burst_rate, int flits_per_packet,
+                             double burst_len, double duty)
+    : pattern_(num_slots, pattern, burst_rate, flits_per_packet),
+      packet_rate_(burst_rate / static_cast<double>(flits_per_packet)),
+      bursting_(static_cast<std::size_t>(num_slots), 0) {
+  if (burst_len < 1.0 || duty <= 0.0 || duty >= 1.0) {
+    throw std::invalid_argument("BurstyTraffic: invalid burst shape");
+  }
+  // Geometric state holding times: mean burst of `burst_len` cycles, and an
+  // idle mean sized so bursts cover `duty` of the timeline in steady state.
+  p_exit_burst_ = 1.0 / burst_len;
+  const double idle_len = burst_len * (1.0 - duty) / duty;
+  p_enter_burst_ = 1.0 / std::max(1.0, idle_len);
+}
+
+void BurstyTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
+                               std::vector<std::pair<int, int>>& out) {
+  for (std::size_t s = 0; s < bursting_.size(); ++s) {
+    // One transition draw per slot per cycle, then the usual Bernoulli
+    // injection while bursting — a fixed per-cycle draw order, so both
+    // simulation engines consume the PRNG identically.
+    if (bursting_[s] != 0) {
+      if (prng.chance(p_exit_burst_)) bursting_[s] = 0;
+    } else {
+      if (prng.chance(p_enter_burst_)) bursting_[s] = 1;
+    }
+    if (bursting_[s] == 0) continue;
+    if (!prng.chance(packet_rate_)) continue;
+    const int src = static_cast<int>(s);
+    const int dst = pattern_.destination(src, prng);
+    if (dst == src || dst < 0 ||
+        dst >= static_cast<int>(bursting_.size())) {
+      continue;
+    }
+    out.emplace_back(src, dst);
+  }
+}
+
 TraceTraffic::TraceTraffic(std::vector<TrafficFlow> flows,
                            int flits_per_packet,
                            double flits_per_cycle_per_gbps)

@@ -63,6 +63,29 @@ class PatternTraffic : public TrafficModel {
   double hotspot_fraction_ = 0.5;
 };
 
+/// On/off modulated Bernoulli injection: each slot alternates between a
+/// burst state (injecting at `burst_rate` flits/cycle/node) and an idle
+/// state (injecting nothing), with geometrically distributed state
+/// durations. Mean burst length `burst_len` and a long-run duty cycle of
+/// `duty` reproduce the bursty phases of real SoC traffic that uniform
+/// Bernoulli smooths away; the long idle spans are exactly the regime the
+/// event-driven engine skips.
+class BurstyTraffic : public TrafficModel {
+ public:
+  BurstyTraffic(int num_slots, Pattern pattern, double burst_rate,
+                int flits_per_packet, double burst_len, double duty);
+
+  void injections(std::uint64_t cycle, util::Prng& prng,
+                  std::vector<std::pair<int, int>>& out) override;
+
+ private:
+  PatternTraffic pattern_;
+  double packet_rate_;   ///< Packets/cycle per slot while bursting.
+  double p_exit_burst_;  ///< Per-cycle chance a bursting slot goes idle.
+  double p_enter_burst_; ///< Per-cycle chance an idle slot starts a burst.
+  std::vector<char> bursting_;
+};
+
 /// One application flow for trace-driven simulation.
 struct TrafficFlow {
   int src_slot = 0;

@@ -1,18 +1,22 @@
 #include "sweep/daemon.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.h"
@@ -70,39 +74,52 @@ std::optional<mapping::SearchKind> parse_search(const std::string& text) {
 /// One resident (application, library) pair with its live context pool.
 /// The app and library are heap-stable, so the pool's identity binding
 /// (ExplorerContextPool::bound_app/bound_topologies) holds across requests.
+/// The mutex serializes explore() calls over this entry: a context pool is
+/// single-consumer, so requests sharing a pool queue on it while requests
+/// over other (app, library) pairs run on other accept threads in parallel.
 struct PoolEntry {
   std::unique_ptr<mapping::CoreGraph> app;
   std::vector<std::unique_ptr<topo::Topology>> library;
   select::ExplorerContextPool pool;
+  std::mutex mutex;
 };
 
-/// Serves one parsed request against the resident pools; throws
-/// std::runtime_error with a client-facing message on bad input.
-std::string handle_request(
-    const std::map<std::string, std::string>& fields,
-    std::map<std::string, PoolEntry>& pools) {
+/// Finds or creates the resident pool entry a request addresses. The map
+/// mutex covers lookup and creation (app + library construction is cheap
+/// next to an explore), so two threads never build the same key twice;
+/// entries are never erased once created, so the returned reference stays
+/// valid after the lock is released (std::map nodes are address-stable).
+PoolEntry& resolve_pool(const std::map<std::string, std::string>& fields,
+                        std::map<std::string, PoolEntry>& pools,
+                        std::mutex& pools_mutex) {
   const auto app_it = fields.find("app");
   if (app_it == fields.end()) {
     throw std::runtime_error("request needs app=<name>");
   }
   const bool extensions =
       fields.count("extensions") != 0 && fields.at("extensions") == "1";
-  const std::string pool_key =
-      app_it->second + (extensions ? "+ext" : "");
-  auto entry_it = pools.find(pool_key);
-  if (entry_it == pools.end()) {
+  const std::string pool_key = app_it->second + (extensions ? "+ext" : "");
+  std::lock_guard<std::mutex> lock(pools_mutex);
+  const auto [entry_it, inserted] = pools.try_emplace(pool_key);
+  if (inserted) {
     auto app = builtin_app(app_it->second);
     if (!app) {
+      pools.erase(entry_it);
       throw std::runtime_error("unknown app " + app_it->second);
     }
-    PoolEntry entry;
-    entry.app = std::make_unique<mapping::CoreGraph>(std::move(*app));
-    entry.library =
-        topo::standard_library(entry.app->num_cores(), extensions);
-    entry_it = pools.emplace(pool_key, std::move(entry)).first;
+    entry_it->second.app =
+        std::make_unique<mapping::CoreGraph>(std::move(*app));
+    entry_it->second.library =
+        topo::standard_library(entry_it->second.app->num_cores(), extensions);
   }
-  PoolEntry& entry = entry_it->second;
+  return entry_it->second;
+}
 
+/// Serves one parsed request against its resolved pool entry; throws
+/// std::runtime_error with a client-facing message on bad input. The
+/// caller must hold entry.mutex.
+std::string handle_request(const std::map<std::string, std::string>& fields,
+                           PoolEntry& entry) {
   select::ExplorationRequest request;
   request.app = entry.app.get();
   request.library = &entry.library;
@@ -226,40 +243,84 @@ DaemonStats serve(const DaemonOptions& options) {
                              std::strerror(errno));
   }
 
-  DaemonStats stats;
-  std::map<std::string, PoolEntry> pools;
-  while (!stop_requested() &&
-         (options.max_requests < 0 ||
-          stats.requests_served + stats.requests_failed <
-              options.max_requests)) {
-    pollfd listener{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&listener, 1, 200);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
-    std::string response;
-    try {
-      const auto fields = parse_fields(read_request(conn));
-      const std::string json = handle_request(fields, pools);
-      response = "OK " + std::to_string(json.size()) + "\n" + json;
-      ++stats.requests_served;
-      if (options.verbose) {
-        std::fprintf(stderr, "sweep daemon: served request %d (%zu bytes)\n",
-                     stats.requests_served, json.size());
-      }
-    } catch (const std::exception& e) {
-      response = std::string("ERR ") + e.what() + "\n";
-      ++stats.requests_failed;
-      if (options.verbose) {
-        std::fprintf(stderr, "sweep daemon: request failed: %s\n", e.what());
-      }
-    }
-    write_all_fd(conn, response.data(), response.size());
-    ::close(conn);
+  if (options.accept_threads < 1) {
+    ::close(listen_fd);
+    ::unlink(options.socket_path.c_str());
+    throw std::runtime_error("sweep daemon: accept_threads must be >= 1");
   }
+  // Nonblocking listener: every accept worker polls the same fd, so all of
+  // them wake on a connection but only one accept() wins — the losers get
+  // EAGAIN and return to poll instead of blocking.
+  const int flags = ::fcntl(listen_fd, F_GETFL, 0);
+  ::fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK);
+
+  std::map<std::string, PoolEntry> pools;
+  std::mutex pools_mutex;
+  std::atomic<int> served{0};
+  std::atomic<int> failed{0};
+  // Remaining request budget. A worker takes one ticket BEFORE accepting,
+  // so at most max_requests connections are ever handled no matter how
+  // many workers race on the listener; an unused ticket (stop while
+  // polling) is returned.
+  const bool bounded = options.max_requests >= 0;
+  std::atomic<int> tickets{options.max_requests};
+
+  const auto worker = [&]() {
+    for (;;) {
+      if (stop_requested()) break;
+      if (bounded && tickets.fetch_sub(1) <= 0) {
+        tickets.fetch_add(1);
+        break;
+      }
+      int conn = -1;
+      while (!stop_requested()) {
+        pollfd listener{listen_fd, POLLIN, 0};
+        const int ready = ::poll(&listener, 1, 200);
+        if (ready < 0 && errno != EINTR) break;
+        if (ready <= 0) continue;
+        conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn >= 0) break;  // EAGAIN: another worker won this one.
+      }
+      if (conn < 0) {
+        if (bounded) tickets.fetch_add(1);
+        break;
+      }
+      std::string response;
+      try {
+        const auto fields = parse_fields(read_request(conn));
+        PoolEntry& entry = resolve_pool(fields, pools, pools_mutex);
+        std::lock_guard<std::mutex> lock(entry.mutex);
+        const std::string json = handle_request(fields, entry);
+        response = "OK " + std::to_string(json.size()) + "\n" + json;
+        const int count = served.fetch_add(1) + 1;
+        if (options.verbose) {
+          std::fprintf(stderr, "sweep daemon: served request %d (%zu bytes)\n",
+                       count, json.size());
+        }
+      } catch (const std::exception& e) {
+        response = std::string("ERR ") + e.what() + "\n";
+        failed.fetch_add(1);
+        if (options.verbose) {
+          std::fprintf(stderr, "sweep daemon: request failed: %s\n", e.what());
+        }
+      }
+      write_all_fd(conn, response.data(), response.size());
+      ::close(conn);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(
+      static_cast<std::size_t>(options.accept_threads - 1));
+  for (int i = 1; i < options.accept_threads; ++i) threads.emplace_back(worker);
+  worker();
+  for (auto& thread : threads) thread.join();
+
   ::close(listen_fd);
   ::unlink(options.socket_path.c_str());
+  DaemonStats stats;
+  stats.requests_served = served.load();
+  stats.requests_failed = failed.load();
   return stats;
 }
 

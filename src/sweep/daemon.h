@@ -25,8 +25,17 @@ namespace sunmap::sweep {
 struct DaemonOptions {
   std::string socket_path;
   /// Return after serving this many requests; -1 serves until
-  /// request_stop() (the CLI wires that to SIGINT).
+  /// request_stop() (the CLI wires that to SIGINT). Exact at any
+  /// accept_threads count: each accepted connection consumes one ticket of
+  /// the budget before it is handled.
   int max_requests = -1;
+  /// Accept-loop worker threads. Each worker accepts, parses, and serves
+  /// whole requests; a context pool is locked per (app, library) pair, so
+  /// concurrent requests over DIFFERENT pairs evaluate in parallel while
+  /// requests sharing a pool serialize on its entry (the contexts are not
+  /// shareable mid-explore). 1 — the default — reproduces the original
+  /// single-threaded loop.
+  int accept_threads = 1;
   /// Log one stderr line per request.
   bool verbose = false;
 };

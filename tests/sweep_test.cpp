@@ -339,5 +339,48 @@ TEST(Sweep, DaemonServesRepeatRequestsWithLiveContexts) {
   EXPECT_EQ(stats.requests_failed, 1);
 }
 
+TEST(Sweep, ThreadedDaemonServesConcurrentClients) {
+  const std::string socket_path = testing::TempDir() + "sweep_daemon_mt.sock";
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.max_requests = 4;
+  options.accept_threads = 2;
+  reset_stop();
+  DaemonStats stats;
+  std::thread server([&]() { stats = serve(options); });
+
+  const std::string vopd_request = "app=vopd\nobjectives=delay\nroutings=DO\n";
+  const std::string pip_request = "app=pip\nobjectives=power\nroutings=MP\n";
+  std::string vopd_reference;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      vopd_reference = call_daemon(socket_path, vopd_request);
+      break;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_FALSE(vopd_reference.empty()) << "daemon never came up";
+  const std::string pip_reference = call_daemon(socket_path, pip_request);
+
+  // Two clients in flight at once, addressing different (app, library)
+  // pools, so the accept workers evaluate them concurrently. Replies must
+  // match the sequential references bit for bit, and the ticketed budget
+  // must close the daemon after exactly max_requests connections.
+  std::string vopd_reply;
+  std::string pip_reply;
+  std::thread first_client(
+      [&]() { vopd_reply = call_daemon(socket_path, vopd_request); });
+  std::thread second_client(
+      [&]() { pip_reply = call_daemon(socket_path, pip_request); });
+  first_client.join();
+  second_client.join();
+  server.join();
+  EXPECT_EQ(vopd_reply, vopd_reference);
+  EXPECT_EQ(pip_reply, pip_reference);
+  EXPECT_EQ(stats.requests_served, 4);
+  EXPECT_EQ(stats.requests_failed, 0);
+}
+
 }  // namespace
 }  // namespace sunmap::sweep

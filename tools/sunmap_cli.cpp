@@ -22,6 +22,7 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -34,7 +35,9 @@
 #include "io/core_graph_io.h"
 #include "io/csv.h"
 #include "io/exploration_io.h"
+#include "mapping/sim_eval.h"
 #include "select/explorer.h"
+#include "sim/simulator.h"
 #include "sweep/coordinator.h"
 #include "sweep/daemon.h"
 #include "util/table.h"
@@ -83,6 +86,17 @@ void usage() {
   --fault-penalty <x> fault-free-cost multiplier charged when a scenario
                       disconnects a commodity; must be >= 1 (default 10)
   --bandwidth <MBps>  link capacity               (default 500)
+  --sim-engine <e>    flit-level simulator core: event (event-driven,
+                      default) | cycle (the cycle-stepped reference; both
+                      engines produce bit-identical statistics)
+  --sim-finalists <n> high-fidelity finalist tier: after selection the
+                      flit-level simulator re-scores the n best feasible
+                      candidates (per objective group in sweeps) under the
+                      application's own trace, reporting contention-aware
+                      delay next to the analytical number (default 0 = off)
+  --sim-validate      simulate EVERY feasible candidate and print the
+                      analytical-vs-simulated model-validation table (the
+                      finalist tier with no cap)
   --threads <n>       swap-search worker threads  (default 1; any n is
                       deterministic and matches the sequential result)
   --max-area <mm2>    area constraint             (default unlimited)
@@ -127,6 +141,10 @@ Daemon mode:
                       per-topology evaluation contexts alive across
                       requests; SIGINT (or --serve-requests) stops it
   --serve-requests <n>  exit after serving n requests (default: unlimited)
+  --serve-threads <n>   accept-loop worker threads; concurrent requests
+                      over different (app, extensions) pairs evaluate in
+                      parallel, requests sharing a context pool queue on
+                      it (default 1)
   --call <socket>     submit THIS command line's --app/--objective/... as a
                       request to a running daemon and print the JSON reply
   --help              this text
@@ -267,6 +285,8 @@ struct SweepArgs {
   std::string faults;
   int threads = 1;
   bool show_floorplan = false;
+  /// --sim-validate: simulate every feasible cell (finalist tier, no cap).
+  bool sim_validate = false;
   std::string out_dir;
   std::string csv_path;
   std::string json_path;
@@ -292,6 +312,9 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
   request.app = &app;
   request.base = config.mapper;
   request.num_threads = args.threads;
+  request.sim_finalists = args.sim_validate
+                              ? std::numeric_limits<int>::max()
+                              : config.mapper.sim_finalists;
   for (const auto& text : objectives) {
     const auto objective = parse_objective(text);
     if (!objective) {
@@ -390,6 +413,11 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
   request.library = &library;
 
   const bool distributed = args.workers > 0 || !args.checkpoint_path.empty();
+  if (distributed && request.sim_finalists > 0) {
+    std::cerr << "--sim-finalists/--sim-validate need an in-process sweep "
+                 "(distributed merges carry no routes to simulate)\n";
+    return 2;
+  }
   std::optional<select::ExplorationReport> report;
   try {
     if (distributed) {
@@ -477,6 +505,30 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
     }
   }
   std::cout << winners.to_string() << "\n";
+
+  // The finalist tier's verdicts: one row per simulated (point, topology)
+  // cell, the contention-aware delay next to the zero-load prediction.
+  if (request.sim_finalists > 0) {
+    std::cout << "Simulated finalists ("
+              << sim::to_string(request.base.sim_use_event_engine
+                                    ? sim::SimEngine::kEventDriven
+                                    : sim::SimEngine::kCycleStepped)
+              << " engine):\n";
+    util::Table sims({"point", "topology", "analytical (cyc)",
+                      "simulated (cyc)", "model err", "status"});
+    for (std::size_t p = 0; p < report->results.size(); ++p) {
+      for (const auto& candidate : report->results[p].selection.candidates) {
+        if (!candidate.sim.has_value()) continue;
+        sims.add_row(
+            {std::to_string(p), candidate.topology->name(),
+             util::Table::num(candidate.sim->analytical_latency_cycles),
+             util::Table::num(candidate.sim->simulated_latency_cycles),
+             util::Table::num(candidate.sim->model_error() * 100.0, 1) + "%",
+             sim::to_string(candidate.sim->stats.status)});
+      }
+    }
+    std::cout << sims.to_string() << "\n";
+  }
 
   if (!report->pareto.empty()) {
     std::cout << "Area/power Pareto frontier over all feasible mappings:\n";
@@ -566,12 +618,14 @@ int main(int argc, char** argv) {
   core::SunmapConfig config;
   bool show_floorplan = false;
   bool sweep = false;
+  bool sim_validate = false;
   int threads = 1;
   int workers = 0;
   int shards = 0;
   bool resume = false;
   bool progress = false;
   int serve_requests = -1;
+  int serve_threads = 1;
   std::string checkpoint_path;
   std::string serve_socket;
   std::string call_socket;
@@ -646,6 +700,20 @@ int main(int argc, char** argv) {
         config.mapper.faults.infeasible_penalty = std::stod(need_value(i));
       } else if (arg == "--bandwidth") {
         bandwidths = split_list(need_value(i));
+      } else if (arg == "--sim-engine") {
+        const std::string text = need_value(i);
+        if (text == "event") {
+          config.mapper.sim_use_event_engine = true;
+        } else if (text == "cycle") {
+          config.mapper.sim_use_event_engine = false;
+        } else {
+          std::cerr << "unknown sim engine " << text << " (event | cycle)\n";
+          return 2;
+        }
+      } else if (arg == "--sim-finalists") {
+        config.mapper.sim_finalists = std::stoi(need_value(i));
+      } else if (arg == "--sim-validate") {
+        sim_validate = true;
       } else if (arg == "--w-delay") {
         config.mapper.weights.delay = std::stod(need_value(i));
       } else if (arg == "--w-area") {
@@ -672,6 +740,8 @@ int main(int argc, char** argv) {
         serve_socket = need_value(i);
       } else if (arg == "--serve-requests") {
         serve_requests = std::stoi(need_value(i));
+      } else if (arg == "--serve-threads") {
+        serve_threads = std::stoi(need_value(i));
       } else if (arg == "--call") {
         call_socket = need_value(i);
       } else if (arg == "--extensions") {
@@ -704,6 +774,7 @@ int main(int argc, char** argv) {
       sweep::DaemonOptions options;
       options.socket_path = serve_socket;
       options.max_requests = serve_requests;
+      options.accept_threads = serve_threads;
       options.verbose = true;
       const auto stats = sweep::serve(options);
       std::cout << "served " << stats.requests_served << " request(s), "
@@ -874,6 +945,7 @@ int main(int argc, char** argv) {
     args.faults = std::move(faults_text);
     args.threads = threads;
     args.show_floorplan = show_floorplan;
+    args.sim_validate = sim_validate;
     args.out_dir = config.output_directory;
     args.csv_path = csv_path;
     args.json_path = json_path;
@@ -911,6 +983,48 @@ int main(int argc, char** argv) {
   }
   const auto& result = *run_result;
   std::cout << core::Sunmap::report_table(result.report) << "\n";
+
+  // Single-point finalist tier / model validation: simulate the n best
+  // feasible candidates (--sim-validate lifts the cap) and print the
+  // contention-aware delay next to the analytical zero-load number.
+  if (sim_validate || config.mapper.sim_finalists > 0) {
+    std::vector<const select::TopologyCandidate*> finalists;
+    for (const auto& candidate : result.report.candidates) {
+      if (candidate.feasible()) finalists.push_back(&candidate);
+    }
+    std::stable_sort(finalists.begin(), finalists.end(),
+                     [](const select::TopologyCandidate* a,
+                        const select::TopologyCandidate* b) {
+                       return a->result.eval.cost < b->result.eval.cost;
+                     });
+    if (!sim_validate && finalists.size() > static_cast<std::size_t>(
+                                                config.mapper.sim_finalists)) {
+      finalists.resize(static_cast<std::size_t>(config.mapper.sim_finalists));
+    }
+    try {
+      mapping::SimEvaluator evaluator(
+          mapping::sim_tier_options(config.mapper));
+      util::Table sims({"topology", "analytical (cyc)", "simulated (cyc)",
+                        "model err", "status"});
+      for (const auto* candidate : finalists) {
+        const auto score =
+            evaluator.score(*app, *candidate->topology, candidate->result);
+        sims.add_row(
+            {candidate->topology->name(),
+             util::Table::num(score.analytical_latency_cycles),
+             util::Table::num(score.simulated_latency_cycles),
+             util::Table::num(score.model_error() * 100.0, 1) + "%",
+             sim::to_string(score.stats.status)});
+      }
+      std::cout << "Flit-level validation ("
+                << sim::to_string(evaluator.options().config.engine)
+                << " engine):\n"
+                << sims.to_string() << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   if (!csv_path.empty()) {
     io::write_file(csv_path, io::selection_report_csv(result.report));
