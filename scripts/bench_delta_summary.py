@@ -30,7 +30,7 @@ INVARIANT_KEYS = GATED_INVARIANT_KEYS + (
     "aggregate_speedup", "min_prune_fraction", "min_area_prune_fraction",
     "min_power_prune_fraction", "fault_incremental_speedup",
     "session_speedup_minpath", "session_speedup_splitall",
-    "event_speedup_light_load")
+    "event_speedup_light_load", "hot_path_speedup", "finalist_speedup_2t")
 
 
 def fmt_ms(value) -> str:
@@ -140,6 +140,42 @@ def main() -> int:
                   f"{float(row['speedup']):.2f}x | "
                   f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} | "
                   f"{float(row['event_events_per_sec']) / 1e6:.2f} |")
+
+    # The simulation probe also compares the overhauled event engine against
+    # the frozen in-binary pre-overhaul baseline per leg; keep the hot-path
+    # win visible as the router model keeps growing.
+    probe = current.get("hot_path_probe")
+    if probe:
+        baseline_probe = {row.get("run"): row
+                          for row in baseline.get("hot_path_probe", [])}
+        print("\n| leg | frozen-baseline ms | current ms | speedup | "
+              "baseline speedup |")
+        print("|---|---|---|---|---|")
+        for row in probe:
+            old = baseline_probe.get(row.get("run"), {})
+            old_speedup = old.get("speedup")
+            print(f"| {row['run']} | "
+                  f"{fmt_ms(row['baseline_ms'])} | "
+                  f"{fmt_ms(row['current_ms'])} | "
+                  f"{float(row['speedup']):.2f}x | "
+                  f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} |")
+
+    # And how the parallel finalist tier scales with worker threads (the
+    # 2-thread bar is gated on multi-core machines only).
+    scaling = current.get("finalist_scaling")
+    if scaling:
+        baseline_scaling = {point.get("threads"): point
+                            for point in baseline.get("finalist_scaling", [])}
+        print("\n| finalist threads | wall ms | speedup vs serial | "
+              "baseline speedup |")
+        print("|---|---|---|---|")
+        for point in scaling:
+            old = baseline_scaling.get(point.get("threads"), {})
+            old_speedup = old.get("speedup")
+            print(f"| {point['threads']} | "
+                  f"{fmt_ms(point['ms'])} | "
+                  f"{float(point['speedup']):.2f}x | "
+                  f"{f'{float(old_speedup):.2f}x' if old_speedup is not None else '—'} |")
     print()
     return 0
 

@@ -45,14 +45,20 @@ import sys
 # and split-all routing. The simulation probe adds the engine pair: the
 # event-driven engine is bit-identical to the cycle-stepped reference on
 # every leg (the full SimStats record, verdict paths included), and the
-# light-load legs keep the >= 3x aggregate event speedup.
+# light-load legs keep the >= 3x aggregate event speedup. The simulator
+# hot-path overhaul adds two more: the overhauled event engine stays
+# bit-identical to the frozen in-binary pre-overhaul baseline while keeping
+# the >= 1.3x aggregate speedup over it, and the explorer's parallel
+# finalist tier merges simulation scores bit-identically to the serial pass
+# at every thread count.
 INVARIANT_KEYS = ("cost", "evaluated_mappings", "pruned_mappings",
                   "bit_identical", "restart_never_worse", "incremental_2x",
                   "annealing_incremental", "fault_free_bit_identical",
                   "fault_incremental_2x", "merge_bit_identical",
                   "resume_bit_identical", "routing_bit_identical",
                   "routing_incremental_2x", "sim_bit_identical",
-                  "sim_event_3x")
+                  "sim_event_3x", "sim_hot_path_1p3x",
+                  "finalist_parallel_identical")
 
 
 def check_pair(current_path: str, baseline_path: str,

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "fault/fault.h"
 #include "io/csv.h"
@@ -81,7 +83,13 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
          "min_bandwidth_mbps,cost,"
          "fault_scenarios,worst_fault_cost,fault_disconnected,"
          "sim_latency_cycles,sim_analytical_cycles,sim_model_error,"
-         "sim_status\n";
+         "sim_status,sim_best\n";
+  // Cells the sim re-rank crowned (--sim-rank): the sim_best column marks
+  // them with 1 and every other simulator-scored cell with 0.
+  std::set<std::pair<int, int>> sim_best;
+  for (const auto& best : report.sim_winners) {
+    if (best.found()) sim_best.emplace(best.point_index, best.topology_index);
+  }
   for (std::size_t p = 0; p < report.results.size(); ++p) {
     const auto& result = report.results[p];
     const auto& config = result.point.config;
@@ -125,9 +133,12 @@ std::string exploration_report_csv(const select::ExplorationReport& report) {
         out << number(candidate.sim->simulated_latency_cycles) << ","
             << number(candidate.sim->analytical_latency_cycles) << ","
             << number(candidate.sim->model_error()) << ","
-            << sim::to_string(candidate.sim->stats.status);
+            << sim::to_string(candidate.sim->stats.status) << ","
+            << (sim_best.count({static_cast<int>(p), static_cast<int>(t)})
+                    ? 1
+                    : 0);
       } else {
-        out << ",,,";
+        out << ",,,,";
       }
       out << "\n";
     }
@@ -222,6 +233,33 @@ std::string exploration_report_json(const select::ExplorationReport& report) {
       out << ", \"point\": null, \"topology\": null, \"cost\": null";
     }
     out << "}" << (w + 1 < report.winners.size() ? "," : "") << "\n";
+  }
+  // Simulated-delay winners (--sim-rank): one entry per objective group,
+  // parallel to "winners"; the array is empty when the re-rank was off.
+  out << "  ],\n  \"sim_winners\": [\n";
+  for (std::size_t w = 0; w < report.sim_winners.size(); ++w) {
+    const auto& best = report.sim_winners[w];
+    out << "    {\"objective\": "
+        << json_string(mapping::to_string(best.objective));
+    if (best.found()) {
+      const auto& result =
+          report.results[static_cast<std::size_t>(best.point_index)];
+      const auto& candidate =
+          result.selection
+              .candidates[static_cast<std::size_t>(best.topology_index)];
+      out << ", \"point\": " << best.point_index
+          << ", \"label\": " << json_string(result.point.label())
+          << ", \"topology\": " << json_string(candidate.topology->name())
+          << ", \"sim_latency_cycles\": "
+          << (candidate.sim.has_value()
+                  ? json_number(candidate.sim->simulated_latency_cycles)
+                  : std::string("null"))
+          << ", \"cost\": " << json_number(candidate.result.eval.cost);
+    } else {
+      out << ", \"point\": null, \"topology\": null, "
+             "\"sim_latency_cycles\": null, \"cost\": null";
+    }
+    out << "}" << (w + 1 < report.sim_winners.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"pareto\": [\n";
   for (std::size_t i = 0; i < report.pareto.size(); ++i) {

@@ -36,6 +36,16 @@ const char* to_string(SearchKind kind) {
   return "?";
 }
 
+const char* to_string(SimTraffic traffic) {
+  switch (traffic) {
+    case SimTraffic::kTrace:
+      return "trace";
+    case SimTraffic::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
 bool better_than(const Evaluation& a, const Evaluation& b) {
   if (a.feasible() != b.feasible()) return a.feasible();
   if (a.feasible()) return a.cost < b.cost;
@@ -162,6 +172,20 @@ void MapperConfig::validate() const {
   if (!(sim_flits_per_cycle_per_gbps > 0.0)) {
     fail("sim_flits_per_cycle_per_gbps must be positive, got " +
          num(sim_flits_per_cycle_per_gbps));
+  }
+  if (sim_rank && sim_finalists < 1) {
+    fail("sim_rank requires sim_finalists >= 1 (the analytical prefilter "
+         "that picks the cells to re-rank), got sim_finalists=" +
+         std::to_string(sim_finalists));
+  }
+  if (sim_seed == 0) {
+    fail("sim_seed must be >= 1 (0 is reserved as \"not a seed\"), got 0");
+  }
+  if (!(sim_burst_len >= 1.0)) {
+    fail("sim_burst_len must be >= 1 cycle, got " + num(sim_burst_len));
+  }
+  if (!(sim_burst_duty > 0.0 && sim_burst_duty < 1.0)) {
+    fail("sim_burst_duty must be in (0, 1), got " + num(sim_burst_duty));
   }
   if (floorplan.sizing_passes < 0) {
     fail("floorplan sizing_passes must be >= 0, got " +

@@ -43,6 +43,15 @@ enum class SearchKind { kGreedySwaps, kAnnealing, kRestartAnnealing };
 
 const char* to_string(SearchKind kind);
 
+/// Traffic model the simulator-backed finalist tier replays a mapped
+/// design's commodities under: the plain application trace (Bernoulli at
+/// each flow's rate) or the same flows modulated by BurstyTraffic's on/off
+/// bursts (same long-run offered load concentrated into contention-heavy
+/// phases).
+enum class SimTraffic { kTrace, kBursty };
+
+const char* to_string(SimTraffic traffic);
+
 /// Configuration of one mapping run (phase 1 of the design flow).
 struct MapperConfig {
   route::RoutingKind routing = route::RoutingKind::kMinPath;
@@ -178,6 +187,27 @@ struct MapperConfig {
   /// MB/s -> flits/cycle conversion for the simulated application trace
   /// (sim::TraceTraffic's scaling knob).
   double sim_flits_per_cycle_per_gbps = 0.05;
+  /// Rank by simulated delay (--sim-rank): after the finalist tier scores
+  /// the top-K feasible cells of each objective group, each group is
+  /// re-ranked by contention-aware simulated delay and the sim winners are
+  /// reported alongside the analytical ones (two-phase rank: analytical
+  /// prefilter, simulated re-rank). Purely additive — analytical results
+  /// and winners are untouched. Requires sim_finalists >= 1.
+  bool sim_rank = false;
+  /// PRNG seed of the finalist-tier simulator, decoupled from the mapping
+  /// search's seed so the two streams can be varied independently
+  /// (--sim-seed). 1 — the default — reproduces the historical behavior
+  /// (sim::SimConfig's default seed). Must be >= 1; 0 is reserved as "not
+  /// a seed" so a forgotten flag value fails loudly instead of silently
+  /// changing every score.
+  std::uint64_t sim_seed = 1;
+  /// Traffic model the finalist tier simulates (--sim-traffic); see
+  /// SimTraffic. Burst shape for kBursty: mean burst length in cycles and
+  /// the long-run fraction of the timeline covered by bursts (in-burst rate
+  /// is scaled by 1/duty so offered load matches the plain trace).
+  SimTraffic sim_traffic = SimTraffic::kTrace;
+  double sim_burst_len = 50.0;
+  double sim_burst_duty = 0.3;
 
   fplan::Floorplanner::Options floorplan;
   model::TechParams tech = model::TechParams::um100();

@@ -10,12 +10,21 @@ SimTierOptions sim_tier_options(const MapperConfig& config) {
   options.config.engine = config.sim_use_event_engine
                               ? sim::SimEngine::kEventDriven
                               : sim::SimEngine::kCycleStepped;
+  options.config.seed = config.sim_seed;
   options.flits_per_cycle_per_gbps = config.sim_flits_per_cycle_per_gbps;
+  options.traffic = config.sim_traffic;
+  options.burst_len = config.sim_burst_len;
+  options.burst_duty = config.sim_burst_duty;
   return options;
 }
 
 SimEvaluator::SimEvaluator(SimTierOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.cache_capacity < 1) {
+    throw std::invalid_argument(
+        "SimEvaluator: cache_capacity must be >= 1");
+  }
+}
 
 SimScore SimEvaluator::score(const CoreGraph& app,
                              const topo::Topology& topology,
@@ -60,18 +69,35 @@ SimScore SimEvaluator::score(const CoreGraph& app,
 
   auto [it, inserted] = cache_.try_emplace(&topology);
   Entry& entry = it->second;
+  entry.last_used = ++use_tick_;
   if (inserted) {
     entry.layout = sim::make_network_layout(topology);
     entry.simulator = std::make_unique<sim::Simulator>(
         topology, table, options_.config, entry.layout);
+    // Bounded LRU: evict the least-recently-scored topology beyond the
+    // capacity (never the entry just inserted).
+    while (cache_.size() > options_.cache_capacity) {
+      auto victim = cache_.begin();
+      for (auto c = cache_.begin(); c != cache_.end(); ++c) {
+        if (c->second.last_used < victim->second.last_used) victim = c;
+      }
+      cache_.erase(victim);
+    }
   } else {
     entry.simulator->bind(table);
   }
 
-  sim::TraceTraffic traffic(flows, options_.config.flits_per_packet,
-                            options_.flits_per_cycle_per_gbps);
   SimScore score;
-  score.stats = entry.simulator->run(traffic);
+  if (options_.traffic == SimTraffic::kBursty) {
+    sim::BurstyTraffic traffic(flows, options_.config.flits_per_packet,
+                               options_.flits_per_cycle_per_gbps,
+                               options_.burst_len, options_.burst_duty);
+    score.stats = entry.simulator->run(traffic);
+  } else {
+    sim::TraceTraffic traffic(flows, options_.config.flits_per_packet,
+                              options_.flits_per_cycle_per_gbps);
+    score.stats = entry.simulator->run(traffic);
+  }
   score.analytical_latency_cycles =
       weight_sum > 0.0 ? weighted_latency / weight_sum : 0.0;
   score.simulated_latency_cycles = score.stats.avg_latency_cycles;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 
@@ -42,13 +43,27 @@ struct SimTierOptions {
   /// MB/s -> flits/cycle conversion for trace traffic (matches
   /// sim::TraceTraffic's scaling knob).
   double flits_per_cycle_per_gbps = 0.05;
+  /// Traffic model the tier replays the mapped commodities under: the
+  /// plain trace or BurstyTraffic's per-flow on/off modulation (see
+  /// mapping::SimTraffic). The burst shape mirrors MapperConfig's
+  /// sim_burst_* knobs.
+  SimTraffic traffic = SimTraffic::kTrace;
+  double burst_len = 50.0;
+  double burst_duty = 0.3;
+  /// Capacity of the per-topology layout/simulator LRU cache. A sweep
+  /// library is usually a handful of topologies, but nothing bounds it in
+  /// principle, so the cache evicts least-recently-scored entries beyond
+  /// this (like the floorplan/metrics memo caches, which cap at a fixed
+  /// size; unlike them this cache is tiny and recency-ordered, so true LRU
+  /// is affordable).
+  std::size_t cache_capacity = 16;
 
   SimTierOptions() { config.distance_class_vcs = true; }
 };
 
-/// Maps a MapperConfig's sim_* knobs (engine choice, trace scaling) onto
-/// the simulation tier's options — the one translation the explorer and the
-/// CLI both need.
+/// Maps a MapperConfig's sim_* knobs (engine choice, simulator seed,
+/// traffic model, trace scaling) onto the simulation tier's options — the
+/// one translation the explorer and the CLI both need.
 [[nodiscard]] SimTierOptions sim_tier_options(const MapperConfig& config);
 
 /// Simulator-backed evaluation of mapped designs: binds a MappingResult's
@@ -57,10 +72,17 @@ struct SimTierOptions {
 /// the CLI's --sim-validate both use.
 ///
 /// Per-topology network layouts and simulator instances are cached across
-/// calls (satellite of the event-engine PR: repeated finalist scoring pays
-/// route-table binding only, never network construction), so one evaluator
-/// should be reused across a whole report. Not thread-safe; score
-/// sequentially.
+/// calls in a bounded LRU (repeated finalist scoring pays route-table
+/// binding only, never network construction; least-recently-scored
+/// topologies are evicted beyond cache_capacity), so one evaluator should
+/// be reused across a whole report. Scoring is deterministic and
+/// assignment-independent: every score() call reseeds the simulator from
+/// the configured seed, so the same (app, topology, result) triple produces
+/// the identical SimScore no matter which evaluator instance computes it or
+/// what was scored before — this is what lets the explorer's parallel
+/// finalist tier hand cells to per-thread evaluators and still merge
+/// bit-identical reports. A single instance is still not thread-safe; use
+/// one evaluator per thread.
 class SimEvaluator {
  public:
   explicit SimEvaluator(SimTierOptions options = SimTierOptions());
@@ -81,10 +103,12 @@ class SimEvaluator {
   struct Entry {
     std::shared_ptr<const sim::NetworkLayout> layout;
     std::unique_ptr<sim::Simulator> simulator;
+    std::uint64_t last_used = 0;  ///< Recency tick for LRU eviction.
   };
 
   SimTierOptions options_;
   std::map<const topo::Topology*, Entry> cache_;
+  std::uint64_t use_tick_ = 0;
 };
 
 }  // namespace sunmap::mapping

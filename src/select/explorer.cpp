@@ -7,6 +7,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -41,15 +42,13 @@ void run_worker_pool(int num_workers, const std::function<void()>& worker) {
   for (auto& thread : pool) thread.join();
 }
 
-/// The finalist pass: picks the top-K feasible (point, topology) cells of
-/// each objective group by mapping cost — the same grouping WinnerTracker
-/// uses, so "finalist" means "the cells the winner table was chosen from" —
-/// and re-scores them with the flit-level simulator, attaching a SimScore
-/// to each. Cells are scored in ascending (point, topology) order with one
-/// shared evaluator, so repeated topologies pay route binding only.
-void score_sim_finalists(const ExplorationRequest& request,
-                         const mapping::CoreGraph& app,
-                         ExplorationReport& report) {
+/// The distinct (objective, weights_index) groups of a request, in axis
+/// order — the single grouping rule shared by WinnerTracker, the finalist
+/// tier, and the sim re-rank: a swept kWeighted objective splits per weight
+/// set (costs under different weight vectors are not comparable), the plain
+/// objectives pool across weight sets (weights_index == -1).
+std::vector<std::pair<mapping::Objective, int>> objective_groups(
+    const ExplorationRequest& request) {
   const auto objectives_axis =
       request.objectives.empty()
           ? std::vector<mapping::Objective>{request.base.objective}
@@ -71,47 +70,151 @@ void score_sim_finalists(const ExplorationRequest& request,
       }
     }
   }
+  return groups;
+}
 
-  struct Cell {
-    double cost;
-    std::size_t point;
-    std::size_t topology;
-  };
-  std::set<std::pair<std::size_t, std::size_t>> finalists;
-  for (const auto& [objective, weights_index] : groups) {
-    std::vector<Cell> cells;
-    for (std::size_t p = 0; p < report.results.size(); ++p) {
-      const auto& result = report.results[p];
-      if (result.point.config.objective != objective) continue;
-      if (weights_index >= 0 && result.point.weights_index != weights_index) {
-        continue;
-      }
-      for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
-        const auto& candidate = result.selection.candidates[t];
-        if (!candidate.feasible()) continue;
-        cells.push_back(Cell{candidate.result.eval.cost, p, t});
-      }
+/// One finalist cell: a feasible (point, topology) coordinate with its
+/// analytical mapping cost (the prefilter key).
+struct FinalistCell {
+  double cost = 0.0;
+  std::size_t point = 0;
+  std::size_t topology = 0;
+};
+
+/// The analytical prefilter: the top-K feasible cells of one objective
+/// group by mapping cost, ties to the earlier grid coordinate.
+std::vector<FinalistCell> group_finalists(
+    const ExplorationRequest& request, const ExplorationReport& report,
+    mapping::Objective objective, int weights_index) {
+  std::vector<FinalistCell> cells;
+  for (std::size_t p = 0; p < report.results.size(); ++p) {
+    const auto& result = report.results[p];
+    if (result.point.config.objective != objective) continue;
+    if (weights_index >= 0 && result.point.weights_index != weights_index) {
+      continue;
     }
-    std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
-      if (a.cost != b.cost) return a.cost < b.cost;
-      if (a.point != b.point) return a.point < b.point;
-      return a.topology < b.topology;
-    });
-    const std::size_t take = std::min(
-        cells.size(), static_cast<std::size_t>(request.sim_finalists));
-    for (std::size_t i = 0; i < take; ++i) {
-      finalists.emplace(cells[i].point, cells[i].topology);
+    for (std::size_t t = 0; t < result.selection.candidates.size(); ++t) {
+      const auto& candidate = result.selection.candidates[t];
+      if (!candidate.feasible()) continue;
+      cells.push_back(FinalistCell{candidate.result.eval.cost, p, t});
     }
   }
-
-  mapping::SimEvaluator evaluator(mapping::sim_tier_options(request.base));
-  for (const auto& [p, t] : finalists) {
-    auto& candidate = report.results[p].selection.candidates[t];
-    candidate.sim = evaluator.score(app, *candidate.topology, candidate.result);
-  }
+  std::sort(cells.begin(), cells.end(),
+            [](const FinalistCell& a, const FinalistCell& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.point != b.point) return a.point < b.point;
+              return a.topology < b.topology;
+            });
+  cells.resize(std::min(cells.size(),
+                        static_cast<std::size_t>(request.sim_finalists)));
+  return cells;
 }
 
 }  // namespace
+
+void simulate_finalists(const ExplorationRequest& request,
+                        ExplorationReport& report) {
+  if (request.app == nullptr) {
+    throw std::invalid_argument("simulate_finalists: request has no app");
+  }
+  if (request.sim_finalists <= 0) return;
+  const mapping::CoreGraph& app = *request.app;
+
+  // Union of every group's top-K, in ascending (point, topology) order —
+  // the deterministic work list. std::set both dedups cells shared between
+  // groups and fixes the order.
+  std::set<std::pair<std::size_t, std::size_t>> finalist_set;
+  for (const auto& [objective, weights_index] : objective_groups(request)) {
+    for (const auto& cell :
+         group_finalists(request, report, objective, weights_index)) {
+      finalist_set.emplace(cell.point, cell.topology);
+    }
+  }
+  const std::vector<std::pair<std::size_t, std::size_t>> finalists(
+      finalist_set.begin(), finalist_set.end());
+  if (finalists.empty()) return;
+
+  // Deterministic worker pool: each worker owns a SimEvaluator (per-thread
+  // layout/simulator caches — a SimEvaluator instance is not thread-safe)
+  // and pulls cells off a shared cursor. Every score() is reseeded and
+  // assignment-independent, and every result lands in its own slot, so the
+  // merge below — ascending cell order — is bit-identical to the serial
+  // tier no matter how cells were interleaved across threads.
+  const int num_workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, request.num_threads)),
+      finalists.size()));
+  std::vector<std::optional<mapping::SimScore>> scores(finalists.size());
+  std::atomic<std::size_t> next_cell{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&]() {
+    mapping::SimEvaluator evaluator(mapping::sim_tier_options(request.base));
+    for (;;) {
+      const std::size_t i = next_cell.fetch_add(1);
+      if (i >= finalists.size()) break;
+      const auto& [p, t] = finalists[i];
+      try {
+        const auto& candidate = report.results[p].selection.candidates[t];
+        scores[i] =
+            evaluator.score(app, *candidate.topology, candidate.result);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        break;
+      }
+    }
+  };
+  run_worker_pool(num_workers, worker);
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (std::size_t i = 0; i < finalists.size(); ++i) {
+    const auto& [p, t] = finalists[i];
+    report.results[p].selection.candidates[t].sim = std::move(scores[i]);
+  }
+}
+
+std::vector<ObjectiveBest> rank_sim_winners(const ExplorationRequest& request,
+                                            const ExplorationReport& report) {
+  std::vector<ObjectiveBest> winners;
+  for (const auto& [objective, weights_index] : objective_groups(request)) {
+    ObjectiveBest best;
+    best.objective = objective;
+    best.weights_index = weights_index;
+    // Re-rank the group's own finalists (the analytical prefilter) by
+    // simulated delay: drained runs outrank saturated ones (a saturated
+    // latency is only a lower bound), then lower simulated latency, then
+    // the analytical cost and grid coordinate as deterministic ties.
+    bool have = false;
+    double best_latency = 0.0;
+    bool best_drained = false;
+    double best_cost = 0.0;
+    for (const auto& cell :
+         group_finalists(request, report, objective, weights_index)) {
+      const auto& candidate =
+          report.results[cell.point].selection.candidates[cell.topology];
+      if (!candidate.sim.has_value()) continue;
+      const bool drained =
+          candidate.sim->stats.status == sim::RunStatus::kDrained;
+      const double latency = candidate.sim->simulated_latency_cycles;
+      const bool better =
+          !have ||
+          (drained != best_drained
+               ? drained
+               : (latency != best_latency ? latency < best_latency
+                                          : cell.cost < best_cost));
+      if (better) {
+        have = true;
+        best_drained = drained;
+        best_latency = latency;
+        best_cost = cell.cost;
+        best.point_index = static_cast<int>(cell.point);
+        best.topology_index = static_cast<int>(cell.topology);
+      }
+    }
+    winners.push_back(best);
+  }
+  return winners;
+}
 
 int best_feasible_index(const std::vector<TopologyCandidate>& candidates) {
   int best = -1;
@@ -128,33 +231,12 @@ int best_feasible_index(const std::vector<TopologyCandidate>& candidates) {
 }
 
 WinnerTracker::WinnerTracker(const ExplorationRequest& request) {
-  const auto objectives_axis =
-      request.objectives.empty()
-          ? std::vector<mapping::Objective>{request.base.objective}
-          : request.objectives;
-  const int num_weight_sets =
-      static_cast<int>(std::max<std::size_t>(1, request.weight_sets.size()));
-  for (const auto objective : objectives_axis) {
-    const int groups =
-        objective == mapping::Objective::kWeighted ? num_weight_sets : 1;
-    for (int w = 0; w < groups; ++w) {
-      const int weights_index =
-          objective == mapping::Objective::kWeighted && num_weight_sets > 1
-              ? w
-              : -1;
-      bool seen = false;
-      for (const auto& known : winners_) {
-        seen = seen || (known.objective == objective &&
-                        known.weights_index == weights_index);
-      }
-      if (!seen) {
-        ObjectiveBest best;
-        best.objective = objective;
-        best.weights_index = weights_index;
-        winners_.push_back(best);
-        best_costs_.push_back(0.0);
-      }
-    }
+  for (const auto& [objective, weights_index] : objective_groups(request)) {
+    ObjectiveBest best;
+    best.objective = objective;
+    best.weights_index = weights_index;
+    winners_.push_back(best);
+    best_costs_.push_back(0.0);
   }
 }
 
@@ -373,6 +455,11 @@ ExplorationReport DesignSpaceExplorer::explore(
         "DesignSpaceExplorer: sim_finalists requires the buffered path "
         "(incompatible with on_point streaming)");
   }
+  if (request.sim_rank && request.sim_finalists < 1) {
+    throw std::invalid_argument(
+        "DesignSpaceExplorer: sim_rank requires sim_finalists >= 1 (the "
+        "analytical prefilter that picks the cells to re-rank)");
+  }
 
   const mapping::CoreGraph& app = *request.app;
   const auto& library = *request.library;
@@ -557,7 +644,10 @@ ExplorationReport DesignSpaceExplorer::explore(
 
   // High-fidelity finalist tier (opt-in): simulate the top-K cells of each
   // objective group. Purely additive — nothing above reads the scores.
-  if (request.sim_finalists > 0) score_sim_finalists(request, app, report);
+  if (request.sim_finalists > 0) {
+    simulate_finalists(request, report);
+    if (request.sim_rank) report.sim_winners = rank_sim_winners(request, report);
+  }
 
   return report;
 }

@@ -126,15 +126,30 @@ struct ExplorationRequest {
   /// Opt-in high-fidelity finalist tier: after the (analytically pruned and
   /// scored) grid completes, the flit-level simulator re-scores the top-K
   /// feasible (point, topology) cells of each objective group under the
-  /// application's own trace, attaching a mapping::SimScore to those
+  /// application's own traffic (plain trace or BurstyTraffic, per the base
+  /// config's sim_traffic), attaching a mapping::SimScore to those
   /// candidates (TopologyCandidate::sim) — contention-aware delay reported
   /// alongside the analytical number. Mapping results and winner selection
   /// are untouched (the tier is purely additive; reports are bit-identical
-  /// with it on or off). Engine and trace scaling come from the base
-  /// config's sim_* fields. 0 disables. Requires the buffered path:
-  /// combining this with on_point streaming throws (streamed reports
-  /// retain no candidates to attach scores to).
+  /// with it on or off). Engine, simulator seed, and trace scaling come
+  /// from the base config's sim_* fields. 0 disables. Requires the
+  /// buffered path: combining this with on_point streaming throws
+  /// (streamed reports retain no candidates to attach scores to).
+  ///
+  /// Finalist cells are simulated by a deterministic worker pool of
+  /// `num_threads` threads (one SimEvaluator per worker, results written
+  /// to fixed cells), so reports are bit-identical to the serial tier at
+  /// any thread count.
   int sim_finalists = 0;
+
+  /// Two-phase simulated-delay ranking: the analytical search prefilters
+  /// each objective group to its top-K finalists (sim_finalists), the
+  /// simulator re-ranks those by contention-aware delay, and the per-group
+  /// sim winners land in ExplorationReport::sim_winners. Deterministic and
+  /// purely additive — analytical results, winners, and the Pareto
+  /// frontier are bit-identical with this on or off. Requires
+  /// sim_finalists >= 1 (throws otherwise).
+  bool sim_rank = false;
 
   /// Number of design points the grid expands to.
   [[nodiscard]] std::size_t num_points() const;
@@ -238,6 +253,12 @@ struct ExplorationReport {
   /// Area/power Pareto frontier over every feasible (point, topology) cell
   /// of the sweep (Fig 9(b) generalised across the grid).
   std::vector<ParetoPoint> pareto;
+  /// Simulated-delay winners (ExplorationRequest::sim_rank): per objective
+  /// group, the finalist cell with the best simulated delay — drained runs
+  /// first, then lower simulated latency, ties to lower analytical cost
+  /// and the earlier grid coordinate. Parallel to `winners` (same group
+  /// order); empty unless sim_rank was set.
+  std::vector<ObjectiveBest> sim_winners;
 
   /// The winning candidate for `objective`, or nullptr when no feasible
   /// cell exists (or the objective was not swept). For a kWeighted sweep
@@ -268,5 +289,27 @@ class DesignSpaceExplorer {
   [[nodiscard]] static std::vector<DesignPoint> expand(
       const ExplorationRequest& request);
 };
+
+/// The finalist simulation pass on an already-evaluated (buffered) report:
+/// picks the top-K feasible cells of each objective group by mapping cost
+/// (K = request.sim_finalists; the same grouping WinnerTracker uses) and
+/// attaches a mapping::SimScore to each. Cells are distributed over a
+/// deterministic worker pool of request.num_threads threads — one
+/// SimEvaluator per worker, every score written to its fixed (point,
+/// topology) cell, merged in ascending cell order — so the scored report is
+/// bit-identical to a serial pass at any thread count. explore() calls this
+/// when sim_finalists > 0; exposed so the bench probe (and tests) can time
+/// and compare the tier in isolation on a prepared report.
+void simulate_finalists(const ExplorationRequest& request,
+                        ExplorationReport& report);
+
+/// The simulated-delay re-rank over a finalist-scored report: for each
+/// objective group, re-derives the group's finalist cells and ranks them by
+/// (drained first, simulated latency, analytical cost, grid coordinate),
+/// returning one ObjectiveBest per group in `winners` group order. Pure —
+/// reads the report, mutates nothing. explore() stores the result in
+/// ExplorationReport::sim_winners when request.sim_rank is set.
+[[nodiscard]] std::vector<ObjectiveBest> rank_sim_winners(
+    const ExplorationRequest& request, const ExplorationReport& report);
 
 }  // namespace sunmap::select

@@ -1,0 +1,535 @@
+// Frozen pre-overhaul simulator implementation (see baseline_sim.h). This
+// is the storage layout the hot-path overhaul replaced — per-VC std::deque
+// flit FIFOs, a per-run std::deque<Packet>, a deque-backed event queue, and
+// a linear sink-port scan on ejection — retained verbatim as the perf and
+// bit-identity baseline. Do not optimize; behavioral fixes must land in
+// simulator.cpp first and be mirrored here only if the router model itself
+// (not its storage) changes.
+
+#include "sim/baseline_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/event_queue.h"  // for the Event record
+
+namespace sunmap::sim {
+
+namespace {
+
+constexpr std::uint64_t kNeverPopped =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// The deque-backed FIFO event queue the overhaul replaced with a ring
+/// arena; kept private here so the baseline keeps its original allocation
+/// behavior.
+class BaselineEventQueue {
+ public:
+  void schedule(std::uint64_t cycle, int payload) {
+    assert(events_.empty() || cycle >= events_.back().cycle);
+    if (!events_.empty() && events_.back().cycle == cycle &&
+        events_.back().payload == payload) {
+      return;
+    }
+    events_.push_back(Event{cycle, payload});
+  }
+
+  [[nodiscard]] bool due(std::uint64_t now) const {
+    return !events_.empty() && events_.front().cycle <= now;
+  }
+
+  [[nodiscard]] const Event& front() const { return events_.front(); }
+  void pop() { events_.pop_front(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::deque<Event> events_;
+};
+
+struct Packet {
+  int src = 0;
+  int dst = 0;
+  const graph::Path* path = nullptr;  // owned by the route table
+  std::uint64_t gen_cycle = 0;
+  bool measured = false;
+};
+
+struct Flit {
+  Packet* packet = nullptr;
+  bool head = false;
+  bool tail = false;
+  int hop = 0;  ///< Index of the router currently holding the flit.
+};
+
+struct InFlight {
+  std::uint64_t arrival = 0;
+  Flit flit;
+};
+
+struct InputState {
+  /// One FIFO per virtual channel. A flit at hop h sits in VC h
+  /// (distance-class assignment); with a single VC everything is queues[0].
+  std::vector<std::deque<Flit>> queues;
+  std::vector<int> pending;        ///< In-flight flits headed to each VC.
+  std::deque<InFlight> in_flight;  ///< On the upstream link, FIFO.
+  int capacity = 4;                ///< Per VC; INT_MAX for source queues.
+  /// Cycle of the last pop (input speedup is 1 flit/cycle).
+  std::uint64_t popped_cycle = kNeverPopped;
+
+  [[nodiscard]] bool has_space(int vc) const {
+    return static_cast<int>(queues[static_cast<std::size_t>(vc)].size()) +
+               pending[static_cast<std::size_t>(vc)] <
+           capacity;
+  }
+};
+
+struct OutputState {
+  // Per-VC wormhole state: the packet owning this output VC and the input
+  // it is draining from.
+  std::vector<Packet*> locked;
+  std::vector<int> locked_in;
+  std::vector<int> rr_next;  ///< Per-VC round-robin over inputs.
+  int vc_rr = 0;             ///< Round-robin over VCs for the physical link.
+};
+
+struct RouterState {
+  std::vector<InputState> inputs;
+  std::vector<OutputState> outputs;
+  /// Flits sitting in this router's input queues (any port, any VC).
+  int queued_flits = 0;
+};
+
+}  // namespace
+
+struct BaselineSimulator::Impl {
+  const topo::Topology& topology;
+  const RouteTable* routes;
+  SimConfig config;
+  util::Prng prng;
+  std::shared_ptr<const NetworkLayout> layout;
+
+  std::vector<RouterState> routers;
+  std::deque<Packet> packets;
+
+  BaselineEventQueue arrivals;
+  std::vector<char> armed;
+  std::vector<int> armed_ids;  // ascending — allocation order must match
+                               // the cycle-stepped router sweep
+
+  std::vector<std::pair<int, int>> injections_buf;
+
+  std::uint64_t now = 0;
+  std::uint64_t flits_in_network = 0;
+  std::uint64_t delivered_flits_since_warmup = 0;
+  std::uint64_t injected_flits_since_warmup = 0;
+  std::uint64_t total_flit_events = 0;
+
+  // Measurement accumulators.
+  std::uint64_t measured_generated = 0;
+  std::uint64_t measured_delivered = 0;
+  double latency_sum = 0.0;
+  double latency_max = 0.0;
+  std::vector<double> latencies;  // per measured packet, for percentiles
+
+  int num_vcs = 0;  // 0 = router state not built yet
+
+  Impl(const topo::Topology& topo, const RouteTable& table, SimConfig cfg,
+       std::shared_ptr<const NetworkLayout> net)
+      : topology(topo), routes(&table), config(cfg), prng(cfg.seed) {
+    if (cfg.flits_per_packet < 1 || cfg.buffer_depth_flits < 1 ||
+        cfg.link_latency_cycles < 1) {
+      throw std::invalid_argument("SimConfig: invalid parameters");
+    }
+    layout = net != nullptr ? std::move(net) : make_network_layout(topo);
+  }
+
+  /// VC a queued flit occupies: its hop index under distance-class VCs.
+  [[nodiscard]] int vc_of(const Flit& flit) const {
+    return num_vcs == 1 ? 0 : std::min(flit.hop, num_vcs - 1);
+  }
+
+  void build_state() {
+    routers.assign(layout->routers.size(), RouterState{});
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      const auto& shape = layout->routers[r];
+      auto& router = routers[r];
+      router.inputs.resize(shape.input_is_source.size());
+      for (std::size_t i = 0; i < router.inputs.size(); ++i) {
+        auto& in = router.inputs[i];
+        in.capacity = shape.input_is_source[i]
+                          ? std::numeric_limits<int>::max()
+                          : config.buffer_depth_flits;
+        in.queues.resize(static_cast<std::size_t>(num_vcs));
+        in.pending.assign(static_cast<std::size_t>(num_vcs), 0);
+      }
+      router.outputs.resize(shape.outputs.size());
+      for (auto& out : router.outputs) {
+        out.locked.assign(static_cast<std::size_t>(num_vcs), nullptr);
+        out.locked_in.assign(static_cast<std::size_t>(num_vcs), -1);
+        out.rr_next.assign(static_cast<std::size_t>(num_vcs), 0);
+      }
+    }
+  }
+
+  void reset() {
+    prng = util::Prng(config.seed);
+    const int vcs =
+        config.distance_class_vcs ? std::max(1, routes->max_path_switches())
+                                  : 1;
+    if (vcs != num_vcs) {
+      num_vcs = vcs;
+      build_state();
+    } else {
+      for (auto& router : routers) {
+        for (auto& in : router.inputs) {
+          for (auto& q : in.queues) q.clear();
+          std::fill(in.pending.begin(), in.pending.end(), 0);
+          in.in_flight.clear();
+          in.popped_cycle = kNeverPopped;
+        }
+        for (auto& out : router.outputs) {
+          std::fill(out.locked.begin(), out.locked.end(), nullptr);
+          std::fill(out.locked_in.begin(), out.locked_in.end(), -1);
+          std::fill(out.rr_next.begin(), out.rr_next.end(), 0);
+          out.vc_rr = 0;
+        }
+        router.queued_flits = 0;
+      }
+    }
+    packets.clear();
+    arrivals.clear();
+    armed.assign(routers.size(), 0);
+    armed_ids.clear();
+    now = 0;
+    flits_in_network = 0;
+    delivered_flits_since_warmup = 0;
+    injected_flits_since_warmup = 0;
+    total_flit_events = 0;
+    measured_generated = 0;
+    measured_delivered = 0;
+    latency_sum = 0.0;
+    latency_max = 0.0;
+    latencies.clear();
+  }
+
+  /// Marks a router as holding queued flits; keeps armed_ids ascending.
+  void arm(int r) {
+    if (armed[static_cast<std::size_t>(r)]) return;
+    armed[static_cast<std::size_t>(r)] = 1;
+    armed_ids.insert(std::lower_bound(armed_ids.begin(), armed_ids.end(), r),
+                     r);
+  }
+
+  /// Samples one weighted path for a new packet.
+  const graph::Path* sample_path(int src, int dst) {
+    const auto& set = routes->at(src, dst);
+    double r = prng.next_double();
+    for (const auto& wp : set.paths) {
+      r -= wp.fraction;
+      if (r <= 0.0) return &wp.path;
+    }
+    return &set.paths.back().path;
+  }
+
+  void inject(int src, int dst, bool measured) {
+    packets.push_back(Packet{src, dst, sample_path(src, dst), now, measured});
+    Packet* pkt = &packets.back();
+    if (measured) ++measured_generated;
+    const int r = topology.ingress_switch(src);
+    auto& router = routers[static_cast<std::size_t>(r)];
+    auto& port = router.inputs[static_cast<std::size_t>(
+        layout->inject_port_of_slot[static_cast<std::size_t>(src)])];
+    for (int f = 0; f < config.flits_per_packet; ++f) {
+      port.queues[0].push_back(Flit{pkt, f == 0,
+                                    f == config.flits_per_packet - 1, 0});
+      ++flits_in_network;
+      ++router.queued_flits;
+      if (now >= config.warmup_cycles) ++injected_flits_since_warmup;
+    }
+    arm(r);
+  }
+
+  /// Link arrivals at router `r` become visible input-queue flits.
+  void promote_arrivals(int r) {
+    auto& router = routers[static_cast<std::size_t>(r)];
+    bool promoted = false;
+    for (auto& in : router.inputs) {
+      while (!in.in_flight.empty() && in.in_flight.front().arrival <= now) {
+        const Flit& flit = in.in_flight.front().flit;
+        const int vc = vc_of(flit);
+        in.queues[static_cast<std::size_t>(vc)].push_back(flit);
+        --in.pending[static_cast<std::size_t>(vc)];
+        in.in_flight.pop_front();
+        ++router.queued_flits;
+        promoted = true;
+      }
+    }
+    if (promoted) arm(r);
+  }
+
+  /// Output port a flit at router `r` wants next (head flits only).
+  int output_for(const Flit& flit, graph::NodeId r) const {
+    const auto& path = *flit.packet->path;
+    if (flit.hop + 1 < static_cast<int>(path.nodes.size())) {
+      const graph::EdgeId e =
+          path.edges[static_cast<std::size_t>(flit.hop)];
+      return layout->out_port_of_edge[static_cast<std::size_t>(e)];
+    }
+    // Last switch: eject to the destination slot's sink port.
+    const int dst = flit.packet->dst;
+    const auto& shape = layout->routers[static_cast<std::size_t>(r)];
+    for (std::size_t p = 0; p < shape.outputs.size(); ++p) {
+      if (shape.outputs[p].is_sink && shape.outputs[p].sink_slot == dst) {
+        return static_cast<int>(p);
+      }
+    }
+    throw std::logic_error("Simulator: no ejection port for destination");
+  }
+
+  void deliver(const Flit& flit) {
+    --flits_in_network;
+    if (now >= config.warmup_cycles) ++delivered_flits_since_warmup;
+    if (!flit.tail) return;
+    Packet* pkt = flit.packet;
+    if (!pkt->measured) return;
+    const double latency =
+        static_cast<double>(now + 1 - pkt->gen_cycle);
+    ++measured_delivered;
+    latency_sum += latency;
+    latency_max = std::max(latency_max, latency);
+    latencies.push_back(latency);
+  }
+
+  /// Switch allocation and traversal for one router (identical model to
+  /// Simulator::Impl::allocate_router; see simulator.cpp for commentary).
+  int allocate_router(std::size_t r) {
+    int moved = 0;
+    auto& router = routers[r];
+    const auto& shape = layout->routers[r];
+    for (std::size_t o = 0; o < router.outputs.size(); ++o) {
+      auto& out = router.outputs[o];
+      const auto& out_shape = shape.outputs[o];
+      bool granted = false;
+      for (int kv = 0; kv < num_vcs && !granted; ++kv) {
+        const int vc = (out.vc_rr + kv) % num_vcs;
+        const auto vcz = static_cast<std::size_t>(vc);
+
+        int grant_in = -1;
+        if (out.locked[vcz] != nullptr) {
+          // Wormhole: the owning packet keeps this output VC until tail.
+          auto& in = router.inputs[static_cast<std::size_t>(
+              out.locked_in[vcz])];
+          if (in.popped_cycle != now && !in.queues[vcz].empty() &&
+              in.queues[vcz].front().packet == out.locked[vcz]) {
+            grant_in = out.locked_in[vcz];
+          }
+        } else {
+          // Round-robin over head flits in this VC requesting this output.
+          const int n = static_cast<int>(router.inputs.size());
+          for (int k = 0; k < n; ++k) {
+            const int i = (out.rr_next[vcz] + k) % n;
+            auto& in = router.inputs[static_cast<std::size_t>(i)];
+            if (in.popped_cycle == now || in.queues[vcz].empty()) continue;
+            const Flit& flit = in.queues[vcz].front();
+            if (!flit.head) continue;
+            if (output_for(flit, static_cast<graph::NodeId>(r)) !=
+                static_cast<int>(o)) {
+              continue;
+            }
+            grant_in = i;
+            out.rr_next[vcz] = (i + 1) % n;
+            break;
+          }
+        }
+        if (grant_in < 0) continue;
+
+        auto& in = router.inputs[static_cast<std::size_t>(grant_in)];
+        const Flit& head = in.queues[vcz].front();
+
+        // Flow control: space in the downstream VC this flit will occupy
+        // (its hop increments across the link); sinks always accept.
+        if (!out_shape.is_sink) {
+          Flit next = head;
+          ++next.hop;
+          const auto& dst_port =
+              routers[static_cast<std::size_t>(out_shape.dst_router)]
+                  .inputs[static_cast<std::size_t>(out_shape.dst_in_port)];
+          if (!dst_port.has_space(vc_of(next))) continue;
+        }
+
+        Flit flit = head;
+        in.queues[vcz].pop_front();
+        in.popped_cycle = now;
+        --router.queued_flits;
+        ++moved;
+        granted = true;
+        out.vc_rr = (vc + 1) % num_vcs;
+
+        if (flit.head && !flit.tail) {
+          out.locked[vcz] = flit.packet;
+          out.locked_in[vcz] = grant_in;
+        }
+        if (flit.tail) {
+          out.locked[vcz] = nullptr;
+          out.locked_in[vcz] = -1;
+        }
+
+        if (out_shape.is_sink) {
+          deliver(flit);
+        } else {
+          Flit next = flit;
+          ++next.hop;
+          auto& dst_port =
+              routers[static_cast<std::size_t>(out_shape.dst_router)]
+                  .inputs[static_cast<std::size_t>(out_shape.dst_in_port)];
+          ++dst_port.pending[static_cast<std::size_t>(vc_of(next))];
+          const std::uint64_t when =
+              now + static_cast<std::uint64_t>(config.link_latency_cycles);
+          dst_port.in_flight.push_back(InFlight{when, next});
+          arrivals.schedule(when, out_shape.dst_router);
+        }
+      }
+    }
+    return moved;
+  }
+
+  SimStats run(TrafficModel& traffic) {
+    reset();
+    SimStats stats;
+    const bool event_driven = config.engine == SimEngine::kEventDriven;
+    const std::uint64_t measure_end =
+        config.warmup_cycles + config.measure_cycles;
+    const std::uint64_t hard_end = measure_end + config.drain_cycles;
+    std::uint64_t stall = 0;
+
+    while (now < hard_end) {
+      const bool measure_window =
+          now >= config.warmup_cycles && now < measure_end;
+
+      // 1. Link arrivals become visible.
+      if (event_driven) {
+        while (arrivals.due(now)) {
+          promote_arrivals(arrivals.front().payload);
+          arrivals.pop();
+        }
+      } else {
+        for (std::size_t r = 0; r < routers.size(); ++r) {
+          promote_arrivals(static_cast<int>(r));
+        }
+      }
+
+      // 2. New packets.
+      injections_buf.clear();
+      traffic.injections(now, prng, injections_buf);
+      for (const auto& [src, dst] : injections_buf) {
+        if (src == dst) continue;
+        inject(src, dst, measure_window);
+      }
+
+      // 3. Switch allocation and traversal.
+      int moved = 0;
+      if (event_driven) {
+        for (std::size_t idx = 0; idx < armed_ids.size(); ++idx) {
+          moved += allocate_router(
+              static_cast<std::size_t>(armed_ids[idx]));
+        }
+        std::size_t w = 0;
+        for (const int id : armed_ids) {
+          if (routers[static_cast<std::size_t>(id)].queued_flits > 0) {
+            armed_ids[w++] = id;
+          } else {
+            armed[static_cast<std::size_t>(id)] = 0;
+          }
+        }
+        armed_ids.resize(w);
+      } else {
+        for (std::size_t r = 0; r < routers.size(); ++r) {
+          moved += allocate_router(r);
+        }
+      }
+      total_flit_events += static_cast<std::uint64_t>(moved);
+
+      if (moved == 0 && flits_in_network > 0) {
+        ++stats.stalled_cycles;
+        if (++stall >= config.stall_limit_cycles) {
+          stats.saturated = true;
+          stats.status = RunStatus::kStalled;
+          break;
+        }
+      } else {
+        stall = 0;
+      }
+      ++now;
+      if (now >= measure_end && measured_delivered == measured_generated) {
+        break;  // fully drained
+      }
+    }
+
+    stats.cycles = now;
+    stats.packets_generated = measured_generated;
+    stats.packets_delivered = measured_delivered;
+    stats.flit_events = total_flit_events;
+    if (measured_delivered > 0) {
+      stats.avg_latency_cycles =
+          latency_sum / static_cast<double>(measured_delivered);
+      stats.max_latency_cycles = latency_max;
+      std::sort(latencies.begin(), latencies.end());
+      auto percentile = [&](double p) {
+        const auto rank = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[rank];
+      };
+      stats.p50_latency_cycles = percentile(0.50);
+      stats.p95_latency_cycles = percentile(0.95);
+      stats.p99_latency_cycles = percentile(0.99);
+    }
+    stats.undelivered_packets = measured_generated - measured_delivered;
+    if (measured_delivered < measured_generated) {
+      stats.saturated = true;
+      if (stats.status == RunStatus::kDrained) {
+        stats.status = RunStatus::kUndelivered;
+      }
+    }
+    const std::uint64_t span = now > config.warmup_cycles
+                                   ? now - config.warmup_cycles
+                                   : 1;
+    stats.throughput_flits_per_cycle_per_slot =
+        static_cast<double>(delivered_flits_since_warmup) /
+        static_cast<double>(span) /
+        static_cast<double>(topology.num_slots());
+    stats.offered_flits_per_cycle_per_slot =
+        static_cast<double>(injected_flits_since_warmup) /
+        static_cast<double>(span) /
+        static_cast<double>(topology.num_slots());
+    if (stats.offered_flits_per_cycle_per_slot > 0.0 &&
+        stats.throughput_flits_per_cycle_per_slot <
+            0.9 * stats.offered_flits_per_cycle_per_slot) {
+      stats.saturated = true;
+      if (stats.status == RunStatus::kDrained) {
+        stats.status = RunStatus::kSaturatedThroughput;
+      }
+    }
+    return stats;
+  }
+};
+
+BaselineSimulator::BaselineSimulator(
+    const topo::Topology& topology, const RouteTable& routes, SimConfig config,
+    std::shared_ptr<const NetworkLayout> layout)
+    : impl_(std::make_unique<Impl>(topology, routes, config,
+                                   std::move(layout))) {}
+
+BaselineSimulator::~BaselineSimulator() = default;
+
+void BaselineSimulator::bind(const RouteTable& routes) {
+  impl_->routes = &routes;
+}
+
+SimStats BaselineSimulator::run(TrafficModel& traffic) {
+  return impl_->run(traffic);
+}
+
+}  // namespace sunmap::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace sunmap::sim {
+
+/// Frozen reference copy of the simulator as it stood before the hot-path
+/// storage overhaul (per-VC std::deque flit FIFOs, per-run packet deque,
+/// deque-backed event queue). It implements the identical router model and
+/// produces bit-identical SimStats for the same config and traffic — the
+/// overhaul changed storage, never behavior.
+///
+/// Kept for the same reason the cycle-stepped engine is kept behind
+/// SimConfig::engine: it is the in-binary baseline `bench_sim_throughput`
+/// gates the pooled/SoA hot path against (full-SimStats bit-identity on
+/// every leg plus the >= 1.3x single-thread speedup bar), so the gate stays
+/// meaningful on any machine. Do not optimize this class.
+class BaselineSimulator {
+ public:
+  BaselineSimulator(const topo::Topology& topology, const RouteTable& routes,
+                    SimConfig config,
+                    std::shared_ptr<const NetworkLayout> layout = nullptr);
+  ~BaselineSimulator();
+
+  BaselineSimulator(const BaselineSimulator&) = delete;
+  BaselineSimulator& operator=(const BaselineSimulator&) = delete;
+
+  /// Rebinds the route table (same topology); borrowed like Simulator's.
+  void bind(const RouteTable& routes);
+
+  /// Runs warmup + measurement + drain and returns the statistics.
+  [[nodiscard]] SimStats run(TrafficModel& traffic);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sunmap::sim

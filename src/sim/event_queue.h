@@ -2,7 +2,7 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 namespace sunmap::sim {
 
@@ -27,31 +27,62 @@ struct Event {
 /// Consecutive duplicate (cycle, payload) pairs are coalesced on insert;
 /// non-adjacent duplicates are allowed and must be harmless to process
 /// twice (the simulator's wakeups are idempotent drains).
+///
+/// Events live in one growable power-of-two ring arena: the queue grows to
+/// its high-water mark once and then recycles slots, so the steady-state
+/// schedule/pop cycle performs no allocation (a std::deque frees and
+/// re-acquires chunk nodes as events stream through it). clear() keeps the
+/// arena, so repeated runs over the same binding reuse the same storage.
 class EventQueue {
  public:
   void schedule(std::uint64_t cycle, int payload) {
-    assert(events_.empty() || cycle >= events_.back().cycle);
-    if (!events_.empty() && events_.back().cycle == cycle &&
-        events_.back().payload == payload) {
+    assert(count_ == 0 || cycle >= back().cycle);
+    if (count_ != 0 && back().cycle == cycle && back().payload == payload) {
       return;
     }
-    events_.push_back(Event{cycle, payload});
+    if (count_ == arena_.size()) grow();
+    arena_[(head_ + count_) & mask_] = Event{cycle, payload};
+    ++count_;
   }
 
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
 
   /// True when the earliest event is due at or before `now`.
   [[nodiscard]] bool due(std::uint64_t now) const {
-    return !events_.empty() && events_.front().cycle <= now;
+    return count_ != 0 && arena_[head_].cycle <= now;
   }
 
-  [[nodiscard]] const Event& front() const { return events_.front(); }
-  void pop() { events_.pop_front(); }
-  void clear() { events_.clear(); }
+  [[nodiscard]] const Event& front() const { return arena_[head_]; }
+  void pop() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
 
  private:
-  std::deque<Event> events_;
+  [[nodiscard]] const Event& back() const {
+    return arena_[(head_ + count_ - 1) & mask_];
+  }
+
+  void grow() {
+    const std::size_t cap = arena_.empty() ? 64 : arena_.size() * 2;
+    std::vector<Event> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = arena_[(head_ + i) & mask_];
+    }
+    arena_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<Event> arena_;
+  std::size_t mask_ = 0;  // arena_.size() - 1 (power of two), 0 when empty
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
 };
 
 }  // namespace sunmap::sim

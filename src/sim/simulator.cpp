@@ -1,7 +1,6 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <stdexcept>
 
@@ -43,6 +42,8 @@ std::shared_ptr<const NetworkLayout> make_network_layout(
   layout->in_port_of_edge.assign(static_cast<std::size_t>(g.num_edges()), -1);
   layout->inject_port_of_slot.assign(
       static_cast<std::size_t>(topology.num_slots()), -1);
+  layout->sink_port_of_slot.assign(
+      static_cast<std::size_t>(topology.num_slots()), -1);
 
   // Network input/output ports follow edge order, then core attachments.
   for (graph::NodeId r = 0; r < g.num_nodes(); ++r) {
@@ -70,6 +71,8 @@ std::shared_ptr<const NetworkLayout> make_network_layout(
     NetworkLayout::Output sink;
     sink.is_sink = true;
     sink.sink_slot = s;
+    layout->sink_port_of_slot[static_cast<std::size_t>(s)] =
+        static_cast<int>(out_shape.outputs.size());
     out_shape.outputs.push_back(sink);
   }
   // Wire up link destinations.
@@ -89,6 +92,9 @@ namespace {
 constexpr std::uint64_t kNeverPopped =
     std::numeric_limits<std::uint64_t>::max();
 
+/// A packet in flight, stored in the simulator's pooled packet arena and
+/// referenced by index from flits. Slots are recycled when the tail flit
+/// ejects, so steady state allocates nothing per packet.
 struct Packet {
   int src = 0;
   int dst = 0;
@@ -97,49 +103,97 @@ struct Packet {
   bool measured = false;
 };
 
+/// An 8-byte value flit: the packet arena index plus head/tail flags and
+/// the hop the flit currently sits at. Flits live in flat ring buffers
+/// (FlitRing), not node-based containers.
 struct Flit {
-  Packet* packet = nullptr;
-  bool head = false;
-  bool tail = false;
-  int hop = 0;  ///< Index of the router currently holding the flit.
+  std::int32_t packet = -1;
+  std::uint16_t hop = 0;
+  std::uint8_t head = 0;
+  std::uint8_t tail = 0;
 };
 
-struct InFlight {
+/// One in-flight flit on a link, keyed by its arrival cycle.
+struct InFlightRec {
   std::uint64_t arrival = 0;
   Flit flit;
 };
 
-struct InputState {
-  /// One FIFO per virtual channel. A flit at hop h sits in VC h
-  /// (distance-class assignment); with a single VC everything is queues[0].
-  std::vector<std::deque<Flit>> queues;
-  std::vector<int> pending;        ///< In-flight flits headed to each VC.
-  std::deque<InFlight> in_flight;  ///< On the upstream link, FIFO.
-  int capacity = 4;                ///< Per VC; INT_MAX for source queues.
-  /// Cycle of the last pop (input speedup is 1 flit/cycle). A timestamp
-  /// instead of a per-cycle-reset bool so the event engine never has to
-  /// visit idle ports just to clear flags.
-  std::uint64_t popped_cycle = kNeverPopped;
+/// Growable power-of-two ring buffer of value elements. Grows to its
+/// high-water mark once (geometric, re-linearized on grow) and then
+/// recycles slots; clear() keeps the storage. The FIFO primitive behind the
+/// per-VC flit queues and per-input link queues — the std::deque
+/// replacement that removes per-flit chunk churn from the hot path.
+template <typename T>
+class Ring {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
 
-  [[nodiscard]] bool has_space(int vc) const {
-    return static_cast<int>(queues[static_cast<std::size_t>(vc)].size()) +
-               pending[static_cast<std::size_t>(vc)] <
-           capacity;
+  void push_back(const T& value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = value;
+    ++count_;
   }
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
 };
 
-struct OutputState {
-  // Per-VC wormhole state: the packet owning this output VC and the input
-  // it is draining from.
-  std::vector<Packet*> locked;
-  std::vector<int> locked_in;
-  std::vector<int> rr_next;  ///< Per-VC round-robin over inputs.
-  int vc_rr = 0;             ///< Round-robin over VCs for the physical link.
-};
+using FlitRing = Ring<Flit>;
+using LinkRing = Ring<InFlightRec>;
 
+/// Per-router state in flat SoA form: all per-(input, VC) and
+/// per-(output, VC) quantities are flat arrays indexed input*num_vcs + vc
+/// (resp. output*num_vcs + vc) instead of nested vectors of structs, so
+/// allocation happens per router at build time and the allocator walks
+/// contiguous memory.
 struct RouterState {
-  std::vector<InputState> inputs;
-  std::vector<OutputState> outputs;
+  int num_inputs = 0;
+  int num_outputs = 0;
+
+  // Per (input, VC), flat: the visible FIFO and the credit count of flits
+  // in flight toward it.
+  std::vector<FlitRing> queues;
+  std::vector<int> pending;
+
+  // Per input.
+  std::vector<int> capacity;  ///< Per VC; INT_MAX for source queues.
+  std::vector<std::uint64_t> popped_cycle;  ///< Cycle of the last pop.
+  std::vector<LinkRing> in_flight;          ///< On the upstream link, FIFO.
+
+  // Per (output, VC), flat: wormhole lock owner (packet arena index, -1
+  // free), the input it drains from, and the round-robin cursor.
+  std::vector<std::int32_t> locked;
+  std::vector<std::int32_t> locked_in;
+  std::vector<std::int32_t> rr_next;
+
+  // Per output: round-robin over VCs for the physical link.
+  std::vector<std::int32_t> vc_rr;
+
   /// Flits sitting in this router's input queues (any port, any VC). The
   /// event engine's wakeup predicate: a router with zero queued flits can
   /// neither move a flit nor mutate allocator state, so it is skipped.
@@ -156,7 +210,13 @@ struct Simulator::Impl {
   std::shared_ptr<const NetworkLayout> layout;
 
   std::vector<RouterState> routers;
-  std::deque<Packet> packets;
+
+  // Pooled packet arena: slots are recycled through the free list when a
+  // tail flit ejects (every flit of the packet has passed every router by
+  // then), so a long run touches a bounded working set instead of an
+  // ever-growing deque.
+  std::vector<Packet> packets;
+  std::vector<std::int32_t> free_packets;
 
   // Event-driven engine state: link-arrival wakeups plus the sorted set of
   // routers holding queued flits (scanned each cycle until they drain).
@@ -166,6 +226,7 @@ struct Simulator::Impl {
                                // the cycle-stepped router sweep
 
   std::vector<std::pair<int, int>> injections_buf;
+  std::vector<std::int32_t> head_out_;  // allocator scratch, see build_state
 
   std::uint64_t now = 0;
   std::uint64_t flits_in_network = 0;
@@ -194,37 +255,50 @@ struct Simulator::Impl {
 
   /// VC a queued flit occupies: its hop index under distance-class VCs.
   [[nodiscard]] int vc_of(const Flit& flit) const {
-    return num_vcs == 1 ? 0 : std::min(flit.hop, num_vcs - 1);
+    return num_vcs == 1 ? 0
+                        : std::min(static_cast<int>(flit.hop), num_vcs - 1);
   }
 
   /// Sizes per-router state from the layout (only when the VC count
   /// changes; otherwise reset() clears in place).
   void build_state() {
     routers.assign(layout->routers.size(), RouterState{});
+    const auto vcs = static_cast<std::size_t>(num_vcs);
     for (std::size_t r = 0; r < routers.size(); ++r) {
       const auto& shape = layout->routers[r];
       auto& router = routers[r];
-      router.inputs.resize(shape.input_is_source.size());
-      for (std::size_t i = 0; i < router.inputs.size(); ++i) {
-        auto& in = router.inputs[i];
-        in.capacity = shape.input_is_source[i]
-                          ? std::numeric_limits<int>::max()
-                          : config.buffer_depth_flits;
-        in.queues.resize(static_cast<std::size_t>(num_vcs));
-        in.pending.assign(static_cast<std::size_t>(num_vcs), 0);
+      router.num_inputs = static_cast<int>(shape.input_is_source.size());
+      router.num_outputs = static_cast<int>(shape.outputs.size());
+      const auto ni = static_cast<std::size_t>(router.num_inputs);
+      const auto no = static_cast<std::size_t>(router.num_outputs);
+      router.queues.assign(ni * vcs, FlitRing{});
+      router.pending.assign(ni * vcs, 0);
+      router.capacity.resize(ni);
+      for (std::size_t i = 0; i < ni; ++i) {
+        router.capacity[i] = shape.input_is_source[i]
+                                 ? std::numeric_limits<int>::max()
+                                 : config.buffer_depth_flits;
       }
-      router.outputs.resize(shape.outputs.size());
-      for (auto& out : router.outputs) {
-        out.locked.assign(static_cast<std::size_t>(num_vcs), nullptr);
-        out.locked_in.assign(static_cast<std::size_t>(num_vcs), -1);
-        out.rr_next.assign(static_cast<std::size_t>(num_vcs), 0);
-      }
+      router.popped_cycle.assign(ni, kNeverPopped);
+      router.in_flight.assign(ni, LinkRing{});
+      router.locked.assign(no * vcs, -1);
+      router.locked_in.assign(no * vcs, -1);
+      router.rr_next.assign(no * vcs, 0);
+      router.vc_rr.assign(no, 0);
     }
+    // Shared allocator scratch: the hoisted head-flit output per input VC
+    // (allocate_router rewrites its router's slots on entry).
+    std::size_t max_slots = 0;
+    for (const auto& router : routers) {
+      max_slots = std::max(
+          max_slots, static_cast<std::size_t>(router.num_inputs) * vcs);
+    }
+    head_out_.assign(max_slots, -1);
   }
 
-  /// Clears dynamic state so run() starts from cycle 0. Keeps the port
-  /// arrays allocated: repeated runs over the same binding pay no
-  /// construction.
+  /// Clears dynamic state so run() starts from cycle 0. Keeps every ring
+  /// and flat array allocated: repeated runs over the same binding pay no
+  /// construction and — past each ring's high-water mark — no allocation.
   void reset() {
     prng = util::Prng(config.seed);
     const int vcs =
@@ -235,22 +309,20 @@ struct Simulator::Impl {
       build_state();
     } else {
       for (auto& router : routers) {
-        for (auto& in : router.inputs) {
-          for (auto& q : in.queues) q.clear();
-          std::fill(in.pending.begin(), in.pending.end(), 0);
-          in.in_flight.clear();
-          in.popped_cycle = kNeverPopped;
-        }
-        for (auto& out : router.outputs) {
-          std::fill(out.locked.begin(), out.locked.end(), nullptr);
-          std::fill(out.locked_in.begin(), out.locked_in.end(), -1);
-          std::fill(out.rr_next.begin(), out.rr_next.end(), 0);
-          out.vc_rr = 0;
-        }
+        for (auto& q : router.queues) q.clear();
+        std::fill(router.pending.begin(), router.pending.end(), 0);
+        for (auto& link : router.in_flight) link.clear();
+        std::fill(router.popped_cycle.begin(), router.popped_cycle.end(),
+                  kNeverPopped);
+        std::fill(router.locked.begin(), router.locked.end(), -1);
+        std::fill(router.locked_in.begin(), router.locked_in.end(), -1);
+        std::fill(router.rr_next.begin(), router.rr_next.end(), 0);
+        std::fill(router.vc_rr.begin(), router.vc_rr.end(), 0);
         router.queued_flits = 0;
       }
     }
     packets.clear();
+    free_packets.clear();
     arrivals.clear();
     armed.assign(routers.size(), 0);
     armed_ids.clear();
@@ -285,17 +357,35 @@ struct Simulator::Impl {
     return &set.paths.back().path;
   }
 
+  std::int32_t alloc_packet(int src, int dst, const graph::Path* path,
+                            bool measured) {
+    if (!free_packets.empty()) {
+      const std::int32_t id = free_packets.back();
+      free_packets.pop_back();
+      packets[static_cast<std::size_t>(id)] =
+          Packet{src, dst, path, now, measured};
+      return id;
+    }
+    packets.push_back(Packet{src, dst, path, now, measured});
+    return static_cast<std::int32_t>(packets.size() - 1);
+  }
+
   void inject(int src, int dst, bool measured) {
-    packets.push_back(Packet{src, dst, sample_path(src, dst), now, measured});
-    Packet* pkt = &packets.back();
+    const std::int32_t pkt = alloc_packet(src, dst, sample_path(src, dst),
+                                          measured);
     if (measured) ++measured_generated;
     const int r = topology.ingress_switch(src);
     auto& router = routers[static_cast<std::size_t>(r)];
-    auto& port = router.inputs[static_cast<std::size_t>(
-        layout->inject_port_of_slot[static_cast<std::size_t>(src)])];
+    // Injected flits sit at hop 0, so always VC 0 of the source queue.
+    auto& queue = router.queues[static_cast<std::size_t>(
+        layout->inject_port_of_slot[static_cast<std::size_t>(src)] *
+        num_vcs)];
     for (int f = 0; f < config.flits_per_packet; ++f) {
-      port.queues[0].push_back(Flit{pkt, f == 0,
-                                    f == config.flits_per_packet - 1, 0});
+      Flit flit;
+      flit.packet = pkt;
+      flit.head = f == 0;
+      flit.tail = f == config.flits_per_packet - 1;
+      queue.push_back(flit);
       ++flits_in_network;
       ++router.queued_flits;
       if (now >= config.warmup_cycles) ++injected_flits_since_warmup;
@@ -307,13 +397,15 @@ struct Simulator::Impl {
   void promote_arrivals(int r) {
     auto& router = routers[static_cast<std::size_t>(r)];
     bool promoted = false;
-    for (auto& in : router.inputs) {
-      while (!in.in_flight.empty() && in.in_flight.front().arrival <= now) {
-        const Flit& flit = in.in_flight.front().flit;
+    for (int i = 0; i < router.num_inputs; ++i) {
+      auto& link = router.in_flight[static_cast<std::size_t>(i)];
+      while (!link.empty() && link.front().arrival <= now) {
+        const Flit flit = link.front().flit;
         const int vc = vc_of(flit);
-        in.queues[static_cast<std::size_t>(vc)].push_back(flit);
-        --in.pending[static_cast<std::size_t>(vc)];
-        in.in_flight.pop_front();
+        router.queues[static_cast<std::size_t>(i * num_vcs + vc)].push_back(
+            flit);
+        --router.pending[static_cast<std::size_t>(i * num_vcs + vc)];
+        link.pop_front();
         ++router.queued_flits;
         promoted = true;
       }
@@ -322,36 +414,34 @@ struct Simulator::Impl {
   }
 
   /// Output port a flit at router `r` wants next (head flits only).
-  int output_for(const Flit& flit, graph::NodeId r) const {
-    const auto& path = *flit.packet->path;
+  int output_for(const Flit& flit) const {
+    const Packet& pkt = packets[static_cast<std::size_t>(flit.packet)];
+    const auto& path = *pkt.path;
     if (flit.hop + 1 < static_cast<int>(path.nodes.size())) {
       const graph::EdgeId e =
           path.edges[static_cast<std::size_t>(flit.hop)];
       return layout->out_port_of_edge[static_cast<std::size_t>(e)];
     }
-    // Last switch: eject to the destination slot's sink port.
-    const int dst = flit.packet->dst;
-    const auto& shape = layout->routers[static_cast<std::size_t>(r)];
-    for (std::size_t p = 0; p < shape.outputs.size(); ++p) {
-      if (shape.outputs[p].is_sink && shape.outputs[p].sink_slot == dst) {
-        return static_cast<int>(p);
-      }
-    }
-    throw std::logic_error("Simulator: no ejection port for destination");
+    // Last switch: eject to the destination slot's precomputed sink port.
+    return layout->sink_port_of_slot[static_cast<std::size_t>(pkt.dst)];
   }
 
   void deliver(const Flit& flit) {
     --flits_in_network;
     if (now >= config.warmup_cycles) ++delivered_flits_since_warmup;
     if (!flit.tail) return;
-    Packet* pkt = flit.packet;
-    if (!pkt->measured) return;
-    const double latency =
-        static_cast<double>(now + 1 - pkt->gen_cycle);
-    ++measured_delivered;
-    latency_sum += latency;
-    latency_max = std::max(latency_max, latency);
-    latencies.push_back(latency);
+    // Tail ejection: every flit of the packet has cleared the network (they
+    // traverse in order behind the head), so the arena slot is recyclable.
+    const Packet& pkt = packets[static_cast<std::size_t>(flit.packet)];
+    if (pkt.measured) {
+      const double latency =
+          static_cast<double>(now + 1 - pkt.gen_cycle);
+      ++measured_delivered;
+      latency_sum += latency;
+      latency_max = std::max(latency_max, latency);
+      latencies.push_back(latency);
+    }
+    free_packets.push_back(flit.packet);
   }
 
   /// Switch allocation and traversal for one router: each output port
@@ -364,72 +454,97 @@ struct Simulator::Impl {
     int moved = 0;
     auto& router = routers[r];
     const auto& shape = layout->routers[r];
-    for (std::size_t o = 0; o < router.outputs.size(); ++o) {
-      auto& out = router.outputs[o];
-      const auto& out_shape = shape.outputs[o];
+
+    // Hoisted routing: the output a head flit requests is a pure function
+    // of the flit, and a queue front only changes when its input pops — an
+    // input that popped is skipped for the rest of the cycle — so one pass
+    // per input VC replaces the per-(output, VC, input) output_for() chase
+    // in the scan below with an integer compare. -1 marks "no head flit
+    // fronting this VC" (empty queue or a body/tail flit, which only moves
+    // through its wormhole lock).
+    for (int i = 0; i < router.num_inputs; ++i) {
+      if (router.popped_cycle[static_cast<std::size_t>(i)] == now) continue;
+      for (int vc = 0; vc < num_vcs; ++vc) {
+        const auto slot = static_cast<std::size_t>(i * num_vcs + vc);
+        const auto& queue = router.queues[slot];
+        head_out_[slot] = !queue.empty() && queue.front().head
+                              ? output_for(queue.front())
+                              : -1;
+      }
+    }
+
+    for (int o = 0; o < router.num_outputs; ++o) {
+      const auto& out_shape = shape.outputs[static_cast<std::size_t>(o)];
       bool granted = false;
-      for (int kv = 0; kv < num_vcs && !granted; ++kv) {
-        const int vc = (out.vc_rr + kv) % num_vcs;
-        const auto vcz = static_cast<std::size_t>(vc);
+      int vc = router.vc_rr[static_cast<std::size_t>(o)];
+      for (int kv = 0; kv < num_vcs && !granted;
+           ++kv, vc = vc + 1 < num_vcs ? vc + 1 : 0) {
+        const auto ovc = static_cast<std::size_t>(o * num_vcs + vc);
 
         int grant_in = -1;
-        if (out.locked[vcz] != nullptr) {
+        if (router.locked[ovc] >= 0) {
           // Wormhole: the owning packet keeps this output VC until tail.
-          auto& in = router.inputs[static_cast<std::size_t>(
-              out.locked_in[vcz])];
-          if (in.popped_cycle != now && !in.queues[vcz].empty() &&
-              in.queues[vcz].front().packet == out.locked[vcz]) {
-            grant_in = out.locked_in[vcz];
+          const int li = router.locked_in[ovc];
+          const auto& queue =
+              router.queues[static_cast<std::size_t>(li * num_vcs + vc)];
+          if (router.popped_cycle[static_cast<std::size_t>(li)] != now &&
+              !queue.empty() && queue.front().packet == router.locked[ovc]) {
+            grant_in = li;
           }
         } else {
           // Round-robin over head flits in this VC requesting this output.
-          const int n = static_cast<int>(router.inputs.size());
-          for (int k = 0; k < n; ++k) {
-            const int i = (out.rr_next[vcz] + k) % n;
-            auto& in = router.inputs[static_cast<std::size_t>(i)];
-            if (in.popped_cycle == now || in.queues[vcz].empty()) continue;
-            const Flit& flit = in.queues[vcz].front();
-            if (!flit.head) continue;
-            if (output_for(flit, static_cast<graph::NodeId>(r)) !=
-                static_cast<int>(o)) {
+          const int n = router.num_inputs;
+          int i = router.rr_next[ovc];
+          for (int k = 0; k < n; ++k, i = i + 1 < n ? i + 1 : 0) {
+            if (router.popped_cycle[static_cast<std::size_t>(i)] == now) {
+              continue;
+            }
+            if (head_out_[static_cast<std::size_t>(i * num_vcs + vc)] != o) {
               continue;
             }
             grant_in = i;
-            out.rr_next[vcz] = (i + 1) % n;
+            router.rr_next[ovc] = i + 1 < n ? i + 1 : 0;
             break;
           }
         }
         if (grant_in < 0) continue;
 
-        auto& in = router.inputs[static_cast<std::size_t>(grant_in)];
-        const Flit& head = in.queues[vcz].front();
+        auto& queue = router.queues[static_cast<std::size_t>(
+            grant_in * num_vcs + vc)];
+        const Flit& head = queue.front();
 
         // Flow control: space in the downstream VC this flit will occupy
         // (its hop increments across the link); sinks always accept.
         if (!out_shape.is_sink) {
           Flit next = head;
           ++next.hop;
-          const auto& dst_port =
-              routers[static_cast<std::size_t>(out_shape.dst_router)]
-                  .inputs[static_cast<std::size_t>(out_shape.dst_in_port)];
-          if (!dst_port.has_space(vc_of(next))) continue;
+          const int nvc = vc_of(next);
+          const auto& dst =
+              routers[static_cast<std::size_t>(out_shape.dst_router)];
+          const auto slot = static_cast<std::size_t>(
+              out_shape.dst_in_port * num_vcs + nvc);
+          if (static_cast<int>(dst.queues[slot].size()) +
+                  dst.pending[slot] >=
+              dst.capacity[static_cast<std::size_t>(out_shape.dst_in_port)]) {
+            continue;
+          }
         }
 
         Flit flit = head;
-        in.queues[vcz].pop_front();
-        in.popped_cycle = now;
+        queue.pop_front();
+        router.popped_cycle[static_cast<std::size_t>(grant_in)] = now;
         --router.queued_flits;
         ++moved;
         granted = true;
-        out.vc_rr = (vc + 1) % num_vcs;
+        router.vc_rr[static_cast<std::size_t>(o)] = (vc + 1) % num_vcs;
 
         if (flit.head && !flit.tail) {
-          out.locked[vcz] = flit.packet;
-          out.locked_in[vcz] = grant_in;
+          router.locked[ovc] = flit.packet;
+          router.locked_in[ovc] = grant_in;
         }
         if (flit.tail) {
-          out.locked[vcz] = nullptr;
-          out.locked_in[vcz] = -1;
+          router.locked[ovc] = -1;
+          router.locked_in[ovc] = -1;
         }
 
         if (out_shape.is_sink) {
@@ -437,13 +552,14 @@ struct Simulator::Impl {
         } else {
           Flit next = flit;
           ++next.hop;
-          auto& dst_port =
-              routers[static_cast<std::size_t>(out_shape.dst_router)]
-                  .inputs[static_cast<std::size_t>(out_shape.dst_in_port)];
-          ++dst_port.pending[static_cast<std::size_t>(vc_of(next))];
+          auto& dst =
+              routers[static_cast<std::size_t>(out_shape.dst_router)];
+          ++dst.pending[static_cast<std::size_t>(
+              out_shape.dst_in_port * num_vcs + vc_of(next))];
           const std::uint64_t when =
               now + static_cast<std::uint64_t>(config.link_latency_cycles);
-          dst_port.in_flight.push_back(InFlight{when, next});
+          dst.in_flight[static_cast<std::size_t>(out_shape.dst_in_port)]
+              .push_back(InFlightRec{when, next});
           arrivals.schedule(when, out_shape.dst_router);
         }
       }

@@ -134,6 +134,10 @@ struct NetworkLayout {
   std::vector<int> out_port_of_edge;     ///< EdgeId -> output port at src.
   std::vector<int> in_port_of_edge;      ///< EdgeId -> input port at dst.
   std::vector<int> inject_port_of_slot;  ///< SlotId -> ingress input port.
+  /// SlotId -> ejection (sink) output port at the slot's egress switch, so
+  /// the per-flit ejection lookup is O(1) instead of a scan over the
+  /// router's output ports.
+  std::vector<int> sink_port_of_slot;
 };
 
 [[nodiscard]] std::shared_ptr<const NetworkLayout> make_network_layout(

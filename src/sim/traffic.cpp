@@ -111,12 +111,7 @@ void PatternTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
   }
 }
 
-BurstyTraffic::BurstyTraffic(int num_slots, Pattern pattern,
-                             double burst_rate, int flits_per_packet,
-                             double burst_len, double duty)
-    : pattern_(num_slots, pattern, burst_rate, flits_per_packet),
-      packet_rate_(burst_rate / static_cast<double>(flits_per_packet)),
-      bursting_(static_cast<std::size_t>(num_slots), 0) {
+void BurstyTraffic::shape_burst(double burst_len, double duty) {
   if (burst_len < 1.0 || duty <= 0.0 || duty >= 1.0) {
     throw std::invalid_argument("BurstyTraffic: invalid burst shape");
   }
@@ -127,10 +122,49 @@ BurstyTraffic::BurstyTraffic(int num_slots, Pattern pattern,
   p_enter_burst_ = 1.0 / std::max(1.0, idle_len);
 }
 
+BurstyTraffic::BurstyTraffic(int num_slots, Pattern pattern,
+                             double burst_rate, int flits_per_packet,
+                             double burst_len, double duty)
+    : pattern_(std::in_place, num_slots, pattern, burst_rate,
+               flits_per_packet),
+      packet_rate_(burst_rate / static_cast<double>(flits_per_packet)),
+      bursting_(static_cast<std::size_t>(num_slots), 0) {
+  shape_burst(burst_len, duty);
+}
+
+BurstyTraffic::BurstyTraffic(std::vector<TrafficFlow> flows,
+                             int flits_per_packet,
+                             double flits_per_cycle_per_gbps,
+                             double burst_len, double duty)
+    : flows_(std::move(flows)),
+      bursting_(flows_.size(), 0) {
+  if (flits_per_packet < 1 || flits_per_cycle_per_gbps <= 0.0) {
+    throw std::invalid_argument("BurstyTraffic: invalid scaling");
+  }
+  shape_burst(burst_len, duty);
+  // In-burst rate = trace rate / duty: the long-run offered load matches
+  // the plain trace while bursts concentrate it.
+  flow_prob_.reserve(flows_.size());
+  for (const auto& flow : flows_) {
+    if (flow.rate_mbps <= 0.0) {
+      throw std::invalid_argument("BurstyTraffic: flow rate must be positive");
+    }
+    const double flits_per_cycle =
+        flow.rate_mbps / 1000.0 * flits_per_cycle_per_gbps;
+    const double prob = flits_per_cycle / flits_per_packet / duty;
+    if (prob > 1.0) {
+      throw std::invalid_argument(
+          "BurstyTraffic: in-burst flow rate exceeds one packet per cycle "
+          "(lower the trace scaling or raise the duty cycle)");
+    }
+    flow_prob_.push_back(prob);
+  }
+}
+
 void BurstyTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
                                std::vector<std::pair<int, int>>& out) {
   for (std::size_t s = 0; s < bursting_.size(); ++s) {
-    // One transition draw per slot per cycle, then the usual Bernoulli
+    // One transition draw per source per cycle, then the usual Bernoulli
     // injection while bursting — a fixed per-cycle draw order, so both
     // simulation engines consume the PRNG identically.
     if (bursting_[s] != 0) {
@@ -139,9 +173,16 @@ void BurstyTraffic::injections(std::uint64_t /*cycle*/, util::Prng& prng,
       if (prng.chance(p_enter_burst_)) bursting_[s] = 1;
     }
     if (bursting_[s] == 0) continue;
+    if (!pattern_.has_value()) {
+      // Trace mode: one on/off process per flow.
+      if (prng.chance(flow_prob_[s])) {
+        out.emplace_back(flows_[s].src_slot, flows_[s].dst_slot);
+      }
+      continue;
+    }
     if (!prng.chance(packet_rate_)) continue;
     const int src = static_cast<int>(s);
-    const int dst = pattern_.destination(src, prng);
+    const int dst = pattern_->destination(src, prng);
     if (dst == src || dst < 0 ||
         dst >= static_cast<int>(bursting_.size())) {
       continue;

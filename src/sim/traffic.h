@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -63,34 +64,56 @@ class PatternTraffic : public TrafficModel {
   double hotspot_fraction_ = 0.5;
 };
 
-/// On/off modulated Bernoulli injection: each slot alternates between a
-/// burst state (injecting at `burst_rate` flits/cycle/node) and an idle
-/// state (injecting nothing), with geometrically distributed state
-/// durations. Mean burst length `burst_len` and a long-run duty cycle of
-/// `duty` reproduce the bursty phases of real SoC traffic that uniform
-/// Bernoulli smooths away; the long idle spans are exactly the regime the
-/// event-driven engine skips.
-class BurstyTraffic : public TrafficModel {
- public:
-  BurstyTraffic(int num_slots, Pattern pattern, double burst_rate,
-                int flits_per_packet, double burst_len, double duty);
-
-  void injections(std::uint64_t cycle, util::Prng& prng,
-                  std::vector<std::pair<int, int>>& out) override;
-
- private:
-  PatternTraffic pattern_;
-  double packet_rate_;   ///< Packets/cycle per slot while bursting.
-  double p_exit_burst_;  ///< Per-cycle chance a bursting slot goes idle.
-  double p_enter_burst_; ///< Per-cycle chance an idle slot starts a burst.
-  std::vector<char> bursting_;
-};
-
 /// One application flow for trace-driven simulation.
 struct TrafficFlow {
   int src_slot = 0;
   int dst_slot = 0;
   double rate_mbps = 0.0;
+};
+
+/// On/off modulated Bernoulli injection: each source alternates between a
+/// burst state (injecting at its burst rate) and an idle state (injecting
+/// nothing), with geometrically distributed state durations. Mean burst
+/// length `burst_len` and a long-run duty cycle of `duty` reproduce the
+/// bursty phases of real SoC traffic that uniform Bernoulli smooths away;
+/// the long idle spans are exactly the regime the event-driven engine
+/// skips.
+///
+/// Two source shapes share the same on/off machinery:
+/// - Synthetic: one on/off process per slot, destinations drawn from a
+///   PatternTraffic (the original constructor).
+/// - Trace: one on/off process per application flow, so a mapped design's
+///   commodity rates can be replayed with bursts — while a flow bursts it
+///   injects at rate/duty, keeping the long-run offered load equal to the
+///   plain trace but concentrating it into contention-heavy phases. This is
+///   the finalist-tier traffic model behind --sim-traffic bursty.
+class BurstyTraffic : public TrafficModel {
+ public:
+  BurstyTraffic(int num_slots, Pattern pattern, double burst_rate,
+                int flits_per_packet, double burst_len, double duty);
+
+  /// Trace-driven bursts over application flows. Throws when a flow's
+  /// in-burst rate (rate / duty) exceeds one packet per cycle, like
+  /// TraceTraffic does for the plain rate.
+  BurstyTraffic(std::vector<TrafficFlow> flows, int flits_per_packet,
+                double flits_per_cycle_per_gbps, double burst_len,
+                double duty);
+
+  void injections(std::uint64_t cycle, util::Prng& prng,
+                  std::vector<std::pair<int, int>>& out) override;
+
+ private:
+  void shape_burst(double burst_len, double duty);
+
+  /// Destination pattern of the synthetic shape; empty in trace mode.
+  std::optional<PatternTraffic> pattern_;
+  double packet_rate_ = 0.0;  ///< Packets/cycle per slot while bursting.
+  /// Trace mode: the flows and each flow's in-burst packet probability.
+  std::vector<TrafficFlow> flows_;
+  std::vector<double> flow_prob_;
+  double p_exit_burst_ = 0.0;  ///< Per-cycle chance a burst ends.
+  double p_enter_burst_ = 0.0; ///< Per-cycle chance an idle source bursts.
+  std::vector<char> bursting_; ///< Per slot (synthetic) or per flow (trace).
 };
 
 /// Trace-driven injection reproducing a mapped application's core-graph

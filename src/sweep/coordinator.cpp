@@ -95,6 +95,12 @@ SweepResult run_sweep(const select::ExplorationRequest& request,
   if (request.app == nullptr || request.library == nullptr) {
     throw std::invalid_argument("run_sweep: request has no app or library");
   }
+  if (request.sim_finalists > 0 || request.sim_rank) {
+    throw std::invalid_argument(
+        "run_sweep: --sim-finalists/--sim-rank are incompatible with a "
+        "distributed sweep (merged reports carry no routes to simulate); "
+        "run the simulation tier in-process");
+  }
 
   const auto& library = *request.library;
   const auto points = select::DesignSpaceExplorer::expand(request);

@@ -297,6 +297,40 @@ TEST(BurstyTraffic, RejectsInvalidShape) {
                std::invalid_argument);
 }
 
+TEST(EventQueue, RingWrapsAndGrowsWithoutReordering) {
+  // Interleave schedules and pops so the ring's head walks away from slot 0
+  // and the arena both wraps around and grows while wrapped; pop order must
+  // stay (cycle, schedule-order) throughout.
+  EventQueue queue;
+  int scheduled = 0;
+  int popped = 0;
+  std::uint64_t cycle = 0;
+  const auto push = [&](int n) {
+    for (int i = 0; i < n; ++i) queue.schedule(++cycle, scheduled++);
+  };
+  const auto drain = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_FALSE(queue.empty());
+      EXPECT_EQ(queue.front().payload, popped++);
+      queue.pop();
+    }
+  };
+  push(40);
+  drain(30);                        // head now mid-arena
+  push(50);                         // wraps within the 64-slot arena
+  push(100);                        // grows past 64 while wrapped
+  drain(160);
+  EXPECT_TRUE(queue.empty());
+
+  // clear() keeps the storage and resets to a pristine queue.
+  push(3);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  queue.schedule(cycle + 1, 7);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.front().payload, 7);
+}
+
 TEST(EventQueue, PopsInCycleThenFifoOrder) {
   EventQueue queue;
   queue.schedule(3, 1);
@@ -494,10 +528,10 @@ TEST(ExplorationIo, SimColumnsRenderOnlyScoredCells) {
     return n;
   };
   EXPECT_NE(csv.find("sim_latency_cycles,sim_analytical_cycles,"
-                     "sim_model_error,sim_status"),
+                     "sim_model_error,sim_status,sim_best"),
             std::string::npos);
-  // Unscored rows leave all four sim columns empty.
-  EXPECT_EQ(count(csv, ",,,\n"), cells - scored);
+  // Unscored rows leave all five sim columns empty.
+  EXPECT_EQ(count(csv, ",,,,\n"), cells - scored);
 
   const auto json = io::exploration_report_json(report);
   EXPECT_EQ(count(json, "\"sim\": {"), scored);
@@ -542,6 +576,234 @@ TEST(MapperConfigValidate, ChecksSimTierFields) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
   config.sim_flits_per_cycle_per_gbps = 0.05;
   EXPECT_NO_THROW(config.validate());
+
+  // The simulated-delay re-rank needs a prefilter, the simulator seed must
+  // be a seed, and the burst shape must be a valid on/off process.
+  config.sim_rank = true;
+  config.sim_finalists = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.sim_finalists = 2;
+  EXPECT_NO_THROW(config.validate());
+  config.sim_seed = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.sim_seed = 42;
+  EXPECT_NO_THROW(config.validate());
+  config.sim_burst_len = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.sim_burst_len = 50.0;
+  config.sim_burst_duty = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.sim_burst_duty = 0.3;
+  EXPECT_NO_THROW(config.validate());
+}
+
+void expect_same_sim_scores(const select::ExplorationReport& a,
+                            const select::ExplorationReport& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t p = 0; p < a.results.size(); ++p) {
+    ASSERT_EQ(a.results[p].selection.candidates.size(),
+              b.results[p].selection.candidates.size());
+    for (std::size_t t = 0; t < a.results[p].selection.candidates.size();
+         ++t) {
+      const auto& x = a.results[p].selection.candidates[t].sim;
+      const auto& y = b.results[p].selection.candidates[t].sim;
+      ASSERT_EQ(x.has_value(), y.has_value());
+      if (!x.has_value()) continue;
+      EXPECT_EQ(x->stats.cycles, y->stats.cycles);
+      EXPECT_EQ(x->stats.packets_delivered, y->stats.packets_delivered);
+      EXPECT_EQ(x->stats.avg_latency_cycles, y->stats.avg_latency_cycles);
+      EXPECT_EQ(x->stats.p99_latency_cycles, y->stats.p99_latency_cycles);
+      EXPECT_EQ(x->stats.flit_events, y->stats.flit_events);
+      EXPECT_EQ(x->stats.status, y->stats.status);
+      EXPECT_EQ(x->analytical_latency_cycles, y->analytical_latency_cycles);
+      EXPECT_EQ(x->simulated_latency_cycles, y->simulated_latency_cycles);
+    }
+  }
+}
+
+TEST(SimFinalistTier, ParallelPoolIsBitIdenticalAtAnyThreadCount) {
+  const auto app = apps::pip();
+  const auto library = topo::standard_library(app.num_cores());
+  select::DesignSpaceExplorer explorer;
+  auto request = tier_request(app, library);
+  request.sim_finalists = 3;
+
+  request.num_threads = 1;
+  const auto serial = explorer.explore(request);
+  ASSERT_GT(count_scored(serial), 0u);
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    request.num_threads = threads;
+    const auto parallel = explorer.explore(request);
+    ASSERT_EQ(count_scored(parallel), count_scored(serial));
+    expect_same_sim_scores(serial, parallel);
+  }
+}
+
+TEST(SimFinalistTier, BurstyTrafficIsDeterministicAndDistinctFromTrace) {
+  const auto app = apps::pip();
+  const auto library = topo::standard_library(app.num_cores());
+  select::DesignSpaceExplorer explorer;
+  auto request = tier_request(app, library);
+  request.sim_finalists = 2;
+  const auto trace = explorer.explore(request);
+  request.base.sim_traffic = mapping::SimTraffic::kBursty;
+  const auto bursty = explorer.explore(request);
+  const auto again = explorer.explore(request);
+
+  // Repeat runs under the bursty model reproduce every score bit for bit.
+  ASSERT_GT(count_scored(bursty), 0u);
+  expect_same_sim_scores(bursty, again);
+
+  // And the knob actually reaches the simulator: the on/off modulation
+  // changes the delivered-traffic statistics of at least one scored cell.
+  ASSERT_EQ(count_scored(trace), count_scored(bursty));
+  bool differs = false;
+  for (std::size_t p = 0; p < trace.results.size(); ++p) {
+    for (std::size_t t = 0; t < trace.results[p].selection.candidates.size();
+         ++t) {
+      const auto& x = trace.results[p].selection.candidates[t].sim;
+      const auto& y = bursty.results[p].selection.candidates[t].sim;
+      if (!x.has_value() || !y.has_value()) continue;
+      differs = differs ||
+                x->stats.packets_delivered != y->stats.packets_delivered ||
+                x->stats.avg_latency_cycles != y->stats.avg_latency_cycles;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SimRank, IsAdditiveDeterministicAndCrownsAScoredFinalist) {
+  const auto app = apps::pip();
+  const auto library = topo::standard_library(app.num_cores());
+  select::DesignSpaceExplorer explorer;
+  auto request = tier_request(app, library);
+  request.sim_finalists = 2;
+  const auto plain = explorer.explore(request);
+  EXPECT_TRUE(plain.sim_winners.empty());
+
+  request.sim_rank = true;
+  const auto ranked = explorer.explore(request);
+  const auto again = explorer.explore(request);
+
+  // Additive: the re-rank changes nothing about the analytical report or
+  // the finalist scores — it only fills sim_winners.
+  expect_same_sim_scores(plain, ranked);
+  ASSERT_EQ(ranked.winners.size(), plain.winners.size());
+  for (std::size_t w = 0; w < plain.winners.size(); ++w) {
+    EXPECT_EQ(ranked.winners[w].point_index, plain.winners[w].point_index);
+    EXPECT_EQ(ranked.winners[w].topology_index,
+              plain.winners[w].topology_index);
+  }
+
+  // One sim winner per objective group, deterministic across runs, and
+  // always a cell the simulator actually scored.
+  ASSERT_EQ(ranked.sim_winners.size(), ranked.winners.size());
+  ASSERT_EQ(again.sim_winners.size(), ranked.sim_winners.size());
+  for (std::size_t w = 0; w < ranked.sim_winners.size(); ++w) {
+    const auto& best = ranked.sim_winners[w];
+    EXPECT_EQ(best.objective, ranked.winners[w].objective);
+    EXPECT_EQ(best.point_index, again.sim_winners[w].point_index);
+    EXPECT_EQ(best.topology_index, again.sim_winners[w].topology_index);
+    ASSERT_TRUE(best.found());
+    const auto& cell =
+        ranked.results[static_cast<std::size_t>(best.point_index)]
+            .selection
+            .candidates[static_cast<std::size_t>(best.topology_index)];
+    EXPECT_TRUE(cell.sim.has_value());
+  }
+
+  // The rendered outputs surface the re-rank: the CSV gains a marked
+  // sim_best cell and the JSON a sim_winners array.
+  const auto csv = io::exploration_report_csv(ranked);
+  EXPECT_NE(csv.find(",sim_best"), std::string::npos);
+  const auto json = io::exploration_report_json(ranked);
+  EXPECT_NE(json.find("\"sim_winners\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"sim_winners\": [\n  ],"), std::string::npos);
+  // With the re-rank off the array renders empty.
+  EXPECT_NE(io::exploration_report_json(plain).find("\"sim_winners\": [\n  ],"),
+            std::string::npos);
+
+  // The re-rank without its prefilter is a contract violation.
+  request.sim_finalists = 0;
+  EXPECT_THROW((void)explorer.explore(request), std::invalid_argument);
+}
+
+TEST(SimEvaluator, EvictsLeastRecentlyScoredBeyondCapacity) {
+  const auto app = apps::pip();
+  const auto library = topo::standard_library(app.num_cores());
+  select::TopologySelector selector;
+  const auto report = selector.select(app, library);
+  ASSERT_GE(report.candidates.size(), 3u);
+  const auto& a = report.candidates[0];
+  const auto& b = report.candidates[1];
+  const auto& c = report.candidates[2];
+
+  mapping::SimTierOptions options;
+  options.cache_capacity = 2;
+  mapping::SimEvaluator evaluator(options);
+  const auto first = evaluator.score(app, *a.topology, a.result);
+  (void)evaluator.score(app, *b.topology, b.result);
+  EXPECT_EQ(evaluator.cached_layouts(), 2u);
+  // Third topology evicts the least-recently-scored entry (a).
+  (void)evaluator.score(app, *c.topology, c.result);
+  EXPECT_EQ(evaluator.cached_layouts(), 2u);
+  // Re-scoring the evicted topology rebuilds it and reproduces the score
+  // bit for bit — eviction can never change results.
+  const auto rebuilt = evaluator.score(app, *a.topology, a.result);
+  EXPECT_EQ(evaluator.cached_layouts(), 2u);
+  EXPECT_EQ(first.stats.avg_latency_cycles, rebuilt.stats.avg_latency_cycles);
+  EXPECT_EQ(first.stats.flit_events, rebuilt.stats.flit_events);
+  EXPECT_EQ(first.stats.cycles, rebuilt.stats.cycles);
+
+  // Recency, not insertion order: touching the oldest entry saves it.
+  mapping::SimEvaluator lru(options);
+  (void)lru.score(app, *a.topology, a.result);
+  (void)lru.score(app, *b.topology, b.result);
+  (void)lru.score(app, *a.topology, a.result);  // refresh a
+  (void)lru.score(app, *c.topology, c.result);  // must evict b, not a
+  const auto before = lru.cached_layouts();
+  (void)lru.score(app, *a.topology, a.result);  // cache hit
+  EXPECT_EQ(lru.cached_layouts(), before);
+
+  mapping::SimTierOptions bad;
+  bad.cache_capacity = 0;
+  EXPECT_THROW(mapping::SimEvaluator{bad}, std::invalid_argument);
+}
+
+TEST(SimSeed, DecouplesSimulatorPrngFromSearchSeed) {
+  // sim_tier_options carries the dedicated simulator seed (and the traffic
+  // shape) into the tier; the default reproduces the historical behavior
+  // of seeding the simulator with SimConfig's own default.
+  mapping::MapperConfig config;
+  EXPECT_EQ(mapping::sim_tier_options(config).config.seed,
+            sim::SimConfig{}.seed);
+  config.sim_seed = 99;
+  config.sim_traffic = mapping::SimTraffic::kBursty;
+  config.sim_burst_len = 20.0;
+  config.sim_burst_duty = 0.5;
+  const auto options = mapping::sim_tier_options(config);
+  EXPECT_EQ(options.config.seed, 99u);
+  EXPECT_EQ(options.traffic, mapping::SimTraffic::kBursty);
+  EXPECT_EQ(options.burst_len, 20.0);
+  EXPECT_EQ(options.burst_duty, 0.5);
+
+  // Different simulator seeds change the measured statistics but never the
+  // analytical prediction — the searched mapping is untouched.
+  const auto app = apps::pip();
+  const auto library = topo::standard_library(app.num_cores());
+  select::TopologySelector selector;
+  const auto report = selector.select(app, library);
+  const auto& best = report.candidates[0];
+  mapping::SimTierOptions seeded;
+  seeded.config.seed = 1;
+  mapping::SimEvaluator one(seeded);
+  seeded.config.seed = 2;
+  mapping::SimEvaluator two(seeded);
+  const auto s1 = one.score(app, *best.topology, best.result);
+  const auto s2 = two.score(app, *best.topology, best.result);
+  EXPECT_EQ(s1.analytical_latency_cycles, s2.analytical_latency_cycles);
+  EXPECT_NE(s1.stats.avg_latency_cycles, s2.stats.avg_latency_cycles);
 }
 
 }  // namespace

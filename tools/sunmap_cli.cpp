@@ -97,6 +97,24 @@ void usage() {
   --sim-validate      simulate EVERY feasible candidate and print the
                       analytical-vs-simulated model-validation table (the
                       finalist tier with no cap)
+  --sim-rank          two-phase simulated-delay ranking: the analytical
+                      search prefilters each objective group to its
+                      --sim-finalists best cells (defaults to 3 when
+                      unset), the simulator re-ranks those, and the
+                      sim-winner table prints next to the analytical
+                      winners (sweep reports gain a sim_best CSV column
+                      and a sim_winners JSON array). Purely additive:
+                      analytical results are bit-identical with it off
+  --sim-seed <s>      simulator PRNG seed, decoupled from --seed (the
+                      search seed); must be >= 1 (default 1, today's
+                      behavior)
+  --sim-traffic <t>   finalist-tier traffic model: trace (the mapped
+                      commodity rates, default) | bursty (per-flow on/off
+                      modulation of the same rates; equal long-run load)
+  --sim-burst-len <c> mean burst length in cycles of --sim-traffic bursty
+                      (default 50)
+  --sim-burst-duty <d> duty cycle in (0,1) of --sim-traffic bursty
+                      (default 0.3)
   --threads <n>       swap-search worker threads  (default 1; any n is
                       deterministic and matches the sequential result)
   --max-area <mm2>    area constraint             (default unlimited)
@@ -315,6 +333,7 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
   request.sim_finalists = args.sim_validate
                               ? std::numeric_limits<int>::max()
                               : config.mapper.sim_finalists;
+  request.sim_rank = config.mapper.sim_rank;
   for (const auto& text : objectives) {
     const auto objective = parse_objective(text);
     if (!objective) {
@@ -413,9 +432,10 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
   request.library = &library;
 
   const bool distributed = args.workers > 0 || !args.checkpoint_path.empty();
-  if (distributed && request.sim_finalists > 0) {
-    std::cerr << "--sim-finalists/--sim-validate need an in-process sweep "
-                 "(distributed merges carry no routes to simulate)\n";
+  if (distributed && (request.sim_finalists > 0 || request.sim_rank)) {
+    std::cerr << "--sim-finalists/--sim-validate/--sim-rank need an "
+                 "in-process sweep (merged reports carry no routes to "
+                 "simulate)\n";
     return 2;
   }
   std::optional<select::ExplorationReport> report;
@@ -505,6 +525,35 @@ int run_sweep(const mapping::CoreGraph& app, const core::SunmapConfig& config,
     }
   }
   std::cout << winners.to_string() << "\n";
+
+  // The simulated-delay re-rank (--sim-rank): the cell the simulator
+  // crowns per objective group, next to the analytical winner table above.
+  if (request.sim_rank) {
+    std::cout << "Simulated-delay winners (re-ranked top "
+              << request.sim_finalists << " per objective):\n";
+    util::Table sim_winners(
+        {"objective", "design point", "topology", "simulated (cyc)", "cost"});
+    for (const auto& best : report->sim_winners) {
+      if (best.found()) {
+        const auto& result =
+            report->results[static_cast<std::size_t>(best.point_index)];
+        const auto& candidate =
+            result.selection
+                .candidates[static_cast<std::size_t>(best.topology_index)];
+        sim_winners.add_row(
+            {mapping::to_string(best.objective), result.point.label(),
+             candidate.topology->name(),
+             candidate.sim.has_value()
+                 ? util::Table::num(candidate.sim->simulated_latency_cycles)
+                 : "-",
+             util::Table::num(candidate.result.eval.cost)});
+      } else {
+        sim_winners.add_row(
+            {mapping::to_string(best.objective), "-", "infeasible", "-", "-"});
+      }
+    }
+    std::cout << sim_winners.to_string() << "\n";
+  }
 
   // The finalist tier's verdicts: one row per simulated (point, topology)
   // cell, the contention-aware delay next to the zero-load prediction.
@@ -714,6 +763,25 @@ int main(int argc, char** argv) {
         config.mapper.sim_finalists = std::stoi(need_value(i));
       } else if (arg == "--sim-validate") {
         sim_validate = true;
+      } else if (arg == "--sim-rank") {
+        config.mapper.sim_rank = true;
+      } else if (arg == "--sim-seed") {
+        config.mapper.sim_seed = std::stoull(need_value(i));
+      } else if (arg == "--sim-traffic") {
+        const std::string text = need_value(i);
+        if (text == "trace") {
+          config.mapper.sim_traffic = mapping::SimTraffic::kTrace;
+        } else if (text == "bursty") {
+          config.mapper.sim_traffic = mapping::SimTraffic::kBursty;
+        } else {
+          std::cerr << "unknown sim traffic " << text
+                    << " (trace | bursty)\n";
+          return 2;
+        }
+      } else if (arg == "--sim-burst-len") {
+        config.mapper.sim_burst_len = std::stod(need_value(i));
+      } else if (arg == "--sim-burst-duty") {
+        config.mapper.sim_burst_duty = std::stod(need_value(i));
       } else if (arg == "--w-delay") {
         config.mapper.weights.delay = std::stod(need_value(i));
       } else if (arg == "--w-area") {
@@ -922,6 +990,12 @@ int main(int argc, char** argv) {
     config.mapper.num_threads = threads;
   }
 
+  // --sim-rank needs an analytical prefilter; when --sim-finalists was not
+  // given (or left 0), default to re-ranking the 3 best cells per group.
+  if (config.mapper.sim_rank && config.mapper.sim_finalists == 0) {
+    config.mapper.sim_finalists = 3;
+  }
+
   // Centralised configuration validation (MapperConfig::validate) replaces
   // per-flag checks: a bad combination surfaces as one clean CLI error.
   try {
@@ -1006,6 +1080,10 @@ int main(int argc, char** argv) {
           mapping::sim_tier_options(config.mapper));
       util::Table sims({"topology", "analytical (cyc)", "simulated (cyc)",
                         "model err", "status"});
+      // --sim-rank: the finalist the simulator crowns, by (drained first,
+      // simulated latency, analytical cost) — same ordering as sweep mode.
+      const select::TopologyCandidate* sim_best = nullptr;
+      mapping::SimScore sim_best_score;
       for (const auto* candidate : finalists) {
         const auto score =
             evaluator.score(*app, *candidate->topology, candidate->result);
@@ -1015,11 +1093,30 @@ int main(int argc, char** argv) {
              util::Table::num(score.simulated_latency_cycles),
              util::Table::num(score.model_error() * 100.0, 1) + "%",
              sim::to_string(score.stats.status)});
+        const bool drained = score.stats.status == sim::RunStatus::kDrained;
+        const bool best_drained =
+            sim_best != nullptr &&
+            sim_best_score.stats.status == sim::RunStatus::kDrained;
+        if (sim_best == nullptr ||
+            (drained != best_drained
+                 ? drained
+                 : score.simulated_latency_cycles <
+                       sim_best_score.simulated_latency_cycles)) {
+          sim_best = candidate;
+          sim_best_score = score;
+        }
       }
       std::cout << "Flit-level validation ("
                 << sim::to_string(evaluator.options().config.engine)
                 << " engine):\n"
                 << sims.to_string() << "\n";
+      if (config.mapper.sim_rank && sim_best != nullptr) {
+        std::cout << "Simulated-delay winner: " << sim_best->topology->name()
+                  << " ("
+                  << util::Table::num(
+                         sim_best_score.simulated_latency_cycles)
+                  << " cycles simulated)\n\n";
+      }
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 2;
